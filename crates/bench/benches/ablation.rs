@@ -1,0 +1,55 @@
+//! Ablation: what candidate filtering and solver reuse buy (DESIGN.md's
+//! design-choice benches).
+//!
+//! * `with_filtering` — the full pipeline over the device-controlling
+//!   corpus slice: only action-analysis candidates reach the solver.
+//! * `always_solve` — every pair pays a merged-situation solve, simulating
+//!   a detector without the M_AR/M_GC candidate filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_bench::device_control_rules;
+use hg_detector::Detector;
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let rules = device_control_rules();
+    let slice = &rules[..rules.len().min(24)];
+    let detector = Detector::store_wide();
+    let mut group = c.benchmark_group("ablation_candidate_filtering");
+    group.sample_size(10);
+    group.bench_function("with_filtering", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for i in 0..slice.len() {
+                for j in (i + 1)..slice.len() {
+                    let (t, _) = detector.detect_pair(&slice[i], &slice[j]);
+                    n += t.len();
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("always_solve", |b| {
+        b.iter(|| {
+            let mut sat = 0usize;
+            for i in 0..slice.len() {
+                for j in (i + 1)..slice.len() {
+                    let s1 = slice[i].situation();
+                    let s2 = slice[j].situation();
+                    if detector.solver.solve(&[&s1, &s2]).is_sat() {
+                        sat += 1;
+                    }
+                }
+            }
+            black_box(sat)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ablation
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! §VIII-C configuration collection: instrumentation cost and simulated
+//! channel latency sampling (SMS vs HTTP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_config::{instrument, Channel, ConfigInfo, SimulatedChannel, Transport};
+use hg_rules::value::Value;
+use std::hint::black_box;
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let app = hg_corpus::benign_app("ComfortTV").unwrap();
+    c.bench_function("instrument_comforttv", |b| {
+        b.iter(|| black_box(instrument(app.source, app.name, Transport::Sms).unwrap()))
+    });
+}
+
+fn bench_uri_roundtrip(c: &mut Criterion) {
+    let info = ConfigInfo::new("ComfortTV")
+        .bind_device("tv1", "0e0b741baf1c4e6d8f0a1b2c3d4e5f60")
+        .set_value("threshold1", Value::from_natural(30));
+    c.bench_function("uri_encode_decode", |b| {
+        b.iter(|| {
+            let uri = info.to_uri();
+            black_box(ConfigInfo::from_uri(&uri).unwrap())
+        })
+    });
+}
+
+fn bench_channels(c: &mut Criterion) {
+    let uri = ConfigInfo::new("ComfortTV")
+        .bind_device("tv1", "0e0b741baf1c4e6d8f0a1b2c3d4e5f60")
+        .to_uri();
+    let mut group = c.benchmark_group("channel_100_trials");
+    for channel in [Channel::Sms, Channel::Http] {
+        group.bench_function(format!("{channel:?}"), |b| {
+            b.iter(|| {
+                let mut ch = SimulatedChannel::new(channel, 7);
+                black_box(ch.mean_over(&uri, 100))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_instrumentation, bench_uri_roundtrip, bench_channels
+}
+criterion_main!(benches);

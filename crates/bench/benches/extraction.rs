@@ -1,0 +1,46 @@
+//! §VIII-C: rule-extraction time per app (paper: 1341 ms/app on the
+//! authors' JVM setup; the shape to reproduce is "fast enough for online
+//! extraction of custom apps") and rule-file sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_rules::json::rules_to_text;
+use hg_symexec::{extract, ExtractorConfig};
+use std::hint::black_box;
+
+fn bench_extraction(c: &mut Criterion) {
+    let config = ExtractorConfig::extended();
+    let mut group = c.benchmark_group("extraction");
+    // Representative single apps.
+    for name in ["ComfortTV", "MakeItSo", "SmartNightlight"] {
+        let app = hg_corpus::benign_app(name).unwrap();
+        group.bench_function(format!("extract_{name}"), |b| {
+            b.iter(|| black_box(extract(app.source, app.name, &config).unwrap()))
+        });
+    }
+    // Whole corpus sweep (the paper's 10-run average over all apps).
+    let apps = hg_corpus::automation_apps();
+    group.bench_function("extract_whole_corpus", |b| {
+        b.iter(|| {
+            for app in &apps {
+                black_box(extract(app.source, app.name, &config).ok());
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_rule_serialization(c: &mut Criterion) {
+    let config = ExtractorConfig::extended();
+    let app = hg_corpus::benign_app("ComfortTV").unwrap();
+    let rules = extract(app.source, app.name, &config).unwrap().rules;
+    c.bench_function("rule_file_serialize", |b| {
+        b.iter(|| black_box(rules_to_text(&rules)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_extraction, bench_rule_serialization
+}
+criterion_main!(benches);

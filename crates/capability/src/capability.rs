@@ -1,0 +1,598 @@
+//! The SmartThings capability model (paper Appendix A).
+//!
+//! A *capability* abstracts a class of device functionality: it declares the
+//! attributes a device exposes and the commands it accepts. SmartApps request
+//! capabilities via `input` declarations (`"capability.switch"`) and the
+//! platform grants matching devices. The paper's executor considers the
+//! capability-protected device commands as sinks.
+//!
+//! The table below covers the SmartThings capability catalogue that the
+//! public-repository SmartApps exercise, including every capability used by
+//! the paper's examples.
+
+use crate::domains::{scaled, AttrDomain};
+
+/// An attribute a capability exposes, e.g. `switch` with domain `{on, off}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttributeDef {
+    /// Attribute name as used in `subscribe` and `currentValue` calls.
+    pub name: &'static str,
+    /// The attribute's value domain.
+    pub domain: AttrDomain,
+}
+
+/// How executing a command updates an attribute of the same device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrEffect {
+    /// Sets `attribute` to the fixed enum `value` (e.g. `on()` sets
+    /// `switch = "on"`).
+    SetConst {
+        /// The affected attribute.
+        attribute: &'static str,
+        /// The value it is set to.
+        value: &'static str,
+    },
+    /// Sets `attribute` to the command's parameter at `param_index`
+    /// (e.g. `setLevel(x)` sets `level = x`).
+    SetParam {
+        /// The affected attribute.
+        attribute: &'static str,
+        /// Which command parameter provides the value.
+        param_index: usize,
+    },
+}
+
+/// A command a capability accepts, e.g. `on()` or `setLevel(level)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommandDef {
+    /// Command name as invoked on device references.
+    pub name: &'static str,
+    /// Number of parameters the command takes.
+    pub arity: usize,
+    /// The attribute updates executing this command causes.
+    pub effects: &'static [AttrEffect],
+}
+
+/// A capability: a named bundle of attributes and commands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capability {
+    /// Capability name without the `capability.` prefix, e.g. `"switch"`.
+    pub name: &'static str,
+    /// Exposed attributes.
+    pub attributes: &'static [AttributeDef],
+    /// Accepted commands.
+    pub commands: &'static [CommandDef],
+}
+
+impl Capability {
+    /// Looks up an attribute by name.
+    pub fn attribute(&self, name: &str) -> Option<&'static AttributeDef> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Looks up a command by name.
+    pub fn command(&self, name: &str) -> Option<&'static CommandDef> {
+        self.commands.iter().find(|c| c.name == name)
+    }
+}
+
+const ON_OFF: AttrDomain = AttrDomain::Enum(&["on", "off"]);
+const PCT: AttrDomain = AttrDomain::Numeric { min: 0, max: scaled(100), unit: "%" };
+const TEMP: AttrDomain = AttrDomain::Numeric { min: scaled(-40), max: scaled(150), unit: "°C" };
+
+macro_rules! attr {
+    ($name:literal, $domain:expr) => {
+        AttributeDef { name: $name, domain: $domain }
+    };
+}
+
+macro_rules! cmd {
+    ($name:literal) => {
+        CommandDef { name: $name, arity: 0, effects: &[] }
+    };
+    ($name:literal sets $attr:literal = $value:literal) => {
+        CommandDef {
+            name: $name,
+            arity: 0,
+            effects: &[AttrEffect::SetConst { attribute: $attr, value: $value }],
+        }
+    };
+    ($name:literal ( $arity:literal ) sets $attr:literal = param $idx:literal) => {
+        CommandDef {
+            name: $name,
+            arity: $arity,
+            effects: &[AttrEffect::SetParam { attribute: $attr, param_index: $idx }],
+        }
+    };
+}
+
+/// The capability catalogue.
+///
+/// Attribute domains follow the SmartThings capabilities reference; numeric
+/// bounds are the physically sensible ranges the solver needs (temperature
+/// −40..150 °C, percentages 0..100, power 0..20 kW, illuminance 0..100 klux).
+pub static CAPABILITIES: &[Capability] = &[
+    Capability {
+        name: "accelerationSensor",
+        attributes: &[attr!("acceleration", AttrDomain::Enum(&["active", "inactive"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "alarm",
+        attributes: &[attr!("alarm", AttrDomain::Enum(&["off", "siren", "strobe", "both"]))],
+        commands: &[
+            cmd!("off" sets "alarm" = "off"),
+            cmd!("siren" sets "alarm" = "siren"),
+            cmd!("strobe" sets "alarm" = "strobe"),
+            cmd!("both" sets "alarm" = "both"),
+        ],
+    },
+    Capability {
+        name: "battery",
+        attributes: &[attr!("battery", PCT)],
+        commands: &[],
+    },
+    Capability {
+        name: "beacon",
+        attributes: &[attr!("presence", AttrDomain::Enum(&["present", "not present"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "button",
+        attributes: &[attr!("button", AttrDomain::Enum(&["pushed", "held"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "carbonDioxideMeasurement",
+        attributes: &[attr!(
+            "carbonDioxide",
+            AttrDomain::Numeric { min: 0, max: scaled(10000), unit: "ppm" }
+        )],
+        commands: &[],
+    },
+    Capability {
+        name: "carbonMonoxideDetector",
+        attributes: &[attr!(
+            "carbonMonoxide",
+            AttrDomain::Enum(&["clear", "detected", "tested"])
+        )],
+        commands: &[],
+    },
+    Capability {
+        name: "colorControl",
+        attributes: &[
+            attr!("hue", PCT),
+            attr!("saturation", PCT),
+            attr!("color", AttrDomain::Text),
+        ],
+        commands: &[
+            cmd!("setHue"(1) sets "hue" = param 0),
+            cmd!("setSaturation"(1) sets "saturation" = param 0),
+            CommandDef { name: "setColor", arity: 1, effects: &[] },
+        ],
+    },
+    Capability {
+        name: "colorTemperature",
+        attributes: &[attr!(
+            "colorTemperature",
+            AttrDomain::Numeric { min: scaled(1000), max: scaled(30000), unit: "K" }
+        )],
+        commands: &[cmd!("setColorTemperature"(1) sets "colorTemperature" = param 0)],
+    },
+    Capability {
+        name: "contactSensor",
+        attributes: &[attr!("contact", AttrDomain::Enum(&["open", "closed"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "doorControl",
+        attributes: &[attr!(
+            "door",
+            AttrDomain::Enum(&["open", "closed", "opening", "closing", "unknown"])
+        )],
+        commands: &[cmd!("open" sets "door" = "open"), cmd!("close" sets "door" = "closed")],
+    },
+    Capability {
+        name: "energyMeter",
+        attributes: &[attr!(
+            "energy",
+            AttrDomain::Numeric { min: 0, max: scaled(1_000_000), unit: "kWh" }
+        )],
+        commands: &[],
+    },
+    Capability {
+        name: "garageDoorControl",
+        attributes: &[attr!(
+            "door",
+            AttrDomain::Enum(&["open", "closed", "opening", "closing", "unknown"])
+        )],
+        commands: &[cmd!("open" sets "door" = "open"), cmd!("close" sets "door" = "closed")],
+    },
+    Capability {
+        name: "illuminanceMeasurement",
+        attributes: &[attr!(
+            "illuminance",
+            AttrDomain::Numeric { min: 0, max: scaled(100_000), unit: "lux" }
+        )],
+        commands: &[],
+    },
+    Capability {
+        name: "imageCapture",
+        attributes: &[attr!("image", AttrDomain::Text)],
+        commands: &[cmd!("take")],
+    },
+    Capability {
+        name: "lock",
+        attributes: &[attr!(
+            "lock",
+            AttrDomain::Enum(&["locked", "unlocked", "unknown", "unlocked with timeout"])
+        )],
+        commands: &[cmd!("lock" sets "lock" = "locked"), cmd!("unlock" sets "lock" = "unlocked")],
+    },
+    Capability {
+        name: "motionSensor",
+        attributes: &[attr!("motion", AttrDomain::Enum(&["active", "inactive"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "musicPlayer",
+        attributes: &[
+            attr!("status", AttrDomain::Enum(&["playing", "paused", "stopped"])),
+            attr!("level", PCT),
+            attr!("mute", AttrDomain::Enum(&["muted", "unmuted"])),
+        ],
+        commands: &[
+            cmd!("play" sets "status" = "playing"),
+            cmd!("pause" sets "status" = "paused"),
+            cmd!("stop" sets "status" = "stopped"),
+            cmd!("mute" sets "mute" = "muted"),
+            cmd!("unmute" sets "mute" = "unmuted"),
+            cmd!("setLevel"(1) sets "level" = param 0),
+            CommandDef { name: "playText", arity: 1, effects: &[] },
+            CommandDef { name: "playTrack", arity: 1, effects: &[] },
+        ],
+    },
+    Capability {
+        name: "notification",
+        attributes: &[],
+        commands: &[CommandDef { name: "deviceNotification", arity: 1, effects: &[] }],
+    },
+    Capability {
+        name: "powerMeter",
+        attributes: &[attr!(
+            "power",
+            AttrDomain::Numeric { min: 0, max: scaled(20_000), unit: "W" }
+        )],
+        commands: &[],
+    },
+    Capability {
+        name: "presenceSensor",
+        attributes: &[attr!("presence", AttrDomain::Enum(&["present", "not present"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "relativeHumidityMeasurement",
+        attributes: &[attr!("humidity", PCT)],
+        commands: &[],
+    },
+    Capability {
+        name: "relaySwitch",
+        attributes: &[attr!("switch", ON_OFF)],
+        commands: &[cmd!("on" sets "switch" = "on"), cmd!("off" sets "switch" = "off")],
+    },
+    Capability {
+        name: "sleepSensor",
+        attributes: &[attr!("sleeping", AttrDomain::Enum(&["sleeping", "not sleeping"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "smokeDetector",
+        attributes: &[attr!("smoke", AttrDomain::Enum(&["clear", "detected", "tested"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "soundSensor",
+        attributes: &[attr!("sound", AttrDomain::Enum(&["detected", "not detected"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "soundPressureLevel",
+        attributes: &[attr!(
+            "soundPressureLevel",
+            AttrDomain::Numeric { min: 0, max: scaled(200), unit: "dB" }
+        )],
+        commands: &[],
+    },
+    Capability {
+        name: "speechSynthesis",
+        attributes: &[],
+        commands: &[CommandDef { name: "speak", arity: 1, effects: &[] }],
+    },
+    Capability {
+        name: "switch",
+        attributes: &[attr!("switch", ON_OFF)],
+        commands: &[cmd!("on" sets "switch" = "on"), cmd!("off" sets "switch" = "off")],
+    },
+    Capability {
+        name: "switchLevel",
+        attributes: &[attr!("level", PCT)],
+        commands: &[cmd!("setLevel"(1) sets "level" = param 0)],
+    },
+    Capability {
+        name: "temperatureMeasurement",
+        attributes: &[attr!("temperature", TEMP)],
+        commands: &[],
+    },
+    Capability {
+        name: "thermostat",
+        attributes: &[
+            attr!("temperature", TEMP),
+            attr!("heatingSetpoint", TEMP),
+            attr!("coolingSetpoint", TEMP),
+            attr!(
+                "thermostatMode",
+                AttrDomain::Enum(&["auto", "emergency heat", "heat", "off", "cool"])
+            ),
+            attr!(
+                "thermostatFanMode",
+                AttrDomain::Enum(&["auto", "on", "circulate"])
+            ),
+            attr!(
+                "thermostatOperatingState",
+                AttrDomain::Enum(&[
+                    "heating",
+                    "idle",
+                    "pending cool",
+                    "pending heat",
+                    "vent economizer",
+                    "cooling",
+                    "fan only"
+                ])
+            ),
+        ],
+        commands: &[
+            cmd!("setHeatingSetpoint"(1) sets "heatingSetpoint" = param 0),
+            cmd!("setCoolingSetpoint"(1) sets "coolingSetpoint" = param 0),
+            cmd!("off" sets "thermostatMode" = "off"),
+            cmd!("heat" sets "thermostatMode" = "heat"),
+            cmd!("cool" sets "thermostatMode" = "cool"),
+            cmd!("auto" sets "thermostatMode" = "auto"),
+            cmd!("emergencyHeat" sets "thermostatMode" = "emergency heat"),
+            cmd!("fanOn" sets "thermostatFanMode" = "on"),
+            cmd!("fanAuto" sets "thermostatFanMode" = "auto"),
+            cmd!("fanCirculate" sets "thermostatFanMode" = "circulate"),
+            CommandDef { name: "setThermostatMode", arity: 1, effects: &[AttrEffect::SetParam { attribute: "thermostatMode", param_index: 0 }] },
+        ],
+    },
+    Capability {
+        name: "thermostatCoolingSetpoint",
+        attributes: &[attr!("coolingSetpoint", TEMP)],
+        commands: &[cmd!("setCoolingSetpoint"(1) sets "coolingSetpoint" = param 0)],
+    },
+    Capability {
+        name: "thermostatHeatingSetpoint",
+        attributes: &[attr!("heatingSetpoint", TEMP)],
+        commands: &[cmd!("setHeatingSetpoint"(1) sets "heatingSetpoint" = param 0)],
+    },
+    Capability {
+        name: "thermostatMode",
+        attributes: &[attr!(
+            "thermostatMode",
+            AttrDomain::Enum(&["auto", "emergency heat", "heat", "off", "cool"])
+        )],
+        commands: &[
+            cmd!("off" sets "thermostatMode" = "off"),
+            cmd!("heat" sets "thermostatMode" = "heat"),
+            cmd!("cool" sets "thermostatMode" = "cool"),
+            cmd!("auto" sets "thermostatMode" = "auto"),
+        ],
+    },
+    Capability {
+        name: "threeAxis",
+        attributes: &[attr!("threeAxis", AttrDomain::Text)],
+        commands: &[],
+    },
+    Capability {
+        name: "tone",
+        attributes: &[],
+        commands: &[cmd!("beep")],
+    },
+    Capability {
+        name: "valve",
+        attributes: &[attr!("valve", AttrDomain::Enum(&["open", "closed"]))],
+        commands: &[cmd!("open" sets "valve" = "open"), cmd!("close" sets "valve" = "closed")],
+    },
+    Capability {
+        name: "waterSensor",
+        attributes: &[attr!("water", AttrDomain::Enum(&["dry", "wet"]))],
+        commands: &[],
+    },
+    Capability {
+        name: "windowShade",
+        attributes: &[attr!(
+            "windowShade",
+            AttrDomain::Enum(&["open", "closed", "opening", "closing", "partially open", "unknown"])
+        )],
+        commands: &[
+            cmd!("open" sets "windowShade" = "open"),
+            cmd!("close" sets "windowShade" = "closed"),
+            cmd!("presetPosition" sets "windowShade" = "partially open"),
+        ],
+    },
+    Capability {
+        name: "momentary",
+        attributes: &[],
+        commands: &[cmd!("push")],
+    },
+    Capability {
+        name: "refresh",
+        attributes: &[],
+        commands: &[cmd!("refresh")],
+    },
+    Capability {
+        name: "polling",
+        attributes: &[],
+        commands: &[cmd!("poll")],
+    },
+    Capability {
+        name: "sensor",
+        attributes: &[],
+        commands: &[],
+    },
+    Capability {
+        name: "actuator",
+        attributes: &[],
+        commands: &[],
+    },
+];
+
+/// Looks up a capability by its short name (`"switch"`) or its full input
+/// form (`"capability.switch"`).
+///
+/// # Examples
+///
+/// ```
+/// use hg_capability::capability::lookup;
+/// assert!(lookup("capability.switch").is_some());
+/// assert!(lookup("lock").is_some());
+/// assert!(lookup("capability.flyingCar").is_none());
+/// ```
+pub fn lookup(name: &str) -> Option<&'static Capability> {
+    let short = name.strip_prefix("capability.").unwrap_or(name);
+    CAPABILITIES.iter().find(|c| c.name == short)
+}
+
+/// Finds every capability that exposes `attribute`.
+pub fn capabilities_with_attribute(attribute: &str) -> Vec<&'static Capability> {
+    CAPABILITIES.iter().filter(|c| c.attribute(attribute).is_some()).collect()
+}
+
+/// Finds the capability-defined command `command` in any capability of the
+/// given list (used when a device reference was granted with a specific
+/// capability).
+pub fn find_command(capability: &str, command: &str) -> Option<&'static CommandDef> {
+    lookup(capability)?.command(command)
+}
+
+/// Total number of capability-protected device commands in the catalogue.
+pub fn command_count() -> usize {
+    CAPABILITIES.iter().map(|c| c.commands.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_with_and_without_prefix() {
+        assert_eq!(lookup("switch").unwrap().name, "switch");
+        assert_eq!(lookup("capability.lock").unwrap().name, "lock");
+        assert!(lookup("nonexistent").is_none());
+    }
+
+    #[test]
+    fn switch_capability_shape() {
+        let sw = lookup("switch").unwrap();
+        assert_eq!(sw.attributes.len(), 1);
+        assert_eq!(sw.commands.len(), 2);
+        let on = sw.command("on").unwrap();
+        assert_eq!(
+            on.effects,
+            &[AttrEffect::SetConst { attribute: "switch", value: "on" }]
+        );
+    }
+
+    #[test]
+    fn set_level_takes_param() {
+        let sl = lookup("switchLevel").unwrap();
+        let cmd = sl.command("setLevel").unwrap();
+        assert_eq!(cmd.arity, 1);
+        assert_eq!(cmd.effects, &[AttrEffect::SetParam { attribute: "level", param_index: 0 }]);
+    }
+
+    #[test]
+    fn attribute_lookup() {
+        let lock = lookup("lock").unwrap();
+        let attr = lock.attribute("lock").unwrap();
+        assert!(attr.domain.contains_symbol("locked"));
+        assert!(attr.domain.contains_symbol("unlocked"));
+        assert!(lock.attribute("switch").is_none());
+    }
+
+    #[test]
+    fn capabilities_with_attribute_finds_all_switches() {
+        let caps = capabilities_with_attribute("switch");
+        let names: Vec<_> = caps.iter().map(|c| c.name).collect();
+        assert!(names.contains(&"switch"));
+        assert!(names.contains(&"relaySwitch"));
+    }
+
+    #[test]
+    fn attribute_domains_are_well_formed() {
+        for cap in CAPABILITIES {
+            for attr in cap.attributes {
+                if let AttrDomain::Numeric { min, max, .. } = attr.domain {
+                    assert!(min < max, "{}:{} has empty domain", cap.name, attr.name);
+                }
+                if let AttrDomain::Enum(vals) = attr.domain {
+                    assert!(!vals.is_empty(), "{}:{} empty enum", cap.name, attr.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn command_effects_reference_declared_attributes() {
+        for cap in CAPABILITIES {
+            for cmd in cap.commands {
+                for eff in cmd.effects {
+                    let attr_name = match eff {
+                        AttrEffect::SetConst { attribute, .. } => attribute,
+                        AttrEffect::SetParam { attribute, .. } => attribute,
+                    };
+                    assert!(
+                        cap.attribute(attr_name).is_some(),
+                        "{}.{} affects undeclared attribute {attr_name}",
+                        cap.name,
+                        cmd.name,
+                    );
+                    if let AttrEffect::SetConst { attribute, value } = eff {
+                        let dom = cap.attribute(attribute).unwrap().domain;
+                        assert!(
+                            dom.contains_symbol(value),
+                            "{}.{} sets {attribute} to out-of-domain {value}",
+                            cap.name,
+                            cmd.name,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catalogue_covers_paper_examples() {
+        // Every capability the paper's five demo apps and named store apps use.
+        for name in [
+            "switch",
+            "temperatureMeasurement",
+            "motionSensor",
+            "illuminanceMeasurement",
+            "powerMeter",
+            "lock",
+            "presenceSensor",
+            "contactSensor",
+            "thermostat",
+            "energyMeter",
+            "alarm",
+            "switchLevel",
+        ] {
+            assert!(lookup(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn command_count_is_substantial() {
+        assert!(command_count() >= 40, "only {} commands modeled", command_count());
+    }
+}

@@ -1,0 +1,165 @@
+//! Command contradiction analysis for Actuator Race detection (paper §VI-A1).
+//!
+//! Two commands on the same actuator *contradict* when executing both leaves
+//! the device in an unpredictable state: they set the same attribute to
+//! different constant values (`on()` vs `off()`), or they are the same
+//! parameterized command whose parameters may differ (`setLevel(10)` vs
+//! `setLevel(90)` — decided later by the solver, reported here as
+//! [`Contradiction::ParamDependent`]).
+
+use crate::capability::{AttrEffect, Capability};
+
+/// The result of comparing two commands on one actuator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Contradiction {
+    /// The commands always leave the same attribute in different states.
+    Direct,
+    /// The commands write the same attribute from parameters; whether they
+    /// contradict depends on the parameter values (constraint solving).
+    ParamDependent,
+    /// The commands do not interfere with each other's attribute writes.
+    None,
+}
+
+/// Compares `cmd_a` and `cmd_b` (both belonging to `capability`) for
+/// contradiction.
+///
+/// # Examples
+///
+/// ```
+/// use hg_capability::capability::lookup;
+/// use hg_capability::contradiction::{contradiction, Contradiction};
+///
+/// let sw = lookup("switch").unwrap();
+/// assert_eq!(contradiction(sw, "on", "off"), Contradiction::Direct);
+/// assert_eq!(contradiction(sw, "on", "on"), Contradiction::None);
+/// ```
+pub fn contradiction(capability: &Capability, cmd_a: &str, cmd_b: &str) -> Contradiction {
+    let (Some(a), Some(b)) = (capability.command(cmd_a), capability.command(cmd_b)) else {
+        return Contradiction::None;
+    };
+    let mut param_dependent = false;
+    for ea in a.effects {
+        for eb in b.effects {
+            match (ea, eb) {
+                (
+                    AttrEffect::SetConst { attribute: attr_a, value: va },
+                    AttrEffect::SetConst { attribute: attr_b, value: vb },
+                ) if attr_a == attr_b => {
+                    if va != vb {
+                        return Contradiction::Direct;
+                    }
+                }
+                (
+                    AttrEffect::SetParam { attribute: attr_a, .. },
+                    AttrEffect::SetParam { attribute: attr_b, .. },
+                ) if attr_a == attr_b => {
+                    param_dependent = true;
+                }
+                (
+                    AttrEffect::SetConst { attribute: attr_a, .. },
+                    AttrEffect::SetParam { attribute: attr_b, .. },
+                )
+                | (
+                    AttrEffect::SetParam { attribute: attr_a, .. },
+                    AttrEffect::SetConst { attribute: attr_b, .. },
+                ) if attr_a == attr_b => {
+                    // A constant write racing a parameterized write of the
+                    // same attribute is a potential contradiction whenever
+                    // the parameter differs from the constant.
+                    param_dependent = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if param_dependent {
+        Contradiction::ParamDependent
+    } else {
+        Contradiction::None
+    }
+}
+
+/// The "undo" command for a given command within a capability: the command
+/// that directly contradicts it, used to express `A2 = ¬A1` when detecting
+/// Self-Disabling and Loop-Triggering threats.
+///
+/// Returns `None` when no single opposing command exists.
+pub fn opposing_command(capability: &Capability, command: &str) -> Option<&'static str> {
+    let cmds = capability.commands;
+    cmds.iter()
+        .find(|c| c.name != command && contradiction(capability, command, c.name) == Contradiction::Direct)
+        .map(|c| c.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::lookup;
+
+    #[test]
+    fn on_off_contradict() {
+        let sw = lookup("switch").unwrap();
+        assert_eq!(contradiction(sw, "on", "off"), Contradiction::Direct);
+        assert_eq!(contradiction(sw, "off", "on"), Contradiction::Direct);
+    }
+
+    #[test]
+    fn lock_unlock_contradict() {
+        let lock = lookup("lock").unwrap();
+        assert_eq!(contradiction(lock, "lock", "unlock"), Contradiction::Direct);
+    }
+
+    #[test]
+    fn same_command_no_direct_contradiction() {
+        let sw = lookup("switch").unwrap();
+        assert_eq!(contradiction(sw, "on", "on"), Contradiction::None);
+    }
+
+    #[test]
+    fn set_level_is_param_dependent() {
+        let sl = lookup("switchLevel").unwrap();
+        assert_eq!(contradiction(sl, "setLevel", "setLevel"), Contradiction::ParamDependent);
+    }
+
+    #[test]
+    fn alarm_modes_contradict() {
+        let alarm = lookup("alarm").unwrap();
+        assert_eq!(contradiction(alarm, "siren", "off"), Contradiction::Direct);
+        assert_eq!(contradiction(alarm, "siren", "strobe"), Contradiction::Direct);
+    }
+
+    #[test]
+    fn unknown_commands_are_none() {
+        let sw = lookup("switch").unwrap();
+        assert_eq!(contradiction(sw, "on", "fly"), Contradiction::None);
+    }
+
+    #[test]
+    fn opposing_command_lookup() {
+        let sw = lookup("switch").unwrap();
+        assert_eq!(opposing_command(sw, "on"), Some("off"));
+        assert_eq!(opposing_command(sw, "off"), Some("on"));
+        let lock = lookup("lock").unwrap();
+        assert_eq!(opposing_command(lock, "lock"), Some("unlock"));
+        let tone = lookup("tone").unwrap();
+        assert_eq!(opposing_command(tone, "beep"), None);
+    }
+
+    #[test]
+    fn thermostat_mode_commands_contradict() {
+        let t = lookup("thermostat").unwrap();
+        assert_eq!(contradiction(t, "heat", "cool"), Contradiction::Direct);
+        assert_eq!(contradiction(t, "heat", "off"), Contradiction::Direct);
+        // Setpoint writes race param-dependently.
+        assert_eq!(
+            contradiction(t, "setHeatingSetpoint", "setHeatingSetpoint"),
+            Contradiction::ParamDependent
+        );
+        // Heating vs cooling setpoints target different attributes.
+        assert_eq!(
+            contradiction(t, "setHeatingSetpoint", "setCoolingSetpoint"),
+            Contradiction::None
+        );
+    }
+}

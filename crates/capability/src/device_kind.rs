@@ -1,0 +1,355 @@
+//! Device kinds and the goal-effect mapping M_GC (paper §VI-A1).
+//!
+//! Goal-conflict detection needs to know how a *command on a device of a
+//! given kind* moves each measurable home property. The capability alone is
+//! not enough: a heater and a fan are both `capability.switch`, but `on()`
+//! heats one room and cools the other. The paper resolves this by
+//! classifying `capability.switch` devices into types from the app
+//! description (§VIII-B); we reproduce that with [`DeviceKind::classify`].
+
+use crate::domains::{EnvProperty, Sign};
+
+/// What a device physically is, for goal analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    /// A lamp or bulb.
+    Light,
+    /// A space/central heater.
+    Heater,
+    /// An air conditioner.
+    AirConditioner,
+    /// A ventilating fan.
+    Fan,
+    /// A motorized window opener.
+    WindowOpener,
+    /// A motorized curtain or shade.
+    Curtain,
+    /// A television.
+    Tv,
+    /// A speaker or music player.
+    Speaker,
+    /// A humidifier.
+    Humidifier,
+    /// A dehumidifier.
+    Dehumidifier,
+    /// A water valve.
+    Valve,
+    /// A siren/strobe alarm.
+    Siren,
+    /// A door lock.
+    Lock,
+    /// A door or garage-door opener.
+    DoorOpener,
+    /// A generic smart outlet whose load is unknown.
+    Outlet,
+    /// A coffee maker / kettle style appliance.
+    Appliance,
+    /// A camera.
+    Camera,
+    /// Anything we cannot classify.
+    Unknown,
+}
+
+/// One entry of the goal-effect map: issuing `command` on this kind of
+/// device moves `property` in direction `sign`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoalEffect {
+    /// The command name, e.g. `"on"`.
+    pub command: &'static str,
+    /// The affected environment property.
+    pub property: EnvProperty,
+    /// The direction of the effect.
+    pub sign: Sign,
+}
+
+macro_rules! fx {
+    ($cmd:literal, $prop:ident, $sign:ident) => {
+        GoalEffect { command: $cmd, property: EnvProperty::$prop, sign: Sign::$sign }
+    };
+}
+
+impl DeviceKind {
+    /// All classifiable kinds (excludes [`DeviceKind::Unknown`]).
+    pub const ALL: [DeviceKind; 17] = [
+        DeviceKind::Light,
+        DeviceKind::Heater,
+        DeviceKind::AirConditioner,
+        DeviceKind::Fan,
+        DeviceKind::WindowOpener,
+        DeviceKind::Curtain,
+        DeviceKind::Tv,
+        DeviceKind::Speaker,
+        DeviceKind::Humidifier,
+        DeviceKind::Dehumidifier,
+        DeviceKind::Valve,
+        DeviceKind::Siren,
+        DeviceKind::Lock,
+        DeviceKind::DoorOpener,
+        DeviceKind::Outlet,
+        DeviceKind::Appliance,
+        DeviceKind::Camera,
+    ];
+
+    /// The goal-effect rows for this device kind — the M_GC mapping.
+    ///
+    /// Properties not listed are unaffected (`#` in the paper's notation).
+    /// Virtual actuators (location mode) have no goal effects and are not
+    /// part of M_GC at all.
+    pub fn goal_effects(&self) -> &'static [GoalEffect] {
+        match self {
+            DeviceKind::Light => &[
+                fx!("on", Illuminance, Inc),
+                fx!("off", Illuminance, Dec),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+                fx!("setLevel", Illuminance, Inc),
+            ],
+            DeviceKind::Heater => &[
+                fx!("on", Temperature, Inc),
+                fx!("off", Temperature, Dec),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+            ],
+            DeviceKind::AirConditioner => &[
+                fx!("on", Temperature, Dec),
+                fx!("off", Temperature, Inc),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+                fx!("cool", Temperature, Dec),
+                fx!("heat", Temperature, Inc),
+            ],
+            DeviceKind::Fan => &[
+                fx!("on", Temperature, Dec),
+                fx!("off", Temperature, Inc),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+                fx!("on", Noise, Inc),
+                fx!("off", Noise, Dec),
+            ],
+            // Opening a window: assumed to cool the (heated) home, brighten
+            // it, and let outside noise in — matching the paper's Fig. 3 /
+            // heater-vs-window Goal Conflict example.
+            DeviceKind::WindowOpener => &[
+                fx!("on", Temperature, Dec),
+                fx!("off", Temperature, Inc),
+                fx!("on", Illuminance, Inc),
+                fx!("off", Illuminance, Dec),
+                fx!("on", Noise, Inc),
+                fx!("off", Noise, Dec),
+                fx!("open", Temperature, Dec),
+                fx!("close", Temperature, Inc),
+                fx!("open", Illuminance, Inc),
+                fx!("close", Illuminance, Dec),
+                fx!("open", Noise, Inc),
+                fx!("close", Noise, Dec),
+            ],
+            DeviceKind::Curtain => &[
+                fx!("open", Illuminance, Inc),
+                fx!("close", Illuminance, Dec),
+                fx!("on", Illuminance, Inc),
+                fx!("off", Illuminance, Dec),
+            ],
+            DeviceKind::Tv => &[
+                fx!("on", Noise, Inc),
+                fx!("off", Noise, Dec),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+                fx!("on", Illuminance, Inc),
+                fx!("off", Illuminance, Dec),
+            ],
+            DeviceKind::Speaker => &[
+                fx!("play", Noise, Inc),
+                fx!("stop", Noise, Dec),
+                fx!("on", Noise, Inc),
+                fx!("off", Noise, Dec),
+            ],
+            DeviceKind::Humidifier => &[
+                fx!("on", Humidity, Inc),
+                fx!("off", Humidity, Dec),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+            ],
+            DeviceKind::Dehumidifier => &[
+                fx!("on", Humidity, Dec),
+                fx!("off", Humidity, Inc),
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+            ],
+            DeviceKind::Valve => &[
+                fx!("open", Moisture, Inc),
+                fx!("close", Moisture, Dec),
+                fx!("on", Moisture, Inc),
+                fx!("off", Moisture, Dec),
+            ],
+            DeviceKind::Siren => &[
+                fx!("siren", Noise, Inc),
+                fx!("both", Noise, Inc),
+                fx!("off", Noise, Dec),
+                fx!("strobe", Illuminance, Inc),
+                fx!("both", Illuminance, Inc),
+            ],
+            // Locks, doors, outlets, cameras: no measurable-property goals
+            // (they matter to AR/CT/EC analysis, not GC), except outlets
+            // drawing power.
+            DeviceKind::Lock => &[],
+            DeviceKind::DoorOpener => &[
+                fx!("open", Temperature, Dec),
+                fx!("close", Temperature, Inc),
+            ],
+            DeviceKind::Outlet => &[fx!("on", Power, Inc), fx!("off", Power, Dec)],
+            DeviceKind::Appliance => &[
+                fx!("on", Power, Inc),
+                fx!("off", Power, Dec),
+                fx!("on", Temperature, Inc),
+                fx!("off", Temperature, Dec),
+            ],
+            DeviceKind::Camera => &[],
+            DeviceKind::Unknown => &[],
+        }
+    }
+
+    /// The effect of `command` on `property` for this kind, if any.
+    pub fn effect_on(&self, command: &str, property: EnvProperty) -> Option<Sign> {
+        self.goal_effects()
+            .iter()
+            .find(|e| e.command == command && e.property == property)
+            .map(|e| e.sign)
+    }
+
+    /// Classifies a `capability.switch`-style device from free-text hints
+    /// (device label, input title, app description), mirroring the paper's
+    /// description-based classification of switch devices (§VIII-B).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hg_capability::device_kind::DeviceKind;
+    /// assert_eq!(DeviceKind::classify("Which floor lamp?"), DeviceKind::Light);
+    /// assert_eq!(DeviceKind::classify("the AC unit"), DeviceKind::AirConditioner);
+    /// assert_eq!(DeviceKind::classify("mystery gadget"), DeviceKind::Unknown);
+    /// ```
+    pub fn classify(hint: &str) -> DeviceKind {
+        let h = hint.to_ascii_lowercase();
+        let has = |needles: &[&str]| needles.iter().any(|n| h.contains(n));
+        if has(&["light", "lamp", "bulb", "sconce", "chandelier"]) {
+            DeviceKind::Light
+        } else if has(&["air conditioner", "a/c", " ac ", "aircon"]) || h.ends_with(" ac") || h == "ac" {
+            DeviceKind::AirConditioner
+        } else if has(&["heater", "radiator", "furnace"]) {
+            DeviceKind::Heater
+        } else if has(&["fan", "ventilat"]) {
+            DeviceKind::Fan
+        } else if has(&["window opener", "window"]) {
+            DeviceKind::WindowOpener
+        } else if has(&["curtain", "shade", "blind"]) {
+            DeviceKind::Curtain
+        } else if has(&["tv", "television"]) {
+            DeviceKind::Tv
+        } else if has(&["speaker", "music", "sonos", "stereo"]) {
+            DeviceKind::Speaker
+        } else if has(&["dehumidifier"]) {
+            DeviceKind::Dehumidifier
+        } else if has(&["humidifier"]) {
+            DeviceKind::Humidifier
+        } else if has(&["valve", "sprinkler", "irrigation"]) {
+            DeviceKind::Valve
+        } else if has(&["siren", "alarm", "strobe"]) {
+            DeviceKind::Siren
+        } else if has(&["lock", "deadbolt"]) {
+            DeviceKind::Lock
+        } else if has(&["garage", "door opener", "door control"]) {
+            DeviceKind::DoorOpener
+        } else if has(&["outlet", "plug", "socket"]) {
+            DeviceKind::Outlet
+        } else if has(&["coffee", "kettle", "cooker", "iron", "toaster", "curling"]) {
+            DeviceKind::Appliance
+        } else if has(&["camera"]) {
+            DeviceKind::Camera
+        } else {
+            DeviceKind::Unknown
+        }
+    }
+
+    /// Stable lowercase name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DeviceKind::Light => "light",
+            DeviceKind::Heater => "heater",
+            DeviceKind::AirConditioner => "airConditioner",
+            DeviceKind::Fan => "fan",
+            DeviceKind::WindowOpener => "windowOpener",
+            DeviceKind::Curtain => "curtain",
+            DeviceKind::Tv => "tv",
+            DeviceKind::Speaker => "speaker",
+            DeviceKind::Humidifier => "humidifier",
+            DeviceKind::Dehumidifier => "dehumidifier",
+            DeviceKind::Valve => "valve",
+            DeviceKind::Siren => "siren",
+            DeviceKind::Lock => "lock",
+            DeviceKind::DoorOpener => "doorOpener",
+            DeviceKind::Outlet => "outlet",
+            DeviceKind::Appliance => "appliance",
+            DeviceKind::Camera => "camera",
+            DeviceKind::Unknown => "unknown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heater_and_window_conflict_on_temperature() {
+        // The paper's Goal Conflict example: heater on (+T) vs window open (−T).
+        let heat = DeviceKind::Heater.effect_on("on", EnvProperty::Temperature).unwrap();
+        let open = DeviceKind::WindowOpener.effect_on("open", EnvProperty::Temperature).unwrap();
+        assert_eq!(heat, open.opposite());
+    }
+
+    #[test]
+    fn ac_cools() {
+        assert_eq!(
+            DeviceKind::AirConditioner.effect_on("on", EnvProperty::Temperature),
+            Some(Sign::Dec)
+        );
+    }
+
+    #[test]
+    fn classification_from_hints() {
+        assert_eq!(DeviceKind::classify("Floor lamp in the den"), DeviceKind::Light);
+        assert_eq!(DeviceKind::classify("Space Heater"), DeviceKind::Heater);
+        assert_eq!(DeviceKind::classify("Window opener switch"), DeviceKind::WindowOpener);
+        assert_eq!(DeviceKind::classify("Which TV?"), DeviceKind::Tv);
+        assert_eq!(DeviceKind::classify("smart outlet"), DeviceKind::Outlet);
+        assert_eq!(DeviceKind::classify("curling iron"), DeviceKind::Appliance);
+        assert_eq!(DeviceKind::classify("front door lock"), DeviceKind::Lock);
+        assert_eq!(DeviceKind::classify("thing"), DeviceKind::Unknown);
+    }
+
+    #[test]
+    fn unknown_has_no_goal_effects() {
+        assert!(DeviceKind::Unknown.goal_effects().is_empty());
+    }
+
+    #[test]
+    fn on_off_effects_are_opposed() {
+        // For every kind, if `on` moves a property one way, `off` must move
+        // it the other way (or not be listed at all).
+        for kind in DeviceKind::ALL {
+            for prop in EnvProperty::ALL {
+                if let (Some(on), Some(off)) =
+                    (kind.effect_on("on", prop), kind.effect_on("off", prop))
+                {
+                    assert_eq!(on, off.opposite(), "{kind:?} {prop:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn effect_on_absent_property_is_none() {
+        assert_eq!(DeviceKind::Light.effect_on("on", EnvProperty::Humidity), None);
+        assert_eq!(DeviceKind::Lock.effect_on("lock", EnvProperty::Temperature), None);
+    }
+}

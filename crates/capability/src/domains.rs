@@ -1,0 +1,273 @@
+//! Value domains for device attributes and environment features.
+//!
+//! All numeric quantities in HomeGuard are *scaled fixed-point* integers:
+//! a value `v` represents `v / SCALE` in the attribute's natural unit. This
+//! keeps the constraint solver purely integral (as the paper's JaCoP setup
+//! is) while still supporting decimal thresholds like `30.5`.
+
+use std::fmt;
+
+/// Fixed-point scale: all numeric attribute values are multiplied by 100.
+pub const SCALE: i64 = 100;
+
+/// Converts a natural-unit integer to its scaled fixed-point representation.
+pub const fn scaled(value: i64) -> i64 {
+    value * SCALE
+}
+
+/// Parses a decimal literal such as `"30.5"` into scaled fixed-point.
+///
+/// Returns `None` if the text is not a valid decimal or overflows.
+pub fn parse_scaled(text: &str) -> Option<i64> {
+    let (neg, body) = match text.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, text),
+    };
+    let (int_part, frac_part) = match body.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (body, ""),
+    };
+    if int_part.is_empty() && frac_part.is_empty() {
+        return None;
+    }
+    let int_val: i64 = if int_part.is_empty() { 0 } else { int_part.parse().ok()? };
+    let mut frac_val: i64 = 0;
+    let mut digits = 0;
+    for c in frac_part.chars() {
+        if !c.is_ascii_digit() || digits >= 2 {
+            if c.is_ascii_digit() {
+                continue; // truncate extra precision
+            }
+            return None;
+        }
+        frac_val = frac_val * 10 + (c as i64 - '0' as i64);
+        digits += 1;
+    }
+    while digits < 2 {
+        frac_val *= 10;
+        digits += 1;
+    }
+    let magnitude = int_val.checked_mul(SCALE)?.checked_add(frac_val)?;
+    Some(if neg { -magnitude } else { magnitude })
+}
+
+/// Renders a scaled fixed-point value back to natural units.
+pub fn unscaled_to_string(value: i64) -> String {
+    let sign = if value < 0 { "-" } else { "" };
+    let abs = value.abs();
+    let int = abs / SCALE;
+    let frac = abs % SCALE;
+    if frac == 0 {
+        format!("{sign}{int}")
+    } else if frac % 10 == 0 {
+        format!("{sign}{int}.{}", frac / 10)
+    } else {
+        format!("{sign}{int}.{frac:02}")
+    }
+}
+
+/// The value domain of a device attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrDomain {
+    /// A finite set of symbolic values, e.g. `{"on", "off"}`.
+    Enum(&'static [&'static str]),
+    /// A bounded numeric range in scaled fixed-point, with a display unit.
+    Numeric {
+        /// Minimum scaled value (inclusive).
+        min: i64,
+        /// Maximum scaled value (inclusive).
+        max: i64,
+        /// Display unit, e.g. `"°C"`.
+        unit: &'static str,
+    },
+    /// Free-form text (codes, URLs). Not usable in solver constraints other
+    /// than (in)equality with interned literals.
+    Text,
+}
+
+impl AttrDomain {
+    /// Whether `value` is one of this enum domain's members.
+    pub fn contains_symbol(&self, value: &str) -> bool {
+        matches!(self, AttrDomain::Enum(vals) if vals.contains(&value))
+    }
+
+    /// Whether the scaled numeric `value` lies inside the domain bounds.
+    pub fn contains_numeric(&self, value: i64) -> bool {
+        matches!(self, AttrDomain::Numeric { min, max, .. } if (*min..=*max).contains(&value))
+    }
+}
+
+/// Measurable home-environment properties used in goal-conflict analysis
+/// (paper §VI-A1) and in the environmental channel of trigger/condition
+/// interference (§VI-B/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EnvProperty {
+    /// Ambient temperature.
+    Temperature,
+    /// Ambient light level.
+    Illuminance,
+    /// Relative humidity.
+    Humidity,
+    /// Whole-home electrical power draw.
+    Power,
+    /// Ambient sound level.
+    Noise,
+    /// Air quality / CO2 level.
+    AirQuality,
+    /// Presence of water/moisture.
+    Moisture,
+    /// Smoke concentration.
+    Smoke,
+    /// Motion activity level (spoofable by e.g. CO2 lasers, §VIII-B).
+    Motion,
+}
+
+impl EnvProperty {
+    /// All properties, for exhaustive iteration in tests and reports.
+    pub const ALL: [EnvProperty; 9] = [
+        EnvProperty::Temperature,
+        EnvProperty::Illuminance,
+        EnvProperty::Humidity,
+        EnvProperty::Power,
+        EnvProperty::Noise,
+        EnvProperty::AirQuality,
+        EnvProperty::Moisture,
+        EnvProperty::Smoke,
+        EnvProperty::Motion,
+    ];
+
+    /// Stable lowercase name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EnvProperty::Temperature => "temperature",
+            EnvProperty::Illuminance => "illuminance",
+            EnvProperty::Humidity => "humidity",
+            EnvProperty::Power => "power",
+            EnvProperty::Noise => "noise",
+            EnvProperty::AirQuality => "airQuality",
+            EnvProperty::Moisture => "moisture",
+            EnvProperty::Smoke => "smoke",
+            EnvProperty::Motion => "motion",
+        }
+    }
+
+    /// The sensor attribute (capability attribute name) that measures this
+    /// property, if one exists in the capability model.
+    pub fn sensed_by_attribute(&self) -> Option<&'static str> {
+        Some(match self {
+            EnvProperty::Temperature => "temperature",
+            EnvProperty::Illuminance => "illuminance",
+            EnvProperty::Humidity => "humidity",
+            EnvProperty::Power => "power",
+            EnvProperty::Noise => "sound",
+            EnvProperty::AirQuality => "carbonDioxide",
+            EnvProperty::Moisture => "water",
+            EnvProperty::Smoke => "smoke",
+            EnvProperty::Motion => "motion",
+        })
+    }
+
+    /// Looks a property up by its [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<EnvProperty> {
+        EnvProperty::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+impl fmt::Display for EnvProperty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The direction in which a command moves an environment property
+/// (`+` / `−` in the paper's M_GC table; `#`/irrelevant is represented by
+/// absence from the effect list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// The command increases the property.
+    Inc,
+    /// The command decreases the property.
+    Dec,
+}
+
+impl Sign {
+    /// The opposite direction.
+    pub fn opposite(&self) -> Sign {
+        match self {
+            Sign::Inc => Sign::Dec,
+            Sign::Dec => Sign::Inc,
+        }
+    }
+}
+
+impl fmt::Display for Sign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Sign::Inc => "+",
+            Sign::Dec => "-",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scaled_integers_and_decimals() {
+        assert_eq!(parse_scaled("30"), Some(3000));
+        assert_eq!(parse_scaled("30.5"), Some(3050));
+        assert_eq!(parse_scaled("30.55"), Some(3055));
+        assert_eq!(parse_scaled("-4.2"), Some(-420));
+        assert_eq!(parse_scaled("0.05"), Some(5));
+        assert_eq!(parse_scaled(""), None);
+        assert_eq!(parse_scaled("abc"), None);
+    }
+
+    #[test]
+    fn parse_scaled_truncates_extra_precision() {
+        assert_eq!(parse_scaled("1.999"), Some(199));
+    }
+
+    #[test]
+    fn unscaled_rendering() {
+        assert_eq!(unscaled_to_string(3000), "30");
+        assert_eq!(unscaled_to_string(3050), "30.5");
+        assert_eq!(unscaled_to_string(3055), "30.55");
+        assert_eq!(unscaled_to_string(-420), "-4.2");
+    }
+
+    #[test]
+    fn roundtrip_scaling() {
+        for text in ["0", "1", "99.25", "-30.5", "150"] {
+            let v = parse_scaled(text).unwrap();
+            assert_eq!(unscaled_to_string(v), text);
+        }
+    }
+
+    #[test]
+    fn domain_membership() {
+        let d = AttrDomain::Enum(&["on", "off"]);
+        assert!(d.contains_symbol("on"));
+        assert!(!d.contains_symbol("open"));
+        let n = AttrDomain::Numeric { min: 0, max: 10000, unit: "%" };
+        assert!(n.contains_numeric(5000));
+        assert!(!n.contains_numeric(-1));
+        assert!(!n.contains_symbol("on"));
+    }
+
+    #[test]
+    fn env_property_names_roundtrip() {
+        for p in EnvProperty::ALL {
+            assert_eq!(EnvProperty::from_name(p.name()), Some(p));
+        }
+        assert_eq!(EnvProperty::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn sign_opposite() {
+        assert_eq!(Sign::Inc.opposite(), Sign::Dec);
+        assert_eq!(Sign::Dec.opposite(), Sign::Inc);
+        assert_eq!(Sign::Inc.to_string(), "+");
+    }
+}

@@ -1,0 +1,42 @@
+//! # hg-capability — the SmartThings capability and device model
+//!
+//! This crate is HomeGuard's knowledge base about the physical world:
+//!
+//! * [`capability`] — the capability catalogue (attributes, domains,
+//!   commands and their attribute effects), mirroring the SmartThings
+//!   capabilities reference the paper's Appendix A describes;
+//! * [`device_kind`] — device-type classification and the goal-effect map
+//!   M_GC used by Goal Conflict detection (§VI-A1);
+//! * [`contradiction`] — which command pairs race on an actuator (§VI-A1);
+//! * [`sinks`] — the sensitive platform APIs of Table VI;
+//! * [`domains`] — value domains, fixed-point scaling, environment
+//!   properties and effect signs.
+//!
+//! # Examples
+//!
+//! ```
+//! use hg_capability::prelude::*;
+//!
+//! let sw = capability::lookup("capability.switch").unwrap();
+//! assert_eq!(contradiction::contradiction(sw, "on", "off"),
+//!            contradiction::Contradiction::Direct);
+//! assert_eq!(DeviceKind::classify("floor lamp"), DeviceKind::Light);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capability;
+pub mod contradiction;
+pub mod device_kind;
+pub mod domains;
+pub mod sinks;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::capability;
+    pub use crate::contradiction;
+    pub use crate::device_kind::DeviceKind;
+    pub use crate::domains::{AttrDomain, EnvProperty, Sign, SCALE};
+    pub use crate::sinks;
+}

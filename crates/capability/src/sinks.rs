@@ -1,0 +1,171 @@
+//! Sensitive SmartThings APIs treated as analysis sinks (paper Table VI).
+//!
+//! Beyond capability-protected device commands, the symbolic executor must
+//! recognize platform APIs that perform sensitive actions: HTTP requests,
+//! scheduling of deferred execution, hub commands, SMS, and location-mode
+//! changes. The scheduling APIs additionally carry timing that becomes the
+//! `when`/`period` fields of the extracted rule.
+
+/// Classification of a sink API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SinkKind {
+    /// `httpGet`, `httpPost`, ... — data leaves the home.
+    Http,
+    /// `runIn`, `runOnce`, `schedule` — deferred one-shot execution.
+    ScheduleOnce,
+    /// `runEvery*` — recurring execution.
+    SchedulePeriodic,
+    /// `sendHubCommand` — raw command to LAN devices.
+    HubCommand,
+    /// `sendSms` / `sendSmsMessage` / push notifications.
+    Messaging,
+    /// `setLocationMode` — changes the home's mode, a virtual actuator.
+    LocationMode,
+}
+
+/// A sink API entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkApi {
+    /// The API method name.
+    pub name: &'static str,
+    /// What class of sink it is.
+    pub kind: SinkKind,
+    /// For periodic schedulers, the repetition period in seconds.
+    pub period_secs: Option<u64>,
+}
+
+/// The 21 sensitive SmartThings APIs of paper Table VI, plus the push
+/// notification APIs SmartApps commonly use for the same purpose as SMS.
+pub static SINK_APIS: &[SinkApi] = &[
+    SinkApi { name: "httpDelete", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "httpGet", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "httpHead", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "httpPost", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "httpPostJson", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "httpPut", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "httpPutJson", kind: SinkKind::Http, period_secs: None },
+    SinkApi { name: "runIn", kind: SinkKind::ScheduleOnce, period_secs: None },
+    SinkApi { name: "runOnce", kind: SinkKind::ScheduleOnce, period_secs: None },
+    SinkApi { name: "schedule", kind: SinkKind::SchedulePeriodic, period_secs: Some(86_400) },
+    SinkApi { name: "runEvery1Minute", kind: SinkKind::SchedulePeriodic, period_secs: Some(60) },
+    SinkApi { name: "runEvery5Minutes", kind: SinkKind::SchedulePeriodic, period_secs: Some(300) },
+    SinkApi {
+        name: "runEvery10Minutes",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(600),
+    },
+    SinkApi {
+        name: "runEvery15Minutes",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(900),
+    },
+    SinkApi {
+        name: "runEvery30Minutes",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(1_800),
+    },
+    SinkApi { name: "runEvery1Hour", kind: SinkKind::SchedulePeriodic, period_secs: Some(3_600) },
+    SinkApi {
+        name: "runEvery3Hours",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(10_800),
+    },
+    SinkApi { name: "sendHubCommand", kind: SinkKind::HubCommand, period_secs: None },
+    SinkApi { name: "sendSms", kind: SinkKind::Messaging, period_secs: None },
+    SinkApi { name: "sendSmsMessage", kind: SinkKind::Messaging, period_secs: None },
+    SinkApi { name: "setLocationMode", kind: SinkKind::LocationMode, period_secs: None },
+    // Companion-app push notifications: same sink class as SMS.
+    SinkApi { name: "sendPush", kind: SinkKind::Messaging, period_secs: None },
+    SinkApi { name: "sendPushMessage", kind: SinkKind::Messaging, period_secs: None },
+    SinkApi { name: "sendNotification", kind: SinkKind::Messaging, period_secs: None },
+    SinkApi { name: "sendNotificationEvent", kind: SinkKind::Messaging, period_secs: None },
+    SinkApi { name: "sendLocationEvent", kind: SinkKind::LocationMode, period_secs: None },
+];
+
+/// Looks up a sink API by method name.
+pub fn sink_api(name: &str) -> Option<&'static SinkApi> {
+    SINK_APIS.iter().find(|s| s.name == name)
+}
+
+/// Whether `name` is one of the scheduling APIs (the 10 APIs the paper
+/// models for deferred execution: `runIn`, `runOnce`, `schedule`,
+/// `runEvery*`).
+pub fn is_scheduling_api(name: &str) -> bool {
+    matches!(
+        sink_api(name),
+        Some(SinkApi { kind: SinkKind::ScheduleOnce | SinkKind::SchedulePeriodic, .. })
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_vi_apis_present() {
+        for name in [
+            "httpDelete",
+            "httpGet",
+            "httpHead",
+            "httpPost",
+            "httpPostJson",
+            "httpPut",
+            "httpPutJson",
+            "runIn",
+            "runOnce",
+            "schedule",
+            "runEvery1Minute",
+            "runEvery5Minutes",
+            "runEvery10Minutes",
+            "runEvery15Minutes",
+            "runEvery30Minutes",
+            "runEvery1Hour",
+            "runEvery3Hours",
+            "sendHubCommand",
+            "sendSms",
+            "sendSmsMessage",
+            "setLocationMode",
+        ] {
+            assert!(sink_api(name).is_some(), "missing Table VI API {name}");
+        }
+    }
+
+    #[test]
+    fn paper_counts_21_table_vi_apis() {
+        // The original table lists exactly 21 entries; our extras are push
+        // notification aliases.
+        let core: Vec<_> = SINK_APIS
+            .iter()
+            .filter(|s| {
+                !matches!(
+                    s.name,
+                    "sendPush"
+                        | "sendPushMessage"
+                        | "sendNotification"
+                        | "sendNotificationEvent"
+                        | "sendLocationEvent"
+                )
+            })
+            .collect();
+        assert_eq!(core.len(), 21);
+    }
+
+    #[test]
+    fn ten_scheduling_apis() {
+        let n = SINK_APIS.iter().filter(|s| is_scheduling_api(s.name)).count();
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn periods_match_names() {
+        assert_eq!(sink_api("runEvery5Minutes").unwrap().period_secs, Some(300));
+        assert_eq!(sink_api("runEvery3Hours").unwrap().period_secs, Some(10_800));
+        assert_eq!(sink_api("runIn").unwrap().period_secs, None);
+    }
+
+    #[test]
+    fn non_sink_not_found() {
+        assert!(sink_api("log").is_none());
+        assert!(!is_scheduling_api("httpGet"));
+    }
+}

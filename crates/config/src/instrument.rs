@@ -1,0 +1,213 @@
+//! SmartApp instrumentation (paper §VII-A, Listing 3).
+//!
+//! The instrumenter rewrites a SmartApp so that its `updated()` lifecycle
+//! method collects the configuration information (device bindings and user
+//! values) and ships it to the HOMEGUARD phone app via
+//! `collectConfigInfo`. The process is fully automatic: the input
+//! declarations are discovered by the same front end the rule extractor
+//! uses.
+
+use hg_lang::ast::{Block, Item, MethodDecl, Program};
+use hg_lang::Span;
+use hg_lang::parser::parse;
+use hg_lang::pretty::print_program;
+use hg_symexec::inputs::{collect_inputs, InputType};
+
+/// Which messaging transport the inserted code uses (paper §VII-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// `sendSmsMessage(patchedphone, uri)` — easy to deploy, carrier-bound.
+    Sms,
+    /// `httpPost` to Firebase Cloud Messaging — works internationally,
+    /// needs a relay.
+    Http,
+}
+
+/// Instruments `source`, returning the rewritten SmartApp source.
+///
+/// The rewrite: (1) adds the `patchedphone` (or registration-token) input,
+/// (2) appends collection code to `updated()` (creating the method if the
+/// app lacks one), (3) appends the `collectConfigInfo` helper that builds
+/// the URI and sends it.
+///
+/// # Errors
+///
+/// Returns the parser's error when the source is not valid SmartApp Groovy.
+pub fn instrument(
+    source: &str,
+    app_name: &str,
+    transport: Transport,
+) -> Result<String, hg_lang::ParseError> {
+    let program = parse(source)?;
+    let inputs = collect_inputs(&program);
+
+    let mut devices_list = String::new();
+    let mut values_list = String::new();
+    for decl in &inputs {
+        match &decl.input_type {
+            InputType::Capability(_) | InputType::NonStandardDevice(_) => {
+                if !devices_list.is_empty() {
+                    devices_list.push_str(", ");
+                }
+                devices_list.push_str(&format!(
+                    "[devRefStr: \"{0}\", devRef: {0}]",
+                    decl.name
+                ));
+            }
+            InputType::Other(_) => {}
+            _ => {
+                if !values_list.is_empty() {
+                    values_list.push_str(", ");
+                }
+                values_list
+                    .push_str(&format!("[varStr: \"{0}\", var: {0}]", decl.name));
+            }
+        }
+    }
+
+    let target_input = match transport {
+        Transport::Sms => {
+            r#"input "patchedphone", "phone", required: true, title: "Phone number?""#
+        }
+        Transport::Http => {
+            r#"input "patchedtoken", "text", required: true, title: "Registration token?""#
+        }
+    };
+    let send_stmt = match transport {
+        Transport::Sms => "sendSmsMessage(patchedphone, uri)",
+        Transport::Http => {
+            "httpPost([uri: \"https://fcm.googleapis.com/send\", body: uri]) { resp -> }"
+        }
+    };
+
+    let collection_call = format!(
+        "def appname = \"{app_name}\"\n\
+         def devices = [{devices_list}]\n\
+         def values = [{values_list}]\n\
+         collectConfigInfo(appname, devices, values)"
+    );
+
+    // Re-emit the program with `updated()` augmented.
+    let mut rewritten = program.clone();
+    let injected: Program = parse(&format!("def updated() {{\n{collection_call}\n}}"))
+        .expect("generated code parses");
+    let injected_stmts: Vec<_> = match injected.items.first() {
+        Some(Item::Method(m)) => m.body.stmts.clone(),
+        _ => unreachable!("generated exactly one method"),
+    };
+    let mut has_updated = false;
+    for item in &mut rewritten.items {
+        if let Item::Method(m) = item {
+            if m.name == "updated" {
+                m.body.stmts.extend(injected_stmts.iter().cloned());
+                has_updated = true;
+            }
+        }
+    }
+    if !has_updated {
+        rewritten.items.push(Item::Method(MethodDecl {
+            name: "updated".to_string(),
+            params: vec![],
+            body: Block { stmts: injected_stmts, span: Span::dummy() },
+            span: Span::dummy(),
+        }));
+    }
+
+    let helper = format!(
+        r#"
+{target_input}
+
+def collectConfigInfo(appname, devices, values) {{
+    def uri = "http://my.com/appname:${{appname}}/"
+    devices.each {{ dev ->
+        uri = uri + dev.devRefStr + ":" + dev.devRef.getId() + "/"
+    }}
+    values.each {{ val ->
+        uri = uri + val.varStr + ":" + val.var + "/"
+    }}
+    {send_stmt}
+}}
+"#
+    );
+
+    Ok(format!("{}\n{helper}", print_program(&rewritten)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const APP: &str = r#"
+definition(name: "ComfortTV")
+input "tv1", "capability.switch", title: "Which TV?"
+input "threshold1", "number", title: "Higher than?"
+def installed() { subscribe(tv1, "switch", onHandler) }
+def updated() { unsubscribe() }
+def onHandler(evt) { }
+"#;
+
+    #[test]
+    fn instrumented_app_still_parses() {
+        let out = instrument(APP, "ComfortTV", Transport::Sms).unwrap();
+        parse(&out).unwrap_or_else(|e| panic!("instrumented app invalid: {e}\n{out}"));
+    }
+
+    #[test]
+    fn collection_code_appended_to_updated() {
+        let out = instrument(APP, "ComfortTV", Transport::Sms).unwrap();
+        assert!(out.contains("collectConfigInfo(appname, devices, values)"), "{out}");
+        assert!(out.contains("devRefStr: \"tv1\""), "{out}");
+        assert!(out.contains("varStr: \"threshold1\""), "{out}");
+        assert!(out.contains("sendSmsMessage(patchedphone, uri)"), "{out}");
+        assert!(out.contains("patchedphone"), "{out}");
+    }
+
+    #[test]
+    fn http_transport_uses_post() {
+        let out = instrument(APP, "ComfortTV", Transport::Http).unwrap();
+        assert!(out.contains("httpPost"), "{out}");
+        assert!(out.contains("patchedtoken"), "{out}");
+        assert!(!out.contains("sendSmsMessage"), "{out}");
+    }
+
+    #[test]
+    fn updated_created_when_missing() {
+        let src = r#"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(lamp, "switch", h) }
+def h(evt) { }
+"#;
+        let out = instrument(src, "NoUpdated", Transport::Sms).unwrap();
+        let parsed = parse(&out).unwrap();
+        assert!(parsed.method("updated").is_some());
+    }
+
+    #[test]
+    fn original_behavior_preserved() {
+        let out = instrument(APP, "ComfortTV", Transport::Sms).unwrap();
+        let parsed = parse(&out).unwrap();
+        // Original methods still present with original statements first.
+        let updated = parsed.method("updated").unwrap();
+        assert!(updated.body.stmts.len() > 1);
+        assert!(parsed.method("installed").is_some());
+        assert!(parsed.method("onHandler").is_some());
+    }
+
+    #[test]
+    fn instrumentation_is_analyzable() {
+        // The instrumented app must still extract the same rules.
+        use hg_symexec::{extract, ExtractorConfig};
+        let src = r#"
+definition(name: "Mini")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+        let before = extract(src, "Mini", &ExtractorConfig::default()).unwrap();
+        let out = instrument(src, "Mini", Transport::Sms).unwrap();
+        let after = extract(&out, "Mini", &ExtractorConfig::default()).unwrap();
+        assert_eq!(before.rules.len(), after.rules.len());
+        assert_eq!(before.rules[0].actions, after.rules[0].actions);
+    }
+}

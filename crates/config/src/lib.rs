@@ -1,0 +1,25 @@
+//! # hg-config — configuration-information collection (paper §VII)
+//!
+//! HomeGuard needs the install-time configuration of each app — which
+//! physical devices were bound to which input slots (the 128-bit device
+//! ids) and the user-specified values (thresholds, phone numbers) — to
+//! detect CAI threats precisely. SmartThings offers no API for this, so the
+//! paper's deployment path is:
+//!
+//! 1. [`instrument`](instrument::instrument) the app so its `updated()`
+//!    method assembles a collection [URI](uri::ConfigInfo) (Listing 3);
+//! 2. ship the URI to the HOMEGUARD phone app over
+//!    [SMS or HTTP](channel::Channel) (§VII-B);
+//! 3. the phone app parses the URI back into a [`ConfigInfo`] that the
+//!    detector turns into device constraints and value substitutions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod instrument;
+pub mod uri;
+
+pub use channel::{Channel, SimulatedChannel, INSTRUMENTATION_OVERHEAD_MS};
+pub use instrument::{instrument, Transport};
+pub use uri::{ConfigInfo, UriError};

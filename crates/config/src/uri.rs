@@ -1,0 +1,178 @@
+//! The configuration URI format (paper §VII-A, Fig. 7a).
+//!
+//! The instrumented app assembles a URI
+//! `http://my.com/appname:<app>/<devRef>:<deviceId>/.../<var>:<value>/`
+//! carrying the app name, the device-variable → 128-bit-device-id bindings
+//! and the user-specified values, and ships it to the HOMEGUARD phone app.
+
+use hg_rules::value::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The configuration information one installation produces.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ConfigInfo {
+    /// The app name.
+    pub app: String,
+    /// `input variable name → device id` bindings.
+    pub devices: BTreeMap<String, String>,
+    /// `input variable name → user value` bindings.
+    pub values: BTreeMap<String, Value>,
+}
+
+impl ConfigInfo {
+    /// Creates an empty record for `app`.
+    pub fn new(app: impl Into<String>) -> ConfigInfo {
+        ConfigInfo { app: app.into(), ..Default::default() }
+    }
+
+    /// Adds a device binding.
+    pub fn bind_device(mut self, input: &str, device_id: &str) -> Self {
+        self.devices.insert(input.to_string(), device_id.to_string());
+        self
+    }
+
+    /// Adds a user value.
+    pub fn set_value(mut self, input: &str, value: Value) -> Self {
+        self.values.insert(input.to_string(), value);
+        self
+    }
+
+    /// Encodes as the collection URI.
+    pub fn to_uri(&self) -> String {
+        let mut uri = format!("http://my.com/appname:{}/", escape(&self.app));
+        for (input, id) in &self.devices {
+            uri.push_str(&format!("{}:{}/", escape(input), escape(id)));
+        }
+        for (input, value) in &self.values {
+            uri.push_str(&format!("{}:{}/", escape(input), escape(&encode_value(value))));
+        }
+        uri
+    }
+
+    /// Parses a collection URI back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`UriError`] when the prefix or any segment is malformed.
+    /// Device bindings and values are told apart by the value shape: 32-hex
+    /// device ids versus typed value encodings.
+    pub fn from_uri(uri: &str) -> Result<ConfigInfo, UriError> {
+        let rest = uri
+            .strip_prefix("http://my.com/appname:")
+            .ok_or(UriError::BadPrefix)?;
+        let mut segments = rest.split('/').filter(|s| !s.is_empty());
+        let app = unescape(segments.next().ok_or(UriError::MissingApp)?);
+        let mut info = ConfigInfo::new(app);
+        for seg in segments {
+            let (key, value) = seg.split_once(':').ok_or(UriError::BadSegment)?;
+            let key = unescape(key);
+            let value = unescape(value);
+            if let Some(v) = decode_value(&value) {
+                info.values.insert(key, v);
+            } else {
+                info.devices.insert(key, value);
+            }
+        }
+        Ok(info)
+    }
+}
+
+/// URI parsing failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UriError {
+    /// The URI does not start with the collection prefix.
+    BadPrefix,
+    /// No app name segment.
+    MissingApp,
+    /// A segment without `key:value` shape.
+    BadSegment,
+}
+
+impl fmt::Display for UriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UriError::BadPrefix => f.write_str("missing collection URI prefix"),
+            UriError::MissingApp => f.write_str("missing app name"),
+            UriError::BadSegment => f.write_str("malformed key:value segment"),
+        }
+    }
+}
+
+impl std::error::Error for UriError {}
+
+fn encode_value(v: &Value) -> String {
+    match v {
+        Value::Num(n) => format!("n{n}"),
+        Value::Sym(s) => format!("s{s}"),
+        Value::Bool(b) => format!("b{b}"),
+        Value::Null => "z".to_string(),
+    }
+}
+
+fn decode_value(text: &str) -> Option<Value> {
+    let mut chars = text.chars();
+    match chars.next()? {
+        'n' => chars.as_str().parse().ok().map(Value::Num),
+        's' => Some(Value::Sym(chars.as_str().to_string())),
+        'b' => chars.as_str().parse().ok().map(Value::Bool),
+        'z' if chars.as_str().is_empty() => Some(Value::Null),
+        _ => None,
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('%', "%25").replace('/', "%2F").replace(':', "%3A")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("%3A", ":").replace("%2F", "/").replace("%25", "%")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let info = ConfigInfo::new("ComfortTV")
+            .bind_device("tv1", "0e0b741baf1c4e6d8f0a1b2c3d4e5f60")
+            .bind_device("window1", "ffee741baf1c4e6d8f0a1b2c3d4e5f61")
+            .set_value("threshold1", Value::from_natural(30));
+        let uri = info.to_uri();
+        assert!(uri.starts_with("http://my.com/appname:ComfortTV/"), "{uri}");
+        let back = ConfigInfo::from_uri(&uri).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn value_kinds_roundtrip() {
+        let info = ConfigInfo::new("X")
+            .set_value("a", Value::Num(-42))
+            .set_value("b", Value::sym("Night"))
+            .set_value("c", Value::Bool(true))
+            .set_value("d", Value::Null);
+        let back = ConfigInfo::from_uri(&info.to_uri()).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn escaping_special_chars() {
+        let info = ConfigInfo::new("App/With:Colons").set_value("x", Value::sym("a/b:c"));
+        let back = ConfigInfo::from_uri(&info.to_uri()).unwrap();
+        assert_eq!(back, info);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(ConfigInfo::from_uri("nope"), Err(UriError::BadPrefix));
+        assert_eq!(
+            ConfigInfo::from_uri("http://my.com/appname:"),
+            Err(UriError::MissingApp)
+        );
+        assert_eq!(
+            ConfigInfo::from_uri("http://my.com/appname:A/garbage/"),
+            Err(UriError::BadSegment)
+        );
+    }
+}

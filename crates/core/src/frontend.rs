@@ -1,0 +1,217 @@
+//! The HOMEGUARD frontend: rule and threat interpreters (paper Fig. 6,
+//! Fig. 7b).
+//!
+//! Rules and detected threats are translated into a human-readable form so
+//! the homeowner can check that an app behaves as it claims and make an
+//! informed keep/delete/reconfigure decision.
+
+use crate::install::InstallReport;
+use hg_rules::rule::{ActionSubject, Rule, Trigger};
+use hg_rules::varid::DeviceRef;
+use hg_solver::Assignment;
+use std::fmt::Write as _;
+
+/// Renders one rule the way the phone app's rule interpreter does
+/// ("when ... if ... then ...").
+pub fn interpret_rule(rule: &Rule) -> String {
+    let mut out = String::new();
+    match &rule.trigger {
+        Trigger::DeviceEvent { subject, attribute, constraint } => {
+            let _ = write!(out, "WHEN {} reports `{attribute}`", device_name(subject));
+            if let Some(c) = constraint {
+                let _ = write!(out, " with {c}");
+            }
+        }
+        Trigger::ModeChange { constraint } => {
+            let _ = write!(out, "WHEN the home mode changes");
+            if let Some(c) = constraint {
+                let _ = write!(out, " with {c}");
+            }
+        }
+        Trigger::TimeOfDay { description, .. } => {
+            let _ = write!(out, "AT {description}");
+        }
+        Trigger::Periodic { period_secs } => {
+            let _ = write!(out, "EVERY {}", human_duration(*period_secs));
+        }
+        Trigger::AppTouch => {
+            let _ = write!(out, "WHEN the app button is tapped");
+        }
+    }
+    if rule.condition.predicate != hg_rules::constraint::Formula::True {
+        let _ = write!(out, "\n  IF {}", rule.condition.predicate);
+    }
+    for action in &rule.actions {
+        let target = match &action.subject {
+            ActionSubject::Device(d) => device_name(d),
+            ActionSubject::LocationMode => "the home mode".to_string(),
+            ActionSubject::Message { target } => {
+                format!("a message to {}", target.as_deref().unwrap_or("the user"))
+            }
+            ActionSubject::Http { method, url } => {
+                format!("an HTTP {method} to {}", url.as_deref().unwrap_or("a server"))
+            }
+            ActionSubject::HubCommand => "a hub command".to_string(),
+        };
+        let _ = write!(out, "\n  THEN `{}` on {target}", action.command);
+        if action.when_secs > 0 {
+            let _ = write!(out, " after {}", human_duration(action.when_secs));
+        }
+        if action.period_secs > 0 {
+            let _ = write!(out, " every {}", human_duration(action.period_secs));
+        }
+    }
+    out
+}
+
+/// Renders a witness assignment as the "certain situation" the paper's UI
+/// shows ("this happens when temperature = 31 and mode = Night").
+pub fn interpret_witness(witness: &Assignment) -> String {
+    let shown: Vec<String> = witness
+        .iter()
+        .filter(|(var, _)| var.is_shared_world())
+        .map(|(var, value)| format!("{var} = {value}"))
+        .collect();
+    if shown.is_empty() {
+        "in any situation".to_string()
+    } else {
+        format!("when {}", shown.join(" and "))
+    }
+}
+
+/// Renders a full installation report: the screen the user decides from
+/// (Fig. 7b).
+pub fn interpret_report(report: &InstallReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Installing `{}` — {} rule(s):", report.app, report.rules.len());
+    for rule in &report.rules {
+        for line in interpret_rule(rule).lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    if report.is_clean() {
+        let _ = writeln!(out, "No cross-app interference detected.");
+        return out;
+    }
+    let _ = writeln!(out, "\n⚠ {} potential interference(s):", report.threats.len());
+    for threat in &report.threats {
+        let _ = writeln!(out, "  [{}] {}", threat.kind.acronym(), threat.note);
+        if let Some(w) = &threat.witness {
+            let _ = writeln!(out, "      occurs {}", interpret_witness(w));
+        }
+    }
+    if !report.chains.is_empty() {
+        let _ = writeln!(out, "\n⚠ {} covert rule chain(s):", report.chains.len());
+        for chain in &report.chains {
+            let _ = writeln!(out, "  {chain}");
+        }
+    }
+    let _ = writeln!(out, "\nKeep the app, delete it, or change its configuration?");
+    out
+}
+
+fn device_name(d: &DeviceRef) -> String {
+    match d {
+        DeviceRef::Bound { device_id } => match device_id.strip_prefix("type:") {
+            Some(t) => format!("the {t} device"),
+            None => format!("device {device_id}"),
+        },
+        DeviceRef::Unbound { input, .. } => format!("`{input}`"),
+    }
+}
+
+fn human_duration(secs: u64) -> String {
+    if secs % 3600 == 0 && secs >= 3600 {
+        format!("{} hour(s)", secs / 3600)
+    } else if secs % 60 == 0 && secs >= 60 {
+        format!("{} minute(s)", secs / 60)
+    } else {
+        format!("{secs} second(s)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_rules::constraint::{CmpOp, Formula, Term};
+    use hg_rules::rule::{Action, Condition, RuleId};
+    use hg_rules::value::Value;
+    use hg_rules::varid::VarId;
+
+    fn sample_rule() -> Rule {
+        let tv = DeviceRef::Unbound {
+            app: "ComfortTV".into(),
+            input: "tv1".into(),
+            capability: "switch".into(),
+            kind: hg_capability::device_kind::DeviceKind::Tv,
+        };
+        let window = DeviceRef::Unbound {
+            app: "ComfortTV".into(),
+            input: "window1".into(),
+            capability: "switch".into(),
+            kind: hg_capability::device_kind::DeviceKind::WindowOpener,
+        };
+        Rule {
+            id: RuleId::new("ComfortTV", 0),
+            trigger: Trigger::DeviceEvent {
+                subject: tv.clone(),
+                attribute: "switch".into(),
+                constraint: Some(Formula::var_eq(
+                    VarId::device_attr(tv, "switch"),
+                    Value::sym("on"),
+                )),
+            },
+            condition: Condition {
+                data_constraints: vec![],
+                predicate: Formula::cmp(
+                    Term::var(VarId::env("temperature")),
+                    CmpOp::Gt,
+                    Term::num(3000),
+                ),
+            },
+            actions: vec![Action::device(window, "on").after(120)],
+        }
+    }
+
+    #[test]
+    fn rule_interpretation_is_readable() {
+        let text = interpret_rule(&sample_rule());
+        assert!(text.contains("WHEN `tv1` reports `switch`"), "{text}");
+        assert!(text.contains("IF env.temperature > 30"), "{text}");
+        assert!(text.contains("THEN `on` on `window1`"), "{text}");
+        assert!(text.contains("after 2 minute(s)"), "{text}");
+    }
+
+    #[test]
+    fn witness_interpretation_filters_private_vars() {
+        let mut w = Assignment::new();
+        w.insert(VarId::env("temperature"), Value::Num(3100));
+        w.insert(
+            VarId::Opaque { app: "A".into(), name: "x1".into() },
+            Value::sym("whatever"),
+        );
+        let text = interpret_witness(&w);
+        assert!(text.contains("env.temperature = 31"), "{text}");
+        assert!(!text.contains("whatever"), "{text}");
+    }
+
+    #[test]
+    fn human_durations() {
+        assert_eq!(human_duration(45), "45 second(s)");
+        assert_eq!(human_duration(300), "5 minute(s)");
+        assert_eq!(human_duration(7200), "2 hour(s)");
+    }
+
+    #[test]
+    fn clean_report_text() {
+        let report = InstallReport {
+            app: "Mini".into(),
+            rules: vec![sample_rule()],
+            threats: vec![],
+            chains: vec![],
+            stats: Default::default(),
+        };
+        let text = interpret_report(&report);
+        assert!(text.contains("No cross-app interference detected"), "{text}");
+    }
+}

@@ -1,0 +1,267 @@
+//! The installation workflow (paper Fig. 6 and §VI-D).
+//!
+//! Whenever a new app is installed (or reconfigured), HomeGuard:
+//!
+//! 1. collects the configuration information ([`hg_config::ConfigInfo`]);
+//! 2. fetches the app's rules from the extractor service;
+//! 3. runs pairwise detection against every already-installed rule;
+//! 4. extends the detection through the *Allowed* list to find chained
+//!    (indirect) interference;
+//! 5. presents the findings and records the user's verdict — installing
+//!    anyway moves the pairwise findings onto the Allowed list so future
+//!    installs can chain through them.
+
+use crate::extractor_service::ExtractorService;
+use hg_config::ConfigInfo;
+use hg_detector::{find_chains, Chain, Detector, DetectStats, Edge, Threat, Unification};
+use hg_rules::rule::Rule;
+use hg_rules::value::Value;
+use std::collections::BTreeMap;
+
+/// The per-home HomeGuard state: recorders plus the detector.
+pub struct HomeGuard {
+    /// The backend extractor service (rule database).
+    pub extractor: ExtractorService,
+    /// Rules of every installed app (rule recorder).
+    installed: Vec<Rule>,
+    /// Configuration recorder: device bindings per (app, input).
+    bindings: BTreeMap<(String, String), String>,
+    /// Configuration recorder: user values per (app, input).
+    values: BTreeMap<(String, String), Value>,
+    /// Pairwise interferences the user accepted (the Allowed list, §VI-D).
+    allowed: Vec<Threat>,
+    /// The home's location modes.
+    pub modes: Vec<String>,
+}
+
+/// The outcome of an installation attempt, shown to the user by the
+/// frontend before they decide.
+#[derive(Debug, Clone)]
+pub struct InstallReport {
+    /// The app under installation.
+    pub app: String,
+    /// Its rules, for the frontend's rule interpreter.
+    pub rules: Vec<Rule>,
+    /// Direct (pairwise) threats against installed apps.
+    pub threats: Vec<Threat>,
+    /// Chained threats through the Allowed list.
+    pub chains: Vec<Chain>,
+    /// Detection effort counters.
+    pub stats: DetectStats,
+}
+
+impl InstallReport {
+    /// Whether the installation is clean.
+    pub fn is_clean(&self) -> bool {
+        self.threats.is_empty() && self.chains.is_empty()
+    }
+}
+
+impl Default for HomeGuard {
+    fn default() -> Self {
+        HomeGuard::new()
+    }
+}
+
+impl HomeGuard {
+    /// A fresh HomeGuard instance with an empty home.
+    pub fn new() -> HomeGuard {
+        HomeGuard {
+            extractor: ExtractorService::new(),
+            installed: Vec::new(),
+            bindings: BTreeMap::new(),
+            values: BTreeMap::new(),
+            allowed: Vec::new(),
+            modes: vec!["Home".into(), "Away".into(), "Night".into()],
+        }
+    }
+
+    /// Records collected configuration information (what the instrumented
+    /// app's URI delivers).
+    pub fn record_config(&mut self, info: &ConfigInfo) {
+        for (input, id) in &info.devices {
+            self.bindings.insert((info.app.clone(), input.clone()), id.clone());
+        }
+        for (input, value) in &info.values {
+            self.values.insert((info.app.clone(), input.clone()), value.clone());
+        }
+    }
+
+    /// The detector configured with the current recorders.
+    fn detector(&self) -> Detector {
+        let mut det = Detector {
+            unification: if self.bindings.is_empty() {
+                Unification::ByType
+            } else {
+                Unification::Bindings(self.bindings.clone())
+            },
+            ..Detector::default()
+        };
+        det.solver.modes = self.modes.clone();
+        det.solver.user_values = self.values.clone();
+        det
+    }
+
+    /// Checks a new app (already ingested into the extractor service, with
+    /// configuration recorded) against the installed apps. Does **not**
+    /// install it — the user decides based on the report.
+    pub fn check_install(&self, app: &str) -> InstallReport {
+        let rules = self.extractor.rules_of(app).unwrap_or_default();
+        let detector = self.detector();
+        let mut threats = Vec::new();
+        let mut stats = DetectStats::default();
+        for new_rule in &rules {
+            for old_rule in &self.installed {
+                let (t, s) = detector.detect_pair(new_rule, old_rule);
+                threats.extend(t);
+                stats.absorb(s);
+            }
+        }
+        // Chained detection through the Allowed list (§VI-D): edges from the
+        // new findings plus the user-allowed historical pairs.
+        let mut edges = Edge::from_threats(&threats);
+        edges.extend(Edge::from_threats(&self.allowed));
+        let chains = find_chains(&edges, 4)
+            .into_iter()
+            .filter(|c| c.rules.iter().any(|r| r.app == app))
+            .collect();
+        InstallReport { app: app.to_string(), rules, threats, chains, stats }
+    }
+
+    /// The user decided to install despite the report: rules are recorded
+    /// and the reported pairwise threats move to the Allowed list.
+    pub fn confirm_install(&mut self, report: InstallReport) {
+        self.installed.extend(report.rules);
+        self.allowed.extend(report.threats);
+    }
+
+    /// Convenience: ingest + record config + check + confirm in one step,
+    /// returning the report (most callers want automatic confirmation for
+    /// scripted experiments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn install_app(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, hg_symexec::ExtractError> {
+        let analysis = self.extractor.ingest(source, name)?;
+        let app_name = analysis.name.clone();
+        if let Some(info) = config {
+            self.record_config(info);
+        }
+        let report = self.check_install(&app_name);
+        self.confirm_install(report.clone());
+        Ok(report)
+    }
+
+    /// All installed rules.
+    pub fn installed_rules(&self) -> &[Rule] {
+        &self.installed
+    }
+
+    /// The Allowed list.
+    pub fn allowed(&self) -> &[Threat] {
+        &self.allowed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_detector::ThreatKind;
+
+    const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+    const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+    #[test]
+    fn first_install_is_clean() {
+        let mut hg = HomeGuard::new();
+        let report = hg.install_app(ON_APP, "OnApp", None).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(hg.installed_rules().len(), 1);
+    }
+
+    #[test]
+    fn second_install_detects_race() {
+        let mut hg = HomeGuard::new();
+        hg.install_app(ON_APP, "OnApp", None).unwrap();
+        let report = hg.install_app(OFF_APP, "OffApp", None).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+        // Installing anyway recorded the threat on the Allowed list.
+        assert!(!hg.allowed().is_empty());
+    }
+
+    #[test]
+    fn config_bindings_change_verdict() {
+        let mut hg = HomeGuard::new();
+        let cfg_a = ConfigInfo::new("OnApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        hg.install_app(ON_APP, "OnApp", Some(&cfg_a)).unwrap();
+        // OffApp bound to a DIFFERENT lamp: no race.
+        let cfg_b = ConfigInfo::new("OffApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-2");
+        let report = hg.install_app(OFF_APP, "OffApp", Some(&cfg_b)).unwrap();
+        assert!(
+            !report.threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
+            "{:#?}",
+            report.threats
+        );
+    }
+
+    #[test]
+    fn chained_detection_through_allowed_list() {
+        // App1: motion -> switch on. App2: switch on -> mode Home.
+        // App3: mode change -> unlock door. Installing all three must
+        // surface the 3-rule covert chain at App3's install.
+        let app1 = r#"
+definition(name: "MotionSwitch")
+input "m", "capability.motionSensor"
+input "sw", "capability.switch", title: "hall switch"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { sw.on() }
+"#;
+        let app2 = r#"
+definition(name: "SwitchMode")
+input "sw", "capability.switch", title: "hall switch"
+def installed() { subscribe(sw, "switch.on", h) }
+def h(evt) { setLocationMode("Home") }
+"#;
+        let app3 = r#"
+definition(name: "ModeUnlock")
+input "door", "capability.lock", title: "front door"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) { if (location.mode == "Home") { door.unlock() } }
+"#;
+        let mut hg = HomeGuard::new();
+        hg.install_app(app1, "MotionSwitch", None).unwrap();
+        hg.install_app(app2, "SwitchMode", None).unwrap();
+        let report = hg.install_app(app3, "ModeUnlock", None).unwrap();
+        assert!(
+            !report.chains.is_empty(),
+            "expected a covert chain, threats: {:#?}",
+            report.threats
+        );
+        let chain = &report.chains[0];
+        assert!(chain.rules.len() >= 3, "{chain}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # homeguard-core — the HOMEGUARD system
+//!
+//! This crate assembles the paper's Fig. 6 architecture from the substrate
+//! crates:
+//!
+//! * [`ExtractorService`] — the backend: offline rule extraction into a
+//!   JSON rule database, with on-demand extraction for custom apps;
+//! * [`HomeGuard`] — the per-home process: configuration recorder, rule
+//!   recorder, detection engine orchestration and the Allowed list for
+//!   chained-threat detection (§VI-D);
+//! * [`frontend`] — the rule interpreter and threat interpreter that turn
+//!   rules, witnesses and reports into the human-readable screens of
+//!   Fig. 7b.
+//!
+//! # Examples
+//!
+//! ```
+//! use homeguard_core::HomeGuard;
+//! use hg_detector::ThreatKind;
+//!
+//! let mut hg = HomeGuard::new();
+//! hg.install_app(r#"
+//!     definition(name: "OnApp")
+//!     input "m", "capability.motionSensor"
+//!     input "lamp", "capability.switch", title: "lamp"
+//!     def installed() { subscribe(m, "motion.active", h) }
+//!     def h(evt) { lamp.on() }
+//! "#, "OnApp", None).unwrap();
+//! let report = hg.install_app(r#"
+//!     definition(name: "OffApp")
+//!     input "m", "capability.motionSensor"
+//!     input "lamp", "capability.switch", title: "lamp"
+//!     def installed() { subscribe(m, "motion.active", h) }
+//!     def h(evt) { lamp.off() }
+//! "#, "OffApp", None).unwrap();
+//! assert!(report.threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+//! println!("{}", homeguard_core::frontend::interpret_report(&report));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extractor_service;
+pub mod frontend;
+pub mod install;
+
+pub use extractor_service::ExtractorService;
+pub use install::{HomeGuard, InstallReport};

@@ -1,0 +1,339 @@
+//! Climate, energy and metering automation apps, including the paper's
+//! ItsTooHot / EnergySaver Self-Disabling pair and the ComfortTV /
+//! ColdDefender Actuator-Race pair (Figs. 3-5 demo apps live here too).
+
+use crate::catalog::{Category, CorpusApp};
+
+/// The climate/energy corpus slice.
+pub static CLIMATE_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "ComfortTV",
+        source: r#"
+definition(name: "ComfortTV", description: "Open the window when watching TV in a hot room")
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement", title: "Temperature sensor"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch", title: "Window opener switch"
+def installed() { subscribe(tv1, "switch", onHandler) }
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) { turnOnWindow() }
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off") { window1.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "ColdDefender",
+        source: r#"
+definition(name: "ColdDefender", description: "Close the window when the TV is on and it rains")
+input "tv1", "capability.switch", title: "Which TV?"
+input "rain", "capability.waterSensor", title: "Rain sensor"
+input "window1", "capability.switch", title: "Window opener switch"
+def installed() { subscribe(tv1, "switch.on", onTv) }
+def onTv(evt) {
+    if (rain.currentWater == "wet") { window1.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "CatchLiveShow",
+        source: r#"
+definition(name: "CatchLiveShow", description: "Turn the TV on when a voice message arrives on Thursdays")
+input "msgBox", "capability.contactSensor", title: "Message indicator"
+input "tv1", "capability.switch", title: "Which TV?"
+def installed() { subscribe(msgBox, "contact.open", onMessage) }
+def onMessage(evt) { tv1.on() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "ItsTooHot",
+        source: r#"
+definition(name: "ItsTooHot", description: "Turn on the air conditioner when it is hot")
+input "tSensor", "capability.temperatureMeasurement", title: "Temperature sensor"
+input "hotLevel", "number", title: "Too hot above?"
+input "ac", "capability.switch", title: "Air conditioner"
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.value > hotLevel) { ac.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "EnergySaver",
+        source: r#"
+definition(name: "EnergySaver", description: "Turn devices off when electricity usage exceeds a threshold")
+input "meter", "capability.powerMeter", title: "Home energy meter"
+input "maxWatts", "number", title: "Turn off above (W)?"
+input "victims", "capability.switch", title: "Devices to shed", multiple: true
+def installed() { subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value > maxWatts) { victims.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "ItsTooCold",
+        source: r#"
+definition(name: "ItsTooCold", description: "Turn on a space heater when it is cold")
+input "tSensor", "capability.temperatureMeasurement", title: "Temperature sensor"
+input "coldLevel", "number", title: "Too cold below?"
+input "heater", "capability.switch", title: "Space heater"
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.value < coldLevel) { heater.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "KeepMeCozy",
+        source: r#"
+definition(name: "KeepMeCozy", description: "Set the thermostat setpoints when mode changes")
+input "stat", "capability.thermostat", title: "Thermostat"
+input "heatTo", "number", title: "Heat to?"
+input "coolTo", "number", title: "Cool to?"
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Home") {
+        stat.setHeatingSetpoint(heatTo)
+        stat.setCoolingSetpoint(coolTo)
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setHeatingSetpoint", "setCoolingSetpoint"],
+    },
+    CorpusApp {
+        name: "AwayThermostat",
+        source: r#"
+definition(name: "AwayThermostat", description: "Relax the thermostat when everyone leaves")
+input "presence1", "capability.presenceSensor", title: "Whose phone?"
+input "stat", "capability.thermostat", title: "Thermostat"
+def installed() { subscribe(presence1, "presence.not present", leftHandler) }
+def leftHandler(evt) {
+    stat.setHeatingSetpoint(15)
+    stat.setCoolingSetpoint(29)
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setHeatingSetpoint", "setCoolingSetpoint"],
+    },
+    CorpusApp {
+        name: "WindowOrAC",
+        source: r#"
+definition(name: "WindowOrAC", description: "Open the window instead of cooling when outside is cooler")
+input "inside", "capability.temperatureMeasurement", title: "Inside sensor"
+input "window1", "capability.switch", title: "Window opener"
+input "ac", "capability.switch", title: "Air conditioner"
+def installed() { subscribe(inside, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.value > 28) {
+        ac.off()
+        window1.on()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off", "on"],
+    },
+    CorpusApp {
+        name: "HumidityHelper",
+        source: r#"
+definition(name: "HumidityHelper", description: "Run the dehumidifier when humidity is high")
+input "hSensor", "capability.relativeHumidityMeasurement", title: "Humidity sensor"
+input "dehum", "capability.switch", title: "Dehumidifier"
+def installed() { subscribe(hSensor, "humidity", humHandler) }
+def humHandler(evt) {
+    if (evt.value > 65) { dehum.on() }
+    if (evt.value < 45) { dehum.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "GreenhouseMist",
+        source: r#"
+definition(name: "GreenhouseMist", description: "Humidify the greenhouse when dry")
+input "hSensor", "capability.relativeHumidityMeasurement", title: "Humidity sensor"
+input "mister", "capability.switch", title: "Humidifier"
+def installed() { subscribe(hSensor, "humidity", humHandler) }
+def humHandler(evt) {
+    if (evt.value < 40) { mister.on() } else { mister.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "WhenItsHotFan",
+        source: r#"
+definition(name: "WhenItsHotFan", description: "Ceiling fan on when warm, off when cool")
+input "tSensor", "capability.temperatureMeasurement", title: "Temperature sensor"
+input "fan", "capability.switch", title: "Ceiling fan"
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.value >= 26) {
+        fan.on()
+    } else if (evt.value <= 22) {
+        fan.off()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "NightCooldown",
+        source: r#"
+definition(name: "NightCooldown", description: "Crack the window for sleeping at 22:30")
+input "window1", "capability.switch", title: "Window opener"
+def installed() { schedule("22:30", crackWindow) }
+def crackWindow() { window1.on() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "FrostGuard",
+        source: r#"
+definition(name: "FrostGuard", description: "Emergency heat and close windows near freezing")
+input "tSensor", "capability.temperatureMeasurement", title: "Outdoor sensor"
+input "heater", "capability.switch", title: "Heater"
+input "window1", "capability.switch", title: "Window opener"
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.value < 3) {
+        heater.on()
+        window1.off()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "SolarExportGuard",
+        source: r#"
+definition(name: "SolarExportGuard", description: "Run the water heater when solar export is high")
+input "meter", "capability.powerMeter", title: "Export meter"
+input "boiler", "capability.switch", title: "Water heater"
+def installed() { subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value > 2000) { boiler.on() }
+    if (evt.value < 200) { boiler.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "PeakShaver",
+        source: r#"
+definition(name: "PeakShaver", description: "Shed the pool pump during utility peak hours")
+input "pump", "capability.switch", title: "Pool pump"
+def installed() {
+    schedule("17:00", shed)
+    schedule("21:00", restore)
+}
+def shed() { pump.off() }
+def restore() { pump.on() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["off", "on"],
+    },
+    CorpusApp {
+        name: "EnergyMonitorAlert",
+        source: r#"
+definition(name: "EnergyMonitorAlert", description: "Text me when usage spikes")
+input "meter", "capability.powerMeter", title: "Energy meter"
+input "phone1", "phone", title: "Phone number"
+def installed() { subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value > 5000) { sendSms(phone1, "Power spike detected") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "FreezerWatch",
+        source: r#"
+definition(name: "FreezerWatch", description: "Warn if the freezer gets warm")
+input "tSensor", "capability.temperatureMeasurement", title: "Freezer sensor"
+input "phone1", "phone", title: "Phone number"
+def installed() { subscribe(tSensor, "temperature", tempHandler) }
+def tempHandler(evt) {
+    if (evt.value > -10) { sendSms(phone1, "Freezer is warming up!") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "HeaterOffWindowOpen",
+        source: r#"
+definition(name: "HeaterOffWindowOpen", description: "Stop heating when a window contact opens")
+input "winContact", "capability.contactSensor", title: "Window contact"
+input "heater", "capability.switch", title: "Heater"
+def installed() { subscribe(winContact, "contact.open", openHandler) }
+def openHandler(evt) { heater.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "CirculateTheAir",
+        source: r#"
+definition(name: "CirculateTheAir", description: "Fan circulates periodically while home")
+input "fan", "capability.switch", title: "Circulation fan"
+def installed() { runEvery30Minutes(circulate) }
+def circulate() {
+    if (location.mode == "Home") {
+        fan.on()
+        runIn(600, fanOff)
+    }
+}
+def fanOff() { fan.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on", "off"],
+    },
+];

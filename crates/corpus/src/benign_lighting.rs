@@ -1,0 +1,312 @@
+//! Lighting and illuminance automation apps, including the light-control
+//! apps the paper names in §VIII-B (LetThereBeDark, UndeadEarlyWarning,
+//! LightsOffWhenClosed, SmartNightlight, TurnItOnFor5Minutes,
+//! LightUpTheNight).
+
+use crate::catalog::{Category, CorpusApp};
+
+/// The lighting corpus slice.
+pub static LIGHTING_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "LetThereBeDark",
+        source: r#"
+definition(name: "LetThereBeDark", description: "Turn lights off when a door closes and on when it opens")
+input "contact1", "capability.contactSensor", title: "Which door?"
+input "lights", "capability.switch", title: "These lights", multiple: true
+def installed() { subscribe(contact1, "contact", contactHandler) }
+def contactHandler(evt) {
+    if (evt.value == "closed") { lights.off() } else { lights.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["off", "on"],
+    },
+    CorpusApp {
+        name: "UndeadEarlyWarning",
+        source: r#"
+definition(name: "UndeadEarlyWarning", description: "Flash lights when motion is detected at night")
+input "motion1", "capability.motionSensor", title: "Where?"
+input "lights", "capability.switch", title: "These lights", multiple: true
+def installed() { subscribe(motion1, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    if (location.mode == "Night") { lights.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "LightsOffWhenClosed",
+        source: r#"
+definition(name: "LightsOffWhenClosed", description: "Turn lights off when a contact sensor closes")
+input "contact1", "capability.contactSensor", title: "Which sensor?"
+input "lights", "capability.switch", title: "These lights", multiple: true
+def installed() { subscribe(contact1, "contact.closed", closedHandler) }
+def closedHandler(evt) { lights.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "SmartNightlight",
+        source: r#"
+definition(name: "SmartNightlight", description: "Light follows motion when it is dark")
+input "motion1", "capability.motionSensor", title: "Where?"
+input "lSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+input "darkLevel", "number", title: "Dark below (lux)?"
+input "lights", "capability.switch", title: "These lights", multiple: true
+def installed() {
+    subscribe(motion1, "motion", motionHandler)
+}
+def motionHandler(evt) {
+    if (evt.value == "active") {
+        if (lSensor.currentIlluminance < darkLevel) { lights.on() }
+    } else {
+        runIn(120, lightsOff)
+    }
+}
+def lightsOff() { lights.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "TurnItOnFor5Minutes",
+        source: r#"
+definition(name: "TurnItOnFor5Minutes", description: "Switch on for 5 minutes when a door opens")
+input "contact1", "capability.contactSensor", title: "Which door?"
+input "switch1", "capability.switch", title: "Which light?"
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def openHandler(evt) {
+    switch1.on()
+    runIn(300, turnOff)
+}
+def turnOff() { switch1.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "LightUpTheNight",
+        source: r#"
+definition(name: "LightUpTheNight", description: "Turn lights on when dark, off when bright")
+input "lSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+input "lights", "capability.switch", title: "These lights", multiple: true
+def installed() { subscribe(lSensor, "illuminance", luxHandler) }
+def luxHandler(evt) {
+    if (evt.value < 30) {
+        lights.on()
+    } else if (evt.value > 50) {
+        lights.off()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "DarkWhenISleep",
+        source: r#"
+definition(name: "DarkWhenISleep", description: "All lights off when the home enters Night mode")
+input "lights", "capability.switch", title: "Lights to kill", multiple: true
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Night") { lights.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "WelcomeHomeLights",
+        source: r#"
+definition(name: "WelcomeHomeLights", description: "Turn on the porch light when someone arrives")
+input "presence1", "capability.presenceSensor", title: "Whose phone?"
+input "porch", "capability.switch", title: "Porch light"
+def installed() { subscribe(presence1, "presence.present", arriveHandler) }
+def arriveHandler(evt) { porch.on() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "GoodbyeDarkness",
+        source: r#"
+definition(name: "GoodbyeDarkness", description: "Dim lamp on at sunset")
+input "lamp", "capability.switchLevel", title: "Dimmable lamp"
+input "dimLevel", "number", title: "Level?"
+def installed() { subscribe(location, "sunset", sunsetHandler) }
+def sunsetHandler(evt) { lamp.setLevel(dimLevel) }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setLevel"],
+    },
+    CorpusApp {
+        name: "SunriseShutoff",
+        source: r#"
+definition(name: "SunriseShutoff", description: "All lights off at sunrise")
+input "lights", "capability.switch", title: "Lights", multiple: true
+def installed() { subscribe(location, "sunrise", sunriseHandler) }
+def sunriseHandler(evt) { lights.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "BrightenMyPath",
+        source: r#"
+definition(name: "BrightenMyPath", description: "Turn a light on when there is motion")
+input "motion1", "capability.motionSensor", title: "Where?"
+input "lamp", "capability.switch", title: "Light"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) { lamp.on() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "LightsOutWhenQuiet",
+        source: r#"
+definition(name: "LightsOutWhenQuiet", description: "Lights off after no motion for a while")
+input "motion1", "capability.motionSensor", title: "Where?"
+input "minutes1", "number", title: "After how many minutes?"
+input "lights", "capability.switch", title: "Lights", multiple: true
+def installed() { subscribe(motion1, "motion.inactive", quietHandler) }
+def quietHandler(evt) { runIn(600, lightsOut) }
+def lightsOut() { lights.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "CloseTheCurtains",
+        source: r#"
+definition(name: "CloseTheCurtains", description: "Close the shades when it gets bright inside")
+input "lSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+input "glareLevel", "number", title: "Too bright above (lux)?"
+input "shade", "capability.windowShade", title: "Which shade?"
+def installed() { subscribe(lSensor, "illuminance", luxHandler) }
+def luxHandler(evt) {
+    if (evt.value > glareLevel) { shade.close() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["close"],
+    },
+    CorpusApp {
+        name: "MorningCurtains",
+        source: r#"
+definition(name: "MorningCurtains", description: "Open the curtain if the room is too dark during the day")
+input "lSensor", "capability.illuminanceMeasurement", title: "Light sensor"
+input "shade", "capability.windowShade", title: "Which curtain?"
+def installed() { subscribe(lSensor, "illuminance", luxHandler) }
+def luxHandler(evt) {
+    if (evt.value < 15 && location.mode == "Home") { shade.open() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["open"],
+    },
+    CorpusApp {
+        name: "ColorMeCalm",
+        source: r#"
+definition(name: "ColorMeCalm", description: "Set a lamp to a calm color level in the evening")
+input "lamp", "capability.switchLevel", title: "Color lamp"
+def installed() { schedule("21:00", calmDown) }
+def calmDown() { lamp.setLevel(20) }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setLevel"],
+    },
+    CorpusApp {
+        name: "DoubleTapDim",
+        source: r#"
+definition(name: "DoubleTapDim", description: "Button press dims the den lamp")
+input "btn", "capability.button", title: "Which button?"
+input "lamp", "capability.switchLevel", title: "Den lamp"
+def installed() { subscribe(btn, "button.pushed", pressed) }
+def pressed(evt) { lamp.setLevel(35) }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setLevel"],
+    },
+    CorpusApp {
+        name: "HallwayNightGlow",
+        source: r#"
+definition(name: "HallwayNightGlow", description: "Low hallway light during Night mode on motion")
+input "motion1", "capability.motionSensor", title: "Hallway motion"
+input "hall", "capability.switchLevel", title: "Hallway light"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (location.mode == "Night") { hall.setLevel(10) } else { hall.setLevel(80) }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["setLevel"],
+    },
+    CorpusApp {
+        name: "VacationLighting",
+        source: r#"
+definition(name: "VacationLighting", description: "Simulate presence by toggling lights in Away mode")
+input "lights", "capability.switch", title: "Lights", multiple: true
+def installed() { runEvery1Hour(tick) }
+def tick() {
+    if (location.mode == "Away") {
+        if (lights.currentSwitch == "off") { lights.on() } else { lights.off() }
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "GarageLightOnDoor",
+        source: r#"
+definition(name: "GarageLightOnDoor", description: "Garage light when garage door opens")
+input "garage", "capability.garageDoorControl", title: "Garage door"
+input "lamp", "capability.switch", title: "Garage light"
+def installed() { subscribe(garage, "door.open", opened) }
+def opened(evt) {
+    lamp.on()
+    runIn(900, lampOff)
+}
+def lampOff() { lamp.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "MovieTime",
+        source: r#"
+definition(name: "MovieTime", description: "Dim everything when the TV turns on in the evening")
+input "tv1", "capability.switch", title: "The TV"
+input "lights", "capability.switchLevel", title: "Living room lights", multiple: true
+def installed() { subscribe(tv1, "switch.on", tvOn) }
+def tvOn(evt) {
+    if (location.mode != "Away") { lights.setLevel(15) }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setLevel"],
+    },
+];

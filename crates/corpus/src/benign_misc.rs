@@ -1,0 +1,483 @@
+//! Convenience, notification-only, Web-Services and special-case apps —
+//! including the three §VIII-B special cases (Feed My Pet, Sleepy Time,
+//! Camera Power Scheduler) that defeat the stock extractor.
+
+use crate::catalog::{Category, CorpusApp};
+
+/// Convenience and appliance automation.
+pub static CONVENIENCE_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "CoffeeAfterShower",
+        source: r#"
+definition(name: "CoffeeAfterShower", description: "Start the coffee maker when bathroom humidity spikes")
+input "hSensor", "capability.relativeHumidityMeasurement", title: "Bathroom humidity"
+input "coffee", "capability.switch", title: "Coffee maker"
+def installed() { subscribe(hSensor, "humidity", humHandler) }
+def humHandler(evt) {
+    if (evt.value > 75) { coffee.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+    CorpusApp {
+        name: "MorningCoffee",
+        source: r#"
+definition(name: "MorningCoffee", description: "Coffee maker on at 6:45 on weekdays")
+input "coffee", "capability.switch", title: "Coffee maker"
+def installed() { schedule("6:45", brew) }
+def brew() {
+    coffee.on()
+    runIn(3600, brewOff)
+}
+def brewOff() { coffee.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "MediaMute",
+        source: r#"
+definition(name: "MediaMute", description: "Pause the music when the doorbell button is pushed")
+input "bell", "capability.button", title: "Doorbell"
+input "player", "capability.musicPlayer", title: "Speakers"
+def installed() { subscribe(bell, "button.pushed", ringHandler) }
+def ringHandler(evt) { player.pause() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["pause"],
+    },
+    CorpusApp {
+        name: "DinnerBell",
+        source: r#"
+definition(name: "DinnerBell", description: "Announce dinner on the speakers from an app tap")
+input "player", "capability.musicPlayer", title: "Speakers"
+def installed() { subscribe(app, announce) }
+def announce(evt) { player.playText("Dinner is ready") }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["playText"],
+    },
+    CorpusApp {
+        name: "LaundryMinder",
+        source: r#"
+definition(name: "LaundryMinder", description: "Beep when the washer power drops (cycle done)")
+input "meter", "capability.powerMeter", title: "Washer meter"
+input "chime", "capability.tone", title: "Chime"
+def installed() { subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value < 5) { chime.beep() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["beep"],
+    },
+    CorpusApp {
+        name: "SprinklerSchedule",
+        source: r#"
+definition(name: "SprinklerSchedule", description: "Water the lawn each morning unless it rained")
+input "rain", "capability.waterSensor", title: "Rain gauge"
+input "sprinkler", "capability.valve", title: "Sprinkler valve"
+def installed() { schedule("5:30", water) }
+def water() {
+    if (rain.currentWater == "dry") {
+        sprinkler.open()
+        runIn(1200, stopWater)
+    }
+}
+def stopWater() { sprinkler.close() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["open", "close"],
+    },
+    CorpusApp {
+        name: "PetDoorCurfew",
+        source: r#"
+definition(name: "PetDoorCurfew", description: "Lock the pet door at dusk, unlock at dawn")
+input "petDoor", "capability.lock", title: "Pet door"
+def installed() {
+    schedule("20:00", curfew)
+    schedule("6:00", release)
+}
+def curfew() { petDoor.lock() }
+def release() { petDoor.unlock() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["lock", "unlock"],
+    },
+    CorpusApp {
+        name: "TvOffAtBedtime",
+        source: r#"
+definition(name: "TvOffAtBedtime", description: "Turn the TV off when the home enters Night mode")
+input "tv1", "capability.switch", title: "The TV"
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Night") { tv1.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "ToggleFromButton",
+        source: r#"
+definition(name: "ToggleFromButton", description: "A button toggles the bedside lamp")
+input "btn", "capability.button", title: "Bedside button"
+input "lamp", "capability.switch", title: "Bedside lamp"
+def installed() { subscribe(btn, "button.pushed", pressed) }
+def pressed(evt) {
+    if (lamp.currentSwitch == "on") { lamp.off() } else { lamp.on() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["off", "on"],
+    },
+    CorpusApp {
+        name: "FanWhileCooking",
+        source: r#"
+definition(name: "FanWhileCooking", description: "Vent fan runs while the stove outlet draws power")
+input "stove", "capability.powerMeter", title: "Stove meter"
+input "vent", "capability.switch", title: "Vent fan"
+def installed() { subscribe(stove, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value > 100) { vent.on() } else { vent.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "QuietHours",
+        source: r#"
+definition(name: "QuietHours", description: "Mute the speakers during Night mode")
+input "player", "capability.musicPlayer", title: "Speakers"
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Night") { player.mute() } else { player.unmute() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["mute", "unmute"],
+    },
+    CorpusApp {
+        name: "HolidayModeButton",
+        source: r#"
+definition(name: "HolidayModeButton", description: "App tap toggles vacation away mode and lighting")
+input "lights", "capability.switch", title: "Show lights", multiple: true
+def installed() { subscribe(app, tapHandler) }
+def tapHandler(evt) {
+    setLocationMode("Away")
+    lights.off()
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setLocationMode", "off"],
+    },
+];
+
+/// Notification-only apps (the paper's 56-app class that Fig. 8 excludes).
+pub static NOTIFICATION_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "NotifyWhenLeft",
+        source: r#"
+definition(name: "NotifyWhenLeft", description: "Text when a presence sensor departs")
+input "presence1", "capability.presenceSensor", title: "Whose phone?"
+input "phone1", "phone", title: "Notify"
+def installed() { subscribe(presence1, "presence.not present", leftHandler) }
+def leftHandler(evt) { sendSms(phone1, "They left home") }
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "DoorKnocker",
+        source: r#"
+definition(name: "DoorKnocker", description: "Push notification on door knock")
+input "knock", "capability.accelerationSensor", title: "Door sensor"
+def installed() { subscribe(knock, "acceleration.active", knockHandler) }
+def knockHandler(evt) { sendPush("Someone is knocking") }
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "MailArrived",
+        source: r#"
+definition(name: "MailArrived", description: "Text when the mailbox opens")
+input "mailbox", "capability.contactSensor", title: "Mailbox sensor"
+input "phone1", "phone", title: "Notify"
+def installed() { subscribe(mailbox, "contact.open", mailHandler) }
+def mailHandler(evt) { sendSms(phone1, "Mail is here") }
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "BatteryLow",
+        source: r#"
+definition(name: "BatteryLow", description: "Warn about low device batteries daily")
+input "sensor1", "capability.battery", title: "Battery device"
+def installed() { runEvery3Hours(check) }
+def check() {
+    if (sensor1.currentBattery < 15) { sendPush("Battery low") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "SmokeTextSquad",
+        source: r#"
+definition(name: "SmokeTextSquad", description: "Text multiple contacts on smoke")
+input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+input "phone1", "phone", title: "First contact"
+input "phone2", "phone", title: "Second contact"
+def installed() { subscribe(smoke1, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    sendSms(phone1, "SMOKE DETECTED")
+    sendSms(phone2, "SMOKE DETECTED")
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "TooHumidAlert",
+        source: r#"
+definition(name: "TooHumidAlert", description: "Warn when the crawlspace is humid")
+input "hSensor", "capability.relativeHumidityMeasurement", title: "Crawlspace sensor"
+def installed() { subscribe(hSensor, "humidity", humHandler) }
+def humHandler(evt) {
+    if (evt.value > 80) { sendPush("Crawlspace humidity high") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "LeakAlert",
+        source: r#"
+definition(name: "LeakAlert", description: "Text on any water leak")
+input "leak", "capability.waterSensor", title: "Leak sensor"
+input "phone1", "phone", title: "Notify"
+def installed() { subscribe(leak, "water.wet", wetHandler) }
+def wetHandler(evt) { sendSms(phone1, "Water leak!") }
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "GunCaseOpened",
+        source: r#"
+definition(name: "GunCaseOpened", description: "Immediate alert when the case opens")
+input "case1", "capability.contactSensor", title: "Case sensor"
+input "phone1", "phone", title: "Notify"
+def installed() { subscribe(case1, "contact.open", openHandler) }
+def openHandler(evt) {
+    sendSms(phone1, "The case was opened")
+    sendPush("The case was opened")
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "ColdNightWarning",
+        source: r#"
+definition(name: "ColdNightWarning", description: "Push a warning if it will freeze overnight")
+input "tSensor", "capability.temperatureMeasurement", title: "Outdoor sensor"
+def installed() { schedule("21:30", nightCheck) }
+def nightCheck() {
+    if (tSensor.currentTemperature < 1) { sendPush("Freeze warning tonight") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "PowerOutAlert",
+        source: r#"
+definition(name: "PowerOutAlert", description: "Text when the sump pump stops drawing power")
+input "meter", "capability.powerMeter", title: "Sump pump meter"
+input "phone1", "phone", title: "Notify"
+def installed() { subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value < 1) { sendSms(phone1, "Sump pump lost power") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "WindowLeftOpen",
+        source: r#"
+definition(name: "WindowLeftOpen", description: "Evening reminder if a window contact is open")
+input "winContact", "capability.contactSensor", title: "Window contact"
+def installed() { schedule("20:30", eveningCheck) }
+def eveningCheck() {
+    if (winContact.currentContact == "open") { sendPush("A window is still open") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "SeismicLogger",
+        source: r#"
+definition(name: "SeismicLogger", description: "Report vibration events to a home dashboard")
+input "shaker", "capability.accelerationSensor", title: "Vibration sensor"
+def installed() { subscribe(shaker, "acceleration.active", shakeHandler) }
+def shakeHandler(evt) {
+    httpPost([uri: "http://homedash.local/seismic", body: "shake"]) { resp -> }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+];
+
+/// The three §VIII-B special cases: non-standard device types and an
+/// undocumented API. They fail extraction with the stock configuration and
+/// succeed with [`hg_symexec::ExtractorConfig::extended`].
+pub static SPECIAL_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "FeedMyPet",
+        source: r#"
+definition(name: "FeedMyPet", description: "Feed the pet from a button press")
+input "feeder", "device.petfeedershield", title: "Pet feeder"
+input "btn", "capability.button", title: "Feed button"
+def installed() { subscribe(btn, "button.pushed", feedNow) }
+def feedNow(evt) { feeder.feed() }
+"#,
+        category: Category::Special,
+        expected_rules: 1,
+        expected_commands: &["feed"],
+    },
+    CorpusApp {
+        name: "SleepyTime",
+        source: r#"
+definition(name: "SleepyTime", description: "Night mode and lights out when the wearable reports sleep")
+input "tracker", "device.jawboneUser", title: "Sleep tracker"
+input "lights", "capability.switch", title: "Bedroom lights", multiple: true
+def installed() { subscribe(tracker, "sleeping.sleeping", asleep) }
+def asleep(evt) {
+    setLocationMode("Night")
+    lights.off()
+}
+"#,
+        category: Category::Special,
+        expected_rules: 1,
+        expected_commands: &["setLocationMode", "off"],
+    },
+    CorpusApp {
+        name: "CameraPowerScheduler",
+        source: r#"
+definition(name: "CameraPowerScheduler", description: "Power the cameras every evening")
+input "cams", "capability.switch", title: "Camera outlets", multiple: true
+def installed() { runDaily("18:30", powerOn) }
+def powerOn() { cams.on() }
+"#,
+        category: Category::Special,
+        expected_rules: 1,
+        expected_commands: &["on"],
+    },
+];
+
+/// Web Services SmartApps: expose endpoints, define no automation
+/// themselves (the paper removes 36 such apps before extraction).
+pub static WEB_SERVICE_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "WebSwitchBoard",
+        source: r#"
+definition(name: "WebSwitchBoard", description: "Expose switches over a web API")
+input "switches", "capability.switch", title: "Switches", multiple: true
+mappings {
+    path("/switches") {
+        action: [GET: "listSwitches", PUT: "updateSwitches"]
+    }
+}
+def installed() { }
+def listSwitches() { return switches.currentSwitch }
+def updateSwitches() { switches.on() }
+"#,
+        category: Category::WebService,
+        expected_rules: 0,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "WebLockView",
+        source: r#"
+definition(name: "WebLockView", description: "Expose lock state over a web API")
+input "door", "capability.lock", title: "Door"
+mappings {
+    path("/lock") {
+        action: [GET: "lockState"]
+    }
+}
+def installed() { }
+def lockState() { return door.currentLock }
+"#,
+        category: Category::WebService,
+        expected_rules: 0,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "WebThermoBridge",
+        source: r#"
+definition(name: "WebThermoBridge", description: "Expose thermostat setpoints over a web API")
+input "stat", "capability.thermostat", title: "Thermostat"
+mappings {
+    path("/setpoint") {
+        action: [GET: "getSetpoint", PUT: "setSetpoint"]
+    }
+}
+def installed() { }
+def getSetpoint() { return stat.currentHeatingSetpoint }
+def setSetpoint() { stat.setHeatingSetpoint(21) }
+"#,
+        category: Category::WebService,
+        expected_rules: 0,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "WebPresenceFeed",
+        source: r#"
+definition(name: "WebPresenceFeed", description: "Expose presence state over a web API")
+input "presence1", "capability.presenceSensor", title: "Phone"
+mappings {
+    path("/presence") {
+        action: [GET: "presenceState"]
+    }
+}
+def installed() { }
+def presenceState() { return presence1.currentPresence }
+"#,
+        category: Category::WebService,
+        expected_rules: 0,
+        expected_commands: &[],
+    },
+];

@@ -1,0 +1,334 @@
+//! Security, locks, modes and presence automation, including the chained-
+//! threat apps the paper names in §VIII-B (SwitchChangesMode, MakeItSo,
+//! CurlingIron, NFCTagToggle, LockItWhenILeave) and the Figs. 4-5 demo apps
+//! (BurglarFinder, NightCare).
+
+use crate::catalog::{Category, CorpusApp};
+
+/// The security corpus slice.
+pub static SECURITY_APPS: &[CorpusApp] = &[
+    CorpusApp {
+        name: "BurglarFinder",
+        source: r#"
+definition(name: "BurglarFinder", description: "Sound the alarm if the floor lamp is on with motion at midnight")
+input "floorLamp", "capability.switch", title: "Floor lamp"
+input "motion1", "capability.motionSensor", title: "Motion sensor"
+input "siren1", "capability.alarm", title: "Siren"
+def installed() { subscribe(floorLamp, "switch.on", lampHandler) }
+def lampHandler(evt) {
+    if (motion1.currentMotion == "active" && floorLamp.currentSwitch == "on") {
+        siren1.siren()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["siren"],
+    },
+    CorpusApp {
+        name: "NightCare",
+        source: r#"
+definition(name: "NightCare", description: "Turn the floor lamp off after 5 minutes in sleep mode")
+input "floorLamp", "capability.switch", title: "Floor lamp"
+def installed() { subscribe(floorLamp, "switch.on", lampHandler) }
+def lampHandler(evt) {
+    if (location.mode == "Night") { runIn(300, lampOff) }
+}
+def lampOff() { floorLamp.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "SwitchChangesMode",
+        source: r#"
+definition(name: "SwitchChangesMode", description: "Change the home mode from a switch")
+input "toggle", "capability.switch", title: "Mode switch"
+def installed() { subscribe(toggle, "switch", switchHandler) }
+def switchHandler(evt) {
+    if (evt.value == "on") {
+        setLocationMode("Home")
+    } else {
+        setLocationMode("Away")
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["setLocationMode"],
+    },
+    CorpusApp {
+        name: "MakeItSo",
+        source: r#"
+definition(name: "MakeItSo", description: "Restore switch and lock states when the home changes mode")
+input "door", "capability.lock", title: "Front door lock"
+input "switches", "capability.switch", title: "Switches", multiple: true
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Home") {
+        door.unlock()
+        switches.on()
+    } else {
+        door.lock()
+        switches.off()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["unlock", "on", "lock", "off"],
+    },
+    CorpusApp {
+        name: "CurlingIron",
+        source: r#"
+definition(name: "CurlingIron", description: "Turn on the vanity outlets when motion is detected")
+input "motion1", "capability.motionSensor", title: "Bathroom motion"
+input "outlets", "capability.switch", title: "Curling iron outlets", multiple: true
+def installed() { subscribe(motion1, "motion.active", motionHandler) }
+def motionHandler(evt) {
+    outlets.on()
+    runIn(1800, outletsOff)
+}
+def outletsOff() { outlets.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "NFCTagToggle",
+        source: r#"
+definition(name: "NFCTagToggle", description: "Toggle appliances and the door lock from an app tap")
+input "switches", "capability.switch", title: "Appliances", multiple: true
+input "door", "capability.lock", title: "Door lock"
+def installed() { subscribe(app, appTouch) }
+def appTouch(evt) {
+    if (switches.currentSwitch == "on") {
+        switches.off()
+        door.lock()
+    } else {
+        switches.on()
+        door.unlock()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["off", "lock", "on", "unlock"],
+    },
+    CorpusApp {
+        name: "LockItWhenILeave",
+        source: r#"
+definition(name: "LockItWhenILeave", description: "Lock the doors when my presence sensor leaves")
+input "presence1", "capability.presenceSensor", title: "Whose phone?"
+input "doors", "capability.lock", title: "Doors", multiple: true
+def installed() { subscribe(presence1, "presence.not present", leftHandler) }
+def leftHandler(evt) { doors.lock() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["lock"],
+    },
+    CorpusApp {
+        name: "LockItAtNight",
+        source: r#"
+definition(name: "LockItAtNight", description: "Lock everything at 23:00")
+input "doors", "capability.lock", title: "Doors", multiple: true
+def installed() { schedule("23:00", lockUp) }
+def lockUp() { doors.lock() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["lock"],
+    },
+    CorpusApp {
+        name: "UnlockOnArrival",
+        source: r#"
+definition(name: "UnlockOnArrival", description: "Unlock the front door when I arrive home")
+input "presence1", "capability.presenceSensor", title: "Whose phone?"
+input "door", "capability.lock", title: "Front door"
+def installed() { subscribe(presence1, "presence.present", arriveHandler) }
+def arriveHandler(evt) { door.unlock() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["unlock"],
+    },
+    CorpusApp {
+        name: "GoodnightHouse",
+        source: r#"
+definition(name: "GoodnightHouse", description: "Night mode locks doors and kills lights")
+input "doors", "capability.lock", title: "Doors", multiple: true
+input "lights", "capability.switch", title: "Lights", multiple: true
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Night") {
+        doors.lock()
+        lights.off()
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["lock", "off"],
+    },
+    CorpusApp {
+        name: "SmokeSiren",
+        source: r#"
+definition(name: "SmokeSiren", description: "Sound the siren and unlock exits when smoke is detected")
+input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+input "siren1", "capability.alarm", title: "Siren"
+input "exits", "capability.lock", title: "Exit doors", multiple: true
+def installed() { subscribe(smoke1, "smoke.detected", smokeHandler) }
+def smokeHandler(evt) {
+    siren1.both()
+    exits.unlock()
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["both", "unlock"],
+    },
+    CorpusApp {
+        name: "COShutoff",
+        source: r#"
+definition(name: "COShutoff", description: "Kill the furnace when carbon monoxide is detected")
+input "co1", "capability.carbonMonoxideDetector", title: "CO detector"
+input "furnace", "capability.switch", title: "Furnace switch"
+def installed() { subscribe(co1, "carbonMonoxide.detected", coHandler) }
+def coHandler(evt) { furnace.off() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "LeakShutoff",
+        source: r#"
+definition(name: "LeakShutoff", description: "Close the water main on a leak")
+input "leak", "capability.waterSensor", title: "Leak sensor"
+input "main", "capability.valve", title: "Water main valve"
+def installed() { subscribe(leak, "water.wet", wetHandler) }
+def wetHandler(evt) { main.close() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["close"],
+    },
+    CorpusApp {
+        name: "SirenOnBreakin",
+        source: r#"
+definition(name: "SirenOnBreakin", description: "Siren when a door opens in Away mode")
+input "contact1", "capability.contactSensor", title: "Door contact"
+input "siren1", "capability.alarm", title: "Siren"
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def openHandler(evt) {
+    if (location.mode == "Away") { siren1.siren() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["siren"],
+    },
+    CorpusApp {
+        name: "QuietTheSiren",
+        source: r#"
+definition(name: "QuietTheSiren", description: "Silence the siren when the home mode returns to Home")
+input "siren1", "capability.alarm", title: "Siren"
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Home") { siren1.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["off"],
+    },
+    CorpusApp {
+        name: "PresenceMode",
+        source: r#"
+definition(name: "PresenceMode", description: "Set Away when everyone leaves, Home when anyone arrives")
+input "presence1", "capability.presenceSensor", title: "Household phones"
+def installed() { subscribe(presence1, "presence", presenceHandler) }
+def presenceHandler(evt) {
+    if (evt.value == "present") {
+        setLocationMode("Home")
+    } else {
+        setLocationMode("Away")
+    }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["setLocationMode"],
+    },
+    CorpusApp {
+        name: "EveryoneAsleep",
+        source: r#"
+definition(name: "EveryoneAsleep", description: "Enter Night mode when the sleep sensor reports sleeping")
+input "bed", "capability.sleepSensor", title: "Sleep sensor"
+def installed() { subscribe(bed, "sleeping.sleeping", asleepHandler) }
+def asleepHandler(evt) { setLocationMode("Night") }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["setLocationMode"],
+    },
+    CorpusApp {
+        name: "BackDoorWatch",
+        source: r#"
+definition(name: "BackDoorWatch", description: "Text me when the back door opens while Away")
+input "contact1", "capability.contactSensor", title: "Back door"
+input "phone1", "phone", title: "Phone"
+def installed() { subscribe(contact1, "contact.open", openHandler) }
+def openHandler(evt) {
+    if (location.mode == "Away") { sendSms(phone1, "Back door opened!") }
+}
+"#,
+        category: Category::NotificationOnly,
+        expected_rules: 1,
+        expected_commands: &[],
+    },
+    CorpusApp {
+        name: "GarageLeftOpen",
+        source: r#"
+definition(name: "GarageLeftOpen", description: "Close the garage if it stays open into the night")
+input "garage", "capability.garageDoorControl", title: "Garage door"
+def installed() { schedule("22:00", nightCheck) }
+def nightCheck() {
+    if (garage.currentDoor == "open") { garage.close() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["close"],
+    },
+    CorpusApp {
+        name: "CameraOnDeparture",
+        source: r#"
+definition(name: "CameraOnDeparture", description: "Arm the camera outlet when the home goes Away")
+input "camOutlet", "capability.switch", title: "Camera outlet"
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Away") { camOutlet.on() } else { camOutlet.off() }
+}
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 2,
+        expected_commands: &["on", "off"],
+    },
+    CorpusApp {
+        name: "KnockKnock",
+        source: r#"
+definition(name: "KnockKnock", description: "Chime when someone knocks (vibration without opening)")
+input "knock", "capability.accelerationSensor", title: "Door sensor"
+input "chime", "capability.tone", title: "Chime"
+def installed() { subscribe(knock, "acceleration.active", knockHandler) }
+def knockHandler(evt) { chime.beep() }
+"#,
+        category: Category::DeviceControl,
+        expected_rules: 1,
+        expected_commands: &["beep"],
+    },
+];

@@ -1,0 +1,49 @@
+//! Corpus catalogue types.
+//!
+//! The paper evaluates on the SmartThings public repository: 182 SmartApps,
+//! of which 36 are Web Services apps, 146 define automation, 90 control
+//! devices (the Fig. 8 population) and 56 only notify. This corpus recreates
+//! that population structurally: every app the paper names appears with
+//! functionally identical rule logic, and the remainder follow the public
+//! repository's common app patterns.
+
+/// How an app participates in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// Defines automation that issues device/mode commands — part of the
+    /// Fig. 8 pairwise-detection population.
+    DeviceControl,
+    /// Defines automation that only sends notifications (excluded from
+    /// Fig. 8, included in extraction effectiveness).
+    NotificationOnly,
+    /// Exposes web endpoints instead of defining automation (excluded from
+    /// rule extraction like the paper's 36 Web Services apps).
+    WebService,
+    /// Uses non-standard device types or undocumented APIs: extraction
+    /// fails with the stock configuration and succeeds with
+    /// `ExtractorConfig::extended` (paper §VIII-B special cases).
+    Special,
+}
+
+/// A corpus entry: one SmartApp plus its manually-derived ground truth.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusApp {
+    /// App name (matches the `definition(name:)` metadata).
+    pub name: &'static str,
+    /// Groovy source.
+    pub source: &'static str,
+    /// Evaluation category.
+    pub category: Category,
+    /// Ground truth: number of rules manual review finds.
+    pub expected_rules: usize,
+    /// Ground truth: the set of actuation commands the app can issue
+    /// (order-insensitive, deduplicated).
+    pub expected_commands: &'static [&'static str],
+}
+
+impl CorpusApp {
+    /// Whether extraction requires the extended configuration.
+    pub fn requires_extended(&self) -> bool {
+        self.category == Category::Special
+    }
+}

@@ -1,0 +1,124 @@
+//! # hg-corpus — the SmartApp population
+//!
+//! Recreates the paper's evaluation corpus (the SmartThings public
+//! repository, §VIII-B): benign automation apps across lighting, climate,
+//! security, convenience and notification domains — including every app the
+//! paper names — plus the 18 malicious apps of Table III and Web Services
+//! apps that define no automation.
+//!
+//! Each benign entry carries manually-derived ground truth (rule count and
+//! actuation command set) so extraction effectiveness can be measured the
+//! way the paper does.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benign_climate;
+pub mod benign_lighting;
+pub mod benign_misc;
+pub mod benign_security;
+pub mod catalog;
+pub mod malicious;
+
+pub use catalog::{Category, CorpusApp};
+pub use malicious::{AttackClass, MaliciousApp, MALICIOUS_APPS};
+
+/// All benign corpus apps.
+pub fn benign_apps() -> Vec<&'static CorpusApp> {
+    benign_lighting::LIGHTING_APPS
+        .iter()
+        .chain(benign_climate::CLIMATE_APPS)
+        .chain(benign_security::SECURITY_APPS)
+        .chain(benign_misc::CONVENIENCE_APPS)
+        .chain(benign_misc::NOTIFICATION_APPS)
+        .chain(benign_misc::SPECIAL_APPS)
+        .chain(benign_misc::WEB_SERVICE_APPS)
+        .collect()
+}
+
+/// The automation-defining subset (everything except Web Services apps),
+/// mirroring the paper's 146-app extraction population.
+pub fn automation_apps() -> Vec<&'static CorpusApp> {
+    benign_apps()
+        .into_iter()
+        .filter(|a| a.category != Category::WebService)
+        .collect()
+}
+
+/// The device-controlling subset used for the Fig. 8 pairwise analysis
+/// (the paper's 90-app population).
+pub fn device_control_apps() -> Vec<&'static CorpusApp> {
+    benign_apps()
+        .into_iter()
+        .filter(|a| matches!(a.category, Category::DeviceControl | Category::Special))
+        .collect()
+}
+
+/// Looks up a benign app by name.
+pub fn benign_app(name: &str) -> Option<&'static CorpusApp> {
+    benign_apps().into_iter().find(|a| a.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_size_is_substantial() {
+        let all = benign_apps();
+        assert!(all.len() >= 75, "corpus has {} apps", all.len());
+        assert!(automation_apps().len() >= 70);
+        assert!(device_control_apps().len() >= 55);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = benign_apps().iter().map(|a| a.name).collect();
+        names.extend(MALICIOUS_APPS.iter().map(|a| a.name));
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate app names in corpus");
+    }
+
+    #[test]
+    fn paper_named_apps_present() {
+        for name in [
+            "ComfortTV",
+            "ColdDefender",
+            "CatchLiveShow",
+            "BurglarFinder",
+            "NightCare",
+            "SwitchChangesMode",
+            "MakeItSo",
+            "CurlingIron",
+            "NFCTagToggle",
+            "LockItWhenILeave",
+            "LetThereBeDark",
+            "UndeadEarlyWarning",
+            "LightsOffWhenClosed",
+            "SmartNightlight",
+            "TurnItOnFor5Minutes",
+            "LightUpTheNight",
+            "ItsTooHot",
+            "EnergySaver",
+            "FeedMyPet",
+            "SleepyTime",
+            "CameraPowerScheduler",
+        ] {
+            assert!(benign_app(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn web_service_and_special_categories() {
+        assert_eq!(
+            benign_apps().iter().filter(|a| a.category == Category::WebService).count(),
+            4
+        );
+        assert_eq!(
+            benign_apps().iter().filter(|a| a.category == Category::Special).count(),
+            3
+        );
+    }
+}

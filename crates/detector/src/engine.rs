@@ -1,0 +1,741 @@
+//! Pairwise CAI threat detection (paper §VI).
+//!
+//! Detection is a two-stage pipeline per rule pair: cheap *candidate
+//! filtering* from the action analysis maps (M_AR, M_GC), then
+//! *overlapping-condition detection* with the constraint solver. Solver
+//! results are reused across threat kinds exactly as Fig. 9's green dotted
+//! edges describe: CT/SD/LT reuse the AR overlap result, DC reuses EC's.
+
+use crate::overlap::{OverlapSolver, Unification};
+use crate::report::{DetectStats, Threat, ThreatKind};
+use hg_capability::capability::{self, AttrEffect};
+use hg_capability::contradiction::{contradiction, Contradiction};
+use hg_capability::device_kind::DeviceKind;
+use hg_capability::domains::{EnvProperty, Sign};
+use hg_rules::constraint::{CmpOp, Formula, Term};
+use hg_rules::rule::{Action, ActionSubject, Rule, Trigger};
+use hg_rules::varid::{DeviceRef, VarId};
+use hg_solver::Outcome;
+
+/// The CAI threat detector.
+#[derive(Debug, Default)]
+pub struct Detector {
+    /// Device slot unification strategy.
+    pub unification: Unification,
+    /// Overlap solver (modes + collected configuration values).
+    pub solver: OverlapSolver,
+}
+
+impl Detector {
+    /// A detector for store-wide analysis (type-based unification).
+    pub fn store_wide() -> Detector {
+        Detector::default()
+    }
+
+    /// Detects all CAI threats between two rules (both directions for the
+    /// directed categories).
+    pub fn detect_pair(&self, r1: &Rule, r2: &Rule) -> (Vec<Threat>, DetectStats) {
+        let mut cx = PairCx {
+            detector: self,
+            orig: [r1, r2],
+            unified: [self.unification.unify_rule(r1), self.unification.unify_rule(r2)],
+            stats: DetectStats { pairs: 1, ..Default::default() },
+            situation_overlap: None,
+            condition_overlap: None,
+        };
+        let mut threats = Vec::new();
+        cx.detect_actuator_race(&mut threats);
+        cx.detect_goal_conflict(&mut threats);
+        let ct_12 = cx.detect_trigger_interference(0, 1, &mut threats);
+        let ct_21 = cx.detect_trigger_interference(1, 0, &mut threats);
+        cx.detect_self_disabling(ct_12, ct_21, &mut threats);
+        cx.detect_loop_triggering(ct_12, ct_21, &mut threats);
+        cx.detect_condition_interference(0, 1, &mut threats);
+        cx.detect_condition_interference(1, 0, &mut threats);
+        (threats, cx.stats)
+    }
+
+    /// Pairwise detection over a whole rule population.
+    pub fn detect_all(&self, rules: &[Rule]) -> (Vec<Threat>, DetectStats) {
+        let mut threats = Vec::new();
+        let mut stats = DetectStats::default();
+        for i in 0..rules.len() {
+            for j in (i + 1)..rules.len() {
+                let (t, s) = self.detect_pair(&rules[i], &rules[j]);
+                threats.extend(t);
+                stats.absorb(s);
+            }
+        }
+        (threats, stats)
+    }
+}
+
+struct PairCx<'a> {
+    detector: &'a Detector,
+    orig: [&'a Rule; 2],
+    unified: [Rule; 2],
+    stats: DetectStats,
+    /// Cached result of the merged situation solve (AR's overlap check),
+    /// reused by CT/SD/LT.
+    situation_overlap: Option<Outcome>,
+    /// Cached conditions-only overlap (GC and the CT environment channel).
+    condition_overlap: Option<Outcome>,
+}
+
+impl<'a> PairCx<'a> {
+    fn solve(&mut self, formulas: &[&Formula]) -> Outcome {
+        self.stats.solves += 1;
+        self.detector.solver.solve(formulas)
+    }
+
+    /// The overlap of both rules' full situations (trigger constraints plus
+    /// conditions), computed once and reused.
+    fn situation_overlap(&mut self) -> Outcome {
+        if let Some(o) = self.situation_overlap.clone() {
+            self.stats.reused += 1;
+            return o;
+        }
+        let s1 = self.unified[0].situation();
+        let s2 = self.unified[1].situation();
+        let outcome = self.solve(&[&s1, &s2]);
+        self.situation_overlap = Some(outcome.clone());
+        outcome
+    }
+
+    /// Conditions-only overlap (no trigger constraints): Table I requires
+    /// `C1 ∩ C2 ≠ ∅` for GC and the trigger-interference kinds. Cached.
+    fn condition_overlap(&mut self) -> Outcome {
+        if let Some(o) = self.condition_overlap.clone() {
+            self.stats.reused += 1;
+            return o;
+        }
+        let c1 = self.unified[0].condition.predicate.clone();
+        let c2 = self.unified[1].condition.predicate.clone();
+        let outcome = self.solve(&[&c1, &c2]);
+        self.condition_overlap = Some(outcome.clone());
+        outcome
+    }
+
+    // ----- Action-Interference threats (§VI-A) -------------------------------
+
+    fn detect_actuator_race(&mut self, out: &mut Vec<Threat>) {
+        let mut found = false;
+        let acts1: Vec<Action> = self.unified[0].actuations().cloned().collect();
+        let acts2: Vec<Action> = self.unified[1].actuations().cloned().collect();
+        for (i1, a1) in acts1.iter().enumerate() {
+            for a2 in acts2.iter() {
+                if found {
+                    break;
+                }
+                let Some(conflict) = actions_contradict(a1, a2) else { continue };
+                // AR requires the rules to take effect together: identical
+                // trigger events, or a delayed command that can land while
+                // the other rule fires.
+                let coincide = triggers_coincide(&self.unified[0].trigger, &self.unified[1].trigger)
+                    || a1.when_secs > 0
+                    || a2.when_secs > 0;
+                if !coincide {
+                    continue;
+                }
+                self.stats.candidates += 1;
+                let outcome = self.situation_overlap();
+                if let Outcome::Sat(witness) = outcome {
+                    found = true;
+                    out.push(Threat {
+                        kind: ThreatKind::ActuatorRace,
+                        source: self.unified[0].id.clone(),
+                        target: self.unified[1].id.clone(),
+                        witness: Some(witness),
+                        actuator: Some(action_subject_name(self.orig[0], i1)),
+                        property: None,
+                        note: format!(
+                            "`{}` and `{}` race on the same actuator ({})",
+                            a1.command,
+                            a2.command,
+                            describe_conflict(conflict)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    fn detect_goal_conflict(&mut self, out: &mut Vec<Threat>) {
+        let mut reported: Vec<EnvProperty> = Vec::new();
+        for a1 in self.orig[0].actuations() {
+            for a2 in self.orig[1].actuations() {
+                // Same-actuator conflicts are Actuator Races, not GCs.
+                let u1 = action_device(a1).map(|d| self.detector.unification.resolve(d));
+                let u2 = action_device(a2).map(|d| self.detector.unification.resolve(d));
+                if let (Some(d1), Some(d2)) = (&u1, &u2) {
+                    if d1.same_device(d2) {
+                        continue;
+                    }
+                }
+                let (Some(k1), Some(k2)) = (action_kind(a1), action_kind(a2)) else {
+                    continue;
+                };
+                for prop in EnvProperty::ALL {
+                    if reported.contains(&prop) {
+                        continue;
+                    }
+                    let (Some(s1), Some(s2)) =
+                        (k1.effect_on(&a1.command, prop), k2.effect_on(&a2.command, prop))
+                    else {
+                        continue;
+                    };
+                    if s1 != s2.opposite() {
+                        continue;
+                    }
+                    self.stats.candidates += 1;
+                    if let Outcome::Sat(witness) = self.condition_overlap() {
+                        reported.push(prop);
+                        out.push(Threat {
+                            kind: ThreatKind::GoalConflict,
+                            source: self.unified[0].id.clone(),
+                            target: self.unified[1].id.clone(),
+                            witness: Some(witness),
+                            actuator: None,
+                            property: Some(prop),
+                            note: format!(
+                                "`{}` on {} ({s1}{prop}) conflicts with `{}` on {} ({s2}{prop})",
+                                a1.command,
+                                k1.name(),
+                                a2.command,
+                                k2.name(),
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- Trigger-Interference threats (§VI-B) -------------------------------
+
+    /// Detects CT from rule `src` to rule `dst`; returns whether a CT pair
+    /// was established (used by SD/LT).
+    fn detect_trigger_interference(
+        &mut self,
+        src: usize,
+        dst: usize,
+        out: &mut Vec<Threat>,
+    ) -> bool {
+        let Some(t2_var) = self.unified[dst].trigger.observed_var() else {
+            return false;
+        };
+        let t2_constraint = self.unified[dst].trigger.constraint().cloned();
+        let mut found = false;
+        let actions: Vec<Action> = self.unified[src].actuations().cloned().collect();
+        let orig_actions: Vec<Action> = self.orig[src].actuations().cloned().collect();
+        for (a_unified, a_orig) in actions.iter().zip(orig_actions.iter()) {
+            if found {
+                break;
+            }
+            // Channel 1: the command directly writes the observed variable.
+            for (var, effect) in direct_effects(a_unified) {
+                if var != t2_var {
+                    continue;
+                }
+                self.stats.candidates += 1;
+                // Effect value must satisfy T2's constraint together with
+                // both conditions. Reuses the AR situation solve when no
+                // effect refinement is needed.
+                let c1 = self.unified[src].condition.predicate.clone();
+                let c2 = self.unified[dst].condition.predicate.clone();
+                let mut parts = vec![&effect, &c1, &c2];
+                let t2c = t2_constraint.clone().unwrap_or(Formula::True);
+                parts.push(&t2c);
+                let outcome = self.solve(&parts);
+                if let Outcome::Sat(witness) = outcome {
+                    found = true;
+                    out.push(Threat {
+                        kind: ThreatKind::CovertTriggering,
+                        source: self.unified[src].id.clone(),
+                        target: self.unified[dst].id.clone(),
+                        witness: Some(witness),
+                        actuator: None,
+                        property: None,
+                        note: format!(
+                            "`{}` changes `{var}`, which triggers {}",
+                            a_unified.command, self.unified[dst].id
+                        ),
+                    });
+                    break;
+                }
+            }
+            if found {
+                break;
+            }
+            // Channel 2: the command moves an environment feature a sensor
+            // reports, and the movement direction can fire T2.
+            let Some(kind) = action_kind(a_orig) else { continue };
+            for fx in kind.goal_effects() {
+                if fx.command != a_orig.command {
+                    continue;
+                }
+                let env_var = VarId::env(fx.property.name());
+                if env_var != t2_var {
+                    continue;
+                }
+                if !direction_compatible(t2_constraint.as_ref(), &t2_var, fx.sign) {
+                    continue;
+                }
+                self.stats.candidates += 1;
+                let outcome = self.condition_overlap();
+                if let Outcome::Sat(witness) = outcome {
+                    found = true;
+                    out.push(Threat {
+                        kind: ThreatKind::CovertTriggering,
+                        source: self.unified[src].id.clone(),
+                        target: self.unified[dst].id.clone(),
+                        witness: Some(witness),
+                        actuator: None,
+                        property: Some(fx.property),
+                        note: format!(
+                            "`{}` on {} moves {} ({}), which can trigger {}",
+                            a_orig.command,
+                            kind.name(),
+                            fx.property,
+                            fx.sign,
+                            self.unified[dst].id
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+        found
+    }
+
+    fn detect_self_disabling(&mut self, ct_12: bool, ct_21: bool, out: &mut Vec<Threat>) {
+        for (src, dst, ct) in [(0usize, 1usize, ct_12), (1, 0, ct_21)] {
+            if !ct {
+                continue;
+            }
+            // R_dst's action must undo R_src's action on the same actuator.
+            if let Some((actuator, note)) =
+                first_contradictory_pair(&self.unified[src], &self.unified[dst])
+            {
+                // Reuse the action-analysis + CT overlap results: no fresh
+                // solving needed (Fig. 9).
+                self.stats.reused += 1;
+                out.push(Threat {
+                    kind: ThreatKind::SelfDisabling,
+                    source: self.unified[src].id.clone(),
+                    target: self.unified[dst].id.clone(),
+                    witness: None,
+                    actuator: Some(actuator),
+                    property: None,
+                    note: format!(
+                        "{} covertly triggers {}, whose action undoes it ({note})",
+                        self.unified[src].id, self.unified[dst].id
+                    ),
+                });
+            }
+        }
+    }
+
+    fn detect_loop_triggering(&mut self, ct_12: bool, ct_21: bool, out: &mut Vec<Threat>) {
+        if !(ct_12 && ct_21) {
+            return;
+        }
+        if let Some((actuator, note)) =
+            first_contradictory_pair(&self.unified[0], &self.unified[1])
+        {
+            self.stats.reused += 1;
+            out.push(Threat {
+                kind: ThreatKind::LoopTriggering,
+                source: self.unified[0].id.clone(),
+                target: self.unified[1].id.clone(),
+                witness: None,
+                actuator: Some(actuator),
+                property: None,
+                note: format!("mutual triggering with contradictory actions ({note})"),
+            });
+        }
+    }
+
+    // ----- Condition-Interference threats (§VI-C) -------------------------------
+
+    fn detect_condition_interference(&mut self, src: usize, dst: usize, out: &mut Vec<Threat>) {
+        let c2 = self.unified[dst].condition.predicate.clone();
+        if c2 == Formula::True {
+            return;
+        }
+        let c2_vars = c2.variables();
+        let actions: Vec<Action> = self.unified[src].actuations().cloned().collect();
+        let orig_actions: Vec<Action> = self.orig[src].actuations().cloned().collect();
+        let mut reported_ec = false;
+        let mut reported_dc = false;
+        for (a_unified, a_orig) in actions.iter().zip(orig_actions.iter()) {
+            if reported_ec && reported_dc {
+                break;
+            }
+            // Channel 1: direct attribute writes mentioned by C2.
+            for (var, effect) in direct_effects(a_unified) {
+                if !c2_vars.contains(&var) {
+                    continue;
+                }
+                self.stats.candidates += 1;
+                // EC solve; DC reuses its result (Fig. 9).
+                let outcome = self.solve(&[&effect, &c2]);
+                self.stats.reused += 1; // the DC decision reuses this solve
+                let (kind, already) = match outcome {
+                    Outcome::Sat(_) => (ThreatKind::EnablingCondition, &mut reported_ec),
+                    _ => (ThreatKind::DisablingCondition, &mut reported_dc),
+                };
+                if *already {
+                    continue;
+                }
+                *already = true;
+                out.push(Threat {
+                    kind,
+                    source: self.unified[src].id.clone(),
+                    target: self.unified[dst].id.clone(),
+                    witness: outcome.witness().cloned(),
+                    actuator: None,
+                    property: None,
+                    note: format!(
+                        "`{}` sets `{var}`, which {} the condition of {}",
+                        a_unified.command,
+                        if kind == ThreatKind::EnablingCondition {
+                            "can satisfy"
+                        } else {
+                            "falsifies"
+                        },
+                        self.unified[dst].id
+                    ),
+                });
+            }
+            // Channel 2: environment movement vs. C2's numeric thresholds.
+            let Some(kind_dev) = action_kind(a_orig) else { continue };
+            for fx in kind_dev.goal_effects() {
+                if fx.command != a_orig.command {
+                    continue;
+                }
+                let env_var = VarId::env(fx.property.name());
+                if !c2_vars.contains(&env_var) {
+                    continue;
+                }
+                self.stats.candidates += 1;
+                for (threat_kind, flag) in classify_env_condition_effect(&c2, &env_var, fx.sign) {
+                    let already = match threat_kind {
+                        ThreatKind::EnablingCondition => &mut reported_ec,
+                        _ => &mut reported_dc,
+                    };
+                    if *already || !flag {
+                        continue;
+                    }
+                    *already = true;
+                    out.push(Threat {
+                        kind: threat_kind,
+                        source: self.unified[src].id.clone(),
+                        target: self.unified[dst].id.clone(),
+                        witness: None,
+                        actuator: None,
+                        property: Some(fx.property),
+                        note: format!(
+                            "`{}` on {} moves {} ({}), which {} the condition of {}",
+                            a_orig.command,
+                            kind_dev.name(),
+                            fx.property,
+                            fx.sign,
+                            if threat_kind == ThreatKind::EnablingCondition {
+                                "can enable"
+                            } else {
+                                "can disable"
+                            },
+                            self.unified[dst].id
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ----- helpers ------------------------------------------------------------------
+
+/// The device a (device-)action targets.
+fn action_device(a: &Action) -> Option<&DeviceRef> {
+    a.subject.device()
+}
+
+/// The classified device kind of an action's original (pre-unification)
+/// subject.
+fn action_kind(a: &Action) -> Option<DeviceKind> {
+    match &a.subject {
+        ActionSubject::Device(DeviceRef::Unbound { kind, .. }) => Some(*kind),
+        ActionSubject::Device(DeviceRef::Bound { device_id }) => {
+            // Synthetic type ids carry the kind.
+            let rest = device_id.strip_prefix("type:")?;
+            let (_, kind_name) = rest.split_once('/')?;
+            DeviceKind::ALL.into_iter().find(|k| k.name() == kind_name)
+        }
+        _ => None,
+    }
+}
+
+/// Whether two actions contradict on the same actuator.
+fn actions_contradict(a1: &Action, a2: &Action) -> Option<Contradiction> {
+    match (&a1.subject, &a2.subject) {
+        (ActionSubject::Device(d1), ActionSubject::Device(d2)) => {
+            if !d1.same_device(d2) {
+                return None;
+            }
+            // Prefer the device's own capability for contradiction lookup.
+            if let Some(cap) = device_capability(d1) {
+                if cap.command(&a1.command).is_some() && cap.command(&a2.command).is_some() {
+                    match contradiction(cap, &a1.command, &a2.command) {
+                        Contradiction::Direct => return Some(Contradiction::Direct),
+                        Contradiction::ParamDependent => {
+                            if a1.params == a2.params && a1.params.iter().all(is_const_term) {
+                                return None;
+                            }
+                            return Some(Contradiction::ParamDependent);
+                        }
+                        Contradiction::None => return None,
+                    }
+                }
+            }
+            // Fall back to any capability defining both commands.
+            for cap in capability::CAPABILITIES {
+                if cap.command(&a1.command).is_some() && cap.command(&a2.command).is_some() {
+                    match contradiction(cap, &a1.command, &a2.command) {
+                        Contradiction::None => continue,
+                        Contradiction::Direct => return Some(Contradiction::Direct),
+                        Contradiction::ParamDependent => {
+                            // Same parameterized command: races only when the
+                            // parameters can differ.
+                            if a1.params == a2.params && a1.params.iter().all(is_const_term) {
+                                return None;
+                            }
+                            return Some(Contradiction::ParamDependent);
+                        }
+                    }
+                }
+            }
+            None
+        }
+        (ActionSubject::LocationMode, ActionSubject::LocationMode) => {
+            if a1.params == a2.params && a1.params.iter().all(is_const_term) {
+                None
+            } else {
+                Some(Contradiction::ParamDependent)
+            }
+        }
+        _ => None,
+    }
+}
+
+fn is_const_term(t: &Term) -> bool {
+    t.as_const().is_some()
+}
+
+fn describe_conflict(c: Contradiction) -> &'static str {
+    match c {
+        Contradiction::Direct => "opposite commands",
+        Contradiction::ParamDependent => "conflicting parameters",
+        Contradiction::None => "no conflict",
+    }
+}
+
+/// Whether two triggers can fire from the same event.
+fn triggers_coincide(t1: &Trigger, t2: &Trigger) -> bool {
+    match (t1, t2) {
+        (Trigger::DeviceEvent { .. }, Trigger::DeviceEvent { .. }) => {
+            t1.observed_var() == t2.observed_var()
+        }
+        (Trigger::ModeChange { .. }, Trigger::ModeChange { .. }) => true,
+        (Trigger::Periodic { period_secs: p1 }, Trigger::Periodic { period_secs: p2 }) => {
+            p1 == p2
+        }
+        (
+            Trigger::TimeOfDay { at_minutes: Some(m1), .. },
+            Trigger::TimeOfDay { at_minutes: Some(m2), .. },
+        ) => m1 == m2,
+        (Trigger::AppTouch, Trigger::AppTouch) => true,
+        _ => false,
+    }
+}
+
+/// The direct world-state writes of an action: `(variable, effect formula)`.
+fn direct_effects(a: &Action) -> Vec<(VarId, Formula)> {
+    let mut out = Vec::new();
+    match &a.subject {
+        ActionSubject::Device(dev) => {
+            // Prefer the device's own capability; fall back to the first
+            // capability defining the command with effects.
+            let own = device_capability(dev)
+                .filter(|cap| cap.command(&a.command).is_some());
+            let cap = own.or_else(|| {
+                capability::CAPABILITIES.iter().find(|c| {
+                    c.command(&a.command)
+                        .map(|cmd| !cmd.effects.is_empty())
+                        .unwrap_or(false)
+                })
+            });
+            let Some(cap) = cap else { return out };
+            let Some(cmd) = cap.command(&a.command) else { return out };
+            for eff in cmd.effects {
+                match eff {
+                    AttrEffect::SetConst { attribute, value } => {
+                        let var = VarId::canonical_attr(dev, attribute);
+                        out.push((
+                            var.clone(),
+                            Formula::cmp(
+                                Term::Var(var),
+                                CmpOp::Eq,
+                                Term::sym(value.to_string()),
+                            ),
+                        ));
+                    }
+                    AttrEffect::SetParam { attribute, param_index } => {
+                        if let Some(p) = a.params.get(*param_index) {
+                            let var = VarId::canonical_attr(dev, attribute);
+                            out.push((
+                                var.clone(),
+                                Formula::cmp(Term::Var(var), CmpOp::Eq, p.clone()),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        ActionSubject::LocationMode => {
+            if let Some(p) = a.params.first() {
+                out.push((
+                    VarId::Mode,
+                    Formula::cmp(Term::Var(VarId::Mode), CmpOp::Eq, p.clone()),
+                ));
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+/// The capability a device reference was granted with, resolving synthetic
+/// `type:capability/kind` ids.
+fn device_capability(dev: &DeviceRef) -> Option<&'static hg_capability::capability::Capability> {
+    if let Some(name) = dev.capability() {
+        return capability::lookup(name);
+    }
+    if let DeviceRef::Bound { device_id } = dev {
+        if let Some(rest) = device_id.strip_prefix("type:") {
+            if let Some((name, _)) = rest.split_once('/') {
+                return capability::lookup(name);
+            }
+        }
+    }
+    None
+}
+
+/// Whether a trigger constraint is compatible with the environment moving in
+/// `sign` direction: a `> c` trigger needs an increase, `< c` a decrease,
+/// `==`/no-constraint accepts both.
+fn direction_compatible(constraint: Option<&Formula>, var: &VarId, sign: Sign) -> bool {
+    let Some(c) = constraint else { return true };
+    let mut compatible = false;
+    let mut any_atom = false;
+    scan_atoms(c, &mut |lhs, op, rhs| {
+        let (op, touches) = match (lhs, rhs) {
+            (Term::Var(v), _) if v == var => (op, true),
+            (_, Term::Var(v)) if v == var => (op.flip(), true),
+            _ => (op, false),
+        };
+        if !touches {
+            return;
+        }
+        any_atom = true;
+        let ok = match (op, sign) {
+            (CmpOp::Gt | CmpOp::Ge, Sign::Inc) => true,
+            (CmpOp::Lt | CmpOp::Le, Sign::Dec) => true,
+            (CmpOp::Eq | CmpOp::Ne, _) => true,
+            _ => false,
+        };
+        compatible |= ok;
+    });
+    !any_atom || compatible
+}
+
+/// Classifies how moving `var` in `sign` direction affects a condition:
+/// returns flags for (EnablingCondition, DisablingCondition).
+fn classify_env_condition_effect(
+    c2: &Formula,
+    var: &VarId,
+    sign: Sign,
+) -> [(ThreatKind, bool); 2] {
+    let mut enables = false;
+    let mut disables = false;
+    scan_atoms(c2, &mut |lhs, op, rhs| {
+        let (op, touches) = match (lhs, rhs) {
+            (Term::Var(v), _) if v == var => (op, true),
+            (_, Term::Var(v)) if v == var => (op.flip(), true),
+            _ => (op, false),
+        };
+        if !touches {
+            return;
+        }
+        match (op, sign) {
+            (CmpOp::Gt | CmpOp::Ge, Sign::Inc) | (CmpOp::Lt | CmpOp::Le, Sign::Dec) => {
+                enables = true;
+            }
+            (CmpOp::Gt | CmpOp::Ge, Sign::Dec) | (CmpOp::Lt | CmpOp::Le, Sign::Inc) => {
+                disables = true;
+            }
+            (CmpOp::Eq | CmpOp::Ne, _) => {
+                // Movement can cross an equality in either direction.
+                enables = true;
+                disables = true;
+            }
+        }
+    });
+    [
+        (ThreatKind::EnablingCondition, enables),
+        (ThreatKind::DisablingCondition, disables),
+    ]
+}
+
+fn scan_atoms(f: &Formula, visit: &mut impl FnMut(&Term, CmpOp, &Term)) {
+    match f {
+        Formula::Cmp { lhs, op, rhs } => visit(lhs, *op, rhs),
+        Formula::And(parts) | Formula::Or(parts) => {
+            for p in parts {
+                scan_atoms(p, visit);
+            }
+        }
+        Formula::Not(inner) => scan_atoms(inner, visit),
+        _ => {}
+    }
+}
+
+/// First contradictory action pair between two rules (for SD/LT notes).
+fn first_contradictory_pair(r1: &Rule, r2: &Rule) -> Option<(String, String)> {
+    for a1 in r1.actuations() {
+        for a2 in r2.actuations() {
+            if actions_contradict(a1, a2).is_some() {
+                let actuator = match a1.subject.device() {
+                    Some(d) => d.to_string(),
+                    None => "location mode".to_string(),
+                };
+                return Some((actuator, format!("`{}` vs `{}`", a1.command, a2.command)));
+            }
+        }
+    }
+    None
+}
+
+/// Display name for the i-th actuation subject of a rule (pre-unification,
+/// so the user sees the input slot name).
+fn action_subject_name(rule: &Rule, index: usize) -> String {
+    rule.actuations()
+        .nth(index)
+        .map(|a| match &a.subject {
+            ActionSubject::Device(d) => d.to_string(),
+            ActionSubject::LocationMode => "location mode".to_string(),
+            _ => "?".to_string(),
+        })
+        .unwrap_or_else(|| "?".to_string())
+}

@@ -1,0 +1,56 @@
+//! # hg-detector — CAI threat detection engine
+//!
+//! Implements paper §VI: given the rules of installed apps, detect the seven
+//! Cross-App Interference threat categories of Table I:
+//!
+//! | Category | Kinds | Section |
+//! |---|---|---|
+//! | Action-Interference | Actuator Race (AR), Goal Conflict (GC) | §VI-A |
+//! | Trigger-Interference | Covert Triggering (CT), Self Disabling (SD), Loop Triggering (LT) | §VI-B |
+//! | Condition-Interference | Enabling (EC), Disabling (DC) | §VI-C |
+//!
+//! plus chained (indirect) threats through user-allowed pairs (§VI-D,
+//! [`chained`]).
+//!
+//! Detection per pair is candidate filtering (action analysis over the
+//! M_AR/M_GC maps from `hg-capability`) followed by overlapping-condition
+//! detection via `hg-solver`, with solver-result reuse across threat kinds
+//! as in the paper's Fig. 9.
+//!
+//! # Examples
+//!
+//! ```
+//! use hg_detector::{Detector, ThreatKind};
+//! use hg_symexec::{extract, ExtractorConfig};
+//!
+//! // Two apps race on the same (type-unified) light.
+//! let a = extract(r#"
+//!     input "m", "capability.motionSensor"
+//!     input "lamp", "capability.switch", title: "lamp"
+//!     def installed() { subscribe(m, "motion", h) }
+//!     def h(evt) { if (evt.value == "active") { lamp.on() } }
+//! "#, "A", &ExtractorConfig::default()).unwrap();
+//! let b = extract(r#"
+//!     input "m", "capability.motionSensor"
+//!     input "lamp", "capability.switch", title: "lamp"
+//!     def installed() { subscribe(m, "motion", h) }
+//!     def h(evt) { if (evt.value == "active") { lamp.off() } }
+//! "#, "B", &ExtractorConfig::default()).unwrap();
+//!
+//! let detector = Detector::store_wide();
+//! let (threats, _) = detector.detect_pair(&a.rules[0], &b.rules[0]);
+//! assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chained;
+pub mod engine;
+pub mod overlap;
+pub mod report;
+
+pub use chained::{find_chains, Chain, Edge};
+pub use engine::Detector;
+pub use overlap::{OverlapSolver, Unification, UserValues};
+pub use report::{DetectStats, Threat, ThreatKind};

@@ -1,0 +1,346 @@
+//! Device unification, domain declaration, and overlapping-condition
+//! detection (paper §VI-A2).
+//!
+//! Before two rules' formulas can be merged, their device references must be
+//! *unified*: the detector must know when two input slots denote the same
+//! physical device. In deployment that comes from the 128-bit device ids the
+//! configuration collector gathered; in store-wide analysis (paper §VIII-B)
+//! two slots of the same device type are assumed bindable to the same device.
+
+use hg_capability::capability;
+use hg_capability::domains::{scaled, AttrDomain};
+use hg_rules::constraint::Formula;
+use hg_rules::rule::{Action, ActionSubject, Rule, Trigger};
+use hg_rules::value::Value;
+use hg_rules::varid::{DeviceRef, VarId};
+use hg_solver::{Model, Outcome};
+use std::collections::BTreeMap;
+
+/// How device slots are resolved to concrete devices.
+#[derive(Debug, Clone, Default)]
+pub enum Unification {
+    /// Use collected configuration: `(app, input) → device id`.
+    Bindings(BTreeMap<(String, String), String>),
+    /// Assume two slots of the same device type are the same device
+    /// (store-wide analysis, §VIII-B).
+    #[default]
+    ByType,
+}
+
+impl Unification {
+    /// Resolves a device reference to its canonical bound form.
+    pub fn resolve(&self, d: &DeviceRef) -> DeviceRef {
+        match d {
+            DeviceRef::Bound { .. } => d.clone(),
+            DeviceRef::Unbound { app, input, capability, kind } => match self {
+                Unification::Bindings(map) => {
+                    match map.get(&(app.clone(), input.clone())) {
+                        Some(id) => DeviceRef::bound(id.clone()),
+                        None => d.clone(),
+                    }
+                }
+                Unification::ByType => DeviceRef::Bound {
+                    device_id: format!("type:{capability}/{}", kind.name()),
+                },
+            },
+        }
+    }
+
+    /// Rewrites a rule so every device reference is resolved.
+    pub fn unify_rule(&self, rule: &Rule) -> Rule {
+        let map_var = |v: &VarId| -> VarId {
+            match v {
+                VarId::DeviceAttr { device, attribute } => VarId::DeviceAttr {
+                    device: self.resolve(device),
+                    attribute: attribute.clone(),
+                },
+                other => other.clone(),
+            }
+        };
+        let map_formula = |f: &Formula| f.map_vars(&map_var);
+        let trigger = match &rule.trigger {
+            Trigger::DeviceEvent { subject, attribute, constraint } => Trigger::DeviceEvent {
+                subject: self.resolve(subject),
+                attribute: attribute.clone(),
+                constraint: constraint.as_ref().map(map_formula),
+            },
+            Trigger::ModeChange { constraint } => Trigger::ModeChange {
+                constraint: constraint.as_ref().map(map_formula),
+            },
+            other => other.clone(),
+        };
+        let actions = rule
+            .actions
+            .iter()
+            .map(|a| Action {
+                subject: match &a.subject {
+                    ActionSubject::Device(d) => ActionSubject::Device(self.resolve(d)),
+                    other => other.clone(),
+                },
+                ..a.clone()
+            })
+            .collect();
+        Rule {
+            id: rule.id.clone(),
+            trigger,
+            condition: hg_rules::rule::Condition {
+                data_constraints: rule.condition.data_constraints.clone(),
+                predicate: map_formula(&rule.condition.predicate),
+            },
+            actions,
+        }
+    }
+}
+
+/// Configuration values collected at install time: `(app, input) → value`.
+pub type UserValues = BTreeMap<(String, String), Value>;
+
+/// Builds a solver model declaring domains for every variable the formulas
+/// mention, substituting collected user-input values first.
+#[derive(Debug, Clone)]
+pub struct OverlapSolver {
+    /// The home's location modes.
+    pub modes: Vec<String>,
+    /// Collected user-configured values.
+    pub user_values: UserValues,
+}
+
+impl Default for OverlapSolver {
+    fn default() -> Self {
+        OverlapSolver {
+            modes: vec!["Home".into(), "Away".into(), "Night".into()],
+            user_values: UserValues::new(),
+        }
+    }
+}
+
+impl OverlapSolver {
+    /// Substitutes collected configuration values into a formula.
+    pub fn substitute(&self, f: &Formula) -> Formula {
+        f.substitute(&|v| match v {
+            VarId::UserInput { app, name } => {
+                self.user_values.get(&(app.clone(), name.clone())).cloned()
+            }
+            _ => None,
+        })
+    }
+
+    /// Solves the conjunction of `formulas` after substitution and domain
+    /// declaration. This is the paper's overlapping-condition detection.
+    pub fn solve(&self, formulas: &[&Formula]) -> Outcome {
+        let merged = Formula::and(formulas.iter().map(|f| self.substitute(f)));
+        let mut model = Model::new();
+        self.declare_domains(&mut model, &merged);
+        model.solve(&merged)
+    }
+
+    /// Declares domains for every variable in `f`.
+    pub fn declare_domains(&self, model: &mut Model, f: &Formula) {
+        for var in f.variables() {
+            if model.is_declared(&var) {
+                continue;
+            }
+            match &var {
+                VarId::DeviceAttr { device, attribute } => {
+                    if let Some(domain) = attr_domain(device, attribute) {
+                        match domain {
+                            AttrDomain::Enum(values) => {
+                                model.declare_enum(var.clone(), values.iter().copied());
+                            }
+                            AttrDomain::Numeric { min, max, .. } => {
+                                model.declare_int(var.clone(), min, max);
+                            }
+                            AttrDomain::Text => {}
+                        }
+                    }
+                }
+                VarId::Env(p) => {
+                    let (lo, hi) = env_bounds(p);
+                    model.declare_int(var.clone(), lo, hi);
+                }
+                VarId::Mode => {
+                    model.declare_enum(var.clone(), self.modes.iter().map(String::as_str));
+                }
+                VarId::TimeOfDay => {
+                    model.declare_int(var.clone(), 0, scaled(24 * 60));
+                }
+                VarId::DayOfWeek => {
+                    model.declare_int(var.clone(), 0, scaled(6));
+                }
+                // User inputs, state and opaque sources keep inferred
+                // domains.
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The attribute's domain, looked up through any capability that declares it
+/// (preferring the device's own capability when known).
+fn attr_domain(device: &DeviceRef, attribute: &str) -> Option<AttrDomain> {
+    if let Some(capname) = device.capability() {
+        if let Some(cap) = capability::lookup(capname) {
+            if let Some(attr) = cap.attribute(attribute) {
+                return Some(attr.domain);
+            }
+        }
+    }
+    // Synthetic `type:capability/kind` ids keep the capability in the id.
+    if let DeviceRef::Bound { device_id } = device {
+        if let Some(rest) = device_id.strip_prefix("type:") {
+            if let Some((capname, _)) = rest.split_once('/') {
+                if let Some(cap) = capability::lookup(capname) {
+                    if let Some(attr) = cap.attribute(attribute) {
+                        return Some(attr.domain);
+                    }
+                }
+            }
+        }
+    }
+    capability::capabilities_with_attribute(attribute)
+        .first()
+        .and_then(|c| c.attribute(attribute))
+        .map(|a| a.domain)
+}
+
+/// Physical bounds for environment properties (scaled).
+pub fn env_bounds(property: &str) -> (i64, i64) {
+    match property {
+        "temperature" => (scaled(-40), scaled(150)),
+        "illuminance" => (0, scaled(100_000)),
+        "humidity" => (0, scaled(100)),
+        "power" => (0, scaled(20_000)),
+        "noise" => (0, scaled(200)),
+        "airQuality" => (0, scaled(10_000)),
+        _ => (scaled(-1_000_000), scaled(1_000_000)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_capability::device_kind::DeviceKind;
+    use hg_rules::constraint::{CmpOp, Term};
+
+    fn slot(app: &str, input: &str, kind: DeviceKind) -> DeviceRef {
+        DeviceRef::Unbound {
+            app: app.into(),
+            input: input.into(),
+            capability: "switch".into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn by_type_unifies_same_kind() {
+        let u = Unification::ByType;
+        let a = u.resolve(&slot("A", "tv1", DeviceKind::Tv));
+        let b = u.resolve(&slot("B", "tele", DeviceKind::Tv));
+        let c = u.resolve(&slot("B", "lamp", DeviceKind::Light));
+        assert!(a.same_device(&b));
+        assert!(!a.same_device(&c));
+    }
+
+    #[test]
+    fn bindings_unify_configured_devices() {
+        let mut map = BTreeMap::new();
+        map.insert(("A".to_string(), "tv1".to_string()), "0e0b".to_string());
+        map.insert(("B".to_string(), "tele".to_string()), "0e0b".to_string());
+        map.insert(("B".to_string(), "lamp".to_string()), "ffff".to_string());
+        let u = Unification::Bindings(map);
+        let a = u.resolve(&slot("A", "tv1", DeviceKind::Tv));
+        let b = u.resolve(&slot("B", "tele", DeviceKind::Tv));
+        let c = u.resolve(&slot("B", "lamp", DeviceKind::Light));
+        assert!(a.same_device(&b));
+        assert!(!a.same_device(&c));
+        // Unconfigured slots stay unbound.
+        let d = u.resolve(&slot("C", "x", DeviceKind::Tv));
+        assert!(matches!(d, DeviceRef::Unbound { .. }));
+    }
+
+    #[test]
+    fn substitution_uses_collected_config() {
+        let mut solver = OverlapSolver::default();
+        solver
+            .user_values
+            .insert(("A".into(), "threshold".into()), Value::Num(scaled(30)));
+        let f = Formula::cmp(
+            Term::var(VarId::env("temperature")),
+            CmpOp::Gt,
+            Term::var(VarId::UserInput { app: "A".into(), name: "threshold".into() }),
+        );
+        let sub = solver.substitute(&f);
+        assert!(sub.to_string().contains("> 30"), "{sub}");
+    }
+
+    #[test]
+    fn solve_declares_device_attr_domain() {
+        let solver = OverlapSolver::default();
+        let dev = Unification::ByType.resolve(&slot("A", "sw", DeviceKind::Light));
+        let var = VarId::device_attr(dev, "switch");
+        // switch == "on" is satisfiable; "sideways" is not in the domain.
+        let ok = Formula::var_eq(var.clone(), Value::sym("on"));
+        assert!(solver.solve(&[&ok]).is_sat());
+        let bad = Formula::var_eq(var, Value::sym("sideways"));
+        assert_eq!(solver.solve(&[&bad]), Outcome::Unsat);
+    }
+
+    #[test]
+    fn solve_env_bounds() {
+        let solver = OverlapSolver::default();
+        let too_hot = Formula::cmp(
+            Term::var(VarId::env("temperature")),
+            CmpOp::Gt,
+            Term::num(scaled(200)),
+        );
+        assert_eq!(solver.solve(&[&too_hot]), Outcome::Unsat);
+    }
+
+    #[test]
+    fn mode_domain_from_home_config() {
+        let solver = OverlapSolver::default();
+        let ok = Formula::var_eq(VarId::Mode, Value::sym("Night"));
+        assert!(solver.solve(&[&ok]).is_sat());
+        let bad = Formula::var_eq(VarId::Mode, Value::sym("Party"));
+        assert_eq!(solver.solve(&[&bad]), Outcome::Unsat);
+    }
+
+    #[test]
+    fn unify_rule_rewrites_everything() {
+        let tv = slot("A", "tv1", DeviceKind::Tv);
+        let rule = Rule {
+            id: hg_rules::rule::RuleId::new("A", 0),
+            trigger: Trigger::DeviceEvent {
+                subject: tv.clone(),
+                attribute: "switch".into(),
+                constraint: Some(Formula::var_eq(
+                    VarId::device_attr(tv.clone(), "switch"),
+                    Value::sym("on"),
+                )),
+            },
+            condition: hg_rules::rule::Condition {
+                data_constraints: vec![],
+                predicate: Formula::var_eq(
+                    VarId::device_attr(tv.clone(), "switch"),
+                    Value::sym("on"),
+                ),
+            },
+            actions: vec![Action::device(tv, "off")],
+        };
+        let unified = Unification::ByType.unify_rule(&rule);
+        assert!(matches!(
+            unified.trigger.subject().unwrap(),
+            DeviceRef::Bound { .. }
+        ));
+        for v in unified.condition.predicate.variables() {
+            assert!(matches!(
+                v,
+                VarId::DeviceAttr { device: DeviceRef::Bound { .. }, .. }
+            ));
+        }
+        assert!(matches!(
+            unified.actions[0].subject,
+            ActionSubject::Device(DeviceRef::Bound { .. })
+        ));
+    }
+}

@@ -1,0 +1,422 @@
+//! Detector tests built from the paper's running examples (Figs. 3-5 and
+//! the §VIII-B store cases), end-to-end through the symbolic executor.
+
+use hg_detector::{Detector, ThreatKind};
+use hg_symexec::{extract, AppAnalysis, ExtractorConfig};
+
+fn analyze(src: &str, name: &str) -> AppAnalysis {
+    extract(src, name, &ExtractorConfig::default())
+        .unwrap_or_else(|e| panic!("extraction of {name} failed: {e}"))
+}
+
+/// Paper Rule 1 (ComfortTV): TV on + hot room → open window.
+fn comfort_tv() -> AppAnalysis {
+    analyze(
+        r#"
+definition(name: "ComfortTV")
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch", title: "window opener"
+def installed() { subscribe(tv1, "switch", onHandler) }
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) {
+        if (window1.currentSwitch == "off") { window1.on() }
+    }
+}
+"#,
+        "ComfortTV",
+    )
+}
+
+/// Paper Rule 2 (ColdDefender): TV on + rainy → close window.
+fn cold_defender() -> AppAnalysis {
+    analyze(
+        r#"
+definition(name: "ColdDefender")
+input "tv1", "capability.switch", title: "the TV"
+input "wSensor", "capability.waterSensor", title: "rain sensor"
+input "window1", "capability.switch", title: "window opener"
+def installed() { subscribe(tv1, "switch.on", onTv) }
+def onTv(evt) {
+    if (wSensor.currentWater == "wet") { window1.off() }
+}
+"#,
+        "ColdDefender",
+    )
+}
+
+/// Paper Rule 3 (CatchLiveShow): voice message → turn on TV.
+fn catch_live_show() -> AppAnalysis {
+    analyze(
+        r#"
+definition(name: "CatchLiveShow")
+input "voice", "capability.speechSynthesis", title: "speaker"
+input "msgSensor", "capability.contactSensor", title: "message box"
+input "tv1", "capability.switch", title: "the TV"
+def installed() { subscribe(msgSensor, "contact.open", onMessage) }
+def onMessage(evt) { tv1.on() }
+"#,
+        "CatchLiveShow",
+    )
+}
+
+/// Paper Rule 4 (BurglarFinder): floor lamp on at midnight + motion → alarm.
+fn burglar_finder() -> AppAnalysis {
+    analyze(
+        r#"
+definition(name: "BurglarFinder")
+input "floorLamp", "capability.switch", title: "floor lamp"
+input "motion1", "capability.motionSensor"
+input "siren1", "capability.alarm"
+def installed() { subscribe(floorLamp, "switch.on", onLamp) }
+def onLamp(evt) {
+    if (motion1.currentMotion == "active" && floorLamp.currentSwitch == "on") {
+        siren1.siren()
+    }
+}
+"#,
+        "BurglarFinder",
+    )
+}
+
+/// Paper Rule 5 (NightCare): lamp on in sleep mode → turn it off after 5 min.
+fn night_care() -> AppAnalysis {
+    analyze(
+        r#"
+definition(name: "NightCare")
+input "floorLamp", "capability.switch", title: "floor lamp"
+def installed() { subscribe(floorLamp, "switch.on", onLamp) }
+def onLamp(evt) {
+    if (location.mode == "Night") { runIn(300, lampOff) }
+}
+def lampOff() { floorLamp.off() }
+"#,
+        "NightCare",
+    )
+}
+
+#[test]
+fn fig3_actuator_race_comforttv_vs_colddefender() {
+    let r1 = comfort_tv();
+    let r2 = cold_defender();
+    let det = Detector::store_wide();
+    let (threats, stats) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    let ar: Vec<_> = threats.iter().filter(|t| t.kind == ThreatKind::ActuatorRace).collect();
+    assert_eq!(ar.len(), 1, "threats: {threats:#?}");
+    assert!(ar[0].witness.is_some(), "AR must come with a concrete situation");
+    assert!(stats.solves >= 1);
+}
+
+#[test]
+fn fig4_covert_triggering_catchliveshow_to_comforttv() {
+    let r3 = catch_live_show();
+    let r1 = comfort_tv();
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r3.rules[0], &r1.rules[0]);
+    // Rule 3 turns on the TV, which triggers Rule 1 (trigger tv.switch==on).
+    let ct: Vec<_> = threats
+        .iter()
+        .filter(|t| t.kind == ThreatKind::CovertTriggering && t.source.app == "CatchLiveShow")
+        .collect();
+    assert!(!ct.is_empty(), "threats: {threats:#?}");
+}
+
+#[test]
+fn fig5_disabling_condition_nightcare_vs_burglarfinder() {
+    let r5 = night_care();
+    let r4 = burglar_finder();
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r5.rules[0], &r4.rules[0]);
+    // NightCare's lamp-off falsifies BurglarFinder's lamp==on condition.
+    let dc: Vec<_> = threats
+        .iter()
+        .filter(|t| t.kind == ThreatKind::DisablingCondition && t.source.app == "NightCare")
+        .collect();
+    assert!(!dc.is_empty(), "threats: {threats:#?}");
+}
+
+#[test]
+fn self_disabling_ac_energy_example() {
+    // §III-B: R1 turns on AC on motion+heat; R2 turns AC off when power
+    // exceeds a threshold. Turning on the AC raises power (env channel),
+    // which covertly triggers R2, whose action undoes R1's.
+    let r1 = analyze(
+        r#"
+definition(name: "ItsTooHot")
+input "motion1", "capability.motionSensor"
+input "tSensor", "capability.temperatureMeasurement"
+input "ac", "capability.switch", title: "air conditioner"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (tSensor.currentTemperature > 30) { ac.on() }
+}
+"#,
+        "ItsTooHot",
+    );
+    let r2 = analyze(
+        r#"
+definition(name: "EnergySaver")
+input "meter", "capability.powerMeter"
+input "ac", "capability.switch", title: "air conditioner"
+input "maxPower", "number", title: "watts?"
+def installed() { subscribe(meter, "power", onPower) }
+def onPower(evt) {
+    if (evt.value > maxPower) { ac.off() }
+}
+"#,
+        "EnergySaver",
+    );
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    assert!(
+        threats.iter().any(|t| t.kind == ThreatKind::CovertTriggering
+            && t.source.app == "ItsTooHot"),
+        "expected env-channel CT, got {threats:#?}"
+    );
+    assert!(
+        threats.iter().any(|t| t.kind == ThreatKind::SelfDisabling),
+        "expected SD, got {threats:#?}"
+    );
+}
+
+#[test]
+fn loop_triggering_light_up_the_night() {
+    // §III-B LT example: below 30 lux → lights on; above 50 lux → lights
+    // off; lights themselves move illuminance.
+    let r1 = analyze(
+        r#"
+definition(name: "LightUpTheNight1")
+input "lSensor", "capability.illuminanceMeasurement"
+input "lights", "capability.switch", title: "the lights"
+def installed() { subscribe(lSensor, "illuminance", onLux) }
+def onLux(evt) { if (evt.value < 30) { lights.on() } }
+"#,
+        "L1",
+    );
+    let r2 = analyze(
+        r#"
+definition(name: "LightUpTheNight2")
+input "lSensor", "capability.illuminanceMeasurement"
+input "lights", "capability.switch", title: "the lights"
+def installed() { subscribe(lSensor, "illuminance", onLux) }
+def onLux(evt) { if (evt.value > 50) { lights.off() } }
+"#,
+        "L2",
+    );
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    assert!(
+        threats.iter().any(|t| t.kind == ThreatKind::LoopTriggering),
+        "expected LT, got {threats:#?}"
+    );
+}
+
+#[test]
+fn goal_conflict_heater_vs_window() {
+    // §III-A GC example: heater on vs window open conflict on temperature.
+    let r1 = analyze(
+        r#"
+definition(name: "WarmMeUp")
+input "presence1", "capability.presenceSensor"
+input "heater", "capability.switch", title: "space heater"
+def installed() { subscribe(presence1, "presence.present", onArrive) }
+def onArrive(evt) { heater.on() }
+"#,
+        "WarmMeUp",
+    );
+    let r2 = analyze(
+        r#"
+definition(name: "FreshAir")
+input "lSensor", "capability.illuminanceMeasurement"
+input "window1", "capability.switch", title: "window opener"
+def installed() { subscribe(lSensor, "illuminance", onLux) }
+def onLux(evt) { if (evt.value < 10) { window1.on() } }
+"#,
+        "FreshAir",
+    );
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    let gc: Vec<_> = threats.iter().filter(|t| t.kind == ThreatKind::GoalConflict).collect();
+    assert!(!gc.is_empty(), "expected GC, got {threats:#?}");
+    assert_eq!(
+        gc[0].property,
+        Some(hg_capability::domains::EnvProperty::Temperature)
+    );
+}
+
+#[test]
+fn enabling_condition_detected() {
+    // R1 locks the door; R2's condition requires the door locked.
+    let r1 = analyze(
+        r#"
+definition(name: "AutoLock")
+input "presence1", "capability.presenceSensor"
+input "door", "capability.lock", title: "front door"
+def installed() { subscribe(presence1, "presence", onLeave) }
+def onLeave(evt) { if (evt.value == "not present") { door.lock() } }
+"#,
+        "AutoLock",
+    );
+    let r2 = analyze(
+        r#"
+definition(name: "SecureCam")
+input "motion1", "capability.motionSensor"
+input "door", "capability.lock", title: "front door"
+input "cam", "capability.switch", title: "camera outlet"
+def installed() { subscribe(motion1, "motion.active", onMotion) }
+def onMotion(evt) {
+    if (door.currentLock == "locked") { cam.on() }
+}
+"#,
+        "SecureCam",
+    );
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    assert!(
+        threats.iter().any(|t| t.kind == ThreatKind::EnablingCondition
+            && t.source.app == "AutoLock"),
+        "expected EC, got {threats:#?}"
+    );
+}
+
+#[test]
+fn no_threats_between_unrelated_apps() {
+    let r1 = analyze(
+        r#"
+definition(name: "PorchLight")
+input "s", "capability.contactSensor", title: "porch door"
+input "porch", "capability.switch", title: "porch light"
+def installed() { subscribe(s, "contact.open", h) }
+def h(evt) { porch.on() }
+"#,
+        "PorchLight",
+    );
+    let r2 = analyze(
+        r#"
+definition(name: "LaundryDone")
+input "meter", "capability.powerMeter", title: "washer meter"
+input "phone1", "phone"
+def installed() { subscribe(meter, "power", h) }
+def h(evt) { if (evt.value < 5) { sendSms(phone1, "laundry done") } }
+"#,
+        "LaundryDone",
+    );
+    let det = Detector::store_wide();
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    // Porch light raises illuminance/power env vars; washer meter reads
+    // env.power — a light drawing power *can* covertly feed a power-triggered
+    // rule, but LaundryDone's trigger needs a *decrease* (< 5) so no CT.
+    // And no actuations in LaundryDone at all.
+    assert!(
+        threats.is_empty(),
+        "expected no threats, got {threats:#?}"
+    );
+}
+
+#[test]
+fn same_trigger_same_command_no_race() {
+    let mk = |name: &str| {
+        analyze(
+            &format!(
+                r#"
+definition(name: "{name}")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() {{ subscribe(m, "motion.active", h) }}
+def h(evt) {{ lamp.on() }}
+"#
+            ),
+            name,
+        )
+    };
+    let (threats, _) =
+        Detector::store_wide().detect_pair(&mk("A").rules[0], &mk("B").rules[0]);
+    assert!(
+        !threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
+        "same command must not race: {threats:#?}"
+    );
+}
+
+#[test]
+fn config_bindings_gate_detection() {
+    // With explicit bindings, the race only exists when both apps are bound
+    // to the same physical window.
+    use hg_detector::Unification;
+    use std::collections::BTreeMap;
+
+    let r1 = comfort_tv();
+    let r2 = cold_defender();
+
+    let mut same = BTreeMap::new();
+    same.insert(("ComfortTV".to_string(), "tv1".to_string()), "tv-1".to_string());
+    same.insert(("ColdDefender".to_string(), "tv1".to_string()), "tv-1".to_string());
+    same.insert(("ComfortTV".to_string(), "window1".to_string()), "win-1".to_string());
+    same.insert(("ColdDefender".to_string(), "window1".to_string()), "win-1".to_string());
+    same.insert(("ComfortTV".to_string(), "tSensor".to_string()), "temp-1".to_string());
+    same.insert(("ColdDefender".to_string(), "wSensor".to_string()), "rain-1".to_string());
+
+    let det = Detector {
+        unification: Unification::Bindings(same.clone()),
+        ..Detector::default()
+    };
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+
+    // Re-bind ColdDefender's window to a different device: race disappears.
+    let mut different = same;
+    different.insert(
+        ("ColdDefender".to_string(), "window1".to_string()),
+        "win-2".to_string(),
+    );
+    let det2 = Detector {
+        unification: Unification::Bindings(different),
+        ..Detector::default()
+    };
+    let (threats2, _) = det2.detect_pair(&r1.rules[0], &r2.rules[0]);
+    assert!(
+        !threats2.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
+        "{threats2:#?}"
+    );
+}
+
+#[test]
+fn user_values_make_overlap_infeasible() {
+    // ComfortTV's threshold pinned to 200°C (beyond the sensor domain):
+    // its rule can never fire, so the race vanishes.
+    use hg_rules::value::Value;
+
+    let r1 = comfort_tv();
+    let r2 = cold_defender();
+    let mut det = Detector::store_wide();
+    det.solver.user_values.insert(
+        ("ComfortTV".to_string(), "threshold1".to_string()),
+        Value::Num(200 * hg_capability::domains::SCALE),
+    );
+    let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
+    assert!(
+        !threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
+        "{threats:#?}"
+    );
+}
+
+#[test]
+fn detect_all_over_five_paper_apps() {
+    let apps = [
+        comfort_tv(),
+        cold_defender(),
+        catch_live_show(),
+        burglar_finder(),
+        night_care(),
+    ];
+    let rules: Vec<_> = apps.iter().flat_map(|a| a.rules.clone()).collect();
+    let det = Detector::store_wide();
+    let (threats, stats) = det.detect_all(&rules);
+    // The five demo apps interfere in multiple ways (paper §VIII-A).
+    assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+    assert!(threats.iter().any(|t| t.kind == ThreatKind::CovertTriggering));
+    assert!(threats.iter().any(|t| t.kind == ThreatKind::DisablingCondition));
+    assert!(stats.pairs >= 10);
+    assert!(stats.reused > 0, "solver reuse should kick in");
+}

@@ -1,0 +1,551 @@
+//! Abstract syntax tree for the SmartApp Groovy subset.
+//!
+//! The tree deliberately mirrors how SmartApps are written rather than full
+//! Groovy: top-level items are method declarations plus bare statements
+//! (`definition(...)`, `preferences { ... }`, `input "x", ...`), and the
+//! expression grammar covers the 38 Groovy expression forms that the paper's
+//! symbolic executor models, restricted to those the SmartThings sandbox
+//! permits.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A parsed SmartApp source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+impl Program {
+    /// Finds the method declaration named `name`, if present.
+    pub fn method(&self, name: &str) -> Option<&MethodDecl> {
+        self.items.iter().find_map(|item| match item {
+            Item::Method(m) if m.name == name => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Iterates over all method declarations.
+    pub fn methods(&self) -> impl Iterator<Item = &MethodDecl> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Method(m) => Some(m),
+            _ => None,
+        })
+    }
+
+    /// Iterates over top-level statements (everything that is not a method).
+    pub fn top_level_stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.items.iter().filter_map(|item| match item {
+            Item::Stmt(s) => Some(s),
+            _ => None,
+        })
+    }
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `def name(params) { ... }`
+    Method(MethodDecl),
+    /// A bare top-level statement such as `input "tv1", "capability.switch"`.
+    Stmt(Stmt),
+}
+
+/// A method declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Method name, e.g. `onHandler`.
+    pub name: String,
+    /// Declared parameters.
+    pub params: Vec<Param>,
+    /// Method body.
+    pub body: Block,
+    /// Span of the whole declaration.
+    pub span: Span,
+}
+
+/// A method or closure parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Optional default value (`def m(x = 5)`).
+    pub default: Option<Expr>,
+}
+
+/// A brace-delimited sequence of statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in source order.
+    pub stmts: Vec<Stmt>,
+    /// Span covering the block.
+    pub span: Span,
+}
+
+impl Block {
+    /// An empty block with a dummy span, for synthesized nodes.
+    pub fn empty() -> Self {
+        Block { stmts: Vec::new(), span: Span::dummy() }
+    }
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Statement payload.
+    pub kind: StmtKind,
+    /// Span of the statement.
+    pub span: Span,
+}
+
+/// Statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An expression evaluated for effect, e.g. `window1.on()`.
+    Expr(Expr),
+    /// `def name = init` (or bare `def name`).
+    Def {
+        /// Variable name.
+        name: String,
+        /// Initializer, if present.
+        init: Option<Expr>,
+    },
+    /// `target = value`, `target += value`, `target -= value`.
+    Assign {
+        /// Assignment target (identifier, property or index expression).
+        target: Expr,
+        /// Which assignment operator was used.
+        op: AssignOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`; `else if` nests as a one-statement block.
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken when `cond` is truthy.
+        then_branch: Block,
+        /// Taken otherwise, if present.
+        else_branch: Option<Block>,
+    },
+    /// `switch (subject) { case v: ...; default: ... }`.
+    Switch {
+        /// The switched-on expression.
+        subject: Expr,
+        /// The `case` arms.
+        cases: Vec<SwitchCase>,
+        /// The `default` arm, if present.
+        default: Option<Block>,
+    },
+    /// `return expr?`.
+    Return(Option<Expr>),
+    /// `for (x in iterable) { ... }`.
+    ForIn {
+        /// Loop variable name.
+        var: String,
+        /// The iterated collection or range.
+        iterable: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `while (cond) { ... }`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+}
+
+/// Assignment operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    /// `=`
+    Set,
+    /// `+=`
+    Add,
+    /// `-=`
+    Sub,
+}
+
+/// One `case value: body` arm of a switch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchCase {
+    /// The matched value.
+    pub value: Expr,
+    /// The statements executed on match (fallthrough is not modeled;
+    /// SmartThings review guidelines require `break` per case).
+    pub body: Block,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Expression payload.
+    pub kind: ExprKind,
+    /// Span of the expression.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression node.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Returns the identifier name if this is a bare identifier.
+    pub fn as_ident(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload if this is a plain string literal.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal, kept textual until the evaluator scales it.
+    Decimal(String),
+    /// Plain string literal.
+    Str(String),
+    /// Interpolated string: alternating literal and expression parts.
+    GStr(Vec<GStrPart>),
+    /// Boolean literal.
+    Bool(bool),
+    /// `null`.
+    Null,
+    /// `[a, b, c]`.
+    ListLit(Vec<Expr>),
+    /// `[k: v, ...]`; an empty `[:]` map has no entries.
+    MapLit(Vec<MapEntry>),
+    /// A bare identifier.
+    Ident(String),
+    /// Property access `recv.name` (or `recv?.name` when `safe`).
+    Prop {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Property name.
+        name: String,
+        /// Whether `?.` safe navigation was used.
+        safe: bool,
+    },
+    /// Index access `recv[index]`.
+    Index {
+        /// Receiver expression.
+        recv: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// A call. `recv` is `None` for free-function calls (`subscribe(...)`),
+    /// `Some` for method calls (`window1.on()`). A trailing closure argument
+    /// (`devices.each { ... }`) is stored separately in `closure`.
+    Call {
+        /// Receiver for method calls, `None` for free calls.
+        recv: Option<Box<Expr>>,
+        /// Called method name.
+        name: String,
+        /// Ordinary arguments (positional and named).
+        args: Vec<Arg>,
+        /// Trailing closure argument, if any.
+        closure: Option<Box<Closure>>,
+        /// Whether `?.` safe navigation was used.
+        safe: bool,
+    },
+    /// A closure literal used as a value.
+    Closure(Box<Closure>),
+    /// Unary operation.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then_expr : else_expr`.
+    Ternary {
+        /// The tested condition.
+        cond: Box<Expr>,
+        /// Value when the condition is truthy.
+        then_expr: Box<Expr>,
+        /// Value when the condition is falsy.
+        else_expr: Box<Expr>,
+    },
+    /// `value ?: fallback`.
+    Elvis {
+        /// The primary value.
+        value: Box<Expr>,
+        /// Used when the primary value is falsy/null.
+        fallback: Box<Expr>,
+    },
+    /// `lo..hi` inclusive range.
+    Range {
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+    },
+}
+
+/// One `key: value` entry of a map literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapEntry {
+    /// The entry key.
+    pub key: MapKey,
+    /// The entry value.
+    pub value: Expr,
+}
+
+/// A map-literal key. Groovy map keys in SmartApps are identifiers
+/// (`title: ...`), strings (`"GET": ...`) or occasionally integers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum MapKey {
+    /// An identifier key, e.g. `title`.
+    Ident(String),
+    /// A string key, e.g. `"GET"`.
+    Str(String),
+    /// An integer key.
+    Int(i64),
+}
+
+impl MapKey {
+    /// The key as text, regardless of its syntactic form.
+    pub fn as_text(&self) -> String {
+        match self {
+            MapKey::Ident(s) | MapKey::Str(s) => s.clone(),
+            MapKey::Int(n) => n.to_string(),
+        }
+    }
+}
+
+/// A literal or interpolated fragment of a GString.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GStrPart {
+    /// Literal text.
+    Lit(String),
+    /// An interpolated `${expr}` or `$ident`.
+    Interp(Expr),
+}
+
+/// A call argument, optionally named (`title: "Which TV?"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arg {
+    /// The argument label for named arguments.
+    pub name: Option<String>,
+    /// The argument value.
+    pub value: Expr,
+}
+
+impl Arg {
+    /// A positional argument.
+    pub fn positional(value: Expr) -> Self {
+        Arg { name: None, value }
+    }
+
+    /// A named argument.
+    pub fn named(name: impl Into<String>, value: Expr) -> Self {
+        Arg { name: Some(name.into()), value }
+    }
+}
+
+/// A closure literal `{ a, b -> body }`. A closure without an explicit
+/// parameter list has the implicit parameter `it`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Closure {
+    /// Declared parameters (empty means implicit `it`).
+    pub params: Vec<Param>,
+    /// Whether the parameter list was written explicitly.
+    pub explicit_params: bool,
+    /// The closure body.
+    pub body: Block,
+    /// Span of the closure.
+    pub span: Span,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation `!`.
+    Not,
+    /// Arithmetic negation `-`.
+    Neg,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `||`
+    Or,
+    /// `&&`
+    And,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `in` membership test.
+    In,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+}
+
+impl BinaryOp {
+    /// Whether this operator yields a boolean.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq
+                | BinaryOp::Ne
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
+                | BinaryOp::In
+        )
+    }
+
+    /// Whether this operator is `&&` or `||`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// The negated comparison, e.g. `<` becomes `>=`.
+    ///
+    /// Returns `None` for non-comparison operators and for `in`, whose
+    /// negation has no operator form in the subset.
+    pub fn negate(&self) -> Option<BinaryOp> {
+        Some(match self {
+            BinaryOp::Eq => BinaryOp::Ne,
+            BinaryOp::Ne => BinaryOp::Eq,
+            BinaryOp::Lt => BinaryOp::Ge,
+            BinaryOp::Le => BinaryOp::Gt,
+            BinaryOp::Gt => BinaryOp::Le,
+            BinaryOp::Ge => BinaryOp::Lt,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+impl BinaryOp {
+    /// The Groovy spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinaryOp::Or => "||",
+            BinaryOp::And => "&&",
+            BinaryOp::Eq => "==",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::In => "in",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Rem => "%",
+        }
+    }
+}
+
+impl UnaryOp {
+    /// The Groovy spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            UnaryOp::Not => "!",
+            UnaryOp::Neg => "-",
+        }
+    }
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negate_comparisons() {
+        assert_eq!(BinaryOp::Lt.negate(), Some(BinaryOp::Ge));
+        assert_eq!(BinaryOp::Eq.negate(), Some(BinaryOp::Ne));
+        assert_eq!(BinaryOp::Add.negate(), None);
+        assert_eq!(BinaryOp::In.negate(), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(BinaryOp::Le.is_comparison());
+        assert!(!BinaryOp::Le.is_logical());
+        assert!(BinaryOp::And.is_logical());
+        assert!(!BinaryOp::Mul.is_comparison());
+    }
+
+    #[test]
+    fn display_symbols() {
+        assert_eq!(BinaryOp::Ge.to_string(), ">=");
+        assert_eq!(UnaryOp::Not.to_string(), "!");
+    }
+
+    #[test]
+    fn program_accessors() {
+        let m = MethodDecl {
+            name: "installed".into(),
+            params: vec![],
+            body: Block::empty(),
+            span: Span::dummy(),
+        };
+        let p = Program { items: vec![Item::Method(m)] };
+        assert!(p.method("installed").is_some());
+        assert!(p.method("updated").is_none());
+        assert_eq!(p.methods().count(), 1);
+        assert_eq!(p.top_level_stmts().count(), 0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Lexing and parsing errors.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing SmartApp source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where in the source the error was detected.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The different failure modes of the lexer and parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// A character that cannot begin any token.
+    UnexpectedChar(char),
+    /// A string literal that reaches end of file before its closing quote.
+    UnterminatedString,
+    /// A `/* ... */` comment that is never closed.
+    UnterminatedComment,
+    /// A `${ ... }` interpolation that is never closed.
+    UnterminatedInterpolation,
+    /// A numeric literal that does not parse (overflow, malformed).
+    InvalidNumber(String),
+    /// The parser wanted `expected` but found `found`.
+    UnexpectedToken {
+        /// What the parser wanted.
+        expected: String,
+        /// What it found instead.
+        found: String,
+    },
+    /// Source ended in the middle of a construct.
+    UnexpectedEof {
+        /// What the parser wanted.
+        expected: String,
+    },
+    /// A construct the Groovy subset deliberately does not support.
+    Unsupported(String),
+}
+
+impl ParseError {
+    /// Creates an error at `span`.
+    pub fn new(span: Span, kind: ParseErrorKind) -> Self {
+        ParseError { span, kind }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: ", self.span)?;
+        match &self.kind {
+            ParseErrorKind::UnexpectedChar(c) => write!(f, "unexpected character {c:?}"),
+            ParseErrorKind::UnterminatedString => write!(f, "unterminated string literal"),
+            ParseErrorKind::UnterminatedComment => write!(f, "unterminated block comment"),
+            ParseErrorKind::UnterminatedInterpolation => {
+                write!(f, "unterminated ${{...}} interpolation")
+            }
+            ParseErrorKind::InvalidNumber(s) => write!(f, "invalid numeric literal `{s}`"),
+            ParseErrorKind::UnexpectedToken { expected, found } => {
+                write!(f, "expected {expected}, found {found}")
+            }
+            ParseErrorKind::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
+            ParseErrorKind::Unsupported(what) => {
+                write!(f, "unsupported construct: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for parse results.
+pub type ParseResult<T> = Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_kind() {
+        let e = ParseError::new(
+            Span::new(0, 1, 4, 2),
+            ParseErrorKind::UnexpectedToken { expected: "`)`".into(), found: "`,`".into() },
+        );
+        let s = e.to_string();
+        assert!(s.contains("4:2"), "{s}");
+        assert!(s.contains("expected `)`"), "{s}");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let e = ParseError::new(Span::dummy(), ParseErrorKind::UnterminatedString);
+        let _: &dyn std::error::Error = &e;
+    }
+}

@@ -1,0 +1,566 @@
+//! Lexer for the SmartApp Groovy subset.
+//!
+//! The lexer is hand-written: SmartApps are small (a few hundred lines) and
+//! the token grammar is simple, so a single forward pass with one character
+//! of lookahead suffices. Line breaks are not emitted as tokens; instead each
+//! token records whether a newline precedes it (see [`Token::newline_before`]),
+//! which the parser uses for Groovy's newline-terminated statements.
+
+use crate::error::{ParseError, ParseErrorKind, ParseResult};
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `source` completely, returning the token stream terminated by
+/// a single [`TokenKind::Eof`] token.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on unterminated strings/comments, malformed
+/// numbers, or characters outside the subset.
+///
+/// # Examples
+///
+/// ```
+/// use hg_lang::lexer::lex;
+/// use hg_lang::token::TokenKind;
+///
+/// let tokens = lex("def x = 1").unwrap();
+/// assert_eq!(tokens[0].kind, TokenKind::Def);
+/// assert_eq!(tokens[2].kind, TokenKind::Assign);
+/// assert_eq!(tokens.last().unwrap().kind, TokenKind::Eof);
+/// ```
+pub fn lex(source: &str) -> ParseResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    pending_newline: bool,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            pending_newline: false,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn run(mut self) -> ParseResult<Vec<Token>> {
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                self.emit(TokenKind::Eof, start, line, col);
+                return Ok(self.tokens);
+            };
+            match c {
+                c if c.is_ascii_alphabetic() || c == '_' || c == '$' => self.word(start, line, col),
+                c if c.is_ascii_digit() => self.number(start, line, col)?,
+                '\'' => self.single_quoted(start, line, col)?,
+                '"' => self.double_quoted(start, line, col)?,
+                _ => self.punct(start, line, col)?,
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn span_from(&self, start: usize, line: u32, col: u32) -> Span {
+        Span::new(start, self.pos, line, col)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        let span = self.span_from(start, line, col);
+        let newline_before = std::mem::take(&mut self.pending_newline);
+        self.tokens.push(Token { kind, span, newline_before });
+    }
+
+    /// Skips whitespace and comments, recording whether a newline was seen.
+    fn skip_trivia(&mut self) -> ParseResult<()> {
+        loop {
+            match self.peek() {
+                Some('\n') => {
+                    self.pending_newline = true;
+                    self.bump();
+                }
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('*') => {
+                    let (line, col, start) = (self.line, self.col, self.pos);
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            Some('*') if self.peek2() == Some('/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            Some('\n') => {
+                                self.pending_newline = true;
+                                self.bump();
+                            }
+                            Some(_) => {
+                                self.bump();
+                            }
+                            None => {
+                                return Err(ParseError::new(
+                                    Span::new(start, self.pos, line, col),
+                                    ParseErrorKind::UnterminatedComment,
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn word(&mut self, start: usize, line: u32, col: u32) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' || c == '$' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.emit(kind, start, line, col);
+    }
+
+    fn number(&mut self, start: usize, line: u32, col: u32) -> ParseResult<()> {
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        // A decimal point only counts when followed by a digit; `0..5` must
+        // lex as `0` `..` `5` and `dev.on()` style is unreachable here.
+        let mut is_decimal = false;
+        if self.peek() == Some('.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_decimal = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let kind = if is_decimal {
+            TokenKind::Decimal(text.to_string())
+        } else {
+            match text.parse::<i64>() {
+                Ok(n) => TokenKind::Int(n),
+                Err(_) => {
+                    return Err(ParseError::new(
+                        self.span_from(start, line, col),
+                        ParseErrorKind::InvalidNumber(text.to_string()),
+                    ));
+                }
+            }
+        };
+        self.emit(kind, start, line, col);
+        Ok(())
+    }
+
+    fn string_body(
+        &mut self,
+        quote: char,
+        start: usize,
+        line: u32,
+        col: u32,
+    ) -> ParseResult<String> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(ParseError::new(
+                        self.span_from(start, line, col),
+                        ParseErrorKind::UnterminatedString,
+                    ));
+                }
+                Some(c) if c == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some('\\') => {
+                    self.bump();
+                    let escaped = self.bump().ok_or_else(|| {
+                        ParseError::new(
+                            self.span_from(start, line, col),
+                            ParseErrorKind::UnterminatedString,
+                        )
+                    })?;
+                    match escaped {
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        '\\' => out.push('\\'),
+                        '\'' => out.push('\''),
+                        '"' => out.push('"'),
+                        '$' => out.push_str("\\$"), // keep escaped-$ distinct from interpolation
+                        other => {
+                            out.push('\\');
+                            out.push(other);
+                        }
+                    }
+                }
+                Some(c) => {
+                    // Raw `${` must survive into the GStr payload for the
+                    // parser to split; braces inside the interpolation are
+                    // tracked so a `}` within it does not end anything.
+                    out.push(c);
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    fn single_quoted(&mut self, start: usize, line: u32, col: u32) -> ParseResult<()> {
+        let body = self.string_body('\'', start, line, col)?;
+        // Single-quoted Groovy strings never interpolate; un-escape `\$`.
+        let body = body.replace("\\$", "$");
+        self.emit(TokenKind::Str(body), start, line, col);
+        Ok(())
+    }
+
+    fn double_quoted(&mut self, start: usize, line: u32, col: u32) -> ParseResult<()> {
+        let body = self.string_body('"', start, line, col)?;
+        if body.contains("${") || body.contains('$') && has_bare_dollar_ident(&body) {
+            self.emit(TokenKind::GStr(body), start, line, col);
+        } else {
+            self.emit(TokenKind::Str(body.replace("\\$", "$")), start, line, col);
+        }
+        Ok(())
+    }
+
+    fn punct(&mut self, start: usize, line: u32, col: u32) -> ParseResult<()> {
+        let c = self.bump().expect("punct called at end of input");
+        let two = |l: &Self| l.peek();
+        let kind = match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ',' => TokenKind::Comma,
+            ':' => TokenKind::Colon,
+            ';' => TokenKind::Semi,
+            '%' => TokenKind::Percent,
+            '*' => TokenKind::Star,
+            '/' => TokenKind::Slash,
+            '.' => {
+                if two(self) == Some('.') {
+                    self.bump();
+                    TokenKind::DotDot
+                } else {
+                    TokenKind::Dot
+                }
+            }
+            '?' => match two(self) {
+                Some('.') => {
+                    self.bump();
+                    TokenKind::SafeDot
+                }
+                Some(':') => {
+                    self.bump();
+                    TokenKind::Elvis
+                }
+                _ => TokenKind::Question,
+            },
+            '=' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    TokenKind::Eq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            '!' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    TokenKind::Ne
+                } else {
+                    TokenKind::Not
+                }
+            }
+            '<' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            '>' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            '+' => {
+                if two(self) == Some('=') {
+                    self.bump();
+                    TokenKind::PlusAssign
+                } else {
+                    TokenKind::Plus
+                }
+            }
+            '-' => match two(self) {
+                Some('>') => {
+                    self.bump();
+                    TokenKind::Arrow
+                }
+                Some('=') => {
+                    self.bump();
+                    TokenKind::MinusAssign
+                }
+                _ => TokenKind::Minus,
+            },
+            '&' => {
+                if two(self) == Some('&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(ParseError::new(
+                        self.span_from(start, line, col),
+                        ParseErrorKind::UnexpectedChar('&'),
+                    ));
+                }
+            }
+            '|' => {
+                if two(self) == Some('|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(ParseError::new(
+                        self.span_from(start, line, col),
+                        ParseErrorKind::UnexpectedChar('|'),
+                    ));
+                }
+            }
+            other => {
+                return Err(ParseError::new(
+                    self.span_from(start, line, col),
+                    ParseErrorKind::UnexpectedChar(other),
+                ));
+            }
+        };
+        self.emit(kind, start, line, col);
+        Ok(())
+    }
+
+    // Suppress dead-code warning for `bytes`; it exists for future ASCII fast
+    // paths but `peek` is already fast enough for SmartApp-sized sources.
+    #[allow(dead_code)]
+    fn raw(&self) -> &[u8] {
+        self.bytes
+    }
+}
+
+/// Whether `body` contains a `$ident` interpolation (Groovy allows both
+/// `$foo` and `${foo}` in GStrings).
+fn has_bare_dollar_ident(body: &str) -> bool {
+    let bytes = body.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'$' && i + 1 < bytes.len() {
+            // `\$` was encoded as the two bytes `\` `$` by the escaper.
+            let escaped = i > 0 && bytes[i - 1] == b'\\';
+            let next = bytes[i + 1];
+            if !escaped && (next.is_ascii_alphabetic() || next == b'_') {
+                return true;
+            }
+        }
+        i += 1;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_listing1_snippet() {
+        let toks = kinds(r#"input "tv1", "capability.switch", title: "Which TV?""#);
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("input".into()),
+                TokenKind::Str("tv1".into()),
+                TokenKind::Comma,
+                TokenKind::Str("capability.switch".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("title".into()),
+                TokenKind::Colon,
+                TokenKind::Str("Which TV?".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_numbers() {
+        assert_eq!(kinds("30")[0], TokenKind::Int(30));
+        assert_eq!(kinds("30.5")[0], TokenKind::Decimal("30.5".into()));
+        // Ranges must not be eaten as decimals.
+        assert_eq!(
+            kinds("0..5"),
+            vec![TokenKind::Int(0), TokenKind::DotDot, TokenKind::Int(5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn newline_tracking() {
+        let toks = lex("a\nb c").unwrap();
+        assert!(!toks[0].newline_before);
+        assert!(toks[1].newline_before);
+        assert!(!toks[2].newline_before);
+    }
+
+    #[test]
+    fn comments_are_skipped_but_preserve_newlines() {
+        let toks = lex("a // comment\nb /* multi\nline */ c").unwrap();
+        let ks: Vec<_> = toks.iter().map(|t| t.kind.clone()).collect();
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(toks[1].newline_before);
+        assert!(toks[2].newline_before);
+    }
+
+    #[test]
+    fn gstring_detection() {
+        assert!(matches!(kinds(r#""plain""#)[0], TokenKind::Str(_)));
+        assert!(matches!(kinds(r#""has ${x} interp""#)[0], TokenKind::GStr(_)));
+        assert!(matches!(kinds(r#""has $x interp""#)[0], TokenKind::GStr(_)));
+        assert!(matches!(kinds(r#""price \$5""#)[0], TokenKind::Str(_)));
+    }
+
+    #[test]
+    fn escapes_in_strings() {
+        assert_eq!(kinds(r#"'a\nb'"#)[0], TokenKind::Str("a\nb".into()));
+        assert_eq!(kinds(r#"'don\'t'"#)[0], TokenKind::Str("don't".into()));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a?.b ?: c -> d"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::SafeDot,
+                TokenKind::Ident("b".into()),
+                TokenKind::Elvis,
+                TokenKind::Ident("c".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("d".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            kinds("a <= b >= c == d != e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Le,
+                TokenKind::Ident("b".into()),
+                TokenKind::Ge,
+                TokenKind::Ident("c".into()),
+                TokenKind::Eq,
+                TokenKind::Ident("d".into()),
+                TokenKind::Ne,
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(lex("'oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn unterminated_comment_is_an_error() {
+        assert!(lex("/* never ends").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn compound_assignment() {
+        assert_eq!(
+            kinds("x += 1"),
+            vec![
+                TokenKind::Ident("x".into()),
+                TokenKind::PlusAssign,
+                TokenKind::Int(1),
+                TokenKind::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # hg-lang — SmartApp Groovy-subset front end
+//!
+//! SmartThings SmartApps are Groovy programs. HomeGuard's rule extractor
+//! needs to symbolically execute them, and since no Groovy front end exists
+//! in Rust this crate implements one from scratch for the language subset
+//! SmartApps actually use (the SmartThings sandbox bans the dynamic parts of
+//! Groovy — see §VIII-D2 of the paper).
+//!
+//! The crate provides:
+//!
+//! * [`lexer::lex`] — tokenization with Groovy newline semantics;
+//! * [`parser::parse`] — a full parse to the [`ast`] types, including Groovy
+//!   command expressions (`input "tv1", "capability.switch"`), trailing
+//!   closures (`preferences { ... }`) and GString interpolation;
+//! * [`pretty`] — a source emitter used by the configuration-collection
+//!   instrumenter.
+//!
+//! # Examples
+//!
+//! ```
+//! use hg_lang::parser::parse;
+//!
+//! let app = parse(r#"
+//!     input "tv1", "capability.switch", title: "Which TV?"
+//!     def installed() {
+//!         subscribe(tv1, "switch", onHandler)
+//!     }
+//!     def onHandler(evt) {
+//!         if (evt.value == "on") { window1.on() }
+//!     }
+//! "#).expect("valid SmartApp");
+//! assert_eq!(app.methods().count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::Program;
+pub use error::{ParseError, ParseErrorKind, ParseResult};
+pub use parser::parse;
+pub use span::Span;

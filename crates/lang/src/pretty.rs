@@ -1,0 +1,500 @@
+//! Pretty-printer: emits parseable Groovy-subset source from an AST.
+//!
+//! Used by the configuration-collection instrumenter (`hg-config`) to re-emit
+//! a SmartApp after inserting collection code, and by tests to check the
+//! round-trip property `parse(print(parse(s))) == parse(s)`.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program as source text.
+pub fn print_program(program: &Program) -> String {
+    let mut p = Printer::new();
+    for item in &program.items {
+        match item {
+            Item::Method(m) => p.method(m),
+            Item::Stmt(s) => p.stmt(s),
+        }
+        p.blank_line();
+    }
+    p.out
+}
+
+/// Renders a single expression as source text.
+pub fn print_expr(expr: &Expr) -> String {
+    let mut p = Printer::new();
+    p.expr(expr, 0);
+    p.out
+}
+
+/// Renders a single statement as source text (no trailing newline).
+pub fn print_stmt(stmt: &Stmt) -> String {
+    let mut p = Printer::new();
+    p.stmt(stmt);
+    p.out.trim_end().to_string()
+}
+
+struct Printer {
+    out: String,
+    indent: usize,
+}
+
+impl Printer {
+    fn new() -> Self {
+        Printer { out: String::new(), indent: 0 }
+    }
+
+    fn line_start(&mut self) {
+        for _ in 0..self.indent {
+            self.out.push_str("    ");
+        }
+    }
+
+    fn nl(&mut self) {
+        self.out.push('\n');
+    }
+
+    fn blank_line(&mut self) {
+        if !self.out.ends_with("\n\n") {
+            self.nl();
+        }
+    }
+
+    fn method(&mut self, m: &MethodDecl) {
+        self.line_start();
+        let _ = write!(self.out, "def {}(", m.name);
+        for (i, p) in m.params.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.out.push_str(&p.name);
+            if let Some(d) = &p.default {
+                self.out.push_str(" = ");
+                self.expr(d, 0);
+            }
+        }
+        self.out.push_str(") ");
+        self.braced_block(&m.body);
+        self.nl();
+    }
+
+    fn braced_block(&mut self, b: &Block) {
+        self.out.push('{');
+        self.nl();
+        self.indent += 1;
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push('}');
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        self.line_start();
+        match &s.kind {
+            StmtKind::Expr(e) => self.expr(e, 0),
+            StmtKind::Def { name, init } => {
+                let _ = write!(self.out, "def {name}");
+                if let Some(e) = init {
+                    self.out.push_str(" = ");
+                    self.expr(e, 0);
+                }
+            }
+            StmtKind::Assign { target, op, value } => {
+                self.expr(target, 0);
+                self.out.push_str(match op {
+                    AssignOp::Set => " = ",
+                    AssignOp::Add => " += ",
+                    AssignOp::Sub => " -= ",
+                });
+                self.expr(value, 0);
+            }
+            StmtKind::If { cond, then_branch, else_branch } => {
+                self.out.push_str("if (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.braced_block(then_branch);
+                if let Some(eb) = else_branch {
+                    self.out.push_str(" else ");
+                    // Re-sugar `else if`.
+                    if eb.stmts.len() == 1 {
+                        if let StmtKind::If { .. } = eb.stmts[0].kind {
+                            let rendered = print_stmt(&eb.stmts[0]);
+                            // Splice the nested if at the current indent.
+                            self.out.push_str(rendered.trim_start());
+                            self.nl();
+                            return;
+                        }
+                    }
+                    self.braced_block(eb);
+                }
+            }
+            StmtKind::Switch { subject, cases, default } => {
+                self.out.push_str("switch (");
+                self.expr(subject, 0);
+                self.out.push_str(") {");
+                self.nl();
+                self.indent += 1;
+                for c in cases {
+                    self.line_start();
+                    self.out.push_str("case ");
+                    self.expr(&c.value, 0);
+                    self.out.push(':');
+                    self.nl();
+                    self.indent += 1;
+                    for st in &c.body.stmts {
+                        self.stmt(st);
+                    }
+                    if !matches!(c.body.stmts.last().map(|s| &s.kind), Some(StmtKind::Break)) {
+                        self.line_start();
+                        self.out.push_str("break");
+                        self.nl();
+                    }
+                    self.indent -= 1;
+                }
+                if let Some(d) = default {
+                    self.line_start();
+                    self.out.push_str("default:");
+                    self.nl();
+                    self.indent += 1;
+                    for st in &d.stmts {
+                        self.stmt(st);
+                    }
+                    self.indent -= 1;
+                }
+                self.indent -= 1;
+                self.line_start();
+                self.out.push('}');
+            }
+            StmtKind::Return(value) => {
+                self.out.push_str("return");
+                if let Some(e) = value {
+                    self.out.push(' ');
+                    self.expr(e, 0);
+                }
+            }
+            StmtKind::ForIn { var, iterable, body } => {
+                let _ = write!(self.out, "for ({var} in ");
+                self.expr(iterable, 0);
+                self.out.push_str(") ");
+                self.braced_block(body);
+            }
+            StmtKind::While { cond, body } => {
+                self.out.push_str("while (");
+                self.expr(cond, 0);
+                self.out.push_str(") ");
+                self.braced_block(body);
+            }
+            StmtKind::Break => self.out.push_str("break"),
+            StmtKind::Continue => self.out.push_str("continue"),
+        }
+        self.nl();
+    }
+
+    /// `level` is the precedence of the surrounding operator, used to decide
+    /// when parentheses are required.
+    fn expr(&mut self, e: &Expr, level: u8) {
+        match &e.kind {
+            ExprKind::Int(n) => {
+                let _ = write!(self.out, "{n}");
+            }
+            ExprKind::Decimal(d) => self.out.push_str(d),
+            ExprKind::Str(s) => {
+                let _ = write!(self.out, "\"{}\"", escape(s));
+            }
+            ExprKind::GStr(parts) => {
+                self.out.push('"');
+                for part in parts {
+                    match part {
+                        GStrPart::Lit(s) => self.out.push_str(&escape(s)),
+                        GStrPart::Interp(inner) => {
+                            self.out.push_str("${");
+                            self.expr(inner, 0);
+                            self.out.push('}');
+                        }
+                    }
+                }
+                self.out.push('"');
+            }
+            ExprKind::Bool(b) => {
+                let _ = write!(self.out, "{b}");
+            }
+            ExprKind::Null => self.out.push_str("null"),
+            ExprKind::ListLit(items) => {
+                self.out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.expr(item, 0);
+                }
+                self.out.push(']');
+            }
+            ExprKind::MapLit(entries) => {
+                if entries.is_empty() {
+                    self.out.push_str("[:]");
+                    return;
+                }
+                self.out.push('[');
+                for (i, entry) in entries.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    match &entry.key {
+                        MapKey::Ident(s) => self.out.push_str(s),
+                        MapKey::Str(s) => {
+                            let _ = write!(self.out, "\"{}\"", escape(s));
+                        }
+                        MapKey::Int(n) => {
+                            let _ = write!(self.out, "{n}");
+                        }
+                    }
+                    self.out.push_str(": ");
+                    self.expr(&entry.value, 0);
+                }
+                self.out.push(']');
+            }
+            ExprKind::Ident(name) => self.out.push_str(name),
+            ExprKind::Prop { recv, name, safe } => {
+                self.expr(recv, POSTFIX_LEVEL);
+                self.out.push_str(if *safe { "?." } else { "." });
+                self.out.push_str(name);
+            }
+            ExprKind::Index { recv, index } => {
+                self.expr(recv, POSTFIX_LEVEL);
+                self.out.push('[');
+                self.expr(index, 0);
+                self.out.push(']');
+            }
+            ExprKind::Call { recv, name, args, closure, safe } => {
+                if let Some(r) = recv {
+                    self.expr(r, POSTFIX_LEVEL);
+                    self.out.push_str(if *safe { "?." } else { "." });
+                }
+                self.out.push_str(name);
+                self.out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    if let Some(n) = &a.name {
+                        let _ = write!(self.out, "{n}: ");
+                    }
+                    self.expr(&a.value, 0);
+                }
+                self.out.push(')');
+                if let Some(c) = closure {
+                    self.out.push(' ');
+                    self.closure(c);
+                }
+            }
+            ExprKind::Closure(c) => self.closure(c),
+            ExprKind::Unary { op, expr } => {
+                self.out.push_str(op.symbol());
+                self.expr(expr, UNARY_LEVEL);
+            }
+            ExprKind::Binary { op, lhs, rhs } => {
+                let my_level = op_level(*op);
+                let need_parens = my_level < level;
+                if need_parens {
+                    self.out.push('(');
+                }
+                self.expr(lhs, my_level);
+                let _ = write!(self.out, " {} ", op.symbol());
+                self.expr(rhs, my_level + 1);
+                if need_parens {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                if level > 0 {
+                    self.out.push('(');
+                }
+                self.expr(cond, 1);
+                self.out.push_str(" ? ");
+                self.expr(then_expr, 0);
+                self.out.push_str(" : ");
+                self.expr(else_expr, 0);
+                if level > 0 {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Elvis { value, fallback } => {
+                if level > 0 {
+                    self.out.push('(');
+                }
+                self.expr(value, 1);
+                self.out.push_str(" ?: ");
+                self.expr(fallback, 0);
+                if level > 0 {
+                    self.out.push(')');
+                }
+            }
+            ExprKind::Range { lo, hi } => {
+                self.expr(lo, RANGE_PRINT_LEVEL + 1);
+                self.out.push_str("..");
+                self.expr(hi, RANGE_PRINT_LEVEL + 1);
+            }
+        }
+    }
+
+    fn closure(&mut self, c: &Closure) {
+        self.out.push('{');
+        if c.explicit_params {
+            self.out.push(' ');
+            for (i, p) in c.params.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.out.push_str(&p.name);
+            }
+            self.out.push_str(" ->");
+        }
+        self.nl();
+        self.indent += 1;
+        for s in &c.body.stmts {
+            self.stmt(s);
+        }
+        self.indent -= 1;
+        self.line_start();
+        self.out.push('}');
+    }
+}
+
+const POSTFIX_LEVEL: u8 = 10;
+const UNARY_LEVEL: u8 = 9;
+const RANGE_PRINT_LEVEL: u8 = 3;
+
+fn op_level(op: BinaryOp) -> u8 {
+    match op {
+        BinaryOp::Or => 1,
+        BinaryOp::And => 2,
+        BinaryOp::Eq
+        | BinaryOp::Ne
+        | BinaryOp::Lt
+        | BinaryOp::Le
+        | BinaryOp::Gt
+        | BinaryOp::Ge
+        | BinaryOp::In => 3,
+        BinaryOp::Add | BinaryOp::Sub => 5,
+        BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem => 6,
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '$' => out.push_str("\\$"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_expression};
+
+    fn roundtrip(src: &str) {
+        let p1 = parse(src).unwrap();
+        let printed = print_program(&p1);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(strip_spans_program(&p1), strip_spans_program(&p2), "printed:\n{printed}");
+    }
+
+    // Structural equality modulo spans: compare printed forms, which do not
+    // contain spans by construction.
+    fn strip_spans_program(p: &Program) -> String {
+        print_program(p)
+    }
+
+    #[test]
+    fn roundtrip_listing1() {
+        roundtrip(
+            r#"
+input "tv1", "capability.switch", title: "Which TV?"
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) { turnOnWindow() }
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_switch_and_loops() {
+        roundtrip(
+            r#"
+def h(evt) {
+    switch (evt.value) {
+        case "on":
+            a.on()
+            break
+        default:
+            a.off()
+    }
+    for (s in list) { s.refresh() }
+    while (x < 3) { x += 1 }
+}
+"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_expressions() {
+        for src in [
+            "a + b * c",
+            "(a + b) * c",
+            "a ? b : c",
+            "x ?: y",
+            "!done && ready",
+            "t >= lo && t <= hi",
+            "[1, 2, 3]",
+            "[k: v, j: w]",
+            "dev.currentValue(\"temperature\")",
+            "xs.each { it.on() }",
+            "0..5",
+        ] {
+            let e1 = parse_expression(src).unwrap();
+            let printed = print_expr(&e1);
+            let e2 = parse_expression(&printed)
+                .unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+            assert_eq!(print_expr(&e1), print_expr(&e2), "src: {src}");
+        }
+    }
+
+    #[test]
+    fn parens_added_when_needed() {
+        // (a + b) * c must not print as a + b * c.
+        let e = parse_expression("(a + b) * c").unwrap();
+        let printed = print_expr(&e);
+        let re = parse_expression(&printed).unwrap();
+        assert_eq!(print_expr(&re), printed);
+        assert!(printed.contains('('), "{printed}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let e = parse_expression(r#""a\"b""#).unwrap();
+        assert_eq!(print_expr(&e), r#""a\"b""#);
+    }
+
+    #[test]
+    fn gstring_printing() {
+        let e = parse_expression(r#""t=${t} end""#).unwrap();
+        let printed = print_expr(&e);
+        assert!(printed.contains("${t}"), "{printed}");
+        let re = parse_expression(&printed).unwrap();
+        assert_eq!(print_expr(&re), printed);
+    }
+}

@@ -1,0 +1,104 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that later stages
+//! (the symbolic executor, the instrumenter, error reporting) can point
+//! back into the original SmartApp source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file, together with
+/// the 1-based line/column of its start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned text.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a new span.
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A zero-width span at the origin, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0, line: 0, col: 0 }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    ///
+    /// The line/column information is taken from whichever span starts first.
+    pub fn merge(self, other: Span) -> Span {
+        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: first.line,
+            col: first.col,
+        }
+    }
+
+    /// Length of the spanned text in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Extracts the spanned slice out of `source`.
+    ///
+    /// Returns an empty string when the span is out of bounds, which can only
+    /// happen if the span is applied to a different source than it came from.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        source.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_start() {
+        let a = Span::new(10, 20, 2, 1);
+        let b = Span::new(5, 12, 1, 6);
+        let m = a.merge(b);
+        assert_eq!(m.start, 5);
+        assert_eq!(m.end, 20);
+        assert_eq!(m.line, 1);
+        assert_eq!(m.col, 6);
+    }
+
+    #[test]
+    fn slice_is_safe_out_of_bounds() {
+        let s = Span::new(100, 200, 1, 1);
+        assert_eq!(s.slice("short"), "");
+    }
+
+    #[test]
+    fn display_shows_line_col() {
+        let s = Span::new(0, 1, 3, 7);
+        assert_eq!(s.to_string(), "3:7");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Span::new(3, 8, 1, 4).len(), 5);
+        assert!(Span::dummy().is_empty());
+    }
+}

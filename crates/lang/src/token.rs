@@ -1,0 +1,286 @@
+//! Tokens of the SmartApp Groovy subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexed token: a [`TokenKind`] plus its [`Span`] in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is, with any literal payload.
+    pub kind: TokenKind,
+    /// Where the token appears in the source.
+    pub span: Span,
+    /// Whether at least one line break separates this token from the
+    /// previous one. Groovy statements are newline-terminated, so the parser
+    /// consults this flag when deciding where a statement ends.
+    pub newline_before: bool,
+}
+
+/// The kinds of token the lexer produces.
+///
+/// Numeric literals keep their textual distinction between integers and
+/// decimals because SmartApp thresholds are frequently decimal
+/// (`threshold > 30.5`) and the symbolic executor models them as scaled
+/// fixed-point integers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or non-keyword word, e.g. `tv1`, `subscribe`.
+    Ident(String),
+    /// Integer literal, e.g. `42`.
+    Int(i64),
+    /// Decimal literal, e.g. `3.5`. Stored as its textual digits to avoid
+    /// committing to a float representation in the lexer.
+    Decimal(String),
+    /// Single-quoted string: no interpolation, e.g. `'switch'`.
+    Str(String),
+    /// Double-quoted string which may contain `${...}` interpolation.
+    /// The raw text between the quotes is kept; the parser splits it.
+    GStr(String),
+
+    // Keywords.
+    /// `def`
+    Def,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `switch`
+    Switch,
+    /// `case`
+    Case,
+    /// `default`
+    Default,
+    /// `return`
+    Return,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `null`
+    Null,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `in`
+    In,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `?.`
+    SafeDot,
+    /// `->`
+    Arrow,
+    /// `?`
+    Question,
+    /// `?:`
+    Elvis,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `-=`
+    MinusAssign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `!`
+    Not,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `..`
+    DotDot,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Decimal(s) => format!("decimal `{s}`"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::GStr(s) => format!("string \"{s}\""),
+            TokenKind::Eof => "end of input".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// The literal spelling of keyword/punctuation tokens.
+    fn symbol(&self) -> &'static str {
+        match self {
+            TokenKind::Def => "def",
+            TokenKind::If => "if",
+            TokenKind::Else => "else",
+            TokenKind::Switch => "switch",
+            TokenKind::Case => "case",
+            TokenKind::Default => "default",
+            TokenKind::Return => "return",
+            TokenKind::True => "true",
+            TokenKind::False => "false",
+            TokenKind::Null => "null",
+            TokenKind::For => "for",
+            TokenKind::While => "while",
+            TokenKind::In => "in",
+            TokenKind::Break => "break",
+            TokenKind::Continue => "continue",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Colon => ":",
+            TokenKind::Semi => ";",
+            TokenKind::Dot => ".",
+            TokenKind::SafeDot => "?.",
+            TokenKind::Arrow => "->",
+            TokenKind::Question => "?",
+            TokenKind::Elvis => "?:",
+            TokenKind::Assign => "=",
+            TokenKind::PlusAssign => "+=",
+            TokenKind::MinusAssign => "-=",
+            TokenKind::Eq => "==",
+            TokenKind::Ne => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::Not => "!",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::DotDot => "..",
+            _ => unreachable!("literal tokens handled in describe()"),
+        }
+    }
+
+    /// Looks up the keyword for `word`, if any.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "def" => TokenKind::Def,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "switch" => TokenKind::Switch,
+            "case" => TokenKind::Case,
+            "default" => TokenKind::Default,
+            "return" => TokenKind::Return,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "null" => TokenKind::Null,
+            "for" => TokenKind::For,
+            "while" => TokenKind::While,
+            "in" => TokenKind::In,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            _ => return None,
+        })
+    }
+
+    /// Whether this token can begin an expression. Used by the parser to
+    /// recognize Groovy "command expressions" (`input "tv1", "capability..."`).
+    pub fn starts_expression(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Ident(_)
+                | TokenKind::Int(_)
+                | TokenKind::Decimal(_)
+                | TokenKind::Str(_)
+                | TokenKind::GStr(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::Null
+                | TokenKind::LParen
+                | TokenKind::LBracket
+                | TokenKind::LBrace
+                | TokenKind::Not
+                | TokenKind::Minus
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("def"), Some(TokenKind::Def));
+        assert_eq!(TokenKind::keyword("switch"), Some(TokenKind::Switch));
+        assert_eq!(TokenKind::keyword("subscribe"), None);
+    }
+
+    #[test]
+    fn describe_literals() {
+        assert_eq!(TokenKind::Int(5).describe(), "integer `5`");
+        assert!(TokenKind::Ident("tv1".into()).describe().contains("tv1"));
+        assert_eq!(TokenKind::Elvis.describe(), "`?:`");
+    }
+
+    #[test]
+    fn expression_starters() {
+        assert!(TokenKind::Ident("x".into()).starts_expression());
+        assert!(TokenKind::Str("s".into()).starts_expression());
+        assert!(TokenKind::LBracket.starts_expression());
+        assert!(!TokenKind::Comma.starts_expression());
+        assert!(!TokenKind::Assign.starts_expression());
+    }
+}

@@ -1,0 +1,50 @@
+//! # hg-rules — HomeGuard's rule intermediate representation
+//!
+//! The symbolic executor (`hg-symexec`) lowers each SmartApp into
+//! trigger-condition-action [`Rule`]s (paper §V, Listing 2) whose trigger
+//! constraints and condition predicates are quantifier-free first-order
+//! [`Formula`]s over canonical [`VarId`] variables. The detector
+//! (`hg-detector`) merges these formulas across apps and checks
+//! satisfiability with `hg-solver`.
+//!
+//! The crate also provides the JSON rule-file codec ([`json`]) that the
+//! HomeGuard backend uses to store and ship extracted rules (§VIII-C
+//! measures these files at ~6 KB per app).
+//!
+//! # Examples
+//!
+//! ```
+//! use hg_rules::prelude::*;
+//!
+//! // env.temperature > 30 && mode == "Night"
+//! let f = Formula::and([
+//!     Formula::cmp(Term::var(VarId::env("temperature")), CmpOp::Gt,
+//!                  Term::num(30 * hg_capability::domains::SCALE)),
+//!     Formula::var_eq(VarId::Mode, Value::sym("Night")),
+//! ]);
+//! assert_eq!(f.variables().len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constraint;
+pub mod json;
+pub mod rule;
+pub mod value;
+pub mod varid;
+
+/// Commonly used items.
+pub mod prelude {
+    pub use crate::constraint::{CmpOp, Formula, Term};
+    pub use crate::rule::{
+        Action, ActionSubject, Condition, DataConstraint, Rule, RuleId, Trigger,
+    };
+    pub use crate::value::Value;
+    pub use crate::varid::{DeviceRef, VarId};
+}
+
+pub use constraint::{CmpOp, Formula, Term};
+pub use rule::{Action, ActionSubject, Condition, DataConstraint, Rule, RuleId, Trigger};
+pub use value::Value;
+pub use varid::{DeviceRef, VarId};

@@ -1,0 +1,464 @@
+//! The trigger-condition-action rule representation (paper Listing 2,
+//! Table II).
+
+use crate::constraint::{Formula, Term};
+use crate::varid::{DeviceRef, VarId};
+use std::fmt;
+
+/// Identifies a rule within a home: the owning app plus the rule's index in
+/// that app's extraction output.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RuleId {
+    /// The app name.
+    pub app: String,
+    /// The rule index within the app (extraction order).
+    pub index: usize,
+}
+
+impl RuleId {
+    /// Creates a rule id.
+    pub fn new(app: impl Into<String>, index: usize) -> RuleId {
+        RuleId { app: app.into(), index }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.app, self.index)
+    }
+}
+
+/// What fires a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Trigger {
+    /// A subscribed device event: `subscribe(dev, "attr", handler)`.
+    DeviceEvent {
+        /// The subscribed device.
+        subject: DeviceRef,
+        /// The subscribed attribute.
+        attribute: String,
+        /// The constraint on the event value, if the subscription named a
+        /// value (`"switch.on"`) or the handler compared `evt.value`.
+        /// `None` means any state change triggers the rule.
+        constraint: Option<Formula>,
+    },
+    /// A location-mode change subscription.
+    ModeChange {
+        /// Constraint on the new mode, if any.
+        constraint: Option<Formula>,
+    },
+    /// Sunrise/sunset or a user-scheduled time of day.
+    TimeOfDay {
+        /// Scheduled minutes since midnight, if statically known.
+        at_minutes: Option<u32>,
+        /// Human-readable schedule description (e.g. `"sunset"`).
+        description: String,
+    },
+    /// Recurring schedule (`runEvery5Minutes` installed at entry points).
+    Periodic {
+        /// Repetition period in seconds.
+        period_secs: u64,
+    },
+    /// The user tapped the app in the companion app (`app.touch`).
+    AppTouch,
+}
+
+impl Trigger {
+    /// The device this trigger subscribes to, if it is a device event.
+    pub fn subject(&self) -> Option<&DeviceRef> {
+        match self {
+            Trigger::DeviceEvent { subject, .. } => Some(subject),
+            _ => None,
+        }
+    }
+
+    /// The trigger's value constraint, if any.
+    pub fn constraint(&self) -> Option<&Formula> {
+        match self {
+            Trigger::DeviceEvent { constraint, .. } => constraint.as_ref(),
+            Trigger::ModeChange { constraint } => constraint.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The canonical variable observed by this trigger, if one exists.
+    ///
+    /// Used by Trigger-Interference detection: rule `R1` can trigger `R2`
+    /// when `R1`'s action writes this variable.
+    pub fn observed_var(&self) -> Option<VarId> {
+        match self {
+            Trigger::DeviceEvent { subject, attribute, .. } => {
+                Some(VarId::canonical_attr(subject, attribute))
+            }
+            Trigger::ModeChange { .. } => Some(VarId::Mode),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded data constraint: how a local variable got its value
+/// (Listing 2's "data constraints" section; Table II shows e.g.
+/// `t = tSensor.temperature`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataConstraint {
+    /// The assigned name as written in the app.
+    pub name: String,
+    /// The value it was bound to, as a term over symbolic sources.
+    pub term: Term,
+}
+
+impl fmt::Display for DataConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.name, self.term)
+    }
+}
+
+/// A rule's condition: the predicate that must hold (with data constraints
+/// kept for display fidelity — the predicate formula already has them
+/// substituted through).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Condition {
+    /// How intermediate variables were derived.
+    pub data_constraints: Vec<DataConstraint>,
+    /// The path predicate over canonical variables.
+    pub predicate: Formula,
+}
+
+impl Condition {
+    /// The trivially-true condition.
+    pub fn always() -> Condition {
+        Condition { data_constraints: Vec::new(), predicate: Formula::True }
+    }
+}
+
+/// The entity an action operates on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionSubject {
+    /// A device actuator.
+    Device(DeviceRef),
+    /// The location mode (virtual actuator).
+    LocationMode,
+    /// An outbound message (SMS/push); `target` is the destination if known.
+    Message {
+        /// Phone number / registration token, when statically known.
+        target: Option<String>,
+    },
+    /// An outbound HTTP request.
+    Http {
+        /// Request method (`GET`, `POST`, ...).
+        method: String,
+        /// Destination URL, when statically known.
+        url: Option<String>,
+    },
+    /// A raw hub command.
+    HubCommand,
+}
+
+impl ActionSubject {
+    /// The device reference, if the subject is a device.
+    pub fn device(&self) -> Option<&DeviceRef> {
+        match self {
+            ActionSubject::Device(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+/// One command issued by a rule (Listing 2's action section).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Action {
+    /// What the command operates on.
+    pub subject: ActionSubject,
+    /// The command name (`on`, `off`, `lock`, `setLevel`,
+    /// `setLocationMode`, `sendSms`, ...).
+    pub command: String,
+    /// Command parameters as terms (may reference user inputs).
+    pub params: Vec<Term>,
+    /// Scheduled delay in seconds before the command is issued (`when` in
+    /// Listing 2; 0 = immediately).
+    pub when_secs: u64,
+    /// Repetition interval in seconds (`period`; 0 = once).
+    pub period_secs: u64,
+}
+
+impl Action {
+    /// An immediate, one-shot device command.
+    pub fn device(device: DeviceRef, command: impl Into<String>) -> Action {
+        Action {
+            subject: ActionSubject::Device(device),
+            command: command.into(),
+            params: Vec::new(),
+            when_secs: 0,
+            period_secs: 0,
+        }
+    }
+
+    /// Adds parameters.
+    pub fn with_params(mut self, params: Vec<Term>) -> Action {
+        self.params = params;
+        self
+    }
+
+    /// Adds a delay.
+    pub fn after(mut self, when_secs: u64) -> Action {
+        self.when_secs = when_secs;
+        self
+    }
+
+    /// Whether this action controls a physical or virtual actuator (as
+    /// opposed to messaging/HTTP, which only detection of privacy flows
+    /// cares about).
+    pub fn is_actuation(&self) -> bool {
+        matches!(self.subject, ActionSubject::Device(_) | ActionSubject::LocationMode)
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.subject {
+            ActionSubject::Device(d) => write!(f, "{d} -> {}", self.command)?,
+            ActionSubject::LocationMode => write!(f, "location -> {}", self.command)?,
+            ActionSubject::Message { target } => write!(
+                f,
+                "message({}) -> {}",
+                target.as_deref().unwrap_or("?"),
+                self.command
+            )?,
+            ActionSubject::Http { method, url } => {
+                write!(f, "http {} {}", method, url.as_deref().unwrap_or("?"))?
+            }
+            ActionSubject::HubCommand => write!(f, "hub -> {}", self.command)?,
+        }
+        if !self.params.is_empty() {
+            f.write_str("(")?;
+            for (i, p) in self.params.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{p}")?;
+            }
+            f.write_str(")")?;
+        }
+        if self.when_secs > 0 {
+            write!(f, " after {}s", self.when_secs)?;
+        }
+        if self.period_secs > 0 {
+            write!(f, " every {}s", self.period_secs)?;
+        }
+        Ok(())
+    }
+}
+
+/// A complete trigger-condition-action rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Rule identity.
+    pub id: RuleId,
+    /// What fires the rule.
+    pub trigger: Trigger,
+    /// What must hold for the actions to run.
+    pub condition: Condition,
+    /// The commands issued.
+    pub actions: Vec<Action>,
+}
+
+impl Rule {
+    /// The conjunction of the trigger constraint and the condition
+    /// predicate — the formula that must be satisfiable for the rule to
+    /// take effect (used by overlap detection).
+    pub fn situation(&self) -> Formula {
+        let mut parts = Vec::new();
+        if let Some(c) = self.trigger.constraint() {
+            parts.push(c.clone());
+        }
+        parts.push(self.condition.predicate.clone());
+        Formula::and(parts)
+    }
+
+    /// All device references the rule mentions (trigger subject plus action
+    /// subjects plus condition variables).
+    pub fn devices(&self) -> Vec<&DeviceRef> {
+        let mut out = Vec::new();
+        if let Some(d) = self.trigger.subject() {
+            out.push(d);
+        }
+        for a in &self.actions {
+            if let Some(d) = a.subject.device() {
+                out.push(d);
+            }
+        }
+        out
+    }
+
+    /// The actuation actions only.
+    pub fn actuations(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter().filter(|a| a.is_actuation())
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rule {}:", self.id)?;
+        match &self.trigger {
+            Trigger::DeviceEvent { subject, attribute, constraint } => {
+                write!(f, "  when {subject}.{attribute} changes")?;
+                if let Some(c) = constraint {
+                    write!(f, " and {c}")?;
+                }
+                writeln!(f)?;
+            }
+            Trigger::ModeChange { constraint } => {
+                write!(f, "  when mode changes")?;
+                if let Some(c) = constraint {
+                    write!(f, " and {c}")?;
+                }
+                writeln!(f)?;
+            }
+            Trigger::TimeOfDay { description, .. } => writeln!(f, "  at {description}")?,
+            Trigger::Periodic { period_secs } => writeln!(f, "  every {period_secs}s")?,
+            Trigger::AppTouch => writeln!(f, "  when the app is tapped")?,
+        }
+        if self.condition.predicate != Formula::True {
+            writeln!(f, "  if {}", self.condition.predicate)?;
+        }
+        for a in &self.actions {
+            writeln!(f, "  then {a}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::CmpOp;
+    use crate::value::Value;
+    use hg_capability::device_kind::DeviceKind;
+
+    fn tv() -> DeviceRef {
+        DeviceRef::Unbound {
+            app: "ComfortTV".into(),
+            input: "tv1".into(),
+            capability: "switch".into(),
+            kind: DeviceKind::Tv,
+        }
+    }
+
+    fn window() -> DeviceRef {
+        DeviceRef::Unbound {
+            app: "ComfortTV".into(),
+            input: "window1".into(),
+            capability: "switch".into(),
+            kind: DeviceKind::WindowOpener,
+        }
+    }
+
+    fn rule1() -> Rule {
+        // Paper Rule 1 / Table II: when TV turns on, if temperature > 30 and
+        // window off, turn on window opener.
+        Rule {
+            id: RuleId::new("ComfortTV", 0),
+            trigger: Trigger::DeviceEvent {
+                subject: tv(),
+                attribute: "switch".into(),
+                constraint: Some(Formula::var_eq(
+                    VarId::device_attr(tv(), "switch"),
+                    Value::sym("on"),
+                )),
+            },
+            condition: Condition {
+                data_constraints: vec![DataConstraint {
+                    name: "t".into(),
+                    term: Term::var(VarId::device_attr(
+                        DeviceRef::Unbound {
+                            app: "ComfortTV".into(),
+                            input: "tSensor".into(),
+                            capability: "temperatureMeasurement".into(),
+                            kind: DeviceKind::Unknown,
+                        },
+                        "temperature",
+                    )),
+                }],
+                predicate: Formula::and([
+                    Formula::cmp(
+                        Term::var(VarId::env("temperature")),
+                        CmpOp::Gt,
+                        Term::var(VarId::UserInput {
+                            app: "ComfortTV".into(),
+                            name: "threshold1".into(),
+                        }),
+                    ),
+                    Formula::var_eq(VarId::device_attr(window(), "switch"), Value::sym("off")),
+                ]),
+            },
+            actions: vec![Action::device(window(), "on")],
+        }
+    }
+
+    #[test]
+    fn situation_conjoins_trigger_and_condition() {
+        let r = rule1();
+        let sit = r.situation();
+        let vars = sit.variables();
+        assert!(vars.iter().any(|v| matches!(v, VarId::Env(p) if p == "temperature")));
+        assert!(vars.iter().any(|v| matches!(v, VarId::UserInput { .. })));
+        // Trigger constraint folded in.
+        assert!(vars
+            .iter()
+            .any(|v| matches!(v, VarId::DeviceAttr { attribute, .. } if attribute == "switch")));
+    }
+
+    #[test]
+    fn devices_lists_trigger_and_action_subjects() {
+        let r = rule1();
+        let devs = r.devices();
+        assert_eq!(devs.len(), 2);
+    }
+
+    #[test]
+    fn actuations_filter() {
+        let mut r = rule1();
+        r.actions.push(Action {
+            subject: ActionSubject::Message { target: None },
+            command: "sendSms".into(),
+            params: vec![],
+            when_secs: 0,
+            period_secs: 0,
+        });
+        assert_eq!(r.actuations().count(), 1);
+        assert_eq!(r.actions.len(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let r = rule1();
+        let s = r.to_string();
+        assert!(s.contains("ComfortTV#0"), "{s}");
+        assert!(s.contains("when"), "{s}");
+        assert!(s.contains("then"), "{s}");
+    }
+
+    #[test]
+    fn action_builders() {
+        let a = Action::device(window(), "setLevel")
+            .with_params(vec![Term::num(5000)])
+            .after(300);
+        assert_eq!(a.when_secs, 300);
+        assert_eq!(a.params.len(), 1);
+        assert!(a.is_actuation());
+        let s = a.to_string();
+        assert!(s.contains("after 300s"), "{s}");
+    }
+
+    #[test]
+    fn trigger_observed_var() {
+        let r = rule1();
+        let v = r.trigger.observed_var().unwrap();
+        assert!(matches!(v, VarId::DeviceAttr { attribute, .. } if attribute == "switch"));
+        assert_eq!(Trigger::AppTouch.observed_var(), None);
+        assert_eq!(
+            Trigger::ModeChange { constraint: None }.observed_var(),
+            Some(VarId::Mode)
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Runtime/constraint values.
+
+use hg_capability::domains::{parse_scaled, unscaled_to_string};
+use std::fmt;
+
+/// A concrete value appearing in rules and constraints.
+///
+/// Numbers are scaled fixed-point (`hg_capability::domains::SCALE`); symbols
+/// are interned attribute values such as `"on"` or `"locked"`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A scaled fixed-point number.
+    Num(i64),
+    /// A symbolic enum value (`"on"`, `"locked"`, a mode name, ...).
+    Sym(String),
+    /// A boolean.
+    Bool(bool),
+    /// Groovy `null`.
+    Null,
+}
+
+impl Value {
+    /// Builds a numeric value from a natural-unit integer.
+    pub fn from_natural(n: i64) -> Value {
+        Value::Num(n * hg_capability::domains::SCALE)
+    }
+
+    /// Builds a numeric value from decimal text (`"30.5"`).
+    pub fn from_decimal_text(text: &str) -> Option<Value> {
+        parse_scaled(text).map(Value::Num)
+    }
+
+    /// Builds a symbolic value.
+    pub fn sym(s: impl Into<String>) -> Value {
+        Value::Sym(s.into())
+    }
+
+    /// The scaled number, if numeric.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The symbol text, if symbolic.
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Value::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Groovy truthiness: `false`, `null`, `0` and `""` are falsy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Null => false,
+            Value::Num(n) => *n != 0,
+            Value::Sym(s) => !s.is_empty(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Num(n) => f.write_str(&unscaled_to_string(*n)),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => f.write_str("null"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        assert_eq!(Value::from_natural(30), Value::Num(3000));
+        assert_eq!(Value::from_decimal_text("30.5"), Some(Value::Num(3050)));
+        assert_eq!(Value::from_decimal_text("x"), None);
+        assert_eq!(Value::sym("on").as_sym(), Some("on"));
+        assert_eq!(Value::Num(5).as_num(), Some(5));
+        assert_eq!(Value::sym("on").as_num(), None);
+    }
+
+    #[test]
+    fn truthiness_follows_groovy() {
+        assert!(Value::Bool(true).truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(!Value::Null.truthy());
+        assert!(!Value::Num(0).truthy());
+        assert!(Value::Num(1).truthy());
+        assert!(!Value::Sym(String::new()).truthy());
+        assert!(Value::sym("on").truthy());
+    }
+
+    #[test]
+    fn display_unscales_numbers() {
+        assert_eq!(Value::Num(3050).to_string(), "30.5");
+        assert_eq!(Value::sym("on").to_string(), "on");
+        assert_eq!(Value::Null.to_string(), "null");
+    }
+}

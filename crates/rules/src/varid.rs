@@ -1,0 +1,262 @@
+//! Canonical constraint-variable identities.
+//!
+//! Overlap detection (paper §VI-A2) works by merging the constraint formulas
+//! of two rules and asking a solver whether the conjunction is satisfiable.
+//! For that to be meaningful, the two rules' formulas must use *the same
+//! variable* exactly when they observe the same piece of world state. This
+//! module defines that canonical naming.
+
+use hg_capability::device_kind::DeviceKind;
+use std::fmt;
+
+/// A reference to a device as seen by a rule.
+///
+/// Before installation the rule only knows the input slot it was granted
+/// ([`DeviceRef::Unbound`]); after configuration collection the 128-bit
+/// device identifier pins it down ([`DeviceRef::Bound`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceRef {
+    /// A concrete installed device, identified by its unique id.
+    Bound {
+        /// The 128-bit device identifier, hex-encoded.
+        device_id: String,
+    },
+    /// An input slot not yet bound to a physical device.
+    Unbound {
+        /// The app that declared the input.
+        app: String,
+        /// The input variable name, e.g. `tv1`.
+        input: String,
+        /// The requested capability (short name).
+        capability: String,
+        /// Classified device kind (from titles/descriptions).
+        kind: DeviceKind,
+    },
+}
+
+impl DeviceRef {
+    /// A bound reference.
+    pub fn bound(device_id: impl Into<String>) -> DeviceRef {
+        DeviceRef::Bound { device_id: device_id.into() }
+    }
+
+    /// Whether two references certainly denote the same physical device.
+    ///
+    /// Bound references compare by id. Unbound references are never certain
+    /// (binding happens at install time); callers doing store-wide analysis
+    /// use [`DeviceRef::same_type`] instead, as §VIII-B of the paper does.
+    pub fn same_device(&self, other: &DeviceRef) -> bool {
+        match (self, other) {
+            (DeviceRef::Bound { device_id: a }, DeviceRef::Bound { device_id: b }) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Whether two references could be granted the same device type
+    /// (capability and classified kind agree).
+    pub fn same_type(&self, other: &DeviceRef) -> bool {
+        match (self, other) {
+            (
+                DeviceRef::Unbound { capability: ca, kind: ka, .. },
+                DeviceRef::Unbound { capability: cb, kind: kb, .. },
+            ) => ca == cb && ka == kb,
+            (DeviceRef::Bound { device_id: a }, DeviceRef::Bound { device_id: b }) => a == b,
+            _ => false,
+        }
+    }
+
+    /// The capability this reference was granted with, if known.
+    pub fn capability(&self) -> Option<&str> {
+        match self {
+            DeviceRef::Unbound { capability, .. } => Some(capability),
+            DeviceRef::Bound { .. } => None,
+        }
+    }
+
+    /// The classified device kind, if known.
+    pub fn kind(&self) -> Option<DeviceKind> {
+        match self {
+            DeviceRef::Unbound { kind, .. } => Some(*kind),
+            DeviceRef::Bound { .. } => None,
+        }
+    }
+
+    /// The canonical key used when building constraint variables: bound
+    /// devices key by id; unbound ones by `app/input`.
+    pub fn key(&self) -> String {
+        match self {
+            DeviceRef::Bound { device_id } => format!("id:{device_id}"),
+            DeviceRef::Unbound { app, input, .. } => format!("slot:{app}/{input}"),
+        }
+    }
+}
+
+impl fmt::Display for DeviceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceRef::Bound { device_id } => write!(f, "device {device_id}"),
+            DeviceRef::Unbound { app, input, capability, .. } => {
+                write!(f, "{app}/{input} ({capability})")
+            }
+        }
+    }
+}
+
+/// A canonical constraint variable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VarId {
+    /// An attribute of a device: `dev:<key>.<attribute>`.
+    DeviceAttr {
+        /// The device.
+        device: DeviceRef,
+        /// The attribute name.
+        attribute: String,
+    },
+    /// A home environment feature measured by sensors: `env.<property>`.
+    Env(String),
+    /// The location mode, a platform-defined virtual sensor/actuator.
+    Mode,
+    /// Time of day, in minutes since midnight (0..1439).
+    TimeOfDay,
+    /// Day of week, 0 = Monday .. 6 = Sunday.
+    DayOfWeek,
+    /// A user-configured input value: `user:<app>/<name>`.
+    UserInput {
+        /// The declaring app.
+        app: String,
+        /// The input variable name.
+        name: String,
+    },
+    /// Persistent app state (`state.x` / `atomicState.x`).
+    State {
+        /// The owning app.
+        app: String,
+        /// The state key.
+        name: String,
+    },
+    /// An opaque symbolic source (HTTP response field, undocumented API
+    /// return value): `sym:<app>/<name>`.
+    Opaque {
+        /// The app in whose extraction the source appeared.
+        app: String,
+        /// A descriptive name assigned by the executor.
+        name: String,
+    },
+}
+
+impl VarId {
+    /// A device-attribute variable.
+    pub fn device_attr(device: DeviceRef, attribute: impl Into<String>) -> VarId {
+        VarId::DeviceAttr { device, attribute: attribute.into() }
+    }
+
+    /// The canonical variable for reading `attribute` of `device`.
+    ///
+    /// Environment-measured attributes (temperature, illuminance, humidity,
+    /// power, carbon dioxide, sound level) unify across all sensors into a
+    /// single `env.*` variable — in the paper's home-context model (Fig. 1)
+    /// sensors *observe shared environment features*, which is exactly what
+    /// makes the environmental interference channel (§VI-B/C) work.
+    /// Device-private attributes (switch, lock, motion, ...) stay per-device.
+    pub fn canonical_attr(device: &DeviceRef, attribute: &str) -> VarId {
+        match attribute {
+            "temperature" => VarId::env("temperature"),
+            "illuminance" => VarId::env("illuminance"),
+            "humidity" => VarId::env("humidity"),
+            "power" => VarId::env("power"),
+            "carbonDioxide" => VarId::env("airQuality"),
+            "soundPressureLevel" => VarId::env("noise"),
+            _ => VarId::device_attr(device.clone(), attribute),
+        }
+    }
+
+    /// An environment variable for `property`.
+    pub fn env(property: impl Into<String>) -> VarId {
+        VarId::Env(property.into())
+    }
+
+    /// Whether this variable is shared world state that unifies across apps
+    /// (environment, mode, time) as opposed to app-private state.
+    pub fn is_shared_world(&self) -> bool {
+        matches!(
+            self,
+            VarId::Env(_) | VarId::Mode | VarId::TimeOfDay | VarId::DayOfWeek
+        ) || matches!(self, VarId::DeviceAttr { .. })
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VarId::DeviceAttr { device, attribute } => {
+                write!(f, "dev:{}.{attribute}", device.key())
+            }
+            VarId::Env(p) => write!(f, "env.{p}"),
+            VarId::Mode => f.write_str("mode"),
+            VarId::TimeOfDay => f.write_str("time.ofDay"),
+            VarId::DayOfWeek => f.write_str("time.dayOfWeek"),
+            VarId::UserInput { app, name } => write!(f, "user:{app}/{name}"),
+            VarId::State { app, name } => write!(f, "state:{app}/{name}"),
+            VarId::Opaque { app, name } => write!(f, "sym:{app}/{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unbound(app: &str, input: &str, cap: &str, kind: DeviceKind) -> DeviceRef {
+        DeviceRef::Unbound {
+            app: app.into(),
+            input: input.into(),
+            capability: cap.into(),
+            kind,
+        }
+    }
+
+    #[test]
+    fn bound_same_device() {
+        let a = DeviceRef::bound("0e0b741b");
+        let b = DeviceRef::bound("0e0b741b");
+        let c = DeviceRef::bound("deadbeef");
+        assert!(a.same_device(&b));
+        assert!(!a.same_device(&c));
+    }
+
+    #[test]
+    fn unbound_never_same_device_but_maybe_same_type() {
+        let a = unbound("A", "tv1", "switch", DeviceKind::Tv);
+        let b = unbound("B", "tele", "switch", DeviceKind::Tv);
+        let c = unbound("B", "lamp", "switch", DeviceKind::Light);
+        assert!(!a.same_device(&b));
+        assert!(a.same_type(&b));
+        assert!(!a.same_type(&c));
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let a = unbound("A", "tv1", "switch", DeviceKind::Tv);
+        let b = DeviceRef::bound("0e0b");
+        assert_ne!(a.key(), b.key());
+        assert!(a.key().contains("A/tv1"));
+        assert!(b.key().contains("0e0b"));
+    }
+
+    #[test]
+    fn varid_display() {
+        let v = VarId::device_attr(DeviceRef::bound("0e0b"), "switch");
+        assert_eq!(v.to_string(), "dev:id:0e0b.switch");
+        assert_eq!(VarId::env("temperature").to_string(), "env.temperature");
+        assert_eq!(VarId::Mode.to_string(), "mode");
+    }
+
+    #[test]
+    fn shared_world_classification() {
+        assert!(VarId::env("temperature").is_shared_world());
+        assert!(VarId::Mode.is_shared_world());
+        assert!(VarId::device_attr(DeviceRef::bound("x"), "switch").is_shared_world());
+        assert!(!VarId::UserInput { app: "A".into(), name: "t".into() }.is_shared_world());
+        assert!(!VarId::State { app: "A".into(), name: "c".into() }.is_shared_world());
+    }
+}

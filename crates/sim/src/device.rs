@@ -1,0 +1,153 @@
+//! Simulated devices: the data layer's sensors and actuators (paper Fig. 1).
+
+use hg_capability::capability::{self, AttrEffect};
+use hg_capability::device_kind::DeviceKind;
+use hg_capability::domains::AttrDomain;
+use hg_rules::value::Value;
+use std::collections::BTreeMap;
+
+/// A simulated device: a bundle of attributes plus its physical kind.
+#[derive(Debug, Clone)]
+pub struct Device {
+    /// Unique device id (what the configuration collector would report).
+    pub id: String,
+    /// Human-readable label.
+    pub label: String,
+    /// The primary capability.
+    pub capability: &'static str,
+    /// The physical kind, for environment effects.
+    pub kind: DeviceKind,
+    /// Current attribute values.
+    pub attributes: BTreeMap<String, Value>,
+}
+
+impl Device {
+    /// Creates a device with its capability's attributes at default values
+    /// (first enum member / domain minimum).
+    pub fn new(
+        id: impl Into<String>,
+        label: impl Into<String>,
+        capability_name: &'static str,
+        kind: DeviceKind,
+    ) -> Device {
+        let mut attributes = BTreeMap::new();
+        if let Some(cap) = capability::lookup(capability_name) {
+            for attr in cap.attributes {
+                let v = match attr.domain {
+                    AttrDomain::Enum(values) => Value::Sym(quiescent(attr.name, values)),
+                    AttrDomain::Numeric { min, .. } => Value::Num(min.max(0)),
+                    AttrDomain::Text => Value::Sym(String::new()),
+                };
+                attributes.insert(attr.name.to_string(), v);
+            }
+        }
+        Device { id: id.into(), label: label.into(), capability: capability_name, kind, attributes }
+    }
+
+    /// Reads an attribute.
+    pub fn get(&self, attribute: &str) -> Option<&Value> {
+        self.attributes.get(attribute)
+    }
+
+    /// Sets an attribute, returning the previous value if it changed.
+    pub fn set(&mut self, attribute: &str, value: Value) -> Option<Value> {
+        let old = self.attributes.insert(attribute.to_string(), value.clone());
+        match old {
+            Some(o) if o == value => None,
+            other => other.or(Some(Value::Null)),
+        }
+    }
+
+    /// Executes a command: applies its attribute effects, returning the
+    /// attribute changes as `(attribute, new value)` pairs.
+    pub fn execute(&mut self, command: &str, params: &[Value]) -> Vec<(String, Value)> {
+        let Some(cap) = capability::lookup(self.capability) else { return Vec::new() };
+        let Some(cmd) = cap.command(command) else { return Vec::new() };
+        let mut changes = Vec::new();
+        for effect in cmd.effects {
+            let (attr, value) = match effect {
+                AttrEffect::SetConst { attribute, value } => {
+                    (attribute.to_string(), Value::Sym(value.to_string()))
+                }
+                AttrEffect::SetParam { attribute, param_index } => {
+                    let Some(v) = params.get(*param_index) else { continue };
+                    (attribute.to_string(), v.clone())
+                }
+            };
+            if self.set(&attr, value.clone()).is_some() {
+                changes.push((attr, value));
+            }
+        }
+        changes
+    }
+}
+
+/// The quiescent (resting) value for an enum attribute: devices start
+/// inactive, closed, off, dry and locked so that stimuli produce changes.
+fn quiescent(attribute: &str, values: &'static [&'static str]) -> String {
+    let preferred = match attribute {
+        "switch" | "alarm" | "thermostatMode" => "off",
+        "motion" | "acceleration" => "inactive",
+        "contact" | "valve" | "door" | "windowShade" => "closed",
+        "presence" => "not present",
+        "lock" => "locked",
+        "water" => "dry",
+        "smoke" | "carbonMonoxide" => "clear",
+        "sleeping" => "not sleeping",
+        "status" => "stopped",
+        "mute" => "unmuted",
+        _ => "",
+    };
+    if values.contains(&preferred) {
+        preferred.to_string()
+    } else {
+        values[0].to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_device_has_quiescent_defaults() {
+        let d = Device::new("sw-1", "Lamp", "switch", DeviceKind::Light);
+        assert_eq!(d.get("switch"), Some(&Value::Sym("off".into())));
+        let m = Device::new("m-1", "Motion", "motionSensor", DeviceKind::Unknown);
+        assert_eq!(m.get("motion"), Some(&Value::Sym("inactive".into())));
+        let c = Device::new("c-1", "Door", "contactSensor", DeviceKind::Unknown);
+        assert_eq!(c.get("contact"), Some(&Value::Sym("closed".into())));
+    }
+
+    #[test]
+    fn execute_on_off() {
+        let mut d = Device::new("sw-1", "Lamp", "switch", DeviceKind::Light);
+        d.set("switch", Value::sym("off"));
+        let changes = d.execute("on", &[]);
+        assert_eq!(changes, vec![("switch".to_string(), Value::sym("on"))]);
+        // Idempotent command: no change event.
+        assert!(d.execute("on", &[]).is_empty());
+    }
+
+    #[test]
+    fn execute_set_level() {
+        let mut d = Device::new("dim-1", "Dimmer", "switchLevel", DeviceKind::Light);
+        let changes = d.execute("setLevel", &[Value::from_natural(40)]);
+        assert_eq!(changes.len(), 1);
+        assert_eq!(d.get("level"), Some(&Value::from_natural(40)));
+    }
+
+    #[test]
+    fn unknown_command_is_noop() {
+        let mut d = Device::new("sw-1", "Lamp", "switch", DeviceKind::Light);
+        assert!(d.execute("teleport", &[]).is_empty());
+    }
+
+    #[test]
+    fn set_reports_change_only_on_difference() {
+        let mut d = Device::new("l-1", "Lock", "lock", DeviceKind::Lock);
+        let prev = d.set("lock", Value::sym("unlocked"));
+        assert!(prev.is_some());
+        assert!(d.set("lock", Value::sym("unlocked")).is_none());
+    }
+}

@@ -1,0 +1,640 @@
+//! The simulated home: environment, devices, event queue and the TCA rule
+//! engine. This is HomeGuard's stand-in for the SmartThings simulator the
+//! paper uses to verify discovered threats (§VIII-A/§VIII-B).
+//!
+//! Determinism and nondeterminism: the simulator is driven by a seeded RNG.
+//! When several rules fire on the same event, and when several actions land
+//! at the same instant, their order is shuffled — reproducing the paper's
+//! Fig. 3 observation that an Actuator Race leaves the final switch state
+//! unpredictable ("turned on only, turned off only, on then off, off then
+//! on").
+
+use crate::device::Device;
+use hg_capability::domains::{EnvProperty, Sign};
+use hg_rules::constraint::Formula;
+use hg_rules::rule::{ActionSubject, Rule, Trigger};
+use hg_rules::value::Value;
+use hg_rules::varid::{DeviceRef, VarId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Simulated milliseconds.
+pub type SimTime = u64;
+
+/// What happened in the home, for assertions and demos.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEntry {
+    /// A device attribute changed.
+    Attr {
+        /// When.
+        at: SimTime,
+        /// Device id.
+        device: String,
+        /// Attribute name.
+        attribute: String,
+        /// New value.
+        value: Value,
+    },
+    /// A rule fired (trigger matched and condition held).
+    RuleFired {
+        /// When.
+        at: SimTime,
+        /// Which rule.
+        rule: String,
+    },
+    /// The location mode changed.
+    Mode {
+        /// When.
+        at: SimTime,
+        /// New mode.
+        mode: String,
+    },
+    /// An environment property moved.
+    Env {
+        /// When.
+        at: SimTime,
+        /// The property.
+        property: EnvProperty,
+        /// New scaled value.
+        value: i64,
+    },
+}
+
+/// An event waiting in the queue.
+#[derive(Debug, Clone)]
+enum Pending {
+    AttrChanged { device: String, attribute: String, value: Value },
+    ModeChanged { mode: String },
+    RunAction { rule_index: usize, action_index: usize },
+}
+
+/// Per-environment-property drift applied when actuators run (simplified
+/// physics: each active effect moves the property a fixed step per event
+/// cycle).
+const ENV_STEP: i64 = 50; // 0.5 units in scaled fixed-point
+
+/// The simulated home.
+pub struct Home {
+    /// Virtual clock.
+    pub now: SimTime,
+    /// Devices by id.
+    pub devices: BTreeMap<String, Device>,
+    /// Environment property values (scaled).
+    pub env: BTreeMap<EnvProperty, i64>,
+    /// Current location mode.
+    pub mode: String,
+    /// Installed rules with their device bindings already resolved
+    /// ([`DeviceRef::Bound`] everywhere).
+    rules: Vec<Rule>,
+    /// Collected user-input values for condition evaluation.
+    pub user_values: BTreeMap<(String, String), Value>,
+    queue: Vec<(SimTime, Pending)>,
+    rng: StdRng,
+    /// Everything that happened.
+    pub trace: Vec<TraceEntry>,
+    /// Cascade guard: events processed in the current `run` call.
+    budget: usize,
+}
+
+impl Home {
+    /// An empty home with a seeded RNG (same seed → same schedule).
+    pub fn new(seed: u64) -> Home {
+        let mut env = BTreeMap::new();
+        env.insert(EnvProperty::Temperature, 21 * 100);
+        env.insert(EnvProperty::Illuminance, 200 * 100);
+        env.insert(EnvProperty::Humidity, 50 * 100);
+        env.insert(EnvProperty::Power, 300 * 100);
+        env.insert(EnvProperty::Noise, 30 * 100);
+        Home {
+            now: 0,
+            devices: BTreeMap::new(),
+            env,
+            mode: "Home".to_string(),
+            rules: Vec::new(),
+            user_values: BTreeMap::new(),
+            queue: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            trace: Vec::new(),
+            budget: 10_000,
+        }
+    }
+
+    /// Adds a device.
+    pub fn add_device(&mut self, device: Device) {
+        self.devices.insert(device.id.clone(), device);
+    }
+
+    /// Installs a rule (device references must be bound to device ids that
+    /// exist in this home).
+    pub fn install_rule(&mut self, rule: Rule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of installed rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Externally forces a device attribute (a user flipping a switch, a
+    /// sensor reporting) and runs the event cascade to quiescence.
+    pub fn stimulate(&mut self, device: &str, attribute: &str, value: Value) {
+        self.queue.push((
+            self.now,
+            Pending::AttrChanged {
+                device: device.to_string(),
+                attribute: attribute.to_string(),
+                value,
+            },
+        ));
+        self.run();
+    }
+
+    /// Changes the location mode externally.
+    pub fn set_mode(&mut self, mode: &str) {
+        self.queue.push((self.now, Pending::ModeChanged { mode: mode.to_string() }));
+        self.run();
+    }
+
+    /// Reads a device attribute.
+    pub fn attr(&self, device: &str, attribute: &str) -> Option<&Value> {
+        self.devices.get(device)?.get(attribute)
+    }
+
+    /// Drains the event queue, processing cascades (rule firings, delayed
+    /// actions) until quiescent or the cascade budget is exhausted.
+    pub fn run(&mut self) {
+        let mut steps = 0;
+        while !self.queue.is_empty() {
+            steps += 1;
+            if steps > self.budget {
+                break; // runaway loop (e.g. Loop Triggering) — bounded
+            }
+            // Pop the earliest event; ties are shuffled for nondeterminism.
+            self.queue.sort_by_key(|(t, _)| *t);
+            let earliest = self.queue[0].0;
+            let tie_count = self.queue.iter().take_while(|(t, _)| *t == earliest).count();
+            let pick = if tie_count > 1 {
+                (self.rng.next_index(tie_count)) as usize
+            } else {
+                0
+            };
+            let (at, event) = self.queue.remove(pick);
+            self.now = self.now.max(at);
+            self.process(event);
+        }
+    }
+
+    fn process(&mut self, event: Pending) {
+        match event {
+            Pending::AttrChanged { device, attribute, value } => {
+                let Some(dev) = self.devices.get_mut(&device) else { return };
+                if dev.set(&attribute, value.clone()).is_none() {
+                    return; // no actual change, no event
+                }
+                self.trace.push(TraceEntry::Attr {
+                    at: self.now,
+                    device: device.clone(),
+                    attribute: attribute.clone(),
+                    value: value.clone(),
+                });
+                self.apply_env_effects(&device, &attribute, &value);
+                self.fire_matching_rules(Some((&device, &attribute, &value)), None);
+            }
+            Pending::ModeChanged { mode } => {
+                if self.mode == mode {
+                    return;
+                }
+                self.mode = mode.clone();
+                self.trace.push(TraceEntry::Mode { at: self.now, mode: mode.clone() });
+                self.fire_matching_rules(None, Some(&mode));
+            }
+            Pending::RunAction { rule_index, action_index } => {
+                self.perform_action(rule_index, action_index);
+            }
+        }
+    }
+
+    /// Simplified physics: device-kind environment effects move the shared
+    /// property one step per state change.
+    fn apply_env_effects(&mut self, device: &str, attribute: &str, value: &Value) {
+        let Some(dev) = self.devices.get(device) else { return };
+        // The state change corresponds to the command that caused it; infer
+        // the command from the new value where possible.
+        let command = match (attribute, value) {
+            ("switch", Value::Sym(s)) => s.clone(),
+            ("valve", Value::Sym(s)) if s == "open" => "open".into(),
+            ("valve", Value::Sym(s)) if s == "closed" => "close".into(),
+            ("door", Value::Sym(s)) if s == "open" => "open".into(),
+            ("door", Value::Sym(s)) if s == "closed" => "close".into(),
+            ("alarm", Value::Sym(s)) => s.clone(),
+            _ => return,
+        };
+        let effects: Vec<(EnvProperty, Sign)> = dev
+            .kind
+            .goal_effects()
+            .iter()
+            .filter(|fx| fx.command == command)
+            .map(|fx| (fx.property, fx.sign))
+            .collect();
+        for (prop, sign) in effects {
+            let entry = self.env.entry(prop).or_insert(0);
+            match sign {
+                Sign::Inc => *entry += ENV_STEP,
+                Sign::Dec => *entry -= ENV_STEP,
+            }
+            let value = *entry;
+            self.trace.push(TraceEntry::Env { at: self.now, property: prop, value });
+            // Environment movement is itself sensed: notify rules triggered
+            // by environment-measuring attributes.
+            self.fire_env_rules(prop, value);
+        }
+    }
+
+    /// Fires rules triggered by a device/mode event.
+    fn fire_matching_rules(
+        &mut self,
+        attr_event: Option<(&str, &str, &Value)>,
+        mode_event: Option<&str>,
+    ) {
+        let mut matching: Vec<usize> = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            let fires = match (&rule.trigger, attr_event, mode_event) {
+                (Trigger::DeviceEvent { subject, attribute, constraint }, Some((d, a, v)), _) => {
+                    device_id(subject) == Some(d)
+                        && attribute == a
+                        && constraint
+                            .as_ref()
+                            .map(|c| self.holds_with_event(c, rule, Some((subject, a, v))))
+                            .unwrap_or(true)
+                }
+                (Trigger::ModeChange { constraint }, _, Some(_)) => constraint
+                    .as_ref()
+                    .map(|c| self.holds(c, rule))
+                    .unwrap_or(true),
+                _ => false,
+            };
+            if fires && self.holds(&rule.condition.predicate, rule) {
+                matching.push(i);
+            }
+        }
+        matching.shuffle(&mut self.rng);
+        for i in matching {
+            self.trace.push(TraceEntry::RuleFired {
+                at: self.now,
+                rule: self.rules[i].id.to_string(),
+            });
+            for (j, action) in self.rules[i].actions.iter().enumerate() {
+                let at = self.now + self.rules[i].actions[j].when_secs * 1_000;
+                let _ = action;
+                self.queue.push((at, Pending::RunAction { rule_index: i, action_index: j }));
+            }
+        }
+    }
+
+    /// Fires rules triggered by environment-measured attributes.
+    fn fire_env_rules(&mut self, prop: EnvProperty, _value: i64) {
+        let mut matching = Vec::new();
+        for (i, rule) in self.rules.iter().enumerate() {
+            if let Some(var) = rule.trigger.observed_var() {
+                if var == VarId::env(prop.name()) {
+                    let constraint_ok = rule
+                        .trigger
+                        .constraint()
+                        .map(|c| self.holds(c, rule))
+                        .unwrap_or(true);
+                    if constraint_ok && self.holds(&rule.condition.predicate, rule) {
+                        matching.push(i);
+                    }
+                }
+            }
+        }
+        matching.shuffle(&mut self.rng);
+        for i in matching {
+            self.trace.push(TraceEntry::RuleFired {
+                at: self.now,
+                rule: self.rules[i].id.to_string(),
+            });
+            for j in 0..self.rules[i].actions.len() {
+                let at = self.now + self.rules[i].actions[j].when_secs * 1_000;
+                self.queue.push((at, Pending::RunAction { rule_index: i, action_index: j }));
+            }
+        }
+    }
+
+    fn perform_action(&mut self, rule_index: usize, action_index: usize) {
+        let Some(rule) = self.rules.get(rule_index) else { return };
+        let Some(action) = rule.actions.get(action_index) else { return };
+        let action = action.clone();
+        match &action.subject {
+            ActionSubject::Device(dref) => {
+                let Some(id) = device_id(dref).map(str::to_string) else { return };
+                let params: Vec<Value> = action
+                    .params
+                    .iter()
+                    .filter_map(|t| self.eval_term_value(t, rule))
+                    .collect();
+                let Some(dev) = self.devices.get_mut(&id) else { return };
+                let changes = dev.execute(&action.command, &params);
+                for (attr, value) in changes {
+                    self.trace.push(TraceEntry::Attr {
+                        at: self.now,
+                        device: id.clone(),
+                        attribute: attr.clone(),
+                        value: value.clone(),
+                    });
+                    self.apply_env_effects(&id, &attr, &value);
+                    self.fire_matching_rules(Some((&id, &attr, &value)), None);
+                }
+            }
+            ActionSubject::LocationMode => {
+                let rule_clone = rule.clone();
+                if let Some(Value::Sym(mode)) = action
+                    .params
+                    .first()
+                    .and_then(|t| self.eval_term_value(t, &rule_clone))
+                {
+                    let at = self.now;
+                    self.queue.push((at, Pending::ModeChanged { mode }));
+                }
+            }
+            // Messaging/HTTP/hub actions have no home-state effect.
+            _ => {}
+        }
+    }
+
+    // ----- formula evaluation over the concrete world ---------------------------
+
+    fn holds(&self, f: &Formula, rule: &Rule) -> bool {
+        self.holds_with_event(f, rule, None)
+    }
+
+    fn holds_with_event(
+        &self,
+        f: &Formula,
+        rule: &Rule,
+        event: Option<(&DeviceRef, &str, &Value)>,
+    ) -> bool {
+        let resolved = f.substitute(&|v| self.resolve_var(v, rule, event));
+        !matches!(resolved, Formula::False)
+    }
+
+    fn resolve_var(
+        &self,
+        v: &VarId,
+        _rule: &Rule,
+        event: Option<(&DeviceRef, &str, &Value)>,
+    ) -> Option<Value> {
+        match v {
+            VarId::DeviceAttr { device, attribute } => {
+                if let Some((edev, eattr, evalue)) = event {
+                    if device == edev && attribute == eattr {
+                        return Some((*evalue).clone());
+                    }
+                }
+                let id = device_id(device)?;
+                self.devices.get(id)?.get(attribute).cloned()
+            }
+            VarId::Env(p) => {
+                let prop = EnvProperty::from_name(p)?;
+                self.env.get(&prop).map(|n| Value::Num(*n))
+            }
+            VarId::Mode => Some(Value::Sym(self.mode.clone())),
+            VarId::UserInput { app, name } => {
+                self.user_values.get(&(app.clone(), name.clone())).cloned()
+            }
+            // Time, state and opaque sources stay symbolic: treat the atom
+            // as satisfiable (permissive, like the paper's simulator runs).
+            _ => None,
+        }
+    }
+
+    fn eval_term_value(&self, t: &hg_rules::constraint::Term, rule: &Rule) -> Option<Value> {
+        let substituted = t.substitute(&|v| self.resolve_var(v, rule, None));
+        substituted.as_const().cloned()
+    }
+}
+
+fn device_id(d: &DeviceRef) -> Option<&str> {
+    match d {
+        DeviceRef::Bound { device_id } => Some(device_id),
+        DeviceRef::Unbound { .. } => None,
+    }
+}
+
+/// Small RNG extension: uniform index in `0..n`.
+trait NextIndex {
+    fn next_index(&mut self, n: usize) -> usize;
+}
+
+impl NextIndex for StdRng {
+    fn next_index(&mut self, n: usize) -> usize {
+        use rand::Rng;
+        self.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_capability::device_kind::DeviceKind;
+    use hg_rules::constraint::{CmpOp, Term};
+    use hg_rules::rule::{Action, Condition, RuleId};
+
+    fn bound(id: &str) -> DeviceRef {
+        DeviceRef::bound(id)
+    }
+
+    fn simple_rule(id: &str, trig_dev: &str, attr: &str, val: &str, act_dev: &str, cmd: &str) -> Rule {
+        Rule {
+            id: RuleId::new(id, 0),
+            trigger: Trigger::DeviceEvent {
+                subject: bound(trig_dev),
+                attribute: attr.into(),
+                constraint: Some(Formula::var_eq(
+                    VarId::device_attr(bound(trig_dev), attr),
+                    Value::sym(val),
+                )),
+            },
+            condition: Condition::always(),
+            actions: vec![Action::device(bound(act_dev), cmd)],
+        }
+    }
+
+    fn home_with_lamp_and_motion() -> Home {
+        home_with_lamp_and_motion_seeded(42)
+    }
+
+    fn home_with_lamp_and_motion_seeded(seed: u64) -> Home {
+        let mut h = Home::new(seed);
+        h.add_device(Device::new("motion-1", "Hall motion", "motionSensor", DeviceKind::Unknown));
+        let mut lamp = Device::new("lamp-1", "Hall lamp", "switch", DeviceKind::Light);
+        lamp.set("switch", Value::sym("off"));
+        h.add_device(lamp);
+        h
+    }
+
+    #[test]
+    fn rule_fires_on_stimulus() {
+        let mut h = home_with_lamp_and_motion();
+        h.install_rule(simple_rule("MotionLight", "motion-1", "motion", "active", "lamp-1", "on"));
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
+        assert!(h.trace.iter().any(|t| matches!(t, TraceEntry::RuleFired { rule, .. } if rule == "MotionLight#0")));
+    }
+
+    #[test]
+    fn trigger_value_constraint_gates_firing() {
+        let mut h = home_with_lamp_and_motion();
+        h.install_rule(simple_rule("MotionLight", "motion-1", "motion", "active", "lamp-1", "on"));
+        h.stimulate("motion-1", "motion", Value::sym("inactive"));
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("off")));
+    }
+
+    #[test]
+    fn condition_evaluated_against_world() {
+        let mut h = home_with_lamp_and_motion();
+        let mut rule =
+            simple_rule("NightLight", "motion-1", "motion", "active", "lamp-1", "on");
+        rule.condition = Condition {
+            data_constraints: vec![],
+            predicate: Formula::var_eq(VarId::Mode, Value::sym("Night")),
+        };
+        h.install_rule(rule);
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("off")), "mode is Home");
+        h.set_mode("Night");
+        h.stimulate("motion-1", "motion", Value::sym("inactive"));
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
+    }
+
+    #[test]
+    fn chained_execution_cascades() {
+        // Rule A: motion -> tv on. Rule B: tv on -> lamp on (covert chain).
+        let mut h = home_with_lamp_and_motion();
+        let mut tv = Device::new("tv-1", "TV", "switch", DeviceKind::Tv);
+        tv.set("switch", Value::sym("off"));
+        h.add_device(tv);
+        h.install_rule(simple_rule("A", "motion-1", "motion", "active", "tv-1", "on"));
+        h.install_rule(simple_rule("B", "tv-1", "switch", "on", "lamp-1", "on"));
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
+    }
+
+    #[test]
+    fn actuator_race_outcome_varies_with_seed() {
+        // Two rules race on the same lamp from the same trigger: across
+        // seeds both final states occur (the paper's Fig. 3 experiment).
+        let mut outcomes = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            let mut h = home_with_lamp_and_motion_seeded(seed);
+            h.install_rule(simple_rule("OnApp", "motion-1", "motion", "active", "lamp-1", "on"));
+            h.install_rule(simple_rule("OffApp", "motion-1", "motion", "active", "lamp-1", "off"));
+            h.stimulate("motion-1", "motion", Value::sym("active"));
+            outcomes.insert(h.attr("lamp-1", "switch").cloned());
+        }
+        assert!(outcomes.len() > 1, "race should be nondeterministic, got {outcomes:?}");
+    }
+
+    #[test]
+    fn delayed_action_applies_later() {
+        let mut h = home_with_lamp_and_motion();
+        let mut rule = simple_rule("OnThenOff", "motion-1", "motion", "active", "lamp-1", "on");
+        rule.actions.push(Action::device(bound("lamp-1"), "off").after(300));
+        h.install_rule(rule);
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        // Queue drained: both immediate and delayed actions applied.
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("off")));
+        assert!(h.now >= 300_000);
+    }
+
+    #[test]
+    fn env_effects_move_environment_and_trigger_env_rules() {
+        let mut h = Home::new(7);
+        let mut heater = Device::new("heat-1", "Space heater", "switch", DeviceKind::Heater);
+        heater.set("switch", Value::sym("off"));
+        h.add_device(heater);
+        let mut fan = Device::new("fan-1", "Fan", "switch", DeviceKind::Fan);
+        fan.set("switch", Value::sym("off"));
+        h.add_device(fan);
+        // Env-triggered rule: temperature rises above 21.2 -> fan on.
+        h.install_rule(Rule {
+            id: RuleId::new("HeatWatcher", 0),
+            trigger: Trigger::DeviceEvent {
+                subject: bound("tsensor-1"),
+                attribute: "temperature".into(),
+                constraint: Some(Formula::cmp(
+                    Term::var(VarId::env("temperature")),
+                    CmpOp::Gt,
+                    Term::num(2120),
+                )),
+            },
+            condition: Condition::always(),
+            actions: vec![Action::device(bound("fan-1"), "on")],
+        });
+        h.stimulate("heat-1", "switch", Value::sym("on"));
+        // The heater warms the home past 21.2 (trace shows the rise)...
+        assert!(h
+            .trace
+            .iter()
+            .any(|t| matches!(t, TraceEntry::Env { property: EnvProperty::Temperature, value, .. } if *value > 2120)));
+        // ...which fires the env-triggered fan rule (whose own physics then
+        // cool the room back — the environmental feedback loop at work).
+        assert_eq!(h.attr("fan-1", "switch"), Some(&Value::sym("on")));
+    }
+
+    #[test]
+    fn loop_triggering_is_bounded() {
+        // on-rule and off-rule trigger each other forever; the budget stops
+        // the cascade instead of hanging.
+        let mut h = home_with_lamp_and_motion();
+        h.install_rule(simple_rule("OnWhenOff", "lamp-1", "switch", "off", "lamp-1", "on"));
+        h.install_rule(simple_rule("OffWhenOn", "lamp-1", "switch", "on", "lamp-1", "off"));
+        h.stimulate("lamp-1", "switch", Value::sym("on"));
+        let flips = h
+            .trace
+            .iter()
+            .filter(|t| matches!(t, TraceEntry::Attr { attribute, .. } if attribute == "switch"))
+            .count();
+        assert!(flips > 10, "loop should flap many times, got {flips}");
+    }
+
+    #[test]
+    fn mode_action_changes_mode_and_cascades() {
+        let mut h = home_with_lamp_and_motion();
+        // presence-style: motion active -> setLocationMode("Night").
+        h.install_rule(Rule {
+            id: RuleId::new("ModeSetter", 0),
+            trigger: Trigger::DeviceEvent {
+                subject: bound("motion-1"),
+                attribute: "motion".into(),
+                constraint: Some(Formula::var_eq(
+                    VarId::device_attr(bound("motion-1"), "motion"),
+                    Value::sym("active"),
+                )),
+            },
+            condition: Condition::always(),
+            actions: vec![hg_rules::rule::Action {
+                subject: ActionSubject::LocationMode,
+                command: "setLocationMode".into(),
+                params: vec![Term::sym("Night")],
+                when_secs: 0,
+                period_secs: 0,
+            }],
+        });
+        // mode-triggered rule: Night -> lamp on.
+        h.install_rule(Rule {
+            id: RuleId::new("NightLamp", 0),
+            trigger: Trigger::ModeChange {
+                constraint: Some(Formula::var_eq(VarId::Mode, Value::sym("Night"))),
+            },
+            condition: Condition::always(),
+            actions: vec![Action::device(bound("lamp-1"), "on")],
+        });
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        assert_eq!(h.mode, "Night");
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
+    }
+}

@@ -1,0 +1,31 @@
+//! # hg-sim — a discrete-event smart-home simulator
+//!
+//! The paper verifies discovered CAI threats dynamically: the five demo
+//! apps are installed together and observed interfering (§VIII-A), and the
+//! Fig. 3 Actuator Race is shown to leave the window switch in an
+//! unpredictable final state. SmartThings' cloud simulator played that role
+//! for the authors; this crate plays it here.
+//!
+//! The simulator implements the paper's home-automation model (Fig. 1):
+//!
+//! * **data layer** — [`Device`]s with capability-typed attributes, shared
+//!   environment properties (temperature, illuminance, power, ...), and the
+//!   location mode;
+//! * **control layer** — installed [`Rule`](hg_rules::Rule)s evaluated
+//!   against the concrete world on each event;
+//! * **physics coupling** — actuator commands move environment properties
+//!   per the device-kind goal-effect map, and environment movement feeds
+//!   sensor-triggered rules, closing the loop that makes environmental
+//!   Covert Triggering observable.
+//!
+//! Scheduling ties are shuffled by a seeded RNG so Actuator Races reproduce
+//! the paper's observed nondeterminism while staying replayable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod home;
+
+pub use device::Device;
+pub use home::{Home, SimTime, TraceEntry};

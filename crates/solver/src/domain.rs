@@ -1,0 +1,221 @@
+//! Variable domains and the symbol table.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Interned symbol id.
+pub type SymId = u32;
+
+/// Interns symbolic enum values (`"on"`, `"locked"`, mode names) so enum
+/// domains are cheap bitset-like operations over small integers.
+#[derive(Debug, Default, Clone)]
+pub struct SymTable {
+    names: Vec<String>,
+}
+
+impl SymTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymTable::default()
+    }
+
+    /// Interns `name`, returning its id.
+    pub fn intern(&mut self, name: &str) -> SymId {
+        if let Some(idx) = self.names.iter().position(|n| n == name) {
+            return idx as SymId;
+        }
+        self.names.push(name.to_string());
+        (self.names.len() - 1) as SymId
+    }
+
+    /// Looks up the text for an id.
+    pub fn name(&self, id: SymId) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A variable's current domain during solving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Dom {
+    /// A bounded integer interval `[lo, hi]` (scaled fixed-point).
+    Int {
+        /// Lower bound, inclusive.
+        lo: i64,
+        /// Upper bound, inclusive.
+        hi: i64,
+    },
+    /// A finite set of interned symbols.
+    Enum(BTreeSet<SymId>),
+}
+
+impl Dom {
+    /// Default integer domain for undeclared numeric variables: generous
+    /// physical bounds in scaled fixed-point.
+    pub fn default_int() -> Dom {
+        Dom::Int { lo: -100_000_000, hi: 100_000_000 }
+    }
+
+    /// Whether the domain has no values left.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Dom::Int { lo, hi } => lo > hi,
+            Dom::Enum(set) => set.is_empty(),
+        }
+    }
+
+    /// Whether exactly one value remains.
+    pub fn is_singleton(&self) -> bool {
+        match self {
+            Dom::Int { lo, hi } => lo == hi,
+            Dom::Enum(set) => set.len() == 1,
+        }
+    }
+
+    /// Number of values (saturating for huge intervals).
+    pub fn size(&self) -> u64 {
+        match self {
+            Dom::Int { lo, hi } => {
+                if lo > hi {
+                    0
+                } else {
+                    (hi - lo) as u64 + 1
+                }
+            }
+            Dom::Enum(set) => set.len() as u64,
+        }
+    }
+
+    /// Intersects with an interval, returning whether this changed anything.
+    ///
+    /// No-op (returns `false`) on enum domains.
+    pub fn narrow_int(&mut self, new_lo: i64, new_hi: i64) -> bool {
+        if let Dom::Int { lo, hi } = self {
+            let mut changed = false;
+            if new_lo > *lo {
+                *lo = new_lo;
+                changed = true;
+            }
+            if new_hi < *hi {
+                *hi = new_hi;
+                changed = true;
+            }
+            changed
+        } else {
+            false
+        }
+    }
+
+    /// Removes a symbol, returning whether it was present.
+    pub fn remove_sym(&mut self, sym: SymId) -> bool {
+        match self {
+            Dom::Enum(set) => set.remove(&sym),
+            Dom::Int { .. } => false,
+        }
+    }
+
+    /// Restricts to a single symbol. Returns `false` (and empties the
+    /// domain) when the symbol was not in the domain.
+    pub fn fix_sym(&mut self, sym: SymId) -> bool {
+        match self {
+            Dom::Enum(set) => {
+                let had = set.contains(&sym);
+                set.clear();
+                if had {
+                    set.insert(sym);
+                }
+                had
+            }
+            Dom::Int { .. } => false,
+        }
+    }
+
+    /// The interval bounds, if integer.
+    pub fn bounds(&self) -> Option<(i64, i64)> {
+        match self {
+            Dom::Int { lo, hi } => Some((*lo, *hi)),
+            Dom::Enum(_) => None,
+        }
+    }
+
+    /// The symbol set, if enum.
+    pub fn syms(&self) -> Option<&BTreeSet<SymId>> {
+        match self {
+            Dom::Enum(set) => Some(set),
+            Dom::Int { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for Dom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dom::Int { lo, hi } => write!(f, "[{lo}, {hi}]"),
+            Dom::Enum(set) => {
+                write!(f, "{{")?;
+                for (i, s) in set.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "#{s}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_stable() {
+        let mut t = SymTable::new();
+        let on = t.intern("on");
+        let off = t.intern("off");
+        assert_ne!(on, off);
+        assert_eq!(t.intern("on"), on);
+        assert_eq!(t.name(off), "off");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn int_narrowing() {
+        let mut d = Dom::Int { lo: 0, hi: 100 };
+        assert!(d.narrow_int(10, 90));
+        assert_eq!(d.bounds(), Some((10, 90)));
+        assert!(!d.narrow_int(5, 95)); // no change
+        assert!(d.narrow_int(95, 200)); // empties
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn enum_operations() {
+        let mut d = Dom::Enum([0, 1, 2].into_iter().collect());
+        assert_eq!(d.size(), 3);
+        assert!(d.remove_sym(1));
+        assert!(!d.remove_sym(1));
+        assert!(d.fix_sym(0));
+        assert!(d.is_singleton());
+        let mut e = Dom::Enum([2].into_iter().collect());
+        assert!(!e.fix_sym(5));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Dom::Int { lo: 3, hi: 3 }.size(), 1);
+        assert_eq!(Dom::Int { lo: 4, hi: 3 }.size(), 0);
+        assert!(Dom::Int { lo: 3, hi: 3 }.is_singleton());
+    }
+}

@@ -1,0 +1,526 @@
+//! Lowered constraint representation and type inference.
+//!
+//! Before solving, `hg-rules` formulas are *lowered*: variables are interned
+//! to dense indices, symbolic constants to [`SymId`]s, and every variable is
+//! typed as numeric or enum. Type mismatches (comparing `"on"` with `5`)
+//! are resolved the way `Formula::substitute` does: `==` is false, `!=` is
+//! true, ordered comparisons are unsatisfiable.
+
+use crate::domain::{Dom, SymId, SymTable};
+use hg_rules::constraint::{CmpOp, Formula, Term};
+use hg_rules::value::Value;
+use hg_rules::varid::VarId;
+use std::collections::BTreeMap;
+
+/// Dense variable index.
+pub type VarIdx = usize;
+
+/// A lowered term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LTerm {
+    /// Scaled numeric constant.
+    Num(i64),
+    /// Interned symbolic constant.
+    Sym(SymId),
+    /// A variable.
+    Var(VarIdx),
+    /// `a + b`.
+    Add(Box<LTerm>, Box<LTerm>),
+    /// `a - b`.
+    Sub(Box<LTerm>, Box<LTerm>),
+    /// `a * b` (scaled).
+    Mul(Box<LTerm>, Box<LTerm>),
+    /// `a / b` (scaled).
+    Div(Box<LTerm>, Box<LTerm>),
+    /// `-a`.
+    Neg(Box<LTerm>),
+}
+
+impl LTerm {
+    /// Whether the term is a bare variable.
+    pub fn as_var(&self) -> Option<VarIdx> {
+        match self {
+            LTerm::Var(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the term contains any variable.
+    pub fn has_vars(&self) -> bool {
+        match self {
+            LTerm::Num(_) | LTerm::Sym(_) => false,
+            LTerm::Var(_) => true,
+            LTerm::Add(a, b) | LTerm::Sub(a, b) | LTerm::Mul(a, b) | LTerm::Div(a, b) => {
+                a.has_vars() || b.has_vars()
+            }
+            LTerm::Neg(a) => a.has_vars(),
+        }
+    }
+}
+
+/// A lowered comparison atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LAtom {
+    /// Left operand.
+    pub lhs: LTerm,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right operand.
+    pub rhs: LTerm,
+}
+
+/// A lowered formula in negation normal form (no `Not` nodes: negation was
+/// pushed into atoms during lowering).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LFormula {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// An atom.
+    Atom(LAtom),
+    /// Conjunction.
+    And(Vec<LFormula>),
+    /// Disjunction.
+    Or(Vec<LFormula>),
+}
+
+/// The inferred type of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarType {
+    /// Numeric (scaled fixed-point interval domain).
+    Num,
+    /// Symbolic (enum domain).
+    Sym,
+}
+
+/// The result of lowering a formula against declared domains.
+#[derive(Debug)]
+pub struct Lowered {
+    /// The lowered formula (NNF).
+    pub formula: LFormula,
+    /// Interned variable identities, indexed by [`VarIdx`].
+    pub vars: Vec<VarId>,
+    /// Initial domain per variable.
+    pub domains: Vec<Dom>,
+    /// The symbol table.
+    pub syms: SymTable,
+}
+
+/// The fallback symbol representing "any value other than those the formula
+/// mentions" in auto-inferred enum domains.
+pub const OTHER_SYM: &str = "\u{ab}other\u{bb}";
+
+/// Symbol used to encode `null`.
+pub const NULL_SYM: &str = "\u{ab}null\u{bb}";
+
+/// Lowers `formula`, inferring variable types and initial domains.
+///
+/// `declared` supplies domains for variables the caller knows about (device
+/// attributes get their capability domains, the mode gets the home's mode
+/// set, ...). Undeclared variables are typed from usage: compared against a
+/// symbol → enum over the mentioned symbols plus [`OTHER_SYM`]; otherwise →
+/// numeric with generous default bounds.
+pub fn lower(formula: &Formula, declared: &BTreeMap<VarId, Dom>, syms: &mut SymTable) -> Lowered {
+    let mut cx = LowerCx {
+        declared,
+        syms,
+        vars: Vec::new(),
+        index: BTreeMap::new(),
+        var_types: Vec::new(),
+        mentioned_syms: Vec::new(),
+    };
+    // Pass 1: collect variables and infer types.
+    cx.scan_formula(formula);
+    // Pass 2: lower with negation pushing.
+    let lowered = cx.lower_formula(formula, false);
+    // Build initial domains.
+    let mut domains = Vec::with_capacity(cx.vars.len());
+    for (idx, var) in cx.vars.iter().enumerate() {
+        if let Some(d) = cx.declared.get(var) {
+            domains.push(d.clone());
+            continue;
+        }
+        match cx.var_types[idx] {
+            VarType::Num => domains.push(Dom::default_int()),
+            VarType::Sym => {
+                let mut set = cx.mentioned_syms[idx].clone();
+                set.insert(cx.syms.intern(OTHER_SYM));
+                domains.push(Dom::Enum(set));
+            }
+        }
+    }
+    Lowered { formula: lowered, vars: cx.vars, domains, syms: std::mem::take(cx.syms) }
+}
+
+struct LowerCx<'a> {
+    declared: &'a BTreeMap<VarId, Dom>,
+    syms: &'a mut SymTable,
+    vars: Vec<VarId>,
+    index: BTreeMap<VarId, VarIdx>,
+    var_types: Vec<VarType>,
+    mentioned_syms: Vec<std::collections::BTreeSet<SymId>>,
+}
+
+impl<'a> LowerCx<'a> {
+    fn var_idx(&mut self, v: &VarId) -> VarIdx {
+        if let Some(&i) = self.index.get(v) {
+            return i;
+        }
+        let i = self.vars.len();
+        self.vars.push(v.clone());
+        self.index.insert(v.clone(), i);
+        // Initial type from declaration if present, else numeric by default
+        // (may be flipped to Sym during scanning).
+        let ty = match self.declared.get(v) {
+            Some(Dom::Enum(_)) => VarType::Sym,
+            Some(Dom::Int { .. }) => VarType::Num,
+            None => VarType::Num,
+        };
+        self.var_types.push(ty);
+        self.mentioned_syms.push(Default::default());
+        i
+    }
+
+    fn scan_formula(&mut self, f: &Formula) {
+        match f {
+            Formula::True | Formula::False => {}
+            Formula::Cmp { lhs, op: _, rhs } => self.scan_atom(lhs, rhs),
+            Formula::And(parts) | Formula::Or(parts) => {
+                for p in parts {
+                    self.scan_formula(p);
+                }
+            }
+            Formula::Not(inner) => self.scan_formula(inner),
+        }
+    }
+
+    /// Marks variables compared against symbols as enum-typed and records
+    /// which symbols they are compared with (for auto domains).
+    fn scan_atom(&mut self, lhs: &Term, rhs: &Term) {
+        self.scan_term(lhs);
+        self.scan_term(rhs);
+        let lsym = symbolic_const(lhs, self.syms);
+        let rsym = symbolic_const(rhs, self.syms);
+        if let (Some(v), Some(s)) = (term_var(lhs), rsym) {
+            let idx = self.var_idx(&v);
+            if self.declared.get(&v).is_none() {
+                self.var_types[idx] = VarType::Sym;
+            }
+            self.mentioned_syms[idx].insert(s);
+        }
+        if let (Some(v), Some(s)) = (term_var(rhs), lsym) {
+            let idx = self.var_idx(&v);
+            if self.declared.get(&v).is_none() {
+                self.var_types[idx] = VarType::Sym;
+            }
+            self.mentioned_syms[idx].insert(s);
+        }
+        // Var-to-var comparisons: if one side is enum typed (declared), the
+        // other follows.
+        if let (Some(a), Some(b)) = (term_var(lhs), term_var(rhs)) {
+            let ia = self.var_idx(&a);
+            let ib = self.var_idx(&b);
+            if self.var_types[ia] == VarType::Sym && self.declared.get(&b).is_none() {
+                self.var_types[ib] = VarType::Sym;
+            }
+            if self.var_types[ib] == VarType::Sym && self.declared.get(&a).is_none() {
+                self.var_types[ia] = VarType::Sym;
+            }
+            // Share mentioned symbols both ways so auto domains overlap.
+            let union: std::collections::BTreeSet<_> =
+                self.mentioned_syms[ia].union(&self.mentioned_syms[ib]).copied().collect();
+            self.mentioned_syms[ia] = union.clone();
+            self.mentioned_syms[ib] = union;
+        }
+    }
+
+    fn scan_term(&mut self, t: &Term) {
+        match t {
+            Term::Const(_) => {}
+            Term::Var(v) => {
+                self.var_idx(v);
+            }
+            Term::Add(a, b) | Term::Sub(a, b) | Term::Mul(a, b) | Term::Div(a, b) => {
+                self.scan_term(a);
+                self.scan_term(b);
+                // Arithmetic participants are numeric.
+                for side in [a, b] {
+                    if let Term::Var(v) = side.as_ref() {
+                        if self.declared.get(v).is_none() {
+                            let idx = self.var_idx(v);
+                            self.var_types[idx] = VarType::Num;
+                        }
+                    }
+                }
+            }
+            Term::Neg(a) => self.scan_term(a),
+        }
+    }
+
+    fn lower_formula(&mut self, f: &Formula, negated: bool) -> LFormula {
+        match f {
+            Formula::True => {
+                if negated {
+                    LFormula::False
+                } else {
+                    LFormula::True
+                }
+            }
+            Formula::False => {
+                if negated {
+                    LFormula::True
+                } else {
+                    LFormula::False
+                }
+            }
+            Formula::Cmp { lhs, op, rhs } => {
+                let op = if negated { op.negate() } else { *op };
+                self.lower_atom(lhs, op, rhs)
+            }
+            Formula::And(parts) => {
+                let lowered: Vec<_> =
+                    parts.iter().map(|p| self.lower_formula(p, negated)).collect();
+                if negated {
+                    simplify_or(lowered)
+                } else {
+                    simplify_and(lowered)
+                }
+            }
+            Formula::Or(parts) => {
+                let lowered: Vec<_> =
+                    parts.iter().map(|p| self.lower_formula(p, negated)).collect();
+                if negated {
+                    simplify_and(lowered)
+                } else {
+                    simplify_or(lowered)
+                }
+            }
+            Formula::Not(inner) => self.lower_formula(inner, !negated),
+        }
+    }
+
+    fn lower_atom(&mut self, lhs: &Term, op: CmpOp, rhs: &Term) -> LFormula {
+        let ll = self.lower_term(lhs);
+        let lr = self.lower_term(rhs);
+        // Type checking: symbolic operands only admit Eq/Ne between
+        // same-typed operands.
+        let lty = self.term_type(&ll);
+        let rty = self.term_type(&lr);
+        match (lty, rty) {
+            (VarType::Num, VarType::Num) => LFormula::Atom(LAtom { lhs: ll, op, rhs: lr }),
+            (VarType::Sym, VarType::Sym) => match op {
+                CmpOp::Eq | CmpOp::Ne => LFormula::Atom(LAtom { lhs: ll, op, rhs: lr }),
+                // Ordered comparison of symbols: unsatisfiable (SmartApps
+                // never do this on purpose; be conservative).
+                _ => LFormula::False,
+            },
+            // Mixed types: `==` false, `!=` true, ordered false.
+            _ => match op {
+                CmpOp::Ne => LFormula::True,
+                _ => LFormula::False,
+            },
+        }
+    }
+
+    fn lower_term(&mut self, t: &Term) -> LTerm {
+        match t {
+            Term::Const(Value::Num(n)) => LTerm::Num(*n),
+            Term::Const(Value::Sym(s)) => LTerm::Sym(self.syms.intern(s)),
+            Term::Const(Value::Bool(b)) => {
+                LTerm::Sym(self.syms.intern(if *b { "true" } else { "false" }))
+            }
+            Term::Const(Value::Null) => LTerm::Sym(self.syms.intern(NULL_SYM)),
+            Term::Var(v) => LTerm::Var(self.var_idx(v)),
+            Term::Add(a, b) => {
+                LTerm::Add(Box::new(self.lower_term(a)), Box::new(self.lower_term(b)))
+            }
+            Term::Sub(a, b) => {
+                LTerm::Sub(Box::new(self.lower_term(a)), Box::new(self.lower_term(b)))
+            }
+            Term::Mul(a, b) => {
+                LTerm::Mul(Box::new(self.lower_term(a)), Box::new(self.lower_term(b)))
+            }
+            Term::Div(a, b) => {
+                LTerm::Div(Box::new(self.lower_term(a)), Box::new(self.lower_term(b)))
+            }
+            Term::Neg(a) => LTerm::Neg(Box::new(self.lower_term(a))),
+        }
+    }
+
+    fn term_type(&self, t: &LTerm) -> VarType {
+        match t {
+            LTerm::Num(_) => VarType::Num,
+            LTerm::Sym(_) => VarType::Sym,
+            LTerm::Var(i) => self.var_types[*i],
+            _ => VarType::Num,
+        }
+    }
+}
+
+fn term_var(t: &Term) -> Option<VarId> {
+    match t {
+        Term::Var(v) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+fn symbolic_const(t: &Term, syms: &mut SymTable) -> Option<SymId> {
+    match t {
+        Term::Const(Value::Sym(s)) => Some(syms.intern(s)),
+        Term::Const(Value::Bool(b)) => Some(syms.intern(if *b { "true" } else { "false" })),
+        Term::Const(Value::Null) => Some(syms.intern(NULL_SYM)),
+        _ => None,
+    }
+}
+
+fn simplify_and(parts: Vec<LFormula>) -> LFormula {
+    let mut flat = Vec::new();
+    for p in parts {
+        match p {
+            LFormula::True => {}
+            LFormula::False => return LFormula::False,
+            LFormula::And(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    match flat.len() {
+        0 => LFormula::True,
+        1 => flat.pop().expect("len checked"),
+        _ => LFormula::And(flat),
+    }
+}
+
+fn simplify_or(parts: Vec<LFormula>) -> LFormula {
+    let mut flat = Vec::new();
+    for p in parts {
+        match p {
+            LFormula::False => {}
+            LFormula::True => return LFormula::True,
+            LFormula::Or(inner) => flat.extend(inner),
+            other => flat.push(other),
+        }
+    }
+    match flat.len() {
+        0 => LFormula::False,
+        1 => flat.pop().expect("len checked"),
+        _ => LFormula::Or(flat),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_rules::constraint::Term as RTerm;
+
+    fn temp() -> VarId {
+        VarId::env("temperature")
+    }
+
+    fn mode() -> VarId {
+        VarId::Mode
+    }
+
+    #[test]
+    fn lowering_types_sym_comparison() {
+        let f = Formula::var_eq(mode(), Value::sym("Night"));
+        let lowered = lower(&f, &BTreeMap::new(), &mut SymTable::new());
+        assert_eq!(lowered.vars.len(), 1);
+        // Auto enum domain: Night + other.
+        match &lowered.domains[0] {
+            Dom::Enum(set) => assert_eq!(set.len(), 2),
+            other => panic!("expected enum, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowering_types_numeric() {
+        let f = Formula::cmp(RTerm::var(temp()), CmpOp::Gt, RTerm::num(3000));
+        let lowered = lower(&f, &BTreeMap::new(), &mut SymTable::new());
+        assert!(matches!(lowered.domains[0], Dom::Int { .. }));
+        assert!(matches!(lowered.formula, LFormula::Atom(_)));
+    }
+
+    #[test]
+    fn mixed_type_eq_is_false() {
+        let f = Formula::cmp(RTerm::var(temp()), CmpOp::Gt, RTerm::num(1)); // numeric use
+        let g = Formula::cmp(RTerm::var(temp()), CmpOp::Eq, RTerm::sym("on"));
+        let both = Formula::and([f, g]);
+        let lowered = lower(&both, &BTreeMap::new(), &mut SymTable::new());
+        // temp is numeric (arithmetic context wins by scan order: compared
+        // to both a number and a symbol, declared type resolution keeps it
+        // Sym because the sym comparison marks it). Either way the mixed
+        // atom must collapse to False or stay consistent — the formula must
+        // not panic and must remain well-formed.
+        match &lowered.formula {
+            LFormula::False | LFormula::And(_) | LFormula::Atom(_) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_is_pushed_into_atoms() {
+        let f = Formula::Not(Box::new(Formula::cmp(
+            RTerm::var(temp()),
+            CmpOp::Gt,
+            RTerm::num(5),
+        )));
+        let lowered = lower(&f, &BTreeMap::new(), &mut SymTable::new());
+        match &lowered.formula {
+            LFormula::Atom(a) => assert_eq!(a.op, CmpOp::Le),
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn demorgan() {
+        let f = Formula::Not(Box::new(Formula::and([
+            Formula::cmp(RTerm::var(temp()), CmpOp::Gt, RTerm::num(5)),
+            Formula::cmp(RTerm::var(temp()), CmpOp::Lt, RTerm::num(10)),
+        ])));
+        let lowered = lower(&f, &BTreeMap::new(), &mut SymTable::new());
+        assert!(matches!(lowered.formula, LFormula::Or(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn declared_domains_take_precedence() {
+        let mut declared = BTreeMap::new();
+        let mut syms = SymTable::new();
+        let on = syms.intern("on");
+        let off = syms.intern("off");
+        declared.insert(
+            VarId::env("x"),
+            Dom::Enum([on, off].into_iter().collect()),
+        );
+        let f = Formula::var_eq(VarId::env("x"), Value::sym("on"));
+        let lowered = lower(&f, &declared, &mut syms);
+        match &lowered.domains[0] {
+            Dom::Enum(set) => assert_eq!(set.len(), 2), // no OTHER added
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ordered_sym_comparison_is_false() {
+        let f = Formula::cmp(RTerm::sym("a"), CmpOp::Lt, RTerm::sym("b"));
+        let lowered = lower(&f, &BTreeMap::new(), &mut SymTable::new());
+        assert_eq!(lowered.formula, LFormula::False);
+    }
+
+    #[test]
+    fn var_to_var_sym_unification() {
+        let mut declared = BTreeMap::new();
+        let mut syms = SymTable::new();
+        let on = syms.intern("on");
+        declared.insert(VarId::env("a"), Dom::Enum([on].into_iter().collect()));
+        let f = Formula::cmp(
+            RTerm::var(VarId::env("a")),
+            CmpOp::Eq,
+            RTerm::var(VarId::env("b")),
+        );
+        let lowered = lower(&f, &declared, &mut syms);
+        // b inherits Sym type.
+        assert!(matches!(lowered.formula, LFormula::Atom(_)));
+        assert!(matches!(lowered.domains[1], Dom::Enum(_)));
+    }
+}

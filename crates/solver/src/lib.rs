@@ -1,0 +1,32 @@
+//! # hg-solver — finite-domain constraint solver
+//!
+//! HomeGuard's overlap-condition detection (paper §VI-A2) reduces CAI threat
+//! checks to constraint satisfaction: merge the trigger/condition formulas
+//! of two rules plus device constraints, then decide satisfiability. The
+//! paper uses the Java Constraint Programming (JaCoP) library; this crate is
+//! a from-scratch replacement sufficient for the quantifier-free,
+//! finite-domain fragment those formulas live in:
+//!
+//! * **Domains**: bounded integer intervals (scaled fixed-point) and finite
+//!   symbol sets ([`domain`]).
+//! * **Propagation**: HC4 interval narrowing for arithmetic atoms plus set
+//!   narrowing for enum atoms ([`propagate`]).
+//! * **Search**: DNF expansion with branch-and-prune DFS, complete on the
+//!   fragment and budget-limited ([`search`]).
+//!
+//! The public entry point is [`Model`]: declare variable domains, then ask
+//! for satisfiability of `hg-rules` [`Formula`](hg_rules::Formula)s. `Sat`
+//! outcomes carry a witness assignment, which HomeGuard's frontend shows to
+//! the user as the concrete situation in which two rules interfere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod expr;
+pub mod model;
+pub mod propagate;
+pub mod search;
+
+pub use model::{Assignment, Model, Outcome, SolveReport};
+pub use search::{SearchConfig, SearchStats};

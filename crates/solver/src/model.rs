@@ -1,0 +1,279 @@
+//! Public solver API over `hg-rules` formulas.
+
+use crate::domain::{Dom, SymTable};
+use crate::expr::{lower, OTHER_SYM};
+use crate::search::{solve as search_solve, SearchConfig, SearchResult, SearchStats};
+use hg_rules::constraint::Formula;
+use hg_rules::value::Value;
+use hg_rules::varid::VarId;
+use std::collections::BTreeMap;
+
+/// A witness assignment: one concrete value per variable.
+pub type Assignment = BTreeMap<VarId, Value>;
+
+/// The result of a satisfiability query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Satisfiable, with a witness (the "certain situation" the paper shows
+    /// to users when explaining a threat).
+    Sat(Assignment),
+    /// Unsatisfiable.
+    Unsat,
+    /// Undecided within the search budget. Callers in the detector treat
+    /// this conservatively (as potentially satisfiable).
+    Unknown,
+}
+
+impl Outcome {
+    /// Whether the query is satisfiable (treating [`Outcome::Unknown`]
+    /// pessimistically as `false`).
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+
+    /// The witness, if satisfiable.
+    pub fn witness(&self) -> Option<&Assignment> {
+        match self {
+            Outcome::Sat(a) => Some(a),
+            _ => None,
+        }
+    }
+}
+
+/// A solve result together with search statistics (used by the Fig. 9
+/// overhead experiments).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// The satisfiability outcome.
+    pub outcome: Outcome,
+    /// Search effort counters.
+    pub stats: SearchStats,
+}
+
+/// A constraint model: declared variable domains plus solver configuration.
+///
+/// # Examples
+///
+/// ```
+/// use hg_solver::{Model, Outcome};
+/// use hg_rules::prelude::*;
+///
+/// let mut model = Model::new();
+/// model.declare_int(VarId::env("temperature"), -4000, 15000);
+/// let hot = Formula::cmp(
+///     Term::var(VarId::env("temperature")), CmpOp::Gt, Term::num(3000));
+/// let cold = Formula::cmp(
+///     Term::var(VarId::env("temperature")), CmpOp::Lt, Term::num(0));
+/// assert!(model.solve(&hot).is_sat());
+/// assert_eq!(model.solve_conjunction(&[&hot, &cold]), Outcome::Unsat);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    declared: BTreeMap<VarId, Dom>,
+    syms: SymTable,
+    config: SearchConfig,
+}
+
+impl Model {
+    /// An empty model with default search limits.
+    pub fn new() -> Model {
+        Model { declared: BTreeMap::new(), syms: SymTable::new(), config: SearchConfig::default() }
+    }
+
+    /// Overrides the search limits.
+    pub fn with_config(mut self, config: SearchConfig) -> Model {
+        self.config = config;
+        self
+    }
+
+    /// Declares an integer variable with inclusive scaled bounds.
+    pub fn declare_int(&mut self, var: VarId, lo: i64, hi: i64) {
+        self.declared.insert(var, Dom::Int { lo, hi });
+    }
+
+    /// Declares an enum variable over the given symbols.
+    pub fn declare_enum<S: AsRef<str>>(&mut self, var: VarId, values: impl IntoIterator<Item = S>) {
+        let set = values.into_iter().map(|s| self.syms.intern(s.as_ref())).collect();
+        self.declared.insert(var, Dom::Enum(set));
+    }
+
+    /// Whether `var` has a declared domain.
+    pub fn is_declared(&self, var: &VarId) -> bool {
+        self.declared.contains_key(var)
+    }
+
+    /// Solves a single formula.
+    pub fn solve(&self, formula: &Formula) -> Outcome {
+        self.solve_report(formula).outcome
+    }
+
+    /// Solves the conjunction of several formulas (the paper's "merge all
+    /// constraints of the two rules" step, §VI-A2).
+    pub fn solve_conjunction(&self, formulas: &[&Formula]) -> Outcome {
+        let merged = Formula::and(formulas.iter().map(|f| (*f).clone()));
+        self.solve(&merged)
+    }
+
+    /// Solves and returns search statistics.
+    pub fn solve_report(&self, formula: &Formula) -> SolveReport {
+        let mut syms = self.syms.clone();
+        let lowered = lower(formula, &self.declared, &mut syms);
+        let (result, stats) = search_solve(&lowered.formula, &lowered.domains, self.config);
+        let outcome = match result {
+            SearchResult::Unsat => Outcome::Unsat,
+            SearchResult::Budget => Outcome::Unknown,
+            SearchResult::Sat(store) => {
+                let mut assignment = Assignment::new();
+                for (idx, var) in lowered.vars.iter().enumerate() {
+                    let value = match &store[idx] {
+                        Dom::Int { lo, .. } => Value::Num(*lo),
+                        Dom::Enum(set) => {
+                            let sym = set.iter().next().copied();
+                            match sym {
+                                Some(s) => {
+                                    let name = lowered.syms.name(s);
+                                    if name == OTHER_SYM {
+                                        // Prefer a descriptive placeholder.
+                                        Value::Sym("<any other value>".to_string())
+                                    } else {
+                                        Value::Sym(name.to_string())
+                                    }
+                                }
+                                None => Value::Null,
+                            }
+                        }
+                    };
+                    assignment.insert(var.clone(), value);
+                }
+                Outcome::Sat(assignment)
+            }
+        };
+        SolveReport { outcome, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_rules::constraint::{CmpOp, Term};
+
+    fn temp() -> VarId {
+        VarId::env("temperature")
+    }
+
+    fn gt(n: i64) -> Formula {
+        Formula::cmp(Term::var(temp()), CmpOp::Gt, Term::num(n))
+    }
+
+    fn lt(n: i64) -> Formula {
+        Formula::cmp(Term::var(temp()), CmpOp::Lt, Term::num(n))
+    }
+
+    #[test]
+    fn sat_with_witness_in_range() {
+        let mut m = Model::new();
+        m.declare_int(temp(), -4000, 15_000);
+        let f = Formula::and([gt(3000), lt(3500)]);
+        let Outcome::Sat(w) = m.solve(&f) else { panic!() };
+        let Value::Num(v) = w[&temp()] else { panic!() };
+        assert!(v > 3000 && v < 3500, "witness {v}");
+    }
+
+    #[test]
+    fn unsat_conjunction() {
+        let mut m = Model::new();
+        m.declare_int(temp(), -4000, 15_000);
+        assert_eq!(m.solve_conjunction(&[&gt(3000), &lt(2000)]), Outcome::Unsat);
+    }
+
+    #[test]
+    fn domain_bounds_constrain() {
+        let mut m = Model::new();
+        m.declare_int(temp(), 0, 1000);
+        assert_eq!(m.solve(&gt(2000)), Outcome::Unsat);
+    }
+
+    #[test]
+    fn enum_declared_domain() {
+        let mut m = Model::new();
+        m.declare_enum(VarId::Mode, ["Home", "Away", "Night"]);
+        let f = Formula::var_eq(VarId::Mode, Value::sym("Night"));
+        let Outcome::Sat(w) = m.solve(&f) else { panic!() };
+        assert_eq!(w[&VarId::Mode], Value::sym("Night"));
+        // A mode outside the home's mode set is unsatisfiable.
+        let g = Formula::var_eq(VarId::Mode, Value::sym("Vacation"));
+        assert_eq!(m.solve(&g), Outcome::Unsat);
+    }
+
+    #[test]
+    fn undeclared_enum_gets_other() {
+        let m = Model::new();
+        // x != "on" is satisfiable thanks to the implicit OTHER value.
+        let x = VarId::env("x");
+        let f = Formula::cmp(Term::var(x.clone()), CmpOp::Ne, Term::sym("on"));
+        let Outcome::Sat(w) = m.solve(&f) else { panic!() };
+        assert_ne!(w[&x], Value::sym("on"));
+    }
+
+    #[test]
+    fn paper_rule1_rule2_overlap() {
+        // Fig. 3: Rule 1 (t > 30, open window) and Rule 2 (weather == rainy,
+        // close window) share the trigger "TV on". Overlap: t > 30 &&
+        // rainy is satisfiable → Actuator Race confirmed.
+        let mut m = Model::new();
+        m.declare_int(temp(), -4000, 15_000);
+        m.declare_enum(VarId::env("weather"), ["rainy", "sunny", "cloudy"]);
+        let r1 = gt(3000);
+        let r2 = Formula::var_eq(VarId::env("weather"), Value::sym("rainy"));
+        let out = m.solve_conjunction(&[&r1, &r2]);
+        assert!(out.is_sat());
+        let w = out.witness().unwrap();
+        assert_eq!(w[&VarId::env("weather")], Value::sym("rainy"));
+    }
+
+    #[test]
+    fn report_has_stats() {
+        let mut m = Model::new();
+        m.declare_int(temp(), 0, 10_000);
+        let rep = m.solve_report(&gt(500));
+        assert!(rep.outcome.is_sat());
+        assert!(rep.stats.propagations > 0);
+        assert!(rep.stats.nodes > 0);
+    }
+
+    #[test]
+    fn unknown_on_tiny_budget() {
+        let mut m = Model::new().with_config(SearchConfig { max_nodes: 0, max_dnf: 1 });
+        m.declare_int(temp(), 0, 10_000);
+        assert_eq!(m.solve(&gt(500)), Outcome::Unknown);
+    }
+
+    #[test]
+    fn var_vs_user_input() {
+        // temperature > threshold where threshold is a user input with its
+        // own domain: satisfiable; adding threshold >= 15000 and
+        // temperature <= 0 makes it unsat.
+        let thr = VarId::UserInput { app: "A".into(), name: "threshold".into() };
+        let mut m = Model::new();
+        m.declare_int(temp(), -4000, 15_000);
+        m.declare_int(thr.clone(), -4000, 15_000);
+        let base = Formula::cmp(Term::var(temp()), CmpOp::Gt, Term::var(thr.clone()));
+        assert!(m.solve(&base).is_sat());
+        let pinned = Formula::and([
+            base,
+            Formula::cmp(Term::var(thr), CmpOp::Ge, Term::num(15_000)),
+            Formula::cmp(Term::var(temp()), CmpOp::Le, Term::num(0)),
+        ]);
+        assert_eq!(m.solve(&pinned), Outcome::Unsat);
+    }
+
+    #[test]
+    fn disjunctive_conditions() {
+        let mut m = Model::new();
+        m.declare_int(temp(), 0, 10_000);
+        let f = Formula::or([lt(100), gt(9_900)]);
+        assert!(m.solve(&f).is_sat());
+        let g = Formula::and([Formula::or([lt(100), gt(9_900)]), gt(200), lt(9_000)]);
+        assert_eq!(m.solve(&g), Outcome::Unsat);
+    }
+}

@@ -1,0 +1,544 @@
+//! Constraint propagation: HC4 interval narrowing for numeric atoms and
+//! set narrowing for enum atoms.
+//!
+//! Propagation is *sound* (never removes a value that could appear in a
+//! solution) but deliberately incomplete — completeness comes from the
+//! search in [`crate::search`]. All interval arithmetic is outward-rounded.
+
+use crate::domain::Dom;
+use crate::expr::{LAtom, LTerm};
+use hg_rules::constraint::CmpOp;
+
+/// The store of current variable domains.
+pub type Store = Vec<Dom>;
+
+/// Result of a propagation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Propagation {
+    /// Domains are consistent so far (possibly narrowed).
+    Consistent {
+        /// Whether any domain changed.
+        changed: bool,
+    },
+    /// A domain became empty: the conjunction is unsatisfiable.
+    Conflict,
+}
+
+/// Propagates one atom against the store.
+pub fn propagate_atom(atom: &LAtom, store: &mut Store) -> Propagation {
+    if is_enum_atom(atom, store) {
+        propagate_enum(atom, store)
+    } else {
+        propagate_numeric(atom, store)
+    }
+}
+
+/// Runs all atoms to fixpoint. Returns `Conflict` if any domain empties.
+pub fn propagate_all(atoms: &[LAtom], store: &mut Store, counter: &mut u64) -> Propagation {
+    loop {
+        let mut any_change = false;
+        for atom in atoms {
+            *counter += 1;
+            match propagate_atom(atom, store) {
+                Propagation::Conflict => return Propagation::Conflict,
+                Propagation::Consistent { changed } => any_change |= changed,
+            }
+        }
+        if !any_change {
+            return Propagation::Consistent { changed: false };
+        }
+    }
+}
+
+fn is_enum_atom(atom: &LAtom, store: &Store) -> bool {
+    term_is_symbolic(&atom.lhs, store) || term_is_symbolic(&atom.rhs, store)
+}
+
+fn term_is_symbolic(t: &LTerm, store: &Store) -> bool {
+    match t {
+        LTerm::Sym(_) => true,
+        LTerm::Var(v) => matches!(store[*v], Dom::Enum(_)),
+        _ => false,
+    }
+}
+
+// ----- enum propagation -------------------------------------------------------
+
+fn propagate_enum(atom: &LAtom, store: &mut Store) -> Propagation {
+    let changed = match (&atom.lhs, &atom.rhs, atom.op) {
+        (LTerm::Var(v), LTerm::Sym(s), CmpOp::Eq) | (LTerm::Sym(s), LTerm::Var(v), CmpOp::Eq) => {
+            let dom = &mut store[*v];
+            let before = dom.size();
+            dom.fix_sym(*s);
+            before != dom.size()
+        }
+        (LTerm::Var(v), LTerm::Sym(s), CmpOp::Ne) | (LTerm::Sym(s), LTerm::Var(v), CmpOp::Ne) => {
+            store[*v].remove_sym(*s)
+        }
+        (LTerm::Var(a), LTerm::Var(b), CmpOp::Eq) => {
+            let inter: std::collections::BTreeSet<_> = match (&store[*a], &store[*b]) {
+                (Dom::Enum(sa), Dom::Enum(sb)) => sa.intersection(sb).copied().collect(),
+                // Type confusion (one side numeric): no propagation.
+                _ => return Propagation::Consistent { changed: false },
+            };
+            let changed = inter.len() != store[*a].size() as usize
+                || inter.len() != store[*b].size() as usize;
+            store[*a] = Dom::Enum(inter.clone());
+            store[*b] = Dom::Enum(inter);
+            changed
+        }
+        (LTerm::Var(a), LTerm::Var(b), CmpOp::Ne) => {
+            let mut changed = false;
+            if let (Dom::Enum(sa), Dom::Enum(_)) = (&store[*a].clone(), &store[*b]) {
+                if sa.len() == 1 {
+                    let only = *sa.iter().next().expect("len 1");
+                    changed |= store[*b].remove_sym(only);
+                }
+            }
+            if let (Dom::Enum(sb), Dom::Enum(_)) = (&store[*b].clone(), &store[*a]) {
+                if sb.len() == 1 {
+                    let only = *sb.iter().next().expect("len 1");
+                    changed |= store[*a].remove_sym(only);
+                }
+            }
+            changed
+        }
+        (LTerm::Sym(a), LTerm::Sym(b), op) => {
+            // Constant check.
+            let holds = match op {
+                CmpOp::Eq => a == b,
+                CmpOp::Ne => a != b,
+                _ => false,
+            };
+            if !holds {
+                return Propagation::Conflict;
+            }
+            false
+        }
+        // Anything else (arithmetic over syms) is a type error the lowering
+        // already rejected; treat as no-op.
+        _ => false,
+    };
+    // Emptiness check on touched vars.
+    for t in [&atom.lhs, &atom.rhs] {
+        if let LTerm::Var(v) = t {
+            if store[*v].is_empty() {
+                return Propagation::Conflict;
+            }
+        }
+    }
+    Propagation::Consistent { changed }
+}
+
+// ----- numeric propagation (HC4) ----------------------------------------------
+
+const SCALE: i64 = hg_capability::domains::SCALE;
+const WIDE: i64 = i64::MAX / 4;
+
+/// A closed interval with saturating arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: i64,
+    /// Upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The unconstrained interval.
+    pub fn top() -> Interval {
+        Interval { lo: -WIDE, hi: WIDE }
+    }
+
+    /// A point interval.
+    pub fn point(v: i64) -> Interval {
+        Interval { lo: v, hi: v }
+    }
+
+    /// Whether the interval contains no values.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    fn intersect(&self, other: Interval) -> Interval {
+        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+    }
+
+    fn add(&self, o: Interval) -> Interval {
+        Interval { lo: sat_add(self.lo, o.lo), hi: sat_add(self.hi, o.hi) }
+    }
+
+    fn sub(&self, o: Interval) -> Interval {
+        Interval { lo: sat_sub(self.lo, o.hi), hi: sat_sub(self.hi, o.lo) }
+    }
+
+    fn neg(&self) -> Interval {
+        Interval { lo: -self.hi, hi: -self.lo }
+    }
+
+    fn mul(&self, o: Interval) -> Interval {
+        // Scaled product (a/S)*(b/S)*S = a*b/S, corners in i128.
+        let corners = [
+            scaled_mul(self.lo, o.lo),
+            scaled_mul(self.lo, o.hi),
+            scaled_mul(self.hi, o.lo),
+            scaled_mul(self.hi, o.hi),
+        ];
+        Interval {
+            lo: corners.iter().copied().min().expect("4 corners"),
+            hi: corners.iter().copied().max().expect("4 corners"),
+        }
+    }
+
+    fn div(&self, o: Interval) -> Interval {
+        // Scaled quotient; give up (stay wide) when divisor spans zero.
+        if o.lo <= 0 && o.hi >= 0 {
+            return Interval::top();
+        }
+        let corners = [
+            scaled_div(self.lo, o.lo),
+            scaled_div(self.lo, o.hi),
+            scaled_div(self.hi, o.lo),
+            scaled_div(self.hi, o.hi),
+        ];
+        Interval {
+            lo: corners.iter().copied().min().expect("4 corners") - 1,
+            hi: corners.iter().copied().max().expect("4 corners") + 1,
+        }
+    }
+}
+
+fn sat_add(a: i64, b: i64) -> i64 {
+    a.saturating_add(b).clamp(-WIDE, WIDE)
+}
+
+fn sat_sub(a: i64, b: i64) -> i64 {
+    a.saturating_sub(b).clamp(-WIDE, WIDE)
+}
+
+fn scaled_mul(a: i64, b: i64) -> i64 {
+    let p = (a as i128) * (b as i128) / (SCALE as i128);
+    p.clamp(-(WIDE as i128), WIDE as i128) as i64
+}
+
+fn scaled_div(a: i64, b: i64) -> i64 {
+    debug_assert!(b != 0);
+    let p = (a as i128) * (SCALE as i128) / (b as i128);
+    p.clamp(-(WIDE as i128), WIDE as i128) as i64
+}
+
+/// Forward pass: evaluate a term's interval under the store.
+pub fn eval_term(t: &LTerm, store: &Store) -> Interval {
+    match t {
+        LTerm::Num(n) => Interval::point(*n),
+        LTerm::Sym(_) => Interval::top(), // type-confused; stay sound
+        LTerm::Var(v) => match &store[*v] {
+            Dom::Int { lo, hi } => Interval { lo: *lo, hi: *hi },
+            Dom::Enum(_) => Interval::top(),
+        },
+        LTerm::Add(a, b) => eval_term(a, store).add(eval_term(b, store)),
+        LTerm::Sub(a, b) => eval_term(a, store).sub(eval_term(b, store)),
+        LTerm::Mul(a, b) => eval_term(a, store).mul(eval_term(b, store)),
+        LTerm::Div(a, b) => eval_term(a, store).div(eval_term(b, store)),
+        LTerm::Neg(a) => eval_term(a, store).neg(),
+    }
+}
+
+/// Backward pass: narrow variables inside `t` so its value can lie in
+/// `target`. Returns `false` on conflict.
+fn project(t: &LTerm, target: Interval, store: &mut Store) -> bool {
+    if target.is_empty() {
+        return false;
+    }
+    match t {
+        LTerm::Num(n) => target.lo <= *n && *n <= target.hi,
+        LTerm::Sym(_) => true,
+        LTerm::Var(v) => {
+            if let Dom::Int { .. } = store[*v] {
+                store[*v].narrow_int(target.lo, target.hi);
+                !store[*v].is_empty()
+            } else {
+                true
+            }
+        }
+        LTerm::Add(a, b) => {
+            let ia = eval_term(a, store);
+            let ib = eval_term(b, store);
+            project(a, target.sub(ib), store) && project(b, target.sub(ia), store)
+        }
+        LTerm::Sub(a, b) => {
+            let ia = eval_term(a, store);
+            let ib = eval_term(b, store);
+            // a - b ∈ target → a ∈ target + b, b ∈ a - target.
+            project(a, target.add(ib), store) && project(b, ia.sub(target), store)
+        }
+        LTerm::Neg(a) => project(a, target.neg(), store),
+        LTerm::Mul(a, b) => {
+            // Narrow only through a constant factor; otherwise stay sound.
+            match (constant_of(a, store), constant_of(b, store)) {
+                (_, Some(c)) if c != 0 => project(a, div_target(target, c), store),
+                (Some(c), _) if c != 0 => project(b, div_target(target, c), store),
+                _ => true,
+            }
+        }
+        LTerm::Div(a, b) => match constant_of(b, store) {
+            Some(c) if c != 0 => project(a, mul_target(target, c), store),
+            _ => true,
+        },
+    }
+}
+
+fn constant_of(t: &LTerm, store: &Store) -> Option<i64> {
+    match t {
+        LTerm::Num(n) => Some(*n),
+        LTerm::Var(v) => match &store[*v] {
+            Dom::Int { lo, hi } if lo == hi => Some(*lo),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Target for `x` given `x * c ∈ target` (scaled), outward-rounded.
+fn div_target(target: Interval, c: i64) -> Interval {
+    let a = scaled_div(target.lo, c);
+    let b = scaled_div(target.hi, c);
+    Interval { lo: a.min(b) - 1, hi: a.max(b) + 1 }
+}
+
+/// Target for `x` given `x / c ∈ target` (scaled), outward-rounded.
+fn mul_target(target: Interval, c: i64) -> Interval {
+    let a = scaled_mul(target.lo, c);
+    let b = scaled_mul(target.hi, c);
+    Interval { lo: a.min(b) - 1, hi: a.max(b) + 1 }
+}
+
+fn propagate_numeric(atom: &LAtom, store: &mut Store) -> Propagation {
+    let before: Vec<(i64, i64)> = atom_var_bounds(atom, store);
+    let l = eval_term(&atom.lhs, store);
+    let r = eval_term(&atom.rhs, store);
+    if l.is_empty() || r.is_empty() {
+        return Propagation::Conflict;
+    }
+    let ok = match atom.op {
+        CmpOp::Eq => {
+            let meet = l.intersect(r);
+            if meet.is_empty() {
+                false
+            } else {
+                project(&atom.lhs, meet, store) && project(&atom.rhs, meet, store)
+            }
+        }
+        CmpOp::Le => {
+            // lhs ≤ rhs: lhs ≤ r.hi, rhs ≥ l.lo.
+            if l.lo > r.hi {
+                false
+            } else {
+                project(&atom.lhs, Interval { lo: -WIDE, hi: r.hi }, store)
+                    && project(&atom.rhs, Interval { lo: l.lo, hi: WIDE }, store)
+            }
+        }
+        CmpOp::Lt => {
+            if l.lo >= r.hi {
+                false
+            } else {
+                project(&atom.lhs, Interval { lo: -WIDE, hi: r.hi - 1 }, store)
+                    && project(&atom.rhs, Interval { lo: l.lo + 1, hi: WIDE }, store)
+            }
+        }
+        CmpOp::Ge => {
+            if l.hi < r.lo {
+                false
+            } else {
+                project(&atom.lhs, Interval { lo: r.lo, hi: WIDE }, store)
+                    && project(&atom.rhs, Interval { lo: -WIDE, hi: l.hi }, store)
+            }
+        }
+        CmpOp::Gt => {
+            if l.hi <= r.lo {
+                false
+            } else {
+                project(&atom.lhs, Interval { lo: r.lo + 1, hi: WIDE }, store)
+                    && project(&atom.rhs, Interval { lo: -WIDE, hi: l.hi - 1 }, store)
+            }
+        }
+        CmpOp::Ne => {
+            // Only decidable when both sides are points.
+            if l.lo == l.hi && r.lo == r.hi && l.lo == r.lo {
+                false
+            } else {
+                true
+            }
+        }
+    };
+    if !ok {
+        return Propagation::Conflict;
+    }
+    let after = atom_var_bounds(atom, store);
+    Propagation::Consistent { changed: before != after }
+}
+
+fn atom_var_bounds(atom: &LAtom, store: &Store) -> Vec<(i64, i64)> {
+    let mut out = Vec::new();
+    collect_bounds(&atom.lhs, store, &mut out);
+    collect_bounds(&atom.rhs, store, &mut out);
+    out
+}
+
+fn collect_bounds(t: &LTerm, store: &Store, out: &mut Vec<(i64, i64)>) {
+    match t {
+        LTerm::Var(v) => {
+            if let Some(b) = store[*v].bounds() {
+                out.push(b);
+            }
+        }
+        LTerm::Add(a, b) | LTerm::Sub(a, b) | LTerm::Mul(a, b) | LTerm::Div(a, b) => {
+            collect_bounds(a, store, out);
+            collect_bounds(b, store, out);
+        }
+        LTerm::Neg(a) => collect_bounds(a, store, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(lo: i64, hi: i64) -> Dom {
+        Dom::Int { lo, hi }
+    }
+
+    #[test]
+    fn gt_narrows_both_sides() {
+        // x > y with x ∈ [0,10], y ∈ [5,20] → x ∈ [6,10], y ∈ [5,9].
+        let mut store = vec![int(0, 10), int(5, 20)];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Gt, rhs: LTerm::Var(1) };
+        let mut n = 0;
+        assert!(matches!(
+            propagate_all(std::slice::from_ref(&atom), &mut store, &mut n),
+            Propagation::Consistent { .. }
+        ));
+        assert_eq!(store[0].bounds(), Some((6, 10)));
+        assert_eq!(store[1].bounds(), Some((5, 9)));
+    }
+
+    #[test]
+    fn eq_intersects() {
+        let mut store = vec![int(0, 10), int(5, 20)];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Eq, rhs: LTerm::Var(1) };
+        let mut n = 0;
+        propagate_all(std::slice::from_ref(&atom), &mut store, &mut n);
+        assert_eq!(store[0].bounds(), Some((5, 10)));
+        assert_eq!(store[1].bounds(), Some((5, 10)));
+    }
+
+    #[test]
+    fn conflict_detected() {
+        let mut store = vec![int(0, 4), int(5, 20)];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Gt, rhs: LTerm::Var(1) };
+        assert_eq!(propagate_atom(&atom, &mut store), Propagation::Conflict);
+    }
+
+    #[test]
+    fn arithmetic_projection() {
+        // x + 500 > 3000, x ∈ [0, 10000] → x ∈ [2501, 10000].
+        let mut store = vec![int(0, 10_000)];
+        let atom = LAtom {
+            lhs: LTerm::Add(Box::new(LTerm::Var(0)), Box::new(LTerm::Num(500))),
+            op: CmpOp::Gt,
+            rhs: LTerm::Num(3000),
+        };
+        propagate_atom(&atom, &mut store);
+        assert_eq!(store[0].bounds(), Some((2501, 10_000)));
+    }
+
+    #[test]
+    fn subtraction_projection() {
+        // 100 - x >= 40 → x <= 60.
+        let mut store = vec![int(0, 1000)];
+        let atom = LAtom {
+            lhs: LTerm::Sub(Box::new(LTerm::Num(100)), Box::new(LTerm::Var(0))),
+            op: CmpOp::Ge,
+            rhs: LTerm::Num(40),
+        };
+        propagate_atom(&atom, &mut store);
+        assert_eq!(store[0].bounds(), Some((0, 60)));
+    }
+
+    #[test]
+    fn enum_eq_fixes() {
+        let mut store = vec![Dom::Enum([0, 1, 2].into_iter().collect())];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Eq, rhs: LTerm::Sym(1) };
+        assert!(matches!(
+            propagate_atom(&atom, &mut store),
+            Propagation::Consistent { changed: true }
+        ));
+        assert!(store[0].is_singleton());
+    }
+
+    #[test]
+    fn enum_ne_removes_and_conflicts() {
+        let mut store = vec![Dom::Enum([0].into_iter().collect())];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Ne, rhs: LTerm::Sym(0) };
+        assert_eq!(propagate_atom(&atom, &mut store), Propagation::Conflict);
+    }
+
+    #[test]
+    fn enum_var_var_eq_intersects() {
+        let mut store = vec![
+            Dom::Enum([0, 1].into_iter().collect()),
+            Dom::Enum([1, 2].into_iter().collect()),
+        ];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Eq, rhs: LTerm::Var(1) };
+        propagate_atom(&atom, &mut store);
+        assert!(store[0].is_singleton());
+        assert!(store[1].is_singleton());
+    }
+
+    #[test]
+    fn enum_const_const() {
+        let mut store: Store = vec![];
+        let eq = LAtom { lhs: LTerm::Sym(3), op: CmpOp::Eq, rhs: LTerm::Sym(3) };
+        assert!(matches!(propagate_atom(&eq, &mut store), Propagation::Consistent { .. }));
+        let ne = LAtom { lhs: LTerm::Sym(3), op: CmpOp::Eq, rhs: LTerm::Sym(4) };
+        assert_eq!(propagate_atom(&ne, &mut store), Propagation::Conflict);
+    }
+
+    #[test]
+    fn ne_points_conflict() {
+        let mut store = vec![int(5, 5)];
+        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Ne, rhs: LTerm::Num(5) };
+        assert_eq!(propagate_atom(&atom, &mut store), Propagation::Conflict);
+    }
+
+    #[test]
+    fn multiplication_by_constant() {
+        // 2 * x <= 10 (scaled: 200 * x <= 1000) → x <= 5 (500).
+        let mut store = vec![int(0, 100_000)];
+        let atom = LAtom {
+            lhs: LTerm::Mul(Box::new(LTerm::Num(200)), Box::new(LTerm::Var(0))),
+            op: CmpOp::Le,
+            rhs: LTerm::Num(500),
+        };
+        propagate_atom(&atom, &mut store);
+        let (_, hi) = store[0].bounds().unwrap();
+        // Outward rounding allows ±1 slack.
+        assert!(hi <= 252, "hi = {hi}");
+    }
+
+    #[test]
+    fn fixpoint_chains() {
+        // x < y, y < z, z <= 10, all in [0,100] → x <= 8.
+        let mut store = vec![int(0, 100), int(0, 100), int(0, 100)];
+        let atoms = vec![
+            LAtom { lhs: LTerm::Var(0), op: CmpOp::Lt, rhs: LTerm::Var(1) },
+            LAtom { lhs: LTerm::Var(1), op: CmpOp::Lt, rhs: LTerm::Var(2) },
+            LAtom { lhs: LTerm::Var(2), op: CmpOp::Le, rhs: LTerm::Num(10) },
+        ];
+        let mut n = 0;
+        propagate_all(&atoms, &mut store, &mut n);
+        assert_eq!(store[0].bounds(), Some((0, 8)));
+        assert!(n >= 3);
+    }
+}

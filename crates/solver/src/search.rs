@@ -1,0 +1,501 @@
+//! Complete search over lowered formulas: DNF expansion, propagation,
+//! entailment checking and branch-and-prune.
+
+use crate::domain::Dom;
+use crate::expr::{LAtom, LFormula, LTerm};
+use crate::propagate::{eval_term, propagate_all, Propagation, Store};
+use hg_rules::constraint::CmpOp;
+
+/// Search limits.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// Maximum number of search nodes before giving up with
+    /// [`SearchResult::Budget`].
+    pub max_nodes: u64,
+    /// Maximum number of DNF branches to expand.
+    pub max_dnf: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig { max_nodes: 200_000, max_dnf: 4_096 }
+    }
+}
+
+/// Counters exposed for the efficiency experiments (Fig. 9).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search nodes visited.
+    pub nodes: u64,
+    /// Atom propagations executed.
+    pub propagations: u64,
+    /// DNF branches examined.
+    pub dnf_branches: u64,
+}
+
+/// Outcome of the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchResult {
+    /// Satisfiable: a store in which every atom is entailed (any value
+    /// selection from the returned domains is a witness).
+    Sat(Store),
+    /// No satisfying assignment exists.
+    Unsat,
+    /// The node budget was exhausted before a decision was reached.
+    Budget,
+}
+
+/// Solves `formula` over initial `domains`.
+pub fn solve(
+    formula: &LFormula,
+    domains: &Store,
+    cfg: SearchConfig,
+) -> (SearchResult, SearchStats) {
+    let mut stats = SearchStats::default();
+    let Some(branches) = dnf(formula, cfg.max_dnf) else {
+        return (SearchResult::Budget, stats);
+    };
+    if branches.is_empty() {
+        return (SearchResult::Unsat, stats);
+    }
+    for conj in &branches {
+        stats.dnf_branches += 1;
+        let mut store = domains.clone();
+        match dfs(conj, &mut store, cfg.max_nodes, &mut stats) {
+            Some(true) => return (SearchResult::Sat(store), stats),
+            Some(false) => continue,
+            None => return (SearchResult::Budget, stats),
+        }
+    }
+    (SearchResult::Unsat, stats)
+}
+
+/// Expands to DNF: a list of conjunctions of atoms. `None` when the
+/// expansion exceeds `cap`. `Some(vec![])` means the formula is `False`;
+/// a branch of zero atoms means `True`.
+fn dnf(f: &LFormula, cap: usize) -> Option<Vec<Vec<LAtom>>> {
+    match f {
+        LFormula::True => Some(vec![Vec::new()]),
+        LFormula::False => Some(Vec::new()),
+        LFormula::Atom(a) => Some(vec![vec![a.clone()]]),
+        LFormula::And(parts) => {
+            let mut acc: Vec<Vec<LAtom>> = vec![Vec::new()];
+            for p in parts {
+                let branches = dnf(p, cap)?;
+                let mut next = Vec::new();
+                for base in &acc {
+                    for br in &branches {
+                        let mut merged = base.clone();
+                        merged.extend(br.iter().cloned());
+                        next.push(merged);
+                        if next.len() > cap {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+                if acc.is_empty() {
+                    return Some(acc); // an And part was False
+                }
+            }
+            Some(acc)
+        }
+        LFormula::Or(parts) => {
+            let mut acc = Vec::new();
+            for p in parts {
+                acc.extend(dnf(p, cap)?);
+                if acc.len() > cap {
+                    return None;
+                }
+            }
+            Some(acc)
+        }
+    }
+}
+
+fn dfs(atoms: &[LAtom], store: &mut Store, budget: u64, stats: &mut SearchStats) -> Option<bool> {
+    if stats.nodes >= budget {
+        return None;
+    }
+    stats.nodes += 1;
+    match propagate_all(atoms, store, &mut stats.propagations) {
+        Propagation::Conflict => return Some(false),
+        Propagation::Consistent { .. } => {}
+    }
+    // Entailment check.
+    let mut undecided: Option<&LAtom> = None;
+    for a in atoms {
+        match atom_entailed(a, store) {
+            Some(true) => {}
+            Some(false) => return Some(false),
+            None => {
+                if undecided.is_none() {
+                    undecided = Some(a);
+                }
+            }
+        }
+    }
+    let Some(pivot) = undecided else {
+        return Some(true); // all atoms entailed; domains non-empty
+    };
+    // Branch on a variable from the first undecided atom.
+    let var = pick_var(pivot, store).expect("undecided atom must contain an unfixed variable");
+    match store[var].clone() {
+        Dom::Enum(set) => {
+            for sym in set {
+                let mut child = store.clone();
+                child[var] = Dom::Enum([sym].into_iter().collect());
+                match dfs(atoms, &mut child, budget, stats) {
+                    Some(true) => {
+                        *store = child;
+                        return Some(true);
+                    }
+                    Some(false) => continue,
+                    None => return None,
+                }
+            }
+            Some(false)
+        }
+        Dom::Int { lo, hi } => {
+            debug_assert!(lo < hi);
+            let mid = lo + (hi - lo) / 2;
+            for (nlo, nhi) in [(lo, mid), (mid + 1, hi)] {
+                let mut child = store.clone();
+                child[var] = Dom::Int { lo: nlo, hi: nhi };
+                match dfs(atoms, &mut child, budget, stats) {
+                    Some(true) => {
+                        *store = child;
+                        return Some(true);
+                    }
+                    Some(false) => continue,
+                    None => return None,
+                }
+            }
+            Some(false)
+        }
+    }
+}
+
+/// Whether `atom` holds for *every* assignment within the current domains
+/// (`Some(true)`), for none (`Some(false)`), or is undecided (`None`).
+fn atom_entailed(atom: &LAtom, store: &Store) -> Option<bool> {
+    if let Some(res) = enum_entailed(atom, store) {
+        return res;
+    }
+    let l = eval_term(&atom.lhs, store);
+    let r = eval_term(&atom.rhs, store);
+    let res = match atom.op {
+        CmpOp::Lt => {
+            if l.hi < r.lo {
+                Some(true)
+            } else if l.lo >= r.hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Le => {
+            if l.hi <= r.lo {
+                Some(true)
+            } else if l.lo > r.hi {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Gt => {
+            if l.lo > r.hi {
+                Some(true)
+            } else if l.hi <= r.lo {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Ge => {
+            if l.lo >= r.hi {
+                Some(true)
+            } else if l.hi < r.lo {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        CmpOp::Eq => {
+            if l.lo == l.hi && r.lo == r.hi {
+                Some(l.lo == r.lo)
+            } else if l.hi < r.lo || r.hi < l.lo {
+                Some(false)
+            } else if is_same_var(atom) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        CmpOp::Ne => {
+            if l.hi < r.lo || r.hi < l.lo {
+                Some(true)
+            } else if l.lo == l.hi && r.lo == r.hi {
+                Some(l.lo != r.lo)
+            } else if is_same_var(atom) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+    };
+    res
+}
+
+fn is_same_var(atom: &LAtom) -> bool {
+    matches!(
+        (&atom.lhs, &atom.rhs),
+        (LTerm::Var(a), LTerm::Var(b)) if a == b
+    )
+}
+
+/// Entailment for enum-typed atoms; outer `Option` is "was this an enum
+/// atom at all".
+#[allow(clippy::option_option)]
+fn enum_entailed(atom: &LAtom, store: &Store) -> Option<Option<bool>> {
+    let sym_of = |t: &LTerm| -> Option<crate::domain::SymId> {
+        match t {
+            LTerm::Sym(s) => Some(*s),
+            _ => None,
+        }
+    };
+    let enum_dom = |t: &LTerm| -> Option<std::collections::BTreeSet<crate::domain::SymId>> {
+        match t {
+            LTerm::Var(v) => store[*v].syms().cloned(),
+            LTerm::Sym(s) => Some([*s].into_iter().collect()),
+            _ => None,
+        }
+    };
+    let is_enum_side = |t: &LTerm| {
+        sym_of(t).is_some()
+            || matches!(t, LTerm::Var(v) if matches!(store[*v], Dom::Enum(_)))
+    };
+    if !is_enum_side(&atom.lhs) && !is_enum_side(&atom.rhs) {
+        return None;
+    }
+    let (Some(da), Some(db)) = (enum_dom(&atom.lhs), enum_dom(&atom.rhs)) else {
+        // Type-confused atom (enum vs numeric): Eq false, Ne true.
+        return Some(match atom.op {
+            CmpOp::Eq => Some(false),
+            CmpOp::Ne => Some(true),
+            _ => Some(false),
+        });
+    };
+    let disjoint = da.intersection(&db).next().is_none();
+    let both_single_equal = da.len() == 1 && da == db;
+    Some(match atom.op {
+        CmpOp::Eq => {
+            if both_single_equal {
+                Some(true)
+            } else if disjoint {
+                Some(false)
+            } else if is_same_var(atom) {
+                Some(true)
+            } else {
+                None
+            }
+        }
+        CmpOp::Ne => {
+            if disjoint {
+                Some(true)
+            } else if both_single_equal {
+                Some(false)
+            } else if is_same_var(atom) {
+                Some(false)
+            } else {
+                None
+            }
+        }
+        _ => Some(false),
+    })
+}
+
+/// Picks an unfixed variable occurring in `atom`, preferring the smallest
+/// domain.
+fn pick_var(atom: &LAtom, store: &Store) -> Option<usize> {
+    let mut best: Option<(usize, u64)> = None;
+    let mut visit = |t: &LTerm| {
+        collect_unfixed(t, store, &mut best);
+    };
+    visit(&atom.lhs);
+    visit(&atom.rhs);
+    best.map(|(v, _)| v)
+}
+
+fn collect_unfixed(t: &LTerm, store: &Store, best: &mut Option<(usize, u64)>) {
+    match t {
+        LTerm::Var(v) => {
+            let size = store[*v].size();
+            if size > 1 {
+                match best {
+                    Some((_, s)) if *s <= size => {}
+                    _ => *best = Some((*v, size)),
+                }
+            }
+        }
+        LTerm::Add(a, b) | LTerm::Sub(a, b) | LTerm::Mul(a, b) | LTerm::Div(a, b) => {
+            collect_unfixed(a, store, best);
+            collect_unfixed(b, store, best);
+        }
+        LTerm::Neg(a) => collect_unfixed(a, store, best),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(lo: i64, hi: i64) -> Dom {
+        Dom::Int { lo, hi }
+    }
+
+    fn atom(lhs: LTerm, op: CmpOp, rhs: LTerm) -> LFormula {
+        LFormula::Atom(LAtom { lhs, op, rhs })
+    }
+
+    #[test]
+    fn sat_simple() {
+        let f = atom(LTerm::Var(0), CmpOp::Gt, LTerm::Num(5));
+        let (res, _) = solve(&f, &vec![int(0, 10)], SearchConfig::default());
+        assert!(matches!(res, SearchResult::Sat(_)));
+    }
+
+    #[test]
+    fn unsat_simple() {
+        let f = atom(LTerm::Var(0), CmpOp::Gt, LTerm::Num(50));
+        let (res, _) = solve(&f, &vec![int(0, 10)], SearchConfig::default());
+        assert_eq!(res, SearchResult::Unsat);
+    }
+
+    #[test]
+    fn overlap_of_two_ranges() {
+        // x > 30 && x < 35 over [0,100]: satisfiable.
+        let f = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Gt, LTerm::Num(30)),
+            atom(LTerm::Var(0), CmpOp::Lt, LTerm::Num(35)),
+        ]);
+        let (res, _) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
+        let SearchResult::Sat(store) = res else { panic!("{res:?}") };
+        let (lo, hi) = store[0].bounds().unwrap();
+        assert!(lo >= 31 && hi <= 34);
+    }
+
+    #[test]
+    fn contradictory_ranges_unsat() {
+        let f = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Gt, LTerm::Num(50)),
+            atom(LTerm::Var(0), CmpOp::Lt, LTerm::Num(40)),
+        ]);
+        let (res, _) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
+        assert_eq!(res, SearchResult::Unsat);
+    }
+
+    #[test]
+    fn disjunction_explores_branches() {
+        let f = LFormula::Or(vec![
+            atom(LTerm::Var(0), CmpOp::Gt, LTerm::Num(500)), // unsat in [0,100]
+            atom(LTerm::Var(0), CmpOp::Eq, LTerm::Num(7)),
+        ]);
+        let (res, stats) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
+        assert!(matches!(res, SearchResult::Sat(_)));
+        assert!(stats.dnf_branches >= 2);
+    }
+
+    #[test]
+    fn enum_sat_and_unsat() {
+        let dom = vec![Dom::Enum([0, 1].into_iter().collect())];
+        let sat = atom(LTerm::Var(0), CmpOp::Eq, LTerm::Sym(0));
+        let (r1, _) = solve(&sat, &dom, SearchConfig::default());
+        assert!(matches!(r1, SearchResult::Sat(_)));
+        let unsat = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Eq, LTerm::Sym(0)),
+            atom(LTerm::Var(0), CmpOp::Eq, LTerm::Sym(1)),
+        ]);
+        let (r2, _) = solve(&unsat, &dom, SearchConfig::default());
+        assert_eq!(r2, SearchResult::Unsat);
+    }
+
+    #[test]
+    fn ne_requires_branching() {
+        // x != 5 && x >= 5 && x <= 6 → x = 6.
+        let f = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Ne, LTerm::Num(5)),
+            atom(LTerm::Var(0), CmpOp::Ge, LTerm::Num(5)),
+            atom(LTerm::Var(0), CmpOp::Le, LTerm::Num(6)),
+        ]);
+        let (res, _) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
+        let SearchResult::Sat(store) = res else { panic!("{res:?}") };
+        assert_eq!(store[0].bounds(), Some((6, 6)));
+    }
+
+    #[test]
+    fn ne_unsat_when_pinned() {
+        let f = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Ne, LTerm::Num(5)),
+            atom(LTerm::Var(0), CmpOp::Eq, LTerm::Num(5)),
+        ]);
+        let (res, _) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
+        assert_eq!(res, SearchResult::Unsat);
+    }
+
+    #[test]
+    fn var_to_var_equality_chain() {
+        // x == y && y == z && z == 9 → all 9.
+        let f = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Eq, LTerm::Var(1)),
+            atom(LTerm::Var(1), CmpOp::Eq, LTerm::Var(2)),
+            atom(LTerm::Var(2), CmpOp::Eq, LTerm::Num(9)),
+        ]);
+        let (res, _) = solve(&f, &vec![int(0, 100), int(0, 100), int(0, 100)], SearchConfig::default());
+        let SearchResult::Sat(store) = res else { panic!("{res:?}") };
+        for d in &store {
+            assert_eq!(d.bounds(), Some((9, 9)));
+        }
+    }
+
+    #[test]
+    fn same_var_trivia() {
+        // x == x entailed, x != x unsat.
+        let dom = vec![int(0, 100)];
+        let (r1, _) = solve(
+            &atom(LTerm::Var(0), CmpOp::Eq, LTerm::Var(0)),
+            &dom,
+            SearchConfig::default(),
+        );
+        assert!(matches!(r1, SearchResult::Sat(_)));
+        let (r2, _) = solve(
+            &atom(LTerm::Var(0), CmpOp::Ne, LTerm::Var(0)),
+            &dom,
+            SearchConfig::default(),
+        );
+        assert_eq!(r2, SearchResult::Unsat);
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        // A pathological chain with a tiny budget.
+        let f = LFormula::And(vec![
+            atom(LTerm::Var(0), CmpOp::Ne, LTerm::Var(1)),
+            atom(LTerm::Var(1), CmpOp::Ne, LTerm::Var(2)),
+        ]);
+        let doms = vec![int(0, 1_000_000), int(0, 1_000_000), int(0, 1_000_000)];
+        let (res, _) = solve(&f, &doms, SearchConfig { max_nodes: 1, max_dnf: 16 });
+        // With one node we can at best propagate once; Ne over huge domains
+        // stays undecided → budget.
+        assert_eq!(res, SearchResult::Budget);
+    }
+
+    #[test]
+    fn true_and_false_formulas() {
+        let (r1, _) = solve(&LFormula::True, &vec![], SearchConfig::default());
+        assert!(matches!(r1, SearchResult::Sat(_)));
+        let (r2, _) = solve(&LFormula::False, &vec![], SearchConfig::default());
+        assert_eq!(r2, SearchResult::Unsat);
+    }
+}

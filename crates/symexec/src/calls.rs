@@ -1,0 +1,823 @@
+//! Call evaluation: SmartThings API modeling, sink recognition and
+//! user-method inlining (paper §V-B "API modeling" and "Analysis entry
+//! points and sinks").
+
+use crate::engine::{Engine, ExtractError, Flow, Mode, Registration, St};
+use crate::sv::{DeviceSlot, Sv};
+use hg_capability::capability;
+use hg_capability::sinks::{sink_api, SinkKind};
+use hg_lang::ast::{Arg, Closure, Expr};
+use hg_rules::constraint::{CmpOp, Formula, Term};
+use hg_rules::rule::{Action, ActionSubject, Trigger};
+use hg_rules::value::Value;
+use hg_rules::varid::VarId;
+
+/// Undocumented APIs the paper had to model after meeting them in the store
+/// (`Camera Power Scheduler` used `runDaily`).
+const UNDOCUMENTED_APIS: &[&str] = &["runDaily"];
+
+impl<'a> Engine<'a> {
+    pub(crate) fn eval_call(
+        &mut self,
+        recv: Option<&Expr>,
+        name: &str,
+        args: &[Arg],
+        closure: Option<&Closure>,
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        match recv {
+            None => self.eval_free_call(name, args, closure, st),
+            Some(recv_expr) => {
+                let (st, recv_v) = self.eval_single(recv_expr, st)?;
+                self.eval_method_call(&recv_v, name, args, closure, st)
+            }
+        }
+    }
+
+    // ----- free function calls -------------------------------------------------
+
+    fn eval_free_call(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        closure: Option<&Closure>,
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        match name {
+            "subscribe" => return self.model_subscribe(args, st),
+            "unsubscribe" | "unschedule" => return Ok(vec![(st, Sv::Null)]),
+            "definition" | "preferences" | "section" | "page" | "dynamicPage" | "paragraph"
+            | "metadata" | "mappings" | "label" | "mode" | "icon" => {
+                return Ok(vec![(st, Sv::Null)]);
+            }
+            "input" => return Ok(vec![(st, Sv::Null)]),
+            _ => {}
+        }
+        if let Some(api) = sink_api(name) {
+            return self.model_sink_api(api.name, api.kind, args, closure, st);
+        }
+        if UNDOCUMENTED_APIS.contains(&name) {
+            if !self.config.model_undocumented_apis {
+                return Err(ExtractError::Unsupported(format!(
+                    "undocumented API `{name}`"
+                )));
+            }
+            // `runDaily(time, handler)` schedules handler daily.
+            return self.model_schedule_like(name, args, 86_400, st);
+        }
+        match name {
+            "now" => {
+                return Ok(vec![(st, Sv::Term(Term::Var(VarId::TimeOfDay)))]);
+            }
+            "timeOfDayIsBetween" | "timeOfDayIsAfter" => {
+                let t = self.fresh_opaque("timeWindow");
+                return Ok(vec![(
+                    st,
+                    Sv::Pred(Formula::cmp(t, CmpOp::Eq, Term::sym("true"))),
+                )]);
+            }
+            "timeToday" | "timeTodayAfter" | "toDateTime" | "getSunriseAndSunset" => {
+                let t = self.fresh_opaque("time");
+                return Ok(vec![(st, Sv::Term(t))]);
+            }
+            "getLocation" => return Ok(vec![(st, Sv::Location)]),
+            "getAllChildDevices" | "getChildDevices" => {
+                return Ok(vec![(st, Sv::List(Vec::new()))]);
+            }
+            "pause" => return Ok(vec![(st, Sv::Null)]),
+            "createAccessToken" | "apiServerUrl" => {
+                let t = self.fresh_opaque("token");
+                return Ok(vec![(st, Sv::Term(t))]);
+            }
+            _ => {}
+        }
+        // User-defined method?
+        if self.program.method(name).is_some() {
+            return self.inline_user_method(name, args, st);
+        }
+        // Unknown API.
+        self.warnings.push(format!("unmodeled API `{name}` treated as opaque"));
+        let t = self.fresh_opaque("api");
+        Ok(vec![(st, Sv::Term(t))])
+    }
+
+    /// Inlines a call to a method defined in the same app.
+    fn inline_user_method(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        mut st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        if st.depth >= self.config.max_call_depth {
+            self.warnings.push(format!("recursion limit at `{name}`"));
+            return Ok(vec![(st, Sv::Null)]);
+        }
+        let method = self.program.method(name).expect("caller checked").clone();
+        // Evaluate arguments in order.
+        let mut arg_vals = Vec::new();
+        for a in args.iter().filter(|a| a.name.is_none()) {
+            let (s2, v) = self.eval_single(&a.value, st)?;
+            st = s2;
+            arg_vals.push(v);
+        }
+        st.depth += 1;
+        st.locals.push(Default::default());
+        for (i, p) in method.params.iter().enumerate() {
+            let v = arg_vals.get(i).cloned().unwrap_or(Sv::Null);
+            st.define(&p.name, v);
+        }
+        let outcomes = self.exec_block(&method.body, st)?;
+        let mut out = Vec::new();
+        for (mut s, flow) in outcomes {
+            s.locals.pop();
+            s.depth = s.depth.saturating_sub(1);
+            let ret = match flow {
+                Flow::Return(v) => v,
+                _ => Sv::Null,
+            };
+            out.push((s, ret));
+        }
+        Ok(out)
+    }
+
+    // ----- subscription modeling -------------------------------------------------
+
+    fn model_subscribe(&mut self, args: &[Arg], st: St) -> Result<Vec<(St, Sv)>, ExtractError> {
+        if self.mode != Mode::CollectTriggers {
+            return Ok(vec![(st, Sv::Null)]);
+        }
+        let positional: Vec<&Expr> =
+            args.iter().filter(|a| a.name.is_none()).map(|a| &a.value).collect();
+        if positional.len() < 2 {
+            self.warnings.push("malformed subscribe call".into());
+            return Ok(vec![(st, Sv::Null)]);
+        }
+        let (st, target) = self.eval_single(positional[0], st)?;
+        let handler = handler_name(positional.last().expect("len >= 2"));
+        let Some(handler) = handler else {
+            self.warnings.push("subscribe handler is not a method reference".into());
+            return Ok(vec![(st, Sv::Null)]);
+        };
+        let spec = if positional.len() >= 3 {
+            positional[1].as_str().map(str::to_string)
+        } else {
+            None
+        };
+        match target {
+            Sv::Device(slot) => {
+                self.register_device_subscription(&[slot], spec.as_deref(), &handler);
+            }
+            Sv::Devices(slots) => {
+                self.register_device_subscription(&slots, spec.as_deref(), &handler);
+            }
+            Sv::Location => {
+                let trigger = match spec.as_deref() {
+                    Some("sunset") | Some("sunrise") => Trigger::TimeOfDay {
+                        at_minutes: None,
+                        description: spec.clone().expect("matched Some"),
+                    },
+                    Some("mode") | None => Trigger::ModeChange { constraint: None },
+                    Some(other) => {
+                        // `subscribe(location, "mode.Away", h)` style.
+                        match other.strip_prefix("mode.") {
+                            Some(mode_val) => Trigger::ModeChange {
+                                constraint: Some(Formula::var_eq(
+                                    VarId::Mode,
+                                    Value::sym(mode_val),
+                                )),
+                            },
+                            None => Trigger::ModeChange { constraint: None },
+                        }
+                    }
+                };
+                self.registrations.push(Registration { trigger, handler });
+            }
+            Sv::AppObj => {
+                self.registrations
+                    .push(Registration { trigger: Trigger::AppTouch, handler });
+            }
+            other => {
+                self.warnings
+                    .push(format!("subscribe target not a device: {other:?}"));
+            }
+        }
+        Ok(vec![(st, Sv::Null)])
+    }
+
+    fn register_device_subscription(
+        &mut self,
+        slots: &[DeviceSlot],
+        spec: Option<&str>,
+        handler: &str,
+    ) {
+        for slot in slots {
+            let (attribute, value) = match spec {
+                Some(spec) => match spec.split_once('.') {
+                    Some((attr, val)) => (attr.to_string(), Some(val.to_string())),
+                    None => (spec.to_string(), None),
+                },
+                None => {
+                    // Whole-device subscription: subscribe to the primary
+                    // attribute of the capability.
+                    let attr = capability::lookup(&slot.capability)
+                        .and_then(|c| c.attributes.first())
+                        .map(|a| a.name.to_string())
+                        .unwrap_or_else(|| "state".to_string());
+                    (attr, None)
+                }
+            };
+            let subject = slot.device_ref(&self.app);
+            let constraint = value.map(|v| {
+                let var = VarId::canonical_attr(&subject, &attribute);
+                // Numeric-looking event values compare numerically.
+                match hg_capability::domains::parse_scaled(&v) {
+                    Some(n) => Formula::cmp(Term::Var(var), CmpOp::Eq, Term::num(n)),
+                    None => Formula::var_eq(var, Value::sym(v)),
+                }
+            });
+            self.registrations.push(Registration {
+                trigger: Trigger::DeviceEvent { subject, attribute, constraint },
+                handler: handler.to_string(),
+            });
+        }
+    }
+
+    // ----- sink API modeling -------------------------------------------------
+
+    fn model_sink_api(
+        &mut self,
+        name: &str,
+        kind: SinkKind,
+        args: &[Arg],
+        closure: Option<&Closure>,
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        match kind {
+            SinkKind::ScheduleOnce | SinkKind::SchedulePeriodic => {
+                let period = sink_api(name).and_then(|s| s.period_secs).unwrap_or(0);
+                self.model_schedule_like(name, args, period, st)
+            }
+            SinkKind::Http => {
+                let mut st = st;
+                let mut url = None;
+                if let Some(a) = args.iter().find(|a| a.name.is_none()) {
+                    let (s2, v) = self.eval_single(&a.value, st)?;
+                    st = s2;
+                    url = match v {
+                        Sv::Concrete(Value::Sym(s)) => Some(s),
+                        Sv::Map(m) => m
+                            .get("uri")
+                            .or_else(|| m.get("url"))
+                            .and_then(Sv::as_sym)
+                            .map(str::to_string),
+                        _ => None,
+                    };
+                }
+                let method = name.strip_prefix("http").unwrap_or("GET").to_uppercase();
+                st.actions.push(Action {
+                    subject: ActionSubject::Http { method, url },
+                    command: name.to_string(),
+                    params: Vec::new(),
+                    when_secs: st.delay,
+                    period_secs: st.period,
+                });
+                // The response closure receives an opaque response object.
+                if let Some(c) = closure {
+                    let mut inner = st.clone();
+                    inner.locals.push(Default::default());
+                    let resp = Sv::Term(self.fresh_opaque("httpResp"));
+                    let param = c
+                        .params
+                        .first()
+                        .map(|p| p.name.clone())
+                        .unwrap_or_else(|| "it".to_string());
+                    inner.define(&param, resp);
+                    let outcomes = self.exec_block(&c.body, inner)?;
+                    let mut out = Vec::new();
+                    for (mut s, _flow) in outcomes {
+                        s.locals.pop();
+                        out.push((s, Sv::Null));
+                    }
+                    return Ok(out);
+                }
+                Ok(vec![(st, Sv::Null)])
+            }
+            SinkKind::Messaging => {
+                let mut st = st;
+                let mut params = Vec::new();
+                let mut target = None;
+                for (i, a) in args.iter().filter(|a| a.name.is_none()).enumerate() {
+                    let (s2, v) = self.eval_single(&a.value, st)?;
+                    st = s2;
+                    if i == 0 && (name == "sendSms" || name == "sendSmsMessage") {
+                        target = v.as_sym().map(str::to_string);
+                    }
+                    if let Some(t) = v.as_term() {
+                        params.push(t);
+                    }
+                }
+                st.actions.push(Action {
+                    subject: ActionSubject::Message { target },
+                    command: name.to_string(),
+                    params,
+                    when_secs: st.delay,
+                    period_secs: st.period,
+                });
+                Ok(vec![(st, Sv::Null)])
+            }
+            SinkKind::LocationMode => {
+                let mut st = st;
+                let mut params = Vec::new();
+                for a in args.iter().filter(|a| a.name.is_none()) {
+                    let (s2, v) = self.eval_single(&a.value, st)?;
+                    st = s2;
+                    if let Some(t) = v.as_term() {
+                        params.push(t);
+                    }
+                }
+                st.actions.push(Action {
+                    subject: ActionSubject::LocationMode,
+                    command: "setLocationMode".to_string(),
+                    params,
+                    when_secs: st.delay,
+                    period_secs: st.period,
+                });
+                Ok(vec![(st, Sv::Null)])
+            }
+            SinkKind::HubCommand => {
+                let mut st = st;
+                st.actions.push(Action {
+                    subject: ActionSubject::HubCommand,
+                    command: name.to_string(),
+                    params: Vec::new(),
+                    when_secs: st.delay,
+                    period_secs: st.period,
+                });
+                Ok(vec![(st, Sv::Null)])
+            }
+        }
+    }
+
+    /// Models `runIn`/`runOnce`/`schedule`/`runEvery*`/`runDaily`.
+    ///
+    /// In trigger-collection mode a scheduling call at the entry point
+    /// *creates a trigger*; in trace mode it *defers* the scheduled method:
+    /// we trace into it with the delay attached (paper §V-B API modeling).
+    fn model_schedule_like(
+        &mut self,
+        name: &str,
+        args: &[Arg],
+        period: u64,
+        mut st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        let positional: Vec<&Expr> =
+            args.iter().filter(|a| a.name.is_none()).map(|a| &a.value).collect();
+        // The method reference is the last positional arg for runIn/schedule,
+        // the only one for runEvery*.
+        let Some(method) = positional.last().and_then(|e| handler_name(e)) else {
+            self.warnings.push(format!("{name}: dynamic method reference"));
+            return Ok(vec![(st, Sv::Null)]);
+        };
+        let mut delay_secs: u64 = 0;
+        let mut at_minutes: Option<u32> = None;
+        let mut description = name.to_string();
+        if name == "runIn" {
+            if let Some(first) = positional.first() {
+                let (s2, v) = self.eval_single(first, st)?;
+                st = s2;
+                if let Some(Value::Num(n)) = v.as_concrete() {
+                    delay_secs = (*n / hg_capability::domains::SCALE).max(0) as u64;
+                }
+            }
+        } else if name == "schedule" || name == "runOnce" || name == "runDaily" {
+            if let Some(first) = positional.first() {
+                if let Some(text) = first.as_str() {
+                    description = text.to_string();
+                    at_minutes = parse_time_of_day(text);
+                }
+            }
+        }
+        match self.mode {
+            Mode::CollectTriggers => {
+                let trigger = if period > 0 && name != "schedule" && name != "runDaily" {
+                    Trigger::Periodic { period_secs: period }
+                } else if name == "schedule" || name == "runDaily" || name == "runOnce" {
+                    Trigger::TimeOfDay { at_minutes, description }
+                } else {
+                    // runIn at an entry point: a delayed one-shot; model as
+                    // a time trigger.
+                    Trigger::TimeOfDay {
+                        at_minutes: None,
+                        description: format!("{delay_secs}s after install"),
+                    }
+                };
+                self.registrations.push(Registration { trigger, handler: method });
+                Ok(vec![(st, Sv::Null)])
+            }
+            Mode::Trace => {
+                // Trace into the scheduled method with the delay attached.
+                if self.program.method(&method).is_none() {
+                    self.warnings.push(format!("scheduled method `{method}` not found"));
+                    return Ok(vec![(st, Sv::Null)]);
+                }
+                let saved_delay = st.delay;
+                let saved_period = st.period;
+                st.delay = st.delay.saturating_add(delay_secs);
+                if period > 0 {
+                    st.period = period;
+                }
+                let outcomes = self.inline_user_method(&method, &[], st)?;
+                Ok(outcomes
+                    .into_iter()
+                    .map(|(mut s, _)| {
+                        s.delay = saved_delay;
+                        s.period = saved_period;
+                        (s, Sv::Null)
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    // ----- method calls on objects ------------------------------------------------
+
+    fn eval_method_call(
+        &mut self,
+        recv: &Sv,
+        name: &str,
+        args: &[Arg],
+        closure: Option<&Closure>,
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        match recv {
+            Sv::Device(slot) => self.device_method(std::slice::from_ref(slot), name, args, st),
+            Sv::Devices(slots) => {
+                let slots = slots.clone();
+                if let Some(c) = closure {
+                    if matches!(name, "each" | "every" | "any" | "find" | "findAll" | "collect") {
+                        return self.collection_closure(
+                            &slots.iter().map(|s| Sv::Device(s.clone())).collect::<Vec<_>>(),
+                            name,
+                            c,
+                            st,
+                        );
+                    }
+                }
+                self.device_method(&slots, name, args, st)
+            }
+            Sv::List(items) => {
+                if let Some(c) = closure {
+                    if matches!(name, "each" | "every" | "any" | "find" | "findAll" | "collect") {
+                        return self.collection_closure(items, name, c, st);
+                    }
+                }
+                match name {
+                    "size" => Ok(vec![(
+                        st,
+                        Sv::num((items.len() as i64) * hg_capability::domains::SCALE),
+                    )]),
+                    "contains" => {
+                        let mut st = st;
+                        let mut needle = Sv::Null;
+                        if let Some(a) = args.first() {
+                            let (s2, v) = self.eval_single(&a.value, st)?;
+                            st = s2;
+                            needle = v;
+                        }
+                        let contains = match needle.as_concrete() {
+                            Some(c) => {
+                                let mut known = true;
+                                let mut found = false;
+                                for item in items {
+                                    match item.as_concrete() {
+                                        Some(ic) if ic == c => found = true,
+                                        Some(_) => {}
+                                        None => known = false,
+                                    }
+                                }
+                                if found {
+                                    Some(true)
+                                } else if known {
+                                    Some(false)
+                                } else {
+                                    None
+                                }
+                            }
+                            None => None,
+                        };
+                        let v = match contains {
+                            Some(b) => Sv::bool(b),
+                            None => {
+                                let t = self.fresh_opaque("contains");
+                                Sv::Pred(Formula::cmp(t, CmpOp::Eq, Term::sym("true")))
+                            }
+                        };
+                        Ok(vec![(st, v)])
+                    }
+                    "join" | "toString" => Ok(vec![(st, Sv::Term(self.fresh_opaque("join")))]),
+                    "first" => Ok(vec![(st, items.first().cloned().unwrap_or(Sv::Null))]),
+                    "last" => Ok(vec![(st, items.last().cloned().unwrap_or(Sv::Null))]),
+                    _ => {
+                        self.warnings.push(format!("unmodeled list method `{name}`"));
+                        Ok(vec![(st, Sv::Term(self.fresh_opaque("list")))])
+                    }
+                }
+            }
+            Sv::Location => match name {
+                "setMode" => self.model_sink_api(
+                    "setLocationMode",
+                    SinkKind::LocationMode,
+                    args,
+                    None,
+                    st,
+                ),
+                "getMode" | "currentMode" => {
+                    Ok(vec![(st, Sv::Term(Term::Var(VarId::Mode)))])
+                }
+                _ => Ok(vec![(st, Sv::Term(self.fresh_opaque("loc")))]),
+            },
+            Sv::AppObj => Ok(vec![(st, Sv::Null)]), // log.debug etc.
+            Sv::Event => {
+                let v = match name {
+                    "value" | "getValue" | "getDoubleValue" | "getFloatValue" => {
+                        self.event_value_term()
+                    }
+                    "getDevice" => self.event_prop_device(),
+                    "isStateChange" | "isPhysical" | "isDigital" => Sv::bool(true),
+                    _ => Sv::Term(self.fresh_opaque("evtCall")),
+                };
+                Ok(vec![(st, v)])
+            }
+            Sv::Term(t) => {
+                // Data method calls: toInteger/toFloat keep the term; string
+                // predicates become opaque booleans.
+                let t = t.clone();
+                let v = match name {
+                    "toInteger" | "toFloat" | "toDouble" | "toBigDecimal" | "toString"
+                    | "trim" | "toLowerCase" | "toUpperCase" => Sv::Term(t),
+                    "contains" | "startsWith" | "endsWith" | "equalsIgnoreCase"
+                    | "isNumber" => {
+                        let o = self.fresh_opaque("strPred");
+                        Sv::Pred(Formula::cmp(o, CmpOp::Eq, Term::sym("true")))
+                    }
+                    _ => {
+                        self.warnings.push(format!("unmodeled method `{name}` on data"));
+                        Sv::Term(self.fresh_opaque("data"))
+                    }
+                };
+                Ok(vec![(st, v)])
+            }
+            Sv::Concrete(Value::Sym(s)) => {
+                let s = s.clone();
+                let v = match name {
+                    "toInteger" | "toFloat" | "toDouble" => {
+                        match hg_capability::domains::parse_scaled(&s) {
+                            Some(n) => Sv::num(n),
+                            None => Sv::Null,
+                        }
+                    }
+                    "toLowerCase" => Sv::sym(s.to_lowercase()),
+                    "toUpperCase" => Sv::sym(s.to_uppercase()),
+                    "trim" => Sv::sym(s.trim().to_string()),
+                    "contains" | "startsWith" | "endsWith" => {
+                        let mut st2 = st.clone();
+                        let mut needle = None;
+                        if let Some(a) = args.first() {
+                            let (s3, v) = self.eval_single(&a.value, st2)?;
+                            st2 = s3;
+                            needle = v.as_sym().map(str::to_string);
+                        }
+                        let result = needle.map(|n| match name {
+                            "contains" => s.contains(&n),
+                            "startsWith" => s.starts_with(&n),
+                            _ => s.ends_with(&n),
+                        });
+                        return Ok(vec![(
+                            st2,
+                            match result {
+                                Some(b) => Sv::bool(b),
+                                None => {
+                                    let o = self.fresh_opaque("strPred");
+                                    Sv::Pred(Formula::cmp(o, CmpOp::Eq, Term::sym("true")))
+                                }
+                            },
+                        )]);
+                    }
+                    _ => Sv::Term(self.fresh_opaque("str")),
+                };
+                Ok(vec![(st, v)])
+            }
+            Sv::Map(entries) => {
+                let v = match name {
+                    "get" => {
+                        let mut st2 = st.clone();
+                        let mut key = None;
+                        if let Some(a) = args.first() {
+                            let (s3, v) = self.eval_single(&a.value, st2)?;
+                            st2 = s3;
+                            key = v.as_sym().map(str::to_string);
+                        }
+                        let v = key
+                            .and_then(|k| entries.get(&k).cloned())
+                            .unwrap_or(Sv::Null);
+                        return Ok(vec![(st2, v)]);
+                    }
+                    "containsKey" => {
+                        let o = self.fresh_opaque("mapKey");
+                        Sv::Pred(Formula::cmp(o, CmpOp::Eq, Term::sym("true")))
+                    }
+                    _ => Sv::Term(self.fresh_opaque("map")),
+                };
+                Ok(vec![(st, v)])
+            }
+            Sv::StateObj => Ok(vec![(st, Sv::Term(self.fresh_opaque("state")))]),
+            _ => {
+                self.warnings.push(format!("call `{name}` on unsupported receiver"));
+                Ok(vec![(st, Sv::Null)])
+            }
+        }
+    }
+
+    fn event_value_term(&mut self) -> Sv {
+        match self.current_trigger.as_ref().and_then(Trigger::observed_var) {
+            Some(_) => Sv::Term(Term::Var(self.evt_value_var())),
+            None => Sv::Term(self.fresh_opaque("evtValue")),
+        }
+    }
+
+    /// `devices.each { it.on() }` and friends.
+    fn collection_closure(
+        &mut self,
+        items: &[Sv],
+        method: &str,
+        closure: &Closure,
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        let param = closure
+            .params
+            .first()
+            .map(|p| p.name.clone())
+            .unwrap_or_else(|| "it".to_string());
+        let items: Vec<Sv> = if items.is_empty() {
+            vec![Sv::Term(self.fresh_opaque("elem"))]
+        } else {
+            items.iter().take(self.config.loop_unroll).cloned().collect()
+        };
+        let mut states = vec![st];
+        for item in &items {
+            let mut next = Vec::new();
+            for s in states {
+                let mut inner = s;
+                inner.locals.push(Default::default());
+                inner.define(&param, item.clone());
+                for (mut s2, _flow) in self.exec_block(&closure.body, inner)? {
+                    s2.locals.pop();
+                    next.push(s2);
+                }
+            }
+            states = next;
+            if states.len() > self.config.max_paths {
+                states.truncate(self.config.max_paths);
+            }
+        }
+        let result = match method {
+            "each" => Sv::Null,
+            "find" => items.first().cloned().unwrap_or(Sv::Null),
+            "findAll" | "collect" => Sv::List(items),
+            "any" | "every" => {
+                let o = self.fresh_opaque(method);
+                Sv::Pred(Formula::cmp(o, CmpOp::Eq, Term::sym("true")))
+            }
+            _ => Sv::Null,
+        };
+        Ok(states.into_iter().map(|s| (s, result.clone())).collect())
+    }
+
+    /// Command/read dispatch on device slots.
+    fn device_method(
+        &mut self,
+        slots: &[DeviceSlot],
+        name: &str,
+        args: &[Arg],
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        // Attribute reads.
+        if name == "currentValue" || name == "latestValue" || name == "currentState" {
+            let mut st = st;
+            let mut attr = None;
+            if let Some(a) = args.first() {
+                let (s2, v) = self.eval_single(&a.value, st)?;
+                st = s2;
+                attr = v.as_sym().map(str::to_string);
+            }
+            let v = match (slots.first(), attr) {
+                (Some(slot), Some(attr)) => Sv::Term(Term::Var(VarId::canonical_attr(
+                    &slot.device_ref(&self.app),
+                    &attr,
+                ))),
+                _ => Sv::Term(self.fresh_opaque("attr")),
+            };
+            return Ok(vec![(st, v)]);
+        }
+        if name == "getId" || name == "getDisplayName" || name == "getLabel" {
+            let t = self.fresh_opaque("devMeta");
+            return Ok(vec![(st, Sv::Term(t))]);
+        }
+        if name == "refresh" || name == "poll" || name == "ping" {
+            return Ok(vec![(st, Sv::Null)]);
+        }
+        // Command sink? Known capability commands always count; on
+        // non-standard device types (extended config) any call that is not a
+        // read is treated as a command, matching the paper's fix of adding
+        // those device types to the capability list.
+        let nonstandard = slots
+            .iter()
+            .any(|slot| capability::lookup(&slot.capability).is_none());
+        let is_command = slots.iter().any(|slot| {
+            capability::lookup(&slot.capability)
+                .map(|c| c.command(name).is_some())
+                .unwrap_or(false)
+        }) || global_command_exists(name)
+            || (nonstandard && self.config.allow_nonstandard_devices);
+        if is_command {
+            let mut st = st;
+            let mut params = Vec::new();
+            for a in args.iter().filter(|a| a.name.is_none()) {
+                let (s2, v) = self.eval_single(&a.value, st)?;
+                st = s2;
+                params.push(v.as_term().unwrap_or_else(|| self.fresh_opaque("param")));
+            }
+            for slot in slots {
+                st.actions.push(Action {
+                    subject: ActionSubject::Device(slot.device_ref(&self.app)),
+                    command: name.to_string(),
+                    params: params.clone(),
+                    when_secs: st.delay,
+                    period_secs: st.period,
+                });
+            }
+            return Ok(vec![(st, Sv::Null)]);
+        }
+        self.warnings.push(format!(
+            "call `{name}` on device `{}` is not a known command",
+            slots.first().map(|s| s.input.as_str()).unwrap_or("?")
+        ));
+        let t = self.fresh_opaque("devCall");
+        Ok(vec![(st, Sv::Term(t))])
+    }
+}
+
+/// Whether any capability in the catalogue defines this command (devices
+/// support several capabilities; apps may call a command from a capability
+/// other than the one they requested).
+fn global_command_exists(name: &str) -> bool {
+    capability::CAPABILITIES
+        .iter()
+        .any(|c| c.command(name).is_some())
+}
+
+/// Extracts a handler method name from a `subscribe`/`runIn` argument:
+/// either a bare identifier or a string literal.
+fn handler_name(e: &Expr) -> Option<String> {
+    if let Some(name) = e.as_ident() {
+        return Some(name.to_string());
+    }
+    e.as_str().map(str::to_string)
+}
+
+/// Parses `"HH:mm"` or ISO-ish time text into minutes since midnight.
+fn parse_time_of_day(text: &str) -> Option<u32> {
+    // Accept "18:30", "2015-01-09T18:30:00.000-0600" (take the T segment).
+    let clock = match text.split('T').nth(1) {
+        Some(rest) => rest,
+        None => text,
+    };
+    let mut parts = clock.split(':');
+    let h: u32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.get(0..2).and_then(|s| s.parse().ok())?;
+    if h < 24 && m < 60 {
+        Some(h * 60 + m)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_of_day_parsing() {
+        assert_eq!(parse_time_of_day("18:30"), Some(18 * 60 + 30));
+        assert_eq!(parse_time_of_day("2015-01-09T07:05:00.000-0600"), Some(7 * 60 + 5));
+        assert_eq!(parse_time_of_day("99:00"), None);
+        assert_eq!(parse_time_of_day("sunset"), None);
+    }
+
+    #[test]
+    fn global_commands() {
+        assert!(global_command_exists("on"));
+        assert!(global_command_exists("lock"));
+        assert!(!global_command_exists("teleport"));
+    }
+}

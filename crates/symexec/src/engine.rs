@@ -1,0 +1,1108 @@
+//! The symbolic execution engine (paper §V-B).
+//!
+//! Extraction runs in two phases:
+//!
+//! 1. **Trigger collection** — the lifecycle entry points (`installed`,
+//!    `updated`) are executed to find every `subscribe`/`schedule`/
+//!    `runEvery*` registration, exploring both sides of any conditional so
+//!    that conditionally-registered triggers are not missed.
+//! 2. **Path tracing** — each trigger's handler is executed symbolically
+//!    with a depth-first exploration of all paths. A path that reaches one
+//!    or more sinks (capability commands, sensitive APIs) becomes a
+//!    [`Rule`]: the branch conditions along the path form the rule
+//!    condition, and comparisons on the event value are hoisted into the
+//!    trigger constraint, exactly as §V-B describes.
+
+use crate::inputs::{collect_inputs, InputDecl, InputType};
+use crate::sv::{DeviceSlot, Sv};
+use hg_capability::capability;
+use hg_capability::domains::parse_scaled;
+use hg_lang::ast::*;
+use hg_rules::constraint::{CmpOp, Formula, Term};
+use hg_rules::rule::{Action, Condition, DataConstraint, Rule, RuleId, Trigger};
+use hg_rules::value::Value;
+use hg_rules::varid::VarId;
+use std::collections::BTreeMap;
+
+/// Extractor configuration.
+///
+/// The flags mirror the paper's §VIII-B experience: the stock extractor
+/// failed on apps using non-standard `device.*` input types and
+/// undocumented APIs; after extending the capability list and modeling
+/// those APIs, all store apps extracted. Both behaviours are reproducible.
+#[derive(Debug, Clone)]
+pub struct ExtractorConfig {
+    /// Accept `device.*` and unknown `capability.*` input types.
+    pub allow_nonstandard_devices: bool,
+    /// Model undocumented platform APIs (e.g. `runDaily`).
+    pub model_undocumented_apis: bool,
+    /// Maximum explored paths per handler before giving up.
+    pub max_paths: usize,
+    /// Maximum user-method call depth (recursion guard).
+    pub max_call_depth: usize,
+    /// Maximum loop unrolling for concrete collections/ranges.
+    pub loop_unroll: usize,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        ExtractorConfig {
+            allow_nonstandard_devices: false,
+            model_undocumented_apis: false,
+            max_paths: 512,
+            max_call_depth: 16,
+            loop_unroll: 8,
+        }
+    }
+}
+
+impl ExtractorConfig {
+    /// The configuration after the paper's fixes: non-standard device types
+    /// added to the capability list and undocumented APIs modeled.
+    pub fn extended() -> Self {
+        ExtractorConfig {
+            allow_nonstandard_devices: true,
+            model_undocumented_apis: true,
+            ..ExtractorConfig::default()
+        }
+    }
+}
+
+/// A fatal extraction failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractError {
+    /// The source did not parse.
+    Parse(hg_lang::ParseError),
+    /// The app uses a construct the extractor cannot handle under the
+    /// current configuration.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExtractError::Parse(e) => write!(f, "{e}"),
+            ExtractError::Unsupported(what) => write!(f, "unsupported: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<hg_lang::ParseError> for ExtractError {
+    fn from(e: hg_lang::ParseError) -> Self {
+        ExtractError::Parse(e)
+    }
+}
+
+/// Control-flow signal attached to each explored state.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Flow {
+    Normal,
+    Return(Sv),
+    Break,
+    Continue,
+}
+
+/// One in-flight execution path.
+#[derive(Debug, Clone)]
+pub(crate) struct St {
+    pub(crate) locals: Vec<BTreeMap<String, Sv>>,
+    pub(crate) state_overlay: BTreeMap<String, Sv>,
+    pub(crate) path: Vec<Formula>,
+    pub(crate) data: Vec<DataConstraint>,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) delay: u64,
+    pub(crate) period: u64,
+    pub(crate) depth: usize,
+}
+
+impl St {
+    pub(crate) fn new() -> St {
+        St {
+            locals: vec![BTreeMap::new()],
+            state_overlay: BTreeMap::new(),
+            path: Vec::new(),
+            data: Vec::new(),
+            actions: Vec::new(),
+            delay: 0,
+            period: 0,
+            depth: 0,
+        }
+    }
+
+    pub(crate) fn lookup(&self, name: &str) -> Option<&Sv> {
+        self.locals.iter().rev().find_map(|scope| scope.get(name))
+    }
+
+    pub(crate) fn assign(&mut self, name: &str, value: Sv) {
+        for scope in self.locals.iter_mut().rev() {
+            if scope.contains_key(name) {
+                scope.insert(name.to_string(), value);
+                return;
+            }
+        }
+        self.locals
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), value);
+    }
+
+    pub(crate) fn define(&mut self, name: &str, value: Sv) {
+        self.locals
+            .last_mut()
+            .expect("at least one scope")
+            .insert(name.to_string(), value);
+    }
+}
+
+/// What phase the engine is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    CollectTriggers,
+    Trace,
+}
+
+/// A collected trigger registration.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Registration {
+    pub trigger: Trigger,
+    pub handler: String,
+}
+
+/// The symbolic executor for one app.
+pub(crate) struct Engine<'a> {
+    pub program: &'a Program,
+    pub app: String,
+    pub config: &'a ExtractorConfig,
+    pub inputs: BTreeMap<String, InputDecl>,
+    pub warnings: Vec<String>,
+    pub(crate) opaque_counter: usize,
+    pub(crate) mode: Mode,
+    pub(crate) registrations: Vec<Registration>,
+    pub(crate) current_trigger: Option<Trigger>,
+    pub(crate) paths_emitted: usize,
+}
+
+impl<'a> Engine<'a> {
+    pub fn new(program: &'a Program, app: &str, config: &'a ExtractorConfig) -> Engine<'a> {
+        let inputs = collect_inputs(program)
+            .into_iter()
+            .map(|d| (d.name.clone(), d))
+            .collect();
+        Engine {
+            program,
+            app: app.to_string(),
+            config,
+            inputs,
+            warnings: Vec::new(),
+            opaque_counter: 0,
+            mode: Mode::CollectTriggers,
+            registrations: Vec::new(),
+            current_trigger: None,
+            paths_emitted: 0,
+        }
+    }
+
+    /// Validates input declarations against the configuration.
+    pub fn check_inputs(&self) -> Result<(), ExtractError> {
+        for decl in self.inputs.values() {
+            if let InputType::NonStandardDevice(d) = &decl.input_type {
+                if !self.config.allow_nonstandard_devices {
+                    return Err(ExtractError::Unsupported(format!(
+                        "non-standard device type `{d}` in input `{}` (not in the capability list)",
+                        decl.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Phase 1: run the lifecycle entry points, collecting registrations.
+    pub fn collect_registrations(&mut self) -> Result<Vec<Registration>, ExtractError> {
+        self.mode = Mode::CollectTriggers;
+        for entry in ["installed", "updated", "initialize"] {
+            // `initialize` is only run directly when not reachable from the
+            // lifecycle methods (some apps define it without callers).
+            if entry == "initialize"
+                && (self.program.method("installed").is_some()
+                    || self.program.method("updated").is_some())
+            {
+                continue;
+            }
+            if let Some(m) = self.program.method(entry) {
+                let st = St::new();
+                self.exec_block(&m.body, st)?;
+            }
+        }
+        // Deduplicate registrations (installed and updated usually repeat).
+        let mut seen = Vec::new();
+        for r in std::mem::take(&mut self.registrations) {
+            if !seen.contains(&r) {
+                seen.push(r);
+            }
+        }
+        Ok(seen)
+    }
+
+    /// Phase 2: trace one registration's handler, emitting rules.
+    pub fn trace(&mut self, reg: &Registration, rules: &mut Vec<Rule>) -> Result<(), ExtractError> {
+        self.mode = Mode::Trace;
+        self.current_trigger = Some(reg.trigger.clone());
+        self.paths_emitted = 0;
+        let Some(method) = self.program.method(&reg.handler) else {
+            self.warnings.push(format!("handler `{}` not found", reg.handler));
+            return Ok(());
+        };
+        let mut st = St::new();
+        // Bind the event parameter.
+        if let Some(p) = method.params.first() {
+            st.define(&p.name, Sv::Event);
+        }
+        let outcomes = self.exec_block(&method.body, st)?;
+        for (st, _flow) in outcomes {
+            if st.actions.is_empty() {
+                continue;
+            }
+            if self.paths_emitted >= self.config.max_paths {
+                self.warnings.push(format!(
+                    "path budget exhausted in handler `{}`",
+                    reg.handler
+                ));
+                break;
+            }
+            let rule = self.finish_rule(&reg.trigger, st, rules.len());
+            // Prune infeasible paths (e.g. `v > 65` and `v < 45` explored on
+            // the same path from sequential ifs): the paper's executor only
+            // reports rules whose path condition is satisfiable.
+            if !path_feasible(&rule) {
+                continue;
+            }
+            self.paths_emitted += 1;
+            rules.push(rule);
+        }
+        Ok(())
+    }
+
+    /// Assembles a rule from a completed path: hoists event-value atoms into
+    /// the trigger constraint and conjoins the rest as the condition.
+    pub(crate) fn finish_rule(&self, trigger: &Trigger, st: St, index: usize) -> Rule {
+        let trigger_var = trigger.observed_var();
+        let evt_var = self.evt_value_var();
+        let mut trig_atoms = Vec::new();
+        let mut cond_atoms = Vec::new();
+        // Flatten top-level conjunctions so that only the conjuncts that
+        // actually compare the event value are hoisted into the trigger.
+        let mut flat = Vec::new();
+        for atom in st.path {
+            match atom {
+                Formula::And(parts) => flat.extend(parts),
+                other => flat.push(other),
+            }
+        }
+        for atom in flat {
+            let mentions_evt = atom.variables().contains(&evt_var);
+            match (&trigger_var, mentions_evt) {
+                (Some(tv), true) => {
+                    // Rename the event-value placeholder to the canonical
+                    // trigger variable and hoist.
+                    let tv = tv.clone();
+                    let renamed = atom.map_vars(&|v| {
+                        if *v == evt_var {
+                            tv.clone()
+                        } else {
+                            v.clone()
+                        }
+                    });
+                    trig_atoms.push(renamed);
+                }
+                _ => cond_atoms.push(atom),
+            }
+        }
+        let mut trigger = trigger.clone();
+        if !trig_atoms.is_empty() {
+            let extra = Formula::and(trig_atoms);
+            match &mut trigger {
+                Trigger::DeviceEvent { constraint, .. }
+                | Trigger::ModeChange { constraint } => {
+                    let merged = match constraint.take() {
+                        Some(prev) => Formula::and([prev, extra]),
+                        None => extra,
+                    };
+                    *constraint = Some(merged);
+                }
+                _ => cond_atoms.push(extra),
+            }
+        }
+        Rule {
+            id: RuleId::new(&self.app, index),
+            trigger,
+            condition: Condition {
+                data_constraints: st.data,
+                predicate: Formula::and(cond_atoms),
+            },
+            actions: st.actions,
+        }
+    }
+
+    /// The placeholder variable standing for the subscribed event's value
+    /// during tracing. `finish_rule` renames it to the trigger's observed
+    /// variable in hoisted trigger constraints — this is what lets the
+    /// extractor distinguish "compare the event value" (trigger constraint,
+    /// §V-B) from "re-read the same attribute later" (condition).
+    pub(crate) fn evt_value_var(&self) -> VarId {
+        VarId::Opaque { app: self.app.clone(), name: "\u{ab}evtValue\u{bb}".into() }
+    }
+
+    pub(crate) fn fresh_opaque(&mut self, hint: &str) -> Term {
+        self.opaque_counter += 1;
+        Term::Var(VarId::Opaque {
+            app: self.app.clone(),
+            name: format!("{hint}{}", self.opaque_counter),
+        })
+    }
+
+    // ----- statement execution ------------------------------------------------
+
+    pub(crate) fn exec_block(&mut self, block: &Block, st: St) -> Result<Vec<(St, Flow)>, ExtractError> {
+        let mut states = vec![(st, Flow::Normal)];
+        for stmt in &block.stmts {
+            let mut next = Vec::new();
+            for (st, flow) in states {
+                if flow != Flow::Normal {
+                    next.push((st, flow));
+                    continue;
+                }
+                next.extend(self.exec_stmt(stmt, st)?);
+            }
+            states = next;
+            if states.len() > self.config.max_paths {
+                states.truncate(self.config.max_paths);
+                // Note: truncation is recorded once per handler.
+            }
+        }
+        Ok(states)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt, st: St) -> Result<Vec<(St, Flow)>, ExtractError> {
+        match &stmt.kind {
+            StmtKind::Expr(e) => {
+                let results = self.eval(e, st)?;
+                Ok(results.into_iter().map(|(st, _)| (st, Flow::Normal)).collect())
+            }
+            StmtKind::Def { name, init } => match init {
+                Some(e) => {
+                    let results = self.eval(e, st)?;
+                    Ok(results
+                        .into_iter()
+                        .map(|(mut st, v)| {
+                            self.record_data_constraint(&mut st, name, &v);
+                            st.define(name, v);
+                            (st, Flow::Normal)
+                        })
+                        .collect())
+                }
+                None => {
+                    let mut st = st;
+                    st.define(name, Sv::Null);
+                    Ok(vec![(st, Flow::Normal)])
+                }
+            },
+            StmtKind::Assign { target, op, value } => self.exec_assign(target, *op, value, st),
+            StmtKind::If { cond, then_branch, else_branch } => {
+                let mut out = Vec::new();
+                for (st, pred) in self.eval_pred(cond, st)? {
+                    match pred {
+                        BranchPred::Known(true) => out.extend(self.exec_block(then_branch, st)?),
+                        BranchPred::Known(false) => match else_branch {
+                            Some(eb) => out.extend(self.exec_block(eb, st)?),
+                            None => out.push((st, Flow::Normal)),
+                        },
+                        BranchPred::Sym(f) => {
+                            let mut then_st = st.clone();
+                            then_st.path.push(f.clone());
+                            out.extend(self.exec_block(then_branch, then_st)?);
+                            let mut else_st = st;
+                            else_st.path.push(f.negate());
+                            match else_branch {
+                                Some(eb) => out.extend(self.exec_block(eb, else_st)?),
+                                None => out.push((else_st, Flow::Normal)),
+                            }
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            StmtKind::Switch { subject, cases, default } => {
+                self.exec_switch(subject, cases, default.as_ref(), st)
+            }
+            StmtKind::Return(value) => match value {
+                Some(e) => {
+                    let results = self.eval(e, st)?;
+                    Ok(results.into_iter().map(|(st, v)| (st, Flow::Return(v))).collect())
+                }
+                None => Ok(vec![(st, Flow::Return(Sv::Null))]),
+            },
+            StmtKind::ForIn { var, iterable, body } => self.exec_for(var, iterable, body, st),
+            StmtKind::While { cond, body } => {
+                // SmartApps rarely loop; explore zero and one iteration.
+                let mut out = Vec::new();
+                for (st, pred) in self.eval_pred(cond, st)? {
+                    match pred {
+                        BranchPred::Known(false) => out.push((st, Flow::Normal)),
+                        BranchPred::Known(true) | BranchPred::Sym(_) => {
+                            // One iteration, then assume exit.
+                            for (st2, flow) in self.exec_block(body, st.clone())? {
+                                let flow = match flow {
+                                    Flow::Break | Flow::Continue => Flow::Normal,
+                                    other => other,
+                                };
+                                out.push((st2, flow));
+                            }
+                            out.push((st, Flow::Normal));
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            StmtKind::Break => Ok(vec![(st, Flow::Break)]),
+            StmtKind::Continue => Ok(vec![(st, Flow::Continue)]),
+        }
+    }
+
+    pub(crate) fn record_data_constraint(&self, st: &mut St, name: &str, value: &Sv) {
+        if let Some(term) = value.as_term() {
+            if matches!(term, Term::Var(_) | Term::Add(..) | Term::Sub(..) | Term::Mul(..) | Term::Div(..)) {
+                st.data.push(DataConstraint { name: name.to_string(), term });
+            }
+        }
+    }
+
+    fn exec_assign(
+        &mut self,
+        target: &Expr,
+        op: AssignOp,
+        value: &Expr,
+        st: St,
+    ) -> Result<Vec<(St, Flow)>, ExtractError> {
+        let mut out = Vec::new();
+        for (mut st, v) in self.eval(value, st)? {
+            let combined = |current: Option<&Sv>, v: &Sv| -> Sv {
+                match op {
+                    AssignOp::Set => v.clone(),
+                    AssignOp::Add | AssignOp::Sub => {
+                        let cur = current.and_then(Sv::as_term);
+                        let add = v.as_term();
+                        match (cur, add) {
+                            (Some(a), Some(b)) => Sv::Term(match op {
+                                AssignOp::Add => Term::Add(Box::new(a), Box::new(b)),
+                                _ => Term::Sub(Box::new(a), Box::new(b)),
+                            }),
+                            _ => v.clone(),
+                        }
+                    }
+                }
+            };
+            match &target.kind {
+                ExprKind::Ident(name) => {
+                    let newv = combined(st.lookup(name), &v);
+                    self.record_data_constraint(&mut st, name, &newv);
+                    st.assign(name, newv);
+                }
+                ExprKind::Prop { recv, name, .. } => {
+                    let (st2, recv_v) = self.eval_single(recv, st)?;
+                    st = st2;
+                    match recv_v {
+                        Sv::StateObj => {
+                            let newv = combined(st.state_overlay.get(name), &v);
+                            st.state_overlay.insert(name.clone(), newv);
+                        }
+                        _ => {
+                            self.warnings.push(format!(
+                                "ignored assignment to property `{name}`"
+                            ));
+                        }
+                    }
+                }
+                _ => self.warnings.push("ignored complex assignment target".into()),
+            }
+            out.push((st, Flow::Normal));
+        }
+        Ok(out)
+    }
+
+    fn exec_switch(
+        &mut self,
+        subject: &Expr,
+        cases: &[SwitchCase],
+        default: Option<&Block>,
+        st: St,
+    ) -> Result<Vec<(St, Flow)>, ExtractError> {
+        let mut out = Vec::new();
+        for (st, subject_v) in self.eval(subject, st)? {
+            let subject_term = subject_v.as_term();
+            let mut negations: Vec<Formula> = Vec::new();
+            for case in cases {
+                let (st_c, case_v) = self.eval_single(&case.value, st.clone())?;
+                let eq = match (subject_term.clone(), case_v.as_term()) {
+                    (Some(a), Some(b)) => Formula::cmp(a, CmpOp::Eq, b),
+                    _ => Formula::True,
+                };
+                let mut case_st = st_c;
+                case_st.path.extend(negations.iter().cloned());
+                case_st.path.push(eq.clone());
+                for (s, f) in self.exec_block(&case.body, case_st)? {
+                    let f = if f == Flow::Break { Flow::Normal } else { f };
+                    out.push((s, f));
+                }
+                negations.push(eq.negate());
+            }
+            let mut def_st = st;
+            def_st.path.extend(negations);
+            match default {
+                Some(d) => out.extend(self.exec_block(d, def_st)?),
+                None => out.push((def_st, Flow::Normal)),
+            }
+        }
+        Ok(out)
+    }
+
+    fn exec_for(
+        &mut self,
+        var: &str,
+        iterable: &Expr,
+        body: &Block,
+        st: St,
+    ) -> Result<Vec<(St, Flow)>, ExtractError> {
+        let mut out = Vec::new();
+        for (st, coll) in self.eval(iterable, st)? {
+            let items: Vec<Sv> = match &coll {
+                Sv::List(items) => items.clone(),
+                Sv::Devices(slots) => {
+                    slots.iter().map(|s| Sv::Device(s.clone())).collect()
+                }
+                Sv::Device(d) => vec![Sv::Device(d.clone())],
+                Sv::Term(_) | Sv::Null => {
+                    // Unknown collection: run the body once with an opaque
+                    // element (sound for sink discovery).
+                    let opaque = Sv::Term(self.fresh_opaque("elem"));
+                    vec![opaque]
+                }
+                _ => vec![coll.clone()],
+            };
+            let items = items.into_iter().take(self.config.loop_unroll).collect::<Vec<_>>();
+            let mut states = vec![(st, Flow::Normal)];
+            for item in items {
+                let mut next = Vec::new();
+                for (mut s, flow) in states {
+                    if flow != Flow::Normal {
+                        if flow == Flow::Break {
+                            next.push((s, Flow::Normal));
+                        } else {
+                            next.push((s, flow));
+                        }
+                        continue;
+                    }
+                    s.define(var, item.clone());
+                    for (s2, f2) in self.exec_block(body, s)? {
+                        let f2 = if f2 == Flow::Continue { Flow::Normal } else { f2 };
+                        next.push((s2, f2));
+                    }
+                }
+                states = next;
+                if states.len() > self.config.max_paths {
+                    states.truncate(self.config.max_paths);
+                }
+            }
+            for (s, f) in states {
+                let f = if f == Flow::Break { Flow::Normal } else { f };
+                out.push((s, f));
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- expression evaluation ------------------------------------------------
+
+    pub(crate) fn eval_single(&mut self, e: &Expr, st: St) -> Result<(St, Sv), ExtractError> {
+        let mut results = self.eval(e, st)?;
+        if results.len() > 1 {
+            // Keep the first path; the remaining forks were already
+            // accounted for by the caller's state list when relevant.
+            results.truncate(1);
+        }
+        Ok(results.pop().expect("eval returns at least one state"))
+    }
+
+    pub(crate) fn eval(&mut self, e: &Expr, st: St) -> Result<Vec<(St, Sv)>, ExtractError> {
+        match &e.kind {
+            ExprKind::Int(n) => Ok(vec![(st, Sv::num(n * hg_capability::domains::SCALE))]),
+            ExprKind::Decimal(d) => {
+                let v = parse_scaled(d).map(Sv::num).unwrap_or(Sv::Null);
+                Ok(vec![(st, v)])
+            }
+            ExprKind::Str(s) => Ok(vec![(st, Sv::sym(s.clone()))]),
+            ExprKind::GStr(parts) => self.eval_gstring(parts, st),
+            ExprKind::Bool(b) => Ok(vec![(st, Sv::bool(*b))]),
+            ExprKind::Null => Ok(vec![(st, Sv::Null)]),
+            ExprKind::ListLit(items) => {
+                let mut states = vec![(st, Vec::new())];
+                for item in items {
+                    let mut next = Vec::new();
+                    for (s, acc) in states {
+                        for (s2, v) in self.eval(item, s)? {
+                            let mut acc2: Vec<Sv> = acc.clone();
+                            acc2.push(v);
+                            next.push((s2, acc2));
+                        }
+                    }
+                    states = next;
+                }
+                Ok(states.into_iter().map(|(s, acc)| (s, Sv::List(acc))).collect())
+            }
+            ExprKind::MapLit(entries) => {
+                let mut st = st;
+                let mut map = BTreeMap::new();
+                for entry in entries {
+                    let (s2, v) = self.eval_single(&entry.value, st)?;
+                    st = s2;
+                    map.insert(entry.key.as_text(), v);
+                }
+                Ok(vec![(st, Sv::Map(map))])
+            }
+            ExprKind::Ident(name) => Ok(vec![(st.clone(), self.resolve_ident(name, &st))]),
+            ExprKind::Prop { recv, name, .. } => {
+                let mut out = Vec::new();
+                for (st, recv_v) in self.eval(recv, st)? {
+                    let v = self.eval_prop(&recv_v, name, &st);
+                    out.push((st, v));
+                }
+                Ok(out)
+            }
+            ExprKind::Index { recv, index } => {
+                let (st, recv_v) = self.eval_single(recv, st)?;
+                let (st, idx_v) = self.eval_single(index, st)?;
+                let v = match (&recv_v, &idx_v) {
+                    (Sv::List(items), Sv::Concrete(Value::Num(n))) => {
+                        let i = (n / hg_capability::domains::SCALE) as usize;
+                        items.get(i).cloned().unwrap_or(Sv::Null)
+                    }
+                    (Sv::Map(entries), Sv::Concrete(Value::Sym(k))) => {
+                        entries.get(k).cloned().unwrap_or(Sv::Null)
+                    }
+                    _ => Sv::Term(self.fresh_opaque("index")),
+                };
+                Ok(vec![(st, v)])
+            }
+            ExprKind::Call { recv, name, args, closure, .. } => {
+                self.eval_call(recv.as_deref(), name, args, closure.as_deref(), st)
+            }
+            ExprKind::Closure(_) => Ok(vec![(st, Sv::Null)]),
+            ExprKind::Unary { op, expr } => {
+                let mut out = Vec::new();
+                for (st, v) in self.eval(expr, st)? {
+                    let r = match op {
+                        UnaryOp::Not => match self.to_pred(&v) {
+                            Some(f) => Sv::Pred(f.negate()),
+                            None => Sv::Pred(Formula::cmp(
+                                self.fresh_opaque("not"),
+                                CmpOp::Eq,
+                                Term::sym("true"),
+                            )),
+                        },
+                        UnaryOp::Neg => match v.as_term() {
+                            Some(t) => Sv::Term(Term::Neg(Box::new(t))),
+                            None => Sv::Null,
+                        },
+                    };
+                    out.push((st, r));
+                }
+                Ok(out)
+            }
+            ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, st),
+            ExprKind::Ternary { cond, then_expr, else_expr } => {
+                let mut out = Vec::new();
+                for (st, pred) in self.eval_pred(cond, st)? {
+                    match pred {
+                        BranchPred::Known(true) => out.extend(self.eval(then_expr, st)?),
+                        BranchPred::Known(false) => out.extend(self.eval(else_expr, st)?),
+                        BranchPred::Sym(f) => {
+                            let mut t_st = st.clone();
+                            t_st.path.push(f.clone());
+                            out.extend(self.eval(then_expr, t_st)?);
+                            let mut e_st = st;
+                            e_st.path.push(f.negate());
+                            out.extend(self.eval(else_expr, e_st)?);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            ExprKind::Elvis { value, fallback } => {
+                let mut out = Vec::new();
+                for (st, v) in self.eval(value, st)? {
+                    match v.truthiness() {
+                        Some(true) => out.push((st, v)),
+                        Some(false) => out.extend(self.eval(fallback, st)?),
+                        None => {
+                            // Either side possible; prefer the defined value
+                            // and also explore the fallback.
+                            out.push((st.clone(), v));
+                            out.extend(self.eval(fallback, st)?);
+                        }
+                    }
+                }
+                Ok(out)
+            }
+            ExprKind::Range { lo, hi } => {
+                let (st, lo_v) = self.eval_single(lo, st)?;
+                let (st, hi_v) = self.eval_single(hi, st)?;
+                let items = match (lo_v.as_concrete(), hi_v.as_concrete()) {
+                    (Some(Value::Num(a)), Some(Value::Num(b))) => {
+                        let scale = hg_capability::domains::SCALE;
+                        let (a, b) = (a / scale, b / scale);
+                        (a..=b)
+                            .take(self.config.loop_unroll)
+                            .map(|n| Sv::num(n * scale))
+                            .collect()
+                    }
+                    _ => Vec::new(),
+                };
+                Ok(vec![(st, Sv::List(items))])
+            }
+        }
+    }
+
+    fn resolve_ident(&mut self, name: &str, st: &St) -> Sv {
+        if let Some(v) = st.lookup(name) {
+            return v.clone();
+        }
+        if let Some(decl) = self.inputs.get(name).cloned() {
+            return self.input_value(&decl);
+        }
+        match name {
+            "location" => Sv::Location,
+            "state" | "atomicState" => Sv::StateObj,
+            "app" => Sv::AppObj,
+            "settings" => Sv::Map(BTreeMap::new()),
+            "log" => Sv::AppObj, // log.* calls are no-ops
+            _ => Sv::Null,
+        }
+    }
+
+    pub(crate) fn input_value(&mut self, decl: &InputDecl) -> Sv {
+        if let Some(slot) = decl.device_slot() {
+            return if slot.multiple {
+                Sv::Devices(vec![slot])
+            } else {
+                Sv::Device(slot)
+            };
+        }
+        match &decl.input_type {
+            InputType::Number | InputType::Decimal | InputType::Text | InputType::Time
+            | InputType::Phone | InputType::Contact | InputType::Enum(_) | InputType::Bool
+            | InputType::Mode => Sv::Term(Term::Var(VarId::UserInput {
+                app: self.app.clone(),
+                name: decl.name.clone(),
+            })),
+            _ => Sv::Term(self.fresh_opaque("input")),
+        }
+    }
+
+    fn eval_prop(&mut self, recv: &Sv, name: &str, _st: &St) -> Sv {
+        match recv {
+            Sv::Device(slot) => self.device_prop(slot, name),
+            Sv::Devices(slots) => {
+                // Property on a collection reads "some device's" value; use
+                // the first slot (they share a type).
+                match slots.first() {
+                    Some(s) => self.device_prop(s, name),
+                    None => Sv::Null,
+                }
+            }
+            Sv::Event => self.event_prop(name),
+            Sv::Location => match name {
+                "mode" | "currentMode" => Sv::Term(Term::Var(VarId::Mode)),
+                "modes" => Sv::List(Vec::new()),
+                _ => Sv::Term(self.fresh_opaque("location")),
+            },
+            Sv::StateObj => Sv::Term(Term::Var(VarId::State {
+                app: self.app.clone(),
+                name: name.to_string(),
+            })),
+            Sv::Map(entries) => entries.get(name).cloned().unwrap_or(Sv::Null),
+            Sv::List(items) => match name {
+                "size" => Sv::num((items.len() as i64) * hg_capability::domains::SCALE),
+                "first" => items.first().cloned().unwrap_or(Sv::Null),
+                "last" => items.last().cloned().unwrap_or(Sv::Null),
+                _ => Sv::Term(self.fresh_opaque("listProp")),
+            },
+            _ => Sv::Term(self.fresh_opaque("prop")),
+        }
+    }
+
+    fn device_prop(&mut self, slot: &DeviceSlot, name: &str) -> Sv {
+        // `currentSwitch`, `currentTemperature`, ... read the attribute.
+        if let Some(attr) = name.strip_prefix("current") {
+            if !attr.is_empty() {
+                let attr = decapitalize(attr);
+                return Sv::Term(Term::Var(VarId::canonical_attr(
+                    &slot.device_ref(&self.app),
+                    &attr,
+                )));
+            }
+        }
+        match name {
+            "id" | "displayName" | "label" | "name" => Sv::Term(self.fresh_opaque("devMeta")),
+            // Direct attribute read (`dev.temperature` is legal Groovy for
+            // some wrappers).
+            attr if capability::lookup(&slot.capability)
+                .map(|c| c.attribute(attr).is_some())
+                .unwrap_or(false) =>
+            {
+                Sv::Term(Term::Var(VarId::canonical_attr(&slot.device_ref(&self.app), attr)))
+            }
+            _ => Sv::Term(self.fresh_opaque("devProp")),
+        }
+    }
+
+    /// The device that fired the current trigger, as a symbolic value.
+    pub(crate) fn event_prop_device(&self) -> Sv {
+        match &self.current_trigger {
+            Some(Trigger::DeviceEvent { subject, .. }) => match subject {
+                hg_rules::varid::DeviceRef::Unbound { input, capability, kind, .. } => {
+                    Sv::Device(DeviceSlot {
+                        input: input.clone(),
+                        capability: capability.clone(),
+                        kind: *kind,
+                        multiple: false,
+                    })
+                }
+                _ => Sv::Null,
+            },
+            _ => Sv::Null,
+        }
+    }
+
+    fn event_prop(&mut self, name: &str) -> Sv {
+        let trigger = self.current_trigger.clone();
+        match name {
+            "value" | "doubleValue" | "floatValue" | "integerValue" | "numberValue"
+            | "numericValue" | "stringValue" => match &trigger {
+                Some(t) if t.observed_var().is_some() => {
+                    Sv::Term(Term::Var(self.evt_value_var()))
+                }
+                _ => Sv::Term(self.fresh_opaque("evtValue")),
+            },
+            "device" => self.event_prop_device(),
+            "name" => match &trigger {
+                Some(Trigger::DeviceEvent { attribute, .. }) => Sv::sym(attribute.clone()),
+                _ => Sv::Term(self.fresh_opaque("evtName")),
+            },
+            "displayName" | "descriptionText" | "deviceId" | "date" => {
+                Sv::Term(self.fresh_opaque("evtMeta"))
+            }
+            "isStateChange" => Sv::bool(true),
+            _ => Sv::Term(self.fresh_opaque("evtProp")),
+        }
+    }
+
+    fn eval_gstring(
+        &mut self,
+        parts: &[GStrPart],
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        let mut st = st;
+        let mut text = String::new();
+        let mut all_concrete = true;
+        for part in parts {
+            match part {
+                GStrPart::Lit(s) => text.push_str(s),
+                GStrPart::Interp(e) => {
+                    let (s2, v) = self.eval_single(e, st)?;
+                    st = s2;
+                    match v.as_concrete() {
+                        Some(c) => text.push_str(&c.to_string()),
+                        None => all_concrete = false,
+                    }
+                }
+            }
+        }
+        let v = if all_concrete {
+            Sv::sym(text)
+        } else {
+            Sv::Term(self.fresh_opaque("gstr"))
+        };
+        Ok(vec![(st, v)])
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinaryOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        st: St,
+    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+        let mut out = Vec::new();
+        for (st, l) in self.eval(lhs, st)? {
+            for (st, r) in self.eval(rhs, st.clone())? {
+                let v = self.apply_binary(op, &l, &r);
+                out.push((st, v));
+            }
+        }
+        Ok(out)
+    }
+
+    fn apply_binary(&mut self, op: BinaryOp, l: &Sv, r: &Sv) -> Sv {
+        use BinaryOp::*;
+        match op {
+            Eq | Ne | Lt | Le | Gt | Ge => {
+                let cmp = match op {
+                    Eq => CmpOp::Eq,
+                    Ne => CmpOp::Ne,
+                    Lt => CmpOp::Lt,
+                    Le => CmpOp::Le,
+                    Gt => CmpOp::Gt,
+                    Ge => CmpOp::Ge,
+                    _ => unreachable!(),
+                };
+                match (l.as_term(), r.as_term()) {
+                    (Some(a), Some(b)) => Sv::Pred(Formula::cmp(a, cmp, b)),
+                    _ => {
+                        // Comparing non-data values (devices etc.): decide
+                        // what we can, otherwise opaque.
+                        match (l.truthiness(), r, cmp) {
+                            (Some(_), Sv::Null, CmpOp::Eq) => {
+                                Sv::bool(matches!(l, Sv::Null))
+                            }
+                            (Some(_), Sv::Null, CmpOp::Ne) => {
+                                Sv::bool(!matches!(l, Sv::Null))
+                            }
+                            _ => Sv::Pred(Formula::cmp(
+                                self.fresh_opaque("cmp"),
+                                CmpOp::Eq,
+                                Term::sym("true"),
+                            )),
+                        }
+                    }
+                }
+            }
+            And | Or => {
+                let lp = self.to_pred(l);
+                let rp = self.to_pred(r);
+                match (lp, rp) {
+                    (Some(a), Some(b)) => Sv::Pred(match op {
+                        And => Formula::and([a, b]),
+                        _ => Formula::or([a, b]),
+                    }),
+                    _ => Sv::Pred(Formula::cmp(
+                        self.fresh_opaque("bool"),
+                        CmpOp::Eq,
+                        Term::sym("true"),
+                    )),
+                }
+            }
+            Add | Sub | Mul | Div | Rem => match (l.as_term(), r.as_term()) {
+                (Some(a), Some(b)) => {
+                    // String concatenation when both are concrete symbols.
+                    if let (Term::Const(Value::Sym(x)), Term::Const(Value::Sym(y))) = (&a, &b) {
+                        if op == Add {
+                            return Sv::sym(format!("{x}{y}"));
+                        }
+                    }
+                    Sv::Term(match op {
+                        Add => Term::Add(Box::new(a), Box::new(b)),
+                        Sub => Term::Sub(Box::new(a), Box::new(b)),
+                        Mul => Term::Mul(Box::new(a), Box::new(b)),
+                        Div => Term::Div(Box::new(a), Box::new(b)),
+                        Rem => return Sv::Term(self.fresh_opaque("mod")),
+                        _ => unreachable!(),
+                    })
+                }
+                _ => Sv::Term(self.fresh_opaque("arith")),
+            },
+            In => match (l.as_term(), r) {
+                (Some(a), Sv::List(items)) => {
+                    let alts: Vec<Formula> = items
+                        .iter()
+                        .filter_map(Sv::as_term)
+                        .map(|b| Formula::cmp(a.clone(), CmpOp::Eq, b))
+                        .collect();
+                    if alts.is_empty() {
+                        Sv::bool(false)
+                    } else {
+                        Sv::Pred(Formula::or(alts))
+                    }
+                }
+                _ => Sv::Pred(Formula::cmp(
+                    self.fresh_opaque("in"),
+                    CmpOp::Eq,
+                    Term::sym("true"),
+                )),
+            },
+        }
+    }
+
+    pub(crate) fn to_pred(&mut self, v: &Sv) -> Option<Formula> {
+        match v {
+            Sv::Pred(f) => Some(f.clone()),
+            Sv::Concrete(c) => Some(if c.truthy() { Formula::True } else { Formula::False }),
+            Sv::Null => Some(Formula::False),
+            Sv::Term(t) => Some(Formula::cmp(
+                t.clone(),
+                CmpOp::Ne,
+                Term::Const(Value::Null),
+            )),
+            other => other.truthiness().map(|b| if b { Formula::True } else { Formula::False }),
+        }
+    }
+
+    fn eval_pred(
+        &mut self,
+        cond: &Expr,
+        st: St,
+    ) -> Result<Vec<(St, BranchPred)>, ExtractError> {
+        let mut out = Vec::new();
+        for (st, v) in self.eval(cond, st)? {
+            let pred = match v.truthiness() {
+                Some(b) => BranchPred::Known(b),
+                None => match self.to_pred(&v) {
+                    Some(Formula::True) => BranchPred::Known(true),
+                    Some(Formula::False) => BranchPred::Known(false),
+                    Some(f) => BranchPred::Sym(f),
+                    None => BranchPred::Known(true),
+                },
+            };
+            out.push((st, pred));
+        }
+        Ok(out)
+    }
+}
+
+/// Branch predicate classification.
+pub(crate) enum BranchPred {
+    Known(bool),
+    Sym(Formula),
+}
+
+/// Checks the satisfiability of a rule's situation (trigger constraint plus
+/// path condition) with auto-inferred domains; `Unknown` counts as feasible.
+fn path_feasible(rule: &Rule) -> bool {
+    let situation = rule.situation();
+    if situation == Formula::True {
+        return true;
+    }
+    let model = hg_solver::Model::new();
+    !matches!(model.solve(&situation), hg_solver::Outcome::Unsat)
+}
+
+pub(crate) fn decapitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_lowercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+

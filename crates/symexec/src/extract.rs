@@ -1,0 +1,456 @@
+//! Top-level rule extraction API.
+
+use crate::engine::{Engine, ExtractError, ExtractorConfig};
+use crate::inputs::InputDecl;
+use hg_lang::ast::{Expr, ExprKind, Item, Program, StmtKind};
+use hg_lang::parser::parse;
+use hg_rules::rule::Rule;
+
+/// The complete analysis of one SmartApp.
+#[derive(Debug, Clone)]
+pub struct AppAnalysis {
+    /// App name (from `definition(name: ...)`, falling back to the caller-
+    /// supplied name).
+    pub name: String,
+    /// App description from the definition metadata.
+    pub description: String,
+    /// The configuration schema: every `input` declaration.
+    pub inputs: Vec<InputDecl>,
+    /// The extracted trigger-condition-action rules.
+    pub rules: Vec<Rule>,
+    /// Non-fatal analysis notes (unmodeled APIs treated as opaque, ...).
+    pub warnings: Vec<String>,
+    /// Whether the app exposes web-service endpoints (`mappings { ... }`).
+    /// Automation defined *outside* such apps is not extractable by static
+    /// analysis — the paper's endpoint-attack limitation (Table III).
+    pub is_web_service: bool,
+}
+
+impl AppAnalysis {
+    /// Whether any rule controls an actuator (device or mode).
+    pub fn controls_devices(&self) -> bool {
+        self.rules.iter().any(|r| r.actuations().next().is_some())
+    }
+}
+
+/// Extracts the automation rules of a SmartApp from source.
+///
+/// `fallback_name` is used when the app has no `definition(name:)` metadata;
+/// rule identities are derived from the app name.
+///
+/// # Errors
+///
+/// Returns [`ExtractError::Parse`] for malformed source and
+/// [`ExtractError::Unsupported`] for constructs outside the configured
+/// model (e.g. non-standard device types without
+/// [`ExtractorConfig::extended`]).
+///
+/// # Examples
+///
+/// ```
+/// use hg_symexec::{extract, ExtractorConfig};
+///
+/// let analysis = extract(r#"
+///     definition(name: "MiniApp", description: "turn on a light on motion")
+///     input "motion1", "capability.motionSensor"
+///     input "lamp", "capability.switch", title: "which lamp?"
+///     def installed() { subscribe(motion1, "motion.active", onMotion) }
+///     def onMotion(evt) { lamp.on() }
+/// "#, "MiniApp", &ExtractorConfig::default()).unwrap();
+/// assert_eq!(analysis.rules.len(), 1);
+/// assert_eq!(analysis.rules[0].actions[0].command, "on");
+/// ```
+pub fn extract(
+    source: &str,
+    fallback_name: &str,
+    config: &ExtractorConfig,
+) -> Result<AppAnalysis, ExtractError> {
+    let program = parse(source)?;
+    extract_program(&program, fallback_name, config)
+}
+
+/// Extracts from an already-parsed program.
+pub fn extract_program(
+    program: &Program,
+    fallback_name: &str,
+    config: &ExtractorConfig,
+) -> Result<AppAnalysis, ExtractError> {
+    let meta = definition_metadata(program);
+    let name = meta.name.unwrap_or_else(|| fallback_name.to_string());
+
+    let mut engine = Engine::new(program, &name, config);
+    engine.check_inputs()?;
+    let registrations = engine.collect_registrations()?;
+    let mut rules = Vec::new();
+    for reg in &registrations {
+        engine.trace(&reg, &mut rules)?;
+    }
+    let inputs = engine.inputs.values().cloned().collect();
+    Ok(AppAnalysis {
+        name,
+        description: meta.description.unwrap_or_default(),
+        inputs,
+        rules,
+        warnings: engine.warnings,
+        is_web_service: has_mappings(program),
+    })
+}
+
+struct DefinitionMeta {
+    name: Option<String>,
+    description: Option<String>,
+}
+
+fn definition_metadata(program: &Program) -> DefinitionMeta {
+    let mut meta = DefinitionMeta { name: None, description: None };
+    for item in &program.items {
+        let Item::Stmt(stmt) = item else { continue };
+        let StmtKind::Expr(e) = &stmt.kind else { continue };
+        let ExprKind::Call { recv: None, name, args, .. } = &e.kind else { continue };
+        if name != "definition" {
+            continue;
+        }
+        for arg in args {
+            match arg.name.as_deref() {
+                Some("name") => meta.name = string_value(&arg.value),
+                Some("description") => meta.description = string_value(&arg.value),
+                _ => {}
+            }
+        }
+    }
+    meta
+}
+
+fn string_value(e: &Expr) -> Option<String> {
+    e.as_str().map(str::to_string)
+}
+
+fn has_mappings(program: &Program) -> bool {
+    program.top_level_stmts().any(|stmt| {
+        matches!(
+            &stmt.kind,
+            StmtKind::Expr(Expr { kind: ExprKind::Call { recv: None, name, .. }, .. })
+                if name == "mappings"
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_rules::constraint::Formula;
+    use hg_rules::rule::{ActionSubject, Trigger};
+    use hg_rules::value::Value;
+    use hg_rules::varid::{DeviceRef, VarId};
+
+    const COMFORT_TV: &str = r#"
+definition(name: "ComfortTV", description: "Open the window when watching TV in a hot room")
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch", title: "window opener switch"
+
+def installed() {
+    subscribe(tv1, "switch", onHandler)
+}
+def updated() {
+    unsubscribe()
+    subscribe(tv1, "switch", onHandler)
+}
+def onHandler(evt) {
+    def t = tSensor.currentValue("temperature")
+    if ((evt.value == "on") && (t > threshold1)) turnOnWindow()
+}
+def turnOnWindow() {
+    if (window1.currentSwitch == "off")
+        window1.on()
+}
+"#;
+
+    #[test]
+    fn comfort_tv_extracts_table_ii_rule() {
+        let analysis =
+            extract(COMFORT_TV, "ComfortTV", &ExtractorConfig::default()).unwrap();
+        assert_eq!(analysis.name, "ComfortTV");
+        assert_eq!(analysis.rules.len(), 1, "rules: {:#?}", analysis.rules);
+        let rule = &analysis.rules[0];
+
+        // Trigger: tv1.switch == on (the evt.value comparison hoisted).
+        let Trigger::DeviceEvent { subject, attribute, constraint } = &rule.trigger else {
+            panic!("wrong trigger {:?}", rule.trigger);
+        };
+        assert_eq!(attribute, "switch");
+        let DeviceRef::Unbound { input, .. } = subject else { panic!() };
+        assert_eq!(input, "tv1");
+        let c = constraint.as_ref().expect("trigger constraint");
+        let c_str = c.to_string();
+        assert!(c_str.contains("switch == on"), "{c_str}");
+
+        // Condition: t > threshold1 && window1.switch == off.
+        let p = rule.condition.predicate.to_string();
+        assert!(p.contains("env.temperature"), "{p}");
+        assert!(p.contains("user:ComfortTV/threshold1"), "{p}");
+        assert!(p.contains("switch == off"), "{p}");
+
+        // Action: window1.on().
+        assert_eq!(rule.actions.len(), 1);
+        assert_eq!(rule.actions[0].command, "on");
+        let ActionSubject::Device(DeviceRef::Unbound { input, .. }) =
+            &rule.actions[0].subject
+        else {
+            panic!()
+        };
+        assert_eq!(input, "window1");
+        assert_eq!(rule.actions[0].when_secs, 0);
+        assert_eq!(rule.actions[0].period_secs, 0);
+
+        // Data constraint recorded (Table II: t = tSensor.temperature).
+        assert!(rule
+            .condition
+            .data_constraints
+            .iter()
+            .any(|d| d.name == "t"));
+    }
+
+    #[test]
+    fn subscription_value_form() {
+        let src = r#"
+input "door", "capability.contactSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(door, "contact.open", opened) }
+def opened(evt) { lamp.on() }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        let Trigger::DeviceEvent { constraint, .. } = &a.rules[0].trigger else { panic!() };
+        assert!(constraint.as_ref().unwrap().to_string().contains("contact == open"));
+    }
+
+    #[test]
+    fn branches_produce_separate_rules() {
+        let src = r#"
+input "s", "capability.switch", title: "switch"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(s, "switch", h) }
+def h(evt) {
+    if (evt.value == "on") { lamp.on() } else { lamp.off() }
+}
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 2);
+        let cmds: Vec<_> = a.rules.iter().map(|r| r.actions[0].command.as_str()).collect();
+        assert!(cmds.contains(&"on"));
+        assert!(cmds.contains(&"off"));
+    }
+
+    #[test]
+    fn run_in_attaches_delay() {
+        let src = r#"
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.inactive", h) }
+def h(evt) { runIn(300, turnOff) }
+def turnOff() { lamp.off() }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        assert_eq!(a.rules[0].actions[0].when_secs, 300);
+    }
+
+    #[test]
+    fn periodic_schedule_creates_trigger() {
+        let src = r#"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { runEvery5Minutes(check) }
+def check() { lamp.off() }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        assert_eq!(a.rules[0].trigger, Trigger::Periodic { period_secs: 300 });
+    }
+
+    #[test]
+    fn mode_change_trigger_and_set_mode_action() {
+        let src = r#"
+input "s", "capability.switch", title: "switch"
+def installed() { subscribe(s, "switch.on", h) }
+def h(evt) { setLocationMode("Away") }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        let act = &a.rules[0].actions[0];
+        assert_eq!(act.subject, ActionSubject::LocationMode);
+        assert_eq!(
+            act.params[0],
+            hg_rules::constraint::Term::Const(Value::Sym("Away".into()))
+        );
+    }
+
+    #[test]
+    fn mode_subscription() {
+        let src = r#"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) { if (location.mode == "Night") { lamp.off() } }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        let Trigger::ModeChange { .. } = &a.rules[0].trigger else { panic!() };
+        // `location.mode` is a state read, not an event-value comparison, so
+        // the atom stays in the condition (only `evt.value` hoists).
+        assert!(a.rules[0].condition.predicate.variables().contains(&VarId::Mode));
+    }
+
+    #[test]
+    fn multiple_devices_input_fans_out_actions() {
+        let src = r#"
+input "m", "capability.motionSensor"
+input "lights", "capability.switch", title: "lights", multiple: true
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lights.on() }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        assert_eq!(a.rules[0].actions.len(), 1);
+        assert_eq!(a.rules[0].actions[0].command, "on");
+    }
+
+    #[test]
+    fn each_closure_over_devices() {
+        let src = r#"
+input "m", "capability.motionSensor"
+input "lights", "capability.switch", title: "lights", multiple: true
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lights.each { it.on() } }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        assert!(a.rules[0].actions.iter().all(|x| x.command == "on"));
+    }
+
+    #[test]
+    fn nonstandard_device_rejected_then_accepted() {
+        let src = r#"
+definition(name: "Feed My Pet")
+input "feeder", "device.petfeedershield"
+input "btn", "capability.momentary"
+def installed() { subscribe(btn, "momentary", h) }
+def h(evt) { feeder.feed() }
+"#;
+        let err = extract(src, "FeedMyPet", &ExtractorConfig::default()).unwrap_err();
+        assert!(matches!(err, ExtractError::Unsupported(_)));
+        let ok = extract(src, "FeedMyPet", &ExtractorConfig::extended());
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn undocumented_api_rejected_then_modeled() {
+        let src = r#"
+definition(name: "Camera Power Scheduler")
+input "cams", "capability.switch", title: "camera outlets", multiple: true
+def installed() { runDaily("18:30", powerOn) }
+def powerOn() { cams.on() }
+"#;
+        let err = extract(src, "CPS", &ExtractorConfig::default()).unwrap_err();
+        assert!(matches!(err, ExtractError::Unsupported(_)));
+        let a = extract(src, "CPS", &ExtractorConfig::extended()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        let Trigger::TimeOfDay { at_minutes, .. } = &a.rules[0].trigger else { panic!() };
+        assert_eq!(*at_minutes, Some(18 * 60 + 30));
+    }
+
+    #[test]
+    fn web_service_app_flagged() {
+        let src = r#"
+definition(name: "Endpoint")
+input "lock1", "capability.lock", title: "door lock"
+mappings {
+    path("/lock") {
+        action: [GET: "lockHandler"]
+    }
+}
+def installed() { }
+def lockHandler() { lock1.unlock() }
+"#;
+        let a = extract(src, "Endpoint", &ExtractorConfig::default()).unwrap();
+        assert!(a.is_web_service);
+        // No subscriptions → no rules from static automation.
+        assert!(a.rules.is_empty());
+    }
+
+    #[test]
+    fn switch_statement_rules() {
+        let src = r#"
+input "s", "capability.switch", title: "switch"
+input "sir", "capability.alarm", title: "siren"
+def installed() { subscribe(s, "switch", h) }
+def h(evt) {
+    switch (evt.value) {
+        case "on":
+            sir.siren()
+            break
+        case "off":
+            sir.off()
+            break
+    }
+}
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 2);
+    }
+
+    #[test]
+    fn sms_sink_records_message_action() {
+        let src = r#"
+input "door", "capability.contactSensor"
+input "phone1", "phone"
+def installed() { subscribe(door, "contact.open", h) }
+def h(evt) { sendSms(phone1, "door opened") }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        assert!(matches!(
+            a.rules[0].actions[0].subject,
+            ActionSubject::Message { .. }
+        ));
+        assert!(!a.rules[0].actions[0].is_actuation());
+    }
+
+    #[test]
+    fn state_reads_become_variables() {
+        let src = r#"
+input "s", "capability.switch", title: "switch"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(s, "switch.on", h) }
+def h(evt) {
+    if (state.armed == "yes") { lamp.on() }
+}
+"#;
+        let a = extract(src, "StApp", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.rules.len(), 1);
+        let vars = a.rules[0].condition.predicate.variables();
+        assert!(vars
+            .iter()
+            .any(|v| matches!(v, VarId::State { name, .. } if name == "armed")));
+    }
+
+    #[test]
+    fn definition_metadata_parsed() {
+        let a = extract(COMFORT_TV, "fallback", &ExtractorConfig::default()).unwrap();
+        assert_eq!(a.name, "ComfortTV");
+        assert!(a.description.contains("window"));
+        assert_eq!(a.inputs.len(), 4);
+    }
+
+    #[test]
+    fn no_rules_for_pure_notifier_condition_free() {
+        // Apps that only notify still yield rules, but none are actuations.
+        let src = r#"
+input "door", "capability.contactSensor"
+def installed() { subscribe(door, "contact", h) }
+def h(evt) { sendPush("door!") }
+"#;
+        let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
+        assert!(!a.controls_devices());
+    }
+}

@@ -1,0 +1,277 @@
+//! Parsing of `input` declarations and `preferences` blocks.
+//!
+//! Inputs are the symbolic sources of a SmartApp (paper §V-B "Symbolic
+//! inputs"): device references and user-provided values. They also define
+//! the configuration schema the configuration collector (`hg-config`)
+//! gathers at install time.
+
+use crate::sv::DeviceSlot;
+use hg_capability::capability;
+use hg_capability::device_kind::DeviceKind;
+use hg_lang::ast::{Arg, Expr, ExprKind, Item, Program, Stmt, StmtKind};
+
+/// The declared type of an input.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputType {
+    /// `capability.*` — a device reference.
+    Capability(String),
+    /// `device.*` — a non-standard device type (paper §VIII-B found three
+    /// store apps using these; handled when the extended catalogue is on).
+    NonStandardDevice(String),
+    /// `number` — integer user value.
+    Number,
+    /// `decimal` — decimal user value.
+    Decimal,
+    /// `enum` — selection from options.
+    Enum(Vec<String>),
+    /// `text` / `string`.
+    Text,
+    /// `time` — a time of day.
+    Time,
+    /// `phone` — a phone number.
+    Phone,
+    /// `contact` — a contact book entry.
+    Contact,
+    /// `mode` — a location mode.
+    Mode,
+    /// `bool` — a boolean flag.
+    Bool,
+    /// `hub`, `icon`, or other platform types we carry through opaquely.
+    Other(String),
+}
+
+/// One parsed `input` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputDecl {
+    /// Variable name the value is bound to.
+    pub name: String,
+    /// Declared type.
+    pub input_type: InputType,
+    /// The `title:` text, if present (used for device-kind classification).
+    pub title: Option<String>,
+    /// Whether the input is required (default true on SmartThings).
+    pub required: bool,
+    /// Whether multiple devices may be selected.
+    pub multiple: bool,
+}
+
+impl InputDecl {
+    /// The device slot for capability inputs.
+    pub fn device_slot(&self) -> Option<DeviceSlot> {
+        let capability = match &self.input_type {
+            InputType::Capability(c) => c.clone(),
+            InputType::NonStandardDevice(d) => d.clone(),
+            _ => return None,
+        };
+        let hint = format!(
+            "{} {}",
+            self.title.as_deref().unwrap_or(""),
+            self.name
+        );
+        let mut kind = DeviceKind::classify(&hint);
+        // Capability names that pin the kind regardless of description.
+        kind = match capability.as_str() {
+            "lock" => DeviceKind::Lock,
+            "valve" => DeviceKind::Valve,
+            "alarm" => DeviceKind::Siren,
+            "doorControl" | "garageDoorControl" => DeviceKind::DoorOpener,
+            "windowShade" => DeviceKind::Curtain,
+            "colorControl" | "colorTemperature" | "switchLevel" => DeviceKind::Light,
+            "musicPlayer" | "speechSynthesis" => DeviceKind::Speaker,
+            "imageCapture" => DeviceKind::Camera,
+            _ => kind,
+        };
+        Some(DeviceSlot { input: self.name.clone(), capability, kind, multiple: self.multiple })
+    }
+}
+
+/// Collects every input declaration in a program: bare top-level `input`
+/// statements and those nested in `preferences { section(..) { ... } }` or
+/// `preferences { page(..) { section(..) { ... } } }` blocks.
+pub fn collect_inputs(program: &Program) -> Vec<InputDecl> {
+    let mut out = Vec::new();
+    for item in &program.items {
+        if let Item::Stmt(stmt) = item {
+            collect_from_stmt(stmt, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_from_stmt(stmt: &Stmt, out: &mut Vec<InputDecl>) {
+    if let StmtKind::Expr(e) = &stmt.kind {
+        collect_from_expr(e, out);
+    }
+}
+
+fn collect_from_expr(expr: &Expr, out: &mut Vec<InputDecl>) {
+    if let ExprKind::Call { recv: None, name, args, closure, .. } = &expr.kind {
+        match name.as_str() {
+            "input" => {
+                if let Some(decl) = parse_input(args) {
+                    out.push(decl);
+                }
+            }
+            "preferences" | "section" | "page" | "dynamicPage" | "paragraph" => {
+                if let Some(c) = closure {
+                    for stmt in &c.body.stmts {
+                        collect_from_stmt(stmt, out);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn parse_input(args: &[Arg]) -> Option<InputDecl> {
+    let mut positional = args.iter().filter(|a| a.name.is_none());
+    let name = str_of(&positional.next()?.value)?;
+    let type_text = positional.next().and_then(|a| str_of(&a.value)).unwrap_or_default();
+
+    let named = |key: &str| args.iter().find(|a| a.name.as_deref() == Some(key));
+    let title = named("title").and_then(|a| str_of(&a.value));
+    let required = match named("required").map(|a| &a.value.kind) {
+        Some(ExprKind::Bool(b)) => *b,
+        _ => true,
+    };
+    let multiple = matches!(
+        named("multiple").map(|a| &a.value.kind),
+        Some(ExprKind::Bool(true))
+    );
+
+    let input_type = if let Some(cap) = type_text.strip_prefix("capability.") {
+        if capability::lookup(cap).is_some() {
+            InputType::Capability(cap.to_string())
+        } else {
+            InputType::NonStandardDevice(cap.to_string())
+        }
+    } else if let Some(dev) = type_text.strip_prefix("device.") {
+        InputType::NonStandardDevice(dev.to_string())
+    } else {
+        match type_text.as_str() {
+            "number" => InputType::Number,
+            "decimal" => InputType::Decimal,
+            "text" | "string" => InputType::Text,
+            "time" => InputType::Time,
+            "phone" => InputType::Phone,
+            "contact" => InputType::Contact,
+            "mode" => InputType::Mode,
+            "bool" | "boolean" => InputType::Bool,
+            "enum" => {
+                let options = named("options")
+                    .map(|a| enum_options(&a.value))
+                    .unwrap_or_default();
+                InputType::Enum(options)
+            }
+            other => InputType::Other(other.to_string()),
+        }
+    };
+    Some(InputDecl { name, input_type, title, required, multiple })
+}
+
+fn enum_options(e: &Expr) -> Vec<String> {
+    match &e.kind {
+        ExprKind::ListLit(items) => items.iter().filter_map(str_of).collect(),
+        _ => Vec::new(),
+    }
+}
+
+fn str_of(e: &Expr) -> Option<String> {
+    e.as_str().map(str::to_string)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_lang::parser::parse;
+
+    #[test]
+    fn bare_inputs_listing1() {
+        let p = parse(
+            r#"
+input "tv1", "capability.switch", title: "Which TV?"
+input "tSensor", "capability.temperatureMeasurement"
+input "threshold1", "number", title: "Higher than?"
+input "window1", "capability.switch", title: "window opener"
+"#,
+        )
+        .unwrap();
+        let inputs = collect_inputs(&p);
+        assert_eq!(inputs.len(), 4);
+        assert_eq!(inputs[0].input_type, InputType::Capability("switch".into()));
+        assert_eq!(inputs[2].input_type, InputType::Number);
+        let tv = inputs[0].device_slot().unwrap();
+        assert_eq!(tv.kind, DeviceKind::Tv);
+        let window = inputs[3].device_slot().unwrap();
+        assert_eq!(window.kind, DeviceKind::WindowOpener);
+        assert!(inputs[1].device_slot().is_some());
+        assert!(inputs[2].device_slot().is_none());
+    }
+
+    #[test]
+    fn preferences_nesting() {
+        let p = parse(
+            r#"
+preferences {
+    section("Devices") {
+        input "lights", "capability.switch", title: "Which lights?", multiple: true
+    }
+    section("Settings") {
+        input "delay", "number", title: "Minutes?", required: false
+    }
+}
+"#,
+        )
+        .unwrap();
+        let inputs = collect_inputs(&p);
+        assert_eq!(inputs.len(), 2);
+        assert!(inputs[0].multiple);
+        assert!(!inputs[1].required);
+        assert_eq!(inputs[0].device_slot().unwrap().kind, DeviceKind::Light);
+    }
+
+    #[test]
+    fn nonstandard_device_type() {
+        let p = parse(r#"input "feeder", "device.petfeedershield""#).unwrap();
+        let inputs = collect_inputs(&p);
+        assert_eq!(
+            inputs[0].input_type,
+            InputType::NonStandardDevice("petfeedershield".into())
+        );
+        // Unknown capability names are non-standard too.
+        let p2 = parse(r#"input "x", "capability.jawboneUser""#).unwrap();
+        let inputs2 = collect_inputs(&p2);
+        assert_eq!(
+            inputs2[0].input_type,
+            InputType::NonStandardDevice("jawboneUser".into())
+        );
+    }
+
+    #[test]
+    fn enum_and_misc_types() {
+        let p = parse(
+            r#"
+input "level", "enum", options: ["low", "high"]
+input "when", "time"
+input "phone1", "phone"
+input "armed", "bool"
+input "homeMode", "mode"
+"#,
+        )
+        .unwrap();
+        let inputs = collect_inputs(&p);
+        assert_eq!(inputs[0].input_type, InputType::Enum(vec!["low".into(), "high".into()]));
+        assert_eq!(inputs[1].input_type, InputType::Time);
+        assert_eq!(inputs[2].input_type, InputType::Phone);
+        assert_eq!(inputs[3].input_type, InputType::Bool);
+        assert_eq!(inputs[4].input_type, InputType::Mode);
+    }
+
+    #[test]
+    fn capability_pins_kind() {
+        let p = parse(r#"input "frontDoor", "capability.lock", title: "door""#).unwrap();
+        let inputs = collect_inputs(&p);
+        assert_eq!(inputs[0].device_slot().unwrap().kind, DeviceKind::Lock);
+    }
+}

@@ -1,0 +1,33 @@
+//! # hg-symexec — symbolic execution of SmartApps
+//!
+//! This crate implements the paper's rule extractor (§V): a symbolic
+//! executor over the Groovy-subset AST from `hg-lang` that explores every
+//! execution path from the lifecycle entry points to sensitive sinks and
+//! assembles each path into a trigger-condition-action
+//! [`Rule`](hg_rules::Rule).
+//!
+//! Highlights matching the paper:
+//!
+//! * **Symbolic inputs** — device references, user inputs, device attribute
+//!   reads, `state`, HTTP responses and unmodeled API returns are sources.
+//! * **API modeling** — the 10 scheduling APIs attach `when`/`period` to
+//!   downstream commands; messaging/HTTP/location-mode APIs are sinks
+//!   (Table VI); `runDaily`-style undocumented APIs are behind
+//!   [`ExtractorConfig::extended`], reproducing the §VIII-B fix.
+//! * **Trigger constraint hoisting** — comparisons on the subscribed event
+//!   value become part of the trigger, everything else forms the condition.
+//!
+//! Entry point: [`extract`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod calls;
+pub mod engine;
+pub mod extract;
+pub mod inputs;
+pub mod sv;
+
+pub use engine::{ExtractError, ExtractorConfig};
+pub use extract::{extract, extract_program, AppAnalysis};
+pub use inputs::{InputDecl, InputType};

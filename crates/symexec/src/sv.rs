@@ -1,0 +1,184 @@
+//! Symbolic values manipulated during SmartApp execution.
+
+use hg_capability::device_kind::DeviceKind;
+use hg_rules::constraint::Term;
+use hg_rules::value::Value;
+use hg_rules::varid::DeviceRef;
+use std::collections::BTreeMap;
+
+/// A device slot: an `input` the app declared with a `capability.*` type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSlot {
+    /// The input variable name (`tv1`).
+    pub input: String,
+    /// The requested capability, short form (`switch`).
+    pub capability: String,
+    /// Device kind classified from the input title/description.
+    pub kind: DeviceKind,
+    /// Whether the input allows multiple devices.
+    pub multiple: bool,
+}
+
+impl DeviceSlot {
+    /// The unbound [`DeviceRef`] for this slot within `app`.
+    pub fn device_ref(&self, app: &str) -> DeviceRef {
+        DeviceRef::Unbound {
+            app: app.to_string(),
+            input: self.input.clone(),
+            capability: self.capability.clone(),
+            kind: self.kind,
+        }
+    }
+}
+
+/// A symbolic value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Sv {
+    /// A known concrete value.
+    Concrete(Value),
+    /// A symbolic expression over constraint variables.
+    Term(Term),
+    /// A boolean-valued predicate (the result of a comparison or logical
+    /// expression), ready to become a path constraint when branched on.
+    Pred(hg_rules::constraint::Formula),
+    /// A single device reference.
+    Device(DeviceSlot),
+    /// A list of devices (a `multiple: true` input, or a literal list of
+    /// device-typed values).
+    Devices(Vec<DeviceSlot>),
+    /// The event object passed to a handler.
+    Event,
+    /// The `location` object.
+    Location,
+    /// The `state` / `atomicState` object.
+    StateObj,
+    /// The `app` object.
+    AppObj,
+    /// A Groovy list.
+    List(Vec<Sv>),
+    /// A Groovy map.
+    Map(BTreeMap<String, Sv>),
+    /// `null` / undefined.
+    Null,
+}
+
+impl Sv {
+    /// A concrete number (already scaled).
+    pub fn num(n: i64) -> Sv {
+        Sv::Concrete(Value::Num(n))
+    }
+
+    /// A concrete symbol/string.
+    pub fn sym(s: impl Into<String>) -> Sv {
+        Sv::Concrete(Value::Sym(s.into()))
+    }
+
+    /// A concrete boolean.
+    pub fn bool(b: bool) -> Sv {
+        Sv::Concrete(Value::Bool(b))
+    }
+
+    /// Converts to a constraint [`Term`] when the value is data-like.
+    ///
+    /// Devices, objects and collections have no term form.
+    pub fn as_term(&self) -> Option<Term> {
+        match self {
+            Sv::Concrete(v) => Some(Term::Const(v.clone())),
+            Sv::Term(t) => Some(t.clone()),
+            Sv::Null => Some(Term::Const(Value::Null)),
+            _ => None,
+        }
+    }
+
+    /// The concrete value, if known.
+    pub fn as_concrete(&self) -> Option<&Value> {
+        match self {
+            Sv::Concrete(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a concrete symbol.
+    pub fn as_sym(&self) -> Option<&str> {
+        self.as_concrete().and_then(Value::as_sym)
+    }
+
+    /// The device slots this value denotes, if any.
+    pub fn devices(&self) -> Option<Vec<DeviceSlot>> {
+        match self {
+            Sv::Device(d) => Some(vec![d.clone()]),
+            Sv::Devices(ds) => Some(ds.clone()),
+            Sv::List(items) => {
+                let mut out = Vec::new();
+                for item in items {
+                    out.extend(item.devices()?);
+                }
+                Some(out)
+            }
+            _ => None,
+        }
+    }
+
+    /// Concrete truthiness, when statically decidable.
+    pub fn truthiness(&self) -> Option<bool> {
+        match self {
+            Sv::Concrete(v) => Some(v.truthy()),
+            Sv::Null => Some(false),
+            Sv::Device(_) | Sv::Devices(_) | Sv::Event | Sv::Location | Sv::StateObj
+            | Sv::AppObj => Some(true),
+            Sv::List(items) => Some(!items.is_empty()),
+            Sv::Map(entries) => Some(!entries.is_empty()),
+            Sv::Term(_) => None,
+            Sv::Pred(f) => match f {
+                hg_rules::constraint::Formula::True => Some(true),
+                hg_rules::constraint::Formula::False => Some(false),
+                _ => None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(name: &str) -> DeviceSlot {
+        DeviceSlot {
+            input: name.into(),
+            capability: "switch".into(),
+            kind: DeviceKind::Light,
+            multiple: false,
+        }
+    }
+
+    #[test]
+    fn term_conversion() {
+        assert_eq!(Sv::num(5).as_term(), Some(Term::num(5)));
+        assert_eq!(Sv::Null.as_term(), Some(Term::Const(Value::Null)));
+        assert_eq!(Sv::Device(slot("a")).as_term(), None);
+    }
+
+    #[test]
+    fn device_collection() {
+        let d = Sv::Device(slot("a"));
+        assert_eq!(d.devices().unwrap().len(), 1);
+        let l = Sv::List(vec![Sv::Device(slot("a")), Sv::Devices(vec![slot("b"), slot("c")])]);
+        assert_eq!(l.devices().unwrap().len(), 3);
+        assert_eq!(Sv::num(1).devices(), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert_eq!(Sv::bool(false).truthiness(), Some(false));
+        assert_eq!(Sv::Null.truthiness(), Some(false));
+        assert_eq!(Sv::Device(slot("a")).truthiness(), Some(true));
+        assert_eq!(Sv::List(vec![]).truthiness(), Some(false));
+        assert_eq!(Sv::Term(Term::num(1)).truthiness(), None);
+    }
+
+    #[test]
+    fn device_ref_is_unbound() {
+        let r = slot("lamp").device_ref("MyApp");
+        assert!(matches!(r, DeviceRef::Unbound { ref app, .. } if app == "MyApp"));
+    }
+}

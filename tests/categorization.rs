@@ -1,0 +1,243 @@
+//! E9 — Table I categorization: one end-to-end test per threat category,
+//! each built as a minimal rule pair matching the table's pattern exactly,
+//! plus a negative control per category.
+
+use hg_detector::{Detector, ThreatKind};
+use homeguard_integration_tests::rules_of;
+
+fn detect(a: &str, an: &str, b: &str, bn: &str) -> Vec<ThreatKind> {
+    let ra = rules_of(a, an);
+    let rb = rules_of(b, bn);
+    let det = Detector::store_wide();
+    let mut kinds = Vec::new();
+    for x in &ra {
+        for y in &rb {
+            let (t, _) = det.detect_pair(x, y);
+            kinds.extend(t.iter().map(|t| t.kind));
+        }
+    }
+    kinds.sort_unstable();
+    kinds.dedup();
+    kinds
+}
+
+#[test]
+fn table1_actuator_race() {
+    // T1 = T2, C1 ∩ C2 ≠ ∅, A1 = ¬A2.
+    let kinds = detect(
+        r#"
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { w.on() }
+"#,
+        "RaceA",
+        r#"
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { w.off() }
+"#,
+        "RaceB",
+    );
+    assert!(kinds.contains(&ThreatKind::ActuatorRace), "{kinds:?}");
+}
+
+#[test]
+fn table1_goal_conflict() {
+    // Different actuators, contradictory goals: G(A1) = ¬G(A2).
+    let kinds = detect(
+        r#"
+input "p", "capability.presenceSensor"
+input "heater", "capability.switch", title: "space heater"
+def installed() { subscribe(p, "presence.present", h) }
+def h(evt) { heater.on() }
+"#,
+        "GoalA",
+        r#"
+input "l", "capability.illuminanceMeasurement"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(l, "illuminance", h) }
+def h(evt) { if (evt.value < 10) { w.on() } }
+"#,
+        "GoalB",
+    );
+    assert!(kinds.contains(&ThreatKind::GoalConflict), "{kinds:?}");
+}
+
+#[test]
+fn table1_covert_triggering() {
+    // A1 ↦ T2, C1 ∩ C2 ≠ ∅.
+    let kinds = detect(
+        r#"
+input "p", "capability.presenceSensor"
+input "tv", "capability.switch", title: "the TV"
+def installed() { subscribe(p, "presence.present", h) }
+def h(evt) { tv.on() }
+"#,
+        "CovertA",
+        r#"
+input "tv", "capability.switch", title: "the TV"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(tv, "switch.on", h) }
+def h(evt) { w.on() }
+"#,
+        "CovertB",
+    );
+    assert!(kinds.contains(&ThreatKind::CovertTriggering), "{kinds:?}");
+}
+
+#[test]
+fn table1_self_disabling() {
+    // A1 ↦ T2, C1 ∩ C2 ≠ ∅, A2 = ¬A1.
+    let kinds = detect(
+        r#"
+input "m", "capability.motionSensor"
+input "ac", "capability.switch", title: "air conditioner"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { ac.on() }
+"#,
+        "SelfA",
+        r#"
+input "meter", "capability.powerMeter"
+input "ac", "capability.switch", title: "air conditioner"
+def installed() { subscribe(meter, "power", h) }
+def h(evt) { if (evt.value > 3000) { ac.off() } }
+"#,
+        "SelfB",
+    );
+    assert!(kinds.contains(&ThreatKind::SelfDisabling), "{kinds:?}");
+}
+
+#[test]
+fn table1_loop_triggering() {
+    // A1 ↦ T2, A2 ↦ T1, C1 ∩ C2 ≠ ∅, A1 = ¬A2.
+    let kinds = detect(
+        r#"
+input "l", "capability.illuminanceMeasurement"
+input "lamp", "capability.switch", title: "lights"
+def installed() { subscribe(l, "illuminance", h) }
+def h(evt) { if (evt.value < 30) { lamp.on() } }
+"#,
+        "LoopA",
+        r#"
+input "l", "capability.illuminanceMeasurement"
+input "lamp", "capability.switch", title: "lights"
+def installed() { subscribe(l, "illuminance", h) }
+def h(evt) { if (evt.value > 50) { lamp.off() } }
+"#,
+        "LoopB",
+    );
+    assert!(kinds.contains(&ThreatKind::LoopTriggering), "{kinds:?}");
+}
+
+#[test]
+fn table1_enabling_condition() {
+    // A1 ⇒ C2.
+    let kinds = detect(
+        r#"
+input "p", "capability.presenceSensor"
+input "door", "capability.lock", title: "front door"
+def installed() { subscribe(p, "presence.not present", h) }
+def h(evt) { door.lock() }
+"#,
+        "EnableA",
+        r#"
+input "m", "capability.motionSensor"
+input "door", "capability.lock", title: "front door"
+input "cam", "capability.switch", title: "camera outlet"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { if (door.currentLock == "locked") { cam.on() } }
+"#,
+        "EnableB",
+    );
+    assert!(kinds.contains(&ThreatKind::EnablingCondition), "{kinds:?}");
+}
+
+#[test]
+fn table1_disabling_condition() {
+    // A1 ⇏ C2 (falsifies a subset of C2's constraints).
+    let kinds = detect(
+        r#"
+input "lamp", "capability.switch", title: "floor lamp"
+def installed() { subscribe(lamp, "switch.on", h) }
+def h(evt) { runIn(300, off) }
+def off() { lamp.off() }
+"#,
+        "DisableA",
+        r#"
+input "lamp", "capability.switch", title: "floor lamp"
+input "m", "capability.motionSensor"
+input "siren", "capability.alarm"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { if (lamp.currentSwitch == "on") { siren.siren() } }
+"#,
+        "DisableB",
+    );
+    assert!(kinds.contains(&ThreatKind::DisablingCondition), "{kinds:?}");
+}
+
+#[test]
+fn negative_controls_produce_no_threats() {
+    // Disjoint devices, no shared environment channel, no overlap.
+    let kinds = detect(
+        r#"
+input "d", "capability.contactSensor", title: "mailbox"
+input "phone1", "phone"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { sendSms(phone1, "mail") }
+"#,
+        "NegA",
+        r#"
+input "leak", "capability.waterSensor"
+input "phone1", "phone"
+def installed() { subscribe(leak, "water.wet", h) }
+def h(evt) { sendSms(phone1, "leak") }
+"#,
+        "NegB",
+    );
+    assert!(kinds.is_empty(), "{kinds:?}");
+}
+
+#[test]
+fn same_command_same_actuator_is_not_a_race() {
+    let kinds = detect(
+        r#"
+input "d", "capability.contactSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { lamp.on() }
+"#,
+        "SameA",
+        r#"
+input "d", "capability.contactSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { lamp.on() }
+"#,
+        "SameB",
+    );
+    assert!(!kinds.contains(&ThreatKind::ActuatorRace), "{kinds:?}");
+}
+
+#[test]
+fn non_overlapping_conditions_suppress_race() {
+    // Contradictory commands, but mutually exclusive modes: no overlap.
+    let kinds = detect(
+        r#"
+input "d", "capability.contactSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { if (location.mode == "Home") { lamp.on() } }
+"#,
+        "ExclA",
+        r#"
+input "d", "capability.contactSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { if (location.mode == "Away") { lamp.off() } }
+"#,
+        "ExclB",
+    );
+    assert!(!kinds.contains(&ThreatKind::ActuatorRace), "{kinds:?}");
+}

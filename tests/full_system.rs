@@ -1,0 +1,175 @@
+//! End-to-end system tests: the full HomeGuard pipeline from Groovy source
+//! through instrumentation, configuration collection, installation-time
+//! detection, frontend rendering and dynamic verification in the simulator.
+
+use hg_config::{instrument, ConfigInfo, Transport};
+use hg_detector::ThreatKind;
+use hg_rules::value::Value;
+use hg_sim::{Device, Home};
+use homeguard_core::{frontend, HomeGuard};
+use homeguard_integration_tests::rules_of;
+
+#[test]
+fn install_flow_with_collected_configuration() {
+    // Full §VII pipeline: instrument → URI → record → detect.
+    let comfort = hg_corpus::benign_app("ComfortTV").unwrap();
+    let cold = hg_corpus::benign_app("ColdDefender").unwrap();
+
+    // The instrumented apps still behave identically for extraction.
+    let instrumented = instrument(comfort.source, comfort.name, Transport::Sms).unwrap();
+    assert_eq!(
+        rules_of(comfort.source, comfort.name).len(),
+        rules_of(&instrumented, comfort.name).len()
+    );
+
+    // The phone app receives config URIs and feeds HomeGuard.
+    let mut hg = HomeGuard::new();
+    let cfg1 = ConfigInfo::new("ComfortTV")
+        .bind_device("tv1", "tv-1")
+        .bind_device("tSensor", "temp-1")
+        .bind_device("window1", "win-1")
+        .set_value("threshold1", Value::from_natural(30));
+    let uri = cfg1.to_uri();
+    let parsed = ConfigInfo::from_uri(&uri).unwrap();
+    hg.install_app(comfort.source, comfort.name, Some(&parsed)).unwrap();
+
+    let cfg2 = ConfigInfo::new("ColdDefender")
+        .bind_device("tv1", "tv-1")
+        .bind_device("rain", "rain-1")
+        .bind_device("window1", "win-1");
+    let report = hg.install_app(cold.source, cold.name, Some(&cfg2)).unwrap();
+    assert!(report.threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+
+    // The frontend renders the report with the witness situation.
+    let text = frontend::interpret_report(&report);
+    assert!(text.contains("[AR]"), "{text}");
+    assert!(text.contains("occurs when"), "{text}");
+}
+
+#[test]
+fn whole_corpus_through_homeguard_install() {
+    // Install the entire device-controlling corpus sequentially; HomeGuard
+    // must survive and accumulate the Allowed list.
+    let mut hg = HomeGuard::new();
+    let mut total_threats = 0usize;
+    for app in hg_corpus::device_control_apps().iter().take(30) {
+        let report = hg.install_app(app.source, app.name, None).unwrap();
+        total_threats += report.threats.len();
+    }
+    assert!(total_threats > 0, "a realistic store slice must interfere somewhere");
+    assert_eq!(hg.allowed().len(), total_threats);
+}
+
+#[test]
+fn detected_race_reproduces_in_simulator() {
+    // Static verdict → dynamic confirmation, the §VIII-B methodology.
+    let on_rules = rules_of(
+        r#"
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { w.on() }
+"#,
+        "OpenApp",
+    );
+    let off_rules = rules_of(
+        r#"
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { w.off() }
+"#,
+        "CloseApp",
+    );
+    let det = hg_detector::Detector::store_wide();
+    let (threats, _) = det.detect_pair(&on_rules[0], &off_rules[0]);
+    assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+
+    // Reproduce dynamically across schedules.
+    let unify = hg_detector::Unification::ByType;
+    let mut outcomes = std::collections::BTreeSet::new();
+    for seed in 0..24 {
+        let mut home = Home::new(seed);
+        home.add_device(Device::new(
+            "type:contactSensor/unknown",
+            "door",
+            "contactSensor",
+            hg_capability::device_kind::DeviceKind::Unknown,
+        ));
+        home.add_device(Device::new(
+            "type:switch/windowOpener",
+            "window",
+            "switch",
+            hg_capability::device_kind::DeviceKind::WindowOpener,
+        ));
+        home.install_rule(unify.unify_rule(&on_rules[0]));
+        home.install_rule(unify.unify_rule(&off_rules[0]));
+        home.stimulate("type:contactSensor/unknown", "contact", Value::sym("open"));
+        outcomes.insert(home.attr("type:switch/windowOpener", "switch").cloned());
+    }
+    assert!(outcomes.len() > 1, "the race must be observable: {outcomes:?}");
+}
+
+#[test]
+fn rule_database_persists_and_reloads() {
+    let mut hg = HomeGuard::new();
+    let app = hg_corpus::benign_app("MakeItSo").unwrap();
+    hg.install_app(app.source, app.name, None).unwrap();
+    let size = hg.extractor.rule_file_size("MakeItSo").unwrap();
+    assert!(size > 100, "rule file suspiciously small: {size}");
+    let reloaded = hg.extractor.rules_of("MakeItSo").unwrap();
+    assert_eq!(reloaded.len(), 2);
+}
+
+#[test]
+fn covert_chain_unlocks_door_in_simulator() {
+    // §VIII-B case 2: CurlingIron → SwitchChangesMode → MakeItSo ends with
+    // the door unlocked on mere motion — reproduce dynamically.
+    use hg_detector::Unification;
+    use std::collections::BTreeMap;
+
+    let mut bindings = BTreeMap::new();
+    for (app, input, id) in [
+        ("CurlingIron", "motion1", "motion-1"),
+        ("CurlingIron", "outlets", "switch-1"),
+        ("SwitchChangesMode", "toggle", "switch-1"),
+        ("MakeItSo", "door", "door-1"),
+        ("MakeItSo", "switches", "switch-2"),
+    ] {
+        bindings.insert((app.to_string(), input.to_string()), id.to_string());
+    }
+    let unify = Unification::Bindings(bindings);
+
+    let mut home = Home::new(5);
+    home.add_device(Device::new("motion-1", "bath motion", "motionSensor",
+        hg_capability::device_kind::DeviceKind::Unknown));
+    home.add_device(Device::new("switch-1", "vanity outlet", "switch",
+        hg_capability::device_kind::DeviceKind::Outlet));
+    home.add_device(Device::new("switch-2", "hall switch", "switch",
+        hg_capability::device_kind::DeviceKind::Light));
+    home.add_device(Device::new("door-1", "front door", "lock",
+        hg_capability::device_kind::DeviceKind::Lock));
+    home.mode = "Away".to_string();
+
+    for name in ["CurlingIron", "SwitchChangesMode", "MakeItSo"] {
+        let app = hg_corpus::benign_app(name).unwrap();
+        for rule in rules_of(app.source, app.name) {
+            home.install_rule(unify.unify_rule(&rule));
+        }
+    }
+    assert_eq!(home.attr("door-1", "lock"), Some(&Value::sym("locked")));
+    // A burglar spoofs the motion sensor (CO2 laser, §VIII-B)...
+    home.stimulate("motion-1", "motion", Value::sym("active"));
+    // ...and the chain unlocks the front door. (CurlingIron's 30-minute
+    // outlet timeout later re-locks it via the same chain, so assert on the
+    // trace: the door WAS unlocked while the burglar stood outside.)
+    assert!(
+        home.trace.iter().any(|t| matches!(
+            t,
+            hg_sim::TraceEntry::Attr { device, attribute, value, .. }
+                if device == "door-1" && attribute == "lock" && *value == Value::sym("unlocked")
+        )),
+        "chain never unlocked the door: {:#?}",
+        home.trace
+    );
+}

@@ -1,0 +1,13 @@
+//! Shared helpers for HomeGuard's cross-crate integration tests.
+
+#![forbid(unsafe_code)]
+
+use hg_rules::rule::Rule;
+use hg_symexec::{extract, ExtractorConfig};
+
+/// Extracts an inline SmartApp, panicking on failure.
+pub fn rules_of(source: &str, name: &str) -> Vec<Rule> {
+    extract(source, name, &ExtractorConfig::extended())
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .rules
+}

@@ -1,0 +1,175 @@
+//! Property-based tests over the core data structures: solver soundness,
+//! JSON round-trips, parser/printer round-trips and formula algebra.
+
+use hg_rules::constraint::{CmpOp, Formula, Term};
+use hg_rules::value::Value;
+use hg_rules::varid::VarId;
+use hg_solver::{Model, Outcome};
+use proptest::prelude::*;
+
+fn var(i: usize) -> VarId {
+    VarId::env(format!("p{i}"))
+}
+
+/// A strategy for small atoms over three integer variables.
+fn atom() -> impl Strategy<Value = Formula> {
+    (
+        0usize..3,
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge)
+        ],
+        -50i64..50,
+    )
+        .prop_map(|(v, op, c)| Formula::cmp(Term::var(var(v)), op, Term::num(c * 100)))
+}
+
+/// Small formulas: conjunctions/disjunctions of atoms.
+fn formula() -> impl Strategy<Value = Formula> {
+    prop::collection::vec(atom(), 1..5).prop_flat_map(|atoms| {
+        prop_oneof![
+            Just(Formula::and(atoms.clone())),
+            Just(Formula::or(atoms.clone())),
+            Just(Formula::and([
+                Formula::or(atoms.iter().take(2).cloned().collect::<Vec<_>>()),
+                Formula::and(atoms.iter().skip(2).cloned().collect::<Vec<_>>()),
+            ])),
+        ]
+    })
+}
+
+fn declared_model() -> Model {
+    let mut m = Model::new();
+    for i in 0..3 {
+        m.declare_int(var(i), -10_000, 10_000);
+    }
+    m
+}
+
+/// Evaluates a formula under a concrete assignment.
+fn eval(f: &Formula, w: &std::collections::BTreeMap<VarId, Value>) -> bool {
+    match f.substitute(&|v| w.get(v).cloned()) {
+        Formula::True => true,
+        Formula::False => false,
+        other => panic!("non-ground formula after substitution: {other}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Soundness: any witness the solver returns actually satisfies the
+    /// formula.
+    #[test]
+    fn solver_witness_satisfies_formula(f in formula()) {
+        let model = declared_model();
+        if let Outcome::Sat(witness) = model.solve(&f) {
+            prop_assert!(eval(&f, &witness), "witness {witness:?} fails {f}");
+        }
+    }
+
+    /// Completeness on point checks: if we construct a satisfying point,
+    /// the solver must not report Unsat.
+    #[test]
+    fn solver_finds_seeded_solutions(vals in prop::collection::vec(-90i64..90, 3)) {
+        // Build a formula that pins each variable to vals[i] via two
+        // inequalities, trivially satisfiable.
+        let parts: Vec<Formula> = (0..3)
+            .map(|i| {
+                Formula::and([
+                    Formula::cmp(Term::var(var(i)), CmpOp::Ge, Term::num(vals[i] * 100)),
+                    Formula::cmp(Term::var(var(i)), CmpOp::Le, Term::num(vals[i] * 100 + 100)),
+                ])
+            })
+            .collect();
+        let f = Formula::and(parts);
+        let model = declared_model();
+        prop_assert!(model.solve(&f).is_sat(), "{f}");
+    }
+
+    /// Negation: f ∧ ¬f is always unsatisfiable for atom conjunctions.
+    #[test]
+    fn formula_and_negation_unsat(f in atom()) {
+        let model = declared_model();
+        let both = Formula::and([f.clone(), f.negate()]);
+        prop_assert_eq!(model.solve(&both), Outcome::Unsat);
+    }
+
+    /// JSON round-trip for rule files built from random formulas.
+    #[test]
+    fn rule_json_roundtrip(f in formula(), delay in 0u64..10_000) {
+        use hg_rules::rule::*;
+        use hg_rules::varid::DeviceRef;
+        let dev = DeviceRef::bound("0e0b741b");
+        let rule = Rule {
+            id: RuleId::new("PropApp", 0),
+            trigger: Trigger::DeviceEvent {
+                subject: dev.clone(),
+                attribute: "switch".into(),
+                constraint: Some(f.clone()),
+            },
+            condition: Condition { data_constraints: vec![], predicate: f },
+            actions: vec![Action::device(dev, "on").after(delay)],
+        };
+        let text = hg_rules::json::rules_to_text(std::slice::from_ref(&rule));
+        let back = hg_rules::json::rules_from_text(&text).unwrap();
+        prop_assert_eq!(back, vec![rule]);
+    }
+
+    /// The Groovy pretty-printer emits re-parseable source for random
+    /// expression shapes.
+    #[test]
+    fn printer_roundtrip_for_comparisons(a in 0i64..1000, b in 0i64..1000, c in "[a-z][a-z0-9]{0,6}") {
+        let src = format!("def h(evt) {{ if (({c} > {a}) && ({c} <= {b})) {{ lamp.on() }} }}");
+        let p1 = hg_lang::parse(&src).unwrap();
+        let printed = hg_lang::pretty::print_program(&p1);
+        let p2 = hg_lang::parse(&printed).unwrap();
+        prop_assert_eq!(
+            hg_lang::pretty::print_program(&p2),
+            printed
+        );
+    }
+
+    /// Scaled fixed-point parsing inverts rendering.
+    #[test]
+    fn fixed_point_roundtrip(n in -1_000_000i64..1_000_000) {
+        use hg_capability::domains::{parse_scaled, unscaled_to_string};
+        let text = unscaled_to_string(n);
+        prop_assert_eq!(parse_scaled(&text), Some(n));
+    }
+
+    /// Detection is symmetric for the undirected categories: swapping the
+    /// pair must not change whether an AR/GC/LT is found.
+    #[test]
+    fn undirected_detection_symmetry(thr in 0i64..60) {
+        use hg_detector::{Detector, ThreatKind};
+        use hg_symexec::{extract, ExtractorConfig};
+        let a = extract(&format!(r#"
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() {{ subscribe(d, "contact.open", h) }}
+def h(evt) {{ if (location.mode == "Home") {{ w.on() }} }}
+"#), "SymA", &ExtractorConfig::default()).unwrap();
+        let b = extract(&format!(r#"
+input "d", "capability.contactSensor"
+input "t", "capability.temperatureMeasurement"
+input "w", "capability.switch", title: "window opener"
+def installed() {{ subscribe(d, "contact.open", h) }}
+def h(evt) {{ if (t.currentTemperature > {thr}) {{ w.off() }} }}
+"#), "SymB", &ExtractorConfig::default()).unwrap();
+        let det = Detector::store_wide();
+        let (t_ab, _) = det.detect_pair(&a.rules[0], &b.rules[0]);
+        let (t_ba, _) = det.detect_pair(&b.rules[0], &a.rules[0]);
+        for kind in [ThreatKind::ActuatorRace, ThreatKind::GoalConflict, ThreatKind::LoopTriggering] {
+            prop_assert_eq!(
+                t_ab.iter().any(|t| t.kind == kind),
+                t_ba.iter().any(|t| t.kind == kind),
+                "asymmetry for {:?}", kind
+            );
+        }
+    }
+}
