@@ -11,20 +11,48 @@ use hg_bench::corpus_rules;
 use hg_detector::Detector;
 use std::hint::black_box;
 
-fn pairs() -> Vec<(&'static str, Vec<hg_rules::rule::Rule>, Vec<hg_rules::rule::Rule>)> {
+fn pairs() -> Vec<(
+    &'static str,
+    Vec<hg_rules::rule::Rule>,
+    Vec<hg_rules::rule::Rule>,
+)> {
     vec![
         // AR: ComfortTV vs ColdDefender (Fig. 3).
-        ("AR_pair", corpus_rules("ComfortTV"), corpus_rules("ColdDefender")),
+        (
+            "AR_pair",
+            corpus_rules("ComfortTV"),
+            corpus_rules("ColdDefender"),
+        ),
         // GC: heater-style vs window-style conflict.
-        ("GC_pair", corpus_rules("ItsTooCold"), corpus_rules("WindowOrAC")),
+        (
+            "GC_pair",
+            corpus_rules("ItsTooCold"),
+            corpus_rules("WindowOrAC"),
+        ),
         // CT(+SD): ItsTooHot vs EnergySaver (§III-B).
-        ("CT_SD_pair", corpus_rules("ItsTooHot"), corpus_rules("EnergySaver")),
+        (
+            "CT_SD_pair",
+            corpus_rules("ItsTooHot"),
+            corpus_rules("EnergySaver"),
+        ),
         // LT: LightUpTheNight against itself-style second app.
-        ("LT_pair", corpus_rules("LightUpTheNight"), corpus_rules("SmartNightlight")),
+        (
+            "LT_pair",
+            corpus_rules("LightUpTheNight"),
+            corpus_rules("SmartNightlight"),
+        ),
         // EC/DC: NightCare vs BurglarFinder (Fig. 5).
-        ("EC_DC_pair", corpus_rules("NightCare"), corpus_rules("BurglarFinder")),
+        (
+            "EC_DC_pair",
+            corpus_rules("NightCare"),
+            corpus_rules("BurglarFinder"),
+        ),
         // Unrelated pair: candidate filtering rejects without solving.
-        ("filtered_pair", corpus_rules("KnockKnock"), corpus_rules("LeakAlert")),
+        (
+            "filtered_pair",
+            corpus_rules("KnockKnock"),
+            corpus_rules("LeakAlert"),
+        ),
     ]
 }
 

@@ -1,0 +1,76 @@
+//! Store-audit bench: indexed incremental detection vs exhaustive pairwise
+//! detection over the device-controlling corpus.
+//!
+//! This is the perf-trajectory guard for the candidate index: the full
+//! audit is run both ways, and the printed `DetectStats` show how many
+//! rule-pair visits (each at least one merged-situation solve in a
+//! filterless detector) the index skips. The run asserts the index prunes
+//! at least half of all pairs and reports the identical threat count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_bench::device_control_rule_sets;
+use hg_detector::{DetectStats, DetectionEngine, Detector};
+use std::hint::black_box;
+
+/// One full incremental store audit; returns (threats, stats).
+fn audit(indexed: bool) -> (usize, DetectStats) {
+    let sets = device_control_rule_sets();
+    let mut engine = DetectionEngine::new(Detector::store_wide());
+    let mut stats = DetectStats::default();
+    let mut threats = 0usize;
+    for rules in &sets {
+        let (t, s) = if indexed {
+            engine.check(rules)
+        } else {
+            engine.check_exhaustive(rules)
+        };
+        threats += t.len();
+        stats.absorb(s);
+        engine.install_rules(rules.iter());
+    }
+    (threats, stats)
+}
+
+fn bench_store_audit(c: &mut Criterion) {
+    // Report the index's effect once, outside the timing loops.
+    let (threats_indexed, si) = audit(true);
+    let (threats_exhaustive, se) = audit(false);
+    assert_eq!(
+        threats_indexed, threats_exhaustive,
+        "indexed and exhaustive audits must agree"
+    );
+    assert!(
+        si.pruned >= se.pairs / 2,
+        "index pruned {} of {} pairs — less than half",
+        si.pruned,
+        se.pairs
+    );
+    println!("store audit over {} rule pairs:", se.pairs);
+    println!(
+        "  indexed:    visited {:>6} pairs, pruned {:>6}, {:>6} solver calls ({} reused)",
+        si.pairs, si.pruned, si.solves, si.reused
+    );
+    println!(
+        "  exhaustive: visited {:>6} pairs, pruned {:>6}, {:>6} solver calls ({} reused)",
+        se.pairs, se.pruned, se.solves, se.reused
+    );
+    println!(
+        "  pair visits skipped by the index: {:.1}%",
+        100.0 * si.pruned as f64 / se.pairs as f64
+    );
+
+    let mut group = c.benchmark_group("store_audit");
+    group.sample_size(10);
+    group.bench_function("indexed_incremental", |b| b.iter(|| black_box(audit(true))));
+    group.bench_function("exhaustive_pairwise", |b| {
+        b.iter(|| black_box(audit(false)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_store_audit
+}
+criterion_main!(benches);

@@ -24,3 +24,15 @@ pub fn device_control_rules() -> Vec<Rule> {
         })
         .collect()
 }
+
+/// The same population grouped per app, for incremental store audits.
+pub fn device_control_rule_sets() -> Vec<Vec<Rule>> {
+    hg_corpus::device_control_apps()
+        .iter()
+        .map(|app| {
+            extract(app.source, app.name, &ExtractorConfig::extended())
+                .expect("corpus extracts")
+                .rules
+        })
+        .collect()
+}

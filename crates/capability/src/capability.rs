@@ -77,31 +77,52 @@ impl Capability {
 }
 
 const ON_OFF: AttrDomain = AttrDomain::Enum(&["on", "off"]);
-const PCT: AttrDomain = AttrDomain::Numeric { min: 0, max: scaled(100), unit: "%" };
-const TEMP: AttrDomain = AttrDomain::Numeric { min: scaled(-40), max: scaled(150), unit: "°C" };
+const PCT: AttrDomain = AttrDomain::Numeric {
+    min: 0,
+    max: scaled(100),
+    unit: "%",
+};
+const TEMP: AttrDomain = AttrDomain::Numeric {
+    min: scaled(-40),
+    max: scaled(150),
+    unit: "°C",
+};
 
 macro_rules! attr {
     ($name:literal, $domain:expr) => {
-        AttributeDef { name: $name, domain: $domain }
+        AttributeDef {
+            name: $name,
+            domain: $domain,
+        }
     };
 }
 
 macro_rules! cmd {
     ($name:literal) => {
-        CommandDef { name: $name, arity: 0, effects: &[] }
+        CommandDef {
+            name: $name,
+            arity: 0,
+            effects: &[],
+        }
     };
     ($name:literal sets $attr:literal = $value:literal) => {
         CommandDef {
             name: $name,
             arity: 0,
-            effects: &[AttrEffect::SetConst { attribute: $attr, value: $value }],
+            effects: &[AttrEffect::SetConst {
+                attribute: $attr,
+                value: $value,
+            }],
         }
     };
     ($name:literal ( $arity:literal ) sets $attr:literal = param $idx:literal) => {
         CommandDef {
             name: $name,
             arity: $arity,
-            effects: &[AttrEffect::SetParam { attribute: $attr, param_index: $idx }],
+            effects: &[AttrEffect::SetParam {
+                attribute: $attr,
+                param_index: $idx,
+            }],
         }
     };
 }
@@ -114,12 +135,18 @@ macro_rules! cmd {
 pub static CAPABILITIES: &[Capability] = &[
     Capability {
         name: "accelerationSensor",
-        attributes: &[attr!("acceleration", AttrDomain::Enum(&["active", "inactive"]))],
+        attributes: &[attr!(
+            "acceleration",
+            AttrDomain::Enum(&["active", "inactive"])
+        )],
         commands: &[],
     },
     Capability {
         name: "alarm",
-        attributes: &[attr!("alarm", AttrDomain::Enum(&["off", "siren", "strobe", "both"]))],
+        attributes: &[attr!(
+            "alarm",
+            AttrDomain::Enum(&["off", "siren", "strobe", "both"])
+        )],
         commands: &[
             cmd!("off" sets "alarm" = "off"),
             cmd!("siren" sets "alarm" = "siren"),
@@ -134,7 +161,10 @@ pub static CAPABILITIES: &[Capability] = &[
     },
     Capability {
         name: "beacon",
-        attributes: &[attr!("presence", AttrDomain::Enum(&["present", "not present"]))],
+        attributes: &[attr!(
+            "presence",
+            AttrDomain::Enum(&["present", "not present"])
+        )],
         commands: &[],
     },
     Capability {
@@ -146,7 +176,11 @@ pub static CAPABILITIES: &[Capability] = &[
         name: "carbonDioxideMeasurement",
         attributes: &[attr!(
             "carbonDioxide",
-            AttrDomain::Numeric { min: 0, max: scaled(10000), unit: "ppm" }
+            AttrDomain::Numeric {
+                min: 0,
+                max: scaled(10000),
+                unit: "ppm"
+            }
         )],
         commands: &[],
     },
@@ -168,14 +202,22 @@ pub static CAPABILITIES: &[Capability] = &[
         commands: &[
             cmd!("setHue"(1) sets "hue" = param 0),
             cmd!("setSaturation"(1) sets "saturation" = param 0),
-            CommandDef { name: "setColor", arity: 1, effects: &[] },
+            CommandDef {
+                name: "setColor",
+                arity: 1,
+                effects: &[],
+            },
         ],
     },
     Capability {
         name: "colorTemperature",
         attributes: &[attr!(
             "colorTemperature",
-            AttrDomain::Numeric { min: scaled(1000), max: scaled(30000), unit: "K" }
+            AttrDomain::Numeric {
+                min: scaled(1000),
+                max: scaled(30000),
+                unit: "K"
+            }
         )],
         commands: &[cmd!("setColorTemperature"(1) sets "colorTemperature" = param 0)],
     },
@@ -190,13 +232,20 @@ pub static CAPABILITIES: &[Capability] = &[
             "door",
             AttrDomain::Enum(&["open", "closed", "opening", "closing", "unknown"])
         )],
-        commands: &[cmd!("open" sets "door" = "open"), cmd!("close" sets "door" = "closed")],
+        commands: &[
+            cmd!("open" sets "door" = "open"),
+            cmd!("close" sets "door" = "closed"),
+        ],
     },
     Capability {
         name: "energyMeter",
         attributes: &[attr!(
             "energy",
-            AttrDomain::Numeric { min: 0, max: scaled(1_000_000), unit: "kWh" }
+            AttrDomain::Numeric {
+                min: 0,
+                max: scaled(1_000_000),
+                unit: "kWh"
+            }
         )],
         commands: &[],
     },
@@ -206,13 +255,20 @@ pub static CAPABILITIES: &[Capability] = &[
             "door",
             AttrDomain::Enum(&["open", "closed", "opening", "closing", "unknown"])
         )],
-        commands: &[cmd!("open" sets "door" = "open"), cmd!("close" sets "door" = "closed")],
+        commands: &[
+            cmd!("open" sets "door" = "open"),
+            cmd!("close" sets "door" = "closed"),
+        ],
     },
     Capability {
         name: "illuminanceMeasurement",
         attributes: &[attr!(
             "illuminance",
-            AttrDomain::Numeric { min: 0, max: scaled(100_000), unit: "lux" }
+            AttrDomain::Numeric {
+                min: 0,
+                max: scaled(100_000),
+                unit: "lux"
+            }
         )],
         commands: &[],
     },
@@ -227,7 +283,10 @@ pub static CAPABILITIES: &[Capability] = &[
             "lock",
             AttrDomain::Enum(&["locked", "unlocked", "unknown", "unlocked with timeout"])
         )],
-        commands: &[cmd!("lock" sets "lock" = "locked"), cmd!("unlock" sets "lock" = "unlocked")],
+        commands: &[
+            cmd!("lock" sets "lock" = "locked"),
+            cmd!("unlock" sets "lock" = "unlocked"),
+        ],
     },
     Capability {
         name: "motionSensor",
@@ -237,7 +296,10 @@ pub static CAPABILITIES: &[Capability] = &[
     Capability {
         name: "musicPlayer",
         attributes: &[
-            attr!("status", AttrDomain::Enum(&["playing", "paused", "stopped"])),
+            attr!(
+                "status",
+                AttrDomain::Enum(&["playing", "paused", "stopped"])
+            ),
             attr!("level", PCT),
             attr!("mute", AttrDomain::Enum(&["muted", "unmuted"])),
         ],
@@ -248,26 +310,45 @@ pub static CAPABILITIES: &[Capability] = &[
             cmd!("mute" sets "mute" = "muted"),
             cmd!("unmute" sets "mute" = "unmuted"),
             cmd!("setLevel"(1) sets "level" = param 0),
-            CommandDef { name: "playText", arity: 1, effects: &[] },
-            CommandDef { name: "playTrack", arity: 1, effects: &[] },
+            CommandDef {
+                name: "playText",
+                arity: 1,
+                effects: &[],
+            },
+            CommandDef {
+                name: "playTrack",
+                arity: 1,
+                effects: &[],
+            },
         ],
     },
     Capability {
         name: "notification",
         attributes: &[],
-        commands: &[CommandDef { name: "deviceNotification", arity: 1, effects: &[] }],
+        commands: &[CommandDef {
+            name: "deviceNotification",
+            arity: 1,
+            effects: &[],
+        }],
     },
     Capability {
         name: "powerMeter",
         attributes: &[attr!(
             "power",
-            AttrDomain::Numeric { min: 0, max: scaled(20_000), unit: "W" }
+            AttrDomain::Numeric {
+                min: 0,
+                max: scaled(20_000),
+                unit: "W"
+            }
         )],
         commands: &[],
     },
     Capability {
         name: "presenceSensor",
-        attributes: &[attr!("presence", AttrDomain::Enum(&["present", "not present"]))],
+        attributes: &[attr!(
+            "presence",
+            AttrDomain::Enum(&["present", "not present"])
+        )],
         commands: &[],
     },
     Capability {
@@ -278,40 +359,63 @@ pub static CAPABILITIES: &[Capability] = &[
     Capability {
         name: "relaySwitch",
         attributes: &[attr!("switch", ON_OFF)],
-        commands: &[cmd!("on" sets "switch" = "on"), cmd!("off" sets "switch" = "off")],
+        commands: &[
+            cmd!("on" sets "switch" = "on"),
+            cmd!("off" sets "switch" = "off"),
+        ],
     },
     Capability {
         name: "sleepSensor",
-        attributes: &[attr!("sleeping", AttrDomain::Enum(&["sleeping", "not sleeping"]))],
+        attributes: &[attr!(
+            "sleeping",
+            AttrDomain::Enum(&["sleeping", "not sleeping"])
+        )],
         commands: &[],
     },
     Capability {
         name: "smokeDetector",
-        attributes: &[attr!("smoke", AttrDomain::Enum(&["clear", "detected", "tested"]))],
+        attributes: &[attr!(
+            "smoke",
+            AttrDomain::Enum(&["clear", "detected", "tested"])
+        )],
         commands: &[],
     },
     Capability {
         name: "soundSensor",
-        attributes: &[attr!("sound", AttrDomain::Enum(&["detected", "not detected"]))],
+        attributes: &[attr!(
+            "sound",
+            AttrDomain::Enum(&["detected", "not detected"])
+        )],
         commands: &[],
     },
     Capability {
         name: "soundPressureLevel",
         attributes: &[attr!(
             "soundPressureLevel",
-            AttrDomain::Numeric { min: 0, max: scaled(200), unit: "dB" }
+            AttrDomain::Numeric {
+                min: 0,
+                max: scaled(200),
+                unit: "dB"
+            }
         )],
         commands: &[],
     },
     Capability {
         name: "speechSynthesis",
         attributes: &[],
-        commands: &[CommandDef { name: "speak", arity: 1, effects: &[] }],
+        commands: &[CommandDef {
+            name: "speak",
+            arity: 1,
+            effects: &[],
+        }],
     },
     Capability {
         name: "switch",
         attributes: &[attr!("switch", ON_OFF)],
-        commands: &[cmd!("on" sets "switch" = "on"), cmd!("off" sets "switch" = "off")],
+        commands: &[
+            cmd!("on" sets "switch" = "on"),
+            cmd!("off" sets "switch" = "off"),
+        ],
     },
     Capability {
         name: "switchLevel",
@@ -361,7 +465,14 @@ pub static CAPABILITIES: &[Capability] = &[
             cmd!("fanOn" sets "thermostatFanMode" = "on"),
             cmd!("fanAuto" sets "thermostatFanMode" = "auto"),
             cmd!("fanCirculate" sets "thermostatFanMode" = "circulate"),
-            CommandDef { name: "setThermostatMode", arity: 1, effects: &[AttrEffect::SetParam { attribute: "thermostatMode", param_index: 0 }] },
+            CommandDef {
+                name: "setThermostatMode",
+                arity: 1,
+                effects: &[AttrEffect::SetParam {
+                    attribute: "thermostatMode",
+                    param_index: 0,
+                }],
+            },
         ],
     },
     Capability {
@@ -400,7 +511,10 @@ pub static CAPABILITIES: &[Capability] = &[
     Capability {
         name: "valve",
         attributes: &[attr!("valve", AttrDomain::Enum(&["open", "closed"]))],
-        commands: &[cmd!("open" sets "valve" = "open"), cmd!("close" sets "valve" = "closed")],
+        commands: &[
+            cmd!("open" sets "valve" = "open"),
+            cmd!("close" sets "valve" = "closed"),
+        ],
     },
     Capability {
         name: "waterSensor",
@@ -411,7 +525,14 @@ pub static CAPABILITIES: &[Capability] = &[
         name: "windowShade",
         attributes: &[attr!(
             "windowShade",
-            AttrDomain::Enum(&["open", "closed", "opening", "closing", "partially open", "unknown"])
+            AttrDomain::Enum(&[
+                "open",
+                "closed",
+                "opening",
+                "closing",
+                "partially open",
+                "unknown"
+            ])
         )],
         commands: &[
             cmd!("open" sets "windowShade" = "open"),
@@ -464,7 +585,10 @@ pub fn lookup(name: &str) -> Option<&'static Capability> {
 
 /// Finds every capability that exposes `attribute`.
 pub fn capabilities_with_attribute(attribute: &str) -> Vec<&'static Capability> {
-    CAPABILITIES.iter().filter(|c| c.attribute(attribute).is_some()).collect()
+    CAPABILITIES
+        .iter()
+        .filter(|c| c.attribute(attribute).is_some())
+        .collect()
 }
 
 /// Finds the capability-defined command `command` in any capability of the
@@ -498,7 +622,10 @@ mod tests {
         let on = sw.command("on").unwrap();
         assert_eq!(
             on.effects,
-            &[AttrEffect::SetConst { attribute: "switch", value: "on" }]
+            &[AttrEffect::SetConst {
+                attribute: "switch",
+                value: "on"
+            }]
         );
     }
 
@@ -507,7 +634,13 @@ mod tests {
         let sl = lookup("switchLevel").unwrap();
         let cmd = sl.command("setLevel").unwrap();
         assert_eq!(cmd.arity, 1);
-        assert_eq!(cmd.effects, &[AttrEffect::SetParam { attribute: "level", param_index: 0 }]);
+        assert_eq!(
+            cmd.effects,
+            &[AttrEffect::SetParam {
+                attribute: "level",
+                param_index: 0
+            }]
+        );
     }
 
     #[test]
@@ -593,6 +726,10 @@ mod tests {
 
     #[test]
     fn command_count_is_substantial() {
-        assert!(command_count() >= 40, "only {} commands modeled", command_count());
+        assert!(
+            command_count() >= 40,
+            "only {} commands modeled",
+            command_count()
+        );
     }
 }

@@ -43,26 +43,42 @@ pub fn contradiction(capability: &Capability, cmd_a: &str, cmd_b: &str) -> Contr
         for eb in b.effects {
             match (ea, eb) {
                 (
-                    AttrEffect::SetConst { attribute: attr_a, value: va },
-                    AttrEffect::SetConst { attribute: attr_b, value: vb },
-                ) if attr_a == attr_b => {
-                    if va != vb {
-                        return Contradiction::Direct;
-                    }
+                    AttrEffect::SetConst {
+                        attribute: attr_a,
+                        value: va,
+                    },
+                    AttrEffect::SetConst {
+                        attribute: attr_b,
+                        value: vb,
+                    },
+                ) if attr_a == attr_b && va != vb => {
+                    return Contradiction::Direct;
                 }
                 (
-                    AttrEffect::SetParam { attribute: attr_a, .. },
-                    AttrEffect::SetParam { attribute: attr_b, .. },
+                    AttrEffect::SetParam {
+                        attribute: attr_a, ..
+                    },
+                    AttrEffect::SetParam {
+                        attribute: attr_b, ..
+                    },
                 ) if attr_a == attr_b => {
                     param_dependent = true;
                 }
                 (
-                    AttrEffect::SetConst { attribute: attr_a, .. },
-                    AttrEffect::SetParam { attribute: attr_b, .. },
+                    AttrEffect::SetConst {
+                        attribute: attr_a, ..
+                    },
+                    AttrEffect::SetParam {
+                        attribute: attr_b, ..
+                    },
                 )
                 | (
-                    AttrEffect::SetParam { attribute: attr_a, .. },
-                    AttrEffect::SetConst { attribute: attr_b, .. },
+                    AttrEffect::SetParam {
+                        attribute: attr_a, ..
+                    },
+                    AttrEffect::SetConst {
+                        attribute: attr_b, ..
+                    },
                 ) if attr_a == attr_b => {
                     // A constant write racing a parameterized write of the
                     // same attribute is a potential contradiction whenever
@@ -88,7 +104,9 @@ pub fn contradiction(capability: &Capability, cmd_a: &str, cmd_b: &str) -> Contr
 pub fn opposing_command(capability: &Capability, command: &str) -> Option<&'static str> {
     let cmds = capability.commands;
     cmds.iter()
-        .find(|c| c.name != command && contradiction(capability, command, c.name) == Contradiction::Direct)
+        .find(|c| {
+            c.name != command && contradiction(capability, command, c.name) == Contradiction::Direct
+        })
         .map(|c| c.name)
 }
 
@@ -119,14 +137,20 @@ mod tests {
     #[test]
     fn set_level_is_param_dependent() {
         let sl = lookup("switchLevel").unwrap();
-        assert_eq!(contradiction(sl, "setLevel", "setLevel"), Contradiction::ParamDependent);
+        assert_eq!(
+            contradiction(sl, "setLevel", "setLevel"),
+            Contradiction::ParamDependent
+        );
     }
 
     #[test]
     fn alarm_modes_contradict() {
         let alarm = lookup("alarm").unwrap();
         assert_eq!(contradiction(alarm, "siren", "off"), Contradiction::Direct);
-        assert_eq!(contradiction(alarm, "siren", "strobe"), Contradiction::Direct);
+        assert_eq!(
+            contradiction(alarm, "siren", "strobe"),
+            Contradiction::Direct
+        );
     }
 
     #[test]

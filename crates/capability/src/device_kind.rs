@@ -64,7 +64,11 @@ pub struct GoalEffect {
 
 macro_rules! fx {
     ($cmd:literal, $prop:ident, $sign:ident) => {
-        GoalEffect { command: $cmd, property: EnvProperty::$prop, sign: Sign::$sign }
+        GoalEffect {
+            command: $cmd,
+            property: EnvProperty::$prop,
+            sign: Sign::$sign,
+        }
     };
 }
 
@@ -233,7 +237,10 @@ impl DeviceKind {
         let has = |needles: &[&str]| needles.iter().any(|n| h.contains(n));
         if has(&["light", "lamp", "bulb", "sconce", "chandelier"]) {
             DeviceKind::Light
-        } else if has(&["air conditioner", "a/c", " ac ", "aircon"]) || h.ends_with(" ac") || h == "ac" {
+        } else if has(&["air conditioner", "a/c", " ac ", "aircon"])
+            || h.ends_with(" ac")
+            || h == "ac"
+        {
             DeviceKind::AirConditioner
         } else if has(&["heater", "radiator", "furnace"]) {
             DeviceKind::Heater
@@ -302,8 +309,12 @@ mod tests {
     #[test]
     fn heater_and_window_conflict_on_temperature() {
         // The paper's Goal Conflict example: heater on (+T) vs window open (−T).
-        let heat = DeviceKind::Heater.effect_on("on", EnvProperty::Temperature).unwrap();
-        let open = DeviceKind::WindowOpener.effect_on("open", EnvProperty::Temperature).unwrap();
+        let heat = DeviceKind::Heater
+            .effect_on("on", EnvProperty::Temperature)
+            .unwrap();
+        let open = DeviceKind::WindowOpener
+            .effect_on("open", EnvProperty::Temperature)
+            .unwrap();
         assert_eq!(heat, open.opposite());
     }
 
@@ -317,9 +328,15 @@ mod tests {
 
     #[test]
     fn classification_from_hints() {
-        assert_eq!(DeviceKind::classify("Floor lamp in the den"), DeviceKind::Light);
+        assert_eq!(
+            DeviceKind::classify("Floor lamp in the den"),
+            DeviceKind::Light
+        );
         assert_eq!(DeviceKind::classify("Space Heater"), DeviceKind::Heater);
-        assert_eq!(DeviceKind::classify("Window opener switch"), DeviceKind::WindowOpener);
+        assert_eq!(
+            DeviceKind::classify("Window opener switch"),
+            DeviceKind::WindowOpener
+        );
         assert_eq!(DeviceKind::classify("Which TV?"), DeviceKind::Tv);
         assert_eq!(DeviceKind::classify("smart outlet"), DeviceKind::Outlet);
         assert_eq!(DeviceKind::classify("curling iron"), DeviceKind::Appliance);
@@ -349,7 +366,13 @@ mod tests {
 
     #[test]
     fn effect_on_absent_property_is_none() {
-        assert_eq!(DeviceKind::Light.effect_on("on", EnvProperty::Humidity), None);
-        assert_eq!(DeviceKind::Lock.effect_on("lock", EnvProperty::Temperature), None);
+        assert_eq!(
+            DeviceKind::Light.effect_on("on", EnvProperty::Humidity),
+            None
+        );
+        assert_eq!(
+            DeviceKind::Lock.effect_on("lock", EnvProperty::Temperature),
+            None
+        );
     }
 }

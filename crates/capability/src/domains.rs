@@ -30,7 +30,11 @@ pub fn parse_scaled(text: &str) -> Option<i64> {
     if int_part.is_empty() && frac_part.is_empty() {
         return None;
     }
-    let int_val: i64 = if int_part.is_empty() { 0 } else { int_part.parse().ok()? };
+    let int_val: i64 = if int_part.is_empty() {
+        0
+    } else {
+        int_part.parse().ok()?
+    };
     let mut frac_val: i64 = 0;
     let mut digits = 0;
     for c in frac_part.chars() {
@@ -250,7 +254,11 @@ mod tests {
         let d = AttrDomain::Enum(&["on", "off"]);
         assert!(d.contains_symbol("on"));
         assert!(!d.contains_symbol("open"));
-        let n = AttrDomain::Numeric { min: 0, max: 10000, unit: "%" };
+        let n = AttrDomain::Numeric {
+            min: 0,
+            max: 10000,
+            unit: "%",
+        };
         assert!(n.contains_numeric(5000));
         assert!(!n.contains_numeric(-1));
         assert!(!n.contains_symbol("on"));

@@ -37,18 +37,66 @@ pub struct SinkApi {
 /// The 21 sensitive SmartThings APIs of paper Table VI, plus the push
 /// notification APIs SmartApps commonly use for the same purpose as SMS.
 pub static SINK_APIS: &[SinkApi] = &[
-    SinkApi { name: "httpDelete", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "httpGet", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "httpHead", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "httpPost", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "httpPostJson", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "httpPut", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "httpPutJson", kind: SinkKind::Http, period_secs: None },
-    SinkApi { name: "runIn", kind: SinkKind::ScheduleOnce, period_secs: None },
-    SinkApi { name: "runOnce", kind: SinkKind::ScheduleOnce, period_secs: None },
-    SinkApi { name: "schedule", kind: SinkKind::SchedulePeriodic, period_secs: Some(86_400) },
-    SinkApi { name: "runEvery1Minute", kind: SinkKind::SchedulePeriodic, period_secs: Some(60) },
-    SinkApi { name: "runEvery5Minutes", kind: SinkKind::SchedulePeriodic, period_secs: Some(300) },
+    SinkApi {
+        name: "httpDelete",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "httpGet",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "httpHead",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "httpPost",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "httpPostJson",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "httpPut",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "httpPutJson",
+        kind: SinkKind::Http,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "runIn",
+        kind: SinkKind::ScheduleOnce,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "runOnce",
+        kind: SinkKind::ScheduleOnce,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "schedule",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(86_400),
+    },
+    SinkApi {
+        name: "runEvery1Minute",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(60),
+    },
+    SinkApi {
+        name: "runEvery5Minutes",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(300),
+    },
     SinkApi {
         name: "runEvery10Minutes",
         kind: SinkKind::SchedulePeriodic,
@@ -64,22 +112,62 @@ pub static SINK_APIS: &[SinkApi] = &[
         kind: SinkKind::SchedulePeriodic,
         period_secs: Some(1_800),
     },
-    SinkApi { name: "runEvery1Hour", kind: SinkKind::SchedulePeriodic, period_secs: Some(3_600) },
+    SinkApi {
+        name: "runEvery1Hour",
+        kind: SinkKind::SchedulePeriodic,
+        period_secs: Some(3_600),
+    },
     SinkApi {
         name: "runEvery3Hours",
         kind: SinkKind::SchedulePeriodic,
         period_secs: Some(10_800),
     },
-    SinkApi { name: "sendHubCommand", kind: SinkKind::HubCommand, period_secs: None },
-    SinkApi { name: "sendSms", kind: SinkKind::Messaging, period_secs: None },
-    SinkApi { name: "sendSmsMessage", kind: SinkKind::Messaging, period_secs: None },
-    SinkApi { name: "setLocationMode", kind: SinkKind::LocationMode, period_secs: None },
+    SinkApi {
+        name: "sendHubCommand",
+        kind: SinkKind::HubCommand,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "sendSms",
+        kind: SinkKind::Messaging,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "sendSmsMessage",
+        kind: SinkKind::Messaging,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "setLocationMode",
+        kind: SinkKind::LocationMode,
+        period_secs: None,
+    },
     // Companion-app push notifications: same sink class as SMS.
-    SinkApi { name: "sendPush", kind: SinkKind::Messaging, period_secs: None },
-    SinkApi { name: "sendPushMessage", kind: SinkKind::Messaging, period_secs: None },
-    SinkApi { name: "sendNotification", kind: SinkKind::Messaging, period_secs: None },
-    SinkApi { name: "sendNotificationEvent", kind: SinkKind::Messaging, period_secs: None },
-    SinkApi { name: "sendLocationEvent", kind: SinkKind::LocationMode, period_secs: None },
+    SinkApi {
+        name: "sendPush",
+        kind: SinkKind::Messaging,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "sendPushMessage",
+        kind: SinkKind::Messaging,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "sendNotification",
+        kind: SinkKind::Messaging,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "sendNotificationEvent",
+        kind: SinkKind::Messaging,
+        period_secs: None,
+    },
+    SinkApi {
+        name: "sendLocationEvent",
+        kind: SinkKind::LocationMode,
+        period_secs: None,
+    },
 ];
 
 /// Looks up a sink API by method name.
@@ -93,7 +181,10 @@ pub fn sink_api(name: &str) -> Option<&'static SinkApi> {
 pub fn is_scheduling_api(name: &str) -> bool {
     matches!(
         sink_api(name),
-        Some(SinkApi { kind: SinkKind::ScheduleOnce | SinkKind::SchedulePeriodic, .. })
+        Some(SinkApi {
+            kind: SinkKind::ScheduleOnce | SinkKind::SchedulePeriodic,
+            ..
+        })
     )
 }
 
@@ -152,14 +243,20 @@ mod tests {
 
     #[test]
     fn ten_scheduling_apis() {
-        let n = SINK_APIS.iter().filter(|s| is_scheduling_api(s.name)).count();
+        let n = SINK_APIS
+            .iter()
+            .filter(|s| is_scheduling_api(s.name))
+            .count();
         assert_eq!(n, 10);
     }
 
     #[test]
     fn periods_match_names() {
         assert_eq!(sink_api("runEvery5Minutes").unwrap().period_secs, Some(300));
-        assert_eq!(sink_api("runEvery3Hours").unwrap().period_secs, Some(10_800));
+        assert_eq!(
+            sink_api("runEvery3Hours").unwrap().period_secs,
+            Some(10_800)
+        );
         assert_eq!(sink_api("runIn").unwrap().period_secs, None);
     }
 

@@ -44,7 +44,10 @@ pub struct SimulatedChannel {
 impl SimulatedChannel {
     /// A channel with a deterministic seed.
     pub fn new(channel: Channel, seed: u64) -> SimulatedChannel {
-        SimulatedChannel { channel, rng: StdRng::seed_from_u64(seed) }
+        SimulatedChannel {
+            channel,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// One delivery: returns the simulated end-to-end latency in

@@ -8,9 +8,9 @@
 //! uses.
 
 use hg_lang::ast::{Block, Item, MethodDecl, Program};
-use hg_lang::Span;
 use hg_lang::parser::parse;
 use hg_lang::pretty::print_program;
+use hg_lang::Span;
 use hg_symexec::inputs::{collect_inputs, InputType};
 
 /// Which messaging transport the inserted code uses (paper §VII-B).
@@ -49,18 +49,14 @@ pub fn instrument(
                 if !devices_list.is_empty() {
                     devices_list.push_str(", ");
                 }
-                devices_list.push_str(&format!(
-                    "[devRefStr: \"{0}\", devRef: {0}]",
-                    decl.name
-                ));
+                devices_list.push_str(&format!("[devRefStr: \"{0}\", devRef: {0}]", decl.name));
             }
             InputType::Other(_) => {}
             _ => {
                 if !values_list.is_empty() {
                     values_list.push_str(", ");
                 }
-                values_list
-                    .push_str(&format!("[varStr: \"{0}\", var: {0}]", decl.name));
+                values_list.push_str(&format!("[varStr: \"{0}\", var: {0}]", decl.name));
             }
         }
     }
@@ -89,8 +85,8 @@ pub fn instrument(
 
     // Re-emit the program with `updated()` augmented.
     let mut rewritten = program.clone();
-    let injected: Program = parse(&format!("def updated() {{\n{collection_call}\n}}"))
-        .expect("generated code parses");
+    let injected: Program =
+        parse(&format!("def updated() {{\n{collection_call}\n}}")).expect("generated code parses");
     let injected_stmts: Vec<_> = match injected.items.first() {
         Some(Item::Method(m)) => m.body.stmts.clone(),
         _ => unreachable!("generated exactly one method"),
@@ -108,7 +104,10 @@ pub fn instrument(
         rewritten.items.push(Item::Method(MethodDecl {
             name: "updated".to_string(),
             params: vec![],
-            body: Block { stmts: injected_stmts, span: Span::dummy() },
+            body: Block {
+                stmts: injected_stmts,
+                span: Span::dummy(),
+            },
             span: Span::dummy(),
         }));
     }
@@ -155,7 +154,10 @@ def onHandler(evt) { }
     #[test]
     fn collection_code_appended_to_updated() {
         let out = instrument(APP, "ComfortTV", Transport::Sms).unwrap();
-        assert!(out.contains("collectConfigInfo(appname, devices, values)"), "{out}");
+        assert!(
+            out.contains("collectConfigInfo(appname, devices, values)"),
+            "{out}"
+        );
         assert!(out.contains("devRefStr: \"tv1\""), "{out}");
         assert!(out.contains("varStr: \"threshold1\""), "{out}");
         assert!(out.contains("sendSmsMessage(patchedphone, uri)"), "{out}");

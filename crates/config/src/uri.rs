@@ -23,12 +23,16 @@ pub struct ConfigInfo {
 impl ConfigInfo {
     /// Creates an empty record for `app`.
     pub fn new(app: impl Into<String>) -> ConfigInfo {
-        ConfigInfo { app: app.into(), ..Default::default() }
+        ConfigInfo {
+            app: app.into(),
+            ..Default::default()
+        }
     }
 
     /// Adds a device binding.
     pub fn bind_device(mut self, input: &str, device_id: &str) -> Self {
-        self.devices.insert(input.to_string(), device_id.to_string());
+        self.devices
+            .insert(input.to_string(), device_id.to_string());
         self
     }
 
@@ -45,7 +49,11 @@ impl ConfigInfo {
             uri.push_str(&format!("{}:{}/", escape(input), escape(id)));
         }
         for (input, value) in &self.values {
-            uri.push_str(&format!("{}:{}/", escape(input), escape(&encode_value(value))));
+            uri.push_str(&format!(
+                "{}:{}/",
+                escape(input),
+                escape(&encode_value(value))
+            ));
         }
         uri
     }
@@ -122,11 +130,15 @@ fn decode_value(text: &str) -> Option<Value> {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('%', "%25").replace('/', "%2F").replace(':', "%3A")
+    s.replace('%', "%25")
+        .replace('/', "%2F")
+        .replace(':', "%3A")
 }
 
 fn unescape(s: &str) -> String {
-    s.replace("%3A", ":").replace("%2F", "/").replace("%25", "%")
+    s.replace("%3A", ":")
+        .replace("%2F", "/")
+        .replace("%25", "%")
 }
 
 #[cfg(test)]

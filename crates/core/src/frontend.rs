@@ -5,7 +5,7 @@
 //! the homeowner can check that an app behaves as it claims and make an
 //! informed keep/delete/reconfigure decision.
 
-use crate::install::InstallReport;
+use crate::home::InstallReport;
 use hg_rules::rule::{ActionSubject, Rule, Trigger};
 use hg_rules::varid::DeviceRef;
 use hg_solver::Assignment;
@@ -16,7 +16,11 @@ use std::fmt::Write as _;
 pub fn interpret_rule(rule: &Rule) -> String {
     let mut out = String::new();
     match &rule.trigger {
-        Trigger::DeviceEvent { subject, attribute, constraint } => {
+        Trigger::DeviceEvent {
+            subject,
+            attribute,
+            constraint,
+        } => {
             let _ = write!(out, "WHEN {} reports `{attribute}`", device_name(subject));
             if let Some(c) = constraint {
                 let _ = write!(out, " with {c}");
@@ -49,7 +53,10 @@ pub fn interpret_rule(rule: &Rule) -> String {
                 format!("a message to {}", target.as_deref().unwrap_or("the user"))
             }
             ActionSubject::Http { method, url } => {
-                format!("an HTTP {method} to {}", url.as_deref().unwrap_or("a server"))
+                format!(
+                    "an HTTP {method} to {}",
+                    url.as_deref().unwrap_or("a server")
+                )
             }
             ActionSubject::HubCommand => "a hub command".to_string(),
         };
@@ -83,7 +90,12 @@ pub fn interpret_witness(witness: &Assignment) -> String {
 /// (Fig. 7b).
 pub fn interpret_report(report: &InstallReport) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Installing `{}` — {} rule(s):", report.app, report.rules.len());
+    let _ = writeln!(
+        out,
+        "Installing `{}` — {} rule(s):",
+        report.app,
+        report.rules.len()
+    );
     for rule in &report.rules {
         for line in interpret_rule(rule).lines() {
             let _ = writeln!(out, "  {line}");
@@ -93,7 +105,11 @@ pub fn interpret_report(report: &InstallReport) -> String {
         let _ = writeln!(out, "No cross-app interference detected.");
         return out;
     }
-    let _ = writeln!(out, "\n⚠ {} potential interference(s):", report.threats.len());
+    let _ = writeln!(
+        out,
+        "\n⚠ {} potential interference(s):",
+        report.threats.len()
+    );
     for threat in &report.threats {
         let _ = writeln!(out, "  [{}] {}", threat.kind.acronym(), threat.note);
         if let Some(w) = &threat.witness {
@@ -106,7 +122,10 @@ pub fn interpret_report(report: &InstallReport) -> String {
             let _ = writeln!(out, "  {chain}");
         }
     }
-    let _ = writeln!(out, "\nKeep the app, delete it, or change its configuration?");
+    let _ = writeln!(
+        out,
+        "\nKeep the app, delete it, or change its configuration?"
+    );
     out
 }
 
@@ -121,9 +140,9 @@ fn device_name(d: &DeviceRef) -> String {
 }
 
 fn human_duration(secs: u64) -> String {
-    if secs % 3600 == 0 && secs >= 3600 {
+    if secs.is_multiple_of(3600) && secs >= 3600 {
         format!("{} hour(s)", secs / 3600)
-    } else if secs % 60 == 0 && secs >= 60 {
+    } else if secs.is_multiple_of(60) && secs >= 60 {
         format!("{} minute(s)", secs / 60)
     } else {
         format!("{secs} second(s)")
@@ -187,7 +206,10 @@ mod tests {
         let mut w = Assignment::new();
         w.insert(VarId::env("temperature"), Value::Num(3100));
         w.insert(
-            VarId::Opaque { app: "A".into(), name: "x1".into() },
+            VarId::Opaque {
+                app: "A".into(),
+                name: "x1".into(),
+            },
             Value::sym("whatever"),
         );
         let text = interpret_witness(&w);
@@ -210,8 +232,13 @@ mod tests {
             threats: vec![],
             chains: vec![],
             stats: Default::default(),
+            installed: false,
+            config: None,
         };
         let text = interpret_report(&report);
-        assert!(text.contains("No cross-app interference detected"), "{text}");
+        assert!(
+            text.contains("No cross-app interference detected"),
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,596 @@
+//! Per-home sessions: the installation workflow (paper Fig. 6 and §VI-D)
+//! on top of the shared rule store.
+//!
+//! Whenever a new app is installed (or reconfigured), HomeGuard:
+//!
+//! 1. collects the configuration information ([`hg_config::ConfigInfo`]);
+//! 2. fetches the app's rules from the shared [`RuleStore`];
+//! 3. runs incremental detection against the installed rules — only the
+//!    candidate-index collisions are visited;
+//! 4. extends the detection through the *Allowed* list to find chained
+//!    (indirect) interference;
+//! 5. presents the findings and records the user's verdict — confirming a
+//!    dirty install moves the pairwise findings onto the Allowed list so
+//!    future installs can chain through them.
+//!
+//! A [`Home`] owns only per-home state (installed rules, device bindings,
+//! user values, the Allowed list); everything app-specific but
+//! home-independent lives in the store, shared across every home the
+//! process serves.
+
+use crate::store::RuleStore;
+use hg_config::ConfigInfo;
+use hg_detector::{
+    find_chains, Chain, DetectStats, DetectionEngine, Detector, Edge, Threat, Unification,
+};
+use hg_rules::rule::Rule;
+use hg_rules::value::Value;
+use hg_symexec::ExtractError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// How the home resolves device slots for detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnificationPolicy {
+    /// Use recorded device bindings when any exist, else assume two slots
+    /// of the same device type may be the same device (the deployment
+    /// default: precise once configuration is collected).
+    #[default]
+    Auto,
+    /// Always unify by device type, ignoring recorded bindings (store-wide
+    /// analysis, paper §VIII-B).
+    ByType,
+}
+
+/// Builds a [`Home`] session against a shared store.
+#[derive(Clone)]
+pub struct HomeBuilder {
+    store: Arc<RuleStore>,
+    modes: Vec<String>,
+    policy: UnificationPolicy,
+    chain_depth: usize,
+    config: Vec<ConfigInfo>,
+}
+
+impl HomeBuilder {
+    /// A builder with the deployment defaults: Home/Away/Night modes,
+    /// automatic unification, chains up to 4 edges.
+    pub fn new(store: Arc<RuleStore>) -> HomeBuilder {
+        HomeBuilder {
+            store,
+            modes: vec!["Home".into(), "Away".into(), "Night".into()],
+            policy: UnificationPolicy::Auto,
+            chain_depth: 4,
+            config: Vec::new(),
+        }
+    }
+
+    /// Sets the home's location modes.
+    pub fn modes<I, S>(mut self, modes: I) -> HomeBuilder
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.modes = modes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Sets the device-slot unification policy.
+    pub fn unification(mut self, policy: UnificationPolicy) -> HomeBuilder {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the maximum chained-threat length in edges (§VI-D).
+    pub fn chain_depth(mut self, edges: usize) -> HomeBuilder {
+        self.chain_depth = edges.max(2);
+        self
+    }
+
+    /// Pre-records configuration information collected before the session
+    /// started (e.g. replayed from the configuration recorder's log).
+    pub fn record_config(mut self, info: ConfigInfo) -> HomeBuilder {
+        self.config.push(info);
+        self
+    }
+
+    /// Builds the session handle.
+    pub fn build(self) -> Home {
+        let mut home = Home {
+            store: self.store,
+            engine: DetectionEngine::default(),
+            bindings: BTreeMap::new(),
+            values: BTreeMap::new(),
+            allowed: Vec::new(),
+            modes: self.modes,
+            policy: self.policy,
+            chain_depth: self.chain_depth,
+        };
+        for info in &self.config {
+            home.absorb_config(info);
+        }
+        home.engine = DetectionEngine::new(home.detector());
+        home
+    }
+}
+
+/// A per-home HomeGuard session: recorders plus the incremental detection
+/// engine, borrowing the shared rule store.
+pub struct Home {
+    store: Arc<RuleStore>,
+    engine: DetectionEngine,
+    /// Configuration recorder: device bindings per (app, input).
+    bindings: BTreeMap<(String, String), String>,
+    /// Configuration recorder: user values per (app, input).
+    values: BTreeMap<(String, String), Value>,
+    /// Pairwise interferences the user accepted (the Allowed list, §VI-D).
+    allowed: Vec<Threat>,
+    modes: Vec<String>,
+    policy: UnificationPolicy,
+    chain_depth: usize,
+}
+
+/// The outcome of an installation attempt, shown to the user by the
+/// frontend before they decide.
+#[derive(Debug, Clone)]
+pub struct InstallReport {
+    /// The app under installation.
+    pub app: String,
+    /// Its rules, for the frontend's rule interpreter.
+    pub rules: Vec<Rule>,
+    /// Direct (pairwise) threats against installed apps.
+    pub threats: Vec<Threat>,
+    /// Chained threats through the Allowed list.
+    pub chains: Vec<Chain>,
+    /// Detection effort counters.
+    pub stats: DetectStats,
+    /// Whether the rules were recorded as installed (clean installs
+    /// auto-confirm; dirty ones await [`Home::confirm_install`]).
+    pub installed: bool,
+    /// Configuration staged with this install attempt. It is recorded
+    /// permanently only on confirmation, so a rejected install leaves the
+    /// configuration recorder untouched.
+    pub config: Option<ConfigInfo>,
+}
+
+impl InstallReport {
+    /// Whether the installation is clean.
+    pub fn is_clean(&self) -> bool {
+        self.threats.is_empty() && self.chains.is_empty()
+    }
+}
+
+impl Home {
+    /// A session with deployment defaults against `store`.
+    pub fn new(store: Arc<RuleStore>) -> Home {
+        HomeBuilder::new(store).build()
+    }
+
+    /// A builder for a customized session.
+    pub fn builder(store: Arc<RuleStore>) -> HomeBuilder {
+        HomeBuilder::new(store)
+    }
+
+    /// The shared store this home installs from.
+    pub fn store(&self) -> &Arc<RuleStore> {
+        &self.store
+    }
+
+    /// The home's location modes.
+    pub fn modes(&self) -> &[String] {
+        &self.modes
+    }
+
+    /// The detector matching the current recorders and policy.
+    fn detector(&self) -> Detector {
+        let unification = match self.policy {
+            UnificationPolicy::ByType => Unification::ByType,
+            UnificationPolicy::Auto => {
+                if self.bindings.is_empty() {
+                    Unification::ByType
+                } else {
+                    Unification::Bindings(self.bindings.clone())
+                }
+            }
+        };
+        let mut det = Detector {
+            unification,
+            ..Detector::default()
+        };
+        det.solver.modes = self.modes.clone();
+        det.solver.user_values = self.values.clone();
+        det
+    }
+
+    fn absorb_config(&mut self, info: &ConfigInfo) {
+        for (input, id) in &info.devices {
+            self.bindings
+                .insert((info.app.clone(), input.clone()), id.clone());
+        }
+        for (input, value) in &info.values {
+            self.values
+                .insert((info.app.clone(), input.clone()), value.clone());
+        }
+    }
+
+    /// Records collected configuration information (what the instrumented
+    /// app's URI delivers) and re-prepares the detection state against the
+    /// updated bindings.
+    pub fn record_config(&mut self, info: &ConfigInfo) {
+        self.absorb_config(info);
+        self.engine.reconfigure(self.detector());
+    }
+
+    /// Checks an app (already ingested into the store, with configuration
+    /// recorded) against the installed apps. Does **not** install it — the
+    /// user decides based on the report.
+    pub fn check_install(&self, app: &str) -> InstallReport {
+        let rules = self.store.rules_of(app).unwrap_or_default();
+        let (threats, stats) = self.engine.check(&rules);
+        let chains = self.chains_for(app, &threats);
+        InstallReport {
+            app: app.to_string(),
+            rules,
+            threats,
+            chains,
+            stats,
+            installed: false,
+            config: None,
+        }
+    }
+
+    /// Batch check: the verdicts a user would see installing `apps` in
+    /// order (each member is checked against the installed population plus
+    /// the preceding batch members). Nothing is installed.
+    pub fn check_install_many(&self, apps: &[&str]) -> Vec<InstallReport> {
+        let rule_sets: Vec<Vec<Rule>> = apps
+            .iter()
+            .map(|app| self.store.rules_of(app).unwrap_or_default())
+            .collect();
+        let borrowed: Vec<&[Rule]> = rule_sets.iter().map(Vec::as_slice).collect();
+        let raw = self.engine.check_many(&borrowed);
+        let mut allowed_edges = Edge::from_threats(&self.allowed);
+        let mut out = Vec::with_capacity(apps.len());
+        for ((app, rules), (threats, stats)) in apps.iter().zip(rule_sets).zip(raw) {
+            // Chains may pass through earlier batch members' fresh threats.
+            allowed_edges.extend(Edge::from_threats(&threats));
+            let chains = find_chains(&allowed_edges, self.chain_depth)
+                .into_iter()
+                .filter(|c| c.rules.iter().any(|r| r.app == *app))
+                .collect();
+            out.push(InstallReport {
+                app: app.to_string(),
+                rules,
+                threats,
+                chains,
+                stats,
+                installed: false,
+                config: None,
+            });
+        }
+        out
+    }
+
+    /// Chained detection through the Allowed list (§VI-D): edges from the
+    /// new findings plus the user-allowed historical pairs.
+    fn chains_for(&self, app: &str, threats: &[Threat]) -> Vec<Chain> {
+        let mut edges = Edge::from_threats(threats);
+        edges.extend(Edge::from_threats(&self.allowed));
+        find_chains(&edges, self.chain_depth)
+            .into_iter()
+            .filter(|c| c.rules.iter().any(|r| r.app == app))
+            .collect()
+    }
+
+    /// The user decided to install despite the report: the staged
+    /// configuration (if any) is recorded permanently, rules are recorded,
+    /// and the reported pairwise threats move to the Allowed list.
+    pub fn confirm_install(&mut self, mut report: InstallReport) -> InstallReport {
+        if let Some(info) = &report.config {
+            self.record_config(info);
+        }
+        self.engine.install_rules(report.rules.iter());
+        self.allowed.extend(report.threats.iter().cloned());
+        report.installed = true;
+        report
+    }
+
+    /// Ingests + records configuration + checks, and **confirms only if
+    /// clean**. A dirty report is returned with
+    /// [`installed == false`](InstallReport::installed): nothing was
+    /// recorded, and the caller decides — [`Home::confirm_install`] to
+    /// accept the interference, or drop the report to reject the app.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn install_app(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, ExtractError> {
+        let report = self.stage_install(source, name, config)?;
+        if report.is_clean() {
+            Ok(self.confirm_install(report))
+        } else {
+            Ok(report)
+        }
+    }
+
+    /// Ingests + records configuration + checks + confirms unconditionally,
+    /// returning the (possibly dirty) report. This is the scripted-
+    /// experiment path: the "user" accepts every interference, so threats
+    /// land on the Allowed list exactly as §VI-D's chained detection needs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn install_app_forced(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, ExtractError> {
+        let report = self.stage_install(source, name, config)?;
+        Ok(self.confirm_install(report))
+    }
+
+    /// Ingests and checks under the staged configuration, then restores
+    /// the recorder: recording becomes permanent only on confirmation, so
+    /// a rejected install cannot leave bindings behind (which would change
+    /// how *other* apps' slots unify from then on).
+    fn stage_install(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, ExtractError> {
+        let analysis = self.store.ingest(source, name)?;
+        let app_name = analysis.name.clone();
+        let saved = config.map(|info| {
+            let snapshot = (self.bindings.clone(), self.values.clone());
+            self.record_config(info);
+            snapshot
+        });
+        let mut report = self.check_install(&app_name);
+        report.config = config.cloned();
+        if let Some((bindings, values)) = saved {
+            self.bindings = bindings;
+            self.values = values;
+            self.engine.reconfigure(self.detector());
+        }
+        Ok(report)
+    }
+
+    /// All installed rules, in install order.
+    pub fn installed_rules(&self) -> Vec<&Rule> {
+        self.engine.installed_rules().collect()
+    }
+
+    /// The Allowed list.
+    pub fn allowed(&self) -> &[Threat] {
+        &self.allowed
+    }
+
+    /// The incremental detection engine (for inspection and benches).
+    pub fn engine(&self) -> &DetectionEngine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_detector::ThreatKind;
+
+    const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+    const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+    #[test]
+    fn first_install_is_clean_and_confirmed() {
+        let mut home = Home::new(RuleStore::shared());
+        let report = home.install_app(ON_APP, "OnApp", None).unwrap();
+        assert!(report.is_clean());
+        assert!(report.installed);
+        assert_eq!(home.installed_rules().len(), 1);
+    }
+
+    #[test]
+    fn dirty_install_requires_explicit_confirmation() {
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        let report = home.install_app(OFF_APP, "OffApp", None).unwrap();
+        assert!(!report.is_clean());
+        assert!(!report.installed, "dirty installs must not auto-confirm");
+        assert!(report
+            .threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::ActuatorRace));
+        assert_eq!(home.installed_rules().len(), 1, "OffApp not recorded yet");
+        assert!(home.allowed().is_empty());
+
+        let report = home.confirm_install(report);
+        assert!(report.installed);
+        assert_eq!(home.installed_rules().len(), 2);
+        assert!(
+            !home.allowed().is_empty(),
+            "threats moved to the Allowed list"
+        );
+    }
+
+    #[test]
+    fn forced_install_confirms_dirty_reports() {
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app_forced(ON_APP, "OnApp", None).unwrap();
+        let report = home.install_app_forced(OFF_APP, "OffApp", None).unwrap();
+        assert!(!report.is_clean());
+        assert!(report.installed);
+        assert_eq!(home.installed_rules().len(), 2);
+        assert!(!home.allowed().is_empty());
+    }
+
+    #[test]
+    fn config_bindings_change_verdict() {
+        let mut home = Home::new(RuleStore::shared());
+        let cfg_a = ConfigInfo::new("OnApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        home.install_app(ON_APP, "OnApp", Some(&cfg_a)).unwrap();
+        // OffApp bound to a DIFFERENT lamp: no race.
+        let cfg_b = ConfigInfo::new("OffApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-2");
+        let report = home.install_app(OFF_APP, "OffApp", Some(&cfg_b)).unwrap();
+        assert!(
+            !report
+                .threats
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "{:#?}",
+            report.threats
+        );
+    }
+
+    #[test]
+    fn rejected_install_reverts_staged_config() {
+        // A dirty install staged with bindings is rejected: the bindings
+        // must not linger, or they would silently flip the Auto policy
+        // from by-type to bindings unification for every later check.
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        let cfg = ConfigInfo::new("OffApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-2");
+        let report = home.install_app(OFF_APP, "OffApp", Some(&cfg)).unwrap();
+        assert!(!report.installed, "{:#?}", report.threats);
+        drop(report); // user rejects the app
+
+        // Under restored by-type unification the race must still surface.
+        let check = home.check_install("OffApp");
+        assert!(
+            check
+                .threats
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "bindings leaked from the rejected install: {:#?}",
+            check.threats
+        );
+    }
+
+    #[test]
+    fn confirmed_install_applies_staged_config() {
+        let mut home = Home::new(RuleStore::shared());
+        let cfg_a = ConfigInfo::new("OnApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        home.install_app(ON_APP, "OnApp", Some(&cfg_a)).unwrap();
+        let cfg_b = ConfigInfo::new("OffApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        let report = home.install_app(OFF_APP, "OffApp", Some(&cfg_b)).unwrap();
+        assert!(!report.installed);
+        let report = home.confirm_install(report);
+        assert!(report.installed);
+        // Both apps' bindings are now permanent: a same-lamp re-check of a
+        // third identical app still races under bindings unification.
+        let check = home.check_install("OffApp");
+        assert!(
+            check
+                .threats
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "{:#?}",
+            check.threats
+        );
+    }
+
+    #[test]
+    fn chained_detection_through_allowed_list() {
+        // App1: motion -> switch on. App2: switch on -> mode Home.
+        // App3: mode change -> unlock door. Installing all three must
+        // surface the 3-rule covert chain at App3's install.
+        let app1 = r#"
+definition(name: "MotionSwitch")
+input "m", "capability.motionSensor"
+input "sw", "capability.switch", title: "hall switch"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { sw.on() }
+"#;
+        let app2 = r#"
+definition(name: "SwitchMode")
+input "sw", "capability.switch", title: "hall switch"
+def installed() { subscribe(sw, "switch.on", h) }
+def h(evt) { setLocationMode("Home") }
+"#;
+        let app3 = r#"
+definition(name: "ModeUnlock")
+input "door", "capability.lock", title: "front door"
+def installed() { subscribe(location, "mode", h) }
+def h(evt) { if (location.mode == "Home") { door.unlock() } }
+"#;
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app_forced(app1, "MotionSwitch", None).unwrap();
+        home.install_app_forced(app2, "SwitchMode", None).unwrap();
+        let report = home.install_app_forced(app3, "ModeUnlock", None).unwrap();
+        assert!(
+            !report.chains.is_empty(),
+            "expected a covert chain, threats: {:#?}",
+            report.threats
+        );
+        let chain = &report.chains[0];
+        assert!(chain.rules.len() >= 3, "{chain}");
+    }
+
+    #[test]
+    fn two_homes_share_one_store() {
+        let store = RuleStore::shared();
+        let mut alice = Home::new(store.clone());
+        let mut bob = Home::builder(store.clone()).modes(["Day", "Night"]).build();
+
+        alice.install_app(ON_APP, "OnApp", None).unwrap();
+        // Bob installs the same store app: extraction is served from cache,
+        // and his home is clean because HIS home has no competing rule.
+        let report = bob.install_app(ON_APP, "OnApp", None).unwrap();
+        assert!(report.is_clean());
+        assert!(store.cache_hits() >= 1);
+        assert_eq!(store.len(), 1);
+
+        // Interference stays per-home: OffApp races in Alice's home...
+        let dirty = alice.install_app(OFF_APP, "OffApp", None).unwrap();
+        assert!(!dirty.is_clean());
+        // ...but Bob's session state is untouched by Alice's verdicts.
+        assert_eq!(bob.installed_rules().len(), 1);
+        assert!(bob.allowed().is_empty());
+    }
+
+    #[test]
+    fn check_install_many_matches_sequential_installs() {
+        let store = RuleStore::shared();
+        store.ingest(ON_APP, "OnApp").unwrap();
+        store.ingest(OFF_APP, "OffApp").unwrap();
+        let home = Home::builder(store.clone()).build();
+        let reports = home.check_install_many(&["OnApp", "OffApp"]);
+        assert_eq!(reports.len(), 2);
+        assert!(reports[0].is_clean());
+        assert!(reports[1]
+            .threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::ActuatorRace));
+        // check does not install.
+        assert!(home.installed_rules().is_empty());
+    }
+}

@@ -1,13 +1,20 @@
 //! # homeguard-core — the HOMEGUARD system
 //!
 //! This crate assembles the paper's Fig. 6 architecture from the substrate
-//! crates:
+//! crates, redesigned as three layers so one process can serve many homes
+//! from one rule database:
 //!
-//! * [`ExtractorService`] — the backend: offline rule extraction into a
-//!   JSON rule database, with on-demand extraction for custom apps;
-//! * [`HomeGuard`] — the per-home process: configuration recorder, rule
-//!   recorder, detection engine orchestration and the Allowed list for
-//!   chained-threat detection (§VI-D);
+//! * [`RuleStore`] — the process-wide extractor service and rule database:
+//!   created once, shared behind an [`Arc`](std::sync::Arc) across every
+//!   home, with interior-mutability ingest so one extraction serves every
+//!   home installing the same store app;
+//! * [`Home`] — a per-home session handle built via [`HomeBuilder`]
+//!   (location modes, unification policy, configuration recorder). It owns
+//!   only per-home state — installed rules, device bindings, the Allowed
+//!   list (§VI-D) — and drives an incremental
+//!   [`DetectionEngine`](hg_detector::DetectionEngine) whose candidate
+//!   index visits only the installed rules a new app can actually
+//!   interact with;
 //! * [`frontend`] — the rule interpreter and threat interpreter that turn
 //!   rules, witnesses and reports into the human-readable screens of
 //!   Fig. 7b.
@@ -15,18 +22,24 @@
 //! # Examples
 //!
 //! ```
-//! use homeguard_core::HomeGuard;
+//! use homeguard_core::{frontend, Home, RuleStore};
 //! use hg_detector::ThreatKind;
 //!
-//! let mut hg = HomeGuard::new();
-//! hg.install_app(r#"
+//! let store = RuleStore::shared();
+//! let mut home = Home::new(store.clone());
+//!
+//! // A clean install is confirmed automatically.
+//! let report = home.install_app(r#"
 //!     definition(name: "OnApp")
 //!     input "m", "capability.motionSensor"
 //!     input "lamp", "capability.switch", title: "lamp"
 //!     def installed() { subscribe(m, "motion.active", h) }
 //!     def h(evt) { lamp.on() }
 //! "#, "OnApp", None).unwrap();
-//! let report = hg.install_app(r#"
+//! assert!(report.installed);
+//!
+//! // A dirty install is NOT: the report comes back for the user to decide.
+//! let report = home.install_app(r#"
 //!     definition(name: "OffApp")
 //!     input "m", "capability.motionSensor"
 //!     input "lamp", "capability.switch", title: "lamp"
@@ -34,15 +47,20 @@
 //!     def h(evt) { lamp.off() }
 //! "#, "OffApp", None).unwrap();
 //! assert!(report.threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
-//! println!("{}", homeguard_core::frontend::interpret_report(&report));
+//! assert!(!report.installed);
+//! println!("{}", frontend::interpret_report(&report));
+//!
+//! // Accepting the interference records it on the Allowed list.
+//! home.confirm_install(report);
+//! assert!(!home.allowed().is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod extractor_service;
 pub mod frontend;
-pub mod install;
+pub mod home;
+pub mod store;
 
-pub use extractor_service::ExtractorService;
-pub use install::{HomeGuard, InstallReport};
+pub use home::{Home, HomeBuilder, InstallReport, UnificationPolicy};
+pub use store::RuleStore;

@@ -1,0 +1,268 @@
+//! The process-wide rule store (paper Fig. 6, §VIII-C — the extractor
+//! service and its app database, redesigned for multi-home service).
+//!
+//! One HomeGuard backend serves many homes, but the rules of a store app do
+//! not depend on the home installing it — extraction is a pure function of
+//! the app source. [`RuleStore`] therefore lives *above* the per-home
+//! sessions: it is created once, wrapped in an [`Arc`], and shared
+//! read-only by every [`Home`](crate::Home). Ingestion uses interior
+//! mutability (an `RwLock` around the database) so the store can keep
+//! absorbing newly-published apps while homes hold references to it, and
+//! re-ingesting an unchanged source is a cache hit — one extraction serves
+//! every home installing the same store app.
+
+use hg_rules::json::{rules_from_text, rules_to_text};
+use hg_rules::rule::Rule;
+use hg_symexec::{extract, AppAnalysis, ExtractError, ExtractorConfig};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// The shared rule database: extraction backend + per-app rule files.
+pub struct RuleStore {
+    /// Extractor configuration, fixed at store creation.
+    config: ExtractorConfig,
+    inner: RwLock<StoreInner>,
+    /// How often `ingest` was answered from cache instead of re-extracting.
+    /// Atomic so the cache-hit fast path stays on the read lock.
+    cache_hits: AtomicU64,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    /// `app name → serialized rule file` — what the backend persists.
+    database: BTreeMap<String, String>,
+    /// Cached full analyses (inputs, warnings) for the frontend.
+    analyses: BTreeMap<String, Arc<AppAnalysis>>,
+    /// `(source, fallback name) fingerprint → analysis`, the ingest dedup
+    /// cache. The analysis is held here directly (not via the name) so a
+    /// later re-ingest of the same app name with *different* source cannot
+    /// make an old fingerprint serve the new analysis.
+    by_fingerprint: BTreeMap<u64, Arc<AppAnalysis>>,
+}
+
+impl Default for RuleStore {
+    fn default() -> Self {
+        RuleStore::new()
+    }
+}
+
+impl RuleStore {
+    /// A store using the extended extractor configuration (the paper's
+    /// final state after modeling the special cases).
+    pub fn new() -> RuleStore {
+        RuleStore::with_config(ExtractorConfig::extended())
+    }
+
+    /// A store with a specific extractor configuration.
+    pub fn with_config(config: ExtractorConfig) -> RuleStore {
+        RuleStore {
+            config,
+            inner: RwLock::new(StoreInner::default()),
+            cache_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh store already wrapped for sharing across homes.
+    pub fn shared() -> Arc<RuleStore> {
+        Arc::new(RuleStore::new())
+    }
+
+    /// Extracts an app and stores its rule file (the offline part of
+    /// HomeGuard). Returns the analysis.
+    ///
+    /// Ingest is idempotent per `(source, fallback name)`: a repeated
+    /// ingest returns the cached analysis of exactly that source without
+    /// re-running extraction — this is what makes the store safe and cheap
+    /// to share across every home that installs the same store app. The
+    /// fallback name participates in the fingerprint because extraction of
+    /// an unnamed app derives its rule identities from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction failures.
+    pub fn ingest(
+        &self,
+        source: &str,
+        fallback_name: &str,
+    ) -> Result<Arc<AppAnalysis>, ExtractError> {
+        let fingerprint = {
+            let mut h = DefaultHasher::new();
+            source.hash(&mut h);
+            fallback_name.hash(&mut h);
+            h.finish()
+        };
+        // Fast path under the read lock: same ingest already served.
+        {
+            let inner = self.inner.read().expect("rule store poisoned");
+            if let Some(analysis) = inner.by_fingerprint.get(&fingerprint) {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(analysis.clone());
+            }
+        }
+        let analysis = Arc::new(extract(source, fallback_name, &self.config)?);
+        let name = analysis.name.clone();
+        let mut inner = self.inner.write().expect("rule store poisoned");
+        inner
+            .database
+            .insert(name.clone(), rules_to_text(&analysis.rules));
+        inner.by_fingerprint.insert(fingerprint, analysis.clone());
+        inner.analyses.insert(name, analysis.clone());
+        Ok(analysis)
+    }
+
+    /// Queries the stored rules for `app` (the phone app's online request).
+    pub fn rules_of(&self, app: &str) -> Option<Vec<Rule>> {
+        let inner = self.inner.read().expect("rule store poisoned");
+        let text = inner.database.get(app)?;
+        rules_from_text(text).ok()
+    }
+
+    /// The stored analysis for `app`.
+    pub fn analysis_of(&self, app: &str) -> Option<Arc<AppAnalysis>> {
+        let inner = self.inner.read().expect("rule store poisoned");
+        inner.analyses.get(app).cloned()
+    }
+
+    /// The serialized rule-file size in bytes for `app` (§VIII-C measures
+    /// an average of ~6.2 KB per app).
+    pub fn rule_file_size(&self, app: &str) -> Option<usize> {
+        let inner = self.inner.read().expect("rule store poisoned");
+        inner.database.get(app).map(String::len)
+    }
+
+    /// Names of every ingested app.
+    pub fn app_names(&self) -> Vec<String> {
+        let inner = self.inner.read().expect("rule store poisoned");
+        inner.database.keys().cloned().collect()
+    }
+
+    /// Number of apps in the database.
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("rule store poisoned")
+            .database
+            .len()
+    }
+
+    /// Whether the database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner
+            .read()
+            .expect("rule store poisoned")
+            .database
+            .is_empty()
+    }
+
+    /// How many ingests were served from cache (same source, no
+    /// re-extraction).
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const APP: &str = r#"
+definition(name: "Mini")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+    #[test]
+    fn ingest_and_query_roundtrip() {
+        let store = RuleStore::new();
+        store.ingest(APP, "Mini").unwrap();
+        let rules = store.rules_of("Mini").unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].actions[0].command, "on");
+        assert!(store.rule_file_size("Mini").unwrap() > 50);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.app_names(), vec!["Mini".to_string()]);
+    }
+
+    #[test]
+    fn missing_app_is_none() {
+        let store = RuleStore::new();
+        assert!(store.rules_of("Nope").is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn database_round_trips_through_json() {
+        let store = RuleStore::new();
+        let analysis_rules = store.ingest(APP, "Mini").unwrap().rules.clone();
+        let from_db = store.rules_of("Mini").unwrap();
+        assert_eq!(from_db, analysis_rules);
+    }
+
+    #[test]
+    fn repeated_ingest_is_a_cache_hit() {
+        let store = RuleStore::new();
+        let first = store.ingest(APP, "Mini").unwrap();
+        let second = store.ingest(APP, "Mini").unwrap();
+        assert!(Arc::ptr_eq(&first, &second), "same analysis object");
+        assert_eq!(store.cache_hits(), 1);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn updated_source_does_not_poison_the_cache() {
+        // v2 of "Mini" replaces the database entry, but the v1 fingerprint
+        // must keep serving the v1 analysis, not v2's.
+        let v2 = APP.replace("lamp.on()", "lamp.off()");
+        let store = RuleStore::new();
+        let first_v1 = store.ingest(APP, "Mini").unwrap();
+        store.ingest(&v2, "Mini").unwrap();
+        let again_v1 = store.ingest(APP, "Mini").unwrap();
+        assert_eq!(again_v1.rules, first_v1.rules);
+        assert_eq!(again_v1.rules[0].actions[0].command, "on");
+        // The by-name views serve the latest ingest.
+        assert_eq!(store.rules_of("Mini").unwrap()[0].actions[0].command, "off");
+    }
+
+    #[test]
+    fn same_source_different_fallback_names_are_distinct() {
+        // Unnamed apps derive rule identities from the fallback name, so
+        // the dedup cache must not conflate them.
+        let unnamed = r#"
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+        let store = RuleStore::new();
+        let a = store.ingest(unnamed, "AppA").unwrap();
+        let b = store.ingest(unnamed, "AppB").unwrap();
+        assert_eq!(a.name, "AppA");
+        assert_eq!(b.name, "AppB");
+        assert_eq!(store.cache_hits(), 0);
+    }
+
+    #[test]
+    fn shared_store_serves_concurrent_ingest() {
+        let store = RuleStore::shared();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let store = store.clone();
+                std::thread::spawn(move || store.ingest(APP, "Mini").unwrap().rules.len())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 1);
+        }
+        assert_eq!(store.len(), 1);
+        // However the threads raced, a subsequent identical ingest is a hit.
+        let before = store.cache_hits();
+        store.ingest(APP, "Mini").unwrap();
+        assert_eq!(store.cache_hits(), before + 1);
+    }
+}

@@ -113,11 +113,17 @@ mod tests {
     #[test]
     fn web_service_and_special_categories() {
         assert_eq!(
-            benign_apps().iter().filter(|a| a.category == Category::WebService).count(),
+            benign_apps()
+                .iter()
+                .filter(|a| a.category == Category::WebService)
+                .count(),
             4
         );
         assert_eq!(
-            benign_apps().iter().filter(|a| a.category == Category::Special).count(),
+            benign_apps()
+                .iter()
+                .filter(|a| a.category == Category::Special)
+                .count(),
             3
         );
     }

@@ -320,8 +320,10 @@ mod tests {
     #[test]
     fn eighteen_apps_ten_classes() {
         assert_eq!(MALICIOUS_APPS.len(), 18);
-        let classes: std::collections::BTreeSet<_> =
-            MALICIOUS_APPS.iter().map(|a| a.attack.description()).collect();
+        let classes: std::collections::BTreeSet<_> = MALICIOUS_APPS
+            .iter()
+            .map(|a| a.attack.description())
+            .collect();
         assert_eq!(classes.len(), 10);
     }
 

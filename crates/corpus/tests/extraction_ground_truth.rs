@@ -10,12 +10,10 @@ use std::collections::BTreeSet;
 #[test]
 fn every_corpus_app_parses() {
     for app in benign_apps() {
-        hg_lang::parse(app.source)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", app.name));
+        hg_lang::parse(app.source).unwrap_or_else(|e| panic!("{} does not parse: {e}", app.name));
     }
     for app in MALICIOUS_APPS {
-        hg_lang::parse(app.source)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", app.name));
+        hg_lang::parse(app.source).unwrap_or_else(|e| panic!("{} does not parse: {e}", app.name));
     }
 }
 
@@ -37,7 +35,11 @@ fn extraction_matches_ground_truth() {
                 app.name,
                 app.expected_rules,
                 analysis.rules.len(),
-                analysis.rules.iter().map(|r| r.id.to_string()).collect::<Vec<_>>(),
+                analysis
+                    .rules
+                    .iter()
+                    .map(|r| r.id.to_string())
+                    .collect::<Vec<_>>(),
             ));
         }
         let extracted: BTreeSet<&str> = analysis
@@ -54,7 +56,11 @@ fn extraction_matches_ground_truth() {
             ));
         }
     }
-    assert!(failures.is_empty(), "ground-truth mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "ground-truth mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -84,8 +90,17 @@ fn web_service_apps_define_no_automation() {
             continue;
         }
         let analysis = extract(app.source, app.name, &config).unwrap();
-        assert!(analysis.is_web_service, "{} not flagged as web service", app.name);
-        assert_eq!(analysis.rules.len(), 0, "{} unexpectedly has rules", app.name);
+        assert!(
+            analysis.is_web_service,
+            "{} not flagged as web service",
+            app.name
+        );
+        assert_eq!(
+            analysis.rules.len(),
+            0,
+            "{} unexpectedly has rules",
+            app.name
+        );
     }
 }
 
@@ -93,8 +108,8 @@ fn web_service_apps_define_no_automation() {
 fn malicious_extraction_matches_table_iii() {
     let config = ExtractorConfig::extended();
     for app in MALICIOUS_APPS {
-        let analysis = extract(app.source, app.name, &config)
-            .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        let analysis =
+            extract(app.source, app.name, &config).unwrap_or_else(|e| panic!("{}: {e}", app.name));
         let statically_visible = !analysis.is_web_service && !analysis.rules.is_empty();
         if app.attack.statically_handled() {
             assert!(

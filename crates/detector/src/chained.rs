@@ -34,7 +34,11 @@ impl Edge {
                     ThreatKind::CovertTriggering | ThreatKind::EnablingCondition
                 )
             })
-            .map(|t| Edge { from: t.source.clone(), to: t.target.clone(), kind: t.kind })
+            .map(|t| Edge {
+                from: t.source.clone(),
+                to: t.target.clone(),
+                kind: t.kind,
+            })
             .collect()
     }
 }
@@ -85,7 +89,14 @@ pub fn find_chains(edges: &[Edge], max_len: usize) -> Vec<Chain> {
     for start in adjacency.keys().copied() {
         let mut path = vec![start.clone()];
         let mut kinds = Vec::new();
-        dfs(start, &adjacency, &mut path, &mut kinds, max_len, &mut chains);
+        dfs(
+            start,
+            &adjacency,
+            &mut path,
+            &mut kinds,
+            max_len,
+            &mut chains,
+        );
     }
     chains
 }
@@ -101,7 +112,9 @@ fn dfs(
     if kinds.len() >= max_len {
         return;
     }
-    let Some(next_edges) = adjacency.get(node) else { return };
+    let Some(next_edges) = adjacency.get(node) else {
+        return;
+    };
     for edge in next_edges {
         if path.contains(&edge.to) {
             continue;
@@ -109,7 +122,10 @@ fn dfs(
         path.push(edge.to.clone());
         kinds.push(edge.kind);
         if kinds.len() >= 2 {
-            chains.push(Chain { rules: path.clone(), kinds: kinds.clone() });
+            chains.push(Chain {
+                rules: path.clone(),
+                kinds: kinds.clone(),
+            });
         }
         dfs(&edge.to, adjacency, path, kinds, max_len, chains);
         path.pop();
@@ -126,7 +142,11 @@ mod tests {
     }
 
     fn edge(a: &str, b: &str) -> Edge {
-        Edge { from: rid(a), to: rid(b), kind: ThreatKind::CovertTriggering }
+        Edge {
+            from: rid(a),
+            to: rid(b),
+            kind: ThreatKind::CovertTriggering,
+        }
     }
 
     #[test]
@@ -166,7 +186,12 @@ mod tests {
 
     #[test]
     fn max_len_caps_depth() {
-        let edges = vec![edge("A", "B"), edge("B", "C"), edge("C", "D"), edge("D", "E")];
+        let edges = vec![
+            edge("A", "B"),
+            edge("B", "C"),
+            edge("C", "D"),
+            edge("D", "E"),
+        ];
         let chains = find_chains(&edges, 2);
         assert!(chains.iter().all(|c| c.len() <= 2));
         let deep = find_chains(&edges, 8);

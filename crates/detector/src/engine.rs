@@ -6,6 +6,7 @@
 //! results are reused across threat kinds exactly as Fig. 9's green dotted
 //! edges describe: CT/SD/LT reuse the AR overlap result, DC reuses EC's.
 
+use crate::index::{prepare_with, PreparedRule};
 use crate::overlap::{OverlapSolver, Unification};
 use crate::report::{DetectStats, Threat, ThreatKind};
 use hg_capability::capability::{self, AttrEffect};
@@ -18,7 +19,7 @@ use hg_rules::varid::{DeviceRef, VarId};
 use hg_solver::Outcome;
 
 /// The CAI threat detector.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Detector {
     /// Device slot unification strategy.
     pub unification: Unification,
@@ -35,11 +36,28 @@ impl Detector {
     /// Detects all CAI threats between two rules (both directions for the
     /// directed categories).
     pub fn detect_pair(&self, r1: &Rule, r2: &Rule) -> (Vec<Threat>, DetectStats) {
+        let p1 = prepare_with(self, r1);
+        let p2 = prepare_with(self, r2);
+        self.detect_pair_prepared(&p1, &p2)
+    }
+
+    /// Detects all CAI threats between two [`PreparedRule`]s, skipping the
+    /// per-pair unification work. This is the inner loop of the incremental
+    /// [`DetectionEngine`](crate::DetectionEngine): rules are prepared once
+    /// per session and reused across every candidate pair.
+    pub fn detect_pair_prepared(
+        &self,
+        p1: &PreparedRule,
+        p2: &PreparedRule,
+    ) -> (Vec<Threat>, DetectStats) {
         let mut cx = PairCx {
             detector: self,
-            orig: [r1, r2],
-            unified: [self.unification.unify_rule(r1), self.unification.unify_rule(r2)],
-            stats: DetectStats { pairs: 1, ..Default::default() },
+            orig: [&p1.orig, &p2.orig],
+            unified: [&p1.unified, &p2.unified],
+            stats: DetectStats {
+                pairs: 1,
+                ..Default::default()
+            },
             situation_overlap: None,
             condition_overlap: None,
         };
@@ -73,7 +91,7 @@ impl Detector {
 struct PairCx<'a> {
     detector: &'a Detector,
     orig: [&'a Rule; 2],
-    unified: [Rule; 2],
+    unified: [&'a Rule; 2],
     stats: DetectStats,
     /// Cached result of the merged situation solve (AR's overlap check),
     /// reused by CT/SD/LT.
@@ -127,13 +145,16 @@ impl<'a> PairCx<'a> {
                 if found {
                     break;
                 }
-                let Some(conflict) = actions_contradict(a1, a2) else { continue };
+                let Some(conflict) = actions_contradict(a1, a2) else {
+                    continue;
+                };
                 // AR requires the rules to take effect together: identical
                 // trigger events, or a delayed command that can land while
                 // the other rule fires.
-                let coincide = triggers_coincide(&self.unified[0].trigger, &self.unified[1].trigger)
-                    || a1.when_secs > 0
-                    || a2.when_secs > 0;
+                let coincide =
+                    triggers_coincide(&self.unified[0].trigger, &self.unified[1].trigger)
+                        || a1.when_secs > 0
+                        || a2.when_secs > 0;
                 if !coincide {
                     continue;
                 }
@@ -179,9 +200,10 @@ impl<'a> PairCx<'a> {
                     if reported.contains(&prop) {
                         continue;
                     }
-                    let (Some(s1), Some(s2)) =
-                        (k1.effect_on(&a1.command, prop), k2.effect_on(&a2.command, prop))
-                    else {
+                    let (Some(s1), Some(s2)) = (
+                        k1.effect_on(&a1.command, prop),
+                        k2.effect_on(&a2.command, prop),
+                    ) else {
                         continue;
                     };
                     if s1 != s2.opposite() {
@@ -269,7 +291,9 @@ impl<'a> PairCx<'a> {
             }
             // Channel 2: the command moves an environment feature a sensor
             // reports, and the movement direction can fire T2.
-            let Some(kind) = action_kind(a_orig) else { continue };
+            let Some(kind) = action_kind(a_orig) else {
+                continue;
+            };
             for fx in kind.goal_effects() {
                 if fx.command != a_orig.command {
                     continue;
@@ -315,7 +339,7 @@ impl<'a> PairCx<'a> {
             }
             // R_dst's action must undo R_src's action on the same actuator.
             if let Some((actuator, note)) =
-                first_contradictory_pair(&self.unified[src], &self.unified[dst])
+                first_contradictory_pair(self.unified[src], self.unified[dst])
             {
                 // Reuse the action-analysis + CT overlap results: no fresh
                 // solving needed (Fig. 9).
@@ -340,9 +364,7 @@ impl<'a> PairCx<'a> {
         if !(ct_12 && ct_21) {
             return;
         }
-        if let Some((actuator, note)) =
-            first_contradictory_pair(&self.unified[0], &self.unified[1])
-        {
+        if let Some((actuator, note)) = first_contradictory_pair(self.unified[0], self.unified[1]) {
             self.stats.reused += 1;
             out.push(Threat {
                 kind: ThreatKind::LoopTriggering,
@@ -409,7 +431,9 @@ impl<'a> PairCx<'a> {
                 });
             }
             // Channel 2: environment movement vs. C2's numeric thresholds.
-            let Some(kind_dev) = action_kind(a_orig) else { continue };
+            let Some(kind_dev) = action_kind(a_orig) else {
+                continue;
+            };
             for fx in kind_dev.goal_effects() {
                 if fx.command != a_orig.command {
                     continue;
@@ -464,7 +488,7 @@ fn action_device(a: &Action) -> Option<&DeviceRef> {
 
 /// The classified device kind of an action's original (pre-unification)
 /// subject.
-fn action_kind(a: &Action) -> Option<DeviceKind> {
+pub(crate) fn action_kind(a: &Action) -> Option<DeviceKind> {
     match &a.subject {
         ActionSubject::Device(DeviceRef::Unbound { kind, .. }) => Some(*kind),
         ActionSubject::Device(DeviceRef::Bound { device_id }) => {
@@ -548,12 +572,16 @@ fn triggers_coincide(t1: &Trigger, t2: &Trigger) -> bool {
             t1.observed_var() == t2.observed_var()
         }
         (Trigger::ModeChange { .. }, Trigger::ModeChange { .. }) => true,
-        (Trigger::Periodic { period_secs: p1 }, Trigger::Periodic { period_secs: p2 }) => {
-            p1 == p2
-        }
+        (Trigger::Periodic { period_secs: p1 }, Trigger::Periodic { period_secs: p2 }) => p1 == p2,
         (
-            Trigger::TimeOfDay { at_minutes: Some(m1), .. },
-            Trigger::TimeOfDay { at_minutes: Some(m2), .. },
+            Trigger::TimeOfDay {
+                at_minutes: Some(m1),
+                ..
+            },
+            Trigger::TimeOfDay {
+                at_minutes: Some(m2),
+                ..
+            },
         ) => m1 == m2,
         (Trigger::AppTouch, Trigger::AppTouch) => true,
         _ => false,
@@ -561,14 +589,13 @@ fn triggers_coincide(t1: &Trigger, t2: &Trigger) -> bool {
 }
 
 /// The direct world-state writes of an action: `(variable, effect formula)`.
-fn direct_effects(a: &Action) -> Vec<(VarId, Formula)> {
+pub(crate) fn direct_effects(a: &Action) -> Vec<(VarId, Formula)> {
     let mut out = Vec::new();
     match &a.subject {
         ActionSubject::Device(dev) => {
             // Prefer the device's own capability; fall back to the first
             // capability defining the command with effects.
-            let own = device_capability(dev)
-                .filter(|cap| cap.command(&a.command).is_some());
+            let own = device_capability(dev).filter(|cap| cap.command(&a.command).is_some());
             let cap = own.or_else(|| {
                 capability::CAPABILITIES.iter().find(|c| {
                     c.command(&a.command)
@@ -577,21 +604,22 @@ fn direct_effects(a: &Action) -> Vec<(VarId, Formula)> {
                 })
             });
             let Some(cap) = cap else { return out };
-            let Some(cmd) = cap.command(&a.command) else { return out };
+            let Some(cmd) = cap.command(&a.command) else {
+                return out;
+            };
             for eff in cmd.effects {
                 match eff {
                     AttrEffect::SetConst { attribute, value } => {
                         let var = VarId::canonical_attr(dev, attribute);
                         out.push((
                             var.clone(),
-                            Formula::cmp(
-                                Term::Var(var),
-                                CmpOp::Eq,
-                                Term::sym(value.to_string()),
-                            ),
+                            Formula::cmp(Term::Var(var), CmpOp::Eq, Term::sym(value.to_string())),
                         ));
                     }
-                    AttrEffect::SetParam { attribute, param_index } => {
+                    AttrEffect::SetParam {
+                        attribute,
+                        param_index,
+                    } => {
                         if let Some(p) = a.params.get(*param_index) {
                             let var = VarId::canonical_attr(dev, attribute);
                             out.push((
@@ -649,24 +677,19 @@ fn direction_compatible(constraint: Option<&Formula>, var: &VarId, sign: Sign) -
             return;
         }
         any_atom = true;
-        let ok = match (op, sign) {
-            (CmpOp::Gt | CmpOp::Ge, Sign::Inc) => true,
-            (CmpOp::Lt | CmpOp::Le, Sign::Dec) => true,
-            (CmpOp::Eq | CmpOp::Ne, _) => true,
-            _ => false,
-        };
-        compatible |= ok;
+        compatible |= matches!(
+            (op, sign),
+            (CmpOp::Gt | CmpOp::Ge, Sign::Inc)
+                | (CmpOp::Lt | CmpOp::Le, Sign::Dec)
+                | (CmpOp::Eq | CmpOp::Ne, _)
+        );
     });
     !any_atom || compatible
 }
 
 /// Classifies how moving `var` in `sign` direction affects a condition:
 /// returns flags for (EnablingCondition, DisablingCondition).
-fn classify_env_condition_effect(
-    c2: &Formula,
-    var: &VarId,
-    sign: Sign,
-) -> [(ThreatKind, bool); 2] {
+fn classify_env_condition_effect(c2: &Formula, var: &VarId, sign: Sign) -> [(ThreatKind, bool); 2] {
     let mut enables = false;
     let mut disables = false;
     scan_atoms(c2, &mut |lhs, op, rhs| {

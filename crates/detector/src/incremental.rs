@@ -1,0 +1,325 @@
+//! The incremental detection engine: installed rules + candidate index.
+//!
+//! The naive pipeline re-unifies every installed rule and brute-forces
+//! every (new, installed) pair on each install. [`DetectionEngine`] keeps
+//! the per-home detection state *persistent*: installed rules are prepared
+//! (unified + faceted) once, posted into a [`CandidateIndex`], and a new
+//! rule only visits the index-colliding subset. `check` reports the exact
+//! same threats as `check_exhaustive` — the index is a proven
+//! over-approximation of the per-pair action-analysis filters — while
+//! skipping most pair visits, which is what lets one process serve many
+//! homes against a large installed population.
+
+use crate::engine::Detector;
+use crate::index::{CandidateIndex, PreparedRule};
+use crate::report::{DetectStats, Threat};
+use hg_rules::rule::Rule;
+
+/// Per-home incremental CAI detection state.
+#[derive(Debug, Clone, Default)]
+pub struct DetectionEngine {
+    detector: Detector,
+    installed: Vec<PreparedRule>,
+    index: CandidateIndex,
+}
+
+impl DetectionEngine {
+    /// An engine with the given detector (unification policy + solver
+    /// context) and no installed rules.
+    pub fn new(detector: Detector) -> DetectionEngine {
+        DetectionEngine {
+            detector,
+            installed: Vec::new(),
+            index: CandidateIndex::new(),
+        }
+    }
+
+    /// The configured detector.
+    pub fn detector(&self) -> &Detector {
+        &self.detector
+    }
+
+    /// Replaces the detector and re-prepares every installed rule against
+    /// the new unification/solver context (device bindings recorded after
+    /// installation change how slots resolve, which invalidates both the
+    /// unified forms and the index postings).
+    pub fn reconfigure(&mut self, detector: Detector) {
+        self.detector = detector;
+        let rules: Vec<Rule> = self.installed.iter().map(|p| p.orig.clone()).collect();
+        self.installed.clear();
+        self.index.clear();
+        for rule in &rules {
+            self.install_rule(rule);
+        }
+    }
+
+    /// Prepares and posts one rule as installed.
+    pub fn install_rule(&mut self, rule: &Rule) {
+        let prepared = PreparedRule::prepare(rule, &self.detector.unification);
+        self.index.insert(self.installed.len(), &prepared);
+        self.installed.push(prepared);
+    }
+
+    /// Prepares and posts a batch of rules as installed.
+    pub fn install_rules<'a>(&mut self, rules: impl IntoIterator<Item = &'a Rule>) {
+        for rule in rules {
+            self.install_rule(rule);
+        }
+    }
+
+    /// Number of installed rules.
+    pub fn len(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Whether no rule is installed.
+    pub fn is_empty(&self) -> bool {
+        self.installed.is_empty()
+    }
+
+    /// The installed rules in install order (original, pre-unification
+    /// forms).
+    pub fn installed_rules(&self) -> impl Iterator<Item = &Rule> {
+        self.installed.iter().map(|p| &p.orig)
+    }
+
+    /// Indexed incremental detection: checks `new_rules` against the
+    /// installed population, visiting only index-colliding pairs. Pairs
+    /// internal to `new_rules` are also checked (a multi-rule app can
+    /// interfere with itself).
+    pub fn check(&self, new_rules: &[Rule]) -> (Vec<Threat>, DetectStats) {
+        let prepared: Vec<PreparedRule> = new_rules
+            .iter()
+            .map(|r| PreparedRule::prepare(r, &self.detector.unification))
+            .collect();
+        self.check_prepared(&prepared)
+    }
+
+    /// [`check`](DetectionEngine::check) over rules the caller already
+    /// prepared (one preparation serves repeated checks — the reusable
+    /// session the batch entry point builds on).
+    pub fn check_prepared(&self, new_rules: &[PreparedRule]) -> (Vec<Threat>, DetectStats) {
+        self.check_prepared_staged(new_rules, &[])
+    }
+
+    /// [`check_prepared`](DetectionEngine::check_prepared) with an extra
+    /// slice of already-prepared `staged` rules treated as installed —
+    /// batch members confirmed earlier in a [`check_many`] sweep.
+    ///
+    /// [`check_many`]: DetectionEngine::check_many
+    fn check_prepared_staged(
+        &self,
+        new_rules: &[PreparedRule],
+        staged: &[PreparedRule],
+    ) -> (Vec<Threat>, DetectStats) {
+        let mut threats = Vec::new();
+        let mut stats = DetectStats::default();
+        for (i, new_rule) in new_rules.iter().enumerate() {
+            let candidates = self.index.candidates(new_rule);
+            stats.pruned += (self.installed.len() - candidates.len()) as u64;
+            for id in candidates {
+                let (t, s) = self
+                    .detector
+                    .detect_pair_prepared(new_rule, &self.installed[id]);
+                threats.extend(t);
+                stats.absorb(s);
+            }
+            // Staged and intra-batch pairs: scan them directly — batches
+            // are small compared to the installed population the index
+            // exists for.
+            for earlier in staged.iter().chain(&new_rules[..i]) {
+                let (t, s) = self.detector.detect_pair_prepared(new_rule, earlier);
+                threats.extend(t);
+                stats.absorb(s);
+            }
+        }
+        (threats, stats)
+    }
+
+    /// Exhaustive pairwise detection of `new_rules` against the installed
+    /// population (and within the batch): the ground truth the candidate
+    /// index is differentially tested against.
+    pub fn check_exhaustive(&self, new_rules: &[Rule]) -> (Vec<Threat>, DetectStats) {
+        let prepared: Vec<PreparedRule> = new_rules
+            .iter()
+            .map(|r| PreparedRule::prepare(r, &self.detector.unification))
+            .collect();
+        let mut threats = Vec::new();
+        let mut stats = DetectStats::default();
+        for (i, new_rule) in prepared.iter().enumerate() {
+            for old in &self.installed {
+                let (t, s) = self.detector.detect_pair_prepared(new_rule, old);
+                threats.extend(t);
+                stats.absorb(s);
+            }
+            for earlier in &prepared[..i] {
+                let (t, s) = self.detector.detect_pair_prepared(new_rule, earlier);
+                threats.extend(t);
+                stats.absorb(s);
+            }
+        }
+        (threats, stats)
+    }
+
+    /// Batch entry point: checks several apps' rule sets in sequence, each
+    /// against the installed population *plus the preceding batch members*
+    /// — the verdicts a user would see installing the batch in order. One
+    /// preparation per rule serves every pair visit.
+    pub fn check_many(&self, batch: &[&[Rule]]) -> Vec<(Vec<Threat>, DetectStats)> {
+        let mut staged: Vec<PreparedRule> = Vec::new();
+        let mut out = Vec::with_capacity(batch.len());
+        for rules in batch {
+            let prepared: Vec<PreparedRule> = rules
+                .iter()
+                .map(|r| PreparedRule::prepare(r, &self.detector.unification))
+                .collect();
+            out.push(self.check_prepared_staged(&prepared, &staged));
+            staged.extend(prepared);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::ThreatKind;
+    use hg_symexec::{extract, ExtractorConfig};
+
+    fn rules_of(source: &str, name: &str) -> Vec<Rule> {
+        extract(source, name, &ExtractorConfig::extended())
+            .unwrap()
+            .rules
+    }
+
+    fn on_app(name: &str) -> Vec<Rule> {
+        rules_of(
+            &format!(
+                r#"
+definition(name: "{name}")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() {{ subscribe(m, "motion.active", h) }}
+def h(evt) {{ lamp.on() }}
+"#
+            ),
+            name,
+        )
+    }
+
+    fn off_app(name: &str) -> Vec<Rule> {
+        rules_of(
+            &format!(
+                r#"
+definition(name: "{name}")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() {{ subscribe(m, "motion.active", h) }}
+def h(evt) {{ lamp.off() }}
+"#
+            ),
+            name,
+        )
+    }
+
+    fn leak_app(name: &str) -> Vec<Rule> {
+        rules_of(
+            &format!(
+                r#"
+definition(name: "{name}")
+input "leak", "capability.waterSensor"
+input "valve", "capability.valve"
+def installed() {{ subscribe(leak, "water.wet", h) }}
+def h(evt) {{ valve.close() }}
+"#
+            ),
+            name,
+        )
+    }
+
+    #[test]
+    fn incremental_matches_exhaustive_and_finds_race() {
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        engine.install_rules(&on_app("OnApp"));
+        let new = off_app("OffApp");
+        let (indexed, _) = engine.check(&new);
+        let (exhaustive, _) = engine.check_exhaustive(&new);
+        assert!(indexed.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+        assert_eq!(indexed.len(), exhaustive.len());
+    }
+
+    #[test]
+    fn index_prunes_unrelated_rules() {
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        engine.install_rules(&leak_app("LeakA"));
+        engine.install_rules(&on_app("OnApp"));
+        let (threats, stats) = engine.check(&off_app("OffApp"));
+        assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+        assert!(stats.pruned >= 1, "the leak rule must be pruned: {stats:?}");
+        assert_eq!(stats.pairs, 1, "only the lamp rule is visited");
+    }
+
+    #[test]
+    fn reconfigure_rebinds_devices() {
+        use crate::overlap::Unification;
+        use std::collections::BTreeMap;
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        engine.install_rules(&on_app("OnApp"));
+        // Different physical lamps: rebinding must suppress the race.
+        let mut map = BTreeMap::new();
+        map.insert(
+            ("OnApp".to_string(), "lamp".to_string()),
+            "lamp-1".to_string(),
+        );
+        map.insert(
+            ("OnApp".to_string(), "m".to_string()),
+            "motion-1".to_string(),
+        );
+        map.insert(
+            ("OffApp".to_string(), "lamp".to_string()),
+            "lamp-2".to_string(),
+        );
+        map.insert(
+            ("OffApp".to_string(), "m".to_string()),
+            "motion-1".to_string(),
+        );
+        engine.reconfigure(Detector {
+            unification: Unification::Bindings(map),
+            ..Detector::default()
+        });
+        let (threats, _) = engine.check(&off_app("OffApp"));
+        assert!(
+            !threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
+            "{threats:?}"
+        );
+    }
+
+    #[test]
+    fn check_many_sees_intra_batch_interference() {
+        let engine = DetectionEngine::new(Detector::store_wide());
+        let a = on_app("OnApp");
+        let b = off_app("OffApp");
+        let reports = engine.check_many(&[&a, &b]);
+        assert_eq!(reports.len(), 2);
+        assert!(
+            reports[0].0.is_empty(),
+            "first app installs into an empty home"
+        );
+        assert!(
+            reports[1]
+                .0
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "second app must race with the first batch member"
+        );
+    }
+
+    #[test]
+    fn intra_batch_pairs_checked_within_one_app_set() {
+        let engine = DetectionEngine::new(Detector::store_wide());
+        let mut combined = on_app("OnApp");
+        combined.extend(off_app("OffApp"));
+        let (threats, _) = engine.check(&combined);
+        assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+    }
+}

@@ -17,6 +17,13 @@
 //! detection via `hg-solver`, with solver-result reuse across threat kinds
 //! as in the paper's Fig. 9.
 //!
+//! For serving installs against a large population, the per-pair filter is
+//! lifted into a persistent candidate index ([`index`]) driven by the
+//! incremental [`DetectionEngine`] ([`incremental`]): installed rules are
+//! prepared (unified + faceted) once, and a new rule visits only the
+//! index-colliding subset — provably reporting the same threat set as the
+//! exhaustive pairwise sweep.
+//!
 //! # Examples
 //!
 //! ```
@@ -47,10 +54,14 @@
 
 pub mod chained;
 pub mod engine;
+pub mod incremental;
+pub mod index;
 pub mod overlap;
 pub mod report;
 
 pub use chained::{find_chains, Chain, Edge};
 pub use engine::Detector;
+pub use incremental::DetectionEngine;
+pub use index::{CandidateIndex, PreparedRule};
 pub use overlap::{OverlapSolver, Unification, UserValues};
 pub use report::{DetectStats, Threat, ThreatKind};

@@ -32,13 +32,16 @@ impl Unification {
     pub fn resolve(&self, d: &DeviceRef) -> DeviceRef {
         match d {
             DeviceRef::Bound { .. } => d.clone(),
-            DeviceRef::Unbound { app, input, capability, kind } => match self {
-                Unification::Bindings(map) => {
-                    match map.get(&(app.clone(), input.clone())) {
-                        Some(id) => DeviceRef::bound(id.clone()),
-                        None => d.clone(),
-                    }
-                }
+            DeviceRef::Unbound {
+                app,
+                input,
+                capability,
+                kind,
+            } => match self {
+                Unification::Bindings(map) => match map.get(&(app.clone(), input.clone())) {
+                    Some(id) => DeviceRef::bound(id.clone()),
+                    None => d.clone(),
+                },
                 Unification::ByType => DeviceRef::Bound {
                     device_id: format!("type:{capability}/{}", kind.name()),
                 },
@@ -59,7 +62,11 @@ impl Unification {
         };
         let map_formula = |f: &Formula| f.map_vars(&map_var);
         let trigger = match &rule.trigger {
-            Trigger::DeviceEvent { subject, attribute, constraint } => Trigger::DeviceEvent {
+            Trigger::DeviceEvent {
+                subject,
+                attribute,
+                constraint,
+            } => Trigger::DeviceEvent {
                 subject: self.resolve(subject),
                 attribute: attribute.clone(),
                 constraint: constraint.as_ref().map(map_formula),
@@ -267,7 +274,10 @@ mod tests {
         let f = Formula::cmp(
             Term::var(VarId::env("temperature")),
             CmpOp::Gt,
-            Term::var(VarId::UserInput { app: "A".into(), name: "threshold".into() }),
+            Term::var(VarId::UserInput {
+                app: "A".into(),
+                name: "threshold".into(),
+            }),
         );
         let sub = solver.substitute(&f);
         assert!(sub.to_string().contains("> 30"), "{sub}");
@@ -335,7 +345,10 @@ mod tests {
         for v in unified.condition.predicate.variables() {
             assert!(matches!(
                 v,
-                VarId::DeviceAttr { device: DeviceRef::Bound { .. }, .. }
+                VarId::DeviceAttr {
+                    device: DeviceRef::Bound { .. },
+                    ..
+                }
             ));
         }
         assert!(matches!(

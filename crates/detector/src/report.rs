@@ -108,7 +108,14 @@ pub struct Threat {
 
 impl fmt::Display for Threat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} -> {}: {}", self.kind.acronym(), self.source, self.target, self.note)
+        write!(
+            f,
+            "[{}] {} -> {}: {}",
+            self.kind.acronym(),
+            self.source,
+            self.target,
+            self.note
+        )
     }
 }
 
@@ -124,6 +131,11 @@ pub struct DetectStats {
     /// Solver invocations avoided by reusing a previous result (the green
     /// dotted reuse edges of Fig. 9).
     pub reused: u64,
+    /// Rule pairs never visited at all because the candidate index proved
+    /// they cannot interact. Each such pair would have cost at least one
+    /// merged-situation solve in a filterless detector, so this is the
+    /// index's solver-invocation saving.
+    pub pruned: u64,
 }
 
 impl DetectStats {
@@ -133,6 +145,7 @@ impl DetectStats {
         self.candidates += other.candidates;
         self.solves += other.solves;
         self.reused += other.reused;
+        self.pruned += other.pruned;
     }
 }
 
@@ -173,8 +186,29 @@ mod tests {
 
     #[test]
     fn stats_absorb() {
-        let mut a = DetectStats { pairs: 1, candidates: 2, solves: 3, reused: 4 };
-        a.absorb(DetectStats { pairs: 10, candidates: 20, solves: 30, reused: 40 });
-        assert_eq!(a, DetectStats { pairs: 11, candidates: 22, solves: 33, reused: 44 });
+        let mut a = DetectStats {
+            pairs: 1,
+            candidates: 2,
+            solves: 3,
+            reused: 4,
+            pruned: 5,
+        };
+        a.absorb(DetectStats {
+            pairs: 10,
+            candidates: 20,
+            solves: 30,
+            reused: 40,
+            pruned: 50,
+        });
+        assert_eq!(
+            a,
+            DetectStats {
+                pairs: 11,
+                candidates: 22,
+                solves: 33,
+                reused: 44,
+                pruned: 55
+            }
+        );
     }
 }

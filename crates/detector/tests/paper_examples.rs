@@ -103,9 +103,15 @@ fn fig3_actuator_race_comforttv_vs_colddefender() {
     let r2 = cold_defender();
     let det = Detector::store_wide();
     let (threats, stats) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
-    let ar: Vec<_> = threats.iter().filter(|t| t.kind == ThreatKind::ActuatorRace).collect();
+    let ar: Vec<_> = threats
+        .iter()
+        .filter(|t| t.kind == ThreatKind::ActuatorRace)
+        .collect();
     assert_eq!(ar.len(), 1, "threats: {threats:#?}");
-    assert!(ar[0].witness.is_some(), "AR must come with a concrete situation");
+    assert!(
+        ar[0].witness.is_some(),
+        "AR must come with a concrete situation"
+    );
     assert!(stats.solves >= 1);
 }
 
@@ -171,8 +177,9 @@ def onPower(evt) {
     let det = Detector::store_wide();
     let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
     assert!(
-        threats.iter().any(|t| t.kind == ThreatKind::CovertTriggering
-            && t.source.app == "ItsTooHot"),
+        threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::CovertTriggering && t.source.app == "ItsTooHot"),
         "expected env-channel CT, got {threats:#?}"
     );
     assert!(
@@ -238,7 +245,10 @@ def onLux(evt) { if (evt.value < 10) { window1.on() } }
     );
     let det = Detector::store_wide();
     let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
-    let gc: Vec<_> = threats.iter().filter(|t| t.kind == ThreatKind::GoalConflict).collect();
+    let gc: Vec<_> = threats
+        .iter()
+        .filter(|t| t.kind == ThreatKind::GoalConflict)
+        .collect();
     assert!(!gc.is_empty(), "expected GC, got {threats:#?}");
     assert_eq!(
         gc[0].property,
@@ -275,8 +285,9 @@ def onMotion(evt) {
     let det = Detector::store_wide();
     let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);
     assert!(
-        threats.iter().any(|t| t.kind == ThreatKind::EnablingCondition
-            && t.source.app == "AutoLock"),
+        threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::EnablingCondition && t.source.app == "AutoLock"),
         "expected EC, got {threats:#?}"
     );
 }
@@ -309,10 +320,7 @@ def h(evt) { if (evt.value < 5) { sendSms(phone1, "laundry done") } }
     // env.power — a light drawing power *can* covertly feed a power-triggered
     // rule, but LaundryDone's trigger needs a *decrease* (< 5) so no CT.
     // And no actuations in LaundryDone at all.
-    assert!(
-        threats.is_empty(),
-        "expected no threats, got {threats:#?}"
-    );
+    assert!(threats.is_empty(), "expected no threats, got {threats:#?}");
 }
 
 #[test]
@@ -331,8 +339,7 @@ def h(evt) {{ lamp.on() }}
             name,
         )
     };
-    let (threats, _) =
-        Detector::store_wide().detect_pair(&mk("A").rules[0], &mk("B").rules[0]);
+    let (threats, _) = Detector::store_wide().detect_pair(&mk("A").rules[0], &mk("B").rules[0]);
     assert!(
         !threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
         "same command must not race: {threats:#?}"
@@ -350,12 +357,30 @@ fn config_bindings_gate_detection() {
     let r2 = cold_defender();
 
     let mut same = BTreeMap::new();
-    same.insert(("ComfortTV".to_string(), "tv1".to_string()), "tv-1".to_string());
-    same.insert(("ColdDefender".to_string(), "tv1".to_string()), "tv-1".to_string());
-    same.insert(("ComfortTV".to_string(), "window1".to_string()), "win-1".to_string());
-    same.insert(("ColdDefender".to_string(), "window1".to_string()), "win-1".to_string());
-    same.insert(("ComfortTV".to_string(), "tSensor".to_string()), "temp-1".to_string());
-    same.insert(("ColdDefender".to_string(), "wSensor".to_string()), "rain-1".to_string());
+    same.insert(
+        ("ComfortTV".to_string(), "tv1".to_string()),
+        "tv-1".to_string(),
+    );
+    same.insert(
+        ("ColdDefender".to_string(), "tv1".to_string()),
+        "tv-1".to_string(),
+    );
+    same.insert(
+        ("ComfortTV".to_string(), "window1".to_string()),
+        "win-1".to_string(),
+    );
+    same.insert(
+        ("ColdDefender".to_string(), "window1".to_string()),
+        "win-1".to_string(),
+    );
+    same.insert(
+        ("ComfortTV".to_string(), "tSensor".to_string()),
+        "temp-1".to_string(),
+    );
+    same.insert(
+        ("ColdDefender".to_string(), "wSensor".to_string()),
+        "rain-1".to_string(),
+    );
 
     let det = Detector {
         unification: Unification::Bindings(same.clone()),
@@ -415,8 +440,12 @@ fn detect_all_over_five_paper_apps() {
     let (threats, stats) = det.detect_all(&rules);
     // The five demo apps interfere in multiple ways (paper §VIII-A).
     assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
-    assert!(threats.iter().any(|t| t.kind == ThreatKind::CovertTriggering));
-    assert!(threats.iter().any(|t| t.kind == ThreatKind::DisablingCondition));
+    assert!(threats
+        .iter()
+        .any(|t| t.kind == ThreatKind::CovertTriggering));
+    assert!(threats
+        .iter()
+        .any(|t| t.kind == ThreatKind::DisablingCondition));
     assert!(stats.pairs >= 10);
     assert!(stats.reused > 0, "solver reuse should kick in");
 }

@@ -86,7 +86,10 @@ pub struct Block {
 impl Block {
     /// An empty block with a dummy span, for synthesized nodes.
     pub fn empty() -> Self {
-        Block { stmts: Vec::new(), span: Span::dummy() }
+        Block {
+            stmts: Vec::new(),
+            span: Span::dummy(),
+        }
     }
 }
 
@@ -367,7 +370,10 @@ impl Arg {
 
     /// A named argument.
     pub fn named(name: impl Into<String>, value: Expr) -> Self {
-        Arg { name: Some(name.into()), value }
+        Arg {
+            name: Some(name.into()),
+            value,
+        }
     }
 }
 
@@ -542,7 +548,9 @@ mod tests {
             body: Block::empty(),
             span: Span::dummy(),
         };
-        let p = Program { items: vec![Item::Method(m)] };
+        let p = Program {
+            items: vec![Item::Method(m)],
+        };
         assert!(p.method("installed").is_some());
         assert!(p.method("updated").is_none());
         assert_eq!(p.methods().count(), 1);

@@ -85,7 +85,10 @@ mod tests {
     fn display_includes_location_and_kind() {
         let e = ParseError::new(
             Span::new(0, 1, 4, 2),
-            ParseErrorKind::UnexpectedToken { expected: "`)`".into(), found: "`,`".into() },
+            ParseErrorKind::UnexpectedToken {
+                expected: "`)`".into(),
+                found: "`,`".into(),
+            },
         );
         let s = e.to_string();
         assert!(s.contains("4:2"), "{s}");

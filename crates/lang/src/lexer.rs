@@ -104,7 +104,11 @@ impl<'a> Lexer<'a> {
     fn emit(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
         let span = self.span_from(start, line, col);
         let newline_before = std::mem::take(&mut self.pending_newline);
-        self.tokens.push(Token { kind, span, newline_before });
+        self.tokens.push(Token {
+            kind,
+            span,
+            newline_before,
+        });
     }
 
     /// Skips whitespace and comments, recording whether a newline was seen.
@@ -455,7 +459,12 @@ mod tests {
         // Ranges must not be eaten as decimals.
         assert_eq!(
             kinds("0..5"),
-            vec![TokenKind::Int(0), TokenKind::DotDot, TokenKind::Int(5), TokenKind::Eof]
+            vec![
+                TokenKind::Int(0),
+                TokenKind::DotDot,
+                TokenKind::Int(5),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -487,7 +496,10 @@ mod tests {
     #[test]
     fn gstring_detection() {
         assert!(matches!(kinds(r#""plain""#)[0], TokenKind::Str(_)));
-        assert!(matches!(kinds(r#""has ${x} interp""#)[0], TokenKind::GStr(_)));
+        assert!(matches!(
+            kinds(r#""has ${x} interp""#)[0],
+            TokenKind::GStr(_)
+        ));
         assert!(matches!(kinds(r#""has $x interp""#)[0], TokenKind::GStr(_)));
         assert!(matches!(kinds(r#""price \$5""#)[0], TokenKind::Str(_)));
     }

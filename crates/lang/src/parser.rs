@@ -113,7 +113,12 @@ impl Parser {
     fn unexpected(&self, expected: &str) -> ParseError {
         let tok = self.peek();
         if tok.kind == TokenKind::Eof {
-            ParseError::new(tok.span, ParseErrorKind::UnexpectedEof { expected: expected.into() })
+            ParseError::new(
+                tok.span,
+                ParseErrorKind::UnexpectedEof {
+                    expected: expected.into(),
+                },
+            )
         } else {
             ParseError::new(
                 tok.span,
@@ -156,8 +161,15 @@ impl Parser {
         if !self.at(&TokenKind::RParen) {
             loop {
                 let pname = self.ident()?;
-                let default = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
-                params.push(Param { name: pname, default });
+                let default = if self.eat(&TokenKind::Assign) {
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                params.push(Param {
+                    name: pname,
+                    default,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -166,7 +178,12 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         let body = self.block()?;
         let span = start.merge(body.span);
-        Ok(MethodDecl { name, params, body, span })
+        Ok(MethodDecl {
+            name,
+            params,
+            body,
+            span,
+        })
     }
 
     fn ident(&mut self) -> ParseResult<String> {
@@ -196,7 +213,10 @@ impl Parser {
             while self.eat(&TokenKind::Semi) {}
         }
         let close = self.expect(TokenKind::RBrace)?.span;
-        Ok(Block { stmts, span: open.merge(close) })
+        Ok(Block {
+            stmts,
+            span: open.merge(close),
+        })
     }
 
     /// Either a braced block or a single statement (for brace-less `if`).
@@ -206,7 +226,10 @@ impl Parser {
         } else {
             let stmt = self.stmt()?;
             let span = stmt.span;
-            Ok(Block { stmts: vec![stmt], span })
+            Ok(Block {
+                stmts: vec![stmt],
+                span,
+            })
         }
     }
 
@@ -220,22 +243,35 @@ impl Parser {
             TokenKind::Switch => self.switch_stmt(),
             TokenKind::Return => {
                 self.bump();
-                let value = if self.stmt_boundary() { None } else { Some(self.expr()?) };
+                let value = if self.stmt_boundary() {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 let span = match &value {
                     Some(e) => start.merge(e.span),
                     None => start,
                 };
-                Ok(Stmt { kind: StmtKind::Return(value), span })
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    span,
+                })
             }
             TokenKind::For => self.for_stmt(),
             TokenKind::While => self.while_stmt(),
             TokenKind::Break => {
                 let span = self.bump().span;
-                Ok(Stmt { kind: StmtKind::Break, span })
+                Ok(Stmt {
+                    kind: StmtKind::Break,
+                    span,
+                })
             }
             TokenKind::Continue => {
                 let span = self.bump().span;
-                Ok(Stmt { kind: StmtKind::Continue, span })
+                Ok(Stmt {
+                    kind: StmtKind::Continue,
+                    span,
+                })
             }
             _ => self.expr_or_assign_stmt(),
         }
@@ -245,18 +281,28 @@ impl Parser {
     fn stmt_boundary(&self) -> bool {
         let tok = self.peek();
         tok.newline_before
-            || matches!(tok.kind, TokenKind::Semi | TokenKind::RBrace | TokenKind::Eof)
+            || matches!(
+                tok.kind,
+                TokenKind::Semi | TokenKind::RBrace | TokenKind::Eof
+            )
     }
 
     fn def_stmt(&mut self) -> ParseResult<Stmt> {
         let start = self.expect(TokenKind::Def)?.span;
         let name = self.ident()?;
-        let init = if self.eat(&TokenKind::Assign) { Some(self.expr()?) } else { None };
+        let init = if self.eat(&TokenKind::Assign) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let span = match &init {
             Some(e) => start.merge(e.span),
             None => start,
         };
-        Ok(Stmt { kind: StmtKind::Def { name, init }, span })
+        Ok(Stmt {
+            kind: StmtKind::Def { name, init },
+            span,
+        })
     }
 
     fn if_stmt(&mut self) -> ParseResult<Stmt> {
@@ -272,7 +318,10 @@ impl Parser {
                 // `else if` nests as a one-statement block.
                 let nested = self.if_stmt()?;
                 let s = nested.span;
-                Block { stmts: vec![nested], span: s }
+                Block {
+                    stmts: vec![nested],
+                    span: s,
+                }
             } else {
                 self.block_or_single_stmt()?
             };
@@ -281,7 +330,14 @@ impl Parser {
         } else {
             None
         };
-        Ok(Stmt { kind: StmtKind::If { cond, then_branch, else_branch }, span })
+        Ok(Stmt {
+            kind: StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
+            span,
+        })
     }
 
     fn switch_stmt(&mut self) -> ParseResult<Stmt> {
@@ -311,7 +367,14 @@ impl Parser {
             }
         }
         let close = self.expect(TokenKind::RBrace)?.span;
-        Ok(Stmt { kind: StmtKind::Switch { subject, cases, default }, span: start.merge(close) })
+        Ok(Stmt {
+            kind: StmtKind::Switch {
+                subject,
+                cases,
+                default,
+            },
+            span: start.merge(close),
+        })
     }
 
     /// Statements of a case arm, up to the next `case`/`default`/`}`.
@@ -325,7 +388,10 @@ impl Parser {
             stmts.push(self.stmt()?);
             while self.eat(&TokenKind::Semi) {}
         }
-        let span = stmts.last().map(|s: &Stmt| start.merge(s.span)).unwrap_or(start);
+        let span = stmts
+            .last()
+            .map(|s: &Stmt| start.merge(s.span))
+            .unwrap_or(start);
         Ok(Block { stmts, span })
     }
 
@@ -340,7 +406,14 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         let body = self.block_or_single_stmt()?;
         let span = start.merge(body.span);
-        Ok(Stmt { kind: StmtKind::ForIn { var, iterable, body }, span })
+        Ok(Stmt {
+            kind: StmtKind::ForIn {
+                var,
+                iterable,
+                body,
+            },
+            span,
+        })
     }
 
     fn while_stmt(&mut self) -> ParseResult<Stmt> {
@@ -350,7 +423,10 @@ impl Parser {
         self.expect(TokenKind::RParen)?;
         let body = self.block_or_single_stmt()?;
         let span = start.merge(body.span);
-        Ok(Stmt { kind: StmtKind::While { cond, body }, span })
+        Ok(Stmt {
+            kind: StmtKind::While { cond, body },
+            span,
+        })
     }
 
     fn expr_or_assign_stmt(&mut self) -> ParseResult<Stmt> {
@@ -364,7 +440,10 @@ impl Parser {
             self.bump(); // label
             self.bump(); // colon
             let expr = self.expr()?;
-            return Ok(Stmt { span: expr.span, kind: StmtKind::Expr(expr) });
+            return Ok(Stmt {
+                span: expr.span,
+                kind: StmtKind::Expr(expr),
+            });
         }
         // Command expression: `ident arg, arg, name: arg` with no parens.
         if let TokenKind::Ident(_) = self.peek_kind() {
@@ -398,9 +477,19 @@ impl Parser {
             self.bump();
             let value = self.expr()?;
             let span = start.merge(value.span);
-            return Ok(Stmt { kind: StmtKind::Assign { target: expr, op, value }, span });
+            return Ok(Stmt {
+                kind: StmtKind::Assign {
+                    target: expr,
+                    op,
+                    value,
+                },
+                span,
+            });
         }
-        Ok(Stmt { span: expr.span, kind: StmtKind::Expr(expr) })
+        Ok(Stmt {
+            span: expr.span,
+            kind: StmtKind::Expr(expr),
+        })
     }
 
     /// `input "tv1", "capability.switch", title: "Which TV?"`
@@ -422,10 +511,19 @@ impl Parser {
         }
         let span = name_tok.span.merge(end);
         let expr = Expr::new(
-            ExprKind::Call { recv: None, name, args, closure: None, safe: false },
+            ExprKind::Call {
+                recv: None,
+                name,
+                args,
+                closure: None,
+                safe: false,
+            },
             span,
         );
-        Ok(Stmt { kind: StmtKind::Expr(expr), span })
+        Ok(Stmt {
+            kind: StmtKind::Expr(expr),
+            span,
+        })
     }
 
     fn call_arg(&mut self) -> ParseResult<Arg> {
@@ -479,7 +577,10 @@ impl Parser {
                 let fallback = self.ternary()?;
                 let span = cond.span.merge(fallback.span);
                 Ok(Expr::new(
-                    ExprKind::Elvis { value: Box::new(cond), fallback: Box::new(fallback) },
+                    ExprKind::Elvis {
+                        value: Box::new(cond),
+                        fallback: Box::new(fallback),
+                    },
                     span,
                 ))
             }
@@ -490,8 +591,7 @@ impl Parser {
     /// Precedence-climbing over binary operators.
     fn binary(&mut self, min_level: u8) -> ParseResult<Expr> {
         let mut lhs = self.unary()?;
-        loop {
-            let Some((op, level)) = binary_op(self.peek_kind()) else { break };
+        while let Some((op, level)) = binary_op(self.peek_kind()) {
             if level < min_level {
                 break;
             }
@@ -500,14 +600,28 @@ impl Parser {
             let span = lhs.span.merge(rhs.span);
             if op == BinaryOp::In {
                 lhs = Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
                     span,
                 );
             } else if level == RANGE_LEVEL {
-                lhs = Expr::new(ExprKind::Range { lo: Box::new(lhs), hi: Box::new(rhs) }, span);
+                lhs = Expr::new(
+                    ExprKind::Range {
+                        lo: Box::new(lhs),
+                        hi: Box::new(rhs),
+                    },
+                    span,
+                );
             } else {
                 lhs = Expr::new(
-                    ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                    ExprKind::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    },
                     span,
                 );
             }
@@ -522,13 +636,25 @@ impl Parser {
                 self.bump();
                 let expr = self.unary()?;
                 let span = start.merge(expr.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnaryOp::Not, expr: Box::new(expr) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::Not,
+                        expr: Box::new(expr),
+                    },
+                    span,
+                ))
             }
             TokenKind::Minus => {
                 self.bump();
                 let expr = self.unary()?;
                 let span = start.merge(expr.span);
-                Ok(Expr::new(ExprKind::Unary { op: UnaryOp::Neg, expr: Box::new(expr) }, span))
+                Ok(Expr::new(
+                    ExprKind::Unary {
+                        op: UnaryOp::Neg,
+                        expr: Box::new(expr),
+                    },
+                    span,
+                ))
             }
             _ => self.postfix(),
         }
@@ -550,7 +676,10 @@ impl Parser {
                     let close = self.expect(TokenKind::RBracket)?.span;
                     let span = expr.span.merge(close);
                     expr = Expr::new(
-                        ExprKind::Index { recv: Box::new(expr), index: Box::new(index) },
+                        ExprKind::Index {
+                            recv: Box::new(expr),
+                            index: Box::new(index),
+                        },
                         span,
                     );
                 }
@@ -594,7 +723,14 @@ impl Parser {
             ));
         }
         let span = recv_span; // property span approximated by receiver span
-        Ok(Expr::new(ExprKind::Prop { recv: Box::new(recv), name, safe }, span))
+        Ok(Expr::new(
+            ExprKind::Prop {
+                recv: Box::new(recv),
+                name,
+                safe,
+            },
+            span,
+        ))
     }
 
     fn paren_args(&mut self) -> ParseResult<(Vec<Arg>, Span)> {
@@ -631,7 +767,10 @@ impl Parser {
         loop {
             match self.peek_kind().clone() {
                 TokenKind::Ident(name) => {
-                    params.push(Param { name, default: None });
+                    params.push(Param {
+                        name,
+                        default: None,
+                    });
                     self.bump();
                     match self.peek_kind() {
                         TokenKind::Comma => {
@@ -676,7 +815,15 @@ impl Parser {
         let close = self.expect(TokenKind::RBrace)?.span;
         let span = open.merge(close);
         let body_span = span;
-        Ok(Closure { params, explicit_params, body: Block { stmts, span: body_span }, span })
+        Ok(Closure {
+            params,
+            explicit_params,
+            body: Block {
+                stmts,
+                span: body_span,
+            },
+            span,
+        })
     }
 
     fn primary(&mut self) -> ParseResult<Expr> {
@@ -717,7 +864,9 @@ impl Parser {
                 if self.at(&TokenKind::LParen) && !self.peek().newline_before {
                     let (args, end) = self.paren_args()?;
                     let closure = self.trailing_closure()?;
-                    let span = tok.span.merge(closure.as_ref().map(|c| c.span).unwrap_or(end));
+                    let span = tok
+                        .span
+                        .merge(closure.as_ref().map(|c| c.span).unwrap_or(end));
                     return Ok(Expr::new(
                         ExprKind::Call {
                             recv: None,
@@ -876,7 +1025,10 @@ fn parse_gstring(raw: &str, span: Span) -> ParseResult<Vec<GStrPart>> {
                     j += 1;
                 }
                 if depth != 0 {
-                    return Err(ParseError::new(span, ParseErrorKind::UnterminatedInterpolation));
+                    return Err(ParseError::new(
+                        span,
+                        ParseErrorKind::UnterminatedInterpolation,
+                    ));
                 }
                 let inner = &raw[i + 2..j - 1];
                 if !lit.is_empty() {
@@ -1007,12 +1159,26 @@ preferences {
         )
         .unwrap();
         let stmt = p.top_level_stmts().next().unwrap();
-        let StmtKind::Expr(e) = &stmt.kind else { panic!() };
-        let ExprKind::Call { name, closure, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &stmt.kind else {
+            panic!()
+        };
+        let ExprKind::Call { name, closure, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(name, "preferences");
         let section = &closure.as_ref().unwrap().body.stmts[0];
-        let StmtKind::Expr(e2) = &section.kind else { panic!() };
-        let ExprKind::Call { name: n2, args, closure: c2, .. } = &e2.kind else { panic!() };
+        let StmtKind::Expr(e2) = &section.kind else {
+            panic!()
+        };
+        let ExprKind::Call {
+            name: n2,
+            args,
+            closure: c2,
+            ..
+        } = &e2.kind
+        else {
+            panic!()
+        };
         assert_eq!(n2, "section");
         assert_eq!(args.len(), 1);
         assert!(c2.is_some());
@@ -1021,7 +1187,15 @@ preferences {
     #[test]
     fn method_call_with_closure_arg() {
         let e = parse_expression("switches.each { it.on() }").unwrap();
-        let ExprKind::Call { recv, name, closure, .. } = &e.kind else { panic!() };
+        let ExprKind::Call {
+            recv,
+            name,
+            closure,
+            ..
+        } = &e.kind
+        else {
+            panic!()
+        };
         assert!(recv.is_some());
         assert_eq!(name, "each");
         let c = closure.as_ref().unwrap();
@@ -1031,7 +1205,9 @@ preferences {
     #[test]
     fn closure_with_params() {
         let e = parse_expression("devices.each { dev -> dev.off() }").unwrap();
-        let ExprKind::Call { closure, .. } = &e.kind else { panic!() };
+        let ExprKind::Call { closure, .. } = &e.kind else {
+            panic!()
+        };
         let c = closure.as_ref().unwrap();
         assert!(c.explicit_params);
         assert_eq!(c.params[0].name, "dev");
@@ -1041,9 +1217,13 @@ preferences {
     fn precedence() {
         let e = parse_expression("a || b && c == d + e * f").unwrap();
         // Outermost is ||.
-        let ExprKind::Binary { op, rhs, .. } = &e.kind else { panic!() };
+        let ExprKind::Binary { op, rhs, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(*op, BinaryOp::Or);
-        let ExprKind::Binary { op: op2, .. } = &rhs.kind else { panic!() };
+        let ExprKind::Binary { op: op2, .. } = &rhs.kind else {
+            panic!()
+        };
         assert_eq!(*op2, BinaryOp::And);
     }
 
@@ -1058,19 +1238,25 @@ preferences {
     #[test]
     fn nested_ternary_right_assoc() {
         let e = parse_expression("a ? b : c ? d : e").unwrap();
-        let ExprKind::Ternary { else_expr, .. } = &e.kind else { panic!() };
+        let ExprKind::Ternary { else_expr, .. } = &e.kind else {
+            panic!()
+        };
         assert!(matches!(else_expr.kind, ExprKind::Ternary { .. }));
     }
 
     #[test]
     fn map_and_list_literals() {
         let m = parse_expression(r#"[devRefStr: "tv1", devRef: tv1]"#).unwrap();
-        let ExprKind::MapLit(entries) = &m.kind else { panic!() };
+        let ExprKind::MapLit(entries) = &m.kind else {
+            panic!()
+        };
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].key, MapKey::Ident("devRefStr".into()));
 
         let l = parse_expression("[1, 2, 3]").unwrap();
-        let ExprKind::ListLit(items) = &l.kind else { panic!() };
+        let ExprKind::ListLit(items) = &l.kind else {
+            panic!()
+        };
         assert_eq!(items.len(), 3);
 
         let empty_map = parse_expression("[:]").unwrap();
@@ -1099,7 +1285,9 @@ def handler(evt) {
         )
         .unwrap();
         let m = p.method("handler").unwrap();
-        let StmtKind::Switch { cases, default, .. } = &m.body.stmts[0].kind else { panic!() };
+        let StmtKind::Switch { cases, default, .. } = &m.body.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(cases.len(), 2);
         assert!(default.is_some());
     }
@@ -1107,7 +1295,9 @@ def handler(evt) {
     #[test]
     fn gstring_interpolation() {
         let e = parse_expression(r#""temp is ${t + 1} degrees""#).unwrap();
-        let ExprKind::GStr(parts) = &e.kind else { panic!() };
+        let ExprKind::GStr(parts) = &e.kind else {
+            panic!()
+        };
         assert_eq!(parts.len(), 3);
         assert!(matches!(&parts[0], GStrPart::Lit(s) if s == "temp is "));
         assert!(matches!(&parts[1], GStrPart::Interp(_)));
@@ -1117,17 +1307,25 @@ def handler(evt) {
     #[test]
     fn gstring_dollar_ident() {
         let e = parse_expression(r#""hello $name!""#).unwrap();
-        let ExprKind::GStr(parts) = &e.kind else { panic!() };
+        let ExprKind::GStr(parts) = &e.kind else {
+            panic!()
+        };
         assert_eq!(parts.len(), 3);
-        let GStrPart::Interp(i) = &parts[1] else { panic!() };
+        let GStrPart::Interp(i) = &parts[1] else {
+            panic!()
+        };
         assert_eq!(i.as_ident(), Some("name"));
     }
 
     #[test]
     fn gstring_dollar_prop_chain() {
         let e = parse_expression(r#""dev $dev.id done""#).unwrap();
-        let ExprKind::GStr(parts) = &e.kind else { panic!() };
-        let GStrPart::Interp(i) = &parts[1] else { panic!() };
+        let ExprKind::GStr(parts) = &e.kind else {
+            panic!()
+        };
+        let GStrPart::Interp(i) = &parts[1] else {
+            panic!()
+        };
         assert!(matches!(&i.kind, ExprKind::Prop { name, .. } if name == "id"));
     }
 
@@ -1142,7 +1340,9 @@ def h(evt) {
         )
         .unwrap();
         let m = p.method("h").unwrap();
-        let StmtKind::If { else_branch, .. } = &m.body.stmts[0].kind else { panic!() };
+        let StmtKind::If { else_branch, .. } = &m.body.stmts[0].kind else {
+            panic!()
+        };
         let eb = else_branch.as_ref().unwrap();
         assert!(matches!(eb.stmts[0].kind, StmtKind::If { .. }));
     }
@@ -1169,20 +1369,30 @@ def h() {
         let m = p.method("h").unwrap();
         assert!(matches!(
             m.body.stmts[0].kind,
-            StmtKind::Assign { op: AssignOp::Set, .. }
+            StmtKind::Assign {
+                op: AssignOp::Set,
+                ..
+            }
         ));
         assert!(matches!(
             m.body.stmts[1].kind,
-            StmtKind::Assign { op: AssignOp::Add, .. }
+            StmtKind::Assign {
+                op: AssignOp::Add,
+                ..
+            }
         ));
-        let StmtKind::Assign { target, .. } = &m.body.stmts[2].kind else { panic!() };
+        let StmtKind::Assign { target, .. } = &m.body.stmts[2].kind else {
+            panic!()
+        };
         assert!(matches!(&target.kind, ExprKind::Prop { name, .. } if name == "count"));
     }
 
     #[test]
     fn safe_navigation() {
         let e = parse_expression("evt?.device?.displayName").unwrap();
-        let ExprKind::Prop { safe, .. } = &e.kind else { panic!() };
+        let ExprKind::Prop { safe, .. } = &e.kind else {
+            panic!()
+        };
         assert!(safe);
     }
 
@@ -1190,7 +1400,9 @@ def h() {
     fn range_in_for() {
         let p = parse("def h() { for (i in 0..5) { f(i) } }").unwrap();
         let m = p.method("h").unwrap();
-        let StmtKind::ForIn { iterable, .. } = &m.body.stmts[0].kind else { panic!() };
+        let StmtKind::ForIn { iterable, .. } = &m.body.stmts[0].kind else {
+            panic!()
+        };
         assert!(matches!(iterable.kind, ExprKind::Range { .. }));
     }
 
@@ -1217,8 +1429,12 @@ definition(
         )
         .unwrap();
         let stmt = p.top_level_stmts().next().unwrap();
-        let StmtKind::Expr(e) = &stmt.kind else { panic!() };
-        let ExprKind::Call { name, args, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &stmt.kind else {
+            panic!()
+        };
+        let ExprKind::Call { name, args, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(name, "definition");
         assert_eq!(args.len(), 4);
         assert!(args.iter().all(|a| a.name.is_some()));
@@ -1240,9 +1456,13 @@ definition(
     #[test]
     fn member_call_chain() {
         let e = parse_expression("location.modes.find { it.name == mode }").unwrap();
-        let ExprKind::Call { recv, name, .. } = &e.kind else { panic!() };
+        let ExprKind::Call { recv, name, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(name, "find");
-        let ExprKind::Prop { name: pname, .. } = &recv.as_ref().unwrap().kind else { panic!() };
+        let ExprKind::Prop { name: pname, .. } = &recv.as_ref().unwrap().kind else {
+            panic!()
+        };
         assert_eq!(pname, "modes");
     }
 
@@ -1250,8 +1470,12 @@ definition(
     fn paren_less_subscribe_command() {
         let p = parse("def installed() {\n subscribe tv1, \"switch\", onHandler\n}").unwrap();
         let m = p.method("installed").unwrap();
-        let StmtKind::Expr(e) = &m.body.stmts[0].kind else { panic!() };
-        let ExprKind::Call { name, args, .. } = &e.kind else { panic!() };
+        let StmtKind::Expr(e) = &m.body.stmts[0].kind else {
+            panic!()
+        };
+        let ExprKind::Call { name, args, .. } = &e.kind else {
+            panic!()
+        };
         assert_eq!(name, "subscribe");
         assert_eq!(args.len(), 3);
     }
@@ -1265,8 +1489,22 @@ definition(
     #[test]
     fn negative_numbers_and_not() {
         let e = parse_expression("-5 + !flag").unwrap();
-        let ExprKind::Binary { lhs, rhs, .. } = &e.kind else { panic!() };
-        assert!(matches!(lhs.kind, ExprKind::Unary { op: UnaryOp::Neg, .. }));
-        assert!(matches!(rhs.kind, ExprKind::Unary { op: UnaryOp::Not, .. }));
+        let ExprKind::Binary { lhs, rhs, .. } = &e.kind else {
+            panic!()
+        };
+        assert!(matches!(
+            lhs.kind,
+            ExprKind::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
+        assert!(matches!(
+            rhs.kind,
+            ExprKind::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 }

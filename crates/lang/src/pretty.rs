@@ -41,7 +41,10 @@ struct Printer {
 
 impl Printer {
     fn new() -> Self {
-        Printer { out: String::new(), indent: 0 }
+        Printer {
+            out: String::new(),
+            indent: 0,
+        }
     }
 
     fn line_start(&mut self) {
@@ -110,7 +113,11 @@ impl Printer {
                 });
                 self.expr(value, 0);
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.out.push_str("if (");
                 self.expr(cond, 0);
                 self.out.push_str(") ");
@@ -130,7 +137,11 @@ impl Printer {
                     self.braced_block(eb);
                 }
             }
-            StmtKind::Switch { subject, cases, default } => {
+            StmtKind::Switch {
+                subject,
+                cases,
+                default,
+            } => {
                 self.out.push_str("switch (");
                 self.expr(subject, 0);
                 self.out.push_str(") {");
@@ -174,7 +185,11 @@ impl Printer {
                     self.expr(e, 0);
                 }
             }
-            StmtKind::ForIn { var, iterable, body } => {
+            StmtKind::ForIn {
+                var,
+                iterable,
+                body,
+            } => {
                 let _ = write!(self.out, "for ({var} in ");
                 self.expr(iterable, 0);
                 self.out.push_str(") ");
@@ -267,7 +282,13 @@ impl Printer {
                 self.expr(index, 0);
                 self.out.push(']');
             }
-            ExprKind::Call { recv, name, args, closure, safe } => {
+            ExprKind::Call {
+                recv,
+                name,
+                args,
+                closure,
+                safe,
+            } => {
                 if let Some(r) = recv {
                     self.expr(r, POSTFIX_LEVEL);
                     self.out.push_str(if *safe { "?." } else { "." });
@@ -307,7 +328,11 @@ impl Printer {
                     self.out.push(')');
                 }
             }
-            ExprKind::Ternary { cond, then_expr, else_expr } => {
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 if level > 0 {
                     self.out.push('(');
                 }
@@ -406,7 +431,11 @@ mod tests {
         let p1 = parse(src).unwrap();
         let printed = print_program(&p1);
         let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
-        assert_eq!(strip_spans_program(&p1), strip_spans_program(&p2), "printed:\n{printed}");
+        assert_eq!(
+            strip_spans_program(&p1),
+            strip_spans_program(&p2),
+            "printed:\n{printed}"
+        );
     }
 
     // Structural equality modulo spans: compare printed forms, which do not

@@ -23,19 +23,33 @@ pub struct Span {
 impl Span {
     /// Creates a new span.
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// A zero-width span at the origin, used for synthesized nodes.
     pub fn dummy() -> Self {
-        Span { start: 0, end: 0, line: 0, col: 0 }
+        Span {
+            start: 0,
+            end: 0,
+            line: 0,
+            col: 0,
+        }
     }
 
     /// Returns the smallest span covering both `self` and `other`.
     ///
     /// The line/column information is taken from whichever span starts first.
     pub fn merge(self, other: Span) -> Span {
-        let (first, _) = if self.start <= other.start { (self, other) } else { (other, self) };
+        let (first, _) = if self.start <= other.start {
+            (self, other)
+        } else {
+            (other, self)
+        };
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),

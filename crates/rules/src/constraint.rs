@@ -143,23 +143,39 @@ impl Term {
                 Some(val) => Term::Const(val),
                 None => self.clone(),
             },
-            Term::Add(a, b) => fold2(a.substitute(lookup), b.substitute(lookup), Term::Add, |x, y| {
-                x.checked_add(y)
-            }),
-            Term::Sub(a, b) => fold2(a.substitute(lookup), b.substitute(lookup), Term::Sub, |x, y| {
-                x.checked_sub(y)
-            }),
-            Term::Mul(a, b) => fold2(a.substitute(lookup), b.substitute(lookup), Term::Mul, |x, y| {
-                // Scaled multiplication: (x/S)*(y/S) = x*y/S².
-                x.checked_mul(y).map(|p| p / hg_capability::domains::SCALE)
-            }),
-            Term::Div(a, b) => fold2(a.substitute(lookup), b.substitute(lookup), Term::Div, |x, y| {
-                if y == 0 {
-                    None
-                } else {
-                    x.checked_mul(hg_capability::domains::SCALE).map(|p| p / y)
-                }
-            }),
+            Term::Add(a, b) => fold2(
+                a.substitute(lookup),
+                b.substitute(lookup),
+                Term::Add,
+                |x, y| x.checked_add(y),
+            ),
+            Term::Sub(a, b) => fold2(
+                a.substitute(lookup),
+                b.substitute(lookup),
+                Term::Sub,
+                |x, y| x.checked_sub(y),
+            ),
+            Term::Mul(a, b) => fold2(
+                a.substitute(lookup),
+                b.substitute(lookup),
+                Term::Mul,
+                |x, y| {
+                    // Scaled multiplication: (x/S)*(y/S) = x*y/S².
+                    x.checked_mul(y).map(|p| p / hg_capability::domains::SCALE)
+                },
+            ),
+            Term::Div(a, b) => fold2(
+                a.substitute(lookup),
+                b.substitute(lookup),
+                Term::Div,
+                |x, y| {
+                    if y == 0 {
+                        None
+                    } else {
+                        x.checked_mul(hg_capability::domains::SCALE).map(|p| p / y)
+                    }
+                },
+            ),
             Term::Neg(a) => {
                 let inner = a.substitute(lookup);
                 if let Term::Const(Value::Num(n)) = inner {
@@ -284,7 +300,11 @@ impl Formula {
         match self {
             Formula::True => Formula::False,
             Formula::False => Formula::True,
-            Formula::Cmp { lhs, op, rhs } => Formula::Cmp { lhs, op: op.negate(), rhs },
+            Formula::Cmp { lhs, op, rhs } => Formula::Cmp {
+                lhs,
+                op: op.negate(),
+                rhs,
+            },
             Formula::Not(inner) => *inner,
             other => Formula::Not(Box::new(other)),
         }
@@ -326,11 +346,13 @@ impl Formula {
                         return if res { Formula::True } else { Formula::False };
                     }
                 }
-                Formula::Cmp { lhs: l, op: *op, rhs: r }
+                Formula::Cmp {
+                    lhs: l,
+                    op: *op,
+                    rhs: r,
+                }
             }
-            Formula::And(parts) => {
-                Formula::and(parts.iter().map(|p| p.substitute(lookup)))
-            }
+            Formula::And(parts) => Formula::and(parts.iter().map(|p| p.substitute(lookup))),
             Formula::Or(parts) => Formula::or(parts.iter().map(|p| p.substitute(lookup))),
             Formula::Not(inner) => inner.substitute(lookup).negate(),
         }
@@ -443,16 +465,16 @@ mod tests {
         let atom = Formula::cmp(Term::var(tvar()), CmpOp::Gt, Term::num(3000));
         let h = Formula::and([atom.clone(), Formula::True]);
         assert_eq!(h, atom);
-        let nested = Formula::and([
-            Formula::and([atom.clone(), atom.clone()]),
-            atom.clone(),
-        ]);
+        let nested = Formula::and([Formula::and([atom.clone(), atom.clone()]), atom.clone()]);
         assert!(matches!(nested, Formula::And(ref v) if v.len() == 3));
     }
 
     #[test]
     fn or_flattens_and_simplifies() {
-        assert_eq!(Formula::or([Formula::False, Formula::False]), Formula::False);
+        assert_eq!(
+            Formula::or([Formula::False, Formula::False]),
+            Formula::False
+        );
         assert_eq!(Formula::or([Formula::False, Formula::True]), Formula::True);
     }
 
@@ -460,7 +482,10 @@ mod tests {
     fn negate_pushes_into_atoms() {
         let atom = Formula::cmp(Term::var(tvar()), CmpOp::Gt, Term::num(5));
         let neg = atom.negate();
-        assert_eq!(neg, Formula::cmp(Term::var(tvar()), CmpOp::Le, Term::num(5)));
+        assert_eq!(
+            neg,
+            Formula::cmp(Term::var(tvar()), CmpOp::Le, Term::num(5))
+        );
         assert_eq!(Formula::True.negate(), Formula::False);
         let double = Formula::Not(Box::new(Formula::True)).negate();
         assert_eq!(double, Formula::True);
@@ -480,9 +505,9 @@ mod tests {
     #[test]
     fn substitution_folds_constants() {
         let f = Formula::cmp(Term::var(tvar()), CmpOp::Gt, Term::num(3000));
-        let t = f.substitute(&|v| (v == &tvar()).then(|| Value::Num(3500)));
+        let t = f.substitute(&|v| (v == &tvar()).then_some(Value::Num(3500)));
         assert_eq!(t, Formula::True);
-        let fa = f.substitute(&|v| (v == &tvar()).then(|| Value::Num(2000)));
+        let fa = f.substitute(&|v| (v == &tvar()).then_some(Value::Num(2000)));
         assert_eq!(fa, Formula::False);
         let unk = f.substitute(&|_| None);
         assert_eq!(unk, f);
@@ -494,7 +519,7 @@ mod tests {
         let t = Term::Add(Box::new(Term::var(tvar())), Box::new(Term::num(500)));
         let f = Formula::cmp(t, CmpOp::Gt, Term::num(3000));
         assert_eq!(
-            f.substitute(&|v| (v == &tvar()).then(|| Value::Num(2600))),
+            f.substitute(&|v| (v == &tvar()).then_some(Value::Num(2600))),
             Formula::True
         );
     }
@@ -524,10 +549,7 @@ mod tests {
             capability: "switch".into(),
             kind: hg_capability::device_kind::DeviceKind::Tv,
         };
-        let f = Formula::var_eq(
-            VarId::device_attr(unbound, "switch"),
-            Value::sym("on"),
-        );
+        let f = Formula::var_eq(VarId::device_attr(unbound, "switch"), Value::sym("on"));
         let mapped = f.map_vars(&|v| match v {
             VarId::DeviceAttr { attribute, .. } => {
                 VarId::device_attr(DeviceRef::bound("0e0b"), attribute.clone())
@@ -535,9 +557,13 @@ mod tests {
             other => other.clone(),
         });
         let vars = mapped.variables();
-        assert!(vars
-            .iter()
-            .all(|v| matches!(v, VarId::DeviceAttr { device: DeviceRef::Bound { .. }, .. })));
+        assert!(vars.iter().all(|v| matches!(
+            v,
+            VarId::DeviceAttr {
+                device: DeviceRef::Bound { .. },
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -6,9 +6,7 @@
 //! direct structural encoding of [`Rule`](crate::rule::Rule).
 
 use crate::constraint::{CmpOp, Formula, Term};
-use crate::rule::{
-    Action, ActionSubject, Condition, DataConstraint, Rule, RuleId, Trigger,
-};
+use crate::rule::{Action, ActionSubject, Condition, DataConstraint, Rule, RuleId, Trigger};
 use crate::value::Value;
 use crate::varid::{DeviceRef, VarId};
 use hg_capability::device_kind::DeviceKind;
@@ -119,12 +117,18 @@ impl Json {
     ///
     /// Returns [`JsonError`] with a byte offset on malformed input.
     pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = JsonParser { bytes: text.as_bytes(), pos: 0 };
+        let mut p = JsonParser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
         p.skip_ws();
         let v = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(JsonError { pos: p.pos, message: "trailing characters" });
+            return Err(JsonError {
+                pos: p.pos,
+                message: "trailing characters",
+            });
         }
         Ok(v)
     }
@@ -182,7 +186,10 @@ impl<'a> JsonParser<'a> {
     }
 
     fn err(&self, message: &'static str) -> JsonError {
-        JsonError { pos: self.pos, message }
+        JsonError {
+            pos: self.pos,
+            message,
+        }
     }
 
     fn value(&mut self) -> Result<Json, JsonError> {
@@ -216,7 +223,9 @@ impl<'a> JsonParser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<i64>().map(Json::Num).map_err(|_| self.err("invalid number"))
+        text.parse::<i64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("invalid number"))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -242,9 +251,8 @@ impl<'a> JsonParser<'a> {
                             if self.pos + 4 >= self.bytes.len() {
                                 return Err(self.err("truncated \\u escape"));
                             }
-                            let hex =
-                                std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
-                                    .map_err(|_| self.err("invalid \\u escape"))?;
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("invalid \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
                                 .map_err(|_| self.err("invalid \\u escape"))?;
                             out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
@@ -346,8 +354,14 @@ pub fn rule_to_json(rule: &Rule) -> Json {
 ///
 /// Returns a static message naming the first malformed field.
 pub fn rule_from_json(json: &Json) -> Result<Rule, &'static str> {
-    let app = json.get("app").and_then(Json::as_str).ok_or("missing app")?;
-    let index = json.get("index").and_then(Json::as_num).ok_or("missing index")? as usize;
+    let app = json
+        .get("app")
+        .and_then(Json::as_str)
+        .ok_or("missing app")?;
+    let index = json
+        .get("index")
+        .and_then(Json::as_num)
+        .ok_or("missing index")? as usize;
     let trigger = trigger_from_json(json.get("trigger").ok_or("missing trigger")?)?;
     let condition = condition_from_json(json.get("condition").ok_or("missing condition")?)?;
     let actions = json
@@ -357,7 +371,12 @@ pub fn rule_from_json(json: &Json) -> Result<Rule, &'static str> {
         .iter()
         .map(action_from_json)
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(Rule { id: RuleId::new(app, index), trigger, condition, actions })
+    Ok(Rule {
+        id: RuleId::new(app, index),
+        trigger,
+        condition,
+        actions,
+    })
 }
 
 /// Serializes a set of rules (an app's rule file) to JSON text.
@@ -381,27 +400,42 @@ pub fn rules_from_text(text: &str) -> Result<Vec<Rule>, String> {
 
 fn trigger_to_json(t: &Trigger) -> Json {
     match t {
-        Trigger::DeviceEvent { subject, attribute, constraint } => Json::obj([
+        Trigger::DeviceEvent {
+            subject,
+            attribute,
+            constraint,
+        } => Json::obj([
             ("type", Json::str("deviceEvent")),
             ("subject", device_ref_to_json(subject)),
             ("attribute", Json::str(attribute)),
             (
                 "constraint",
-                constraint.as_ref().map(formula_to_json).unwrap_or(Json::Null),
+                constraint
+                    .as_ref()
+                    .map(formula_to_json)
+                    .unwrap_or(Json::Null),
             ),
         ]),
         Trigger::ModeChange { constraint } => Json::obj([
             ("type", Json::str("modeChange")),
             (
                 "constraint",
-                constraint.as_ref().map(formula_to_json).unwrap_or(Json::Null),
+                constraint
+                    .as_ref()
+                    .map(formula_to_json)
+                    .unwrap_or(Json::Null),
             ),
         ]),
-        Trigger::TimeOfDay { at_minutes, description } => Json::obj([
+        Trigger::TimeOfDay {
+            at_minutes,
+            description,
+        } => Json::obj([
             ("type", Json::str("timeOfDay")),
             (
                 "atMinutes",
-                at_minutes.map(|m| Json::Num(m as i64)).unwrap_or(Json::Null),
+                at_minutes
+                    .map(|m| Json::Num(m as i64))
+                    .unwrap_or(Json::Null),
             ),
             ("description", Json::str(description)),
         ]),
@@ -436,8 +470,10 @@ fn trigger_from_json(j: &Json) -> Result<Trigger, &'static str> {
                 .to_string(),
         }),
         Some("periodic") => Ok(Trigger::Periodic {
-            period_secs: j.get("periodSecs").and_then(Json::as_num).ok_or("missing period")?
-                as u64,
+            period_secs: j
+                .get("periodSecs")
+                .and_then(Json::as_num)
+                .ok_or("missing period")? as u64,
         }),
         Some("appTouch") => Ok(Trigger::AppTouch),
         _ => Err("unknown trigger type"),
@@ -479,39 +515,50 @@ fn condition_from_json(j: &Json) -> Result<Condition, &'static str> {
         .iter()
         .map(|d| {
             Ok(DataConstraint {
-                name: d.get("name").and_then(Json::as_str).ok_or("missing dc name")?.to_string(),
+                name: d
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("missing dc name")?
+                    .to_string(),
                 term: term_from_json(d.get("term").ok_or("missing dc term")?)?,
             })
         })
         .collect::<Result<Vec<_>, &'static str>>()?;
     let predicate = formula_from_json(j.get("predicate").ok_or("missing predicate")?)?;
-    Ok(Condition { data_constraints, predicate })
+    Ok(Condition {
+        data_constraints,
+        predicate,
+    })
 }
 
 fn action_to_json(a: &Action) -> Json {
     let subject = match &a.subject {
-        ActionSubject::Device(d) => {
-            Json::obj([("type", Json::str("device")), ("device", device_ref_to_json(d))])
-        }
+        ActionSubject::Device(d) => Json::obj([
+            ("type", Json::str("device")),
+            ("device", device_ref_to_json(d)),
+        ]),
         ActionSubject::LocationMode => Json::obj([("type", Json::str("locationMode"))]),
         ActionSubject::Message { target } => Json::obj([
             ("type", Json::str("message")),
             (
                 "target",
-                target.as_ref().map(|t| Json::str(t)).unwrap_or(Json::Null),
+                target.as_ref().map(Json::str).unwrap_or(Json::Null),
             ),
         ]),
         ActionSubject::Http { method, url } => Json::obj([
             ("type", Json::str("http")),
             ("method", Json::str(method)),
-            ("url", url.as_ref().map(|u| Json::str(u)).unwrap_or(Json::Null)),
+            ("url", url.as_ref().map(Json::str).unwrap_or(Json::Null)),
         ]),
         ActionSubject::HubCommand => Json::obj([("type", Json::str("hubCommand"))]),
     };
     Json::obj([
         ("subject", subject),
         ("command", Json::str(&a.command)),
-        ("params", Json::Arr(a.params.iter().map(term_to_json).collect())),
+        (
+            "params",
+            Json::Arr(a.params.iter().map(term_to_json).collect()),
+        ),
         ("when", Json::Num(a.when_secs as i64)),
         ("period", Json::Num(a.period_secs as i64)),
     ])
@@ -520,15 +567,19 @@ fn action_to_json(a: &Action) -> Json {
 fn action_from_json(j: &Json) -> Result<Action, &'static str> {
     let sj = j.get("subject").ok_or("missing subject")?;
     let subject = match sj.get("type").and_then(Json::as_str) {
-        Some("device") => {
-            ActionSubject::Device(device_ref_from_json(sj.get("device").ok_or("missing device")?)?)
-        }
+        Some("device") => ActionSubject::Device(device_ref_from_json(
+            sj.get("device").ok_or("missing device")?,
+        )?),
         Some("locationMode") => ActionSubject::LocationMode,
         Some("message") => ActionSubject::Message {
             target: sj.get("target").and_then(Json::as_str).map(str::to_string),
         },
         Some("http") => ActionSubject::Http {
-            method: sj.get("method").and_then(Json::as_str).ok_or("missing method")?.to_string(),
+            method: sj
+                .get("method")
+                .and_then(Json::as_str)
+                .ok_or("missing method")?
+                .to_string(),
             url: sj.get("url").and_then(Json::as_str).map(str::to_string),
         },
         Some("hubCommand") => ActionSubject::HubCommand,
@@ -536,7 +587,11 @@ fn action_from_json(j: &Json) -> Result<Action, &'static str> {
     };
     Ok(Action {
         subject,
-        command: j.get("command").and_then(Json::as_str).ok_or("missing command")?.to_string(),
+        command: j
+            .get("command")
+            .and_then(Json::as_str)
+            .ok_or("missing command")?
+            .to_string(),
         params: j
             .get("params")
             .and_then(Json::as_arr)
@@ -551,10 +606,16 @@ fn action_from_json(j: &Json) -> Result<Action, &'static str> {
 
 fn device_ref_to_json(d: &DeviceRef) -> Json {
     match d {
-        DeviceRef::Bound { device_id } => {
-            Json::obj([("bound", Json::Bool(true)), ("deviceId", Json::str(device_id))])
-        }
-        DeviceRef::Unbound { app, input, capability, kind } => Json::obj([
+        DeviceRef::Bound { device_id } => Json::obj([
+            ("bound", Json::Bool(true)),
+            ("deviceId", Json::str(device_id)),
+        ]),
+        DeviceRef::Unbound {
+            app,
+            input,
+            capability,
+            kind,
+        } => Json::obj([
             ("bound", Json::Bool(false)),
             ("app", Json::str(app)),
             ("input", Json::str(input)),
@@ -580,8 +641,16 @@ fn device_ref_from_json(j: &Json) -> Result<DeviceRef, &'static str> {
                 .find(|k| k.name() == kind_name)
                 .unwrap_or(DeviceKind::Unknown);
             Ok(DeviceRef::Unbound {
-                app: j.get("app").and_then(Json::as_str).ok_or("missing app")?.to_string(),
-                input: j.get("input").and_then(Json::as_str).ok_or("missing input")?.to_string(),
+                app: j
+                    .get("app")
+                    .and_then(Json::as_str)
+                    .ok_or("missing app")?
+                    .to_string(),
+                input: j
+                    .get("input")
+                    .and_then(Json::as_str)
+                    .ok_or("missing input")?
+                    .to_string(),
                 capability: j
                     .get("capability")
                     .and_then(Json::as_str)
@@ -651,8 +720,14 @@ fn varid_to_json(v: &VarId) -> Json {
 fn varid_from_json(j: &Json) -> Result<VarId, &'static str> {
     let get_app_name = || -> Result<(String, String), &'static str> {
         Ok((
-            j.get("app").and_then(Json::as_str).ok_or("missing app")?.to_string(),
-            j.get("name").and_then(Json::as_str).ok_or("missing name")?.to_string(),
+            j.get("app")
+                .and_then(Json::as_str)
+                .ok_or("missing app")?
+                .to_string(),
+            j.get("name")
+                .and_then(Json::as_str)
+                .ok_or("missing name")?
+                .to_string(),
         ))
     };
     match j.get("type").and_then(Json::as_str) {
@@ -665,7 +740,10 @@ fn varid_from_json(j: &Json) -> Result<VarId, &'static str> {
                 .to_string(),
         }),
         Some("env") => Ok(VarId::Env(
-            j.get("property").and_then(Json::as_str).ok_or("missing property")?.to_string(),
+            j.get("property")
+                .and_then(Json::as_str)
+                .ok_or("missing property")?
+                .to_string(),
         )),
         Some("mode") => Ok(VarId::Mode),
         Some("timeOfDay") => Ok(VarId::TimeOfDay),
@@ -740,9 +818,10 @@ fn formula_to_json(f: &Formula) -> Json {
             ("op", Json::str(op.symbol())),
             ("rhs", term_to_json(rhs)),
         ]),
-        Formula::And(parts) => {
-            Json::obj([("and", Json::Arr(parts.iter().map(formula_to_json).collect()))])
-        }
+        Formula::And(parts) => Json::obj([(
+            "and",
+            Json::Arr(parts.iter().map(formula_to_json).collect()),
+        )]),
         Formula::Or(parts) => {
             Json::obj([("or", Json::Arr(parts.iter().map(formula_to_json).collect()))])
         }
@@ -758,22 +837,38 @@ fn formula_from_json(j: &Json) -> Result<Formula, &'static str> {
     }
     if let Some(parts) = j.get("and").and_then(Json::as_arr) {
         return Ok(Formula::And(
-            parts.iter().map(formula_from_json).collect::<Result<_, _>>()?,
+            parts
+                .iter()
+                .map(formula_from_json)
+                .collect::<Result<_, _>>()?,
         ));
     }
     if let Some(parts) = j.get("or").and_then(Json::as_arr) {
         return Ok(Formula::Or(
-            parts.iter().map(formula_from_json).collect::<Result<_, _>>()?,
+            parts
+                .iter()
+                .map(formula_from_json)
+                .collect::<Result<_, _>>()?,
         ));
     }
     if let Some(inner) = j.get("not") {
         return Ok(Formula::Not(Box::new(formula_from_json(inner)?)));
     }
-    let op_text = j.get("op").and_then(Json::as_str).ok_or("invalid formula")?;
-    let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]
-        .into_iter()
-        .find(|o| o.symbol() == op_text)
-        .ok_or("unknown operator")?;
+    let op_text = j
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or("invalid formula")?;
+    let op = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ]
+    .into_iter()
+    .find(|o| o.symbol() == op_text)
+    .ok_or("unknown operator")?;
     Ok(Formula::Cmp {
         lhs: term_from_json(j.get("lhs").ok_or("missing lhs")?)?,
         op,
@@ -884,15 +979,25 @@ mod tests {
         // a few KB at most.
         let text = rules_to_text(&[sample_rule()]);
         assert!(text.len() > 100);
-        assert!(text.len() < 8_000, "rule file unexpectedly large: {}", text.len());
+        assert!(
+            text.len() < 8_000,
+            "rule file unexpectedly large: {}",
+            text.len()
+        );
     }
 
     #[test]
     fn all_trigger_kinds_roundtrip() {
         for trig in [
             Trigger::ModeChange { constraint: None },
-            Trigger::TimeOfDay { at_minutes: Some(420), description: "7:00".into() },
-            Trigger::TimeOfDay { at_minutes: None, description: "sunset".into() },
+            Trigger::TimeOfDay {
+                at_minutes: Some(420),
+                description: "7:00".into(),
+            },
+            Trigger::TimeOfDay {
+                at_minutes: None,
+                description: "sunset".into(),
+            },
             Trigger::Periodic { period_secs: 300 },
             Trigger::AppTouch,
         ] {
@@ -907,9 +1012,14 @@ mod tests {
     fn all_action_subjects_roundtrip() {
         for subject in [
             ActionSubject::LocationMode,
-            ActionSubject::Message { target: Some("555".into()) },
+            ActionSubject::Message {
+                target: Some("555".into()),
+            },
             ActionSubject::Message { target: None },
-            ActionSubject::Http { method: "POST".into(), url: Some("http://x".into()) },
+            ActionSubject::Http {
+                method: "POST".into(),
+                url: Some("http://x".into()),
+            },
             ActionSubject::HubCommand,
         ] {
             let mut r = sample_rule();
@@ -928,7 +1038,10 @@ mod tests {
     #[test]
     fn nested_term_roundtrip() {
         let t = Term::Add(
-            Box::new(Term::Mul(Box::new(Term::num(2)), Box::new(Term::var(VarId::Mode)))),
+            Box::new(Term::Mul(
+                Box::new(Term::num(2)),
+                Box::new(Term::var(VarId::Mode)),
+            )),
             Box::new(Term::Neg(Box::new(Term::num(7)))),
         );
         let decoded = term_from_json(&term_to_json(&t)).unwrap();

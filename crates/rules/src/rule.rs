@@ -18,7 +18,10 @@ pub struct RuleId {
 impl RuleId {
     /// Creates a rule id.
     pub fn new(app: impl Into<String>, index: usize) -> RuleId {
-        RuleId { app: app.into(), index }
+        RuleId {
+            app: app.into(),
+            index,
+        }
     }
 }
 
@@ -87,9 +90,9 @@ impl Trigger {
     /// when `R1`'s action writes this variable.
     pub fn observed_var(&self) -> Option<VarId> {
         match self {
-            Trigger::DeviceEvent { subject, attribute, .. } => {
-                Some(VarId::canonical_attr(subject, attribute))
-            }
+            Trigger::DeviceEvent {
+                subject, attribute, ..
+            } => Some(VarId::canonical_attr(subject, attribute)),
             Trigger::ModeChange { .. } => Some(VarId::Mode),
             _ => None,
         }
@@ -127,7 +130,10 @@ pub struct Condition {
 impl Condition {
     /// The trivially-true condition.
     pub fn always() -> Condition {
-        Condition { data_constraints: Vec::new(), predicate: Formula::True }
+        Condition {
+            data_constraints: Vec::new(),
+            predicate: Formula::True,
+        }
     }
 }
 
@@ -209,7 +215,10 @@ impl Action {
     /// opposed to messaging/HTTP, which only detection of privacy flows
     /// cares about).
     pub fn is_actuation(&self) -> bool {
-        matches!(self.subject, ActionSubject::Device(_) | ActionSubject::LocationMode)
+        matches!(
+            self.subject,
+            ActionSubject::Device(_) | ActionSubject::LocationMode
+        )
     }
 }
 
@@ -300,7 +309,11 @@ impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "rule {}:", self.id)?;
         match &self.trigger {
-            Trigger::DeviceEvent { subject, attribute, constraint } => {
+            Trigger::DeviceEvent {
+                subject,
+                attribute,
+                constraint,
+            } => {
                 write!(f, "  when {subject}.{attribute} changes")?;
                 if let Some(c) = constraint {
                     write!(f, " and {c}")?;
@@ -400,7 +413,9 @@ mod tests {
         let r = rule1();
         let sit = r.situation();
         let vars = sit.variables();
-        assert!(vars.iter().any(|v| matches!(v, VarId::Env(p) if p == "temperature")));
+        assert!(vars
+            .iter()
+            .any(|v| matches!(v, VarId::Env(p) if p == "temperature")));
         assert!(vars.iter().any(|v| matches!(v, VarId::UserInput { .. })));
         // Trigger constraint folded in.
         assert!(vars

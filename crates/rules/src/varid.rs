@@ -37,7 +37,9 @@ pub enum DeviceRef {
 impl DeviceRef {
     /// A bound reference.
     pub fn bound(device_id: impl Into<String>) -> DeviceRef {
-        DeviceRef::Bound { device_id: device_id.into() }
+        DeviceRef::Bound {
+            device_id: device_id.into(),
+        }
     }
 
     /// Whether two references certainly denote the same physical device.
@@ -57,8 +59,16 @@ impl DeviceRef {
     pub fn same_type(&self, other: &DeviceRef) -> bool {
         match (self, other) {
             (
-                DeviceRef::Unbound { capability: ca, kind: ka, .. },
-                DeviceRef::Unbound { capability: cb, kind: kb, .. },
+                DeviceRef::Unbound {
+                    capability: ca,
+                    kind: ka,
+                    ..
+                },
+                DeviceRef::Unbound {
+                    capability: cb,
+                    kind: kb,
+                    ..
+                },
             ) => ca == cb && ka == kb,
             (DeviceRef::Bound { device_id: a }, DeviceRef::Bound { device_id: b }) => a == b,
             _ => false,
@@ -95,7 +105,12 @@ impl fmt::Display for DeviceRef {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceRef::Bound { device_id } => write!(f, "device {device_id}"),
-            DeviceRef::Unbound { app, input, capability, .. } => {
+            DeviceRef::Unbound {
+                app,
+                input,
+                capability,
+                ..
+            } => {
                 write!(f, "{app}/{input} ({capability})")
             }
         }
@@ -147,7 +162,10 @@ pub enum VarId {
 impl VarId {
     /// A device-attribute variable.
     pub fn device_attr(device: DeviceRef, attribute: impl Into<String>) -> VarId {
-        VarId::DeviceAttr { device, attribute: attribute.into() }
+        VarId::DeviceAttr {
+            device,
+            attribute: attribute.into(),
+        }
     }
 
     /// The canonical variable for reading `attribute` of `device`.
@@ -256,7 +274,15 @@ mod tests {
         assert!(VarId::env("temperature").is_shared_world());
         assert!(VarId::Mode.is_shared_world());
         assert!(VarId::device_attr(DeviceRef::bound("x"), "switch").is_shared_world());
-        assert!(!VarId::UserInput { app: "A".into(), name: "t".into() }.is_shared_world());
-        assert!(!VarId::State { app: "A".into(), name: "c".into() }.is_shared_world());
+        assert!(!VarId::UserInput {
+            app: "A".into(),
+            name: "t".into()
+        }
+        .is_shared_world());
+        assert!(!VarId::State {
+            app: "A".into(),
+            name: "c".into()
+        }
+        .is_shared_world());
     }
 }

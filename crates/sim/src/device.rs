@@ -41,7 +41,13 @@ impl Device {
                 attributes.insert(attr.name.to_string(), v);
             }
         }
-        Device { id: id.into(), label: label.into(), capability: capability_name, kind, attributes }
+        Device {
+            id: id.into(),
+            label: label.into(),
+            capability: capability_name,
+            kind,
+            attributes,
+        }
     }
 
     /// Reads an attribute.
@@ -61,16 +67,25 @@ impl Device {
     /// Executes a command: applies its attribute effects, returning the
     /// attribute changes as `(attribute, new value)` pairs.
     pub fn execute(&mut self, command: &str, params: &[Value]) -> Vec<(String, Value)> {
-        let Some(cap) = capability::lookup(self.capability) else { return Vec::new() };
-        let Some(cmd) = cap.command(command) else { return Vec::new() };
+        let Some(cap) = capability::lookup(self.capability) else {
+            return Vec::new();
+        };
+        let Some(cmd) = cap.command(command) else {
+            return Vec::new();
+        };
         let mut changes = Vec::new();
         for effect in cmd.effects {
             let (attr, value) = match effect {
                 AttrEffect::SetConst { attribute, value } => {
                     (attribute.to_string(), Value::Sym(value.to_string()))
                 }
-                AttrEffect::SetParam { attribute, param_index } => {
-                    let Some(v) = params.get(*param_index) else { continue };
+                AttrEffect::SetParam {
+                    attribute,
+                    param_index,
+                } => {
+                    let Some(v) = params.get(*param_index) else {
+                        continue;
+                    };
                     (attribute.to_string(), v.clone())
                 }
             };

@@ -65,9 +65,18 @@ pub enum TraceEntry {
 /// An event waiting in the queue.
 #[derive(Debug, Clone)]
 enum Pending {
-    AttrChanged { device: String, attribute: String, value: Value },
-    ModeChanged { mode: String },
-    RunAction { rule_index: usize, action_index: usize },
+    AttrChanged {
+        device: String,
+        attribute: String,
+        value: Value,
+    },
+    ModeChanged {
+        mode: String,
+    },
+    RunAction {
+        rule_index: usize,
+        action_index: usize,
+    },
 }
 
 /// Per-environment-property drift applied when actuators run (simplified
@@ -153,7 +162,12 @@ impl Home {
 
     /// Changes the location mode externally.
     pub fn set_mode(&mut self, mode: &str) {
-        self.queue.push((self.now, Pending::ModeChanged { mode: mode.to_string() }));
+        self.queue.push((
+            self.now,
+            Pending::ModeChanged {
+                mode: mode.to_string(),
+            },
+        ));
         self.run();
     }
 
@@ -174,9 +188,13 @@ impl Home {
             // Pop the earliest event; ties are shuffled for nondeterminism.
             self.queue.sort_by_key(|(t, _)| *t);
             let earliest = self.queue[0].0;
-            let tie_count = self.queue.iter().take_while(|(t, _)| *t == earliest).count();
+            let tie_count = self
+                .queue
+                .iter()
+                .take_while(|(t, _)| *t == earliest)
+                .count();
             let pick = if tie_count > 1 {
-                (self.rng.next_index(tie_count)) as usize
+                self.rng.next_index(tie_count)
             } else {
                 0
             };
@@ -188,8 +206,14 @@ impl Home {
 
     fn process(&mut self, event: Pending) {
         match event {
-            Pending::AttrChanged { device, attribute, value } => {
-                let Some(dev) = self.devices.get_mut(&device) else { return };
+            Pending::AttrChanged {
+                device,
+                attribute,
+                value,
+            } => {
+                let Some(dev) = self.devices.get_mut(&device) else {
+                    return;
+                };
                 if dev.set(&attribute, value.clone()).is_none() {
                     return; // no actual change, no event
                 }
@@ -207,10 +231,16 @@ impl Home {
                     return;
                 }
                 self.mode = mode.clone();
-                self.trace.push(TraceEntry::Mode { at: self.now, mode: mode.clone() });
+                self.trace.push(TraceEntry::Mode {
+                    at: self.now,
+                    mode: mode.clone(),
+                });
                 self.fire_matching_rules(None, Some(&mode));
             }
-            Pending::RunAction { rule_index, action_index } => {
+            Pending::RunAction {
+                rule_index,
+                action_index,
+            } => {
                 self.perform_action(rule_index, action_index);
             }
         }
@@ -219,7 +249,9 @@ impl Home {
     /// Simplified physics: device-kind environment effects move the shared
     /// property one step per state change.
     fn apply_env_effects(&mut self, device: &str, attribute: &str, value: &Value) {
-        let Some(dev) = self.devices.get(device) else { return };
+        let Some(dev) = self.devices.get(device) else {
+            return;
+        };
         // The state change corresponds to the command that caused it; infer
         // the command from the new value where possible.
         let command = match (attribute, value) {
@@ -245,7 +277,11 @@ impl Home {
                 Sign::Dec => *entry -= ENV_STEP,
             }
             let value = *entry;
-            self.trace.push(TraceEntry::Env { at: self.now, property: prop, value });
+            self.trace.push(TraceEntry::Env {
+                at: self.now,
+                property: prop,
+                value,
+            });
             // Environment movement is itself sensed: notify rules triggered
             // by environment-measuring attributes.
             self.fire_env_rules(prop, value);
@@ -261,7 +297,15 @@ impl Home {
         let mut matching: Vec<usize> = Vec::new();
         for (i, rule) in self.rules.iter().enumerate() {
             let fires = match (&rule.trigger, attr_event, mode_event) {
-                (Trigger::DeviceEvent { subject, attribute, constraint }, Some((d, a, v)), _) => {
+                (
+                    Trigger::DeviceEvent {
+                        subject,
+                        attribute,
+                        constraint,
+                    },
+                    Some((d, a, v)),
+                    _,
+                ) => {
                     device_id(subject) == Some(d)
                         && attribute == a
                         && constraint
@@ -288,7 +332,13 @@ impl Home {
             for (j, action) in self.rules[i].actions.iter().enumerate() {
                 let at = self.now + self.rules[i].actions[j].when_secs * 1_000;
                 let _ = action;
-                self.queue.push((at, Pending::RunAction { rule_index: i, action_index: j }));
+                self.queue.push((
+                    at,
+                    Pending::RunAction {
+                        rule_index: i,
+                        action_index: j,
+                    },
+                ));
             }
         }
     }
@@ -318,24 +368,38 @@ impl Home {
             });
             for j in 0..self.rules[i].actions.len() {
                 let at = self.now + self.rules[i].actions[j].when_secs * 1_000;
-                self.queue.push((at, Pending::RunAction { rule_index: i, action_index: j }));
+                self.queue.push((
+                    at,
+                    Pending::RunAction {
+                        rule_index: i,
+                        action_index: j,
+                    },
+                ));
             }
         }
     }
 
     fn perform_action(&mut self, rule_index: usize, action_index: usize) {
-        let Some(rule) = self.rules.get(rule_index) else { return };
-        let Some(action) = rule.actions.get(action_index) else { return };
+        let Some(rule) = self.rules.get(rule_index) else {
+            return;
+        };
+        let Some(action) = rule.actions.get(action_index) else {
+            return;
+        };
         let action = action.clone();
         match &action.subject {
             ActionSubject::Device(dref) => {
-                let Some(id) = device_id(dref).map(str::to_string) else { return };
+                let Some(id) = device_id(dref).map(str::to_string) else {
+                    return;
+                };
                 let params: Vec<Value> = action
                     .params
                     .iter()
                     .filter_map(|t| self.eval_term_value(t, rule))
                     .collect();
-                let Some(dev) = self.devices.get_mut(&id) else { return };
+                let Some(dev) = self.devices.get_mut(&id) else {
+                    return;
+                };
                 let changes = dev.execute(&action.command, &params);
                 for (attr, value) in changes {
                     self.trace.push(TraceEntry::Attr {
@@ -446,7 +510,14 @@ mod tests {
         DeviceRef::bound(id)
     }
 
-    fn simple_rule(id: &str, trig_dev: &str, attr: &str, val: &str, act_dev: &str, cmd: &str) -> Rule {
+    fn simple_rule(
+        id: &str,
+        trig_dev: &str,
+        attr: &str,
+        val: &str,
+        act_dev: &str,
+        cmd: &str,
+    ) -> Rule {
         Rule {
             id: RuleId::new(id, 0),
             trigger: Trigger::DeviceEvent {
@@ -468,7 +539,12 @@ mod tests {
 
     fn home_with_lamp_and_motion_seeded(seed: u64) -> Home {
         let mut h = Home::new(seed);
-        h.add_device(Device::new("motion-1", "Hall motion", "motionSensor", DeviceKind::Unknown));
+        h.add_device(Device::new(
+            "motion-1",
+            "Hall motion",
+            "motionSensor",
+            DeviceKind::Unknown,
+        ));
         let mut lamp = Device::new("lamp-1", "Hall lamp", "switch", DeviceKind::Light);
         lamp.set("switch", Value::sym("off"));
         h.add_device(lamp);
@@ -478,16 +554,33 @@ mod tests {
     #[test]
     fn rule_fires_on_stimulus() {
         let mut h = home_with_lamp_and_motion();
-        h.install_rule(simple_rule("MotionLight", "motion-1", "motion", "active", "lamp-1", "on"));
+        h.install_rule(simple_rule(
+            "MotionLight",
+            "motion-1",
+            "motion",
+            "active",
+            "lamp-1",
+            "on",
+        ));
         h.stimulate("motion-1", "motion", Value::sym("active"));
         assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
-        assert!(h.trace.iter().any(|t| matches!(t, TraceEntry::RuleFired { rule, .. } if rule == "MotionLight#0")));
+        assert!(h
+            .trace
+            .iter()
+            .any(|t| matches!(t, TraceEntry::RuleFired { rule, .. } if rule == "MotionLight#0")));
     }
 
     #[test]
     fn trigger_value_constraint_gates_firing() {
         let mut h = home_with_lamp_and_motion();
-        h.install_rule(simple_rule("MotionLight", "motion-1", "motion", "active", "lamp-1", "on"));
+        h.install_rule(simple_rule(
+            "MotionLight",
+            "motion-1",
+            "motion",
+            "active",
+            "lamp-1",
+            "on",
+        ));
         h.stimulate("motion-1", "motion", Value::sym("inactive"));
         assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("off")));
     }
@@ -495,15 +588,18 @@ mod tests {
     #[test]
     fn condition_evaluated_against_world() {
         let mut h = home_with_lamp_and_motion();
-        let mut rule =
-            simple_rule("NightLight", "motion-1", "motion", "active", "lamp-1", "on");
+        let mut rule = simple_rule("NightLight", "motion-1", "motion", "active", "lamp-1", "on");
         rule.condition = Condition {
             data_constraints: vec![],
             predicate: Formula::var_eq(VarId::Mode, Value::sym("Night")),
         };
         h.install_rule(rule);
         h.stimulate("motion-1", "motion", Value::sym("active"));
-        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("off")), "mode is Home");
+        assert_eq!(
+            h.attr("lamp-1", "switch"),
+            Some(&Value::sym("off")),
+            "mode is Home"
+        );
         h.set_mode("Night");
         h.stimulate("motion-1", "motion", Value::sym("inactive"));
         h.stimulate("motion-1", "motion", Value::sym("active"));
@@ -517,7 +613,9 @@ mod tests {
         let mut tv = Device::new("tv-1", "TV", "switch", DeviceKind::Tv);
         tv.set("switch", Value::sym("off"));
         h.add_device(tv);
-        h.install_rule(simple_rule("A", "motion-1", "motion", "active", "tv-1", "on"));
+        h.install_rule(simple_rule(
+            "A", "motion-1", "motion", "active", "tv-1", "on",
+        ));
         h.install_rule(simple_rule("B", "tv-1", "switch", "on", "lamp-1", "on"));
         h.stimulate("motion-1", "motion", Value::sym("active"));
         assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
@@ -530,19 +628,27 @@ mod tests {
         let mut outcomes = std::collections::BTreeSet::new();
         for seed in 0..32 {
             let mut h = home_with_lamp_and_motion_seeded(seed);
-            h.install_rule(simple_rule("OnApp", "motion-1", "motion", "active", "lamp-1", "on"));
-            h.install_rule(simple_rule("OffApp", "motion-1", "motion", "active", "lamp-1", "off"));
+            h.install_rule(simple_rule(
+                "OnApp", "motion-1", "motion", "active", "lamp-1", "on",
+            ));
+            h.install_rule(simple_rule(
+                "OffApp", "motion-1", "motion", "active", "lamp-1", "off",
+            ));
             h.stimulate("motion-1", "motion", Value::sym("active"));
             outcomes.insert(h.attr("lamp-1", "switch").cloned());
         }
-        assert!(outcomes.len() > 1, "race should be nondeterministic, got {outcomes:?}");
+        assert!(
+            outcomes.len() > 1,
+            "race should be nondeterministic, got {outcomes:?}"
+        );
     }
 
     #[test]
     fn delayed_action_applies_later() {
         let mut h = home_with_lamp_and_motion();
         let mut rule = simple_rule("OnThenOff", "motion-1", "motion", "active", "lamp-1", "on");
-        rule.actions.push(Action::device(bound("lamp-1"), "off").after(300));
+        rule.actions
+            .push(Action::device(bound("lamp-1"), "off").after(300));
         h.install_rule(rule);
         h.stimulate("motion-1", "motion", Value::sym("active"));
         // Queue drained: both immediate and delayed actions applied.
@@ -590,8 +696,22 @@ mod tests {
         // on-rule and off-rule trigger each other forever; the budget stops
         // the cascade instead of hanging.
         let mut h = home_with_lamp_and_motion();
-        h.install_rule(simple_rule("OnWhenOff", "lamp-1", "switch", "off", "lamp-1", "on"));
-        h.install_rule(simple_rule("OffWhenOn", "lamp-1", "switch", "on", "lamp-1", "off"));
+        h.install_rule(simple_rule(
+            "OnWhenOff",
+            "lamp-1",
+            "switch",
+            "off",
+            "lamp-1",
+            "on",
+        ));
+        h.install_rule(simple_rule(
+            "OffWhenOn",
+            "lamp-1",
+            "switch",
+            "on",
+            "lamp-1",
+            "off",
+        ));
         h.stimulate("lamp-1", "switch", Value::sym("on"));
         let flips = h
             .trace

@@ -62,7 +62,10 @@ impl Dom {
     /// Default integer domain for undeclared numeric variables: generous
     /// physical bounds in scaled fixed-point.
     pub fn default_int() -> Dom {
-        Dom::Int { lo: -100_000_000, hi: 100_000_000 }
+        Dom::Int {
+            lo: -100_000_000,
+            hi: 100_000_000,
+        }
     }
 
     /// Whether the domain has no values left.

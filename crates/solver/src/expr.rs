@@ -150,7 +150,12 @@ pub fn lower(formula: &Formula, declared: &BTreeMap<VarId, Dom>, syms: &mut SymT
             }
         }
     }
-    Lowered { formula: lowered, vars: cx.vars, domains, syms: std::mem::take(cx.syms) }
+    Lowered {
+        formula: lowered,
+        vars: cx.vars,
+        domains,
+        syms: std::mem::take(cx.syms),
+    }
 }
 
 struct LowerCx<'a> {
@@ -228,8 +233,10 @@ impl<'a> LowerCx<'a> {
                 self.var_types[ia] = VarType::Sym;
             }
             // Share mentioned symbols both ways so auto domains overlap.
-            let union: std::collections::BTreeSet<_> =
-                self.mentioned_syms[ia].union(&self.mentioned_syms[ib]).copied().collect();
+            let union: std::collections::BTreeSet<_> = self.mentioned_syms[ia]
+                .union(&self.mentioned_syms[ib])
+                .copied()
+                .collect();
             self.mentioned_syms[ia] = union.clone();
             self.mentioned_syms[ib] = union;
         }
@@ -279,8 +286,10 @@ impl<'a> LowerCx<'a> {
                 self.lower_atom(lhs, op, rhs)
             }
             Formula::And(parts) => {
-                let lowered: Vec<_> =
-                    parts.iter().map(|p| self.lower_formula(p, negated)).collect();
+                let lowered: Vec<_> = parts
+                    .iter()
+                    .map(|p| self.lower_formula(p, negated))
+                    .collect();
                 if negated {
                     simplify_or(lowered)
                 } else {
@@ -288,8 +297,10 @@ impl<'a> LowerCx<'a> {
                 }
             }
             Formula::Or(parts) => {
-                let lowered: Vec<_> =
-                    parts.iter().map(|p| self.lower_formula(p, negated)).collect();
+                let lowered: Vec<_> = parts
+                    .iter()
+                    .map(|p| self.lower_formula(p, negated))
+                    .collect();
                 if negated {
                     simplify_and(lowered)
                 } else {
@@ -308,9 +319,17 @@ impl<'a> LowerCx<'a> {
         let lty = self.term_type(&ll);
         let rty = self.term_type(&lr);
         match (lty, rty) {
-            (VarType::Num, VarType::Num) => LFormula::Atom(LAtom { lhs: ll, op, rhs: lr }),
+            (VarType::Num, VarType::Num) => LFormula::Atom(LAtom {
+                lhs: ll,
+                op,
+                rhs: lr,
+            }),
             (VarType::Sym, VarType::Sym) => match op {
-                CmpOp::Eq | CmpOp::Ne => LFormula::Atom(LAtom { lhs: ll, op, rhs: lr }),
+                CmpOp::Eq | CmpOp::Ne => LFormula::Atom(LAtom {
+                    lhs: ll,
+                    op,
+                    rhs: lr,
+                }),
                 // Ordered comparison of symbols: unsatisfiable (SmartApps
                 // never do this on purpose; be conservative).
                 _ => LFormula::False,
@@ -488,10 +507,7 @@ mod tests {
         let mut syms = SymTable::new();
         let on = syms.intern("on");
         let off = syms.intern("off");
-        declared.insert(
-            VarId::env("x"),
-            Dom::Enum([on, off].into_iter().collect()),
-        );
+        declared.insert(VarId::env("x"), Dom::Enum([on, off].into_iter().collect()));
         let f = Formula::var_eq(VarId::env("x"), Value::sym("on"));
         let lowered = lower(&f, &declared, &mut syms);
         match &lowered.domains[0] {

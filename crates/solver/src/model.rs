@@ -77,7 +77,11 @@ pub struct Model {
 impl Model {
     /// An empty model with default search limits.
     pub fn new() -> Model {
-        Model { declared: BTreeMap::new(), syms: SymTable::new(), config: SearchConfig::default() }
+        Model {
+            declared: BTreeMap::new(),
+            syms: SymTable::new(),
+            config: SearchConfig::default(),
+        }
     }
 
     /// Overrides the search limits.
@@ -93,7 +97,10 @@ impl Model {
 
     /// Declares an enum variable over the given symbols.
     pub fn declare_enum<S: AsRef<str>>(&mut self, var: VarId, values: impl IntoIterator<Item = S>) {
-        let set = values.into_iter().map(|s| self.syms.intern(s.as_ref())).collect();
+        let set = values
+            .into_iter()
+            .map(|s| self.syms.intern(s.as_ref()))
+            .collect();
         self.declared.insert(var, Dom::Enum(set));
     }
 
@@ -174,7 +181,9 @@ mod tests {
         let mut m = Model::new();
         m.declare_int(temp(), -4000, 15_000);
         let f = Formula::and([gt(3000), lt(3500)]);
-        let Outcome::Sat(w) = m.solve(&f) else { panic!() };
+        let Outcome::Sat(w) = m.solve(&f) else {
+            panic!()
+        };
         let Value::Num(v) = w[&temp()] else { panic!() };
         assert!(v > 3000 && v < 3500, "witness {v}");
     }
@@ -198,7 +207,9 @@ mod tests {
         let mut m = Model::new();
         m.declare_enum(VarId::Mode, ["Home", "Away", "Night"]);
         let f = Formula::var_eq(VarId::Mode, Value::sym("Night"));
-        let Outcome::Sat(w) = m.solve(&f) else { panic!() };
+        let Outcome::Sat(w) = m.solve(&f) else {
+            panic!()
+        };
         assert_eq!(w[&VarId::Mode], Value::sym("Night"));
         // A mode outside the home's mode set is unsatisfiable.
         let g = Formula::var_eq(VarId::Mode, Value::sym("Vacation"));
@@ -211,7 +222,9 @@ mod tests {
         // x != "on" is satisfiable thanks to the implicit OTHER value.
         let x = VarId::env("x");
         let f = Formula::cmp(Term::var(x.clone()), CmpOp::Ne, Term::sym("on"));
-        let Outcome::Sat(w) = m.solve(&f) else { panic!() };
+        let Outcome::Sat(w) = m.solve(&f) else {
+            panic!()
+        };
         assert_ne!(w[&x], Value::sym("on"));
     }
 
@@ -243,7 +256,10 @@ mod tests {
 
     #[test]
     fn unknown_on_tiny_budget() {
-        let mut m = Model::new().with_config(SearchConfig { max_nodes: 0, max_dnf: 1 });
+        let mut m = Model::new().with_config(SearchConfig {
+            max_nodes: 0,
+            max_dnf: 1,
+        });
         m.declare_int(temp(), 0, 10_000);
         assert_eq!(m.solve(&gt(500)), Outcome::Unknown);
     }
@@ -253,7 +269,10 @@ mod tests {
         // temperature > threshold where threshold is a user input with its
         // own domain: satisfiable; adding threshold >= 15000 and
         // temperature <= 0 makes it unsat.
-        let thr = VarId::UserInput { app: "A".into(), name: "threshold".into() };
+        let thr = VarId::UserInput {
+            app: "A".into(),
+            name: "threshold".into(),
+        };
         let mut m = Model::new();
         m.declare_int(temp(), -4000, 15_000);
         m.declare_int(thr.clone(), -4000, 15_000);

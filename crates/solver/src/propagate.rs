@@ -147,7 +147,10 @@ pub struct Interval {
 impl Interval {
     /// The unconstrained interval.
     pub fn top() -> Interval {
-        Interval { lo: -WIDE, hi: WIDE }
+        Interval {
+            lo: -WIDE,
+            hi: WIDE,
+        }
     }
 
     /// A point interval.
@@ -161,19 +164,31 @@ impl Interval {
     }
 
     fn intersect(&self, other: Interval) -> Interval {
-        Interval { lo: self.lo.max(other.lo), hi: self.hi.min(other.hi) }
+        Interval {
+            lo: self.lo.max(other.lo),
+            hi: self.hi.min(other.hi),
+        }
     }
 
     fn add(&self, o: Interval) -> Interval {
-        Interval { lo: sat_add(self.lo, o.lo), hi: sat_add(self.hi, o.hi) }
+        Interval {
+            lo: sat_add(self.lo, o.lo),
+            hi: sat_add(self.hi, o.hi),
+        }
     }
 
     fn sub(&self, o: Interval) -> Interval {
-        Interval { lo: sat_sub(self.lo, o.hi), hi: sat_sub(self.hi, o.lo) }
+        Interval {
+            lo: sat_sub(self.lo, o.hi),
+            hi: sat_sub(self.hi, o.lo),
+        }
     }
 
     fn neg(&self) -> Interval {
-        Interval { lo: -self.hi, hi: -self.lo }
+        Interval {
+            lo: -self.hi,
+            hi: -self.lo,
+        }
     }
 
     fn mul(&self, o: Interval) -> Interval {
@@ -303,14 +318,20 @@ fn constant_of(t: &LTerm, store: &Store) -> Option<i64> {
 fn div_target(target: Interval, c: i64) -> Interval {
     let a = scaled_div(target.lo, c);
     let b = scaled_div(target.hi, c);
-    Interval { lo: a.min(b) - 1, hi: a.max(b) + 1 }
+    Interval {
+        lo: a.min(b) - 1,
+        hi: a.max(b) + 1,
+    }
 }
 
 /// Target for `x` given `x / c ∈ target` (scaled), outward-rounded.
 fn mul_target(target: Interval, c: i64) -> Interval {
     let a = scaled_mul(target.lo, c);
     let b = scaled_mul(target.hi, c);
-    Interval { lo: a.min(b) - 1, hi: a.max(b) + 1 }
+    Interval {
+        lo: a.min(b) - 1,
+        hi: a.max(b) + 1,
+    }
 }
 
 fn propagate_numeric(atom: &LAtom, store: &mut Store) -> Propagation {
@@ -334,16 +355,35 @@ fn propagate_numeric(atom: &LAtom, store: &mut Store) -> Propagation {
             if l.lo > r.hi {
                 false
             } else {
-                project(&atom.lhs, Interval { lo: -WIDE, hi: r.hi }, store)
-                    && project(&atom.rhs, Interval { lo: l.lo, hi: WIDE }, store)
+                project(
+                    &atom.lhs,
+                    Interval {
+                        lo: -WIDE,
+                        hi: r.hi,
+                    },
+                    store,
+                ) && project(&atom.rhs, Interval { lo: l.lo, hi: WIDE }, store)
             }
         }
         CmpOp::Lt => {
             if l.lo >= r.hi {
                 false
             } else {
-                project(&atom.lhs, Interval { lo: -WIDE, hi: r.hi - 1 }, store)
-                    && project(&atom.rhs, Interval { lo: l.lo + 1, hi: WIDE }, store)
+                project(
+                    &atom.lhs,
+                    Interval {
+                        lo: -WIDE,
+                        hi: r.hi - 1,
+                    },
+                    store,
+                ) && project(
+                    &atom.rhs,
+                    Interval {
+                        lo: l.lo + 1,
+                        hi: WIDE,
+                    },
+                    store,
+                )
             }
         }
         CmpOp::Ge => {
@@ -351,31 +391,49 @@ fn propagate_numeric(atom: &LAtom, store: &mut Store) -> Propagation {
                 false
             } else {
                 project(&atom.lhs, Interval { lo: r.lo, hi: WIDE }, store)
-                    && project(&atom.rhs, Interval { lo: -WIDE, hi: l.hi }, store)
+                    && project(
+                        &atom.rhs,
+                        Interval {
+                            lo: -WIDE,
+                            hi: l.hi,
+                        },
+                        store,
+                    )
             }
         }
         CmpOp::Gt => {
             if l.hi <= r.lo {
                 false
             } else {
-                project(&atom.lhs, Interval { lo: r.lo + 1, hi: WIDE }, store)
-                    && project(&atom.rhs, Interval { lo: -WIDE, hi: l.hi - 1 }, store)
+                project(
+                    &atom.lhs,
+                    Interval {
+                        lo: r.lo + 1,
+                        hi: WIDE,
+                    },
+                    store,
+                ) && project(
+                    &atom.rhs,
+                    Interval {
+                        lo: -WIDE,
+                        hi: l.hi - 1,
+                    },
+                    store,
+                )
             }
         }
         CmpOp::Ne => {
             // Only decidable when both sides are points.
-            if l.lo == l.hi && r.lo == r.hi && l.lo == r.lo {
-                false
-            } else {
-                true
-            }
+            !(l.lo == l.hi && r.lo == r.hi && l.lo == r.lo)
         }
     };
     if !ok {
         return Propagation::Conflict;
     }
     let after = atom_var_bounds(atom, store);
-    Propagation::Consistent { changed: before != after }
+    Propagation::Consistent {
+        changed: before != after,
+    }
 }
 
 fn atom_var_bounds(atom: &LAtom, store: &Store) -> Vec<(i64, i64)> {
@@ -413,7 +471,11 @@ mod tests {
     fn gt_narrows_both_sides() {
         // x > y with x ∈ [0,10], y ∈ [5,20] → x ∈ [6,10], y ∈ [5,9].
         let mut store = vec![int(0, 10), int(5, 20)];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Gt, rhs: LTerm::Var(1) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Gt,
+            rhs: LTerm::Var(1),
+        };
         let mut n = 0;
         assert!(matches!(
             propagate_all(std::slice::from_ref(&atom), &mut store, &mut n),
@@ -426,7 +488,11 @@ mod tests {
     #[test]
     fn eq_intersects() {
         let mut store = vec![int(0, 10), int(5, 20)];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Eq, rhs: LTerm::Var(1) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Eq,
+            rhs: LTerm::Var(1),
+        };
         let mut n = 0;
         propagate_all(std::slice::from_ref(&atom), &mut store, &mut n);
         assert_eq!(store[0].bounds(), Some((5, 10)));
@@ -436,7 +502,11 @@ mod tests {
     #[test]
     fn conflict_detected() {
         let mut store = vec![int(0, 4), int(5, 20)];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Gt, rhs: LTerm::Var(1) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Gt,
+            rhs: LTerm::Var(1),
+        };
         assert_eq!(propagate_atom(&atom, &mut store), Propagation::Conflict);
     }
 
@@ -469,7 +539,11 @@ mod tests {
     #[test]
     fn enum_eq_fixes() {
         let mut store = vec![Dom::Enum([0, 1, 2].into_iter().collect())];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Eq, rhs: LTerm::Sym(1) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Eq,
+            rhs: LTerm::Sym(1),
+        };
         assert!(matches!(
             propagate_atom(&atom, &mut store),
             Propagation::Consistent { changed: true }
@@ -480,7 +554,11 @@ mod tests {
     #[test]
     fn enum_ne_removes_and_conflicts() {
         let mut store = vec![Dom::Enum([0].into_iter().collect())];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Ne, rhs: LTerm::Sym(0) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Ne,
+            rhs: LTerm::Sym(0),
+        };
         assert_eq!(propagate_atom(&atom, &mut store), Propagation::Conflict);
     }
 
@@ -490,7 +568,11 @@ mod tests {
             Dom::Enum([0, 1].into_iter().collect()),
             Dom::Enum([1, 2].into_iter().collect()),
         ];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Eq, rhs: LTerm::Var(1) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Eq,
+            rhs: LTerm::Var(1),
+        };
         propagate_atom(&atom, &mut store);
         assert!(store[0].is_singleton());
         assert!(store[1].is_singleton());
@@ -499,16 +581,31 @@ mod tests {
     #[test]
     fn enum_const_const() {
         let mut store: Store = vec![];
-        let eq = LAtom { lhs: LTerm::Sym(3), op: CmpOp::Eq, rhs: LTerm::Sym(3) };
-        assert!(matches!(propagate_atom(&eq, &mut store), Propagation::Consistent { .. }));
-        let ne = LAtom { lhs: LTerm::Sym(3), op: CmpOp::Eq, rhs: LTerm::Sym(4) };
+        let eq = LAtom {
+            lhs: LTerm::Sym(3),
+            op: CmpOp::Eq,
+            rhs: LTerm::Sym(3),
+        };
+        assert!(matches!(
+            propagate_atom(&eq, &mut store),
+            Propagation::Consistent { .. }
+        ));
+        let ne = LAtom {
+            lhs: LTerm::Sym(3),
+            op: CmpOp::Eq,
+            rhs: LTerm::Sym(4),
+        };
         assert_eq!(propagate_atom(&ne, &mut store), Propagation::Conflict);
     }
 
     #[test]
     fn ne_points_conflict() {
         let mut store = vec![int(5, 5)];
-        let atom = LAtom { lhs: LTerm::Var(0), op: CmpOp::Ne, rhs: LTerm::Num(5) };
+        let atom = LAtom {
+            lhs: LTerm::Var(0),
+            op: CmpOp::Ne,
+            rhs: LTerm::Num(5),
+        };
         assert_eq!(propagate_atom(&atom, &mut store), Propagation::Conflict);
     }
 
@@ -532,9 +629,21 @@ mod tests {
         // x < y, y < z, z <= 10, all in [0,100] → x <= 8.
         let mut store = vec![int(0, 100), int(0, 100), int(0, 100)];
         let atoms = vec![
-            LAtom { lhs: LTerm::Var(0), op: CmpOp::Lt, rhs: LTerm::Var(1) },
-            LAtom { lhs: LTerm::Var(1), op: CmpOp::Lt, rhs: LTerm::Var(2) },
-            LAtom { lhs: LTerm::Var(2), op: CmpOp::Le, rhs: LTerm::Num(10) },
+            LAtom {
+                lhs: LTerm::Var(0),
+                op: CmpOp::Lt,
+                rhs: LTerm::Var(1),
+            },
+            LAtom {
+                lhs: LTerm::Var(1),
+                op: CmpOp::Lt,
+                rhs: LTerm::Var(2),
+            },
+            LAtom {
+                lhs: LTerm::Var(2),
+                op: CmpOp::Le,
+                rhs: LTerm::Num(10),
+            },
         ];
         let mut n = 0;
         propagate_all(&atoms, &mut store, &mut n);

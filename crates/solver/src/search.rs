@@ -18,7 +18,10 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        SearchConfig { max_nodes: 200_000, max_dnf: 4_096 }
+        SearchConfig {
+            max_nodes: 200_000,
+            max_dnf: 4_096,
+        }
     }
 }
 
@@ -184,7 +187,8 @@ fn atom_entailed(atom: &LAtom, store: &Store) -> Option<bool> {
     }
     let l = eval_term(&atom.lhs, store);
     let r = eval_term(&atom.rhs, store);
-    let res = match atom.op {
+
+    match atom.op {
         CmpOp::Lt => {
             if l.hi < r.lo {
                 Some(true)
@@ -243,8 +247,7 @@ fn atom_entailed(atom: &LAtom, store: &Store) -> Option<bool> {
                 None
             }
         }
-    };
-    res
+    }
 }
 
 fn is_same_var(atom: &LAtom) -> bool {
@@ -272,8 +275,7 @@ fn enum_entailed(atom: &LAtom, store: &Store) -> Option<Option<bool>> {
         }
     };
     let is_enum_side = |t: &LTerm| {
-        sym_of(t).is_some()
-            || matches!(t, LTerm::Var(v) if matches!(store[*v], Dom::Enum(_)))
+        sym_of(t).is_some() || matches!(t, LTerm::Var(v) if matches!(store[*v], Dom::Enum(_)))
     };
     if !is_enum_side(&atom.lhs) && !is_enum_side(&atom.rhs) {
         return None;
@@ -303,9 +305,7 @@ fn enum_entailed(atom: &LAtom, store: &Store) -> Option<Option<bool>> {
         CmpOp::Ne => {
             if disjoint {
                 Some(true)
-            } else if both_single_equal {
-                Some(false)
-            } else if is_same_var(atom) {
+            } else if both_single_equal || is_same_var(atom) {
                 Some(false)
             } else {
                 None
@@ -381,7 +381,9 @@ mod tests {
             atom(LTerm::Var(0), CmpOp::Lt, LTerm::Num(35)),
         ]);
         let (res, _) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
-        let SearchResult::Sat(store) = res else { panic!("{res:?}") };
+        let SearchResult::Sat(store) = res else {
+            panic!("{res:?}")
+        };
         let (lo, hi) = store[0].bounds().unwrap();
         assert!(lo >= 31 && hi <= 34);
     }
@@ -430,7 +432,9 @@ mod tests {
             atom(LTerm::Var(0), CmpOp::Le, LTerm::Num(6)),
         ]);
         let (res, _) = solve(&f, &vec![int(0, 100)], SearchConfig::default());
-        let SearchResult::Sat(store) = res else { panic!("{res:?}") };
+        let SearchResult::Sat(store) = res else {
+            panic!("{res:?}")
+        };
         assert_eq!(store[0].bounds(), Some((6, 6)));
     }
 
@@ -452,8 +456,14 @@ mod tests {
             atom(LTerm::Var(1), CmpOp::Eq, LTerm::Var(2)),
             atom(LTerm::Var(2), CmpOp::Eq, LTerm::Num(9)),
         ]);
-        let (res, _) = solve(&f, &vec![int(0, 100), int(0, 100), int(0, 100)], SearchConfig::default());
-        let SearchResult::Sat(store) = res else { panic!("{res:?}") };
+        let (res, _) = solve(
+            &f,
+            &vec![int(0, 100), int(0, 100), int(0, 100)],
+            SearchConfig::default(),
+        );
+        let SearchResult::Sat(store) = res else {
+            panic!("{res:?}")
+        };
         for d in &store {
             assert_eq!(d.bounds(), Some((9, 9)));
         }
@@ -485,7 +495,14 @@ mod tests {
             atom(LTerm::Var(1), CmpOp::Ne, LTerm::Var(2)),
         ]);
         let doms = vec![int(0, 1_000_000), int(0, 1_000_000), int(0, 1_000_000)];
-        let (res, _) = solve(&f, &doms, SearchConfig { max_nodes: 1, max_dnf: 16 });
+        let (res, _) = solve(
+            &f,
+            &doms,
+            SearchConfig {
+                max_nodes: 1,
+                max_dnf: 16,
+            },
+        );
         // With one node we can at best propagate once; Ne over huge domains
         // stays undecided → budget.
         assert_eq!(res, SearchResult::Budget);

@@ -96,7 +96,8 @@ impl<'a> Engine<'a> {
             return self.inline_user_method(name, args, st);
         }
         // Unknown API.
-        self.warnings.push(format!("unmodeled API `{name}` treated as opaque"));
+        self.warnings
+            .push(format!("unmodeled API `{name}` treated as opaque"));
         let t = self.fresh_opaque("api");
         Ok(vec![(st, Sv::Term(t))])
     }
@@ -146,8 +147,11 @@ impl<'a> Engine<'a> {
         if self.mode != Mode::CollectTriggers {
             return Ok(vec![(st, Sv::Null)]);
         }
-        let positional: Vec<&Expr> =
-            args.iter().filter(|a| a.name.is_none()).map(|a| &a.value).collect();
+        let positional: Vec<&Expr> = args
+            .iter()
+            .filter(|a| a.name.is_none())
+            .map(|a| &a.value)
+            .collect();
         if positional.len() < 2 {
             self.warnings.push("malformed subscribe call".into());
             return Ok(vec![(st, Sv::Null)]);
@@ -155,7 +159,8 @@ impl<'a> Engine<'a> {
         let (st, target) = self.eval_single(positional[0], st)?;
         let handler = handler_name(positional.last().expect("len >= 2"));
         let Some(handler) = handler else {
-            self.warnings.push("subscribe handler is not a method reference".into());
+            self.warnings
+                .push("subscribe handler is not a method reference".into());
             return Ok(vec![(st, Sv::Null)]);
         };
         let spec = if positional.len() >= 3 {
@@ -193,8 +198,10 @@ impl<'a> Engine<'a> {
                 self.registrations.push(Registration { trigger, handler });
             }
             Sv::AppObj => {
-                self.registrations
-                    .push(Registration { trigger: Trigger::AppTouch, handler });
+                self.registrations.push(Registration {
+                    trigger: Trigger::AppTouch,
+                    handler,
+                });
             }
             other => {
                 self.warnings
@@ -236,7 +243,11 @@ impl<'a> Engine<'a> {
                 }
             });
             self.registrations.push(Registration {
-                trigger: Trigger::DeviceEvent { subject, attribute, constraint },
+                trigger: Trigger::DeviceEvent {
+                    subject,
+                    attribute,
+                    constraint,
+                },
                 handler: handler.to_string(),
             });
         }
@@ -370,12 +381,16 @@ impl<'a> Engine<'a> {
         period: u64,
         mut st: St,
     ) -> Result<Vec<(St, Sv)>, ExtractError> {
-        let positional: Vec<&Expr> =
-            args.iter().filter(|a| a.name.is_none()).map(|a| &a.value).collect();
+        let positional: Vec<&Expr> = args
+            .iter()
+            .filter(|a| a.name.is_none())
+            .map(|a| &a.value)
+            .collect();
         // The method reference is the last positional arg for runIn/schedule,
         // the only one for runEvery*.
         let Some(method) = positional.last().and_then(|e| handler_name(e)) else {
-            self.warnings.push(format!("{name}: dynamic method reference"));
+            self.warnings
+                .push(format!("{name}: dynamic method reference"));
             return Ok(vec![(st, Sv::Null)]);
         };
         let mut delay_secs: u64 = 0;
@@ -400,9 +415,14 @@ impl<'a> Engine<'a> {
         match self.mode {
             Mode::CollectTriggers => {
                 let trigger = if period > 0 && name != "schedule" && name != "runDaily" {
-                    Trigger::Periodic { period_secs: period }
+                    Trigger::Periodic {
+                        period_secs: period,
+                    }
                 } else if name == "schedule" || name == "runDaily" || name == "runOnce" {
-                    Trigger::TimeOfDay { at_minutes, description }
+                    Trigger::TimeOfDay {
+                        at_minutes,
+                        description,
+                    }
                 } else {
                     // runIn at an entry point: a delayed one-shot; model as
                     // a time trigger.
@@ -411,13 +431,17 @@ impl<'a> Engine<'a> {
                         description: format!("{delay_secs}s after install"),
                     }
                 };
-                self.registrations.push(Registration { trigger, handler: method });
+                self.registrations.push(Registration {
+                    trigger,
+                    handler: method,
+                });
                 Ok(vec![(st, Sv::Null)])
             }
             Mode::Trace => {
                 // Trace into the scheduled method with the delay attached.
                 if self.program.method(&method).is_none() {
-                    self.warnings.push(format!("scheduled method `{method}` not found"));
+                    self.warnings
+                        .push(format!("scheduled method `{method}` not found"));
                     return Ok(vec![(st, Sv::Null)]);
                 }
                 let saved_delay = st.delay;
@@ -454,9 +478,15 @@ impl<'a> Engine<'a> {
             Sv::Devices(slots) => {
                 let slots = slots.clone();
                 if let Some(c) = closure {
-                    if matches!(name, "each" | "every" | "any" | "find" | "findAll" | "collect") {
+                    if matches!(
+                        name,
+                        "each" | "every" | "any" | "find" | "findAll" | "collect"
+                    ) {
                         return self.collection_closure(
-                            &slots.iter().map(|s| Sv::Device(s.clone())).collect::<Vec<_>>(),
+                            &slots
+                                .iter()
+                                .map(|s| Sv::Device(s.clone()))
+                                .collect::<Vec<_>>(),
                             name,
                             c,
                             st,
@@ -467,7 +497,10 @@ impl<'a> Engine<'a> {
             }
             Sv::List(items) => {
                 if let Some(c) = closure {
-                    if matches!(name, "each" | "every" | "any" | "find" | "findAll" | "collect") {
+                    if matches!(
+                        name,
+                        "each" | "every" | "any" | "find" | "findAll" | "collect"
+                    ) {
                         return self.collection_closure(items, name, c, st);
                     }
                 }
@@ -518,22 +551,17 @@ impl<'a> Engine<'a> {
                     "first" => Ok(vec![(st, items.first().cloned().unwrap_or(Sv::Null))]),
                     "last" => Ok(vec![(st, items.last().cloned().unwrap_or(Sv::Null))]),
                     _ => {
-                        self.warnings.push(format!("unmodeled list method `{name}`"));
+                        self.warnings
+                            .push(format!("unmodeled list method `{name}`"));
                         Ok(vec![(st, Sv::Term(self.fresh_opaque("list")))])
                     }
                 }
             }
             Sv::Location => match name {
-                "setMode" => self.model_sink_api(
-                    "setLocationMode",
-                    SinkKind::LocationMode,
-                    args,
-                    None,
-                    st,
-                ),
-                "getMode" | "currentMode" => {
-                    Ok(vec![(st, Sv::Term(Term::Var(VarId::Mode)))])
+                "setMode" => {
+                    self.model_sink_api("setLocationMode", SinkKind::LocationMode, args, None, st)
                 }
+                "getMode" | "currentMode" => Ok(vec![(st, Sv::Term(Term::Var(VarId::Mode)))]),
                 _ => Ok(vec![(st, Sv::Term(self.fresh_opaque("loc")))]),
             },
             Sv::AppObj => Ok(vec![(st, Sv::Null)]), // log.debug etc.
@@ -553,15 +581,15 @@ impl<'a> Engine<'a> {
                 // predicates become opaque booleans.
                 let t = t.clone();
                 let v = match name {
-                    "toInteger" | "toFloat" | "toDouble" | "toBigDecimal" | "toString"
-                    | "trim" | "toLowerCase" | "toUpperCase" => Sv::Term(t),
-                    "contains" | "startsWith" | "endsWith" | "equalsIgnoreCase"
-                    | "isNumber" => {
+                    "toInteger" | "toFloat" | "toDouble" | "toBigDecimal" | "toString" | "trim"
+                    | "toLowerCase" | "toUpperCase" => Sv::Term(t),
+                    "contains" | "startsWith" | "endsWith" | "equalsIgnoreCase" | "isNumber" => {
                         let o = self.fresh_opaque("strPred");
                         Sv::Pred(Formula::cmp(o, CmpOp::Eq, Term::sym("true")))
                     }
                     _ => {
-                        self.warnings.push(format!("unmodeled method `{name}` on data"));
+                        self.warnings
+                            .push(format!("unmodeled method `{name}` on data"));
                         Sv::Term(self.fresh_opaque("data"))
                     }
                 };
@@ -632,14 +660,19 @@ impl<'a> Engine<'a> {
             }
             Sv::StateObj => Ok(vec![(st, Sv::Term(self.fresh_opaque("state")))]),
             _ => {
-                self.warnings.push(format!("call `{name}` on unsupported receiver"));
+                self.warnings
+                    .push(format!("call `{name}` on unsupported receiver"));
                 Ok(vec![(st, Sv::Null)])
             }
         }
     }
 
     fn event_value_term(&mut self) -> Sv {
-        match self.current_trigger.as_ref().and_then(Trigger::observed_var) {
+        match self
+            .current_trigger
+            .as_ref()
+            .and_then(Trigger::observed_var)
+        {
             Some(_) => Sv::Term(Term::Var(self.evt_value_var())),
             None => Sv::Term(self.fresh_opaque("evtValue")),
         }
@@ -661,7 +694,11 @@ impl<'a> Engine<'a> {
         let items: Vec<Sv> = if items.is_empty() {
             vec![Sv::Term(self.fresh_opaque("elem"))]
         } else {
-            items.iter().take(self.config.loop_unroll).cloned().collect()
+            items
+                .iter()
+                .take(self.config.loop_unroll)
+                .cloned()
+                .collect()
         };
         let mut states = vec![st];
         for item in &items {
@@ -809,7 +846,10 @@ mod tests {
     #[test]
     fn time_of_day_parsing() {
         assert_eq!(parse_time_of_day("18:30"), Some(18 * 60 + 30));
-        assert_eq!(parse_time_of_day("2015-01-09T07:05:00.000-0600"), Some(7 * 60 + 5));
+        assert_eq!(
+            parse_time_of_day("2015-01-09T07:05:00.000-0600"),
+            Some(7 * 60 + 5)
+        );
         assert_eq!(parse_time_of_day("99:00"), None);
         assert_eq!(parse_time_of_day("sunset"), None);
     }

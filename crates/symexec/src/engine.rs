@@ -96,6 +96,10 @@ impl From<hg_lang::ParseError> for ExtractError {
 }
 
 /// Control-flow signal attached to each explored state.
+///
+/// `Return` carries the full symbolic value inline: flows are short-lived
+/// and cloned rarely, so boxing would cost more than the size skew.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) enum Flow {
     Normal,
@@ -252,7 +256,8 @@ impl<'a> Engine<'a> {
         self.current_trigger = Some(reg.trigger.clone());
         self.paths_emitted = 0;
         let Some(method) = self.program.method(&reg.handler) else {
-            self.warnings.push(format!("handler `{}` not found", reg.handler));
+            self.warnings
+                .push(format!("handler `{}` not found", reg.handler));
             return Ok(());
         };
         let mut st = St::new();
@@ -324,8 +329,7 @@ impl<'a> Engine<'a> {
         if !trig_atoms.is_empty() {
             let extra = Formula::and(trig_atoms);
             match &mut trigger {
-                Trigger::DeviceEvent { constraint, .. }
-                | Trigger::ModeChange { constraint } => {
+                Trigger::DeviceEvent { constraint, .. } | Trigger::ModeChange { constraint } => {
                     let merged = match constraint.take() {
                         Some(prev) => Formula::and([prev, extra]),
                         None => extra,
@@ -352,7 +356,10 @@ impl<'a> Engine<'a> {
     /// extractor distinguish "compare the event value" (trigger constraint,
     /// §V-B) from "re-read the same attribute later" (condition).
     pub(crate) fn evt_value_var(&self) -> VarId {
-        VarId::Opaque { app: self.app.clone(), name: "\u{ab}evtValue\u{bb}".into() }
+        VarId::Opaque {
+            app: self.app.clone(),
+            name: "\u{ab}evtValue\u{bb}".into(),
+        }
     }
 
     pub(crate) fn fresh_opaque(&mut self, hint: &str) -> Term {
@@ -365,7 +372,11 @@ impl<'a> Engine<'a> {
 
     // ----- statement execution ------------------------------------------------
 
-    pub(crate) fn exec_block(&mut self, block: &Block, st: St) -> Result<Vec<(St, Flow)>, ExtractError> {
+    pub(crate) fn exec_block(
+        &mut self,
+        block: &Block,
+        st: St,
+    ) -> Result<Vec<(St, Flow)>, ExtractError> {
         let mut states = vec![(st, Flow::Normal)];
         for stmt in &block.stmts {
             let mut next = Vec::new();
@@ -389,7 +400,10 @@ impl<'a> Engine<'a> {
         match &stmt.kind {
             StmtKind::Expr(e) => {
                 let results = self.eval(e, st)?;
-                Ok(results.into_iter().map(|(st, _)| (st, Flow::Normal)).collect())
+                Ok(results
+                    .into_iter()
+                    .map(|(st, _)| (st, Flow::Normal))
+                    .collect())
             }
             StmtKind::Def { name, init } => match init {
                 Some(e) => {
@@ -410,7 +424,11 @@ impl<'a> Engine<'a> {
                 }
             },
             StmtKind::Assign { target, op, value } => self.exec_assign(target, *op, value, st),
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let mut out = Vec::new();
                 for (st, pred) in self.eval_pred(cond, st)? {
                     match pred {
@@ -434,17 +452,26 @@ impl<'a> Engine<'a> {
                 }
                 Ok(out)
             }
-            StmtKind::Switch { subject, cases, default } => {
-                self.exec_switch(subject, cases, default.as_ref(), st)
-            }
+            StmtKind::Switch {
+                subject,
+                cases,
+                default,
+            } => self.exec_switch(subject, cases, default.as_ref(), st),
             StmtKind::Return(value) => match value {
                 Some(e) => {
                     let results = self.eval(e, st)?;
-                    Ok(results.into_iter().map(|(st, v)| (st, Flow::Return(v))).collect())
+                    Ok(results
+                        .into_iter()
+                        .map(|(st, v)| (st, Flow::Return(v)))
+                        .collect())
                 }
                 None => Ok(vec![(st, Flow::Return(Sv::Null))]),
             },
-            StmtKind::ForIn { var, iterable, body } => self.exec_for(var, iterable, body, st),
+            StmtKind::ForIn {
+                var,
+                iterable,
+                body,
+            } => self.exec_for(var, iterable, body, st),
             StmtKind::While { cond, body } => {
                 // SmartApps rarely loop; explore zero and one iteration.
                 let mut out = Vec::new();
@@ -473,8 +500,14 @@ impl<'a> Engine<'a> {
 
     pub(crate) fn record_data_constraint(&self, st: &mut St, name: &str, value: &Sv) {
         if let Some(term) = value.as_term() {
-            if matches!(term, Term::Var(_) | Term::Add(..) | Term::Sub(..) | Term::Mul(..) | Term::Div(..)) {
-                st.data.push(DataConstraint { name: name.to_string(), term });
+            if matches!(
+                term,
+                Term::Var(_) | Term::Add(..) | Term::Sub(..) | Term::Mul(..) | Term::Div(..)
+            ) {
+                st.data.push(DataConstraint {
+                    name: name.to_string(),
+                    term,
+                });
             }
         }
     }
@@ -519,13 +552,14 @@ impl<'a> Engine<'a> {
                             st.state_overlay.insert(name.clone(), newv);
                         }
                         _ => {
-                            self.warnings.push(format!(
-                                "ignored assignment to property `{name}`"
-                            ));
+                            self.warnings
+                                .push(format!("ignored assignment to property `{name}`"));
                         }
                     }
                 }
-                _ => self.warnings.push("ignored complex assignment target".into()),
+                _ => self
+                    .warnings
+                    .push("ignored complex assignment target".into()),
             }
             out.push((st, Flow::Normal));
         }
@@ -579,9 +613,7 @@ impl<'a> Engine<'a> {
         for (st, coll) in self.eval(iterable, st)? {
             let items: Vec<Sv> = match &coll {
                 Sv::List(items) => items.clone(),
-                Sv::Devices(slots) => {
-                    slots.iter().map(|s| Sv::Device(s.clone())).collect()
-                }
+                Sv::Devices(slots) => slots.iter().map(|s| Sv::Device(s.clone())).collect(),
                 Sv::Device(d) => vec![Sv::Device(d.clone())],
                 Sv::Term(_) | Sv::Null => {
                     // Unknown collection: run the body once with an opaque
@@ -591,7 +623,10 @@ impl<'a> Engine<'a> {
                 }
                 _ => vec![coll.clone()],
             };
-            let items = items.into_iter().take(self.config.loop_unroll).collect::<Vec<_>>();
+            let items = items
+                .into_iter()
+                .take(self.config.loop_unroll)
+                .collect::<Vec<_>>();
             let mut states = vec![(st, Flow::Normal)];
             for item in items {
                 let mut next = Vec::new();
@@ -606,7 +641,11 @@ impl<'a> Engine<'a> {
                     }
                     s.define(var, item.clone());
                     for (s2, f2) in self.exec_block(body, s)? {
-                        let f2 = if f2 == Flow::Continue { Flow::Normal } else { f2 };
+                        let f2 = if f2 == Flow::Continue {
+                            Flow::Normal
+                        } else {
+                            f2
+                        };
                         next.push((s2, f2));
                     }
                 }
@@ -659,7 +698,10 @@ impl<'a> Engine<'a> {
                     }
                     states = next;
                 }
-                Ok(states.into_iter().map(|(s, acc)| (s, Sv::List(acc))).collect())
+                Ok(states
+                    .into_iter()
+                    .map(|(s, acc)| (s, Sv::List(acc)))
+                    .collect())
             }
             ExprKind::MapLit(entries) => {
                 let mut st = st;
@@ -695,9 +737,13 @@ impl<'a> Engine<'a> {
                 };
                 Ok(vec![(st, v)])
             }
-            ExprKind::Call { recv, name, args, closure, .. } => {
-                self.eval_call(recv.as_deref(), name, args, closure.as_deref(), st)
-            }
+            ExprKind::Call {
+                recv,
+                name,
+                args,
+                closure,
+                ..
+            } => self.eval_call(recv.as_deref(), name, args, closure.as_deref(), st),
             ExprKind::Closure(_) => Ok(vec![(st, Sv::Null)]),
             ExprKind::Unary { op, expr } => {
                 let mut out = Vec::new();
@@ -721,7 +767,11 @@ impl<'a> Engine<'a> {
                 Ok(out)
             }
             ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, st),
-            ExprKind::Ternary { cond, then_expr, else_expr } => {
+            ExprKind::Ternary {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let mut out = Vec::new();
                 for (st, pred) in self.eval_pred(cond, st)? {
                     match pred {
@@ -800,8 +850,14 @@ impl<'a> Engine<'a> {
             };
         }
         match &decl.input_type {
-            InputType::Number | InputType::Decimal | InputType::Text | InputType::Time
-            | InputType::Phone | InputType::Contact | InputType::Enum(_) | InputType::Bool
+            InputType::Number
+            | InputType::Decimal
+            | InputType::Text
+            | InputType::Time
+            | InputType::Phone
+            | InputType::Contact
+            | InputType::Enum(_)
+            | InputType::Bool
             | InputType::Mode => Sv::Term(Term::Var(VarId::UserInput {
                 app: self.app.clone(),
                 name: decl.name.clone(),
@@ -861,7 +917,10 @@ impl<'a> Engine<'a> {
                 .map(|c| c.attribute(attr).is_some())
                 .unwrap_or(false) =>
             {
-                Sv::Term(Term::Var(VarId::canonical_attr(&slot.device_ref(&self.app), attr)))
+                Sv::Term(Term::Var(VarId::canonical_attr(
+                    &slot.device_ref(&self.app),
+                    attr,
+                )))
             }
             _ => Sv::Term(self.fresh_opaque("devProp")),
         }
@@ -870,17 +929,21 @@ impl<'a> Engine<'a> {
     /// The device that fired the current trigger, as a symbolic value.
     pub(crate) fn event_prop_device(&self) -> Sv {
         match &self.current_trigger {
-            Some(Trigger::DeviceEvent { subject, .. }) => match subject {
-                hg_rules::varid::DeviceRef::Unbound { input, capability, kind, .. } => {
-                    Sv::Device(DeviceSlot {
-                        input: input.clone(),
-                        capability: capability.clone(),
-                        kind: *kind,
-                        multiple: false,
-                    })
-                }
-                _ => Sv::Null,
-            },
+            Some(Trigger::DeviceEvent {
+                subject:
+                    hg_rules::varid::DeviceRef::Unbound {
+                        input,
+                        capability,
+                        kind,
+                        ..
+                    },
+                ..
+            }) => Sv::Device(DeviceSlot {
+                input: input.clone(),
+                capability: capability.clone(),
+                kind: *kind,
+                multiple: false,
+            }),
             _ => Sv::Null,
         }
     }
@@ -890,9 +953,7 @@ impl<'a> Engine<'a> {
         match name {
             "value" | "doubleValue" | "floatValue" | "integerValue" | "numberValue"
             | "numericValue" | "stringValue" => match &trigger {
-                Some(t) if t.observed_var().is_some() => {
-                    Sv::Term(Term::Var(self.evt_value_var()))
-                }
+                Some(t) if t.observed_var().is_some() => Sv::Term(Term::Var(self.evt_value_var())),
                 _ => Sv::Term(self.fresh_opaque("evtValue")),
             },
             "device" => self.event_prop_device(),
@@ -908,11 +969,7 @@ impl<'a> Engine<'a> {
         }
     }
 
-    fn eval_gstring(
-        &mut self,
-        parts: &[GStrPart],
-        st: St,
-    ) -> Result<Vec<(St, Sv)>, ExtractError> {
+    fn eval_gstring(&mut self, parts: &[GStrPart], st: St) -> Result<Vec<(St, Sv)>, ExtractError> {
         let mut st = st;
         let mut text = String::new();
         let mut all_concrete = true;
@@ -973,12 +1030,8 @@ impl<'a> Engine<'a> {
                         // Comparing non-data values (devices etc.): decide
                         // what we can, otherwise opaque.
                         match (l.truthiness(), r, cmp) {
-                            (Some(_), Sv::Null, CmpOp::Eq) => {
-                                Sv::bool(matches!(l, Sv::Null))
-                            }
-                            (Some(_), Sv::Null, CmpOp::Ne) => {
-                                Sv::bool(!matches!(l, Sv::Null))
-                            }
+                            (Some(_), Sv::Null, CmpOp::Eq) => Sv::bool(matches!(l, Sv::Null)),
+                            (Some(_), Sv::Null, CmpOp::Ne) => Sv::bool(!matches!(l, Sv::Null)),
                             _ => Sv::Pred(Formula::cmp(
                                 self.fresh_opaque("cmp"),
                                 CmpOp::Eq,
@@ -1044,25 +1097,26 @@ impl<'a> Engine<'a> {
         }
     }
 
+    // Not a conversion of `self` — it lowers `v` while minting fresh
+    // opaque variables, which needs `&mut self`.
+    #[allow(clippy::wrong_self_convention)]
     pub(crate) fn to_pred(&mut self, v: &Sv) -> Option<Formula> {
         match v {
             Sv::Pred(f) => Some(f.clone()),
-            Sv::Concrete(c) => Some(if c.truthy() { Formula::True } else { Formula::False }),
+            Sv::Concrete(c) => Some(if c.truthy() {
+                Formula::True
+            } else {
+                Formula::False
+            }),
             Sv::Null => Some(Formula::False),
-            Sv::Term(t) => Some(Formula::cmp(
-                t.clone(),
-                CmpOp::Ne,
-                Term::Const(Value::Null),
-            )),
-            other => other.truthiness().map(|b| if b { Formula::True } else { Formula::False }),
+            Sv::Term(t) => Some(Formula::cmp(t.clone(), CmpOp::Ne, Term::Const(Value::Null))),
+            other => other
+                .truthiness()
+                .map(|b| if b { Formula::True } else { Formula::False }),
         }
     }
 
-    fn eval_pred(
-        &mut self,
-        cond: &Expr,
-        st: St,
-    ) -> Result<Vec<(St, BranchPred)>, ExtractError> {
+    fn eval_pred(&mut self, cond: &Expr, st: St) -> Result<Vec<(St, BranchPred)>, ExtractError> {
         let mut out = Vec::new();
         for (st, v) in self.eval(cond, st)? {
             let pred = match v.truthiness() {
@@ -1081,6 +1135,7 @@ impl<'a> Engine<'a> {
 }
 
 /// Branch predicate classification.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum BranchPred {
     Known(bool),
     Sym(Formula),
@@ -1104,5 +1159,3 @@ pub(crate) fn decapitalize(s: &str) -> String {
         None => String::new(),
     }
 }
-
-

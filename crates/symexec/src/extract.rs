@@ -83,7 +83,7 @@ pub fn extract_program(
     let registrations = engine.collect_registrations()?;
     let mut rules = Vec::new();
     for reg in &registrations {
-        engine.trace(&reg, &mut rules)?;
+        engine.trace(reg, &mut rules)?;
     }
     let inputs = engine.inputs.values().cloned().collect();
     Ok(AppAnalysis {
@@ -102,11 +102,24 @@ struct DefinitionMeta {
 }
 
 fn definition_metadata(program: &Program) -> DefinitionMeta {
-    let mut meta = DefinitionMeta { name: None, description: None };
+    let mut meta = DefinitionMeta {
+        name: None,
+        description: None,
+    };
     for item in &program.items {
         let Item::Stmt(stmt) = item else { continue };
-        let StmtKind::Expr(e) = &stmt.kind else { continue };
-        let ExprKind::Call { recv: None, name, args, .. } = &e.kind else { continue };
+        let StmtKind::Expr(e) = &stmt.kind else {
+            continue;
+        };
+        let ExprKind::Call {
+            recv: None,
+            name,
+            args,
+            ..
+        } = &e.kind
+        else {
+            continue;
+        };
         if name != "definition" {
             continue;
         }
@@ -138,7 +151,7 @@ fn has_mappings(program: &Program) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hg_rules::constraint::Formula;
+
     use hg_rules::rule::{ActionSubject, Trigger};
     use hg_rules::value::Value;
     use hg_rules::varid::{DeviceRef, VarId};
@@ -169,18 +182,24 @@ def turnOnWindow() {
 
     #[test]
     fn comfort_tv_extracts_table_ii_rule() {
-        let analysis =
-            extract(COMFORT_TV, "ComfortTV", &ExtractorConfig::default()).unwrap();
+        let analysis = extract(COMFORT_TV, "ComfortTV", &ExtractorConfig::default()).unwrap();
         assert_eq!(analysis.name, "ComfortTV");
         assert_eq!(analysis.rules.len(), 1, "rules: {:#?}", analysis.rules);
         let rule = &analysis.rules[0];
 
         // Trigger: tv1.switch == on (the evt.value comparison hoisted).
-        let Trigger::DeviceEvent { subject, attribute, constraint } = &rule.trigger else {
+        let Trigger::DeviceEvent {
+            subject,
+            attribute,
+            constraint,
+        } = &rule.trigger
+        else {
             panic!("wrong trigger {:?}", rule.trigger);
         };
         assert_eq!(attribute, "switch");
-        let DeviceRef::Unbound { input, .. } = subject else { panic!() };
+        let DeviceRef::Unbound { input, .. } = subject else {
+            panic!()
+        };
         assert_eq!(input, "tv1");
         let c = constraint.as_ref().expect("trigger constraint");
         let c_str = c.to_string();
@@ -195,8 +214,7 @@ def turnOnWindow() {
         // Action: window1.on().
         assert_eq!(rule.actions.len(), 1);
         assert_eq!(rule.actions[0].command, "on");
-        let ActionSubject::Device(DeviceRef::Unbound { input, .. }) =
-            &rule.actions[0].subject
+        let ActionSubject::Device(DeviceRef::Unbound { input, .. }) = &rule.actions[0].subject
         else {
             panic!()
         };
@@ -222,8 +240,14 @@ def opened(evt) { lamp.on() }
 "#;
         let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
         assert_eq!(a.rules.len(), 1);
-        let Trigger::DeviceEvent { constraint, .. } = &a.rules[0].trigger else { panic!() };
-        assert!(constraint.as_ref().unwrap().to_string().contains("contact == open"));
+        let Trigger::DeviceEvent { constraint, .. } = &a.rules[0].trigger else {
+            panic!()
+        };
+        assert!(constraint
+            .as_ref()
+            .unwrap()
+            .to_string()
+            .contains("contact == open"));
     }
 
     #[test]
@@ -238,7 +262,11 @@ def h(evt) {
 "#;
         let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
         assert_eq!(a.rules.len(), 2);
-        let cmds: Vec<_> = a.rules.iter().map(|r| r.actions[0].command.as_str()).collect();
+        let cmds: Vec<_> = a
+            .rules
+            .iter()
+            .map(|r| r.actions[0].command.as_str())
+            .collect();
         assert!(cmds.contains(&"on"));
         assert!(cmds.contains(&"off"));
     }
@@ -295,10 +323,16 @@ def h(evt) { if (location.mode == "Night") { lamp.off() } }
 "#;
         let a = extract(src, "X", &ExtractorConfig::default()).unwrap();
         assert_eq!(a.rules.len(), 1);
-        let Trigger::ModeChange { .. } = &a.rules[0].trigger else { panic!() };
+        let Trigger::ModeChange { .. } = &a.rules[0].trigger else {
+            panic!()
+        };
         // `location.mode` is a state read, not an event-value comparison, so
         // the atom stays in the condition (only `evt.value` hoists).
-        assert!(a.rules[0].condition.predicate.variables().contains(&VarId::Mode));
+        assert!(a.rules[0]
+            .condition
+            .predicate
+            .variables()
+            .contains(&VarId::Mode));
     }
 
     #[test]
@@ -355,7 +389,9 @@ def powerOn() { cams.on() }
         assert!(matches!(err, ExtractError::Unsupported(_)));
         let a = extract(src, "CPS", &ExtractorConfig::extended()).unwrap();
         assert_eq!(a.rules.len(), 1);
-        let Trigger::TimeOfDay { at_minutes, .. } = &a.rules[0].trigger else { panic!() };
+        let Trigger::TimeOfDay { at_minutes, .. } = &a.rules[0].trigger else {
+            panic!()
+        };
         assert_eq!(*at_minutes, Some(18 * 60 + 30));
     }
 

@@ -63,11 +63,7 @@ impl InputDecl {
             InputType::NonStandardDevice(d) => d.clone(),
             _ => return None,
         };
-        let hint = format!(
-            "{} {}",
-            self.title.as_deref().unwrap_or(""),
-            self.name
-        );
+        let hint = format!("{} {}", self.title.as_deref().unwrap_or(""), self.name);
         let mut kind = DeviceKind::classify(&hint);
         // Capability names that pin the kind regardless of description.
         kind = match capability.as_str() {
@@ -81,7 +77,12 @@ impl InputDecl {
             "imageCapture" => DeviceKind::Camera,
             _ => kind,
         };
-        Some(DeviceSlot { input: self.name.clone(), capability, kind, multiple: self.multiple })
+        Some(DeviceSlot {
+            input: self.name.clone(),
+            capability,
+            kind,
+            multiple: self.multiple,
+        })
     }
 }
 
@@ -105,7 +106,14 @@ fn collect_from_stmt(stmt: &Stmt, out: &mut Vec<InputDecl>) {
 }
 
 fn collect_from_expr(expr: &Expr, out: &mut Vec<InputDecl>) {
-    if let ExprKind::Call { recv: None, name, args, closure, .. } = &expr.kind {
+    if let ExprKind::Call {
+        recv: None,
+        name,
+        args,
+        closure,
+        ..
+    } = &expr.kind
+    {
         match name.as_str() {
             "input" => {
                 if let Some(decl) = parse_input(args) {
@@ -127,7 +135,10 @@ fn collect_from_expr(expr: &Expr, out: &mut Vec<InputDecl>) {
 fn parse_input(args: &[Arg]) -> Option<InputDecl> {
     let mut positional = args.iter().filter(|a| a.name.is_none());
     let name = str_of(&positional.next()?.value)?;
-    let type_text = positional.next().and_then(|a| str_of(&a.value)).unwrap_or_default();
+    let type_text = positional
+        .next()
+        .and_then(|a| str_of(&a.value))
+        .unwrap_or_default();
 
     let named = |key: &str| args.iter().find(|a| a.name.as_deref() == Some(key));
     let title = named("title").and_then(|a| str_of(&a.value));
@@ -167,7 +178,13 @@ fn parse_input(args: &[Arg]) -> Option<InputDecl> {
             other => InputType::Other(other.to_string()),
         }
     };
-    Some(InputDecl { name, input_type, title, required, multiple })
+    Some(InputDecl {
+        name,
+        input_type,
+        title,
+        required,
+        multiple,
+    })
 }
 
 fn enum_options(e: &Expr) -> Vec<String> {
@@ -261,7 +278,10 @@ input "homeMode", "mode"
         )
         .unwrap();
         let inputs = collect_inputs(&p);
-        assert_eq!(inputs[0].input_type, InputType::Enum(vec!["low".into(), "high".into()]));
+        assert_eq!(
+            inputs[0].input_type,
+            InputType::Enum(vec!["low".into(), "high".into()])
+        );
         assert_eq!(inputs[1].input_type, InputType::Time);
         assert_eq!(inputs[2].input_type, InputType::Phone);
         assert_eq!(inputs[3].input_type, InputType::Bool);

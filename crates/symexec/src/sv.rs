@@ -124,7 +124,11 @@ impl Sv {
         match self {
             Sv::Concrete(v) => Some(v.truthy()),
             Sv::Null => Some(false),
-            Sv::Device(_) | Sv::Devices(_) | Sv::Event | Sv::Location | Sv::StateObj
+            Sv::Device(_)
+            | Sv::Devices(_)
+            | Sv::Event
+            | Sv::Location
+            | Sv::StateObj
             | Sv::AppObj => Some(true),
             Sv::List(items) => Some(!items.is_empty()),
             Sv::Map(entries) => Some(!entries.is_empty()),
@@ -162,7 +166,10 @@ mod tests {
     fn device_collection() {
         let d = Sv::Device(slot("a"));
         assert_eq!(d.devices().unwrap().len(), 1);
-        let l = Sv::List(vec![Sv::Device(slot("a")), Sv::Devices(vec![slot("b"), slot("c")])]);
+        let l = Sv::List(vec![
+            Sv::Device(slot("a")),
+            Sv::Devices(vec![slot("b"), slot("c")]),
+        ]);
         assert_eq!(l.devices().unwrap().len(), 3);
         assert_eq!(Sv::num(1).devices(), None);
     }

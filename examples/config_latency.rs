@@ -11,8 +11,7 @@ fn main() {
     let app = hg_corpus::benign_app("ComfortTV").expect("corpus app");
 
     println!("=== Instrumentation (Listing 3) ===");
-    let instrumented =
-        instrument(app.source, app.name, Transport::Sms).expect("instrumentation");
+    let instrumented = instrument(app.source, app.name, Transport::Sms).expect("instrumentation");
     let marker = "collectConfigInfo";
     assert!(instrumented.contains(marker));
     println!(
@@ -35,9 +34,7 @@ fn main() {
     println!("\n=== Delivery latency over 100 trials (simulated channels) ===");
     for (channel, paper_ms) in [(Channel::Sms, 3120.0), (Channel::Http, 1058.0)] {
         let mean = SimulatedChannel::new(channel, 2026).mean_over(&uri, 100);
-        println!(
-            "  {channel:?}: mean {mean:.0} ms   (paper measured {paper_ms:.0} ms)"
-        );
+        println!("  {channel:?}: mean {mean:.0} ms   (paper measured {paper_ms:.0} ms)");
     }
     println!(
         "  in-cloud instrumentation overhead: {} ms (paper: 27 ms)",

@@ -5,16 +5,20 @@
 //! Run with: `cargo run -p homeguard-examples --bin malicious_scan`
 
 use hg_corpus::{AttackClass, MALICIOUS_APPS};
-use hg_symexec::{extract, ExtractorConfig};
+use homeguard_core::RuleStore;
 use std::collections::BTreeMap;
 
 fn main() {
     println!("=== Table III: extracting rules from malicious apps ===");
-    println!("{:<44} {:<20} {}", "App", "Attack", "Can handle?");
-    let config = ExtractorConfig::extended();
+    println!("{:<44} {:<20} Can handle?", "App", "Attack");
+    // The extractor-service view: malicious apps are ingested into the rule
+    // database like any store submission — what the extractor reveals is
+    // what every home's install-time check will see.
+    let store = RuleStore::new();
     let mut per_class: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     for app in MALICIOUS_APPS {
-        let analysis = extract(app.source, app.name, &config)
+        let analysis = store
+            .ingest(app.source, app.name)
             .unwrap_or_else(|e| panic!("{} failed to even parse: {e}", app.name));
         // "Handled" = static extraction reveals the complete automation:
         // web-service endpoint apps hide their automation behind HTTP

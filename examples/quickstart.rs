@@ -3,16 +3,20 @@
 //!
 //! Run with: `cargo run -p homeguard-examples --bin quickstart`
 
-use homeguard_core::{frontend, HomeGuard};
+use homeguard_core::{frontend, Home, RuleStore};
 
 fn main() {
-    let mut hg = HomeGuard::new();
+    // The rule store is process-wide: one database serves every home.
+    let store = RuleStore::shared();
+    let mut home = Home::new(store.clone());
 
-    // Paper Listing 1: ComfortTV (Rule 1 of Fig. 3).
+    // Paper Listing 1: ComfortTV (Rule 1 of Fig. 3). Clean, so the install
+    // confirms automatically.
     let comfort_tv = hg_corpus::benign_app("ComfortTV").expect("corpus app");
-    let report = hg
+    let report = home
         .install_app(comfort_tv.source, comfort_tv.name, None)
         .expect("ComfortTV extracts");
+    assert!(report.installed);
 
     println!("=== Table II: extracted rule representation of Rule 1 ===");
     for rule in &report.rules {
@@ -20,9 +24,10 @@ fn main() {
         println!("human-readable form:\n{}\n", frontend::interpret_rule(rule));
     }
 
-    // Paper Fig. 3: installing ColdDefender reveals the Actuator Race.
+    // Paper Fig. 3: installing ColdDefender reveals the Actuator Race. The
+    // dirty report comes back unconfirmed — the user decides.
     let cold_defender = hg_corpus::benign_app("ColdDefender").expect("corpus app");
-    let report = hg
+    let report = home
         .install_app(cold_defender.source, cold_defender.name, None)
         .expect("ColdDefender extracts");
 
@@ -30,8 +35,30 @@ fn main() {
     print!("{}", frontend::interpret_report(&report));
 
     assert!(
-        report.threats.iter().any(|t| t.kind == hg_detector::ThreatKind::ActuatorRace),
+        report
+            .threats
+            .iter()
+            .any(|t| t.kind == hg_detector::ThreatKind::ActuatorRace),
         "the Fig. 3 race must be detected"
     );
+    assert!(!report.installed, "dirty installs wait for the user");
+
+    // The user accepts the interference: the rules are recorded and the
+    // race lands on the Allowed list for future chained detection.
+    home.confirm_install(report);
+    assert_eq!(home.installed_rules().len(), 2);
+    assert!(!home.allowed().is_empty());
+
+    // A second home shares the same store: extraction is served from cache.
+    let mut neighbor = Home::new(store.clone());
+    let report = neighbor
+        .install_app(cold_defender.source, cold_defender.name, None)
+        .expect("cached");
+    assert!(
+        report.is_clean(),
+        "no ComfortTV in the neighbor's home, no race"
+    );
+    assert!(store.cache_hits() >= 1, "one extraction served both homes");
+
     println!("\nquickstart: OK");
 }

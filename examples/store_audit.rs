@@ -6,9 +6,9 @@
 //! Run with: `cargo run --release -p homeguard-examples --bin store_audit`
 
 use hg_corpus::{automation_apps, device_control_apps, Category};
-use hg_detector::{Detector, Threat, ThreatKind};
+use hg_detector::{DetectStats, DetectionEngine, Detector, Threat, ThreatKind};
 use hg_rules::json::rules_to_text;
-use hg_rules::rule::{ActionSubject, Rule};
+use hg_rules::rule::ActionSubject;
 use hg_rules::varid::DeviceRef;
 use hg_symexec::{extract, AppAnalysis, ExtractorConfig};
 use std::collections::BTreeMap;
@@ -44,7 +44,10 @@ fn extraction_effectiveness() {
     println!("  corpus automation apps:        {}", apps.len());
     println!("  extracted (stock config):      {stock_ok}/{}", apps.len());
     println!("  special cases needing fixes:   {failures:?}");
-    println!("  extracted (extended config):   {extended_ok}/{}", apps.len());
+    println!(
+        "  extracted (extended config):   {extended_ok}/{}",
+        apps.len()
+    );
     assert_eq!(extended_ok, apps.len());
 }
 
@@ -84,15 +87,17 @@ fn fig8_class(analysis: &AppAnalysis) -> &'static str {
 }
 
 /// Fig. 8: pairwise detection over the device-controlling population,
-/// threats per category per app class.
+/// threats per category per app class — run *incrementally*: each app is
+/// checked against the population installed so far through the candidate
+/// index, exactly as a store-wide audit on the live system would run.
 fn fig8_statistics(analyses: &[AppAnalysis]) {
-    println!("\n=== Fig. 8: CAI detection statistics over {} device-controlling apps ===", analyses.len());
-    let detector = Detector::store_wide();
-    let classes: BTreeMap<&str, &'static str> =
-        analyses.iter().map(|a| (a.name.as_str(), fig8_class(a))).collect();
-    let all_rules: Vec<(&str, &Rule)> = analyses
+    println!(
+        "\n=== Fig. 8: CAI detection statistics over {} device-controlling apps ===",
+        analyses.len()
+    );
+    let classes: BTreeMap<&str, &'static str> = analyses
         .iter()
-        .flat_map(|a| a.rules.iter().map(move |r| (a.name.as_str(), r)))
+        .map(|a| (a.name.as_str(), fig8_class(a)))
         .collect();
 
     // apps-involved counters: per (class, threat kind) count distinct apps.
@@ -100,28 +105,37 @@ fn fig8_statistics(analyses: &[AppAnalysis]) {
         BTreeMap::new();
     let mut totals: BTreeMap<ThreatKind, usize> = BTreeMap::new();
     let started = Instant::now();
-    let mut pairs = 0u64;
-    for i in 0..all_rules.len() {
-        for j in (i + 1)..all_rules.len() {
-            let (app_a, ra) = all_rules[i];
-            let (app_b, rb) = all_rules[j];
-            if app_a == app_b {
+    let mut engine = DetectionEngine::new(Detector::store_wide());
+    let mut stats = DetectStats::default();
+    for analysis in analyses {
+        let (threats, s) = engine.check(&analysis.rules);
+        stats.absorb(s);
+        for t in &threats {
+            if t.source.app == t.target.app {
                 continue; // intra-app pairs excluded from the store audit
             }
-            pairs += 1;
-            let (threats, _) = detector.detect_pair(ra, rb);
-            for t in &threats {
-                *totals.entry(t.kind).or_default() += 1;
-                record(&mut involved, &classes, t, app_a, app_b);
-            }
+            *totals.entry(t.kind).or_default() += 1;
+            record(&mut involved, &classes, t);
         }
+        engine.install_rules(&analysis.rules);
     }
     let elapsed = started.elapsed();
 
-    println!("  rule pairs analyzed: {pairs} in {elapsed:.2?}");
+    println!(
+        "  rule pairs visited: {} (index pruned {} more) in {elapsed:.2?}",
+        stats.pairs, stats.pruned
+    );
+    println!(
+        "  solver invocations: {} ({} reused across threat kinds)",
+        stats.solves, stats.reused
+    );
     println!("  threat instances per category:");
     for kind in ThreatKind::ALL {
-        println!("    {:>2}: {}", kind.acronym(), totals.get(&kind).copied().unwrap_or(0));
+        println!(
+            "    {:>2}: {}",
+            kind.acronym(),
+            totals.get(&kind).copied().unwrap_or(0)
+        );
     }
     println!("  apps involved per class (Fig. 8 series):");
     println!("    class    AR  GC  CT  SD  LT  EC  DC");
@@ -135,21 +149,33 @@ fn fig8_statistics(analyses: &[AppAnalysis]) {
     }
     // Shape assertions (paper: switch/mode apps tend to involve all kinds).
     let total: usize = totals.values().sum();
-    assert!(total > 20, "a store of interacting apps must surface many threats");
+    assert!(
+        total > 20,
+        "a store of interacting apps must surface many threats"
+    );
     assert!(totals.get(&ThreatKind::ActuatorRace).copied().unwrap_or(0) > 0);
-    assert!(totals.get(&ThreatKind::CovertTriggering).copied().unwrap_or(0) > 0);
+    assert!(
+        totals
+            .get(&ThreatKind::CovertTriggering)
+            .copied()
+            .unwrap_or(0)
+            > 0
+    );
 }
 
 fn record<'a>(
     involved: &mut BTreeMap<(&'static str, ThreatKind), std::collections::BTreeSet<&'a str>>,
-    classes: &BTreeMap<&str, &'static str>,
+    classes: &BTreeMap<&'a str, &'static str>,
     threat: &Threat,
-    app_a: &'a str,
-    app_b: &'a str,
 ) {
-    for app in [app_a, app_b] {
-        let class = classes.get(app).copied().unwrap_or("Others");
-        involved.entry((class, threat.kind)).or_default().insert(app);
+    for app in [threat.source.app.as_str(), threat.target.app.as_str()] {
+        let Some((app, class)) = classes.get_key_value(app) else {
+            continue;
+        };
+        involved
+            .entry((*class, threat.kind))
+            .or_default()
+            .insert(*app);
     }
 }
 

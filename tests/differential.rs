@@ -1,0 +1,127 @@
+//! Differential test: indexed incremental detection must report the
+//! *identical* threat set as exhaustive pairwise detection.
+//!
+//! The candidate index (`hg_detector::CandidateIndex`) prunes rule pairs
+//! before any per-pair analysis. Its correctness claim — pruned pairs can
+//! never produce a threat — is proven here by running the full
+//! benign+malicious corpus store audit both ways and comparing the exact
+//! threat sets (kind + rule pair + direction), app by app as the
+//! population accumulates.
+
+use hg_detector::{DetectStats, DetectionEngine, Detector, Threat, ThreatKind, Unification};
+use hg_rules::rule::Rule;
+use hg_symexec::{extract, ExtractorConfig};
+use std::collections::BTreeMap;
+
+/// A canonical, comparable form of one threat: kind + endpoints. Undirected
+/// kinds normalize their endpoint order so a pair reported as (A,B) by one
+/// strategy and (B,A) by the other still matches.
+fn key(t: &Threat) -> (ThreatKind, String, String) {
+    let s = t.source.to_string();
+    let d = t.target.to_string();
+    if t.kind.is_directed() || s <= d {
+        (t.kind, s, d)
+    } else {
+        (t.kind, d, s)
+    }
+}
+
+fn sorted_keys(threats: &[Threat]) -> Vec<(ThreatKind, String, String)> {
+    let mut keys: Vec<_> = threats.iter().map(key).collect();
+    keys.sort();
+    keys
+}
+
+/// Extracts every benign + malicious corpus app that yields rules.
+fn corpus_rule_sets() -> Vec<(String, Vec<Rule>)> {
+    let config = ExtractorConfig::extended();
+    let mut out = Vec::new();
+    for app in hg_corpus::benign_apps() {
+        if let Ok(analysis) = extract(app.source, app.name, &config) {
+            if !analysis.rules.is_empty() {
+                out.push((analysis.name.clone(), analysis.rules));
+            }
+        }
+    }
+    for app in hg_corpus::MALICIOUS_APPS {
+        if let Ok(analysis) = extract(app.source, app.name, &config) {
+            if !analysis.rules.is_empty() {
+                out.push((format!("mal::{}", analysis.name), analysis.rules));
+            }
+        }
+    }
+    out
+}
+
+fn run_differential(detector: Detector) -> (DetectStats, DetectStats) {
+    let sets = corpus_rule_sets();
+    assert!(sets.len() > 50, "corpus suspiciously small: {}", sets.len());
+
+    let mut engine = DetectionEngine::new(detector);
+    let mut indexed_stats = DetectStats::default();
+    let mut exhaustive_stats = DetectStats::default();
+    for (name, rules) in &sets {
+        let (indexed, si) = engine.check(rules);
+        let (exhaustive, se) = engine.check_exhaustive(rules);
+        assert_eq!(
+            sorted_keys(&indexed),
+            sorted_keys(&exhaustive),
+            "threat sets diverge at install of {name}"
+        );
+        indexed_stats.absorb(si);
+        exhaustive_stats.absorb(se);
+        engine.install_rules(rules);
+    }
+    (indexed_stats, exhaustive_stats)
+}
+
+#[test]
+fn indexed_equals_exhaustive_store_wide() {
+    let (indexed, exhaustive) = run_differential(Detector::store_wide());
+
+    // The audit must be non-trivial...
+    assert!(exhaustive.pairs > 5_000, "{exhaustive:?}");
+    // ...the index must not have added pair visits...
+    assert!(indexed.pairs <= exhaustive.pairs);
+    // ...and the identical-threat-set assertions above prove correctness.
+    // The headline: the index skips more than half of all rule pairs, each
+    // of which costs at least one merged-situation solve in a filterless
+    // detector.
+    assert!(
+        indexed.pruned >= exhaustive.pairs / 2,
+        "index pruned {} of {} pairs — less than half",
+        indexed.pruned,
+        exhaustive.pairs
+    );
+    // Sanity: pruned + visited covers exactly the exhaustive pair count.
+    assert_eq!(indexed.pairs + indexed.pruned, exhaustive.pairs);
+    // Identical solver work on the visited pairs.
+    assert_eq!(indexed.solves, exhaustive.solves);
+}
+
+#[test]
+fn indexed_equals_exhaustive_with_bindings() {
+    // Deployment-style unification: bind every input slot of every app to a
+    // synthetic device shared by slot name, so bindings actually merge
+    // devices across apps (and differently than by-type unification).
+    let config = ExtractorConfig::extended();
+    let mut bindings = BTreeMap::new();
+    for app in hg_corpus::device_control_apps() {
+        if let Ok(analysis) = extract(app.source, app.name, &config) {
+            for input in &analysis.inputs {
+                bindings.insert(
+                    (analysis.name.clone(), input.name.clone()),
+                    format!("dev-{}", input.name),
+                );
+            }
+        }
+    }
+    let detector = Detector {
+        unification: Unification::Bindings(bindings),
+        ..Detector::default()
+    };
+    let (indexed, exhaustive) = run_differential(detector);
+    assert!(exhaustive.pairs > 5_000);
+    assert_eq!(indexed.pairs + indexed.pruned, exhaustive.pairs);
+    assert_eq!(indexed.solves, exhaustive.solves);
+}

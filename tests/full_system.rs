@@ -5,8 +5,8 @@
 use hg_config::{instrument, ConfigInfo, Transport};
 use hg_detector::ThreatKind;
 use hg_rules::value::Value;
-use hg_sim::{Device, Home};
-use homeguard_core::{frontend, HomeGuard};
+use hg_sim::Device;
+use homeguard_core::{frontend, Home as GuardedHome, RuleStore};
 use homeguard_integration_tests::rules_of;
 
 #[test]
@@ -22,8 +22,8 @@ fn install_flow_with_collected_configuration() {
         rules_of(&instrumented, comfort.name).len()
     );
 
-    // The phone app receives config URIs and feeds HomeGuard.
-    let mut hg = HomeGuard::new();
+    // The phone app receives config URIs and feeds the home session.
+    let mut home = GuardedHome::new(RuleStore::shared());
     let cfg1 = ConfigInfo::new("ComfortTV")
         .bind_device("tv1", "tv-1")
         .bind_device("tSensor", "temp-1")
@@ -31,14 +31,23 @@ fn install_flow_with_collected_configuration() {
         .set_value("threshold1", Value::from_natural(30));
     let uri = cfg1.to_uri();
     let parsed = ConfigInfo::from_uri(&uri).unwrap();
-    hg.install_app(comfort.source, comfort.name, Some(&parsed)).unwrap();
+    let first = home
+        .install_app(comfort.source, comfort.name, Some(&parsed))
+        .unwrap();
+    assert!(first.installed, "clean install auto-confirms");
 
     let cfg2 = ConfigInfo::new("ColdDefender")
         .bind_device("tv1", "tv-1")
         .bind_device("rain", "rain-1")
         .bind_device("window1", "win-1");
-    let report = hg.install_app(cold.source, cold.name, Some(&cfg2)).unwrap();
-    assert!(report.threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+    let report = home
+        .install_app(cold.source, cold.name, Some(&cfg2))
+        .unwrap();
+    assert!(report
+        .threats
+        .iter()
+        .any(|t| t.kind == ThreatKind::ActuatorRace));
+    assert!(!report.installed, "dirty install awaits the user's verdict");
 
     // The frontend renders the report with the witness situation.
     let text = frontend::interpret_report(&report);
@@ -47,17 +56,41 @@ fn install_flow_with_collected_configuration() {
 }
 
 #[test]
-fn whole_corpus_through_homeguard_install() {
-    // Install the entire device-controlling corpus sequentially; HomeGuard
-    // must survive and accumulate the Allowed list.
-    let mut hg = HomeGuard::new();
+fn whole_corpus_through_forced_install() {
+    // Install the entire device-controlling corpus sequentially with forced
+    // confirmation; the session must survive and accumulate the Allowed
+    // list.
+    let mut home = GuardedHome::new(RuleStore::shared());
     let mut total_threats = 0usize;
     for app in hg_corpus::device_control_apps().iter().take(30) {
-        let report = hg.install_app(app.source, app.name, None).unwrap();
+        let report = home.install_app_forced(app.source, app.name, None).unwrap();
+        assert!(report.installed);
         total_threats += report.threats.len();
     }
-    assert!(total_threats > 0, "a realistic store slice must interfere somewhere");
-    assert_eq!(hg.allowed().len(), total_threats);
+    assert!(
+        total_threats > 0,
+        "a realistic store slice must interfere somewhere"
+    );
+    assert_eq!(home.allowed().len(), total_threats);
+}
+
+#[test]
+fn unconfirmed_installs_leave_no_trace() {
+    // The install_app footgun fix: a rejected dirty report must leave the
+    // home exactly as it was.
+    let mut home = GuardedHome::new(RuleStore::shared());
+    let comfort = hg_corpus::benign_app("ComfortTV").unwrap();
+    let cold = hg_corpus::benign_app("ColdDefender").unwrap();
+    home.install_app(comfort.source, comfort.name, None)
+        .unwrap();
+    let installed_before = home.installed_rules().len();
+
+    let report = home.install_app(cold.source, cold.name, None).unwrap();
+    assert!(!report.is_clean() && !report.installed);
+    // The user deletes the app instead: nothing was recorded.
+    drop(report);
+    assert_eq!(home.installed_rules().len(), installed_before);
+    assert!(home.allowed().is_empty());
 }
 
 #[test]
@@ -89,7 +122,7 @@ def h(evt) { w.off() }
     let unify = hg_detector::Unification::ByType;
     let mut outcomes = std::collections::BTreeSet::new();
     for seed in 0..24 {
-        let mut home = Home::new(seed);
+        let mut home = hg_sim::Home::new(seed);
         home.add_device(Device::new(
             "type:contactSensor/unknown",
             "door",
@@ -107,17 +140,21 @@ def h(evt) { w.off() }
         home.stimulate("type:contactSensor/unknown", "contact", Value::sym("open"));
         outcomes.insert(home.attr("type:switch/windowOpener", "switch").cloned());
     }
-    assert!(outcomes.len() > 1, "the race must be observable: {outcomes:?}");
+    assert!(
+        outcomes.len() > 1,
+        "the race must be observable: {outcomes:?}"
+    );
 }
 
 #[test]
 fn rule_database_persists_and_reloads() {
-    let mut hg = HomeGuard::new();
+    let store = RuleStore::shared();
+    let mut home = GuardedHome::new(store.clone());
     let app = hg_corpus::benign_app("MakeItSo").unwrap();
-    hg.install_app(app.source, app.name, None).unwrap();
-    let size = hg.extractor.rule_file_size("MakeItSo").unwrap();
+    home.install_app(app.source, app.name, None).unwrap();
+    let size = store.rule_file_size("MakeItSo").unwrap();
     assert!(size > 100, "rule file suspiciously small: {size}");
-    let reloaded = hg.extractor.rules_of("MakeItSo").unwrap();
+    let reloaded = store.rules_of("MakeItSo").unwrap();
     assert_eq!(reloaded.len(), 2);
 }
 
@@ -140,15 +177,31 @@ fn covert_chain_unlocks_door_in_simulator() {
     }
     let unify = Unification::Bindings(bindings);
 
-    let mut home = Home::new(5);
-    home.add_device(Device::new("motion-1", "bath motion", "motionSensor",
-        hg_capability::device_kind::DeviceKind::Unknown));
-    home.add_device(Device::new("switch-1", "vanity outlet", "switch",
-        hg_capability::device_kind::DeviceKind::Outlet));
-    home.add_device(Device::new("switch-2", "hall switch", "switch",
-        hg_capability::device_kind::DeviceKind::Light));
-    home.add_device(Device::new("door-1", "front door", "lock",
-        hg_capability::device_kind::DeviceKind::Lock));
+    let mut home = hg_sim::Home::new(5);
+    home.add_device(Device::new(
+        "motion-1",
+        "bath motion",
+        "motionSensor",
+        hg_capability::device_kind::DeviceKind::Unknown,
+    ));
+    home.add_device(Device::new(
+        "switch-1",
+        "vanity outlet",
+        "switch",
+        hg_capability::device_kind::DeviceKind::Outlet,
+    ));
+    home.add_device(Device::new(
+        "switch-2",
+        "hall switch",
+        "switch",
+        hg_capability::device_kind::DeviceKind::Light,
+    ));
+    home.add_device(Device::new(
+        "door-1",
+        "front door",
+        "lock",
+        hg_capability::device_kind::DeviceKind::Lock,
+    ));
     home.mode = "Away".to_string();
 
     for name in ["CurlingIron", "SwitchChangesMode", "MakeItSo"] {

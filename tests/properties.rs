@@ -1,45 +1,76 @@
 //! Property-based tests over the core data structures: solver soundness,
 //! JSON round-trips, parser/printer round-trips and formula algebra.
+//!
+//! The build environment has no crates.io access, so instead of `proptest`
+//! these properties run over a seeded in-house generator: each property is
+//! checked against 128 pseudo-random cases, deterministic per run so
+//! failures reproduce.
 
 use hg_rules::constraint::{CmpOp, Formula, Term};
 use hg_rules::value::Value;
 use hg_rules::varid::VarId;
 use hg_solver::{Model, Outcome};
-use proptest::prelude::*;
+
+const CASES: u64 = 128;
+
+/// SplitMix64 — the same tiny deterministic generator the rand shim uses.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..hi`.
+    fn range(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi);
+        lo + (self.next() % (hi - lo) as u64) as i64
+    }
+}
 
 fn var(i: usize) -> VarId {
     VarId::env(format!("p{i}"))
 }
 
-/// A strategy for small atoms over three integer variables.
-fn atom() -> impl Strategy<Value = Formula> {
-    (
-        0usize..3,
-        prop_oneof![
-            Just(CmpOp::Eq),
-            Just(CmpOp::Ne),
-            Just(CmpOp::Lt),
-            Just(CmpOp::Le),
-            Just(CmpOp::Gt),
-            Just(CmpOp::Ge)
-        ],
-        -50i64..50,
-    )
-        .prop_map(|(v, op, c)| Formula::cmp(Term::var(var(v)), op, Term::num(c * 100)))
+/// A random atom over three integer variables.
+fn atom(g: &mut Gen) -> Formula {
+    let v = g.range(0, 3) as usize;
+    let op = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ][g.range(0, 6) as usize];
+    let c = g.range(-50, 50);
+    Formula::cmp(Term::var(var(v)), op, Term::num(c * 100))
 }
 
-/// Small formulas: conjunctions/disjunctions of atoms.
-fn formula() -> impl Strategy<Value = Formula> {
-    prop::collection::vec(atom(), 1..5).prop_flat_map(|atoms| {
-        prop_oneof![
-            Just(Formula::and(atoms.clone())),
-            Just(Formula::or(atoms.clone())),
-            Just(Formula::and([
-                Formula::or(atoms.iter().take(2).cloned().collect::<Vec<_>>()),
-                Formula::and(atoms.iter().skip(2).cloned().collect::<Vec<_>>()),
-            ])),
-        ]
-    })
+/// A random small formula: conjunctions/disjunctions of atoms.
+fn formula(g: &mut Gen) -> Formula {
+    let n = g.range(1, 5) as usize;
+    let atoms: Vec<Formula> = (0..n).map(|_| atom(g)).collect();
+    match g.range(0, 3) {
+        0 => Formula::and(atoms),
+        1 => Formula::or(atoms),
+        _ => Formula::and([
+            Formula::or(atoms.iter().take(2).cloned().collect::<Vec<_>>()),
+            Formula::and(atoms.iter().skip(2).cloned().collect::<Vec<_>>()),
+        ]),
+    }
 }
 
 fn declared_model() -> Model {
@@ -59,25 +90,28 @@ fn eval(f: &Formula, w: &std::collections::BTreeMap<VarId, Value>) -> bool {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Soundness: any witness the solver returns actually satisfies the
-    /// formula.
-    #[test]
-    fn solver_witness_satisfies_formula(f in formula()) {
+/// Soundness: any witness the solver returns actually satisfies the
+/// formula.
+#[test]
+fn solver_witness_satisfies_formula() {
+    for seed in 0..CASES {
+        let f = formula(&mut Gen::new(seed));
         let model = declared_model();
         if let Outcome::Sat(witness) = model.solve(&f) {
-            prop_assert!(eval(&f, &witness), "witness {witness:?} fails {f}");
+            assert!(eval(&f, &witness), "witness {witness:?} fails {f}");
         }
     }
+}
 
-    /// Completeness on point checks: if we construct a satisfying point,
-    /// the solver must not report Unsat.
-    #[test]
-    fn solver_finds_seeded_solutions(vals in prop::collection::vec(-90i64..90, 3)) {
-        // Build a formula that pins each variable to vals[i] via two
-        // inequalities, trivially satisfiable.
+/// Completeness on point checks: if we construct a satisfying point, the
+/// solver must not report Unsat.
+#[test]
+fn solver_finds_seeded_solutions() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ 0xbeef);
+        let vals: Vec<i64> = (0..3).map(|_| g.range(-90, 90)).collect();
+        // Pin each variable to vals[i] via two inequalities, trivially
+        // satisfiable.
         let parts: Vec<Formula> = (0..3)
             .map(|i| {
                 Formula::and([
@@ -88,22 +122,30 @@ proptest! {
             .collect();
         let f = Formula::and(parts);
         let model = declared_model();
-        prop_assert!(model.solve(&f).is_sat(), "{f}");
+        assert!(model.solve(&f).is_sat(), "{f}");
     }
+}
 
-    /// Negation: f ∧ ¬f is always unsatisfiable for atom conjunctions.
-    #[test]
-    fn formula_and_negation_unsat(f in atom()) {
+/// Negation: f ∧ ¬f is always unsatisfiable for atoms.
+#[test]
+fn formula_and_negation_unsat() {
+    for seed in 0..CASES {
+        let f = atom(&mut Gen::new(seed ^ 0xfeed));
         let model = declared_model();
-        let both = Formula::and([f.clone(), f.negate()]);
-        prop_assert_eq!(model.solve(&both), Outcome::Unsat);
+        let both = Formula::and([f.clone(), f.clone().negate()]);
+        assert_eq!(model.solve(&both), Outcome::Unsat, "{f}");
     }
+}
 
-    /// JSON round-trip for rule files built from random formulas.
-    #[test]
-    fn rule_json_roundtrip(f in formula(), delay in 0u64..10_000) {
-        use hg_rules::rule::*;
-        use hg_rules::varid::DeviceRef;
+/// JSON round-trip for rule files built from random formulas.
+#[test]
+fn rule_json_roundtrip() {
+    use hg_rules::rule::*;
+    use hg_rules::varid::DeviceRef;
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ 0x1234);
+        let f = formula(&mut g);
+        let delay = g.range(0, 10_000) as u64;
         let dev = DeviceRef::bound("0e0b741b");
         let rule = Rule {
             id: RuleId::new("PropApp", 0),
@@ -112,63 +154,98 @@ proptest! {
                 attribute: "switch".into(),
                 constraint: Some(f.clone()),
             },
-            condition: Condition { data_constraints: vec![], predicate: f },
+            condition: Condition {
+                data_constraints: vec![],
+                predicate: f,
+            },
             actions: vec![Action::device(dev, "on").after(delay)],
         };
         let text = hg_rules::json::rules_to_text(std::slice::from_ref(&rule));
         let back = hg_rules::json::rules_from_text(&text).unwrap();
-        prop_assert_eq!(back, vec![rule]);
+        assert_eq!(back, vec![rule]);
     }
+}
 
-    /// The Groovy pretty-printer emits re-parseable source for random
-    /// expression shapes.
-    #[test]
-    fn printer_roundtrip_for_comparisons(a in 0i64..1000, b in 0i64..1000, c in "[a-z][a-z0-9]{0,6}") {
+/// The Groovy pretty-printer emits re-parseable source for random
+/// expression shapes.
+#[test]
+fn printer_roundtrip_for_comparisons() {
+    for seed in 0..CASES {
+        let mut g = Gen::new(seed ^ 0x5678);
+        let a = g.range(0, 1000);
+        let b = g.range(0, 1000);
+        // A short identifier like proptest's "[a-z][a-z0-9]{0,6}".
+        let mut c = String::new();
+        c.push((b'a' + g.range(0, 26) as u8) as char);
+        for _ in 0..g.range(0, 7) {
+            let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789";
+            c.push(alphabet[g.range(0, alphabet.len() as i64) as usize] as char);
+        }
         let src = format!("def h(evt) {{ if (({c} > {a}) && ({c} <= {b})) {{ lamp.on() }} }}");
         let p1 = hg_lang::parse(&src).unwrap();
         let printed = hg_lang::pretty::print_program(&p1);
         let p2 = hg_lang::parse(&printed).unwrap();
-        prop_assert_eq!(
-            hg_lang::pretty::print_program(&p2),
-            printed
-        );
+        assert_eq!(hg_lang::pretty::print_program(&p2), printed);
     }
+}
 
-    /// Scaled fixed-point parsing inverts rendering.
-    #[test]
-    fn fixed_point_roundtrip(n in -1_000_000i64..1_000_000) {
-        use hg_capability::domains::{parse_scaled, unscaled_to_string};
+/// Scaled fixed-point parsing inverts rendering.
+#[test]
+fn fixed_point_roundtrip() {
+    use hg_capability::domains::{parse_scaled, unscaled_to_string};
+    for seed in 0..CASES {
+        let n = Gen::new(seed ^ 0x9abc).range(-1_000_000, 1_000_000);
         let text = unscaled_to_string(n);
-        prop_assert_eq!(parse_scaled(&text), Some(n));
+        assert_eq!(parse_scaled(&text), Some(n));
     }
+}
 
-    /// Detection is symmetric for the undirected categories: swapping the
-    /// pair must not change whether an AR/GC/LT is found.
-    #[test]
-    fn undirected_detection_symmetry(thr in 0i64..60) {
-        use hg_detector::{Detector, ThreatKind};
-        use hg_symexec::{extract, ExtractorConfig};
-        let a = extract(&format!(r#"
+/// Detection is symmetric for the undirected categories: swapping the pair
+/// must not change whether an AR/GC/LT is found.
+#[test]
+fn undirected_detection_symmetry() {
+    use hg_detector::{Detector, ThreatKind};
+    use hg_symexec::{extract, ExtractorConfig};
+    // Extraction dominates runtime; 32 thresholds cover the space well.
+    for seed in 0..32 {
+        let thr = Gen::new(seed ^ 0xdef0).range(0, 60);
+        let a = extract(
+            r#"
 input "d", "capability.contactSensor"
 input "w", "capability.switch", title: "window opener"
-def installed() {{ subscribe(d, "contact.open", h) }}
-def h(evt) {{ if (location.mode == "Home") {{ w.on() }} }}
-"#), "SymA", &ExtractorConfig::default()).unwrap();
-        let b = extract(&format!(r#"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { if (location.mode == "Home") { w.on() } }
+"#,
+            "SymA",
+            &ExtractorConfig::default(),
+        )
+        .unwrap();
+        let b = extract(
+            &format!(
+                r#"
 input "d", "capability.contactSensor"
 input "t", "capability.temperatureMeasurement"
 input "w", "capability.switch", title: "window opener"
 def installed() {{ subscribe(d, "contact.open", h) }}
 def h(evt) {{ if (t.currentTemperature > {thr}) {{ w.off() }} }}
-"#), "SymB", &ExtractorConfig::default()).unwrap();
+"#
+            ),
+            "SymB",
+            &ExtractorConfig::default(),
+        )
+        .unwrap();
         let det = Detector::store_wide();
         let (t_ab, _) = det.detect_pair(&a.rules[0], &b.rules[0]);
         let (t_ba, _) = det.detect_pair(&b.rules[0], &a.rules[0]);
-        for kind in [ThreatKind::ActuatorRace, ThreatKind::GoalConflict, ThreatKind::LoopTriggering] {
-            prop_assert_eq!(
+        for kind in [
+            ThreatKind::ActuatorRace,
+            ThreatKind::GoalConflict,
+            ThreatKind::LoopTriggering,
+        ] {
+            assert_eq!(
                 t_ab.iter().any(|t| t.kind == kind),
                 t_ba.iter().any(|t| t.kind == kind),
-                "asymmetry for {:?}", kind
+                "asymmetry for {kind:?} at thr={thr}"
             );
         }
     }

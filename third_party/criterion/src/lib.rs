@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this workspace member
+//! implements the criterion API surface the HomeGuard benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — over a plain
+//! wall-clock harness: per benchmark it warms up, then takes `sample_size`
+//! timed samples and reports min/median/mean.
+//!
+//! Behavioral notes:
+//!
+//! * When the binary receives `--test` (what `cargo test` passes to
+//!   `harness = false` bench targets) every benchmark body runs exactly
+//!   once, as smoke validation, with no timing loop.
+//! * A single positional argument acts as a substring filter on benchmark
+//!   ids, mirroring `cargo bench -- <filter>`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing callback holder handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    /// Accumulated measured time across `iter` batches in one sample.
+    elapsed: Duration,
+    iters: u64,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// Run the body once, untimed (`--test`).
+    Smoke,
+    /// Timed measurement.
+    Measure { iters: u64 },
+}
+
+impl Bencher {
+    /// Times `routine`, running it the harness-chosen number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure { iters } => iters,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += iters;
+    }
+}
+
+/// Top-level harness state (subset of `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let smoke = args.iter().any(|a| a == "--test");
+        let filter = args.iter().find(|a| !a.starts_with('-')).cloned();
+        Criterion {
+            sample_size: 10,
+            filter,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        let sample_size = self.sample_size;
+        self.run_one(id.to_string(), sample_size, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        if self.smoke {
+            let mut b = Bencher {
+                mode: Mode::Smoke,
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            println!("{id}: smoke ok");
+            return;
+        }
+        // Calibrate the per-sample iteration count towards ~20ms samples so
+        // sub-microsecond and multi-millisecond bodies both measure sanely.
+        let mut b = Bencher {
+            mode: Mode::Measure { iters: 1 },
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters.max(1) as u32;
+        let iters = (Duration::from_millis(20).as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                mode: Mode::Measure { iters },
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / b.iters.max(1) as u32);
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{id:<48} min {:>12?}  median {:>12?}  mean {:>12?}  ({sample_size} samples x {iters} iters)",
+            min, median, mean
+        );
+    }
+}
+
+/// A group of related benchmarks (subset of `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Runs one benchmark inside the group, id-prefixed with the group name.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl AsRef<str>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, sample_size, f);
+        self
+    }
+
+    /// Ends the group (layout compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Re-export for benches that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench entry point (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_body() {
+        let mut c = Criterion {
+            sample_size: 2,
+            filter: None,
+            smoke: true,
+        };
+        let mut ran = false;
+        c.bench_function("x", |b| b.iter(|| ran = true));
+        assert!(ran);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("zzz".into()),
+            smoke: true,
+        };
+        let mut ran = false;
+        c.bench_function("other", |b| b.iter(|| ran = true));
+        assert!(!ran);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_measure() {
+        let mut c = Criterion {
+            sample_size: 1,
+            filter: Some("grp/fast".into()),
+            smoke: false,
+        };
+        let mut calls = 0u32;
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(2);
+            g.bench_function("fast", |b| b.iter(|| calls += 1));
+            g.bench_function("skipped", |b| b.iter(|| calls += 1_000_000));
+            g.finish();
+        }
+        assert!(calls > 0 && calls < 1_000_000);
+    }
+}

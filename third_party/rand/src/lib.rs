@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! member provides the small slice of the `rand 0.8` API that HomeGuard
+//! actually uses: a seedable [`rngs::StdRng`], [`Rng::gen_range`] over
+//! integer/float ranges, [`Rng::gen_bool`], and
+//! [`seq::SliceRandom::shuffle`]. Streams are deterministic per seed
+//! (SplitMix64), which is all the simulator and channel models need —
+//! replayable pseudo-randomness, not cryptographic quality.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types that can produce raw random words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that can be sampled uniformly (subset of
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value from the range using `rng`.
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> Self::Output;
+}
+
+macro_rules! int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = (rng() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: SplitMix64 — deterministic, fast, and good
+    /// enough for simulation schedules and latency jitter.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // Pre-mix so small consecutive seeds produce unrelated streams.
+            let mut rng = StdRng {
+                state: seed ^ 0x5851_f42d_4c95_7f2d,
+            };
+            let _ = rng.next_u64();
+            rng
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0..1000u64), b.gen_range(0..1000u64));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-0.35..0.35);
+            assert!((-0.35..0.35).contains(&x));
+            let n = rng.gen_range(0..7usize);
+            assert!(n < 7);
+            let i = rng.gen_range(-50i64..50);
+            assert!((-50..50).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.05)).count();
+        assert!((300..700).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 20-element shuffle staying sorted is ~impossible"
+        );
+    }
+}
