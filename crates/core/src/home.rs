@@ -25,6 +25,7 @@ use hg_detector::{
 };
 use hg_rules::rule::Rule;
 use hg_rules::value::Value;
+use hg_runtime::{Enforcer, PolicyTable, SharedEnforcer};
 use hg_symexec::ExtractError;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -50,6 +51,7 @@ pub struct HomeBuilder {
     policy: UnificationPolicy,
     chain_depth: usize,
     config: Vec<ConfigInfo>,
+    handling: PolicyTable,
 }
 
 impl HomeBuilder {
@@ -62,6 +64,7 @@ impl HomeBuilder {
             policy: UnificationPolicy::Auto,
             chain_depth: 4,
             config: Vec::new(),
+            handling: PolicyTable::default(),
         }
     }
 
@@ -94,6 +97,13 @@ impl HomeBuilder {
         self
     }
 
+    /// Sets the runtime handling policies the session's enforcer applies
+    /// per threat kind (see [`Home::enforcer`]).
+    pub fn handling_policy(mut self, table: PolicyTable) -> HomeBuilder {
+        self.handling = table;
+        self
+    }
+
     /// Builds the session handle.
     pub fn build(self) -> Home {
         let mut home = Home {
@@ -105,6 +115,7 @@ impl HomeBuilder {
             modes: self.modes,
             policy: self.policy,
             chain_depth: self.chain_depth,
+            handling: self.handling,
         };
         for info in &self.config {
             home.absorb_config(info);
@@ -128,6 +139,8 @@ pub struct Home {
     modes: Vec<String>,
     policy: UnificationPolicy,
     chain_depth: usize,
+    /// Runtime handling policies for the session's enforcer.
+    handling: PolicyTable,
 }
 
 /// The outcome of an installation attempt, shown to the user by the
@@ -377,6 +390,31 @@ impl Home {
     pub fn engine(&self) -> &DetectionEngine {
         &self.engine
     }
+
+    /// The session's runtime handling policies.
+    pub fn handling_policy(&self) -> &PolicyTable {
+        &self.handling
+    }
+
+    /// Compiles the session's confirmed-install threat set (the Allowed
+    /// list) into a runtime mediation engine, ready to be installed into
+    /// an event loop (e.g. `hg_sim::Home::set_mediator`).
+    ///
+    /// Every interference the user knowingly accepted at install time
+    /// becomes a mediation point, keyed the way the detection index keys
+    /// candidates, and handled per the session's
+    /// [`PolicyTable`] — so "allowed" means *mediated at runtime*, not
+    /// *ignored*.
+    pub fn enforcer(&self) -> SharedEnforcer {
+        let rules: Vec<Rule> = self.installed_rules().into_iter().cloned().collect();
+        let unification = self.detector().unification;
+        SharedEnforcer::new(Enforcer::from_threats(
+            &self.allowed,
+            &rules,
+            &unification,
+            &self.handling,
+        ))
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +613,57 @@ def h(evt) { if (location.mode == "Home") { door.unlock() } }
         // ...but Bob's session state is untouched by Alice's verdicts.
         assert_eq!(bob.installed_rules().len(), 1);
         assert!(bob.allowed().is_empty());
+    }
+
+    #[test]
+    fn session_threats_flow_into_the_runtime_enforcer() {
+        use hg_capability::device_kind::DeviceKind;
+        use hg_runtime::PolicyTable;
+
+        let mut home = Home::builder(RuleStore::shared())
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        home.install_app_forced(ON_APP, "OnApp", None).unwrap();
+        home.install_app_forced(OFF_APP, "OffApp", None).unwrap();
+        assert!(!home.allowed().is_empty());
+
+        // The confirmed-install threat set compiles straight into mediation
+        // points...
+        let enforcer = home.enforcer();
+        assert!(enforcer.with(|e| !e.index().is_empty()));
+
+        // ...and the enforcer sits inline in a simulated home: of the two
+        // racing rules, exactly one acts per run.
+        let unify = Unification::ByType;
+        let mut sim = hg_sim::Home::new(11);
+        sim.add_device(hg_sim::Device::new(
+            "type:motionSensor/unknown",
+            "motion",
+            "motionSensor",
+            DeviceKind::Unknown,
+        ));
+        sim.add_device(hg_sim::Device::new(
+            "type:switch/light",
+            "lamp",
+            "switch",
+            DeviceKind::Light,
+        ));
+        for rule in home.installed_rules() {
+            sim.install_rule(unify.unify_rule(rule));
+        }
+        sim.set_mediator(enforcer.mediator());
+        sim.stimulate(
+            "type:motionSensor/unknown",
+            "motion",
+            Value::Sym("active".into()),
+        );
+        assert!(
+            sim.fired("OnApp#0") != sim.fired("OffApp#0"),
+            "exactly one racing rule must act, trace: {:#?}",
+            sim.trace
+        );
+        assert_eq!(enforcer.journal().len(), 1);
+        assert_eq!(enforcer.stats().mediated, 1);
     }
 
     #[test]

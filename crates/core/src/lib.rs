@@ -62,5 +62,6 @@ pub mod frontend;
 pub mod home;
 pub mod store;
 
+pub use hg_runtime::{HandlingPolicy, PolicyTable, SharedEnforcer};
 pub use home::{Home, HomeBuilder, InstallReport, UnificationPolicy};
 pub use store::RuleStore;

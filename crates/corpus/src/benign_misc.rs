@@ -362,7 +362,7 @@ def shakeHandler(evt) {
 
 /// The three §VIII-B special cases: non-standard device types and an
 /// undocumented API. They fail extraction with the stock configuration and
-/// succeed with [`hg_symexec::ExtractorConfig::extended`].
+/// succeed with `hg_symexec::ExtractorConfig::extended`.
 pub static SPECIAL_APPS: &[CorpusApp] = &[
     CorpusApp {
         name: "FeedMyPet",

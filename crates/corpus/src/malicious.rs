@@ -1,5 +1,5 @@
 //! The 18 malicious SmartApps of paper Table III, reproducing each attack
-//! class from the literature ([22], [29], [46], [47] in the paper). The
+//! class from the literature (\[22], \[29], \[46], \[47] in the paper). The
 //! expected `handled` flag mirrors the table's "Can handle?" column: the
 //! rule extractor obtains precise rules for every class except endpoint
 //! attacks (automation lives outside the app) and app-update attacks

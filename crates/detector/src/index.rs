@@ -49,6 +49,32 @@ impl PreparedRule {
             facets,
         }
     }
+
+    /// Canonical identities of the actuators the rule commands — the index
+    /// keys runtime mediation points are compiled against (AR/SD/LT).
+    pub fn actuator_keys(&self) -> impl Iterator<Item = &str> {
+        self.facets.actuators.iter().map(String::as_str)
+    }
+
+    /// Environment properties the rule's actions can move (GC).
+    pub fn goal_properties(&self) -> impl Iterator<Item = EnvProperty> + '_ {
+        self.facets.goal_props.iter().copied()
+    }
+
+    /// World variables the rule's actions write (CT/EC/DC source side).
+    pub fn written_vars(&self) -> impl Iterator<Item = &VarId> {
+        self.facets.writes.iter()
+    }
+
+    /// World variables the rule observes (trigger + condition variables).
+    pub fn read_vars(&self) -> impl Iterator<Item = &VarId> {
+        self.facets.reads.iter()
+    }
+
+    /// The canonical variable the rule's trigger observes, post-unification.
+    pub fn trigger_var(&self) -> Option<VarId> {
+        self.unified.trigger.observed_var()
+    }
 }
 
 /// The interaction keys of one rule, split by the role they play in a pair.
@@ -97,8 +123,11 @@ impl Facets {
     }
 }
 
-/// The canonical index identity of an actuation subject.
-fn actuator_key(subject: &ActionSubject) -> String {
+/// The canonical index identity of an actuation subject: the bound device
+/// id once unified, a `slot:` key for unresolved slots, `@mode` for the
+/// virtual location-mode actuator. Mediation points (`hg-runtime`) and the
+/// candidate index share this keying.
+pub fn actuator_key(subject: &ActionSubject) -> String {
     match subject {
         ActionSubject::Device(DeviceRef::Bound { device_id }) => device_id.clone(),
         ActionSubject::Device(DeviceRef::Unbound { app, input, .. }) => {

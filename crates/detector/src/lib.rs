@@ -62,6 +62,6 @@ pub mod report;
 pub use chained::{find_chains, Chain, Edge};
 pub use engine::Detector;
 pub use incremental::DetectionEngine;
-pub use index::{CandidateIndex, PreparedRule};
+pub use index::{actuator_key, CandidateIndex, PreparedRule};
 pub use overlap::{OverlapSolver, Unification, UserValues};
 pub use report::{DetectStats, Threat, ThreatKind};

@@ -3,7 +3,7 @@
 //! The paper stores extracted rules as JSON on the HomeGuard backend
 //! (§VIII-C measures an average rule file of 6.2 KB per app). We hand-roll
 //! the codec rather than pull in an unapproved dependency; the format is a
-//! direct structural encoding of [`Rule`](crate::rule::Rule).
+//! direct structural encoding of [`Rule`].
 
 use crate::constraint::{CmpOp, Formula, Term};
 use crate::rule::{Action, ActionSubject, Condition, DataConstraint, Rule, RuleId, Trigger};

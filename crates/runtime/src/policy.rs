@@ -1,0 +1,162 @@
+//! Handling policies: what the mediation engine does when a detected
+//! threat's interference is about to manifest at runtime (paper §IX).
+
+use hg_detector::ThreatKind;
+use hg_rules::rule::RuleId;
+use std::collections::BTreeMap;
+
+/// How one threat kind is handled at its mediation points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HandlingPolicy {
+    /// Suppress the interfering event: the second rule of the pair to act
+    /// is stopped (firing dropped, command discarded).
+    Block,
+    /// Arbitrate same-instant conflicts deterministically: rules earlier in
+    /// the order win; a losing same-instant command is discarded so the
+    /// winner's command is the effective write.
+    Priority(Vec<RuleId>),
+    /// Let the interfering event through, but only after the mediation
+    /// window has passed — separating the pair in time instead of dropping
+    /// either side.
+    Defer {
+        /// The separation window in simulated milliseconds.
+        window_ms: u64,
+    },
+    /// Allow everything, journal the incident for the user (the paper's
+    /// minimum viable handling: make the covert overt).
+    Notify,
+}
+
+impl HandlingPolicy {
+    /// A short display tag for journals and demos.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            HandlingPolicy::Block => "block",
+            HandlingPolicy::Priority(_) => "priority",
+            HandlingPolicy::Defer { .. } => "defer",
+            HandlingPolicy::Notify => "notify",
+        }
+    }
+}
+
+/// Per-threat-kind policy assignment, covering all seven Table I kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyTable {
+    by_kind: BTreeMap<ThreatKind, HandlingPolicy>,
+    fallback: HandlingPolicy,
+}
+
+impl Default for PolicyTable {
+    /// The deployment defaults, mapped from the paper's handling
+    /// discussion:
+    ///
+    /// * races and loops are actively broken (`Block` for GC/CT/SD/LT);
+    /// * Actuator Races are arbitrated by rule priority once the user has
+    ///   ranked the pair (until [`PolicyTable::prioritize`] supplies an
+    ///   order, AR points fall back to blocking);
+    /// * Enabling-Condition interference is deferred past the window in
+    ///   which the enabling write and the enabled rule would coincide;
+    /// * Disabling-Condition interference — a rule being silently muted —
+    ///   cannot be "blocked" meaningfully, so it is surfaced via `Notify`.
+    fn default() -> PolicyTable {
+        let mut by_kind = BTreeMap::new();
+        by_kind.insert(ThreatKind::ActuatorRace, HandlingPolicy::Block);
+        by_kind.insert(ThreatKind::GoalConflict, HandlingPolicy::Block);
+        by_kind.insert(ThreatKind::CovertTriggering, HandlingPolicy::Block);
+        by_kind.insert(ThreatKind::SelfDisabling, HandlingPolicy::Block);
+        by_kind.insert(ThreatKind::LoopTriggering, HandlingPolicy::Block);
+        by_kind.insert(
+            ThreatKind::EnablingCondition,
+            HandlingPolicy::Defer { window_ms: 5_000 },
+        );
+        by_kind.insert(ThreatKind::DisablingCondition, HandlingPolicy::Notify);
+        PolicyTable {
+            by_kind,
+            fallback: HandlingPolicy::Notify,
+        }
+    }
+}
+
+impl PolicyTable {
+    /// Every kind handled with [`HandlingPolicy::Block`] — the strictest
+    /// table, used by the differential fuzz harness.
+    pub fn block_all() -> PolicyTable {
+        PolicyTable {
+            by_kind: BTreeMap::new(),
+            fallback: HandlingPolicy::Block,
+        }
+    }
+
+    /// Every kind handled with [`HandlingPolicy::Notify`] — pure journaling,
+    /// no intervention.
+    pub fn notify_all() -> PolicyTable {
+        PolicyTable {
+            by_kind: BTreeMap::new(),
+            fallback: HandlingPolicy::Notify,
+        }
+    }
+
+    /// Sets the policy for one threat kind.
+    pub fn with(mut self, kind: ThreatKind, policy: HandlingPolicy) -> PolicyTable {
+        self.by_kind.insert(kind, policy);
+        self
+    }
+
+    /// Assigns a priority order for Actuator Races: rules earlier in
+    /// `order` win same-instant conflicts.
+    pub fn prioritize<I>(self, order: I) -> PolicyTable
+    where
+        I: IntoIterator<Item = RuleId>,
+    {
+        self.with(
+            ThreatKind::ActuatorRace,
+            HandlingPolicy::Priority(order.into_iter().collect()),
+        )
+    }
+
+    /// The policy applied to `kind`.
+    pub fn policy(&self, kind: ThreatKind) -> &HandlingPolicy {
+        self.by_kind.get(&kind).unwrap_or(&self.fallback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_seven_kinds() {
+        let table = PolicyTable::default();
+        for kind in ThreatKind::ALL {
+            // Every kind resolves to a policy without hitting a panic path.
+            let _ = table.policy(kind);
+        }
+        assert_eq!(
+            table.policy(ThreatKind::DisablingCondition),
+            &HandlingPolicy::Notify
+        );
+        assert!(matches!(
+            table.policy(ThreatKind::EnablingCondition),
+            HandlingPolicy::Defer { .. }
+        ));
+    }
+
+    #[test]
+    fn with_and_prioritize_override() {
+        let table = PolicyTable::block_all()
+            .with(ThreatKind::GoalConflict, HandlingPolicy::Notify)
+            .prioritize([RuleId::new("A", 0), RuleId::new("B", 0)]);
+        assert_eq!(
+            table.policy(ThreatKind::GoalConflict),
+            &HandlingPolicy::Notify
+        );
+        assert!(matches!(
+            table.policy(ThreatKind::ActuatorRace),
+            HandlingPolicy::Priority(order) if order.len() == 2
+        ));
+        assert_eq!(
+            table.policy(ThreatKind::LoopTriggering),
+            &HandlingPolicy::Block
+        );
+    }
+}

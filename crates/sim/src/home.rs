@@ -10,6 +10,7 @@
 //! on").
 
 use crate::device::Device;
+use crate::mediator::{Decision, Mediator};
 use hg_capability::domains::{EnvProperty, Sign};
 use hg_rules::constraint::Formula;
 use hg_rules::rule::{ActionSubject, Rule, Trigger};
@@ -37,7 +38,7 @@ pub enum TraceEntry {
         /// New value.
         value: Value,
     },
-    /// A rule fired (trigger matched and condition held).
+    /// A rule fired (trigger matched, condition held, mediator allowed).
     RuleFired {
         /// When.
         at: SimTime,
@@ -60,6 +61,47 @@ pub enum TraceEntry {
         /// New scaled value.
         value: i64,
     },
+}
+
+impl TraceEntry {
+    /// When the entry happened.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEntry::Attr { at, .. }
+            | TraceEntry::RuleFired { at, .. }
+            | TraceEntry::Mode { at, .. }
+            | TraceEntry::Env { at, .. } => *at,
+        }
+    }
+
+    /// The device id, if this is an attribute write.
+    pub fn device(&self) -> Option<&str> {
+        match self {
+            TraceEntry::Attr { device, .. } => Some(device),
+            _ => None,
+        }
+    }
+
+    /// The `(device, attribute, value)` of an attribute write.
+    pub fn attr_write(&self) -> Option<(&str, &str, &Value)> {
+        match self {
+            TraceEntry::Attr {
+                device,
+                attribute,
+                value,
+                ..
+            } => Some((device, attribute, value)),
+            _ => None,
+        }
+    }
+
+    /// The fired rule's display name, if this is a firing entry.
+    pub fn fired_rule(&self) -> Option<&str> {
+        match self {
+            TraceEntry::RuleFired { rule, .. } => Some(rule),
+            _ => None,
+        }
+    }
 }
 
 /// An event waiting in the queue.
@@ -105,6 +147,9 @@ pub struct Home {
     pub trace: Vec<TraceEntry>,
     /// Cascade guard: events processed in the current `run` call.
     budget: usize,
+    /// Inline runtime mediator, consulted before rule firings and actuator
+    /// commands when installed.
+    mediator: Option<Box<dyn Mediator>>,
 }
 
 impl Home {
@@ -127,7 +172,21 @@ impl Home {
             rng: StdRng::seed_from_u64(seed),
             trace: Vec::new(),
             budget: 10_000,
+            mediator: None,
         }
+    }
+
+    /// Installs an inline runtime mediator. The mediator is consulted for
+    /// every rule firing and every actuator command from then on; an
+    /// always-allow mediator leaves the simulation bit-for-bit identical to
+    /// an unmediated run under the same seed.
+    pub fn set_mediator(&mut self, mediator: Box<dyn Mediator>) {
+        self.mediator = Some(mediator);
+    }
+
+    /// Removes the mediator, returning it.
+    pub fn clear_mediator(&mut self) -> Option<Box<dyn Mediator>> {
+        self.mediator.take()
     }
 
     /// Adds a device.
@@ -174,6 +233,56 @@ impl Home {
     /// Reads a device attribute.
     pub fn attr(&self, device: &str, attribute: &str) -> Option<&Value> {
         self.devices.get(device)?.get(attribute)
+    }
+
+    // ----- order-robust trace queries ---------------------------------------
+
+    /// Trace entries that touched `device` (attribute writes), in order.
+    ///
+    /// The seeded scheduler shuffles same-instant ties, so global trace
+    /// positions are fragile across seeds; assertions should filter per
+    /// device (or per rule, [`Home::fired_count`]) instead of indexing the
+    /// raw trace.
+    pub fn trace_for<'a>(&'a self, device: &'a str) -> impl Iterator<Item = &'a TraceEntry> + 'a {
+        self.trace
+            .iter()
+            .filter(move |t| t.device() == Some(device))
+    }
+
+    /// The successive values written to `device.attribute`, in write order.
+    pub fn attr_history(&self, device: &str, attribute: &str) -> Vec<&Value> {
+        self.trace
+            .iter()
+            .filter_map(|t| t.attr_write())
+            .filter(|(d, a, _)| *d == device && *a == attribute)
+            .map(|(_, _, v)| v)
+            .collect()
+    }
+
+    /// Whether `rule` (display form, e.g. `"App#0"`) fired at least once.
+    pub fn fired(&self, rule: &str) -> bool {
+        self.fired_count(rule) > 0
+    }
+
+    /// How many times `rule` (display form) fired.
+    pub fn fired_count(&self, rule: &str) -> usize {
+        self.trace
+            .iter()
+            .filter(|t| t.fired_rule() == Some(rule))
+            .count()
+    }
+
+    /// The successive values an environment property moved through.
+    pub fn env_history(&self, property: EnvProperty) -> Vec<i64> {
+        self.trace
+            .iter()
+            .filter_map(|t| match t {
+                TraceEntry::Env {
+                    property: p, value, ..
+                } if *p == property => Some(*value),
+                _ => None,
+            })
+            .collect()
     }
 
     /// Drains the event queue, processing cascades (rule firings, delayed
@@ -323,24 +432,7 @@ impl Home {
                 matching.push(i);
             }
         }
-        matching.shuffle(&mut self.rng);
-        for i in matching {
-            self.trace.push(TraceEntry::RuleFired {
-                at: self.now,
-                rule: self.rules[i].id.to_string(),
-            });
-            for (j, action) in self.rules[i].actions.iter().enumerate() {
-                let at = self.now + self.rules[i].actions[j].when_secs * 1_000;
-                let _ = action;
-                self.queue.push((
-                    at,
-                    Pending::RunAction {
-                        rule_index: i,
-                        action_index: j,
-                    },
-                ));
-            }
-        }
+        self.schedule_fired(matching);
     }
 
     /// Fires rules triggered by environment-measured attributes.
@@ -360,14 +452,32 @@ impl Home {
                 }
             }
         }
+        self.schedule_fired(matching);
+    }
+
+    /// Shuffles the matched rules (same-instant nondeterminism), consults
+    /// the mediator for each, and schedules the actions of those allowed to
+    /// fire. A [`Decision::Defer`] postpones every action of the firing by
+    /// the mediation window; a [`Decision::Suppress`] drops the firing
+    /// entirely (no trace entry, no actions).
+    fn schedule_fired(&mut self, mut matching: Vec<usize>) {
         matching.shuffle(&mut self.rng);
         for i in matching {
+            let decision = match self.mediator.as_mut() {
+                Some(m) => m.on_rule_fire(&self.rules[i].id, self.now),
+                None => Decision::Allow,
+            };
+            let extra_ms = match decision {
+                Decision::Allow => 0,
+                Decision::Defer { delay_ms } => delay_ms,
+                Decision::Suppress => continue,
+            };
             self.trace.push(TraceEntry::RuleFired {
                 at: self.now,
                 rule: self.rules[i].id.to_string(),
             });
             for j in 0..self.rules[i].actions.len() {
-                let at = self.now + self.rules[i].actions[j].when_secs * 1_000;
+                let at = self.now + self.rules[i].actions[j].when_secs * 1_000 + extra_ms;
                 self.queue.push((
                     at,
                     Pending::RunAction {
@@ -392,6 +502,26 @@ impl Home {
                 let Some(id) = device_id(dref).map(str::to_string) else {
                     return;
                 };
+                // Actuator-command interception point: the mediator can
+                // block this command, or push it past the mediation window.
+                let decision = match self.mediator.as_mut() {
+                    Some(m) => m.on_command(&rule.id, &id, &action.command, self.now),
+                    None => Decision::Allow,
+                };
+                match decision {
+                    Decision::Allow => {}
+                    Decision::Suppress => return,
+                    Decision::Defer { delay_ms } => {
+                        self.queue.push((
+                            self.now + delay_ms,
+                            Pending::RunAction {
+                                rule_index,
+                                action_index,
+                            },
+                        ));
+                        return;
+                    }
+                }
                 let params: Vec<Value> = action
                     .params
                     .iter()
@@ -564,10 +694,8 @@ mod tests {
         ));
         h.stimulate("motion-1", "motion", Value::sym("active"));
         assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
-        assert!(h
-            .trace
-            .iter()
-            .any(|t| matches!(t, TraceEntry::RuleFired { rule, .. } if rule == "MotionLight#0")));
+        assert!(h.fired("MotionLight#0"));
+        assert_eq!(h.fired_count("MotionLight#0"), 1);
     }
 
     #[test]
@@ -683,9 +811,9 @@ mod tests {
         h.stimulate("heat-1", "switch", Value::sym("on"));
         // The heater warms the home past 21.2 (trace shows the rise)...
         assert!(h
-            .trace
+            .env_history(EnvProperty::Temperature)
             .iter()
-            .any(|t| matches!(t, TraceEntry::Env { property: EnvProperty::Temperature, value, .. } if *value > 2120)));
+            .any(|value| *value > 2120));
         // ...which fires the env-triggered fan rule (whose own physics then
         // cool the room back — the environmental feedback loop at work).
         assert_eq!(h.attr("fan-1", "switch"), Some(&Value::sym("on")));
@@ -713,12 +841,90 @@ mod tests {
             "off",
         ));
         h.stimulate("lamp-1", "switch", Value::sym("on"));
-        let flips = h
-            .trace
-            .iter()
-            .filter(|t| matches!(t, TraceEntry::Attr { attribute, .. } if attribute == "switch"))
-            .count();
+        let flips = h.attr_history("lamp-1", "switch").len();
         assert!(flips > 10, "loop should flap many times, got {flips}");
+    }
+
+    /// A scripted mediator for hook tests: suppresses one named rule's
+    /// firings and defers one device's commands.
+    struct ScriptedMediator {
+        suppress_rule: String,
+        defer_device: String,
+        command_calls: usize,
+    }
+
+    impl Mediator for ScriptedMediator {
+        fn on_rule_fire(&mut self, rule: &hg_rules::rule::RuleId, _at: SimTime) -> Decision {
+            if rule.to_string() == self.suppress_rule {
+                Decision::Suppress
+            } else {
+                Decision::Allow
+            }
+        }
+
+        fn on_command(
+            &mut self,
+            _rule: &hg_rules::rule::RuleId,
+            device: &str,
+            _command: &str,
+            _at: SimTime,
+        ) -> Decision {
+            self.command_calls += 1;
+            // One-shot defer: the replayed command is allowed through, the
+            // same contract hg-runtime's enforcer keeps via defer tokens.
+            if device == self.defer_device && self.command_calls == 1 {
+                Decision::Defer { delay_ms: 500 }
+            } else {
+                Decision::Allow
+            }
+        }
+    }
+
+    #[test]
+    fn mediator_suppresses_rule_firing() {
+        let mut h = home_with_lamp_and_motion();
+        h.install_rule(simple_rule(
+            "MotionLight",
+            "motion-1",
+            "motion",
+            "active",
+            "lamp-1",
+            "on",
+        ));
+        h.set_mediator(Box::new(ScriptedMediator {
+            suppress_rule: "MotionLight#0".into(),
+            defer_device: String::new(),
+            command_calls: 0,
+        }));
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("off")));
+        assert!(
+            !h.fired("MotionLight#0"),
+            "suppressed firing must not trace"
+        );
+    }
+
+    #[test]
+    fn mediator_defers_commands_without_losing_them() {
+        let mut h = home_with_lamp_and_motion();
+        h.install_rule(simple_rule(
+            "MotionLight",
+            "motion-1",
+            "motion",
+            "active",
+            "lamp-1",
+            "on",
+        ));
+        h.set_mediator(Box::new(ScriptedMediator {
+            suppress_rule: String::new(),
+            defer_device: "lamp-1".into(),
+            command_calls: 0,
+        }));
+        h.stimulate("motion-1", "motion", Value::sym("active"));
+        // The command still lands, half a second later.
+        assert_eq!(h.attr("lamp-1", "switch"), Some(&Value::sym("on")));
+        let writes: Vec<_> = h.trace_for("lamp-1").map(TraceEntry::at).collect();
+        assert_eq!(writes, vec![500]);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 
 pub mod device;
 pub mod home;
+pub mod mediator;
 
 pub use device::Device;
 pub use home::{Home, SimTime, TraceEntry};
+pub use mediator::{Decision, Mediator};

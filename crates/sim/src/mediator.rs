@@ -1,0 +1,60 @@
+//! Runtime mediation hook: the simulator's event loop consults an installed
+//! [`Mediator`] before firing a rule and before executing an actuator
+//! command, so a threat-handling engine (e.g. `hg-runtime`'s enforcer) can
+//! sit inline on live event traffic.
+//!
+//! The hook is deliberately narrow: the mediator sees only plain event data
+//! (rule identity, device id, command, virtual time) and answers with a
+//! [`Decision`]. A home without a mediator — or a mediator that always
+//! answers [`Decision::Allow`] — behaves bit-for-bit like an unmediated
+//! home under the same seed: the hook consumes no randomness and leaves the
+//! event queue untouched on the allow path.
+
+use crate::home::SimTime;
+use hg_rules::rule::RuleId;
+
+/// A mediation verdict for one intercepted runtime event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Let the event proceed unchanged.
+    Allow,
+    /// Suppress the event entirely (the rule does not fire / the command
+    /// does not execute).
+    Suppress,
+    /// Delay the event by the given number of simulated milliseconds.
+    Defer {
+        /// How long to postpone the event.
+        delay_ms: u64,
+    },
+}
+
+impl Decision {
+    /// Whether the event is allowed to proceed now.
+    pub fn allows(&self) -> bool {
+        matches!(self, Decision::Allow)
+    }
+}
+
+/// An inline runtime mediator: intercepts rule firings and actuator
+/// commands in the simulator's event loop.
+pub trait Mediator {
+    /// Called when `rule`'s trigger matched and its condition holds, right
+    /// before its actions are scheduled.
+    fn on_rule_fire(&mut self, rule: &RuleId, at: SimTime) -> Decision;
+
+    /// Called when a device command issued by `rule` is about to execute
+    /// against `device`.
+    fn on_command(&mut self, rule: &RuleId, device: &str, command: &str, at: SimTime) -> Decision;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_is_the_only_proceeding_decision() {
+        assert!(Decision::Allow.allows());
+        assert!(!Decision::Suppress.allows());
+        assert!(!Decision::Defer { delay_ms: 5 }.allows());
+    }
+}

@@ -17,7 +17,7 @@
 //! * **Trigger constraint hoisting** — comparisons on the subscribed event
 //!   value become part of the trigger, everything else forms the condition.
 //!
-//! Entry point: [`extract`].
+//! Entry point: [`extract()`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

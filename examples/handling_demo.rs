@@ -1,0 +1,137 @@
+//! Threat *handling* (paper §IX) on the Fig. 3 Actuator Race.
+//!
+//! Two apps subscribe to the same door contact and issue contradictory
+//! commands to the same window opener. Without mediation the race's final
+//! state depends on the event schedule — the paper's Fig. 3 observation
+//! ("turned on only, turned off only, on then off, off then on"). With the
+//! session's enforcer inline and an `AR -> Priority` handling policy, the
+//! user-ranked rule wins every schedule: the outcome is deterministic.
+//!
+//! Run with: `cargo run -p homeguard-examples --bin handling_demo`
+
+use hg_capability::device_kind::DeviceKind;
+use hg_detector::{ThreatKind, Unification};
+use hg_rules::rule::RuleId;
+use hg_rules::value::Value;
+use hg_sim::Device;
+use homeguard_core::{Home as Session, PolicyTable, RuleStore};
+use std::collections::BTreeMap;
+
+const VENT_ON_ENTRY: &str = r#"
+definition(name: "VentOnEntry")
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { w.on() }
+"#;
+
+const RAIN_GUARD: &str = r#"
+definition(name: "RainGuard")
+input "d", "capability.contactSensor"
+input "w", "capability.switch", title: "window opener"
+def installed() { subscribe(d, "contact.open", h) }
+def h(evt) { w.off() }
+"#;
+
+const DOOR: &str = "type:contactSensor/unknown";
+const WINDOW: &str = "type:switch/windowOpener";
+
+fn sim_home(seed: u64, session: &Session, unify: &Unification) -> hg_sim::Home {
+    let mut home = hg_sim::Home::new(seed);
+    home.add_device(Device::new(
+        DOOR,
+        "front door",
+        "contactSensor",
+        DeviceKind::Unknown,
+    ));
+    home.add_device(Device::new(
+        WINDOW,
+        "window opener",
+        "switch",
+        DeviceKind::WindowOpener,
+    ));
+    for rule in session.installed_rules() {
+        home.install_rule(unify.unify_rule(rule));
+    }
+    home
+}
+
+fn outcomes_over_seeds(
+    session: &Session,
+    unify: &Unification,
+    enforcer: Option<&homeguard_core::SharedEnforcer>,
+) -> BTreeMap<String, usize> {
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    for seed in 0..24 {
+        let mut home = sim_home(seed, session, unify);
+        if let Some(enforcer) = enforcer {
+            enforcer.begin_run();
+            home.set_mediator(enforcer.mediator());
+        }
+        home.stimulate(DOOR, "contact", Value::sym("open"));
+        let final_state = home
+            .attr(WINDOW, "switch")
+            .map(|v| v.to_string())
+            .unwrap_or_default();
+        *outcomes.entry(final_state).or_default() += 1;
+    }
+    outcomes
+}
+
+fn main() {
+    // The user ranks RainGuard (close the window) above VentOnEntry.
+    let table = PolicyTable::default()
+        .prioritize([RuleId::new("RainGuard", 0), RuleId::new("VentOnEntry", 0)]);
+    let mut session = Session::builder(RuleStore::shared())
+        .handling_policy(table)
+        .build();
+    session
+        .install_app_forced(VENT_ON_ENTRY, "VentOnEntry", None)
+        .expect("extracts");
+    let report = session
+        .install_app_forced(RAIN_GUARD, "RainGuard", None)
+        .expect("extracts");
+    println!("=== Install-time detection (Fig. 3 Actuator Race) ===");
+    for threat in &report.threats {
+        println!("  {threat}");
+    }
+    assert!(report
+        .threats
+        .iter()
+        .any(|t| t.kind == ThreatKind::ActuatorRace));
+
+    let unify = Unification::ByType;
+
+    println!("\n=== Unmediated: the race's final state is schedule-dependent ===");
+    let unmediated = outcomes_over_seeds(&session, &unify, None);
+    for (outcome, count) in &unmediated {
+        println!("  {count:>2}x window ends {outcome}");
+    }
+    assert!(
+        unmediated.len() > 1,
+        "the unmediated race must be nondeterministic"
+    );
+
+    println!("\n=== Mediated (AR -> Priority): RainGuard wins every schedule ===");
+    let enforcer = session.enforcer();
+    let mediated = outcomes_over_seeds(&session, &unify, Some(&enforcer));
+    for (outcome, count) in &mediated {
+        println!("  {count:>2}x window ends {outcome}");
+    }
+    assert_eq!(mediated.len(), 1, "mediated outcome must be deterministic");
+    assert!(mediated.contains_key("off"), "the ranked winner closes it");
+
+    let journal = enforcer.journal();
+    println!("\n=== Decision journal (first 3 of {}) ===", journal.len());
+    for decision in journal.entries().iter().take(3) {
+        println!("  {decision}");
+    }
+    let stats = enforcer.stats();
+    println!(
+        "\nmediation effort: {} events seen, {} mediated, {}ns mean decision latency",
+        stats.events,
+        stats.mediated,
+        stats.mean_latency_ns()
+    );
+    println!("\nhandling_demo: OK");
+}

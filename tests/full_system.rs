@@ -217,11 +217,8 @@ fn covert_chain_unlocks_door_in_simulator() {
     // outlet timeout later re-locks it via the same chain, so assert on the
     // trace: the door WAS unlocked while the burglar stood outside.)
     assert!(
-        home.trace.iter().any(|t| matches!(
-            t,
-            hg_sim::TraceEntry::Attr { device, attribute, value, .. }
-                if device == "door-1" && attribute == "lock" && *value == Value::sym("unlocked")
-        )),
+        home.attr_history("door-1", "lock")
+            .contains(&&Value::sym("unlocked")),
         "chain never unlocked the door: {:#?}",
         home.trace
     );
