@@ -1,0 +1,100 @@
+//! Fleet throughput bench: installs/sec across a homes × apps grid and
+//! upgrade-propagation latency through `hg-service`.
+//!
+//! This is the perf-trajectory guard for the fleet layer: bulk installs
+//! must amortize extraction through the shared store (one extraction per
+//! app, every further home a cache hit), and a fleet-wide upgrade rollout
+//! must stay incremental per home (candidate-index re-check, not a
+//! from-scratch rebuild).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_corpus::device_control_apps;
+use hg_service::{Fleet, HomeId, RuleStore};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The corpus slice rolled out to every home.
+fn app_slice(apps: usize) -> Vec<(&'static str, &'static str)> {
+    device_control_apps()
+        .iter()
+        .take(apps)
+        .map(|app| (app.name, app.source))
+        .collect()
+}
+
+/// Builds a fleet of `homes` and force-installs `apps` corpus apps into
+/// every home. Returns the fleet and its home ids.
+fn populate(homes: usize, apps: usize) -> (Fleet, Vec<HomeId>) {
+    let fleet = Fleet::builder(RuleStore::shared()).shards(16).build();
+    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
+    for (name, source) in app_slice(apps) {
+        for result in fleet.install_many(&ids, source, name, None).unwrap() {
+            result.1.unwrap();
+        }
+    }
+    (fleet, ids)
+}
+
+fn bench_fleet_throughput(c: &mut Criterion) {
+    // Headline numbers once, outside the timing loops: installs/sec on the
+    // grid and the per-home propagation cost of one upgrade.
+    for (homes, apps) in [(16, 4), (64, 4), (64, 8)] {
+        let started = Instant::now();
+        let (fleet, ids) = populate(homes, apps);
+        let elapsed = started.elapsed();
+        let installs = homes * apps;
+        println!(
+            "fleet {homes:>3} homes x {apps} apps: {installs:>4} installs in {elapsed:>9.2?} \
+             ({:>7.0} installs/sec, {} cache hits)",
+            installs as f64 / elapsed.as_secs_f64(),
+            fleet.store().cache_hits()
+        );
+
+        let (upgrade_name, upgrade_source) = app_slice(1)[0];
+        let v2 = format!("{upgrade_source}\n// fleet v2\n");
+        let started = Instant::now();
+        let rollout = fleet.propagate_upgrade(&v2, upgrade_name).unwrap();
+        let elapsed = started.elapsed();
+        let touched = rollout.upgraded.len() + rollout.pending.len();
+        assert_eq!(touched, homes, "every home runs the first corpus app");
+        println!(
+            "  upgrade propagation: {touched} homes re-checked in {elapsed:.2?} \
+             ({:.0} homes/sec, {} clean / {} pending)",
+            touched as f64 / elapsed.as_secs_f64(),
+            rollout.upgraded.len(),
+            rollout.pending.len()
+        );
+        drop(ids);
+    }
+
+    let mut group = c.benchmark_group("fleet_throughput");
+    group.sample_size(10);
+    group.bench_function("install_grid_16x4", |b| {
+        b.iter(|| black_box(populate(16, 4)))
+    });
+
+    // Upgrade propagation over a standing fleet, alternating two versions
+    // so every iteration really re-checks each home.
+    let (fleet, _ids) = populate(64, 4);
+    let (name, source) = app_slice(1)[0];
+    let versions = [
+        format!("{source}\n// alt A\n"),
+        format!("{source}\n// alt B\n"),
+    ];
+    let mut round = 0usize;
+    group.bench_function("propagate_upgrade_64_homes", |b| {
+        b.iter(|| {
+            let v = &versions[round % 2];
+            round += 1;
+            black_box(fleet.propagate_upgrade(v, name).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet_throughput
+}
+criterion_main!(benches);

@@ -90,9 +90,14 @@ pub fn interpret_witness(witness: &Assignment) -> String {
 /// (Fig. 7b).
 pub fn interpret_report(report: &InstallReport) -> String {
     let mut out = String::new();
+    let verb = if report.is_upgrade() {
+        "Upgrading"
+    } else {
+        "Installing"
+    };
     let _ = writeln!(
         out,
-        "Installing `{}` — {} rule(s):",
+        "{verb} `{}` — {} rule(s):",
         report.app,
         report.rules.len()
     );
@@ -234,11 +239,29 @@ mod tests {
             stats: Default::default(),
             installed: false,
             config: None,
+            replaces: None,
         };
         let text = interpret_report(&report);
         assert!(
             text.contains("No cross-app interference detected"),
             "{text}"
         );
+        assert!(text.starts_with("Installing"), "{text}");
+    }
+
+    #[test]
+    fn upgrade_report_text() {
+        let report = InstallReport {
+            app: "Mini".into(),
+            rules: vec![sample_rule()],
+            threats: vec![],
+            chains: vec![],
+            stats: Default::default(),
+            installed: false,
+            config: None,
+            replaces: Some("Mini".into()),
+        };
+        let text = interpret_report(&report);
+        assert!(text.starts_with("Upgrading"), "{text}");
     }
 }

@@ -17,16 +17,26 @@
 //! user values, the Allowed list); everything app-specific but
 //! home-independent lives in the store, shared across every home the
 //! process serves.
+//!
+//! Since the fleet redesign the session carries the **full app
+//! lifecycle**: [`install_app`](Home::install_app) →
+//! [`confirm_install`](Home::confirm_install) →
+//! [`upgrade_app`](Home::upgrade_app) →
+//! [`uninstall_app`](Home::uninstall_app). Uninstall and upgrade retract
+//! incrementally — rules are unposted from the candidate index, Allowed
+//! threats involving the app are retired, and the compiled
+//! [`MediationIndex`] follows suit — so a lifecycle-churned home is
+//! indistinguishable from one freshly built in its final state.
 
+use crate::error::HgError;
 use crate::store::RuleStore;
 use hg_config::ConfigInfo;
 use hg_detector::{
     find_chains, Chain, DetectStats, DetectionEngine, Detector, Edge, Threat, Unification,
 };
-use hg_rules::rule::Rule;
+use hg_rules::rule::{Rule, RuleId};
 use hg_rules::value::Value;
-use hg_runtime::{Enforcer, PolicyTable, SharedEnforcer};
-use hg_symexec::ExtractError;
+use hg_runtime::{Enforcer, MediationIndex, PolicyTable, SharedEnforcer};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -112,10 +122,12 @@ impl HomeBuilder {
             bindings: BTreeMap::new(),
             values: BTreeMap::new(),
             allowed: Vec::new(),
+            apps: Vec::new(),
             modes: self.modes,
             policy: self.policy,
             chain_depth: self.chain_depth,
             handling: self.handling,
+            mediation: None,
         };
         for info in &self.config {
             home.absorb_config(info);
@@ -136,11 +148,22 @@ pub struct Home {
     values: BTreeMap<(String, String), Value>,
     /// Pairwise interferences the user accepted (the Allowed list, §VI-D).
     allowed: Vec<Threat>,
+    /// Confirmed-installed app names, in first-install order. Tracked
+    /// explicitly (not derived from installed rules) so an app that
+    /// extracts to zero rules — e.g. a pure web-service endpoint app —
+    /// still has a full lifecycle: it shows in [`Home::installed_apps`],
+    /// double-installs are refused, and uninstall/upgrade find it.
+    apps: Vec<String>,
     modes: Vec<String>,
     policy: UnificationPolicy,
     chain_depth: usize,
     /// Runtime handling policies for the session's enforcer.
     handling: PolicyTable,
+    /// The compiled mediation points of the current Allowed list, kept
+    /// between [`Home::enforcer`] calls. Lifecycle mutations either update
+    /// it incrementally (uninstall retires the app's points in place) or
+    /// invalidate it for lazy recompilation.
+    mediation: Option<MediationIndex>,
 }
 
 /// The outcome of an installation attempt, shown to the user by the
@@ -164,6 +187,9 @@ pub struct InstallReport {
     /// permanently only on confirmation, so a rejected install leaves the
     /// configuration recorder untouched.
     pub config: Option<ConfigInfo>,
+    /// For an upgrade report: the installed app this install replaces on
+    /// confirmation (its rules and Allowed threats are retired first).
+    pub replaces: Option<String>,
 }
 
 impl InstallReport {
@@ -171,6 +197,22 @@ impl InstallReport {
     pub fn is_clean(&self) -> bool {
         self.threats.is_empty() && self.chains.is_empty()
     }
+
+    /// Whether this report stages an upgrade of an installed app.
+    pub fn is_upgrade(&self) -> bool {
+        self.replaces.is_some()
+    }
+}
+
+/// The outcome of an app uninstall: what was retracted from the session.
+#[derive(Debug, Clone)]
+pub struct UninstallReport {
+    /// The app removed.
+    pub app: String,
+    /// Identities of the retracted rules, in install order.
+    pub removed_rules: Vec<RuleId>,
+    /// Allowed-list threats retired because they involved the app.
+    pub retired_threats: usize,
 }
 
 impl Home {
@@ -232,16 +274,23 @@ impl Home {
     pub fn record_config(&mut self, info: &ConfigInfo) {
         self.absorb_config(info);
         self.engine.reconfigure(self.detector());
+        // Rebinding changes actuator identities, so compiled mediation
+        // points are stale.
+        self.mediation = None;
     }
 
     /// Checks an app (already ingested into the store, with configuration
     /// recorded) against the installed apps. Does **not** install it — the
     /// user decides based on the report.
-    pub fn check_install(&self, app: &str) -> InstallReport {
-        let rules = self.store.rules_of(app).unwrap_or_default();
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownApp`] / [`HgError::Parse`] from the store lookup.
+    pub fn check_install(&self, app: &str) -> Result<InstallReport, HgError> {
+        let rules = self.store.rules_of(app)?;
         let (threats, stats) = self.engine.check(&rules);
-        let chains = self.chains_for(app, &threats);
-        InstallReport {
+        let chains = self.chains_for(app, &threats, None);
+        Ok(InstallReport {
             app: app.to_string(),
             rules,
             threats,
@@ -249,17 +298,22 @@ impl Home {
             stats,
             installed: false,
             config: None,
-        }
+            replaces: None,
+        })
     }
 
     /// Batch check: the verdicts a user would see installing `apps` in
     /// order (each member is checked against the installed population plus
     /// the preceding batch members). Nothing is installed.
-    pub fn check_install_many(&self, apps: &[&str]) -> Vec<InstallReport> {
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownApp`] / [`HgError::Parse`] for any batch member.
+    pub fn check_install_many(&self, apps: &[&str]) -> Result<Vec<InstallReport>, HgError> {
         let rule_sets: Vec<Vec<Rule>> = apps
             .iter()
-            .map(|app| self.store.rules_of(app).unwrap_or_default())
-            .collect();
+            .map(|app| self.store.rules_of(app))
+            .collect::<Result<_, _>>()?;
         let borrowed: Vec<&[Rule]> = rule_sets.iter().map(Vec::as_slice).collect();
         let raw = self.engine.check_many(&borrowed);
         let mut allowed_edges = Edge::from_threats(&self.allowed);
@@ -279,16 +333,25 @@ impl Home {
                 stats,
                 installed: false,
                 config: None,
+                replaces: None,
             });
         }
-        out
+        Ok(out)
     }
 
     /// Chained detection through the Allowed list (§VI-D): edges from the
-    /// new findings plus the user-allowed historical pairs.
-    fn chains_for(&self, app: &str, threats: &[Threat]) -> Vec<Chain> {
+    /// new findings plus the user-allowed historical pairs. For upgrade
+    /// staging, `exclude` drops the replaced version's pairs — they refer
+    /// to rules that will be retired on confirmation.
+    fn chains_for(&self, app: &str, threats: &[Threat], exclude: Option<&str>) -> Vec<Chain> {
         let mut edges = Edge::from_threats(threats);
-        edges.extend(Edge::from_threats(&self.allowed));
+        let historical: Vec<Threat> = self
+            .allowed
+            .iter()
+            .filter(|t| exclude.is_none_or(|gone| t.source.app != gone && t.target.app != gone))
+            .cloned()
+            .collect();
+        edges.extend(Edge::from_threats(&historical));
         find_chains(&edges, self.chain_depth)
             .into_iter()
             .filter(|c| c.rules.iter().any(|r| r.app == app))
@@ -297,15 +360,197 @@ impl Home {
 
     /// The user decided to install despite the report: the staged
     /// configuration (if any) is recorded permanently, rules are recorded,
-    /// and the reported pairwise threats move to the Allowed list.
-    pub fn confirm_install(&mut self, mut report: InstallReport) -> InstallReport {
+    /// and the reported pairwise threats move to the Allowed list. For an
+    /// upgrade report, the replaced version is retired first.
+    ///
+    /// # Errors
+    ///
+    /// A report can go stale between staging and confirmation:
+    /// [`HgError::AlreadyInstalled`] when a plain install's app was
+    /// confirmed meanwhile (confirming the same report twice would install
+    /// duplicate rules under one identity);
+    /// [`HgError::UnconfirmedInstall`] when an upgrade report's app was
+    /// uninstalled meanwhile (confirming would resurrect it).
+    pub fn confirm_install(&mut self, mut report: InstallReport) -> Result<InstallReport, HgError> {
+        match report.replaces.clone() {
+            Some(old) => {
+                if !self.is_installed(&old) {
+                    return Err(HgError::UnconfirmedInstall(old));
+                }
+                self.retire_app(&old);
+            }
+            None => {
+                if self.is_installed(&report.app) {
+                    return Err(HgError::AlreadyInstalled(report.app));
+                }
+            }
+        }
         if let Some(info) = &report.config {
             self.record_config(info);
         }
         self.engine.install_rules(report.rules.iter());
         self.allowed.extend(report.threats.iter().cloned());
+        if !self.apps.contains(&report.app) {
+            self.apps.push(report.app.clone());
+        }
+        self.mediation = None;
         report.installed = true;
-        report
+        Ok(report)
+    }
+
+    /// Removes a confirmed app from the session: its rules are unposted
+    /// from the detection index, its Allowed-list threats retired, and its
+    /// compiled mediation points dropped. Recorded configuration for the
+    /// app is forgotten (its device slots no longer exist), which may
+    /// change how *other* apps' slots unify from now on — exactly as if
+    /// the app had never been installed.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnconfirmedInstall`] when the app is in the store but was
+    /// never confirmed into this home; [`HgError::UnknownApp`] when the
+    /// store has never heard of it either.
+    pub fn uninstall_app(&mut self, app: &str) -> Result<UninstallReport, HgError> {
+        if !self.is_installed(app) {
+            return Err(self.not_installed_error(app));
+        }
+        let (removed_rules, retired_threats) = self.retire_app(app);
+        let recorder_touched = self.bindings.keys().any(|(a, _)| a == app)
+            || self.values.keys().any(|(a, _)| a == app);
+        if recorder_touched {
+            self.bindings.retain(|(a, _), _| a != app);
+            self.values.retain(|(a, _), _| a != app);
+            self.engine.reconfigure(self.detector());
+            self.mediation = None;
+        }
+        Ok(UninstallReport {
+            app: app.to_string(),
+            removed_rules,
+            retired_threats,
+        })
+    }
+
+    /// Stages an upgrade: the new source is **published to the shared
+    /// store** (extracted once — upgrades model a store-side app update,
+    /// so the store serves v2 from here on, to every home), checked
+    /// against this home's installed population *minus the currently
+    /// installed version*, and — like [`Home::install_app`] —
+    /// auto-confirmed only when clean. A dirty report comes back with
+    /// [`installed == false`](InstallReport::installed) and
+    /// [`replaces`](InstallReport::replaces) set; [`Home::confirm_install`]
+    /// commits it (retiring the old version first), dropping it rejects the
+    /// upgrade and leaves *this home* running its installed v1 copy (the
+    /// engine keeps its own rules; only fresh checks see the store's v2).
+    ///
+    /// Recorded configuration **persists across upgrades** (as app stores
+    /// do): bindings and user values keyed by input name carry over, so a
+    /// later version reintroducing an input gets the user's remembered
+    /// binding. Pass `config` to rebind; uninstall + install to forget.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnconfirmedInstall`] / [`HgError::UnknownApp`] when `name`
+    /// is not a confirmed install; [`HgError::UpgradeRenames`] when the new
+    /// source declares a different app name; [`HgError::Extract`] from
+    /// extraction.
+    pub fn upgrade_app(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        let report = self.stage_upgrade(source, name, config)?;
+        if report.is_clean() {
+            self.confirm_install(report)
+        } else {
+            Ok(report)
+        }
+    }
+
+    /// [`Home::upgrade_app`] with unconditional confirmation (the scripted-
+    /// experiment path).
+    ///
+    /// # Errors
+    ///
+    /// As [`Home::upgrade_app`].
+    pub fn upgrade_app_forced(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        let report = self.stage_upgrade(source, name, config)?;
+        self.confirm_install(report)
+    }
+
+    fn stage_upgrade(
+        &mut self,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        if !self.is_installed(name) {
+            // Checked before ingest so a *misdirected* upgrade cannot
+            // publish v2 store-wide. A well-directed upgrade does publish
+            // before this home's verdict — that is the store-update model
+            // (the market already carries v2; each home decides when to
+            // move), not an accident: a rejecting home keeps running its
+            // own v1 rule copies while the store serves v2 to new checks.
+            return Err(self.not_installed_error(name));
+        }
+        let analysis = self.store.ingest_as(source, name)?;
+        // Stage under the upgrade's configuration, against the live
+        // population with the old version masked out — no engine clone,
+        // no mutation: rejecting the dirty report leaves the session
+        // untouched by construction.
+        let saved = config.map(|info| {
+            let snapshot = (self.bindings.clone(), self.values.clone());
+            self.record_config(info);
+            snapshot
+        });
+        let rules = analysis.rules.clone();
+        let (threats, stats) = self.engine.check_excluding(&rules, name);
+        let chains = self.chains_for(name, &threats, Some(name));
+        if let Some((bindings, values)) = saved {
+            self.bindings = bindings;
+            self.values = values;
+            self.engine.reconfigure(self.detector());
+            self.mediation = None;
+        }
+        Ok(InstallReport {
+            app: name.to_string(),
+            rules,
+            threats,
+            chains,
+            stats,
+            installed: false,
+            config: config.cloned(),
+            replaces: Some(name.to_string()),
+        })
+    }
+
+    /// Retracts an app's rules from the engine, retires its Allowed
+    /// threats, and updates the compiled mediation points (incrementally
+    /// when a compiled index is live).
+    fn retire_app(&mut self, app: &str) -> (Vec<RuleId>, usize) {
+        let removed_rules = self.engine.remove_app(app);
+        let before = self.allowed.len();
+        self.allowed
+            .retain(|t| t.source.app != app && t.target.app != app);
+        let retired_threats = before - self.allowed.len();
+        self.apps.retain(|a| a != app);
+        if let Some(index) = &mut self.mediation {
+            index.remove_app(app);
+        }
+        (removed_rules, retired_threats)
+    }
+
+    fn not_installed_error(&self, app: &str) -> HgError {
+        if self.store.has_app(app) {
+            HgError::UnconfirmedInstall(app.to_string())
+        } else {
+            HgError::UnknownApp(app.to_string())
+        }
     }
 
     /// Ingests + records configuration + checks, and **confirms only if
@@ -316,16 +561,18 @@ impl Home {
     ///
     /// # Errors
     ///
-    /// Propagates extraction failures.
+    /// [`HgError::Extract`] from extraction;
+    /// [`HgError::AlreadyInstalled`] when the app's installation is already
+    /// confirmed in this home (use [`Home::upgrade_app`] to replace it).
     pub fn install_app(
         &mut self,
         source: &str,
         name: &str,
         config: Option<&ConfigInfo>,
-    ) -> Result<InstallReport, ExtractError> {
+    ) -> Result<InstallReport, HgError> {
         let report = self.stage_install(source, name, config)?;
         if report.is_clean() {
-            Ok(self.confirm_install(report))
+            self.confirm_install(report)
         } else {
             Ok(report)
         }
@@ -338,15 +585,15 @@ impl Home {
     ///
     /// # Errors
     ///
-    /// Propagates extraction failures.
+    /// As [`Home::install_app`].
     pub fn install_app_forced(
         &mut self,
         source: &str,
         name: &str,
         config: Option<&ConfigInfo>,
-    ) -> Result<InstallReport, ExtractError> {
+    ) -> Result<InstallReport, HgError> {
         let report = self.stage_install(source, name, config)?;
-        Ok(self.confirm_install(report))
+        self.confirm_install(report)
     }
 
     /// Ingests and checks under the staged configuration, then restores
@@ -358,27 +605,51 @@ impl Home {
         source: &str,
         name: &str,
         config: Option<&ConfigInfo>,
-    ) -> Result<InstallReport, ExtractError> {
+    ) -> Result<InstallReport, HgError> {
+        if self.is_installed(name) {
+            // Checked before ingest, like stage_upgrade: a refused
+            // re-install must not silently replace the app's rule file in
+            // the shared store for every other home.
+            return Err(HgError::AlreadyInstalled(name.to_string()));
+        }
         let analysis = self.store.ingest(source, name)?;
         let app_name = analysis.name.clone();
+        if self.is_installed(&app_name) {
+            // The source declared a name other than the fallback it was
+            // submitted under, and THAT app is installed here.
+            return Err(HgError::AlreadyInstalled(app_name));
+        }
         let saved = config.map(|info| {
             let snapshot = (self.bindings.clone(), self.values.clone());
             self.record_config(info);
             snapshot
         });
-        let mut report = self.check_install(&app_name);
-        report.config = config.cloned();
+        let report = self.check_install(&app_name);
         if let Some((bindings, values)) = saved {
             self.bindings = bindings;
             self.values = values;
             self.engine.reconfigure(self.detector());
+            self.mediation = None;
         }
+        let mut report = report?;
+        report.config = config.cloned();
         Ok(report)
     }
 
     /// All installed rules, in install order.
     pub fn installed_rules(&self) -> Vec<&Rule> {
         self.engine.installed_rules().collect()
+    }
+
+    /// Names of the confirmed-installed apps, in first-install order —
+    /// including apps whose extraction yielded zero rules.
+    pub fn installed_apps(&self) -> Vec<String> {
+        self.apps.clone()
+    }
+
+    /// Whether `app`'s installation is confirmed in this home.
+    pub fn is_installed(&self, app: &str) -> bool {
+        self.apps.iter().any(|a| a == app)
     }
 
     /// The Allowed list.
@@ -405,15 +676,28 @@ impl Home {
     /// candidates, and handled per the session's
     /// [`PolicyTable`] — so "allowed" means *mediated at runtime*, not
     /// *ignored*.
-    pub fn enforcer(&self) -> SharedEnforcer {
+    pub fn enforcer(&mut self) -> SharedEnforcer {
+        SharedEnforcer::new(Enforcer::new(self.mediation_index().clone()))
+    }
+
+    /// The compiled mediation points of the current Allowed list, cached
+    /// between calls. Lifecycle mutations keep the cache honest: uninstall
+    /// retires the app's points in place, installs/upgrades/rebinding
+    /// invalidate it for recompilation here.
+    pub fn mediation_index(&mut self) -> &MediationIndex {
+        if self.mediation.is_none() {
+            self.mediation = Some(self.compile_mediation());
+        }
+        match &self.mediation {
+            Some(index) => index,
+            None => unreachable!("mediation cache populated above"),
+        }
+    }
+
+    fn compile_mediation(&self) -> MediationIndex {
         let rules: Vec<Rule> = self.installed_rules().into_iter().cloned().collect();
         let unification = self.detector().unification;
-        SharedEnforcer::new(Enforcer::from_threats(
-            &self.allowed,
-            &rules,
-            &unification,
-            &self.handling,
-        ))
+        MediationIndex::compile(&self.allowed, &rules, &unification, &self.handling)
     }
 }
 
@@ -461,7 +745,7 @@ def h(evt) { lamp.off() }
         assert_eq!(home.installed_rules().len(), 1, "OffApp not recorded yet");
         assert!(home.allowed().is_empty());
 
-        let report = home.confirm_install(report);
+        let report = home.confirm_install(report).unwrap();
         assert!(report.installed);
         assert_eq!(home.installed_rules().len(), 2);
         assert!(
@@ -518,7 +802,7 @@ def h(evt) { lamp.off() }
         drop(report); // user rejects the app
 
         // Under restored by-type unification the race must still surface.
-        let check = home.check_install("OffApp");
+        let check = home.check_install("OffApp").unwrap();
         assert!(
             check
                 .threats
@@ -541,11 +825,11 @@ def h(evt) { lamp.off() }
             .bind_device("lamp", "lamp-1");
         let report = home.install_app(OFF_APP, "OffApp", Some(&cfg_b)).unwrap();
         assert!(!report.installed);
-        let report = home.confirm_install(report);
+        let report = home.confirm_install(report).unwrap();
         assert!(report.installed);
         // Both apps' bindings are now permanent: a same-lamp re-check of a
         // third identical app still races under bindings unification.
-        let check = home.check_install("OffApp");
+        let check = home.check_install("OffApp").unwrap();
         assert!(
             check
                 .threats
@@ -667,12 +951,283 @@ def h(evt) { if (location.mode == "Home") { door.unlock() } }
     }
 
     #[test]
+    fn zero_rule_apps_have_a_full_lifecycle() {
+        // A pure web-service endpoint app extracts to zero rules; it must
+        // still install, show as installed, refuse a double install, and
+        // uninstall cleanly.
+        let endpoint = r#"
+definition(name: "WebOnly")
+input "lamp", "capability.switch", title: "lamp"
+"#;
+        let mut home = Home::new(RuleStore::shared());
+        let report = home.install_app(endpoint, "WebOnly", None).unwrap();
+        assert!(report.installed);
+        assert!(report.rules.is_empty());
+        assert!(home.is_installed("WebOnly"));
+        assert_eq!(home.installed_apps(), vec!["WebOnly".to_string()]);
+        assert!(matches!(
+            home.install_app(endpoint, "WebOnly", None),
+            Err(HgError::AlreadyInstalled(_))
+        ));
+        let removed = home.uninstall_app("WebOnly").unwrap();
+        assert!(removed.removed_rules.is_empty());
+        assert!(!home.is_installed("WebOnly"));
+        assert!(home.installed_apps().is_empty());
+    }
+
+    #[test]
+    fn stale_reports_cannot_be_confirmed_twice() {
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        let report = home.install_app(OFF_APP, "OffApp", None).unwrap();
+        assert!(!report.installed);
+        let confirmed = home.confirm_install(report.clone()).unwrap();
+        assert!(confirmed.installed);
+        // Confirming the same report again would duplicate OffApp's rules
+        // under one identity.
+        assert!(matches!(
+            home.confirm_install(report),
+            Err(HgError::AlreadyInstalled(app)) if app == "OffApp"
+        ));
+        assert_eq!(home.installed_rules().len(), 2);
+
+        // An upgrade report goes stale when its app is uninstalled before
+        // confirmation: confirming would resurrect it.
+        let v2 = OFF_APP.replace("lamp.off()", "lamp.on()");
+        let upgrade = home.upgrade_app(&v2, "OffApp", None).unwrap();
+        assert!(upgrade.installed, "v2 agrees with OnApp: clean upgrade");
+        let stale = home.upgrade_app(OFF_APP, "OffApp", None).unwrap();
+        assert!(!stale.installed, "back to racing: dirty");
+        home.uninstall_app("OffApp").unwrap();
+        assert!(matches!(
+            home.confirm_install(stale),
+            Err(HgError::UnconfirmedInstall(app)) if app == "OffApp"
+        ));
+        assert_eq!(home.installed_apps(), vec!["OnApp".to_string()]);
+    }
+
+    #[test]
+    fn double_install_is_a_typed_error() {
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        assert!(matches!(
+            home.install_app(ON_APP, "OnApp", None),
+            Err(HgError::AlreadyInstalled(app)) if app == "OnApp"
+        ));
+        assert_eq!(home.installed_rules().len(), 1);
+    }
+
+    #[test]
+    fn refused_reinstall_does_not_touch_the_store() {
+        // A refused re-install must not silently replace the app's rule
+        // file in the shared store: other homes would start seeing the
+        // rejected source's rules.
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        let modified = ON_APP.replace("lamp.on()", "lamp.off()");
+        assert!(matches!(
+            home.install_app(&modified, "OnApp", None),
+            Err(HgError::AlreadyInstalled(_))
+        ));
+        assert_eq!(
+            home.store().rules_of("OnApp").unwrap()[0].actions[0].command,
+            "on",
+            "the store must still serve the installed version"
+        );
+    }
+
+    #[test]
+    fn uninstall_retracts_rules_threats_and_mediation_points() {
+        let mut home = Home::builder(RuleStore::shared())
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        home.install_app_forced(ON_APP, "OnApp", None).unwrap();
+        home.install_app_forced(OFF_APP, "OffApp", None).unwrap();
+        assert!(!home.allowed().is_empty());
+        assert!(!home.mediation_index().is_empty());
+
+        let report = home.uninstall_app("OffApp").unwrap();
+        assert_eq!(report.removed_rules, vec![RuleId::new("OffApp", 0)]);
+        assert_eq!(report.retired_threats, 1);
+        assert_eq!(home.installed_apps(), vec!["OnApp".to_string()]);
+        assert!(home.allowed().is_empty());
+        // The uninstalled app's rules produce zero mediation points.
+        assert!(home.mediation_index().is_empty());
+        assert_eq!(
+            home.mediation_index()
+                .points_for_rule(&RuleId::new("OffApp", 0))
+                .count(),
+            0
+        );
+
+        // A re-check of OffApp sees the race again (OnApp is still there),
+        // and a fresh install is no longer AlreadyInstalled.
+        let check = home.check_install("OffApp").unwrap();
+        assert!(check
+            .threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::ActuatorRace));
+        let report = home.install_app(OFF_APP, "OffApp", None).unwrap();
+        assert!(!report.installed, "dirty install awaits the user again");
+    }
+
+    #[test]
+    fn uninstall_of_unknown_targets_is_typed() {
+        let mut home = Home::new(RuleStore::shared());
+        assert!(matches!(
+            home.uninstall_app("Ghost"),
+            Err(HgError::UnknownApp(app)) if app == "Ghost"
+        ));
+        // In the store (another home ingested it) but never confirmed here:
+        home.store().ingest(ON_APP, "OnApp").unwrap();
+        assert!(matches!(
+            home.uninstall_app("OnApp"),
+            Err(HgError::UnconfirmedInstall(app)) if app == "OnApp"
+        ));
+    }
+
+    #[test]
+    fn uninstall_forgets_the_apps_recorded_config() {
+        // OnApp and OffApp bound to different lamps: no race. After OffApp
+        // is uninstalled and reinstalled *without* bindings, Auto
+        // unification must not resurrect its stale recorded slots.
+        let mut home = Home::new(RuleStore::shared());
+        let cfg_a = ConfigInfo::new("OnApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        home.install_app(ON_APP, "OnApp", Some(&cfg_a)).unwrap();
+        let cfg_b = ConfigInfo::new("OffApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-2");
+        let report = home
+            .install_app_forced(OFF_APP, "OffApp", Some(&cfg_b))
+            .unwrap();
+        assert!(
+            !report
+                .threats
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "different lamps cannot race: {:#?}",
+            report.threats
+        );
+
+        home.uninstall_app("OffApp").unwrap();
+        // Unbound OffApp slots now unify with OnApp's recorded lamp by
+        // type... no: OnApp's binding remains, OffApp is unbound, so under
+        // Bindings unification its slot stays a distinct `slot:` key.
+        let check = home.check_install("OffApp").unwrap();
+        assert!(
+            !check
+                .threats
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "{:#?}",
+            check.threats
+        );
+        // Re-binding the reinstall to OnApp's lamp races again.
+        let cfg_b2 = ConfigInfo::new("OffApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        let report = home.install_app(OFF_APP, "OffApp", Some(&cfg_b2)).unwrap();
+        assert!(
+            report
+                .threats
+                .iter()
+                .any(|t| t.kind == ThreatKind::ActuatorRace),
+            "{:#?}",
+            report.threats
+        );
+    }
+
+    #[test]
+    fn clean_upgrade_replaces_rules_in_place() {
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        // v2 flips the command; still the only app, so the upgrade is clean
+        // and auto-confirms.
+        let v2 = ON_APP.replace("lamp.on()", "lamp.off()");
+        let report = home.upgrade_app(&v2, "OnApp", None).unwrap();
+        assert!(report.installed);
+        assert!(report.is_upgrade());
+        assert_eq!(home.installed_rules().len(), 1);
+        assert_eq!(home.installed_rules()[0].actions[0].command, "off");
+    }
+
+    #[test]
+    fn dirty_upgrade_waits_for_confirmation_and_rollback_is_clean() {
+        // OnApp + LeakApp (unrelated) installed; upgrading LeakApp to a
+        // lamp-racing v2 is dirty: the report waits, the old version stays.
+        let leak = r#"
+definition(name: "LeakApp")
+input "leak", "capability.waterSensor"
+input "valve", "capability.valve"
+def installed() { subscribe(leak, "water.wet", h) }
+def h(evt) { valve.close() }
+"#;
+        let leak_v2 = r#"
+definition(name: "LeakApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        home.install_app(leak, "LeakApp", None).unwrap();
+
+        let report = home.upgrade_app(leak_v2, "LeakApp", None).unwrap();
+        assert!(!report.installed, "dirty upgrade must wait");
+        assert!(report
+            .threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::ActuatorRace));
+        // Rejecting leaves the old version running.
+        assert_eq!(home.installed_rules().len(), 2);
+        assert_eq!(
+            home.installed_rules()[1].actions[0].command,
+            "close",
+            "old LeakApp v1 must still be installed"
+        );
+
+        // Confirming retires v1 and installs v2; the race joins Allowed.
+        let report = home.upgrade_app(leak_v2, "LeakApp", None).unwrap();
+        let report = home.confirm_install(report).unwrap();
+        assert!(report.installed);
+        assert_eq!(home.installed_rules().len(), 2);
+        assert_eq!(home.installed_rules()[1].actions[0].command, "off");
+        assert_eq!(home.allowed().len(), 1);
+    }
+
+    #[test]
+    fn upgrade_errors_are_typed() {
+        let mut home = Home::new(RuleStore::shared());
+        assert!(matches!(
+            home.upgrade_app(ON_APP, "OnApp", None),
+            Err(HgError::UnknownApp(_))
+        ));
+        home.store().ingest(ON_APP, "OnApp").unwrap();
+        assert!(matches!(
+            home.upgrade_app(ON_APP, "OnApp", None),
+            Err(HgError::UnconfirmedInstall(_))
+        ));
+        // A renaming upgrade is refused before touching the session.
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        let renamed = ON_APP.replace("OnApp", "OtherApp");
+        assert!(matches!(
+            home.upgrade_app(&renamed, "OnApp", None),
+            Err(HgError::UpgradeRenames { .. })
+        ));
+        assert_eq!(home.installed_apps(), vec!["OnApp".to_string()]);
+    }
+
+    #[test]
     fn check_install_many_matches_sequential_installs() {
         let store = RuleStore::shared();
         store.ingest(ON_APP, "OnApp").unwrap();
         store.ingest(OFF_APP, "OffApp").unwrap();
         let home = Home::builder(store.clone()).build();
-        let reports = home.check_install_many(&["OnApp", "OffApp"]);
+        let reports = home.check_install_many(&["OnApp", "OffApp"]).unwrap();
         assert_eq!(reports.len(), 2);
         assert!(reports[0].is_clean());
         assert!(reports[1]

@@ -51,17 +51,19 @@
 //! println!("{}", frontend::interpret_report(&report));
 //!
 //! // Accepting the interference records it on the Allowed list.
-//! home.confirm_install(report);
+//! home.confirm_install(report).unwrap();
 //! assert!(!home.allowed().is_empty());
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod frontend;
 pub mod home;
 pub mod store;
 
+pub use error::{HgError, HomeId};
 pub use hg_runtime::{HandlingPolicy, PolicyTable, SharedEnforcer};
-pub use home::{Home, HomeBuilder, InstallReport, UnificationPolicy};
+pub use home::{Home, HomeBuilder, InstallReport, UnificationPolicy, UninstallReport};
 pub use store::RuleStore;

@@ -11,14 +11,15 @@
 //! re-ingesting an unchanged source is a cache hit — one extraction serves
 //! every home installing the same store app.
 
+use crate::error::HgError;
 use hg_rules::json::{rules_from_text, rules_to_text};
 use hg_rules::rule::Rule;
-use hg_symexec::{extract, AppAnalysis, ExtractError, ExtractorConfig};
+use hg_symexec::{extract, AppAnalysis, ExtractorConfig};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// The shared rule database: extraction backend + per-app rule files.
 pub struct RuleStore {
@@ -70,6 +71,19 @@ impl RuleStore {
         Arc::new(RuleStore::new())
     }
 
+    /// Poison recovery: the store's state is a monotonic cache of pure
+    /// extraction results (every write is a whole-entry insert), so a
+    /// panicking writer cannot leave an entry half-updated in a way reads
+    /// can't tolerate. Recover the data instead of propagating the poison
+    /// to every session sharing the store.
+    fn read_inner(&self) -> RwLockReadGuard<'_, StoreInner> {
+        self.inner.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_inner(&self) -> RwLockWriteGuard<'_, StoreInner> {
+        self.inner.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Extracts an app and stores its rule file (the offline part of
     /// HomeGuard). Returns the analysis.
     ///
@@ -82,79 +96,122 @@ impl RuleStore {
     ///
     /// # Errors
     ///
-    /// Propagates extraction failures.
-    pub fn ingest(
+    /// [`HgError::Extract`] when symbolic extraction of the source fails.
+    pub fn ingest(&self, source: &str, fallback_name: &str) -> Result<Arc<AppAnalysis>, HgError> {
+        self.ingest_checked(source, fallback_name, false)
+    }
+
+    /// [`ingest`](RuleStore::ingest) that **persists only if** the source
+    /// actually declares `name` — the upgrade submission path. A source
+    /// declaring a different app name is refused with
+    /// [`HgError::UpgradeRenames`] *before* anything lands in the
+    /// database, so a rejected (possibly attacker-controlled) submission
+    /// cannot publish a new app store-wide as a side effect.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Extract`] from extraction; [`HgError::UpgradeRenames`]
+    /// on a name mismatch.
+    pub fn ingest_as(&self, source: &str, name: &str) -> Result<Arc<AppAnalysis>, HgError> {
+        self.ingest_checked(source, name, true)
+    }
+
+    fn ingest_checked(
         &self,
         source: &str,
-        fallback_name: &str,
-    ) -> Result<Arc<AppAnalysis>, ExtractError> {
+        name: &str,
+        must_match: bool,
+    ) -> Result<Arc<AppAnalysis>, HgError> {
         let fingerprint = {
             let mut h = DefaultHasher::new();
             source.hash(&mut h);
-            fallback_name.hash(&mut h);
+            name.hash(&mut h);
             h.finish()
         };
-        // Fast path under the read lock: same ingest already served.
-        {
-            let inner = self.inner.read().expect("rule store poisoned");
-            if let Some(analysis) = inner.by_fingerprint.get(&fingerprint) {
+        // Fast path under the read lock: same ingest already served. (A
+        // cached analysis was persisted by a prior successful ingest, so
+        // the name check still applies but persistence cannot regress.)
+        let cached = self.read_inner().by_fingerprint.get(&fingerprint).cloned();
+        let analysis = match cached {
+            Some(analysis) => {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(analysis.clone());
+                if must_match && analysis.name != name {
+                    return Err(HgError::UpgradeRenames {
+                        installed: name.to_string(),
+                        new: analysis.name.clone(),
+                    });
+                }
+                return Ok(analysis);
             }
+            None => Arc::new(
+                extract(source, name, &self.config)
+                    .map_err(|error| HgError::extract(name, error))?,
+            ),
+        };
+        if must_match && analysis.name != name {
+            return Err(HgError::UpgradeRenames {
+                installed: name.to_string(),
+                new: analysis.name.clone(),
+            });
         }
-        let analysis = Arc::new(extract(source, fallback_name, &self.config)?);
-        let name = analysis.name.clone();
-        let mut inner = self.inner.write().expect("rule store poisoned");
+        let app = analysis.name.clone();
+        let mut inner = self.write_inner();
         inner
             .database
-            .insert(name.clone(), rules_to_text(&analysis.rules));
+            .insert(app.clone(), rules_to_text(&analysis.rules));
         inner.by_fingerprint.insert(fingerprint, analysis.clone());
-        inner.analyses.insert(name, analysis.clone());
+        inner.analyses.insert(app, analysis.clone());
         Ok(analysis)
     }
 
     /// Queries the stored rules for `app` (the phone app's online request).
-    pub fn rules_of(&self, app: &str) -> Option<Vec<Rule>> {
-        let inner = self.inner.read().expect("rule store poisoned");
-        let text = inner.database.get(app)?;
-        rules_from_text(text).ok()
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownApp`] when `app` was never ingested;
+    /// [`HgError::Parse`] when the stored rule file is corrupt (previously
+    /// swallowed into an empty answer).
+    pub fn rules_of(&self, app: &str) -> Result<Vec<Rule>, HgError> {
+        let inner = self.read_inner();
+        let text = inner
+            .database
+            .get(app)
+            .ok_or_else(|| HgError::UnknownApp(app.to_string()))?;
+        rules_from_text(text).map_err(|detail| HgError::Parse {
+            app: app.to_string(),
+            detail,
+        })
+    }
+
+    /// Whether `app` has been ingested into the database.
+    pub fn has_app(&self, app: &str) -> bool {
+        self.read_inner().database.contains_key(app)
     }
 
     /// The stored analysis for `app`.
     pub fn analysis_of(&self, app: &str) -> Option<Arc<AppAnalysis>> {
-        let inner = self.inner.read().expect("rule store poisoned");
-        inner.analyses.get(app).cloned()
+        self.read_inner().analyses.get(app).cloned()
     }
 
     /// The serialized rule-file size in bytes for `app` (§VIII-C measures
     /// an average of ~6.2 KB per app).
     pub fn rule_file_size(&self, app: &str) -> Option<usize> {
-        let inner = self.inner.read().expect("rule store poisoned");
-        inner.database.get(app).map(String::len)
+        self.read_inner().database.get(app).map(String::len)
     }
 
     /// Names of every ingested app.
     pub fn app_names(&self) -> Vec<String> {
-        let inner = self.inner.read().expect("rule store poisoned");
-        inner.database.keys().cloned().collect()
+        self.read_inner().database.keys().cloned().collect()
     }
 
     /// Number of apps in the database.
     pub fn len(&self) -> usize {
-        self.inner
-            .read()
-            .expect("rule store poisoned")
-            .database
-            .len()
+        self.read_inner().database.len()
     }
 
     /// Whether the database is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner
-            .read()
-            .expect("rule store poisoned")
-            .database
-            .is_empty()
+        self.read_inner().database.is_empty()
     }
 
     /// How many ingests were served from cache (same source, no
@@ -190,10 +247,68 @@ def h(evt) { lamp.on() }
     }
 
     #[test]
-    fn missing_app_is_none() {
+    fn missing_app_is_a_typed_error() {
         let store = RuleStore::new();
-        assert!(store.rules_of("Nope").is_none());
+        assert!(matches!(
+            store.rules_of("Nope"),
+            Err(HgError::UnknownApp(app)) if app == "Nope"
+        ));
+        assert!(!store.has_app("Nope"));
         assert!(store.is_empty());
+    }
+
+    #[test]
+    fn refused_renaming_ingest_publishes_nothing() {
+        // A submission declaring a different app name is rejected BEFORE
+        // anything lands in the shared database — a rejected upgrade must
+        // not publish a new app store-wide as a side effect.
+        let store = RuleStore::new();
+        let renamed = APP.replace("Mini", "Backdoor");
+        assert!(matches!(
+            store.ingest_as(&renamed, "Mini"),
+            Err(HgError::UpgradeRenames { installed, new })
+                if installed == "Mini" && new == "Backdoor"
+        ));
+        assert!(!store.has_app("Backdoor"));
+        assert!(store.is_empty());
+        // The well-named path persists normally.
+        store.ingest_as(APP, "Mini").unwrap();
+        assert!(store.has_app("Mini"));
+    }
+
+    #[test]
+    fn corrupt_rule_file_surfaces_as_parse_error() {
+        // A corrupt database entry used to be swallowed into `None`; now it
+        // is a typed `Parse` error naming the app.
+        let store = RuleStore::new();
+        store
+            .write_inner()
+            .database
+            .insert("Bad".to_string(), "not json".to_string());
+        assert!(matches!(
+            store.rules_of("Bad"),
+            Err(HgError::Parse { app, .. }) if app == "Bad"
+        ));
+    }
+
+    #[test]
+    fn poisoned_store_recovers_instead_of_panicking() {
+        let store = RuleStore::shared();
+        store.ingest(APP, "Mini").unwrap();
+        // A writer panics while holding the write lock...
+        let poisoner = store.clone();
+        std::thread::spawn(move || {
+            let _guard = poisoner.inner.write().unwrap();
+            panic!("writer dies mid-critical-section");
+        })
+        .join()
+        .unwrap_err();
+        assert!(store.inner.is_poisoned());
+        // ...and every accessor keeps serving the cached data.
+        assert_eq!(store.rules_of("Mini").unwrap().len(), 1);
+        assert_eq!(store.len(), 1);
+        store.ingest(APP, "Mini").unwrap();
+        assert!(store.cache_hits() >= 1);
     }
 
     #[test]

@@ -9,18 +9,30 @@
 //! over-approximation of the per-pair action-analysis filters — while
 //! skipping most pair visits, which is what lets one process serve many
 //! homes against a large installed population.
+//!
+//! Since the fleet redesign the engine also supports **retraction**
+//! ([`remove_rules`](DetectionEngine::remove_rules) /
+//! [`remove_app`](DetectionEngine::remove_app)): removed rules are
+//! unposted from the index and their slots tombstoned, so uninstall and
+//! upgrade are as incremental as install. The slot vector self-compacts
+//! once tombstones dominate, keeping long install/uninstall churn from
+//! growing the per-home state without bound.
 
 use crate::engine::Detector;
 use crate::index::{CandidateIndex, PreparedRule};
 use crate::report::{DetectStats, Threat};
-use hg_rules::rule::Rule;
+use hg_rules::rule::{Rule, RuleId};
 
 /// Per-home incremental CAI detection state.
 #[derive(Debug, Clone, Default)]
 pub struct DetectionEngine {
     detector: Detector,
-    installed: Vec<PreparedRule>,
+    /// Slot-addressed installed rules; `None` marks a retracted slot whose
+    /// postings have been removed from the index.
+    installed: Vec<Option<PreparedRule>>,
     index: CandidateIndex,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
 }
 
 impl DetectionEngine {
@@ -31,6 +43,7 @@ impl DetectionEngine {
             detector,
             installed: Vec::new(),
             index: CandidateIndex::new(),
+            live: 0,
         }
     }
 
@@ -45,9 +58,9 @@ impl DetectionEngine {
     /// unified forms and the index postings).
     pub fn reconfigure(&mut self, detector: Detector) {
         self.detector = detector;
-        let rules: Vec<Rule> = self.installed.iter().map(|p| p.orig.clone()).collect();
-        self.installed.clear();
+        let rules: Vec<Rule> = self.installed.drain(..).flatten().map(|p| p.orig).collect();
         self.index.clear();
+        self.live = 0;
         for rule in &rules {
             self.install_rule(rule);
         }
@@ -57,7 +70,8 @@ impl DetectionEngine {
     pub fn install_rule(&mut self, rule: &Rule) {
         let prepared = PreparedRule::prepare(rule, &self.detector.unification);
         self.index.insert(self.installed.len(), &prepared);
-        self.installed.push(prepared);
+        self.installed.push(Some(prepared));
+        self.live += 1;
     }
 
     /// Prepares and posts a batch of rules as installed.
@@ -67,20 +81,68 @@ impl DetectionEngine {
         }
     }
 
+    /// Retracts every installed rule whose identity is in `ids`: postings
+    /// are removed from the candidate index and the slots tombstoned.
+    /// Returns how many rules were removed.
+    pub fn remove_rules(&mut self, ids: &[RuleId]) -> usize {
+        self.retract(|rule| ids.contains(&rule.id)).len()
+    }
+
+    /// Retracts every installed rule belonging to `app` (the uninstall /
+    /// upgrade entry point), returning the removed rule identities in
+    /// install order.
+    pub fn remove_app(&mut self, app: &str) -> Vec<RuleId> {
+        self.retract(|rule| rule.id.app == app)
+    }
+
+    /// The one retraction loop: unpost from the index, tombstone the slot,
+    /// keep the live count honest, compact when tombstones dominate.
+    fn retract(&mut self, mut gone: impl FnMut(&Rule) -> bool) -> Vec<RuleId> {
+        let mut removed = Vec::new();
+        for slot in 0..self.installed.len() {
+            let Some(prepared) = &self.installed[slot] else {
+                continue;
+            };
+            if gone(&prepared.orig) {
+                self.index.remove(slot, prepared);
+                removed.push(prepared.orig.id.clone());
+                self.installed[slot] = None;
+                self.live -= 1;
+            }
+        }
+        self.maybe_compact();
+        removed
+    }
+
+    /// Rebuilds the slot vector and index without tombstones once dead
+    /// slots dominate. Prepared forms are reused — no re-unification.
+    fn maybe_compact(&mut self) {
+        let dead = self.installed.len() - self.live;
+        if dead <= 32 || dead <= self.live {
+            return;
+        }
+        let survivors: Vec<PreparedRule> = self.installed.drain(..).flatten().collect();
+        self.index.clear();
+        for (slot, prepared) in survivors.iter().enumerate() {
+            self.index.insert(slot, prepared);
+        }
+        self.installed = survivors.into_iter().map(Some).collect();
+    }
+
     /// Number of installed rules.
     pub fn len(&self) -> usize {
-        self.installed.len()
+        self.live
     }
 
     /// Whether no rule is installed.
     pub fn is_empty(&self) -> bool {
-        self.installed.is_empty()
+        self.live == 0
     }
 
     /// The installed rules in install order (original, pre-unification
     /// forms).
     pub fn installed_rules(&self) -> impl Iterator<Item = &Rule> {
-        self.installed.iter().map(|p| &p.orig)
+        self.installed.iter().flatten().map(|p| &p.orig)
     }
 
     /// Indexed incremental detection: checks `new_rules` against the
@@ -95,35 +157,76 @@ impl DetectionEngine {
         self.check_prepared(&prepared)
     }
 
+    /// [`check`](DetectionEngine::check) against the installed population
+    /// **minus one app's rules** — upgrade staging: the new version is
+    /// checked as if the old one were already retracted, without cloning
+    /// or mutating the engine.
+    pub fn check_excluding(
+        &self,
+        new_rules: &[Rule],
+        exclude_app: &str,
+    ) -> (Vec<Threat>, DetectStats) {
+        let prepared: Vec<PreparedRule> = new_rules
+            .iter()
+            .map(|r| PreparedRule::prepare(r, &self.detector.unification))
+            .collect();
+        self.check_prepared_staged(&prepared, &[], Some(exclude_app))
+    }
+
     /// [`check`](DetectionEngine::check) over rules the caller already
     /// prepared (one preparation serves repeated checks — the reusable
     /// session the batch entry point builds on).
     pub fn check_prepared(&self, new_rules: &[PreparedRule]) -> (Vec<Threat>, DetectStats) {
-        self.check_prepared_staged(new_rules, &[])
+        self.check_prepared_staged(new_rules, &[], None)
     }
 
     /// [`check_prepared`](DetectionEngine::check_prepared) with an extra
     /// slice of already-prepared `staged` rules treated as installed —
-    /// batch members confirmed earlier in a [`check_many`] sweep.
+    /// batch members confirmed earlier in a [`check_many`] sweep — and an
+    /// optional app whose installed rules are masked out (upgrade
+    /// staging).
     ///
     /// [`check_many`]: DetectionEngine::check_many
     fn check_prepared_staged(
         &self,
         new_rules: &[PreparedRule],
         staged: &[PreparedRule],
+        exclude_app: Option<&str>,
     ) -> (Vec<Threat>, DetectStats) {
+        // The population an exhaustive filterless detector would visit:
+        // live rules minus the masked app's.
+        let population = match exclude_app {
+            None => self.live,
+            Some(app) => {
+                self.live
+                    - self
+                        .installed
+                        .iter()
+                        .flatten()
+                        .filter(|p| p.orig.id.app == app)
+                        .count()
+            }
+        };
         let mut threats = Vec::new();
         let mut stats = DetectStats::default();
         for (i, new_rule) in new_rules.iter().enumerate() {
             let candidates = self.index.candidates(new_rule);
-            stats.pruned += (self.installed.len() - candidates.len()) as u64;
+            let mut visited = 0usize;
             for id in candidates {
-                let (t, s) = self
-                    .detector
-                    .detect_pair_prepared(new_rule, &self.installed[id]);
+                // Candidates only ever name live slots: retraction unposts
+                // a slot from every index key before tombstoning it.
+                let Some(old) = &self.installed[id] else {
+                    continue;
+                };
+                if exclude_app.is_some_and(|app| old.orig.id.app == app) {
+                    continue;
+                }
+                visited += 1;
+                let (t, s) = self.detector.detect_pair_prepared(new_rule, old);
                 threats.extend(t);
                 stats.absorb(s);
             }
+            stats.pruned += (population - visited) as u64;
             // Staged and intra-batch pairs: scan them directly — batches
             // are small compared to the installed population the index
             // exists for.
@@ -147,7 +250,7 @@ impl DetectionEngine {
         let mut threats = Vec::new();
         let mut stats = DetectStats::default();
         for (i, new_rule) in prepared.iter().enumerate() {
-            for old in &self.installed {
+            for old in self.installed.iter().flatten() {
                 let (t, s) = self.detector.detect_pair_prepared(new_rule, old);
                 threats.extend(t);
                 stats.absorb(s);
@@ -173,7 +276,7 @@ impl DetectionEngine {
                 .iter()
                 .map(|r| PreparedRule::prepare(r, &self.detector.unification))
                 .collect();
-            out.push(self.check_prepared_staged(&prepared, &staged));
+            out.push(self.check_prepared_staged(&prepared, &staged, None));
             staged.extend(prepared);
         }
         out
@@ -292,6 +395,109 @@ def h(evt) {{ valve.close() }}
             !threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace),
             "{threats:?}"
         );
+    }
+
+    #[test]
+    fn remove_app_retracts_rules_and_postings() {
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        engine.install_rules(&on_app("OnApp"));
+        engine.install_rules(&leak_app("LeakA"));
+        assert_eq!(engine.len(), 2);
+
+        let removed = engine.remove_app("OnApp");
+        assert_eq!(removed, vec![RuleId::new("OnApp", 0)]);
+        assert_eq!(engine.len(), 1);
+        assert_eq!(
+            engine
+                .installed_rules()
+                .map(|r| &r.id.app)
+                .collect::<Vec<_>>(),
+            vec!["LeakA"]
+        );
+
+        // The race partner is gone: a re-check of OffApp is clean, and the
+        // leak rule is pruned rather than visited.
+        let (threats, stats) = engine.check(&off_app("OffApp"));
+        assert!(threats.is_empty(), "{threats:?}");
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.pruned, 1);
+
+        // Removing an app that is not installed is a no-op.
+        assert!(engine.remove_app("OnApp").is_empty());
+        assert_eq!(engine.remove_rules(&[RuleId::new("Ghost", 0)]), 0);
+    }
+
+    #[test]
+    fn retraction_matches_a_fresh_rebuild() {
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        engine.install_rules(&on_app("OnApp"));
+        engine.install_rules(&leak_app("LeakA"));
+        engine.install_rules(&off_app("OffApp"));
+        engine.remove_app("LeakA");
+
+        let mut fresh = DetectionEngine::new(Detector::store_wide());
+        fresh.install_rules(&on_app("OnApp"));
+        fresh.install_rules(&off_app("OffApp"));
+
+        let probe = off_app("Probe");
+        let (incremental, _) = engine.check(&probe);
+        let (rebuilt, _) = fresh.check(&probe);
+        assert_eq!(incremental.len(), rebuilt.len());
+        for (a, b) in incremental.iter().zip(&rebuilt) {
+            assert_eq!(
+                (a.kind, &a.source, &a.target),
+                (b.kind, &b.source, &b.target)
+            );
+        }
+    }
+
+    #[test]
+    fn check_excluding_masks_the_old_version() {
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        engine.install_rules(&on_app("OnApp"));
+        engine.install_rules(&leak_app("LeakA"));
+
+        // Upgrading OnApp to an off-variant: checked against the
+        // population minus OnApp's own v1, the new rules are clean.
+        let v2 = off_app("OnApp");
+        let (threats, stats) = engine.check_excluding(&v2, "OnApp");
+        assert!(threats.is_empty(), "{threats:?}");
+        assert_eq!(stats.pairs, 0);
+        assert_eq!(stats.pruned, 1, "only the leak rule is in the population");
+
+        // The mask must match actually retracting the app.
+        let mut retracted = engine.clone();
+        retracted.remove_app("OnApp");
+        let (reference, ref_stats) = retracted.check(&v2);
+        assert_eq!(threats.len(), reference.len());
+        assert_eq!(stats.pruned, ref_stats.pruned);
+
+        // Without the mask, v1 and v2 race.
+        let (threats, _) = engine.check(&v2);
+        assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
+    }
+
+    #[test]
+    fn heavy_churn_compacts_tombstones() {
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        for round in 0..60 {
+            let name = format!("App{round}");
+            engine.install_rules(&on_app(&name));
+            if round >= 2 {
+                let victim = format!("App{}", round - 2);
+                assert_eq!(engine.remove_app(&victim).len(), 1);
+            }
+        }
+        assert_eq!(engine.len(), 2, "only the last two apps survive");
+        assert!(
+            engine.installed.len() <= engine.live * 2 + 33,
+            "tombstones must not accumulate: {} slots for {} live",
+            engine.installed.len(),
+            engine.live
+        );
+        // The survivors still race with a probe.
+        let (threats, _) = engine.check(&off_app("Probe"));
+        assert!(threats.iter().any(|t| t.kind == ThreatKind::ActuatorRace));
     }
 
     #[test]

@@ -188,6 +188,27 @@ impl CandidateIndex {
         self.len += 1;
     }
 
+    /// Unposts `rule` from slot `id` — the retraction half of the index,
+    /// what app uninstall and upgrade are built on. The caller must pass
+    /// the same prepared rule the slot was [`insert`](Self::insert)ed
+    /// under, so every posting is found and removed.
+    pub fn remove(&mut self, id: usize, rule: &PreparedRule) {
+        let f = &rule.facets;
+        for key in &f.actuators {
+            unpost(&mut self.by_actuator, key, id);
+        }
+        for prop in &f.goal_props {
+            unpost(&mut self.by_goal_prop, prop, id);
+        }
+        for var in &f.writes {
+            unpost(&mut self.by_write, var, id);
+        }
+        for var in &f.reads {
+            unpost(&mut self.by_read, var, id);
+        }
+        self.len = self.len.saturating_sub(1);
+    }
+
     /// The slots of every posted rule that can possibly interact with
     /// `rule`, sorted and deduplicated.
     pub fn candidates(&self, rule: &PreparedRule) -> Vec<usize> {
@@ -225,6 +246,17 @@ impl CandidateIndex {
         self.by_write.clear();
         self.by_read.clear();
         self.len = 0;
+    }
+}
+
+/// Removes one slot id from a posting list, dropping the key when its list
+/// empties (so stale keys cannot accumulate over install/uninstall churn).
+fn unpost<K: Ord + Clone>(map: &mut BTreeMap<K, Vec<usize>>, key: &K, id: usize) {
+    if let Some(ids) = map.get_mut(key) {
+        ids.retain(|&posted| posted != id);
+        if ids.is_empty() {
+            map.remove(key);
+        }
     }
 }
 
@@ -362,6 +394,27 @@ mod tests {
             vec![0],
             "mode write must collide with mode trigger/condition"
         );
+    }
+
+    #[test]
+    fn remove_unposts_every_facet() {
+        let u = Unification::ByType;
+        let a = PreparedRule::prepare(&lamp_rule("A", "on"), &u);
+        let b = PreparedRule::prepare(&lamp_rule("B", "off"), &u);
+        let mut index = CandidateIndex::new();
+        index.insert(0, &a);
+        index.insert(1, &b);
+        assert_eq!(index.candidates(&b), vec![0, 1]);
+        index.remove(0, &a);
+        assert_eq!(index.len(), 1);
+        assert_eq!(
+            index.candidates(&b),
+            vec![1],
+            "slot 0 must vanish from every posting"
+        );
+        index.remove(1, &b);
+        assert!(index.is_empty());
+        assert!(index.candidates(&a).is_empty());
     }
 
     #[test]

@@ -189,6 +189,21 @@ impl Enforcer {
         &self.index
     }
 
+    /// Swaps in a recompiled mediation index — how a live enforcer follows
+    /// a lifecycle change (app uninstalled or upgraded, points retired or
+    /// added) without losing its journal. Per-run memory of rules that no
+    /// longer key into any point is dropped so a retired pair cannot keep
+    /// influencing decisions; journal and stats persist across the swap.
+    pub fn replace_index(&mut self, index: MediationIndex) {
+        self.index = index;
+        self.fired
+            .retain(|rule| self.index.points_for_rule(rule).next().is_some());
+        self.commanded
+            .retain(|(_, rule), _| self.index.points_for_rule(rule).next().is_some());
+        self.defer_tokens
+            .retain(|(rule, _, _), _| self.index.points_for_rule(rule).next().is_some());
+    }
+
     /// The decision journal.
     pub fn journal(&self) -> &MediationTrace {
         &self.journal
@@ -641,6 +656,23 @@ mod tests {
         assert_eq!(e.decide_fire(&b, 5), Decision::Suppress);
         // Both points journaled their view of the event.
         assert_eq!(e.journal().len(), 2);
+    }
+
+    #[test]
+    fn replace_index_drops_state_of_retired_pairs() {
+        let mut e = enforcer_with(ThreatKind::CovertTriggering, HandlingPolicy::Block);
+        let (a, b) = (RuleId::new("A", 0), RuleId::new("B", 0));
+        assert_eq!(e.decide_fire(&a, 0), Decision::Allow);
+        assert_eq!(e.decide_fire(&b, 10), Decision::Suppress);
+        let journaled = e.journal().len();
+
+        // App A is uninstalled: the recompiled index has no points, so B
+        // fires freely — A's remembered firing must not linger.
+        let mut index = e.index().clone();
+        index.remove_app("A");
+        e.replace_index(index);
+        assert_eq!(e.decide_fire(&b, 20), Decision::Allow);
+        assert_eq!(e.journal().len(), journaled, "journal survives the swap");
     }
 
     #[test]

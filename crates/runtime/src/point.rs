@@ -126,6 +126,31 @@ impl MediationIndex {
         self.points.push(point);
     }
 
+    /// Keeps only the points `keep` accepts, rebuilding every posting.
+    /// Returns how many points were retired. This is the runtime half of
+    /// rule retraction: when an app is uninstalled or upgraded, its
+    /// mediation points must disappear with it.
+    pub fn retain(&mut self, mut keep: impl FnMut(&MediationPoint) -> bool) -> usize {
+        let before = self.points.len();
+        let points = std::mem::take(&mut self.points);
+        self.by_rule.clear();
+        self.by_actuator.clear();
+        self.by_goal_prop.clear();
+        self.by_trigger_var.clear();
+        for point in points {
+            if keep(&point) {
+                self.insert(point);
+            }
+        }
+        before - self.points.len()
+    }
+
+    /// Retires every point whose pair involves a rule of `app` (uninstall /
+    /// upgrade retraction). Returns how many points were retired.
+    pub fn remove_app(&mut self, app: &str) -> usize {
+        self.retain(|point| point.source.app != app && point.target.app != app)
+    }
+
     /// Number of compiled points.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -264,6 +289,34 @@ mod tests {
         assert_eq!(index.len(), 1);
         assert!(index.points()[0].actuators.is_empty());
         assert_eq!(index.points_for_rule(&a.id).count(), 1);
+    }
+
+    #[test]
+    fn remove_app_retires_points_and_postings() {
+        let a = lamp_rule("A", "on");
+        let b = lamp_rule("B", "off");
+        let c = lamp_rule("C", "on");
+        let threats = vec![race_threat(&a, &b), race_threat(&b, &c)];
+        let mut index = MediationIndex::compile(
+            &threats,
+            &[a.clone(), b.clone(), c.clone()],
+            &Unification::ByType,
+            &PolicyTable::block_all(),
+        );
+        assert_eq!(index.len(), 2);
+
+        // Retiring A drops only the A–B point; B–C survives with postings.
+        assert_eq!(index.remove_app("A"), 1);
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.points_for_rule(&a.id).count(), 0);
+        assert_eq!(index.points_for_rule(&b.id).count(), 1);
+        assert_eq!(index.points_for_actuator("type:switch/light").count(), 1);
+
+        // Retiring B empties the index entirely.
+        assert_eq!(index.remove_app("B"), 1);
+        assert!(index.is_empty());
+        assert_eq!(index.points_for_actuator("type:switch/light").count(), 0);
+        assert_eq!(index.remove_app("B"), 0, "idempotent");
     }
 
     #[test]

@@ -1,0 +1,640 @@
+//! The sharded concurrent home registry.
+//!
+//! A [`Fleet`] routes every operation through a [`HomeId`] to one of N
+//! shards, each a `RwLock<BTreeMap<HomeId, Home>>`. There is deliberately
+//! no global lock: two threads driving installs into different shards
+//! never contend, and read-side operations (`with_home`, `len`) share
+//! each shard's lock. `HomeId`s are dense (`AtomicU64`) and route by
+//! `id % shards`, so consecutive creations spread round-robin across the
+//! shards — a thread working a contiguous id range touches all of them.
+
+use hg_config::ConfigInfo;
+use homeguard_core::{
+    HgError, Home, HomeBuilder, HomeId, InstallReport, RuleStore, UninstallReport,
+};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+type Shard = RwLock<BTreeMap<HomeId, Home>>;
+
+/// Per-home outcomes of a bulk operation: one entry per requested home, in
+/// request order.
+pub type BulkOutcomes = Vec<(HomeId, Result<InstallReport, HgError>)>;
+
+/// Builds a [`Fleet`]: shard width and the home template.
+pub struct FleetBuilder {
+    store: Arc<RuleStore>,
+    shards: usize,
+    template: HomeBuilder,
+}
+
+impl FleetBuilder {
+    /// A builder with 16 shards and deployment-default homes.
+    pub fn new(store: Arc<RuleStore>) -> FleetBuilder {
+        FleetBuilder {
+            template: HomeBuilder::new(store.clone()),
+            store,
+            shards: 16,
+        }
+    }
+
+    /// Sets the shard count (clamped to at least 1). More shards means
+    /// less write contention between homes; the right number is roughly
+    /// the expected thread parallelism.
+    pub fn shards(mut self, n: usize) -> FleetBuilder {
+        self.shards = n.max(1);
+        self
+    }
+
+    /// Customizes the template every [`Fleet::create_home`] builds from
+    /// (modes, unification policy, handling policies, …).
+    pub fn home_defaults(
+        mut self,
+        customize: impl FnOnce(HomeBuilder) -> HomeBuilder,
+    ) -> FleetBuilder {
+        self.template = customize(self.template);
+        self
+    }
+
+    /// Builds the fleet.
+    pub fn build(self) -> Fleet {
+        Fleet {
+            store: self.store,
+            shards: (0..self.shards)
+                .map(|_| RwLock::new(BTreeMap::new()))
+                .collect(),
+            next_id: AtomicU64::new(0),
+            template: self.template,
+        }
+    }
+}
+
+/// The HomeGuard service: a concurrent registry of per-home sessions over
+/// one shared rule store. `Send + Sync` throughout — clone an
+/// `Arc<Fleet>` into as many threads as you like.
+pub struct Fleet {
+    store: Arc<RuleStore>,
+    shards: Box<[Shard]>,
+    next_id: AtomicU64,
+    template: HomeBuilder,
+}
+
+/// The outcome of a fleet-wide upgrade rollout.
+#[derive(Debug)]
+pub struct UpgradeRollout {
+    /// The app rolled out.
+    pub app: String,
+    /// Homes where the upgrade was clean and auto-confirmed.
+    pub upgraded: Vec<HomeId>,
+    /// Homes where the upgrade surfaced interference: the old version is
+    /// still running, and the report awaits a per-home
+    /// [`Fleet::confirm_install`].
+    pub pending: Vec<(HomeId, InstallReport)>,
+    /// Homes skipped because the app is not installed there.
+    pub skipped: usize,
+    /// Per-home upgrade failures (the sweep continues past them).
+    pub failed: Vec<(HomeId, HgError)>,
+    /// Shards skipped because their lock was poisoned — their homes were
+    /// not re-checked and still run the old version.
+    pub poisoned_shards: usize,
+}
+
+impl Fleet {
+    /// A fleet with deployment defaults over `store`.
+    pub fn new(store: Arc<RuleStore>) -> Fleet {
+        Fleet::builder(store).build()
+    }
+
+    /// A builder for a customized fleet.
+    pub fn builder(store: Arc<RuleStore>) -> FleetBuilder {
+        FleetBuilder::new(store)
+    }
+
+    /// The shared rule store every home installs from.
+    pub fn store(&self) -> &Arc<RuleStore> {
+        &self.store
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of registered homes. Counts poisoned shards too: a panic
+    /// inside a home handler can leave that *home's* state suspect (which
+    /// is why `with_home*` report [`HgError::Poisoned`]), but the shard
+    /// map itself only mutates in `create_home`/`remove_home` outside any
+    /// user code, so registry-level enumeration recovers the guard.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len()
+            })
+            .sum()
+    }
+
+    /// Whether no home is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every registered home id, ascending (poisoned shards included — see
+    /// [`Fleet::len`]).
+    pub fn home_ids(&self) -> Vec<HomeId> {
+        let mut ids: Vec<HomeId> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .keys()
+                    .copied()
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    fn shard(&self, id: HomeId) -> &Shard {
+        &self.shards[(id.raw() % self.shards.len() as u64) as usize]
+    }
+
+    /// Registers a new home built from the fleet's template and returns
+    /// its handle.
+    pub fn create_home(&self) -> HomeId {
+        self.create_home_with(|builder| builder)
+    }
+
+    /// Registers a new home, customizing the template first (e.g. per-home
+    /// modes or handling policies).
+    ///
+    /// A poisoned shard quarantines its homes (`with_home*` report
+    /// [`HgError::Poisoned`]), so placing a *new* home there would hand
+    /// back a handle that is unreachable from birth. Consecutive ids route
+    /// to consecutive shards, so this burns ids until one routes to a
+    /// healthy shard; only when every shard is poisoned does it recover
+    /// the routed shard's map (structurally intact, see [`Fleet::len`])
+    /// and insert anyway.
+    pub fn create_home_with(&self, customize: impl FnOnce(HomeBuilder) -> HomeBuilder) -> HomeId {
+        let home = customize(self.template.clone()).build();
+        let mut id = HomeId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+        for _ in 0..self.shards.len() {
+            match self.shard(id).write() {
+                Ok(mut shard) => {
+                    shard.insert(id, home);
+                    return id;
+                }
+                Err(_) => {
+                    id = HomeId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
+                }
+            }
+        }
+        self.shard(id)
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(id, home);
+        id
+    }
+
+    /// Deregisters a home, dropping its session state.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownHome`]; [`HgError::Poisoned`] when the shard lock
+    /// is poisoned.
+    pub fn remove_home(&self, id: HomeId) -> Result<(), HgError> {
+        let mut shard = self
+            .shard(id)
+            .write()
+            .map_err(|_| HgError::Poisoned("fleet shard"))?;
+        shard
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(HgError::UnknownHome(id))
+    }
+
+    /// Runs `f` with shared access to a home (other readers of the same
+    /// shard proceed concurrently).
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownHome`]; [`HgError::Poisoned`] when the shard lock
+    /// is poisoned.
+    pub fn with_home<R>(&self, id: HomeId, f: impl FnOnce(&Home) -> R) -> Result<R, HgError> {
+        let shard = self
+            .shard(id)
+            .read()
+            .map_err(|_| HgError::Poisoned("fleet shard"))?;
+        shard.get(&id).map(f).ok_or(HgError::UnknownHome(id))
+    }
+
+    /// Runs `f` with exclusive access to a home. A panic inside `f`
+    /// poisons only the owning shard; the rest of the fleet keeps serving,
+    /// and operations on the poisoned shard report [`HgError::Poisoned`]
+    /// instead of crashing their threads.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownHome`]; [`HgError::Poisoned`] when the shard lock
+    /// is poisoned.
+    pub fn with_home_mut<R>(
+        &self,
+        id: HomeId,
+        f: impl FnOnce(&mut Home) -> R,
+    ) -> Result<R, HgError> {
+        let mut shard = self
+            .shard(id)
+            .write()
+            .map_err(|_| HgError::Poisoned("fleet shard"))?;
+        shard.get_mut(&id).map(f).ok_or(HgError::UnknownHome(id))
+    }
+
+    /// [`Home::check_install`] through the registry.
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own.
+    pub fn check_install(&self, id: HomeId, app: &str) -> Result<InstallReport, HgError> {
+        self.with_home(id, |home| home.check_install(app))?
+    }
+
+    /// [`Home::install_app`] through the registry: extract (served from
+    /// the shared cache), check, auto-confirm only when clean.
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own.
+    pub fn install_app(
+        &self,
+        id: HomeId,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        self.with_home_mut(id, |home| home.install_app(source, name, config))?
+    }
+
+    /// [`Home::install_app_forced`] through the registry.
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own.
+    pub fn install_app_forced(
+        &self,
+        id: HomeId,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        self.with_home_mut(id, |home| home.install_app_forced(source, name, config))?
+    }
+
+    /// [`Home::confirm_install`] through the registry: the user of `id`
+    /// accepted a dirty install or upgrade report.
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own staleness checks.
+    pub fn confirm_install(
+        &self,
+        id: HomeId,
+        report: InstallReport,
+    ) -> Result<InstallReport, HgError> {
+        self.with_home_mut(id, |home| home.confirm_install(report))?
+    }
+
+    /// [`Home::uninstall_app`] through the registry.
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own.
+    pub fn uninstall_app(&self, id: HomeId, app: &str) -> Result<UninstallReport, HgError> {
+        self.with_home_mut(id, |home| home.uninstall_app(app))?
+    }
+
+    /// [`Home::upgrade_app`] through the registry.
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own.
+    pub fn upgrade_app(
+        &self,
+        id: HomeId,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        self.with_home_mut(id, |home| home.upgrade_app(source, name, config))?
+    }
+
+    /// Bulk install: extracts `source` **once** and installs it into every
+    /// listed home (auto-confirming where clean, exactly like
+    /// [`Fleet::install_app`]). Per-home outcomes are reported
+    /// individually so one home's verdict cannot abort the sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Extract`] when the source fails extraction — nothing is
+    /// installed anywhere in that case.
+    pub fn install_many(
+        &self,
+        home_ids: &[HomeId],
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<BulkOutcomes, HgError> {
+        self.store.ingest(source, name)?;
+        Ok(home_ids
+            .iter()
+            .map(|&id| (id, self.install_app(id, source, name, config)))
+            .collect())
+    }
+
+    /// Fleet-wide upgrade rollout: re-extracts the new source **once**
+    /// (publishing v2 to the shared store, as a store update would), then
+    /// incrementally re-checks every home that has the app installed.
+    /// Clean homes are upgraded in place; homes where the new version
+    /// interferes keep the old version running and their dirty report is
+    /// returned for per-home confirmation. The sweep never aborts midway:
+    /// per-home failures and poisoned shards are reported in the rollout
+    /// so no already-upgraded or still-pending home is lost track of.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Extract`] when the new source fails extraction;
+    /// [`HgError::UpgradeRenames`] when it declares a different app name.
+    /// Either way no home is touched.
+    pub fn propagate_upgrade(&self, source: &str, name: &str) -> Result<UpgradeRollout, HgError> {
+        // `ingest_as`, not `ingest`: a renaming submission must be refused
+        // BEFORE anything lands in the shared database — a rejected
+        // rollout cannot publish a new app store-wide as a side effect.
+        self.store.ingest_as(source, name)?;
+        let mut rollout = UpgradeRollout {
+            app: name.to_string(),
+            upgraded: Vec::new(),
+            pending: Vec::new(),
+            skipped: 0,
+            failed: Vec::new(),
+            poisoned_shards: 0,
+        };
+        for shard in &self.shards {
+            let Ok(mut shard) = shard.write() else {
+                rollout.poisoned_shards += 1;
+                continue;
+            };
+            for (&id, home) in shard.iter_mut() {
+                if !home.is_installed(name) {
+                    rollout.skipped += 1;
+                    continue;
+                }
+                match home.upgrade_app(source, name, None) {
+                    Ok(report) if report.installed => rollout.upgraded.push(id),
+                    Ok(report) => rollout.pending.push((id, report)),
+                    Err(error) => rollout.failed.push((id, error)),
+                }
+            }
+        }
+        Ok(rollout)
+    }
+}
+
+// The whole point of the sharded design: a Fleet handle is freely
+// shareable across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Fleet>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_detector::ThreatKind;
+
+    const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+    const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+    #[test]
+    fn create_route_and_remove_homes() {
+        let fleet = Fleet::builder(RuleStore::shared()).shards(4).build();
+        let ids: Vec<HomeId> = (0..10).map(|_| fleet.create_home()).collect();
+        assert_eq!(fleet.len(), 10);
+        assert_eq!(fleet.home_ids(), ids);
+        assert_eq!(fleet.shard_count(), 4);
+
+        fleet.remove_home(ids[3]).unwrap();
+        assert_eq!(fleet.len(), 9);
+        assert!(matches!(
+            fleet.remove_home(ids[3]),
+            Err(HgError::UnknownHome(id)) if id == ids[3]
+        ));
+        assert!(matches!(
+            fleet.with_home(ids[3], |_| ()),
+            Err(HgError::UnknownHome(_))
+        ));
+    }
+
+    #[test]
+    fn lifecycle_through_the_fleet() {
+        let fleet = Fleet::new(RuleStore::shared());
+        let id = fleet.create_home();
+        let report = fleet.install_app(id, ON_APP, "OnApp", None).unwrap();
+        assert!(report.installed);
+
+        let dirty = fleet.install_app(id, OFF_APP, "OffApp", None).unwrap();
+        assert!(!dirty.installed);
+        assert!(dirty
+            .threats
+            .iter()
+            .any(|t| t.kind == ThreatKind::ActuatorRace));
+        fleet.confirm_install(id, dirty).unwrap();
+        assert_eq!(
+            fleet.with_home(id, |h| h.installed_rules().len()).unwrap(),
+            2
+        );
+
+        let removed = fleet.uninstall_app(id, "OffApp").unwrap();
+        assert_eq!(removed.retired_threats, 1);
+        assert_eq!(
+            fleet.with_home(id, |h| h.installed_apps()).unwrap(),
+            vec!["OnApp".to_string()]
+        );
+
+        let v2 = ON_APP.replace("lamp.on()", "lamp.off()");
+        let upgraded = fleet.upgrade_app(id, &v2, "OnApp", None).unwrap();
+        assert!(upgraded.installed);
+    }
+
+    #[test]
+    fn install_many_extracts_once() {
+        let fleet = Fleet::new(RuleStore::shared());
+        let ids: Vec<HomeId> = (0..5).map(|_| fleet.create_home()).collect();
+        let results = fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
+        assert_eq!(results.len(), 5);
+        assert!(results.iter().all(|(_, r)| r.as_ref().unwrap().installed));
+        // One real extraction; the other five ingests (bulk pre-ingest +
+        // five per-home installs) are cache hits.
+        assert_eq!(fleet.store().cache_hits(), 5);
+
+        // A broken source installs nowhere.
+        assert!(matches!(
+            fleet.install_many(&ids, "def installed() {", "Broken", None),
+            Err(HgError::Extract { .. })
+        ));
+    }
+
+    #[test]
+    fn propagate_upgrade_rolls_the_fleet_forward() {
+        let fleet = Fleet::new(RuleStore::shared());
+        let with_app: Vec<HomeId> = (0..4).map(|_| fleet.create_home()).collect();
+        let without_app = fleet.create_home();
+        fleet
+            .install_many(&with_app, ON_APP, "OnApp", None)
+            .unwrap();
+        // One home also runs a conflicting app: its upgrade stays pending.
+        fleet
+            .install_app_forced(with_app[2], OFF_APP, "OffApp", None)
+            .unwrap();
+
+        let v2 = ON_APP.replace("lamp.on()", "lamp.on(); lamp.off()");
+        let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+        assert_eq!(rollout.app, "OnApp");
+        assert_eq!(rollout.skipped, 1);
+        let mut upgraded = rollout.upgraded.clone();
+        upgraded.sort();
+        assert_eq!(upgraded, vec![with_app[0], with_app[1], with_app[3]]);
+        assert_eq!(rollout.pending.len(), 1);
+        let (dirty_home, ref report) = rollout.pending[0];
+        assert_eq!(dirty_home, with_app[2]);
+        assert!(!report.installed);
+
+        // The pending home still runs v1; confirming commits v2.
+        assert_eq!(
+            fleet
+                .with_home(dirty_home, |h| h.installed_rules()[0].actions.len())
+                .unwrap(),
+            1
+        );
+        fleet
+            .confirm_install(dirty_home, rollout.pending.into_iter().next().unwrap().1)
+            .unwrap();
+        assert_eq!(
+            fleet
+                .with_home(dirty_home, |h| {
+                    h.installed_rules()
+                        .iter()
+                        .filter(|r| r.id.app == "OnApp")
+                        .map(|r| r.actions.len())
+                        .sum::<usize>()
+                })
+                .unwrap(),
+            2,
+            "v2 has two actions"
+        );
+        assert_eq!(
+            fleet
+                .with_home(without_app, |h| h.installed_rules().len())
+                .unwrap(),
+            0
+        );
+
+        // A renaming rollout is refused outright — and refused BEFORE
+        // publishing: the rejected name must not appear in the store.
+        let renamed = ON_APP.replace("OnApp", "NewApp");
+        assert!(matches!(
+            fleet.propagate_upgrade(&renamed, "OnApp"),
+            Err(HgError::UpgradeRenames { .. })
+        ));
+        assert!(
+            !fleet.store().has_app("NewApp"),
+            "a refused rollout must not publish the new app store-wide"
+        );
+    }
+
+    #[test]
+    fn poisoned_shard_reports_typed_errors_and_isolates() {
+        let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+        let a = fleet.create_home(); // shard 0
+        let b = fleet.create_home(); // shard 1
+
+        // A panicking mutation poisons only home `a`'s shard.
+        let doomed = fleet.clone();
+        std::thread::spawn(move || {
+            let _ = doomed.with_home_mut(a, |_| panic!("home handler dies"));
+        })
+        .join()
+        .unwrap_err();
+
+        assert!(matches!(
+            fleet.with_home(a, |_| ()),
+            Err(HgError::Poisoned(_))
+        ));
+        // The sibling shard keeps serving.
+        assert!(
+            fleet
+                .install_app(b, ON_APP, "OnApp", None)
+                .unwrap()
+                .installed
+        );
+
+        // Registry-level enumeration still sees the quarantined home...
+        assert_eq!(fleet.len(), 2);
+        assert_eq!(fleet.home_ids(), vec![a, b]);
+
+        // ...a new home is never placed in the poisoned shard (the handle
+        // would be unreachable from birth): id 2 would route to shard 0,
+        // so it is burned and the home lands on a healthy shard.
+        let c = fleet.create_home();
+        assert!(
+            fleet
+                .install_app(c, ON_APP, "OnApp", None)
+                .unwrap()
+                .installed
+        );
+
+        // ...and a rollout sweeps past the poisoned shard instead of
+        // aborting, reporting it.
+        let v2 = format!("{ON_APP}// v2\n");
+        let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+        assert_eq!(rollout.poisoned_shards, 1);
+        let mut upgraded = rollout.upgraded.clone();
+        upgraded.sort();
+        assert_eq!(upgraded, vec![b, c]);
+        assert!(rollout.failed.is_empty());
+    }
+
+    #[test]
+    fn home_defaults_template_applies() {
+        let fleet = Fleet::builder(RuleStore::shared())
+            .home_defaults(|b| b.modes(["Day", "Night"]))
+            .build();
+        let id = fleet.create_home();
+        assert_eq!(
+            fleet.with_home(id, |h| h.modes().to_vec()).unwrap(),
+            vec!["Day".to_string(), "Night".to_string()]
+        );
+        // Per-home customization overrides the template.
+        let custom = fleet.create_home_with(|b| b.modes(["Solo"]));
+        assert_eq!(
+            fleet.with_home(custom, |h| h.modes().to_vec()).unwrap(),
+            vec!["Solo".to_string()]
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! # hg-service — the HomeGuard fleet service surface
+//!
+//! The paper's deployment model is one cloud-side rule store serving many
+//! independent homes ("heavy traffic from millions of users"). The
+//! per-home [`Home`] session from `homeguard-core` is single-threaded by
+//! design; this crate is the layer that turns a process full of sessions
+//! into a **service**: a [`Fleet`] owning an N-way-sharded concurrent
+//! registry of homes on top of the shared [`RuleStore`].
+//!
+//! * **Sharded, not globally locked** — homes live in per-shard
+//!   `RwLock`ed maps, routed by [`HomeId`]; installs into different shards
+//!   proceed in parallel, and the shared store's ingest cache means one
+//!   extraction serves every home installing the same app.
+//! * **Full lifecycle** — install → confirm → upgrade → uninstall, each
+//!   incremental against the per-home candidate index, plus the fleet-wide
+//!   bulk operations [`Fleet::install_many`] (extract once, install
+//!   everywhere) and [`Fleet::propagate_upgrade`] (re-extract once,
+//!   re-check every home running the app).
+//! * **Typed errors** — every entry point returns [`HgError`]; a missing
+//!   home, an unknown app, a corrupt rule file and a poisoned shard are
+//!   distinct, per-home recoverable conditions.
+//!
+//! # Examples
+//!
+//! ```
+//! use hg_service::{Fleet, RuleStore};
+//!
+//! let fleet = Fleet::new(RuleStore::shared());
+//! let alice = fleet.create_home();
+//! let bob = fleet.create_home();
+//!
+//! const APP: &str = r#"
+//!     definition(name: "OnApp")
+//!     input "m", "capability.motionSensor"
+//!     input "lamp", "capability.switch", title: "lamp"
+//!     def installed() { subscribe(m, "motion.active", h) }
+//!     def h(evt) { lamp.on() }
+//! "#;
+//!
+//! // One extraction serves both homes.
+//! let results = fleet.install_many(&[alice, bob], APP, "OnApp", None).unwrap();
+//! assert!(results.iter().all(|(_, r)| r.as_ref().unwrap().installed));
+//! assert!(fleet.store().cache_hits() >= 1);
+//!
+//! // v2 of the app rolls out fleet-wide with a single re-extraction.
+//! let v2 = APP.replace("lamp.on()", "lamp.off()");
+//! let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+//! assert_eq!(rollout.upgraded.len(), 2);
+//!
+//! // Uninstall retracts: the app's rules stop mediating anything.
+//! fleet.uninstall_app(alice, "OnApp").unwrap();
+//! assert_eq!(fleet.with_home(alice, |h| h.installed_rules().len()).unwrap(), 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+
+pub use fleet::{BulkOutcomes, Fleet, FleetBuilder, UpgradeRollout};
+pub use homeguard_core::{
+    frontend, HgError, Home, HomeBuilder, HomeId, InstallReport, PolicyTable, RuleStore,
+    UninstallReport,
+};
+
+/// Deployment-facing alias: a [`Fleet`] *is* the HomeGuard service.
+pub type HomeGuardService = Fleet;

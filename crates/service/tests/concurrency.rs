@@ -1,0 +1,246 @@
+//! Fleet concurrency: 8 threads drive seeded install / uninstall /
+//! upgrade / check scripts across 256 homes through one shared `Fleet`,
+//! interleaving arbitrarily across shards. The run must (a) terminate —
+//! no deadlock between shard locks and the shared store — and (b) leave
+//! every home in exactly the state a serial replay of its script produces
+//! on a plain `homeguard-core` session.
+//!
+//! Thread ownership is strided (thread t owns homes t, t+8, t+16, …)
+//! while shard routing is modular, so every thread hammers every shard.
+
+use hg_service::{Fleet, HgError, HomeId, RuleStore};
+use std::sync::Arc;
+
+const HOMES: usize = 256;
+const THREADS: usize = 8;
+const STEPS: usize = 10;
+
+/// The app palette: four racing/unrelated automations plus a v2 for
+/// upgrades. `(name, source)` per slot.
+fn palette() -> Vec<(String, String)> {
+    let combos = [
+        ("motionSensor", "motion", "active", "switch", "lamp", "on"),
+        ("motionSensor", "motion", "active", "switch", "lamp", "off"),
+        ("contactSensor", "contact", "open", "lock", "door", "unlock"),
+        (
+            "waterSensor",
+            "water",
+            "wet",
+            "valve",
+            "main valve",
+            "close",
+        ),
+        ("contactSensor", "contact", "open", "lock", "door", "lock"),
+        (
+            "motionSensor",
+            "motion",
+            "active",
+            "alarm",
+            "siren",
+            "siren",
+        ),
+    ];
+    combos
+        .iter()
+        .enumerate()
+        .map(|(i, (s_cap, s_attr, s_val, a_cap, a_title, cmd))| {
+            let name = format!("Pal{i}");
+            let source = format!(
+                r#"
+definition(name: "{name}")
+input "t", "capability.{s_cap}"
+input "a", "capability.{a_cap}", title: "{a_title}"
+def installed() {{ subscribe(t, "{s_attr}.{s_val}", h) }}
+def h(evt) {{ a.{cmd}() }}
+"#
+            );
+            (name, source)
+        })
+        .collect()
+}
+
+/// v2 of a palette app: behaviorally identical but textually distinct, so
+/// the upgrade re-extracts (new fingerprint) while staying name-stable.
+fn palette_v2(source: &str) -> String {
+    format!("{source}// v2\n")
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    InstallForced(usize),
+    Uninstall(usize),
+    UpgradeForced(usize),
+    Check(usize),
+}
+
+/// SplitMix64, as in the sibling fuzz harnesses.
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The seeded per-home op script. Pure function of the home index, so the
+/// concurrent run and the serial replay derive identical scripts.
+fn script(home: usize) -> Vec<Op> {
+    let palette_len = palette().len();
+    (0..STEPS)
+        .map(|step| {
+            let r = mix((home as u64) << 32 | step as u64);
+            let app = (r >> 8) as usize % palette_len;
+            match r % 4 {
+                0 | 1 => Op::InstallForced(app),
+                2 => {
+                    if r & 0x10 != 0 {
+                        Op::Uninstall(app)
+                    } else {
+                        Op::UpgradeForced(app)
+                    }
+                }
+                _ => Op::Check(app),
+            }
+        })
+        .collect()
+}
+
+/// A comparable digest of one op's outcome.
+fn digest_install(report: &Result<hg_service::InstallReport, HgError>) -> String {
+    match report {
+        Ok(r) => format!(
+            "ok:installed={} threats={} chains={}",
+            r.installed,
+            r.threats.len(),
+            r.chains.len()
+        ),
+        Err(e) => format!("err:{}", variant(e)),
+    }
+}
+
+fn variant(e: &HgError) -> &'static str {
+    match e {
+        HgError::Extract { .. } => "extract",
+        HgError::Parse { .. } => "parse",
+        HgError::UnknownHome(_) => "unknown-home",
+        HgError::UnknownApp(_) => "unknown-app",
+        HgError::UnconfirmedInstall(_) => "unconfirmed",
+        HgError::AlreadyInstalled(_) => "already-installed",
+        HgError::UpgradeRenames { .. } => "renames",
+        HgError::Poisoned(_) => "poisoned",
+        _ => "other",
+    }
+}
+
+/// Runs one home's script against the fleet, returning the op digests and
+/// the final state digest.
+fn run_script(fleet: &Fleet, id: HomeId, home: usize, apps: &[(String, String)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for op in script(home) {
+        let digest = match op {
+            Op::InstallForced(a) => {
+                let (name, source) = &apps[a];
+                digest_install(&fleet.install_app_forced(id, source, name, None))
+            }
+            Op::Uninstall(a) => match fleet.uninstall_app(id, &apps[a].0) {
+                Ok(r) => format!(
+                    "ok:removed={} retired={}",
+                    r.removed_rules.len(),
+                    r.retired_threats
+                ),
+                Err(e) => format!("err:{}", variant(&e)),
+            },
+            Op::UpgradeForced(a) => {
+                let (name, source) = &apps[a];
+                digest_install(&fleet.upgrade_app(id, &palette_v2(source), name, None))
+            }
+            Op::Check(a) => match fleet.check_install(id, &apps[a].0) {
+                Ok(r) => format!("ok:threats={} chains={}", r.threats.len(), r.chains.len()),
+                Err(e) => format!("err:{}", variant(&e)),
+            },
+        };
+        out.push(digest);
+    }
+    // Final state digest: surviving apps + Allowed size.
+    let final_state = fleet
+        .with_home(id, |h| {
+            format!(
+                "apps={:?} allowed={}",
+                h.installed_apps(),
+                h.allowed().len()
+            )
+        })
+        .unwrap();
+    out.push(final_state);
+    out
+}
+
+/// Publishes every palette app (v1 and v2) into a fleet's store — the
+/// store-before-install deployment order. Without this, a `Check` op's
+/// verdict would depend on whether *some other home* already ingested the
+/// app, making per-home scripts non-deterministic across interleavings.
+fn publish_palette(fleet: &Fleet, apps: &[(String, String)]) {
+    for (name, source) in apps {
+        fleet.store().ingest(source, name).unwrap();
+        fleet.store().ingest(&palette_v2(source), name).unwrap();
+    }
+}
+
+#[test]
+fn eight_threads_over_256_homes_match_serial_replay() {
+    let apps = Arc::new(palette());
+
+    // Concurrent run: one fleet, 8 shards, 8 threads with strided home
+    // ownership (every thread touches every shard).
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(THREADS).build());
+    publish_palette(&fleet, &apps);
+    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home()).collect();
+    assert_eq!(fleet.len(), HOMES);
+
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let fleet = fleet.clone();
+        let ids = ids.clone();
+        let apps = apps.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut results = Vec::new();
+            for home in (t..HOMES).step_by(THREADS) {
+                results.push((home, run_script(&fleet, ids[home], home, &apps)));
+            }
+            results
+        }));
+    }
+    let mut concurrent: Vec<Vec<String>> = vec![Vec::new(); HOMES];
+    for handle in handles {
+        for (home, digests) in handle.join().expect("no thread may die") {
+            concurrent[home] = digests;
+        }
+    }
+
+    // Serial replay: same scripts against plain single-threaded sessions
+    // in a fresh single-shard fleet.
+    let serial_fleet = Fleet::builder(RuleStore::shared()).shards(1).build();
+    publish_palette(&serial_fleet, &apps);
+    let serial_ids: Vec<HomeId> = (0..HOMES).map(|_| serial_fleet.create_home()).collect();
+    for home in 0..HOMES {
+        let expected = run_script(&serial_fleet, serial_ids[home], home, &apps);
+        assert_eq!(
+            concurrent[home], expected,
+            "home {home}: concurrent outcome diverges from serial replay"
+        );
+    }
+
+    // The palette was actually exercised in every flavor.
+    let all: Vec<&String> = concurrent.iter().flatten().collect();
+    assert!(all.iter().any(|d| d.contains("threats=1")), "races seen");
+    assert!(
+        all.iter().any(|d| d.starts_with("ok:removed=")),
+        "uninstalls succeeded somewhere"
+    );
+    assert!(
+        all.iter()
+            .any(|d| d.contains("err:unconfirmed") || d.contains("err:unknown-app")),
+        "lifecycle errors exercised"
+    );
+    // One extraction per palette app + v2 variants; everything else came
+    // from the shared ingest cache.
+    assert!(fleet.store().cache_hits() > HOMES as u64);
+}

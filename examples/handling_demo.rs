@@ -13,8 +13,9 @@ use hg_capability::device_kind::DeviceKind;
 use hg_detector::{ThreatKind, Unification};
 use hg_rules::rule::RuleId;
 use hg_rules::value::Value;
+use hg_service::{Fleet, PolicyTable, RuleStore};
 use hg_sim::Device;
-use homeguard_core::{Home as Session, PolicyTable, RuleStore};
+use homeguard_core::Home as Session;
 use std::collections::BTreeMap;
 
 const VENT_ON_ENTRY: &str = r#"
@@ -79,17 +80,20 @@ fn outcomes_over_seeds(
 }
 
 fn main() {
-    // The user ranks RainGuard (close the window) above VentOnEntry.
+    // The user ranks RainGuard (close the window) above VentOnEntry. The
+    // session is constructed through the fleet: the handling table rides
+    // the home template, and installs go through the service surface.
     let table = PolicyTable::default()
         .prioritize([RuleId::new("RainGuard", 0), RuleId::new("VentOnEntry", 0)]);
-    let mut session = Session::builder(RuleStore::shared())
-        .handling_policy(table)
+    let fleet = Fleet::builder(RuleStore::shared())
+        .home_defaults(|home| home.handling_policy(table))
         .build();
-    session
-        .install_app_forced(VENT_ON_ENTRY, "VentOnEntry", None)
+    let home = fleet.create_home();
+    fleet
+        .install_app_forced(home, VENT_ON_ENTRY, "VentOnEntry", None)
         .expect("extracts");
-    let report = session
-        .install_app_forced(RAIN_GUARD, "RainGuard", None)
+    let report = fleet
+        .install_app_forced(home, RAIN_GUARD, "RainGuard", None)
         .expect("extracts");
     println!("=== Install-time detection (Fig. 3 Actuator Race) ===");
     for threat in &report.threats {
@@ -102,36 +106,40 @@ fn main() {
 
     let unify = Unification::ByType;
 
-    println!("\n=== Unmediated: the race's final state is schedule-dependent ===");
-    let unmediated = outcomes_over_seeds(&session, &unify, None);
-    for (outcome, count) in &unmediated {
-        println!("  {count:>2}x window ends {outcome}");
-    }
-    assert!(
-        unmediated.len() > 1,
-        "the unmediated race must be nondeterministic"
-    );
+    fleet
+        .with_home_mut(home, |session| {
+            println!("\n=== Unmediated: the race's final state is schedule-dependent ===");
+            let unmediated = outcomes_over_seeds(session, &unify, None);
+            for (outcome, count) in &unmediated {
+                println!("  {count:>2}x window ends {outcome}");
+            }
+            assert!(
+                unmediated.len() > 1,
+                "the unmediated race must be nondeterministic"
+            );
 
-    println!("\n=== Mediated (AR -> Priority): RainGuard wins every schedule ===");
-    let enforcer = session.enforcer();
-    let mediated = outcomes_over_seeds(&session, &unify, Some(&enforcer));
-    for (outcome, count) in &mediated {
-        println!("  {count:>2}x window ends {outcome}");
-    }
-    assert_eq!(mediated.len(), 1, "mediated outcome must be deterministic");
-    assert!(mediated.contains_key("off"), "the ranked winner closes it");
+            println!("\n=== Mediated (AR -> Priority): RainGuard wins every schedule ===");
+            let enforcer = session.enforcer();
+            let mediated = outcomes_over_seeds(session, &unify, Some(&enforcer));
+            for (outcome, count) in &mediated {
+                println!("  {count:>2}x window ends {outcome}");
+            }
+            assert_eq!(mediated.len(), 1, "mediated outcome must be deterministic");
+            assert!(mediated.contains_key("off"), "the ranked winner closes it");
 
-    let journal = enforcer.journal();
-    println!("\n=== Decision journal (first 3 of {}) ===", journal.len());
-    for decision in journal.entries().iter().take(3) {
-        println!("  {decision}");
-    }
-    let stats = enforcer.stats();
-    println!(
-        "\nmediation effort: {} events seen, {} mediated, {}ns mean decision latency",
-        stats.events,
-        stats.mediated,
-        stats.mean_latency_ns()
-    );
+            let journal = enforcer.journal();
+            println!("\n=== Decision journal (first 3 of {}) ===", journal.len());
+            for decision in journal.entries().iter().take(3) {
+                println!("  {decision}");
+            }
+            let stats = enforcer.stats();
+            println!(
+                "\nmediation effort: {} events seen, {} mediated, {}ns mean decision latency",
+                stats.events,
+                stats.mediated,
+                stats.mean_latency_ns()
+            );
+        })
+        .expect("home exists");
     println!("\nhandling_demo: OK");
 }

@@ -1,20 +1,22 @@
-//! Quickstart: extract rules from a SmartApp (reproducing Table II) and
-//! detect the Fig. 3 Actuator Race between ComfortTV and ColdDefender.
+//! Quickstart: extract rules from a SmartApp (reproducing Table II),
+//! detect the Fig. 3 Actuator Race between ComfortTV and ColdDefender,
+//! and walk the full app lifecycle — install, confirm, upgrade,
+//! uninstall — through the fleet service.
 //!
 //! Run with: `cargo run -p homeguard-examples --bin quickstart`
 
-use homeguard_core::{frontend, Home, RuleStore};
+use hg_service::{frontend, Fleet, RuleStore};
 
 fn main() {
-    // The rule store is process-wide: one database serves every home.
-    let store = RuleStore::shared();
-    let mut home = Home::new(store.clone());
+    // The fleet is the service surface: one shared rule store, many homes.
+    let fleet = Fleet::new(RuleStore::shared());
+    let home = fleet.create_home();
 
     // Paper Listing 1: ComfortTV (Rule 1 of Fig. 3). Clean, so the install
     // confirms automatically.
     let comfort_tv = hg_corpus::benign_app("ComfortTV").expect("corpus app");
-    let report = home
-        .install_app(comfort_tv.source, comfort_tv.name, None)
+    let report = fleet
+        .install_app(home, comfort_tv.source, comfort_tv.name, None)
         .expect("ComfortTV extracts");
     assert!(report.installed);
 
@@ -27,8 +29,8 @@ fn main() {
     // Paper Fig. 3: installing ColdDefender reveals the Actuator Race. The
     // dirty report comes back unconfirmed — the user decides.
     let cold_defender = hg_corpus::benign_app("ColdDefender").expect("corpus app");
-    let report = home
-        .install_app(cold_defender.source, cold_defender.name, None)
+    let report = fleet
+        .install_app(home, cold_defender.source, cold_defender.name, None)
         .expect("ColdDefender extracts");
 
     println!("=== Installing ColdDefender into the same home ===");
@@ -45,20 +47,57 @@ fn main() {
 
     // The user accepts the interference: the rules are recorded and the
     // race lands on the Allowed list for future chained detection.
-    home.confirm_install(report);
-    assert_eq!(home.installed_rules().len(), 2);
-    assert!(!home.allowed().is_empty());
+    fleet.confirm_install(home, report).expect("home exists");
+    assert_eq!(
+        fleet
+            .with_home(home, |h| h.installed_rules().len())
+            .expect("home exists"),
+        2
+    );
 
     // A second home shares the same store: extraction is served from cache.
-    let mut neighbor = Home::new(store.clone());
-    let report = neighbor
-        .install_app(cold_defender.source, cold_defender.name, None)
+    let neighbor = fleet.create_home();
+    let report = fleet
+        .install_app(neighbor, cold_defender.source, cold_defender.name, None)
         .expect("cached");
     assert!(
         report.is_clean(),
         "no ComfortTV in the neighbor's home, no race"
     );
-    assert!(store.cache_hits() >= 1, "one extraction served both homes");
+    assert!(
+        fleet.store().cache_hits() >= 1,
+        "one extraction served both homes"
+    );
+
+    // Lifecycle, forward: v2 of ColdDefender rolls out fleet-wide with a
+    // single re-extraction; the first home (which still races) keeps v1
+    // pending the user's verdict, the clean neighbor upgrades in place.
+    let v2 = format!("{}\n// v2: store update\n", cold_defender.source);
+    let rollout = fleet
+        .propagate_upgrade(&v2, cold_defender.name)
+        .expect("v2 extracts");
+    println!(
+        "=== Fleet upgrade rollout: {} upgraded, {} pending user confirmation ===",
+        rollout.upgraded.len(),
+        rollout.pending.len()
+    );
+    assert_eq!(rollout.upgraded, vec![neighbor]);
+    assert_eq!(rollout.pending.len(), 1, "the racing home waits");
+
+    // Lifecycle, backward: uninstalling ComfortTV retracts its rules,
+    // retires the allowed race, and the re-checked ColdDefender is clean.
+    let removed = fleet
+        .uninstall_app(home, "ComfortTV")
+        .expect("installed above");
+    println!(
+        "=== Uninstalled ComfortTV: {} rule(s) retracted, {} allowed threat(s) retired ===",
+        removed.removed_rules.len(),
+        removed.retired_threats
+    );
+    let recheck = fleet
+        .check_install(home, "ColdDefender")
+        .expect("still in the store");
+    assert!(recheck.is_clean(), "the race died with ComfortTV");
 
     println!("\nquickstart: OK");
 }

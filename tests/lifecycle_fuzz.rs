@@ -1,0 +1,330 @@
+//! Differential retraction harness: random install / uninstall / upgrade
+//! sequences must leave the incrementally maintained detection state
+//! **identical** to a from-scratch rebuild of the surviving population.
+//!
+//! Two levels, both seeded (SplitMix64, as in `tests/properties.rs` and
+//! `tests/runtime_fuzz.rs`, so every sequence reproduces from its seed):
+//!
+//! * engine level — lifecycle ops over the real benign+malicious corpus
+//!   drive `DetectionEngine::{install_rules, remove_app}` directly; after
+//!   every op a probe app must get the identical threat set from the
+//!   churned engine and a freshly rebuilt one;
+//! * session level — lifecycle ops through the full `Home` API (forced
+//!   installs, uninstalls, forced upgrades) must leave installed rules,
+//!   the Allowed list *and the compiled mediation points* identical to a
+//!   fresh session that only ever saw the surviving apps — in particular,
+//!   an uninstalled app's rules produce **zero** mediation points.
+
+use hg_detector::{DetectionEngine, Detector, Threat, ThreatKind};
+use hg_rules::rule::Rule;
+use hg_symexec::{extract, ExtractorConfig};
+use homeguard_core::{Home, PolicyTable, RuleStore};
+
+/// SplitMix64, as in `tests/properties.rs`.
+struct Gen {
+    state: u64,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next() % (hi - lo) as u64) as usize
+    }
+}
+
+/// Canonical, comparable threat key (as in `tests/differential.rs`).
+fn key(t: &Threat) -> (ThreatKind, String, String) {
+    let s = t.source.to_string();
+    let d = t.target.to_string();
+    if t.kind.is_directed() || s <= d {
+        (t.kind, s, d)
+    } else {
+        (t.kind, d, s)
+    }
+}
+
+fn sorted_keys(threats: &[Threat]) -> Vec<(ThreatKind, String, String)> {
+    let mut keys: Vec<_> = threats.iter().map(key).collect();
+    keys.sort();
+    keys
+}
+
+/// Extracted rule sets of the benign + malicious corpus apps that yield
+/// rules, re-identified under unique labels so a benign and a malicious
+/// app sharing a name cannot collide and `remove_app(label)` matches the
+/// installed rule identities exactly.
+fn corpus_rule_sets() -> Vec<(String, Vec<Rule>)> {
+    let config = ExtractorConfig::extended();
+    let mut out = Vec::new();
+    for app in hg_corpus::benign_apps() {
+        if let Ok(analysis) = extract(app.source, app.name, &config) {
+            if !analysis.rules.is_empty() {
+                out.push((analysis.name.clone(), analysis.rules));
+            }
+        }
+    }
+    for app in hg_corpus::MALICIOUS_APPS {
+        if let Ok(analysis) = extract(app.source, app.name, &config) {
+            if !analysis.rules.is_empty() {
+                let label = format!("mal::{}", analysis.name);
+                let rules = reidentify(&analysis.rules, &label);
+                out.push((label, rules));
+            }
+        }
+    }
+    out
+}
+
+/// Re-identifies a donor rule set as `app` (the "v2" of an upgrade): same
+/// automation, new ownership.
+fn reidentify(rules: &[Rule], app: &str) -> Vec<Rule> {
+    rules
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.id.app = app.to_string();
+            r
+        })
+        .collect()
+}
+
+#[test]
+fn engine_retraction_matches_fresh_rebuild_over_corpus() {
+    let corpus = corpus_rule_sets();
+    assert!(corpus.len() > 50, "corpus suspiciously small");
+
+    let mut installs = 0usize;
+    let mut uninstalls = 0usize;
+    let mut upgrades = 0usize;
+    for seed in 0..6 {
+        let mut g = Gen::new(seed);
+        let mut engine = DetectionEngine::new(Detector::store_wide());
+        // The mirror: what a from-scratch rebuild would install.
+        let mut live: Vec<(String, Vec<Rule>)> = Vec::new();
+
+        for _ in 0..24 {
+            match g.range(0, 100) {
+                // Install an app not currently live (rules re-identified so
+                // repeat installs across seeds cannot collide).
+                0..=49 => {
+                    let (name, rules) = &corpus[g.range(0, corpus.len())];
+                    if live.iter().any(|(n, _)| n == name) {
+                        continue;
+                    }
+                    engine.install_rules(rules);
+                    live.push((name.clone(), rules.clone()));
+                    installs += 1;
+                }
+                // Uninstall a random live app.
+                50..=74 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let victim = g.range(0, live.len());
+                    let (name, _) = live.remove(victim);
+                    let removed = engine.remove_app(&name);
+                    assert!(!removed.is_empty(), "{name} had rules installed");
+                    uninstalls += 1;
+                }
+                // Upgrade a random live app to another corpus app's
+                // automation (re-identified), exercising remove + add.
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let slot = g.range(0, live.len());
+                    let app = live[slot].0.clone();
+                    let (_, donor) = &corpus[g.range(0, corpus.len())];
+                    let v2 = reidentify(donor, &app);
+                    engine.remove_app(&app);
+                    engine.install_rules(&v2);
+                    live[slot].1 = v2;
+                    upgrades += 1;
+                }
+            }
+
+            // Differential: a probe app must see the identical threat set
+            // from the churned engine and a fresh rebuild of `live`.
+            let mut fresh = DetectionEngine::new(Detector::store_wide());
+            for (_, rules) in &live {
+                fresh.install_rules(rules);
+            }
+            assert_eq!(engine.len(), fresh.len(), "seed {seed}: live rule counts");
+            let churned_ids: Vec<String> =
+                engine.installed_rules().map(|r| r.id.to_string()).collect();
+            let fresh_ids: Vec<String> =
+                fresh.installed_rules().map(|r| r.id.to_string()).collect();
+            let (mut a, mut b) = (churned_ids.clone(), fresh_ids.clone());
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "seed {seed}: installed populations diverge");
+
+            let (_, probe) = &corpus[g.range(0, corpus.len())];
+            let (churned_threats, _) = engine.check(probe);
+            let (fresh_threats, _) = fresh.check(probe);
+            assert_eq!(
+                sorted_keys(&churned_threats),
+                sorted_keys(&fresh_threats),
+                "seed {seed}: probe threat sets diverge after lifecycle churn"
+            );
+        }
+    }
+    // The property must not hold vacuously.
+    assert!(installs >= 30, "only {installs} installs exercised");
+    assert!(uninstalls >= 15, "only {uninstalls} uninstalls exercised");
+    assert!(upgrades >= 10, "only {upgrades} upgrades exercised");
+}
+
+/// Synthetic palette for session-level lifecycle fuzzing: every app
+/// subscribes to one sensor and commands one actuator, so pairs race,
+/// covertly trigger, or stay unrelated depending on the draw.
+const SENSORS: [(&str, &str, &str); 3] = [
+    ("capability.motionSensor", "motion", "active"),
+    ("capability.contactSensor", "contact", "open"),
+    ("capability.waterSensor", "water", "wet"),
+];
+
+const ACTUATORS: [(&str, &str, [&str; 2]); 3] = [
+    ("capability.switch", "lamp", ["on", "off"]),
+    ("capability.alarm", "siren", ["siren", "off"]),
+    ("capability.lock", "door", ["lock", "unlock"]),
+];
+
+fn palette_source(name: &str, sensor: usize, actuator: usize, command: usize) -> String {
+    let (s_cap, s_attr, s_val) = SENSORS[sensor];
+    let (a_cap, a_title, commands) = ACTUATORS[actuator];
+    let cmd = commands[command];
+    format!(
+        r#"
+definition(name: "{name}")
+input "t", "{s_cap}"
+input "a", "{a_cap}", title: "{a_title}"
+def installed() {{ subscribe(t, "{s_attr}.{s_val}", h) }}
+def h(evt) {{ a.{cmd}() }}
+"#
+    )
+}
+
+#[test]
+fn home_lifecycle_matches_fresh_session_replay() {
+    let mut uninstalls = 0usize;
+    let mut upgrades = 0usize;
+    let mut nonempty_mediation = 0usize;
+    for seed in 0..16 {
+        let mut g = Gen::new(0xbeef ^ seed);
+        let mut home = Home::builder(RuleStore::shared())
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        // The mirror: (name, source) of every app surviving the churn, in
+        // the order a fresh session would install them.
+        let mut live: Vec<(String, String)> = Vec::new();
+
+        for step in 0..12 {
+            match g.range(0, 100) {
+                0..=54 => {
+                    let name = format!("App{seed}x{step}");
+                    let source = palette_source(&name, g.range(0, 3), g.range(0, 3), g.range(0, 2));
+                    let report = home.install_app_forced(&source, &name, None).unwrap();
+                    assert!(report.installed);
+                    live.push((name, source));
+                }
+                55..=79 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let (name, _) = live.remove(g.range(0, live.len()));
+                    home.uninstall_app(&name).unwrap();
+                    uninstalls += 1;
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let slot = g.range(0, live.len());
+                    let name = live[slot].0.clone();
+                    let v2 = palette_source(&name, g.range(0, 3), g.range(0, 3), g.range(0, 2));
+                    let report = home.upgrade_app_forced(&v2, &name, None).unwrap();
+                    assert!(report.installed && report.is_upgrade());
+                    live[slot].1 = v2;
+                    upgrades += 1;
+                }
+            }
+        }
+
+        // A fresh session that only ever saw the survivors.
+        let mut fresh = Home::builder(RuleStore::shared())
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        for (name, source) in &live {
+            fresh.install_app_forced(source, name, None).unwrap();
+        }
+
+        // Compared as sets: an upgrade legitimately moves an app to the
+        // end of the churned home's install order.
+        let mut churned_rules: Vec<String> = home
+            .installed_rules()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let mut fresh_rules: Vec<String> = fresh
+            .installed_rules()
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        churned_rules.sort();
+        fresh_rules.sort();
+        assert_eq!(
+            churned_rules, fresh_rules,
+            "seed {seed}: surviving rules diverge"
+        );
+
+        assert_eq!(
+            sorted_keys(home.allowed()),
+            sorted_keys(fresh.allowed()),
+            "seed {seed}: Allowed lists diverge after churn"
+        );
+
+        // The compiled mediation points agree, and no point references an
+        // app outside the surviving population — an uninstalled app's
+        // rules produce zero mediation points.
+        let fresh_points = fresh.mediation_index().len();
+        let index = home.mediation_index();
+        assert_eq!(
+            index.len(),
+            fresh_points,
+            "seed {seed}: mediation point counts diverge"
+        );
+        for point in index.points() {
+            for rule in [&point.source, &point.target] {
+                assert!(
+                    live.iter().any(|(name, _)| *name == rule.app),
+                    "seed {seed}: mediation point references retired app {rule}"
+                );
+            }
+        }
+        if !index.is_empty() {
+            nonempty_mediation += 1;
+        }
+    }
+    // Not vacuous: the sequences actually retired and replaced apps, and
+    // some surviving populations still interfere.
+    assert!(uninstalls >= 10, "only {uninstalls} uninstalls exercised");
+    assert!(upgrades >= 10, "only {upgrades} upgrades exercised");
+    assert!(
+        nonempty_mediation >= 4,
+        "only {nonempty_mediation} seeds ended with live mediation points"
+    );
+}
