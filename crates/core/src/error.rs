@@ -80,6 +80,10 @@ pub enum HgError {
     /// A lock was poisoned by a panicking writer and the guarded state
     /// cannot be trusted (fleet shards; the rule store itself recovers).
     Poisoned(&'static str),
+    /// A persisted snapshot could not be decoded: corrupt bytes, a wrong
+    /// or missing schema version, or a structurally invalid document.
+    /// Restoration fails as a whole — a snapshot is never half-applied.
+    Snapshot(String),
 }
 
 impl HgError {
@@ -114,6 +118,7 @@ impl fmt::Display for HgError {
                 )
             }
             HgError::Poisoned(what) => write!(f, "poisoned lock: {what}"),
+            HgError::Snapshot(detail) => write!(f, "invalid snapshot: {detail}"),
         }
     }
 }

@@ -106,6 +106,14 @@ pub fn interpret_report(report: &InstallReport) -> String {
             let _ = writeln!(out, "  {line}");
         }
     }
+    if !report.dropped_ranks.is_empty() {
+        let ranks: Vec<String> = report.dropped_ranks.iter().map(|r| r.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "\n⚠ Priority rank(s) for {} did not survive the upgrade — please re-rank.",
+            ranks.join(", ")
+        );
+    }
     if report.is_clean() {
         let _ = writeln!(out, "No cross-app interference detected.");
         return out;
@@ -240,6 +248,7 @@ mod tests {
             installed: false,
             config: None,
             replaces: None,
+            dropped_ranks: vec![],
         };
         let text = interpret_report(&report);
         assert!(
@@ -260,8 +269,11 @@ mod tests {
             installed: false,
             config: None,
             replaces: Some("Mini".into()),
+            dropped_ranks: vec![RuleId::new("Mini", 3)],
         };
         let text = interpret_report(&report);
         assert!(text.starts_with("Upgrading"), "{text}");
+        assert!(text.contains("please re-rank"), "{text}");
+        assert!(text.contains("Mini#3"), "{text}");
     }
 }

@@ -190,6 +190,12 @@ pub struct InstallReport {
     /// For an upgrade report: the installed app this install replaces on
     /// confirmation (its rules and Allowed threats are retired first).
     pub replaces: Option<String>,
+    /// Filled on confirmation of an upgrade: `Priority` ranks that named
+    /// rules of the replaced version with no surviving counterpart in the
+    /// new one. They were dropped from the handling table (a renumbered
+    /// survivor is remapped instead) and are surfaced here so the frontend
+    /// can ask the user to re-rank.
+    pub dropped_ranks: Vec<RuleId>,
 }
 
 impl InstallReport {
@@ -213,6 +219,58 @@ pub struct UninstallReport {
     pub removed_rules: Vec<RuleId>,
     /// Allowed-list threats retired because they involved the app.
     pub retired_threats: usize,
+    /// `Priority` ranks dropped from the handling table because they named
+    /// the uninstalled app's rules.
+    pub dropped_ranks: Vec<RuleId>,
+}
+
+/// Maps each outgoing rule of an upgraded app to the new-version rule
+/// carrying the identical automation (same trigger, condition and actions
+/// — identity aside), if one exists. Each new rule absorbs at most one
+/// predecessor, so two identical old rules cannot collapse onto one rank.
+fn rank_remap(old_rules: &[Rule], new_rules: &[Rule]) -> BTreeMap<RuleId, RuleId> {
+    let mut used = vec![false; new_rules.len()];
+    let mut map = BTreeMap::new();
+    for old in old_rules {
+        let hit = new_rules.iter().enumerate().find(|(i, n)| {
+            !used[*i]
+                && n.trigger == old.trigger
+                && n.condition == old.condition
+                && n.actions == old.actions
+        });
+        if let Some((i, survivor)) = hit {
+            used[i] = true;
+            map.insert(old.id.clone(), survivor.id.clone());
+        }
+    }
+    map
+}
+
+/// The complete persistable state of a [`Home`] session — everything that
+/// is *ground truth* rather than derived. The detection engine's postings,
+/// the compiled mediation index and the enforcer are deliberately absent:
+/// [`Home::restore_state`] rebuilds them from the rules and the Allowed
+/// list, so a snapshot can never disagree with the state it implies.
+#[derive(Debug, Clone)]
+pub struct HomeState {
+    /// Location modes.
+    pub modes: Vec<String>,
+    /// Device-slot unification policy.
+    pub policy: UnificationPolicy,
+    /// Maximum chained-threat length in edges.
+    pub chain_depth: usize,
+    /// Confirmed-installed app names, in first-install order.
+    pub apps: Vec<String>,
+    /// Installed rules, in engine install order.
+    pub rules: Vec<Rule>,
+    /// Configuration recorder: device bindings per (app, input).
+    pub bindings: Vec<(String, String, String)>,
+    /// Configuration recorder: user values per (app, input).
+    pub values: Vec<(String, String, Value)>,
+    /// The Allowed list (confirmed threat decisions).
+    pub allowed: Vec<Threat>,
+    /// Runtime handling policies, including user-configured ranks.
+    pub handling: PolicyTable,
 }
 
 impl Home {
@@ -299,6 +357,7 @@ impl Home {
             installed: false,
             config: None,
             replaces: None,
+            dropped_ranks: Vec::new(),
         })
     }
 
@@ -334,6 +393,7 @@ impl Home {
                 installed: false,
                 config: None,
                 replaces: None,
+                dropped_ranks: Vec::new(),
             });
         }
         Ok(out)
@@ -372,11 +432,21 @@ impl Home {
     /// [`HgError::UnconfirmedInstall`] when an upgrade report's app was
     /// uninstalled meanwhile (confirming would resurrect it).
     pub fn confirm_install(&mut self, mut report: InstallReport) -> Result<InstallReport, HgError> {
+        let mut replaced_rules = None;
         match report.replaces.clone() {
             Some(old) => {
                 if !self.is_installed(&old) {
                     return Err(HgError::UnconfirmedInstall(old));
                 }
+                // Capture the outgoing version's rules before retirement:
+                // they are the "from" side of the Priority rank remap.
+                replaced_rules = Some(
+                    self.engine
+                        .installed_rules()
+                        .filter(|r| r.id.app == old)
+                        .cloned()
+                        .collect::<Vec<Rule>>(),
+                );
                 self.retire_app(&old);
             }
             None => {
@@ -392,6 +462,15 @@ impl Home {
         self.allowed.extend(report.threats.iter().cloned());
         if !self.apps.contains(&report.app) {
             self.apps.push(report.app.clone());
+        }
+        if let Some(old_rules) = replaced_rules {
+            // An upgrade renumbers the app's rules. A `Priority` rank on a
+            // rule whose automation survived must follow it to its new
+            // identity; a rank on automation the upgrade removed is
+            // dropped and surfaced — silently treating it as "unranked"
+            // would flip the arbitration the user explicitly configured.
+            let remap = rank_remap(&old_rules, &report.rules);
+            report.dropped_ranks = self.handling.remap_app_ranks(&report.app, &remap);
         }
         self.mediation = None;
         report.installed = true;
@@ -423,10 +502,18 @@ impl Home {
             self.engine.reconfigure(self.detector());
             self.mediation = None;
         }
+        // Ranks naming the app's rules are dangling now; drop and surface
+        // them. Live mediation points embed resolved policies, so a
+        // changed table invalidates the compiled cache.
+        let dropped_ranks = self.handling.remap_app_ranks(app, &BTreeMap::new());
+        if !dropped_ranks.is_empty() {
+            self.mediation = None;
+        }
         Ok(UninstallReport {
             app: app.to_string(),
             removed_rules,
             retired_threats,
+            dropped_ranks,
         })
     }
 
@@ -526,6 +613,7 @@ impl Home {
             installed: false,
             config: config.cloned(),
             replaces: Some(name.to_string()),
+            dropped_ranks: Vec::new(),
         })
     }
 
@@ -667,6 +755,14 @@ impl Home {
         &self.handling
     }
 
+    /// Replaces the session's handling policies (e.g. the user ranked an
+    /// Actuator Race pair after confirming it). Compiled mediation points
+    /// embed resolved policies, so the cache is invalidated.
+    pub fn set_handling_policy(&mut self, table: PolicyTable) {
+        self.handling = table;
+        self.mediation = None;
+    }
+
     /// Compiles the session's confirmed-install threat set (the Allowed
     /// list) into a runtime mediation engine, ready to be installed into
     /// an event loop (e.g. `hg_sim::Home::set_mediator`).
@@ -692,6 +788,64 @@ impl Home {
             Some(index) => index,
             None => unreachable!("mediation cache populated above"),
         }
+    }
+
+    /// Extracts the session's persistable state (see [`HomeState`]).
+    pub fn export_state(&self) -> HomeState {
+        HomeState {
+            modes: self.modes.clone(),
+            policy: self.policy,
+            chain_depth: self.chain_depth,
+            apps: self.apps.clone(),
+            rules: self.engine.installed_rules().cloned().collect(),
+            bindings: self
+                .bindings
+                .iter()
+                .map(|((app, input), device)| (app.clone(), input.clone(), device.clone()))
+                .collect(),
+            values: self
+                .values
+                .iter()
+                .map(|((app, input), value)| (app.clone(), input.clone(), value.clone()))
+                .collect(),
+            allowed: self.allowed.clone(),
+            handling: self.handling.clone(),
+        }
+    }
+
+    /// Rebuilds a session from exported state against `store`. Derived
+    /// state is reconstructed, never deserialized: the detection engine
+    /// re-posts the rules in their original install order (so incremental
+    /// checks and stats are identical to the live session's), and the
+    /// mediation index recompiles lazily from the restored Allowed list.
+    /// Any enforcer built from the restored session starts with **empty**
+    /// per-run memory — in-flight defer grants and fired-rule traces never
+    /// survive a restart.
+    pub fn restore_state(store: Arc<RuleStore>, state: HomeState) -> Home {
+        let mut home = Home {
+            store,
+            engine: DetectionEngine::default(),
+            bindings: state
+                .bindings
+                .into_iter()
+                .map(|(app, input, device)| ((app, input), device))
+                .collect(),
+            values: state
+                .values
+                .into_iter()
+                .map(|(app, input, value)| ((app, input), value))
+                .collect(),
+            allowed: state.allowed,
+            apps: state.apps,
+            modes: state.modes,
+            policy: state.policy,
+            chain_depth: state.chain_depth.max(2),
+            handling: state.handling,
+            mediation: None,
+        };
+        home.engine = DetectionEngine::new(home.detector());
+        home.engine.install_rules(state.rules.iter());
+        home
     }
 
     fn compile_mediation(&self) -> MediationIndex {
@@ -1219,6 +1373,111 @@ def h(evt) { lamp.off() }
             Err(HgError::UpgradeRenames { .. })
         ));
         assert_eq!(home.installed_apps(), vec!["OnApp".to_string()]);
+    }
+
+    #[test]
+    fn upgrade_remaps_surviving_priority_ranks_and_drops_dangling() {
+        use hg_runtime::HandlingPolicy;
+
+        // TwoRule v1: rule #0 races with OnApp (user ranks it), rule #1 is
+        // an unrelated valve automation (also ranked, defensively).
+        let two_v1 = r#"
+definition(name: "TwoRule")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+input "leak", "capability.waterSensor"
+input "valve", "capability.valve"
+def installed() { subscribe(m, "motion.active", h); subscribe(leak, "water.wet", k) }
+def h(evt) { lamp.off() }
+def k(evt) { valve.close() }
+"#;
+        // v2 drops the lamp rule and keeps the valve automation, which
+        // renumbers it from TwoRule#1 to TwoRule#0.
+        let two_v2 = r#"
+definition(name: "TwoRule")
+input "leak", "capability.waterSensor"
+input "valve", "capability.valve"
+def installed() { subscribe(leak, "water.wet", k) }
+def k(evt) { valve.close() }
+"#;
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        home.install_app_forced(two_v1, "TwoRule", None).unwrap();
+        home.set_handling_policy(PolicyTable::default().prioritize([
+            RuleId::new("TwoRule", 0),
+            RuleId::new("OnApp", 0),
+            RuleId::new("TwoRule", 1),
+        ]));
+
+        let report = home.upgrade_app_forced(two_v2, "TwoRule", None).unwrap();
+        assert!(report.installed);
+        // The lamp rule's rank is dangling (its automation is gone)...
+        assert_eq!(report.dropped_ranks, vec![RuleId::new("TwoRule", 0)]);
+        // ...while the surviving valve rule's rank followed the renumbering
+        // (TwoRule#1 → TwoRule#0) and other apps' ranks are untouched.
+        assert!(matches!(
+            home.handling_policy().policy(ThreatKind::ActuatorRace),
+            HandlingPolicy::Priority(order)
+                if *order == vec![RuleId::new("OnApp", 0), RuleId::new("TwoRule", 0)]
+        ));
+    }
+
+    #[test]
+    fn uninstall_drops_the_apps_priority_ranks() {
+        use hg_runtime::HandlingPolicy;
+
+        let mut home = Home::new(RuleStore::shared());
+        home.install_app(ON_APP, "OnApp", None).unwrap();
+        home.install_app_forced(OFF_APP, "OffApp", None).unwrap();
+        home.set_handling_policy(
+            PolicyTable::default().prioritize([RuleId::new("OffApp", 0), RuleId::new("OnApp", 0)]),
+        );
+        let report = home.uninstall_app("OffApp").unwrap();
+        assert_eq!(report.dropped_ranks, vec![RuleId::new("OffApp", 0)]);
+        assert!(matches!(
+            home.handling_policy().policy(ThreatKind::ActuatorRace),
+            HandlingPolicy::Priority(order) if *order == vec![RuleId::new("OnApp", 0)]
+        ));
+    }
+
+    #[test]
+    fn export_restore_round_trips_the_session() {
+        let store = RuleStore::shared();
+        let mut home = Home::builder(store.clone())
+            .modes(["Day", "Night"])
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        let cfg = ConfigInfo::new("OnApp")
+            .bind_device("m", "motion-1")
+            .bind_device("lamp", "lamp-1");
+        home.install_app(ON_APP, "OnApp", Some(&cfg)).unwrap();
+        home.install_app_forced(OFF_APP, "OffApp", None).unwrap();
+
+        let mut restored = Home::restore_state(store, home.export_state());
+        assert_eq!(restored.installed_apps(), home.installed_apps());
+        assert_eq!(
+            restored
+                .installed_rules()
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>(),
+            home.installed_rules()
+                .iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+        );
+        assert_eq!(restored.allowed().len(), home.allowed().len());
+        assert_eq!(restored.modes(), home.modes());
+        // Derived state rebuilt: the same fresh check gets the same answer,
+        // and the mediation points recompile to the same population.
+        let live = home.check_install("OffApp").unwrap();
+        let back = restored.check_install("OffApp").unwrap();
+        assert_eq!(live.threats, back.threats);
+        assert_eq!(live.stats, back.stats);
+        assert_eq!(
+            home.mediation_index().len(),
+            restored.mediation_index().len()
+        );
     }
 
     #[test]

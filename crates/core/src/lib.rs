@@ -65,5 +65,5 @@ pub mod store;
 
 pub use error::{HgError, HomeId};
 pub use hg_runtime::{HandlingPolicy, PolicyTable, SharedEnforcer};
-pub use home::{Home, HomeBuilder, InstallReport, UnificationPolicy, UninstallReport};
-pub use store::RuleStore;
+pub use home::{Home, HomeBuilder, HomeState, InstallReport, UnificationPolicy, UninstallReport};
+pub use store::{RuleStore, StoreAppState, StoreState};

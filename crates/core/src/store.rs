@@ -38,10 +38,15 @@ struct StoreInner {
     /// Cached full analyses (inputs, warnings) for the frontend.
     analyses: BTreeMap<String, Arc<AppAnalysis>>,
     /// `(source, fallback name) fingerprint → analysis`, the ingest dedup
-    /// cache. The analysis is held here directly (not via the name) so a
-    /// later re-ingest of the same app name with *different* source cannot
-    /// make an old fingerprint serve the new analysis.
+    /// cache. Invariant: every entry serves the analysis its app's
+    /// database entry currently round-trips to — when an upgrade replaces
+    /// an app's entry, the pre-upgrade fingerprints are retired (see
+    /// `app_fingerprints`), so a stale fingerprint can never answer an
+    /// ingest with a pre-upgrade analysis.
     by_fingerprint: BTreeMap<u64, Arc<AppAnalysis>>,
+    /// `app name → live fingerprints` — the retirement index. Upgrade and
+    /// retraction walk it to drop exactly the app's stale cache entries.
+    app_fingerprints: BTreeMap<String, Vec<u64>>,
 }
 
 impl Default for RuleStore {
@@ -156,12 +161,45 @@ impl RuleStore {
         }
         let app = analysis.name.clone();
         let mut inner = self.write_inner();
+        // This ingest replaces whatever the app's database entry was (an
+        // upgrade, or a re-publish under a different fallback name), so
+        // the fingerprints that served the previous analysis are retired:
+        // a pre-upgrade fingerprint must never keep answering ingests with
+        // the pre-upgrade analysis after the entry changed underneath it.
+        if let Some(stale) = inner.app_fingerprints.remove(&app) {
+            for fp in stale {
+                if fp != fingerprint {
+                    inner.by_fingerprint.remove(&fp);
+                }
+            }
+        }
         inner
             .database
             .insert(app.clone(), rules_to_text(&analysis.rules));
         inner.by_fingerprint.insert(fingerprint, analysis.clone());
+        inner
+            .app_fingerprints
+            .insert(app.clone(), vec![fingerprint]);
         inner.analyses.insert(app, analysis.clone());
         Ok(analysis)
+    }
+
+    /// Removes a store-pulled (e.g. discovered-malicious) app from the
+    /// database entirely: its rule file, its cached analysis and every
+    /// live fingerprint, so neither a query nor a dedup-cache hit can
+    /// resurrect it. Returns whether the app was present. Homes keep
+    /// their installed rule copies — retraction from every session is the
+    /// fleet's job (`Fleet::force_uninstall` composes both).
+    pub fn retire_app(&self, app: &str) -> bool {
+        let mut inner = self.write_inner();
+        let present = inner.database.remove(app).is_some();
+        inner.analyses.remove(app);
+        if let Some(fps) = inner.app_fingerprints.remove(app) {
+            for fp in fps {
+                inner.by_fingerprint.remove(&fp);
+            }
+        }
+        present
     }
 
     /// Queries the stored rules for `app` (the phone app's online request).
@@ -219,6 +257,85 @@ impl RuleStore {
     pub fn cache_hits(&self) -> u64 {
         self.cache_hits.load(Ordering::Relaxed)
     }
+
+    /// The extractor configuration the store was created with.
+    pub fn config(&self) -> &ExtractorConfig {
+        &self.config
+    }
+
+    /// Extracts the persistable state: every database entry with its
+    /// cached analysis and live fingerprints, plus the extractor
+    /// configuration. This is the raw material `hg-persist` serializes;
+    /// the effort counters (`cache_hits`) are statistics, not state, and
+    /// are deliberately not part of it.
+    pub fn export_state(&self) -> StoreState {
+        let inner = self.read_inner();
+        StoreState {
+            config: self.config.clone(),
+            apps: inner
+                .database
+                .iter()
+                .map(|(name, rule_file)| StoreAppState {
+                    name: name.clone(),
+                    rule_file: rule_file.clone(),
+                    analysis: inner.analyses.get(name).cloned(),
+                    fingerprints: inner
+                        .app_fingerprints
+                        .get(name)
+                        .cloned()
+                        .unwrap_or_default(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a store from exported state — the warm-restart path. The
+    /// ingest dedup cache is restored along with the database: every live
+    /// fingerprint resumes serving its app's analysis, so the first
+    /// post-restart ingest of an unchanged source is a cache hit, not a
+    /// re-extraction.
+    pub fn restore_state(state: StoreState) -> RuleStore {
+        let store = RuleStore::with_config(state.config);
+        {
+            let mut inner = store.write_inner();
+            for app in state.apps {
+                inner.database.insert(app.name.clone(), app.rule_file);
+                if let Some(analysis) = app.analysis {
+                    for &fp in &app.fingerprints {
+                        inner.by_fingerprint.insert(fp, analysis.clone());
+                    }
+                    inner
+                        .app_fingerprints
+                        .insert(app.name.clone(), app.fingerprints);
+                    inner.analyses.insert(app.name, analysis);
+                }
+            }
+        }
+        store
+    }
+}
+
+/// One app's persisted store entry (see [`RuleStore::export_state`]).
+#[derive(Debug, Clone)]
+pub struct StoreAppState {
+    /// The app name (database key).
+    pub name: String,
+    /// The serialized rule file exactly as the database holds it.
+    pub rule_file: String,
+    /// The cached full analysis, when one exists (a corrupt or manually
+    /// injected entry may have none; queries still serve the rule file).
+    pub analysis: Option<Arc<AppAnalysis>>,
+    /// The live `(source, fallback name)` fingerprints serving `analysis`.
+    pub fingerprints: Vec<u64>,
+}
+
+/// The persistable state of a [`RuleStore`].
+#[derive(Debug, Clone)]
+pub struct StoreState {
+    /// Extractor configuration future ingests will run under.
+    pub config: ExtractorConfig,
+    /// Every database entry, sorted by app name.
+    pub apps: Vec<StoreAppState>,
 }
 
 #[cfg(test)]
@@ -330,18 +447,71 @@ def h(evt) { lamp.on() }
     }
 
     #[test]
-    fn updated_source_does_not_poison_the_cache() {
-        // v2 of "Mini" replaces the database entry, but the v1 fingerprint
-        // must keep serving the v1 analysis, not v2's.
+    fn upgrade_retires_the_pre_upgrade_fingerprint() {
+        // Regression: v2 of "Mini" replaces the database entry. The v1
+        // fingerprint used to survive and keep serving the pre-upgrade
+        // analysis from cache while the database served v2 — an ingest
+        // answered with rules that contradicted every by-name view. Now
+        // the replacement retires the stale fingerprint: a later ingest
+        // of the v1 source re-extracts, and every view (returned
+        // analysis, `analysis_of`, `rules_of`) agrees again.
         let v2 = APP.replace("lamp.on()", "lamp.off()");
         let store = RuleStore::new();
-        let first_v1 = store.ingest(APP, "Mini").unwrap();
+        store.ingest(APP, "Mini").unwrap();
         store.ingest(&v2, "Mini").unwrap();
-        let again_v1 = store.ingest(APP, "Mini").unwrap();
-        assert_eq!(again_v1.rules, first_v1.rules);
-        assert_eq!(again_v1.rules[0].actions[0].command, "on");
-        // The by-name views serve the latest ingest.
+        assert_eq!(store.cache_hits(), 0);
         assert_eq!(store.rules_of("Mini").unwrap()[0].actions[0].command, "off");
+
+        let again_v1 = store.ingest(APP, "Mini").unwrap();
+        assert_eq!(store.cache_hits(), 0, "stale fingerprint must not hit");
+        assert_eq!(again_v1.rules[0].actions[0].command, "on");
+        // The re-ingest is a real publish: all views agree on v1 again.
+        assert_eq!(store.rules_of("Mini").unwrap()[0].actions[0].command, "on");
+        assert_eq!(
+            store.analysis_of("Mini").unwrap().rules[0].actions[0].command,
+            "on"
+        );
+        // And the fresh fingerprint is live: repeating it is a cache hit.
+        store.ingest(APP, "Mini").unwrap();
+        assert_eq!(store.cache_hits(), 1);
+    }
+
+    #[test]
+    fn retire_app_removes_database_analysis_and_fingerprints() {
+        let store = RuleStore::new();
+        store.ingest(APP, "Mini").unwrap();
+        assert!(store.retire_app("Mini"));
+        assert!(!store.has_app("Mini"));
+        assert!(store.analysis_of("Mini").is_none());
+        assert!(store.is_empty());
+        assert!(matches!(
+            store.rules_of("Mini"),
+            Err(HgError::UnknownApp(_))
+        ));
+        // The fingerprint died with the app: re-ingesting the identical
+        // source is a fresh extraction, not a cache-hit resurrection.
+        store.ingest(APP, "Mini").unwrap();
+        assert_eq!(store.cache_hits(), 0);
+        assert!(store.has_app("Mini"));
+        // Retiring an unknown app reports absence.
+        assert!(!store.retire_app("Ghost"));
+    }
+
+    #[test]
+    fn export_restore_round_trips_warm() {
+        let store = RuleStore::new();
+        store.ingest(APP, "Mini").unwrap();
+        let restored = RuleStore::restore_state(store.export_state());
+        assert_eq!(restored.len(), 1);
+        assert_eq!(
+            restored.rules_of("Mini").unwrap(),
+            store.rules_of("Mini").unwrap()
+        );
+        assert_eq!(restored.analysis_of("Mini").unwrap().name, "Mini");
+        // Warm restart: the dedup cache came back with the database, so
+        // re-ingesting the unchanged source is a cache hit.
+        restored.ingest(APP, "Mini").unwrap();
+        assert_eq!(restored.cache_hits(), 1);
     }
 
     #[test]

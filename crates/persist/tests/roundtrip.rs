@@ -1,0 +1,274 @@
+//! Snapshot round-trip property tests: fleets in interesting states must
+//! survive serialize → parse → restore unchanged, and every malformed
+//! input must surface as a typed [`HgError`], never a panic or a
+//! half-applied restore.
+
+use hg_persist::{home_from_text, home_to_text, store_from_text, FleetSnapshot};
+use hg_service::{Fleet, HgError, RuleStore};
+use std::sync::Arc;
+
+const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+#[test]
+fn empty_fleet_round_trips() {
+    let fleet = Fleet::builder(RuleStore::shared()).shards(8).build();
+    let text = fleet.snapshot().unwrap().to_text();
+    let restored = Fleet::restore(FleetSnapshot::from_text(&text).unwrap()).unwrap();
+    assert!(restored.is_empty());
+    assert!(restored.store().is_empty());
+    assert_eq!(restored.shard_count(), 8);
+    // The empty fleet is fully operational after restore.
+    let id = restored.create_home();
+    assert!(
+        restored
+            .install_app(id, ON_APP, "OnApp", None)
+            .unwrap()
+            .installed
+    );
+}
+
+#[test]
+fn mid_rollout_fleet_round_trips_and_pending_reports_stay_confirmable() {
+    // A rollout upgrades the clean homes and leaves one home pending: the
+    // snapshot is taken in that half-rolled state.
+    let fleet = Fleet::new(RuleStore::shared());
+    let ids: Vec<_> = (0..4).map(|_| fleet.create_home()).collect();
+    fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
+    fleet
+        .install_app_forced(ids[1], OFF_APP, "OffApp", None)
+        .unwrap();
+
+    let v2 = ON_APP.replace("lamp.on()", "lamp.on(); lamp.off()");
+    let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+    assert_eq!(rollout.upgraded.len(), 3);
+    assert_eq!(rollout.pending.len(), 1);
+    let (pending_home, pending_report) = rollout.pending.into_iter().next().unwrap();
+
+    let text = fleet.snapshot().unwrap().to_text();
+    let restored = Fleet::restore(FleetSnapshot::from_text(&text).unwrap()).unwrap();
+
+    // The pending home still runs v1 after the restart...
+    assert_eq!(
+        restored
+            .with_home(pending_home, |h| {
+                h.installed_rules()
+                    .iter()
+                    .filter(|r| r.id.app == "OnApp")
+                    .map(|r| r.actions.len())
+                    .sum::<usize>()
+            })
+            .unwrap(),
+        1
+    );
+    // ...and the outstanding report (persisted by the operator alongside
+    // the snapshot, or re-staged) confirms against the restored fleet.
+    restored
+        .confirm_install(pending_home, pending_report)
+        .unwrap();
+    assert_eq!(
+        restored
+            .with_home(pending_home, |h| {
+                h.installed_rules()
+                    .iter()
+                    .filter(|r| r.id.app == "OnApp")
+                    .map(|r| r.actions.len())
+                    .sum::<usize>()
+            })
+            .unwrap(),
+        2,
+        "v2 has two actions"
+    );
+}
+
+#[test]
+fn poisoned_shard_fleet_snapshot_is_a_typed_error() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+    let a = fleet.create_home();
+    let _b = fleet.create_home();
+    let doomed = fleet.clone();
+    std::thread::spawn(move || {
+        let _ = doomed.with_home_mut(a, |_| panic!("home handler dies"));
+    })
+    .join()
+    .unwrap_err();
+
+    match fleet.snapshot() {
+        Err(HgError::Poisoned(what)) => assert_eq!(what, "fleet shard"),
+        other => panic!("expected Poisoned, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_bytes_are_parse_errors_not_panics() {
+    let corpora: &[&str] = &[
+        "",
+        "not json at all",
+        "{",
+        "null",
+        "[1,2,3]",
+        "{}",
+        r#"{"version":1}"#,
+        r#"{"version":1,"kind":"fleet"}"#,
+        r#"{"version":1,"kind":"fleet","payload":{}}"#,
+        r#"{"version":1,"kind":"fleet","payload":{"shards":0,"nextId":0,"store":{"config":{},"apps":[]},"homes":[]}}"#,
+        r#"{"version":1,"kind":"home","payload":{}}"#,
+        "\u{0}\u{1}\u{2}",
+    ];
+    for text in corpora {
+        assert!(
+            matches!(FleetSnapshot::from_text(text), Err(HgError::Snapshot(_))),
+            "fleet parse of {text:?} must be a typed error"
+        );
+        assert!(
+            matches!(home_from_text(text), Err(HgError::Snapshot(_))),
+            "home parse of {text:?} must be a typed error"
+        );
+        assert!(
+            matches!(store_from_text(text), Err(HgError::Snapshot(_))),
+            "store parse of {text:?} must be a typed error"
+        );
+    }
+}
+
+#[test]
+fn truncated_snapshots_are_parse_errors() {
+    let fleet = Fleet::new(RuleStore::shared());
+    let id = fleet.create_home();
+    fleet.install_app(id, ON_APP, "OnApp", None).unwrap();
+    let text = fleet.snapshot().unwrap().to_text();
+    // Truncation at every eighth byte: all prefixes must fail cleanly.
+    for cut in (0..text.len() - 1).step_by(8) {
+        let truncated = &text[..cut];
+        assert!(
+            matches!(
+                FleetSnapshot::from_text(truncated),
+                Err(HgError::Snapshot(_))
+            ),
+            "truncation at byte {cut} must be a typed error"
+        );
+    }
+}
+
+#[test]
+fn negative_numeric_fields_are_refused_not_bitcast() {
+    // A forged `"nextId":-1` must not bit-cast to u64::MAX — that would
+    // slip past restore's forged-id check and let the wrapped counter
+    // reissue a restored home's id. Same for a negative defer window
+    // (would become an effectively permanent deferral) and home ids.
+    let fleet = Fleet::new(RuleStore::shared());
+    fleet.create_home();
+    let text = fleet.snapshot().unwrap().to_text();
+
+    for (field, forged) in [
+        ("\"nextId\":1", "\"nextId\":-1"),
+        ("\"id\":0", "\"id\":-7"),
+        ("\"chainDepth\":4", "\"chainDepth\":-4"),
+    ] {
+        assert!(text.contains(field), "fixture lost field {field}");
+        let doc = text.replacen(field, forged, 1);
+        match FleetSnapshot::from_text(&doc) {
+            Err(HgError::Snapshot(detail)) => {
+                assert!(detail.contains("negative"), "{detail}")
+            }
+            other => panic!("forged {forged} must be refused, got {other:?}"),
+        }
+    }
+
+    // Handling-table windows decode through the same guard.
+    let home = fleet.export_home(fleet.home_ids()[0]).unwrap();
+    let home_text = home_to_text(&home);
+    assert!(home_text.contains("\"windowMs\":5000"), "{home_text}");
+    let forged = home_text.replacen("\"windowMs\":5000", "\"windowMs\":-1", 1);
+    assert!(matches!(
+        home_from_text(&forged),
+        Err(HgError::Snapshot(detail)) if detail.contains("negative")
+    ));
+}
+
+#[test]
+fn wrong_version_and_kind_are_refused() {
+    let fleet = Fleet::new(RuleStore::shared());
+    let text = fleet.snapshot().unwrap().to_text();
+
+    let future = text.replacen("\"version\":1", "\"version\":999", 1);
+    match FleetSnapshot::from_text(&future) {
+        Err(HgError::Snapshot(detail)) => assert!(detail.contains("999"), "{detail}"),
+        other => panic!("expected Snapshot error, got {other:?}"),
+    }
+
+    // A fleet document is not a home document, even though both parse.
+    match home_from_text(&text) {
+        Err(HgError::Snapshot(detail)) => assert!(detail.contains("fleet"), "{detail}"),
+        other => panic!("expected Snapshot error, got {other:?}"),
+    }
+}
+
+#[test]
+fn rich_session_state_round_trips_field_for_field() {
+    use hg_config::ConfigInfo;
+    use hg_service::PolicyTable;
+    use homeguard_core::Home;
+
+    // A session exercising every serialized field: modes, bindings, user
+    // values, an Allowed threat (with solver witness), Priority ranks.
+    let store = RuleStore::shared();
+    let mut home = Home::builder(store.clone())
+        .modes(["Day", "Night"])
+        .chain_depth(3)
+        .build();
+    let cfg = ConfigInfo::new("OnApp")
+        .bind_device("m", "motion-1")
+        .bind_device("lamp", "lamp-1");
+    home.install_app(ON_APP, "OnApp", Some(&cfg)).unwrap();
+    let cfg2 = ConfigInfo::new("OffApp")
+        .bind_device("m", "motion-1")
+        .bind_device("lamp", "lamp-1");
+    home.install_app_forced(OFF_APP, "OffApp", Some(&cfg2))
+        .unwrap();
+    home.set_handling_policy(PolicyTable::default().prioritize([
+        hg_rules::rule::RuleId::new("OnApp", 0),
+        hg_rules::rule::RuleId::new("OffApp", 0),
+    ]));
+    assert_eq!(home.allowed().len(), 1);
+
+    let text = home_to_text(&home.export_state());
+    let state = home_from_text(&text).unwrap();
+    let mut revived = Home::restore_state(store, state);
+
+    assert_eq!(revived.modes(), home.modes());
+    assert_eq!(revived.installed_apps(), home.installed_apps());
+    assert_eq!(
+        revived
+            .installed_rules()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>(),
+        home.installed_rules()
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(revived.allowed(), home.allowed(), "witnesses included");
+    assert_eq!(revived.handling_policy(), home.handling_policy());
+    assert_eq!(
+        revived.mediation_index().len(),
+        home.mediation_index().len()
+    );
+    // A second export of the revived session is byte-identical: the
+    // serialization is a fixed point, not an approximation.
+    assert_eq!(home_to_text(&revived.export_state()), text);
+}

@@ -13,6 +13,14 @@ use hg_capability::device_kind::DeviceKind;
 use std::collections::BTreeMap;
 use std::fmt;
 
+/// Version of the rule-file / snapshot schema this codec writes.
+///
+/// Bumped whenever the structural encoding of [`Rule`] (or anything layered
+/// on it, such as `hg-persist` snapshots) changes incompatibly. Readers
+/// embed it in their envelopes and refuse documents from a different
+/// schema generation instead of misparsing them.
+pub const SCHEMA_VERSION: i64 = 1;
+
 /// A JSON document value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
@@ -663,7 +671,8 @@ fn device_ref_from_json(j: &Json) -> Result<DeviceRef, &'static str> {
     }
 }
 
-fn value_to_json(v: &Value) -> Json {
+/// Encodes a [`Value`] (shared with `hg-persist` session snapshots).
+pub fn value_to_json(v: &Value) -> Json {
     match v {
         Value::Num(n) => Json::obj([("num", Json::Num(*n))]),
         Value::Sym(s) => Json::obj([("sym", Json::str(s))]),
@@ -672,7 +681,12 @@ fn value_to_json(v: &Value) -> Json {
     }
 }
 
-fn value_from_json(j: &Json) -> Result<Value, &'static str> {
+/// Decodes a [`Value`].
+///
+/// # Errors
+///
+/// Returns a static message on a malformed document.
+pub fn value_from_json(j: &Json) -> Result<Value, &'static str> {
     if *j == Json::Null {
         return Ok(Value::Null);
     }
@@ -688,7 +702,8 @@ fn value_from_json(j: &Json) -> Result<Value, &'static str> {
     Err("invalid value")
 }
 
-fn varid_to_json(v: &VarId) -> Json {
+/// Encodes a [`VarId`] (shared with `hg-persist` witness snapshots).
+pub fn varid_to_json(v: &VarId) -> Json {
     match v {
         VarId::DeviceAttr { device, attribute } => Json::obj([
             ("type", Json::str("deviceAttr")),
@@ -717,7 +732,12 @@ fn varid_to_json(v: &VarId) -> Json {
     }
 }
 
-fn varid_from_json(j: &Json) -> Result<VarId, &'static str> {
+/// Decodes a [`VarId`].
+///
+/// # Errors
+///
+/// Returns a static message on a malformed document.
+pub fn varid_from_json(j: &Json) -> Result<VarId, &'static str> {
     let get_app_name = || -> Result<(String, String), &'static str> {
         Ok((
             j.get("app")

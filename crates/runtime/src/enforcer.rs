@@ -191,17 +191,18 @@ impl Enforcer {
 
     /// Swaps in a recompiled mediation index — how a live enforcer follows
     /// a lifecycle change (app uninstalled or upgraded, points retired or
-    /// added) without losing its journal. Per-run memory of rules that no
-    /// longer key into any point is dropped so a retired pair cannot keep
-    /// influencing decisions; journal and stats persist across the swap.
+    /// added) without losing its journal. **All** per-run memory — fired
+    /// rules, executed commands and one-shot defer grants — is dropped:
+    /// that state was accumulated under the old points' policies, and a
+    /// grant or remembered firing carried across the swap would let a
+    /// retired or re-policied pair keep influencing decisions (a defer
+    /// token issued under the old window could wave a command straight
+    /// past a stricter new policy). Journal and stats persist across the
+    /// swap; the same wipe applies when an enforcer is rebuilt from a
+    /// snapshot, so restored sessions never inherit in-flight grants.
     pub fn replace_index(&mut self, index: MediationIndex) {
         self.index = index;
-        self.fired
-            .retain(|rule| self.index.points_for_rule(rule).next().is_some());
-        self.commanded
-            .retain(|(_, rule), _| self.index.points_for_rule(rule).next().is_some());
-        self.defer_tokens
-            .retain(|(rule, _, _), _| self.index.points_for_rule(rule).next().is_some());
+        self.begin_run();
     }
 
     /// The decision journal.
@@ -673,6 +674,61 @@ mod tests {
         e.replace_index(index);
         assert_eq!(e.decide_fire(&b, 20), Decision::Allow);
         assert_eq!(e.journal().len(), journaled, "journal survives the swap");
+    }
+
+    #[test]
+    fn defer_tokens_never_survive_replace_index() {
+        // A deferred command holds a one-shot replay grant. The index is
+        // then swapped (same points — an unrelated lifecycle change): the
+        // grant was issued under the old index's policies and must die
+        // with it, so the replay goes through full mediation again instead
+        // of being waved past a possibly-stricter policy.
+        let mut e = enforcer_with(
+            ThreatKind::ActuatorRace,
+            HandlingPolicy::Defer { window_ms: 1_000 },
+        );
+        let (a, b) = (RuleId::new("A", 0), RuleId::new("B", 0));
+        assert_eq!(e.decide_command(&a, "lamp-1", "on", 0), Decision::Allow);
+        assert_eq!(
+            e.decide_command(&b, "lamp-1", "off", 0),
+            Decision::Defer { delay_ms: 1_000 }
+        );
+        e.replace_index(e.index().clone());
+        // No grant, and no remembered counterpart command either: the
+        // replay is mediated from scratch and passes only because the
+        // conflicting history is gone too.
+        assert_eq!(
+            e.decide_command(&b, "lamp-1", "off", 1_000),
+            Decision::Allow
+        );
+        assert_eq!(e.stats().mediated, 1, "no second mediation consumed");
+    }
+
+    #[test]
+    fn fired_memory_never_survives_replace_index() {
+        // Block policy: A fired, then the index is swapped. B firing after
+        // the swap must not be suppressed on the strength of pre-swap
+        // memory.
+        let mut e = enforcer_with(ThreatKind::CovertTriggering, HandlingPolicy::Block);
+        let (a, b) = (RuleId::new("A", 0), RuleId::new("B", 0));
+        assert_eq!(e.decide_fire(&a, 0), Decision::Allow);
+        e.replace_index(e.index().clone());
+        assert_eq!(e.decide_fire(&b, 10), Decision::Allow);
+        assert!(e.journal().is_empty());
+    }
+
+    #[test]
+    fn commanded_memory_never_survives_replace_index() {
+        // Priority policy: A commanded, then the index is swapped. B's
+        // same-instant conflicting command must not lose an arbitration
+        // against a command that predates the swap.
+        let order = vec![RuleId::new("A", 0), RuleId::new("B", 0)];
+        let mut e = enforcer_with(ThreatKind::ActuatorRace, HandlingPolicy::Priority(order));
+        let (a, b) = (RuleId::new("A", 0), RuleId::new("B", 0));
+        assert_eq!(e.decide_command(&a, "lamp-1", "on", 100), Decision::Allow);
+        e.replace_index(e.index().clone());
+        assert_eq!(e.decide_command(&b, "lamp-1", "off", 100), Decision::Allow);
+        assert_eq!(e.stats().mediated, 0);
     }
 
     #[test]

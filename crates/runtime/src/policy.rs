@@ -78,22 +78,25 @@ impl Default for PolicyTable {
 }
 
 impl PolicyTable {
+    /// A table answering every kind with the same policy — the base other
+    /// tables (and snapshot restoration) refine via [`PolicyTable::with`].
+    pub fn uniform(policy: HandlingPolicy) -> PolicyTable {
+        PolicyTable {
+            by_kind: BTreeMap::new(),
+            fallback: policy,
+        }
+    }
+
     /// Every kind handled with [`HandlingPolicy::Block`] — the strictest
     /// table, used by the differential fuzz harness.
     pub fn block_all() -> PolicyTable {
-        PolicyTable {
-            by_kind: BTreeMap::new(),
-            fallback: HandlingPolicy::Block,
-        }
+        PolicyTable::uniform(HandlingPolicy::Block)
     }
 
     /// Every kind handled with [`HandlingPolicy::Notify`] — pure journaling,
     /// no intervention.
     pub fn notify_all() -> PolicyTable {
-        PolicyTable {
-            by_kind: BTreeMap::new(),
-            fallback: HandlingPolicy::Notify,
-        }
+        PolicyTable::uniform(HandlingPolicy::Notify)
     }
 
     /// Sets the policy for one threat kind.
@@ -118,6 +121,54 @@ impl PolicyTable {
     pub fn policy(&self, kind: ThreatKind) -> &HandlingPolicy {
         self.by_kind.get(&kind).unwrap_or(&self.fallback)
     }
+
+    /// The fallback policy for kinds without an explicit assignment.
+    pub fn fallback(&self) -> &HandlingPolicy {
+        &self.fallback
+    }
+
+    /// The explicit per-kind assignments (kinds not listed resolve to the
+    /// fallback). Snapshot serialization iterates this.
+    pub fn entries(&self) -> impl Iterator<Item = (ThreatKind, &HandlingPolicy)> {
+        self.by_kind.iter().map(|(k, p)| (*k, p))
+    }
+
+    /// Remaps every [`HandlingPolicy::Priority`] rank naming a rule of
+    /// `app` through `map` — the upgrade/uninstall follow-up that keeps
+    /// priority orders honest. A rank with no mapping (its rule did not
+    /// survive) is **dropped** and returned so the caller can surface it
+    /// for re-ranking, instead of silently treating the renumbered rule as
+    /// unranked forever. Ranks of other apps are untouched.
+    pub fn remap_app_ranks(&mut self, app: &str, map: &BTreeMap<RuleId, RuleId>) -> Vec<RuleId> {
+        let mut dropped = Vec::new();
+        let orders = self
+            .by_kind
+            .values_mut()
+            .chain(std::iter::once(&mut self.fallback));
+        for policy in orders {
+            let HandlingPolicy::Priority(order) = policy else {
+                continue;
+            };
+            order.retain_mut(|rank| {
+                if rank.app != app {
+                    return true;
+                }
+                match map.get(rank) {
+                    Some(survivor) => {
+                        *rank = survivor.clone();
+                        true
+                    }
+                    None => {
+                        if !dropped.contains(rank) {
+                            dropped.push(rank.clone());
+                        }
+                        false
+                    }
+                }
+            });
+        }
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +189,34 @@ mod tests {
         assert!(matches!(
             table.policy(ThreatKind::EnablingCondition),
             HandlingPolicy::Defer { .. }
+        ));
+    }
+
+    #[test]
+    fn remap_app_ranks_rewrites_survivors_and_surfaces_dangling() {
+        // v1 of "App" had rules #0, #1, #2 ranked; the upgrade keeps #1's
+        // automation (renumbered to #0), drops the rest. Other apps' ranks
+        // must survive untouched.
+        let mut table = PolicyTable::block_all().prioritize([
+            RuleId::new("Other", 0),
+            RuleId::new("App", 1),
+            RuleId::new("App", 0),
+            RuleId::new("App", 2),
+        ]);
+        let map = BTreeMap::from([(RuleId::new("App", 1), RuleId::new("App", 0))]);
+        let dropped = table.remap_app_ranks("App", &map);
+        assert_eq!(dropped, vec![RuleId::new("App", 0), RuleId::new("App", 2)]);
+        assert!(matches!(
+            table.policy(ThreatKind::ActuatorRace),
+            HandlingPolicy::Priority(order)
+                if *order == vec![RuleId::new("Other", 0), RuleId::new("App", 0)]
+        ));
+        // Uninstall: the empty map drops every rank of the app.
+        let dropped = table.remap_app_ranks("App", &BTreeMap::new());
+        assert_eq!(dropped, vec![RuleId::new("App", 0)]);
+        assert!(matches!(
+            table.policy(ThreatKind::ActuatorRace),
+            HandlingPolicy::Priority(order) if *order == vec![RuleId::new("Other", 0)]
         ));
     }
 

@@ -9,8 +9,9 @@
 //! shards — a thread working a contiguous id range touches all of them.
 
 use hg_config::ConfigInfo;
+use hg_persist::FleetSnapshot;
 use homeguard_core::{
-    HgError, Home, HomeBuilder, HomeId, InstallReport, RuleStore, UninstallReport,
+    HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, RuleStore, UninstallReport,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -100,6 +101,24 @@ pub struct UpgradeRollout {
     pub poisoned_shards: usize,
 }
 
+/// The outcome of a fleet-wide forced uninstall (a store-pulled app).
+#[derive(Debug)]
+pub struct ForceUninstall {
+    /// The app removed.
+    pub app: String,
+    /// Per-home retraction reports for every home that ran the app.
+    pub removed: Vec<(HomeId, UninstallReport)>,
+    /// Homes that never had the app installed.
+    pub skipped: usize,
+    /// Per-home failures (the sweep continues past them).
+    pub failed: Vec<(HomeId, HgError)>,
+    /// Shards skipped because their lock was poisoned — their homes still
+    /// run the app.
+    pub poisoned_shards: usize,
+    /// Whether the store database carried the app (and retired it).
+    pub store_retired: bool,
+}
+
 impl Fleet {
     /// A fleet with deployment defaults over `store`.
     pub fn new(store: Arc<RuleStore>) -> Fleet {
@@ -181,7 +200,13 @@ impl Fleet {
     /// the routed shard's map (structurally intact, see [`Fleet::len`])
     /// and insert anyway.
     pub fn create_home_with(&self, customize: impl FnOnce(HomeBuilder) -> HomeBuilder) -> HomeId {
-        let home = customize(self.template.clone()).build();
+        self.place(customize(self.template.clone()).build())
+    }
+
+    /// Registers an already-built session under a fresh id (shared by
+    /// `create_home_with` and `import_home`), burning ids that route to
+    /// poisoned shards as documented on [`Fleet::create_home_with`].
+    fn place(&self, home: Home) -> HomeId {
         let mut id = HomeId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
         for _ in 0..self.shards.len() {
             match self.shard(id).write() {
@@ -401,6 +426,152 @@ impl Fleet {
         }
         Ok(rollout)
     }
+
+    /// Fleet-wide forced uninstall: a store-pulled (e.g. discovered-
+    /// malicious) app is retracted from **every** home running it — rules
+    /// unposted, Allowed threats and mediation points retired, `Priority`
+    /// ranks dropped, exactly the per-home retraction
+    /// [`Fleet::uninstall_app`] performs — and then retired from the
+    /// shared store database itself, fingerprints included, so neither a
+    /// query nor an ingest cache hit can resurrect it. The sweep never
+    /// aborts midway; per-home failures and poisoned shards are reported.
+    pub fn force_uninstall(&self, app: &str) -> ForceUninstall {
+        let mut out = ForceUninstall {
+            app: app.to_string(),
+            removed: Vec::new(),
+            skipped: 0,
+            failed: Vec::new(),
+            poisoned_shards: 0,
+            store_retired: false,
+        };
+        for shard in &self.shards {
+            let Ok(mut shard) = shard.write() else {
+                out.poisoned_shards += 1;
+                continue;
+            };
+            for (&id, home) in shard.iter_mut() {
+                if !home.is_installed(app) {
+                    out.skipped += 1;
+                    continue;
+                }
+                match home.uninstall_app(app) {
+                    Ok(report) => out.removed.push((id, report)),
+                    Err(error) => out.failed.push((id, error)),
+                }
+            }
+        }
+        out.store_retired = self.store.retire_app(app);
+        out
+    }
+
+    /// Captures the whole service — the shared store (database, analyses,
+    /// ingest fingerprints), every home's session state, and the
+    /// registry's routing parameters — as one consistent
+    /// [`FleetSnapshot`]. Serialize it with
+    /// [`FleetSnapshot::to_text`] and revive it with [`Fleet::restore`].
+    ///
+    /// Shards are captured one at a time under their read locks, so
+    /// concurrent traffic on other shards proceeds; each home's state is
+    /// internally consistent because its shard lock is held while it is
+    /// exported.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Poisoned`] when any shard lock is poisoned: a
+    /// quarantined home's state cannot be trusted, and silently snapshotting
+    /// around it would persist a fleet that claims to be whole.
+    pub fn snapshot(&self) -> Result<FleetSnapshot, HgError> {
+        let mut homes = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read().map_err(|_| HgError::Poisoned("fleet shard"))?;
+            for (&id, home) in shard.iter() {
+                homes.push((id, home.export_state()));
+            }
+        }
+        homes.sort_by_key(|(id, _)| *id);
+        Ok(FleetSnapshot {
+            shards: self.shards.len(),
+            next_id: self.next_id.load(Ordering::Relaxed),
+            store: self.store.export_state(),
+            homes,
+        })
+    }
+
+    /// Revives a fleet from a snapshot — the warm-restart path. The store
+    /// comes back with its ingest cache live, every home is rebuilt from
+    /// its ground truth (derived state — detection postings, mediation
+    /// points, enforcers — is reconstructed, never deserialized), shard
+    /// routing and the id counter are preserved so existing [`HomeId`]
+    /// handles stay valid and future ids never collide. The home template
+    /// for *future* [`Fleet::create_home`] calls resets to deployment
+    /// defaults; use [`Fleet::restore_with`] to customize it.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Snapshot`] when the snapshot's ids exceed its own
+    /// `next_id` counter (a forged or corrupted document).
+    pub fn restore(snapshot: FleetSnapshot) -> Result<Fleet, HgError> {
+        Fleet::restore_with(snapshot, |builder| builder)
+    }
+
+    /// [`Fleet::restore`] with a customized template for homes created
+    /// after the restart (the restored homes carry their own state and are
+    /// not affected).
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::restore`].
+    pub fn restore_with(
+        snapshot: FleetSnapshot,
+        customize: impl FnOnce(HomeBuilder) -> HomeBuilder,
+    ) -> Result<Fleet, HgError> {
+        if let Some((id, _)) = snapshot
+            .homes
+            .iter()
+            .find(|(id, _)| id.raw() >= snapshot.next_id)
+        {
+            return Err(HgError::Snapshot(format!(
+                "{id} is not covered by the snapshot's id counter {}",
+                snapshot.next_id
+            )));
+        }
+        let store = Arc::new(RuleStore::restore_state(snapshot.store));
+        let fleet = Fleet::builder(store.clone())
+            .shards(snapshot.shards)
+            .home_defaults(customize)
+            .build();
+        fleet.next_id.store(snapshot.next_id, Ordering::Relaxed);
+        for (id, state) in snapshot.homes {
+            let home = Home::restore_state(store.clone(), state);
+            fleet
+                .shard(id)
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(id, home);
+        }
+        Ok(fleet)
+    }
+
+    /// Exports one home's session state — the migration unit. Serialize it
+    /// with [`hg_persist::home_to_text`] and hand it to another process's
+    /// [`Fleet::import_home`].
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::UnknownHome`]; [`HgError::Poisoned`] when the shard lock
+    /// is poisoned.
+    pub fn export_home(&self, id: HomeId) -> Result<HomeState, HgError> {
+        self.with_home(id, |home| home.export_state())
+    }
+
+    /// Imports a migrated home under a **fresh** id in this fleet (ids are
+    /// process-local routing keys, not global identities). The session is
+    /// rebuilt against this fleet's shared store; its installed rules are
+    /// self-contained, so the home works even before the store has
+    /// ingested the apps it runs.
+    pub fn import_home(&self, state: HomeState) -> HomeId {
+        self.place(Home::restore_state(self.store.clone(), state))
+    }
 }
 
 // The whole point of the sharded design: a Fleet handle is freely
@@ -618,6 +789,135 @@ def h(evt) { lamp.off() }
         upgraded.sort();
         assert_eq!(upgraded, vec![b, c]);
         assert!(rollout.failed.is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_fleet() {
+        let fleet = Fleet::builder(RuleStore::shared()).shards(4).build();
+        let a = fleet.create_home();
+        let b = fleet.create_home();
+        fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
+        let dirty = fleet.install_app(a, OFF_APP, "OffApp", None).unwrap();
+        fleet.confirm_install(a, dirty).unwrap();
+        fleet.install_app(b, ON_APP, "OnApp", None).unwrap();
+
+        let text = fleet.snapshot().unwrap().to_text();
+        let restored = Fleet::restore(FleetSnapshot::from_text(&text).unwrap()).unwrap();
+
+        // Same registry: ids, routing, counts.
+        assert_eq!(restored.shard_count(), 4);
+        assert_eq!(restored.home_ids(), vec![a, b]);
+        assert_eq!(
+            restored.with_home(a, |h| h.installed_apps()).unwrap(),
+            vec!["OnApp".to_string(), "OffApp".to_string()]
+        );
+        assert_eq!(
+            restored.with_home(a, |h| h.allowed().len()).unwrap(),
+            1,
+            "confirmed threat decisions survive the restart"
+        );
+        assert_eq!(
+            restored
+                .with_home(b, |h| h.installed_rules().len())
+                .unwrap(),
+            1
+        );
+        // Warm restart: the store's ingest cache came back, so installing
+        // the same app into a new home re-extracts nothing.
+        let hits = restored.store().cache_hits();
+        let c = restored.create_home();
+        assert!(c > b, "the id counter must never reissue a restored id");
+        restored.install_app(c, ON_APP, "OnApp", None).unwrap();
+        assert_eq!(restored.store().cache_hits(), hits + 1);
+    }
+
+    #[test]
+    fn snapshot_of_a_poisoned_fleet_is_a_typed_error() {
+        let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+        let a = fleet.create_home();
+        let doomed = fleet.clone();
+        std::thread::spawn(move || {
+            let _ = doomed.with_home_mut(a, |_| panic!("home handler dies"));
+        })
+        .join()
+        .unwrap_err();
+        assert!(matches!(fleet.snapshot(), Err(HgError::Poisoned(_))));
+    }
+
+    #[test]
+    fn restore_rejects_ids_beyond_the_counter() {
+        let fleet = Fleet::new(RuleStore::shared());
+        let id = fleet.create_home();
+        let mut snapshot = fleet.snapshot().unwrap();
+        snapshot.next_id = id.raw(); // forged: the counter excludes `id`
+        assert!(matches!(
+            Fleet::restore(snapshot),
+            Err(HgError::Snapshot(_))
+        ));
+    }
+
+    #[test]
+    fn force_uninstall_purges_every_home_and_the_store() {
+        let fleet = Fleet::new(RuleStore::shared());
+        let ids: Vec<HomeId> = (0..3).map(|_| fleet.create_home()).collect();
+        let bystander = fleet.create_home();
+        fleet.install_many(&ids, OFF_APP, "OffApp", None).unwrap();
+        fleet.install_app(bystander, ON_APP, "OnApp", None).unwrap();
+
+        let outcome = fleet.force_uninstall("OffApp");
+        assert_eq!(outcome.app, "OffApp");
+        assert_eq!(outcome.removed.len(), 3);
+        assert_eq!(outcome.skipped, 1);
+        assert!(outcome.failed.is_empty());
+        assert!(outcome.store_retired);
+        assert!(!fleet.store().has_app("OffApp"));
+        for id in &ids {
+            assert!(fleet
+                .with_home(*id, |h| h.installed_apps().is_empty())
+                .unwrap());
+        }
+        // The bystander keeps its unrelated app, and the store cannot
+        // serve the pulled one from any cache.
+        assert!(fleet
+            .with_home(bystander, |h| h.is_installed("OnApp"))
+            .unwrap());
+        assert!(matches!(
+            fleet.check_install(bystander, "OffApp"),
+            Err(HgError::UnknownApp(_))
+        ));
+        // Idempotent: a second pull finds nothing anywhere.
+        let again = fleet.force_uninstall("OffApp");
+        assert!(again.removed.is_empty());
+        assert!(!again.store_retired);
+    }
+
+    #[test]
+    fn export_import_migrates_a_home_between_fleets() {
+        let fleet = Fleet::new(RuleStore::shared());
+        let id = fleet.create_home();
+        fleet.install_app(id, ON_APP, "OnApp", None).unwrap();
+        let dirty = fleet.install_app(id, OFF_APP, "OffApp", None).unwrap();
+        fleet.confirm_install(id, dirty).unwrap();
+
+        // Across "processes": only the serialized text crosses.
+        let text = hg_persist::home_to_text(&fleet.export_home(id).unwrap());
+        let target = Fleet::new(RuleStore::shared());
+        let migrated = target.import_home(hg_persist::home_from_text(&text).unwrap());
+        assert_eq!(
+            target.with_home(migrated, |h| h.installed_apps()).unwrap(),
+            vec!["OnApp".to_string(), "OffApp".to_string()]
+        );
+        assert_eq!(
+            target.with_home(migrated, |h| h.allowed().len()).unwrap(),
+            1
+        );
+        // The migrated session is live: lifecycle ops work even though the
+        // target store never ingested the apps.
+        target.uninstall_app(migrated, "OffApp").unwrap();
+        assert_eq!(
+            target.with_home(migrated, |h| h.installed_apps()).unwrap(),
+            vec!["OnApp".to_string()]
+        );
     }
 
     #[test]

@@ -17,8 +17,14 @@
 //!   everywhere) and [`Fleet::propagate_upgrade`] (re-extract once,
 //!   re-check every home running the app).
 //! * **Typed errors** — every entry point returns [`HgError`]; a missing
-//!   home, an unknown app, a corrupt rule file and a poisoned shard are
-//!   distinct, per-home recoverable conditions.
+//!   home, an unknown app, a corrupt rule file, a poisoned shard and a
+//!   malformed snapshot are distinct, per-home recoverable conditions.
+//! * **Durability** — [`Fleet::snapshot`] / [`Fleet::restore`] capture and
+//!   revive the whole service through `hg-persist` (warm restart: ids,
+//!   Allowed lists and the ingest cache survive), [`Fleet::export_home`] /
+//!   [`Fleet::import_home`] migrate one session between processes, and
+//!   [`Fleet::force_uninstall`] retracts a store-pulled app from every
+//!   home *and* the shared database.
 //!
 //! # Examples
 //!
@@ -57,9 +63,10 @@
 
 pub mod fleet;
 
-pub use fleet::{BulkOutcomes, Fleet, FleetBuilder, UpgradeRollout};
+pub use fleet::{BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, UpgradeRollout};
+pub use hg_persist::FleetSnapshot;
 pub use homeguard_core::{
-    frontend, HgError, Home, HomeBuilder, HomeId, InstallReport, PolicyTable, RuleStore,
+    frontend, HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, PolicyTable, RuleStore,
     UninstallReport,
 };
 
