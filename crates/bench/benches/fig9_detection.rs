@@ -8,8 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use hg_bench::corpus_rules;
-use hg_detector::Detector;
+use hg_detector::{Detector, PreparedRule, VerdictCache};
 use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
 
 fn pairs() -> Vec<(
     &'static str,
@@ -58,6 +60,24 @@ fn pairs() -> Vec<(
 
 fn bench_detection(c: &mut Criterion) {
     let detector = Detector::store_wide();
+
+    // Machine-readable per-pair timings (µs, mean of a fixed batch) for
+    // the BENCH_*.json trajectory, measured outside criterion so the
+    // summary exists in every run mode.
+    let mut summary: Vec<(&str, f64)> = Vec::new();
+    for (label, rules_a, rules_b) in pairs() {
+        if rules_a.is_empty() || rules_b.is_empty() {
+            continue;
+        }
+        let runs = 60u32;
+        let started = Instant::now();
+        for _ in 0..runs {
+            black_box(detector.detect_pair(black_box(&rules_a[0]), black_box(&rules_b[0])));
+        }
+        summary.push((label, started.elapsed().as_micros() as f64 / runs as f64));
+    }
+    hg_bench::emit_summary("fig9_detection_pair_us", &summary);
+
     let mut group = c.benchmark_group("fig9_detect_pair");
     for (label, rules_a, rules_b) in pairs() {
         if rules_a.is_empty() || rules_b.is_empty() {
@@ -72,6 +92,33 @@ fn bench_detection(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+fn bench_verdict_cache(c: &mut Criterion) {
+    // The fleet-shared cache's fast path vs. a fresh solve of the same
+    // prepared pair: what every home after the first pays for a repeated
+    // store-app pair.
+    let cache = Arc::new(VerdictCache::new());
+    let cached = Detector::store_wide().with_cache(cache.clone());
+    let uncached = Detector::store_wide();
+    let a = corpus_rules("ComfortTV");
+    let b = corpus_rules("ColdDefender");
+    let pa = PreparedRule::prepare(&a[0], &cached.unification);
+    let pb = PreparedRule::prepare(&b[0], &cached.unification);
+    // Warm the entry once.
+    let (warm, _) = cached.detect_pair_prepared(&pa, &pb);
+    let (truth, _) = uncached.detect_pair_prepared(&pa, &pb);
+    assert_eq!(warm, truth, "cached verdict must be bit-identical");
+
+    let mut group = c.benchmark_group("verdict_cache");
+    group.bench_function("uncached_pair", |bch| {
+        bch.iter(|| black_box(uncached.detect_pair_prepared(&pa, &pb)))
+    });
+    group.bench_function("cached_pair_hit", |bch| {
+        bch.iter(|| black_box(cached.detect_pair_prepared(&pa, &pb)))
+    });
+    group.finish();
+    assert!(cache.stats().hits > 0);
 }
 
 fn bench_solver_reuse(c: &mut Criterion) {
@@ -96,6 +143,6 @@ fn bench_solver_reuse(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_detection, bench_solver_reuse
+    targets = bench_detection, bench_solver_reuse, bench_verdict_cache
 }
 criterion_main!(benches);

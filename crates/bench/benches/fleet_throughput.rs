@@ -37,16 +37,20 @@ fn populate(homes: usize, apps: usize) -> (Fleet, Vec<HomeId>) {
 
 fn bench_fleet_throughput(c: &mut Criterion) {
     // Headline numbers once, outside the timing loops: installs/sec on the
-    // grid and the per-home propagation cost of one upgrade.
-    for (homes, apps) in [(16, 4), (64, 4), (64, 8)] {
+    // grid and the per-home propagation cost of one upgrade. The 256-home
+    // grid is the repeated-install workload (the same store apps across a
+    // large fleet — the fleet-shared verdict cache's home turf) whose
+    // numbers feed the BENCH_*.json trajectory.
+    let mut summary: Vec<(&str, f64)> = Vec::new();
+    for (homes, apps) in [(16, 4), (64, 4), (64, 8), (256, 4)] {
         let started = Instant::now();
         let (fleet, ids) = populate(homes, apps);
         let elapsed = started.elapsed();
         let installs = homes * apps;
+        let install_rate = installs as f64 / elapsed.as_secs_f64();
         println!(
             "fleet {homes:>3} homes x {apps} apps: {installs:>4} installs in {elapsed:>9.2?} \
-             ({:>7.0} installs/sec, {} cache hits)",
-            installs as f64 / elapsed.as_secs_f64(),
+             ({install_rate:>7.0} installs/sec, {} cache hits)",
             fleet.store().cache_hits()
         );
 
@@ -57,15 +61,22 @@ fn bench_fleet_throughput(c: &mut Criterion) {
         let elapsed = started.elapsed();
         let touched = rollout.upgraded.len() + rollout.pending.len();
         assert_eq!(touched, homes, "every home runs the first corpus app");
+        let upgrade_rate = touched as f64 / elapsed.as_secs_f64();
         println!(
             "  upgrade propagation: {touched} homes re-checked in {elapsed:.2?} \
-             ({:.0} homes/sec, {} clean / {} pending)",
-            touched as f64 / elapsed.as_secs_f64(),
+             ({upgrade_rate:.0} homes/sec, {} clean / {} pending)",
             rollout.upgraded.len(),
             rollout.pending.len()
         );
+        if homes == 256 {
+            let verdicts = fleet.store().verdict_cache().stats();
+            summary.push(("installs_per_sec", install_rate));
+            summary.push(("upgrade_homes_per_sec", upgrade_rate));
+            summary.push(("verdict_cache_hit_pct", 100.0 * verdicts.hit_rate()));
+        }
         drop(ids);
     }
+    hg_bench::emit_summary("fleet_throughput", &summary);
 
     let mut group = c.benchmark_group("fleet_throughput");
     group.sample_size(10);

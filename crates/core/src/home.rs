@@ -62,6 +62,7 @@ pub struct HomeBuilder {
     chain_depth: usize,
     config: Vec<ConfigInfo>,
     handling: PolicyTable,
+    share_verdicts: bool,
 }
 
 impl HomeBuilder {
@@ -75,6 +76,7 @@ impl HomeBuilder {
             chain_depth: 4,
             config: Vec::new(),
             handling: PolicyTable::default(),
+            share_verdicts: true,
         }
     }
 
@@ -114,6 +116,21 @@ impl HomeBuilder {
         self
     }
 
+    /// Whether the session's detector consults the store's fleet-shared
+    /// [`VerdictCache`](hg_detector::VerdictCache) (default: true). The
+    /// differential harnesses disable it to obtain the uncached ground
+    /// truth the cached path must be bit-identical to.
+    ///
+    /// This is a session-local diagnostic knob, not durable
+    /// configuration: it is absent from [`HomeState`], and a session
+    /// revived by [`Home::restore_state`] is back on the (behaviorally
+    /// identical, differentially proven) shared default. Re-disable it
+    /// after a restore when re-establishing a ground-truth session.
+    pub fn verdict_sharing(mut self, enabled: bool) -> HomeBuilder {
+        self.share_verdicts = enabled;
+        self
+    }
+
     /// Builds the session handle.
     pub fn build(self) -> Home {
         let mut home = Home {
@@ -128,6 +145,7 @@ impl HomeBuilder {
             chain_depth: self.chain_depth,
             handling: self.handling,
             mediation: None,
+            share_verdicts: self.share_verdicts,
         };
         for info in &self.config {
             home.absorb_config(info);
@@ -164,6 +182,9 @@ pub struct Home {
     /// it incrementally (uninstall retires the app's points in place) or
     /// invalidate it for lazy recompilation.
     mediation: Option<MediationIndex>,
+    /// Whether detection consults the store's fleet-shared verdict cache
+    /// (see [`HomeBuilder::verdict_sharing`]).
+    share_verdicts: bool,
 }
 
 /// The outcome of an installation attempt, shown to the user by the
@@ -312,6 +333,9 @@ impl Home {
         };
         det.solver.modes = self.modes.clone();
         det.solver.user_values = self.values.clone();
+        if self.share_verdicts {
+            det.cache = Some(self.store.verdict_cache().clone());
+        }
         det
     }
 
@@ -335,6 +359,15 @@ impl Home {
         // Rebinding changes actuator identities, so compiled mediation
         // points are stale.
         self.mediation = None;
+        // Deliberately NO fleet-wide verdict eviction here: reconfiguring
+        // ONE home changes only that home's pair keys (bindings reshape
+        // the unified forms, values reshape the context hash), while the
+        // old entries keep serving every other home that still runs the
+        // old context. Content addressing already makes a stale answer
+        // unreachable; entries orphaned by a fleet-wide rebinding wave
+        // are reclaimed by the cache's capacity backstop. Store-level
+        // lifecycle (retirement, upgrade re-ingest) is where entries die
+        // for every home at once, and evicts there.
     }
 
     /// Checks an app (already ingested into the store, with configuration
@@ -820,7 +853,9 @@ impl Home {
     /// mediation index recompiles lazily from the restored Allowed list.
     /// Any enforcer built from the restored session starts with **empty**
     /// per-run memory — in-flight defer grants and fired-rule traces never
-    /// survive a restart.
+    /// survive a restart. Verdict sharing resets to the default (enabled):
+    /// the [`HomeBuilder::verdict_sharing`] opt-out is a diagnostic knob,
+    /// not persisted state.
     pub fn restore_state(store: Arc<RuleStore>, state: HomeState) -> Home {
         let mut home = Home {
             store,
@@ -842,6 +877,7 @@ impl Home {
             chain_depth: state.chain_depth.max(2),
             handling: state.handling,
             mediation: None,
+            share_verdicts: true,
         };
         home.engine = DetectionEngine::new(home.detector());
         home.engine.install_rules(state.rules.iter());
@@ -1473,7 +1509,11 @@ def k(evt) { valve.close() }
         let live = home.check_install("OffApp").unwrap();
         let back = restored.check_install("OffApp").unwrap();
         assert_eq!(live.threats, back.threats);
-        assert_eq!(live.stats, back.stats);
+        // Both sessions share the store's verdict cache, so the restored
+        // session's identical check is answered from it — the logical
+        // effort is identical, only the hit/miss markers differ.
+        assert_eq!(live.stats.logical(), back.stats.logical());
+        assert_eq!(back.stats.cache_hits, back.stats.pairs);
         assert_eq!(
             home.mediation_index().len(),
             restored.mediation_index().len()

@@ -12,6 +12,7 @@
 //! every home installing the same store app.
 
 use crate::error::HgError;
+use hg_detector::VerdictCache;
 use hg_rules::json::{rules_from_text, rules_to_text};
 use hg_rules::rule::Rule;
 use hg_symexec::{extract, AppAnalysis, ExtractorConfig};
@@ -29,6 +30,12 @@ pub struct RuleStore {
     /// How often `ingest` was answered from cache instead of re-extracting.
     /// Atomic so the cache-hit fast path stays on the read lock.
     cache_hits: AtomicU64,
+    /// The fleet-shared pair-verdict cache. Owned here — the store is the
+    /// one object every home already shares — and threaded through each
+    /// session's detector, so two homes checking the same store-app pair
+    /// under equivalent context solve it once. Runtime state only: it is
+    /// never serialized, and [`RuleStore::restore_state`] starts empty.
+    verdicts: Arc<VerdictCache>,
 }
 
 #[derive(Default)]
@@ -68,7 +75,15 @@ impl RuleStore {
             config,
             inner: RwLock::new(StoreInner::default()),
             cache_hits: AtomicU64::new(0),
+            verdicts: Arc::new(VerdictCache::new()),
         }
+    }
+
+    /// The fleet-shared pair-verdict cache this store owns. Homes attach
+    /// it to their detectors (the default); callers can inspect hit rates
+    /// or evict apps through it directly.
+    pub fn verdict_cache(&self) -> &Arc<VerdictCache> {
+        &self.verdicts
     }
 
     /// A fresh store already wrapped for sharing across homes.
@@ -167,10 +182,19 @@ impl RuleStore {
         // a pre-upgrade fingerprint must never keep answering ingests with
         // the pre-upgrade analysis after the entry changed underneath it.
         if let Some(stale) = inner.app_fingerprints.remove(&app) {
+            let replaced_content = !stale.contains(&fingerprint);
             for fp in stale {
                 if fp != fingerprint {
                     inner.by_fingerprint.remove(&fp);
                 }
+            }
+            // Upgrade re-ingest: the app's rules changed, so every
+            // memoized pair verdict involving it is dead weight. (Verdict
+            // keys are content-addressed, so this is reclamation, not a
+            // correctness requirement — a v1 verdict can never answer for
+            // v2's rules.)
+            if replaced_content {
+                self.verdicts.evict_app(&app);
             }
         }
         inner
@@ -199,10 +223,22 @@ impl RuleStore {
                 inner.by_fingerprint.remove(&fp);
             }
         }
+        // A retired app's memoized pair verdicts are unreachable garbage;
+        // reclaim them fleet-wide.
+        self.verdicts.evict_app(app);
         present
     }
 
     /// Queries the stored rules for `app` (the phone app's online request).
+    ///
+    /// Served from the cached analysis when one exists — every install of
+    /// a store app used to re-parse the serialized rule file, which
+    /// profiling showed was **more than half** the cost of a fleet-wide
+    /// install grid. The rule file is parsed only for entries without a
+    /// cached analysis (e.g. restored from a pre-analysis snapshot or
+    /// injected by hand); ingest keeps entry and analysis in lockstep, and
+    /// the serialization round-trip itself stays covered by the store
+    /// tests.
     ///
     /// # Errors
     ///
@@ -211,6 +247,9 @@ impl RuleStore {
     /// swallowed into an empty answer).
     pub fn rules_of(&self, app: &str) -> Result<Vec<Rule>, HgError> {
         let inner = self.read_inner();
+        if let Some(analysis) = inner.analyses.get(app) {
+            return Ok(analysis.rules.clone());
+        }
         let text = inner
             .database
             .get(app)
@@ -430,10 +469,32 @@ def h(evt) { lamp.on() }
 
     #[test]
     fn database_round_trips_through_json() {
+        // `rules_of` serves the cached analysis, so parse the stored rule
+        // file explicitly: the serialized entry must reproduce the
+        // analysis exactly (the invariant that makes the fast path safe).
         let store = RuleStore::new();
         let analysis_rules = store.ingest(APP, "Mini").unwrap().rules.clone();
-        let from_db = store.rules_of("Mini").unwrap();
+        let text = {
+            let inner = store.read_inner();
+            inner.database.get("Mini").unwrap().clone()
+        };
+        let from_db = rules_from_text(&text).unwrap();
         assert_eq!(from_db, analysis_rules);
+        assert_eq!(store.rules_of("Mini").unwrap(), analysis_rules);
+    }
+
+    #[test]
+    fn rules_of_parses_entries_without_a_cached_analysis() {
+        // A database entry with no analysis (snapshot from an older
+        // process, manual injection) still answers through the parser.
+        let store = RuleStore::new();
+        let rules = store.ingest(APP, "Mini").unwrap().rules.clone();
+        let text = rules_to_text(&rules);
+        store
+            .write_inner()
+            .database
+            .insert("Orphan".to_string(), text);
+        assert_eq!(store.rules_of("Orphan").unwrap(), rules);
     }
 
     #[test]
@@ -495,6 +556,45 @@ def h(evt) { lamp.on() }
         assert!(store.has_app("Mini"));
         // Retiring an unknown app reports absence.
         assert!(!store.retire_app("Ghost"));
+    }
+
+    #[test]
+    fn lifecycle_evicts_the_apps_verdicts() {
+        use crate::home::Home;
+
+        const OTHER: &str = r#"
+definition(name: "Other")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+        // Warm the verdict cache through a session's dirty install.
+        let store = RuleStore::shared();
+        let mut home = Home::new(store.clone());
+        home.install_app(APP, "Mini", None).unwrap();
+        let report = home.install_app(OTHER, "Other", None).unwrap();
+        assert!(!report.is_clean());
+        assert!(!store.verdict_cache().is_empty());
+
+        // Upgrade re-ingest (changed content) evicts the app's verdicts...
+        let v2 = OTHER.replace("lamp.off()", "lamp.on()");
+        store.ingest(&v2, "Other").unwrap();
+        assert!(
+            store.verdict_cache().is_empty(),
+            "the replaced app's verdicts must be reclaimed"
+        );
+
+        // ...an unchanged re-ingest (cache hit) evicts nothing...
+        let check = home.check_install("Other").unwrap();
+        assert!(check.is_clean(), "v2 agrees with Mini");
+        assert!(!store.verdict_cache().is_empty());
+        store.ingest(&v2, "Other").unwrap();
+        assert!(!store.verdict_cache().is_empty());
+
+        // ...and store retirement reclaims them too.
+        store.retire_app("Other");
+        assert!(store.verdict_cache().is_empty());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::index::{prepare_with, PreparedRule};
 use crate::overlap::{OverlapSolver, Unification};
 use crate::report::{DetectStats, Threat, ThreatKind};
+use crate::verdict_cache::{fingerprint128, PairKey, VerdictCache};
 use hg_capability::capability::{self, AttrEffect};
 use hg_capability::contradiction::{contradiction, Contradiction};
 use hg_capability::device_kind::DeviceKind;
@@ -17,6 +18,8 @@ use hg_rules::constraint::{CmpOp, Formula, Term};
 use hg_rules::rule::{Action, ActionSubject, Rule, Trigger};
 use hg_rules::varid::{DeviceRef, VarId};
 use hg_solver::Outcome;
+use std::hash::Hash;
+use std::sync::Arc;
 
 /// The CAI threat detector.
 #[derive(Debug, Clone, Default)]
@@ -25,12 +28,25 @@ pub struct Detector {
     pub unification: Unification,
     /// Overlap solver (modes + collected configuration values).
     pub solver: OverlapSolver,
+    /// The fleet-shared pair-verdict cache, when one is attached (the
+    /// [`RuleStore`]-owned `Arc` threaded through every home's detector).
+    /// `None` runs every pair fresh — the ground truth the cached path is
+    /// differentially tested against.
+    ///
+    /// [`RuleStore`]: https://docs.rs/homeguard-core
+    pub cache: Option<Arc<VerdictCache>>,
 }
 
 impl Detector {
     /// A detector for store-wide analysis (type-based unification).
     pub fn store_wide() -> Detector {
         Detector::default()
+    }
+
+    /// This detector with the fleet-shared verdict cache attached.
+    pub fn with_cache(mut self, cache: Arc<VerdictCache>) -> Detector {
+        self.cache = Some(cache);
+        self
     }
 
     /// Detects all CAI threats between two rules (both directions for the
@@ -50,10 +66,87 @@ impl Detector {
         p1: &PreparedRule,
         p2: &PreparedRule,
     ) -> (Vec<Threat>, DetectStats) {
+        let mut threats = Vec::new();
+        let stats = self.detect_pair_prepared_into(p1, p2, &mut threats);
+        (threats, stats)
+    }
+
+    /// [`detect_pair_prepared`](Self::detect_pair_prepared) appending into
+    /// a caller-owned buffer, so a sweep over many candidate pairs reuses
+    /// one threat vector instead of allocating per pair. Consults the
+    /// attached [`VerdictCache`] first: a hit replays the memoized threats
+    /// and logical effort counters (marked `cache_hits = 1`) without
+    /// filtering or solving; a miss computes fresh and publishes the
+    /// verdict for every other home sharing the cache.
+    pub fn detect_pair_prepared_into(
+        &self,
+        p1: &PreparedRule,
+        p2: &PreparedRule,
+        out: &mut Vec<Threat>,
+    ) -> DetectStats {
+        let Some(cache) = &self.cache else {
+            return self.detect_pair_fresh(p1, p2, out);
+        };
+        let key = self.pair_key(p1, p2);
+        if let Some((threats, stats)) = cache.lookup(&key) {
+            out.extend(threats);
+            return DetectStats {
+                cache_hits: 1,
+                ..stats
+            };
+        }
+        let start = out.len();
+        let stats = self.detect_pair_fresh(p1, p2, out);
+        cache.insert(
+            key,
+            [&p1.orig.id.app, &p2.orig.id.app],
+            out[start..].to_vec(),
+            stats,
+        );
+        DetectStats {
+            cache_misses: 1,
+            ..stats
+        }
+    }
+
+    /// The cache key of an ordered prepared pair: both rules' content
+    /// fingerprints plus the solver context — location modes and the
+    /// collected configuration values for exactly the user inputs the two
+    /// rules reference. Homes differing only in configuration the pair
+    /// never reads produce the same key and share the entry; any
+    /// difference a verdict could observe changes it. (The context could
+    /// not be pre-hashed per detector without a trap: `solver.modes` and
+    /// `solver.user_values` are public fields callers legitimately mutate
+    /// after construction, so the hash is taken fresh per pair — a few
+    /// short strings and usually zero user-input lookups.)
+    fn pair_key(&self, p1: &PreparedRule, p2: &PreparedRule) -> PairKey {
+        let ctx = fingerprint128(|h| {
+            self.solver.modes.hash(h);
+            for var in p1.user_inputs().chain(p2.user_inputs()) {
+                if let VarId::UserInput { app, name } = var {
+                    var.hash(h);
+                    self.solver.user_value(app, name).hash(h);
+                }
+            }
+        });
+        PairKey {
+            fp1: p1.fingerprint(),
+            fp2: p2.fingerprint(),
+            ctx,
+        }
+    }
+
+    /// The uncached pair detection pipeline (candidate filtering, then
+    /// overlap solving with Fig. 9's reuse edges).
+    fn detect_pair_fresh(
+        &self,
+        p1: &PreparedRule,
+        p2: &PreparedRule,
+        out: &mut Vec<Threat>,
+    ) -> DetectStats {
         let mut cx = PairCx {
             detector: self,
-            orig: [&p1.orig, &p2.orig],
-            unified: [&p1.unified, &p2.unified],
+            pair: [p1, p2],
             stats: DetectStats {
                 pairs: 1,
                 ..Default::default()
@@ -61,16 +154,15 @@ impl Detector {
             situation_overlap: None,
             condition_overlap: None,
         };
-        let mut threats = Vec::new();
-        cx.detect_actuator_race(&mut threats);
-        cx.detect_goal_conflict(&mut threats);
-        let ct_12 = cx.detect_trigger_interference(0, 1, &mut threats);
-        let ct_21 = cx.detect_trigger_interference(1, 0, &mut threats);
-        cx.detect_self_disabling(ct_12, ct_21, &mut threats);
-        cx.detect_loop_triggering(ct_12, ct_21, &mut threats);
-        cx.detect_condition_interference(0, 1, &mut threats);
-        cx.detect_condition_interference(1, 0, &mut threats);
-        (threats, cx.stats)
+        cx.detect_actuator_race(out);
+        cx.detect_goal_conflict(out);
+        let ct_12 = cx.detect_trigger_interference(0, 1, out);
+        let ct_21 = cx.detect_trigger_interference(1, 0, out);
+        cx.detect_self_disabling(ct_12, ct_21, out);
+        cx.detect_loop_triggering(ct_12, ct_21, out);
+        cx.detect_condition_interference(0, 1, out);
+        cx.detect_condition_interference(1, 0, out);
+        cx.stats
     }
 
     /// Pairwise detection over a whole rule population.
@@ -90,8 +182,7 @@ impl Detector {
 
 struct PairCx<'a> {
     detector: &'a Detector,
-    orig: [&'a Rule; 2],
-    unified: [&'a Rule; 2],
+    pair: [&'a PreparedRule; 2],
     stats: DetectStats,
     /// Cached result of the merged situation solve (AR's overlap check),
     /// reused by CT/SD/LT.
@@ -101,21 +192,37 @@ struct PairCx<'a> {
 }
 
 impl<'a> PairCx<'a> {
+    /// The i-th rule as extracted. Returned at the pair's lifetime (not
+    /// the borrow's), so detection loops can iterate rule internals while
+    /// calling `&mut self` solver helpers.
+    fn orig(&self, i: usize) -> &'a Rule {
+        let p: &'a PreparedRule = self.pair[i];
+        &p.orig
+    }
+
+    /// The i-th rule with device slots resolved.
+    fn unified(&self, i: usize) -> &'a Rule {
+        let p: &'a PreparedRule = self.pair[i];
+        &p.unified
+    }
+
     fn solve(&mut self, formulas: &[&Formula]) -> Outcome {
         self.stats.solves += 1;
         self.detector.solver.solve(formulas)
     }
 
     /// The overlap of both rules' full situations (trigger constraints plus
-    /// conditions), computed once and reused.
+    /// conditions), computed once and reused. The situation conjunctions
+    /// themselves were precomputed at preparation — no per-pair formula
+    /// cloning.
     fn situation_overlap(&mut self) -> Outcome {
         if let Some(o) = self.situation_overlap.clone() {
             self.stats.reused += 1;
             return o;
         }
-        let s1 = self.unified[0].situation();
-        let s2 = self.unified[1].situation();
-        let outcome = self.solve(&[&s1, &s2]);
+        let p1: &'a PreparedRule = self.pair[0];
+        let p2: &'a PreparedRule = self.pair[1];
+        let outcome = self.solve(&[p1.situation(), p2.situation()]);
         self.situation_overlap = Some(outcome.clone());
         outcome
     }
@@ -127,9 +234,9 @@ impl<'a> PairCx<'a> {
             self.stats.reused += 1;
             return o;
         }
-        let c1 = self.unified[0].condition.predicate.clone();
-        let c2 = self.unified[1].condition.predicate.clone();
-        let outcome = self.solve(&[&c1, &c2]);
+        let c1 = &self.unified(0).condition.predicate;
+        let c2 = &self.unified(1).condition.predicate;
+        let outcome = self.solve(&[c1, c2]);
         self.condition_overlap = Some(outcome.clone());
         outcome
     }
@@ -137,11 +244,11 @@ impl<'a> PairCx<'a> {
     // ----- Action-Interference threats (§VI-A) -------------------------------
 
     fn detect_actuator_race(&mut self, out: &mut Vec<Threat>) {
+        let r1 = self.unified(0);
+        let r2 = self.unified(1);
         let mut found = false;
-        let acts1: Vec<Action> = self.unified[0].actuations().cloned().collect();
-        let acts2: Vec<Action> = self.unified[1].actuations().cloned().collect();
-        for (i1, a1) in acts1.iter().enumerate() {
-            for a2 in acts2.iter() {
+        for (i1, a1) in r1.actuations().enumerate() {
+            for a2 in r2.actuations() {
                 if found {
                     break;
                 }
@@ -151,10 +258,9 @@ impl<'a> PairCx<'a> {
                 // AR requires the rules to take effect together: identical
                 // trigger events, or a delayed command that can land while
                 // the other rule fires.
-                let coincide =
-                    triggers_coincide(&self.unified[0].trigger, &self.unified[1].trigger)
-                        || a1.when_secs > 0
-                        || a2.when_secs > 0;
+                let coincide = triggers_coincide(&r1.trigger, &r2.trigger)
+                    || a1.when_secs > 0
+                    || a2.when_secs > 0;
                 if !coincide {
                     continue;
                 }
@@ -164,10 +270,10 @@ impl<'a> PairCx<'a> {
                     found = true;
                     out.push(Threat {
                         kind: ThreatKind::ActuatorRace,
-                        source: self.unified[0].id.clone(),
-                        target: self.unified[1].id.clone(),
+                        source: r1.id.clone(),
+                        target: r2.id.clone(),
                         witness: Some(witness),
-                        actuator: Some(action_subject_name(self.orig[0], i1)),
+                        actuator: Some(action_subject_name(self.orig(0), i1)),
                         property: None,
                         note: format!(
                             "`{}` and `{}` race on the same actuator ({})",
@@ -183,12 +289,14 @@ impl<'a> PairCx<'a> {
 
     fn detect_goal_conflict(&mut self, out: &mut Vec<Threat>) {
         let mut reported: Vec<EnvProperty> = Vec::new();
-        for a1 in self.orig[0].actuations() {
-            for a2 in self.orig[1].actuations() {
+        // Unified subjects ride along with the original actions: the
+        // unified rule's action list is the original's mapped through
+        // `Unification::resolve`, so no per-pair re-resolution (and no
+        // synthetic-id allocation) is needed.
+        for (a1, u1) in self.orig(0).actuations().zip(self.unified(0).actuations()) {
+            for (a2, u2) in self.orig(1).actuations().zip(self.unified(1).actuations()) {
                 // Same-actuator conflicts are Actuator Races, not GCs.
-                let u1 = action_device(a1).map(|d| self.detector.unification.resolve(d));
-                let u2 = action_device(a2).map(|d| self.detector.unification.resolve(d));
-                if let (Some(d1), Some(d2)) = (&u1, &u2) {
+                if let (Some(d1), Some(d2)) = (u1.subject.device(), u2.subject.device()) {
                     if d1.same_device(d2) {
                         continue;
                     }
@@ -214,8 +322,8 @@ impl<'a> PairCx<'a> {
                         reported.push(prop);
                         out.push(Threat {
                             kind: ThreatKind::GoalConflict,
-                            source: self.unified[0].id.clone(),
-                            target: self.unified[1].id.clone(),
+                            source: self.unified(0).id.clone(),
+                            target: self.unified(1).id.clone(),
                             witness: Some(witness),
                             actuator: None,
                             property: Some(prop),
@@ -243,14 +351,15 @@ impl<'a> PairCx<'a> {
         dst: usize,
         out: &mut Vec<Threat>,
     ) -> bool {
-        let Some(t2_var) = self.unified[dst].trigger.observed_var() else {
+        let src_unified = self.unified(src);
+        let src_orig = self.orig(src);
+        let dst_unified = self.unified(dst);
+        let Some(t2_var) = dst_unified.trigger.observed_var() else {
             return false;
         };
-        let t2_constraint = self.unified[dst].trigger.constraint().cloned();
+        let t2_constraint = dst_unified.trigger.constraint();
         let mut found = false;
-        let actions: Vec<Action> = self.unified[src].actuations().cloned().collect();
-        let orig_actions: Vec<Action> = self.orig[src].actuations().cloned().collect();
-        for (a_unified, a_orig) in actions.iter().zip(orig_actions.iter()) {
+        for (a_unified, a_orig) in src_unified.actuations().zip(src_orig.actuations()) {
             if found {
                 break;
             }
@@ -263,24 +372,25 @@ impl<'a> PairCx<'a> {
                 // Effect value must satisfy T2's constraint together with
                 // both conditions. Reuses the AR situation solve when no
                 // effect refinement is needed.
-                let c1 = self.unified[src].condition.predicate.clone();
-                let c2 = self.unified[dst].condition.predicate.clone();
-                let mut parts = vec![&effect, &c1, &c2];
-                let t2c = t2_constraint.clone().unwrap_or(Formula::True);
-                parts.push(&t2c);
+                let c1 = &src_unified.condition.predicate;
+                let c2 = &dst_unified.condition.predicate;
+                let mut parts = vec![&effect, c1, c2];
+                if let Some(t2c) = t2_constraint {
+                    parts.push(t2c);
+                }
                 let outcome = self.solve(&parts);
                 if let Outcome::Sat(witness) = outcome {
                     found = true;
                     out.push(Threat {
                         kind: ThreatKind::CovertTriggering,
-                        source: self.unified[src].id.clone(),
-                        target: self.unified[dst].id.clone(),
+                        source: src_unified.id.clone(),
+                        target: dst_unified.id.clone(),
                         witness: Some(witness),
                         actuator: None,
                         property: None,
                         note: format!(
                             "`{}` changes `{var}`, which triggers {}",
-                            a_unified.command, self.unified[dst].id
+                            a_unified.command, dst_unified.id
                         ),
                     });
                     break;
@@ -302,7 +412,7 @@ impl<'a> PairCx<'a> {
                 if env_var != t2_var {
                     continue;
                 }
-                if !direction_compatible(t2_constraint.as_ref(), &t2_var, fx.sign) {
+                if !direction_compatible(t2_constraint, &t2_var, fx.sign) {
                     continue;
                 }
                 self.stats.candidates += 1;
@@ -311,8 +421,8 @@ impl<'a> PairCx<'a> {
                     found = true;
                     out.push(Threat {
                         kind: ThreatKind::CovertTriggering,
-                        source: self.unified[src].id.clone(),
-                        target: self.unified[dst].id.clone(),
+                        source: src_unified.id.clone(),
+                        target: dst_unified.id.clone(),
                         witness: Some(witness),
                         actuator: None,
                         property: Some(fx.property),
@@ -322,7 +432,7 @@ impl<'a> PairCx<'a> {
                             kind.name(),
                             fx.property,
                             fx.sign,
-                            self.unified[dst].id
+                            dst_unified.id
                         ),
                     });
                     break;
@@ -339,21 +449,22 @@ impl<'a> PairCx<'a> {
             }
             // R_dst's action must undo R_src's action on the same actuator.
             if let Some((actuator, note)) =
-                first_contradictory_pair(self.unified[src], self.unified[dst])
+                first_contradictory_pair(self.unified(src), self.unified(dst))
             {
                 // Reuse the action-analysis + CT overlap results: no fresh
                 // solving needed (Fig. 9).
                 self.stats.reused += 1;
                 out.push(Threat {
                     kind: ThreatKind::SelfDisabling,
-                    source: self.unified[src].id.clone(),
-                    target: self.unified[dst].id.clone(),
+                    source: self.unified(src).id.clone(),
+                    target: self.unified(dst).id.clone(),
                     witness: None,
                     actuator: Some(actuator),
                     property: None,
                     note: format!(
                         "{} covertly triggers {}, whose action undoes it ({note})",
-                        self.unified[src].id, self.unified[dst].id
+                        self.unified(src).id,
+                        self.unified(dst).id
                     ),
                 });
             }
@@ -364,12 +475,12 @@ impl<'a> PairCx<'a> {
         if !(ct_12 && ct_21) {
             return;
         }
-        if let Some((actuator, note)) = first_contradictory_pair(self.unified[0], self.unified[1]) {
+        if let Some((actuator, note)) = first_contradictory_pair(self.unified(0), self.unified(1)) {
             self.stats.reused += 1;
             out.push(Threat {
                 kind: ThreatKind::LoopTriggering,
-                source: self.unified[0].id.clone(),
-                target: self.unified[1].id.clone(),
+                source: self.unified(0).id.clone(),
+                target: self.unified(1).id.clone(),
                 witness: None,
                 actuator: Some(actuator),
                 property: None,
@@ -381,16 +492,17 @@ impl<'a> PairCx<'a> {
     // ----- Condition-Interference threats (§VI-C) -------------------------------
 
     fn detect_condition_interference(&mut self, src: usize, dst: usize, out: &mut Vec<Threat>) {
-        let c2 = self.unified[dst].condition.predicate.clone();
-        if c2 == Formula::True {
+        let src_unified = self.unified(src);
+        let src_orig = self.orig(src);
+        let dst_unified = self.unified(dst);
+        let c2 = &dst_unified.condition.predicate;
+        if *c2 == Formula::True {
             return;
         }
         let c2_vars = c2.variables();
-        let actions: Vec<Action> = self.unified[src].actuations().cloned().collect();
-        let orig_actions: Vec<Action> = self.orig[src].actuations().cloned().collect();
         let mut reported_ec = false;
         let mut reported_dc = false;
-        for (a_unified, a_orig) in actions.iter().zip(orig_actions.iter()) {
+        for (a_unified, a_orig) in src_unified.actuations().zip(src_orig.actuations()) {
             if reported_ec && reported_dc {
                 break;
             }
@@ -401,7 +513,7 @@ impl<'a> PairCx<'a> {
                 }
                 self.stats.candidates += 1;
                 // EC solve; DC reuses its result (Fig. 9).
-                let outcome = self.solve(&[&effect, &c2]);
+                let outcome = self.solve(&[&effect, c2]);
                 self.stats.reused += 1; // the DC decision reuses this solve
                 let (kind, already) = match outcome {
                     Outcome::Sat(_) => (ThreatKind::EnablingCondition, &mut reported_ec),
@@ -413,8 +525,8 @@ impl<'a> PairCx<'a> {
                 *already = true;
                 out.push(Threat {
                     kind,
-                    source: self.unified[src].id.clone(),
-                    target: self.unified[dst].id.clone(),
+                    source: src_unified.id.clone(),
+                    target: dst_unified.id.clone(),
                     witness: outcome.witness().cloned(),
                     actuator: None,
                     property: None,
@@ -426,7 +538,7 @@ impl<'a> PairCx<'a> {
                         } else {
                             "falsifies"
                         },
-                        self.unified[dst].id
+                        dst_unified.id
                     ),
                 });
             }
@@ -443,7 +555,7 @@ impl<'a> PairCx<'a> {
                     continue;
                 }
                 self.stats.candidates += 1;
-                for (threat_kind, flag) in classify_env_condition_effect(&c2, &env_var, fx.sign) {
+                for (threat_kind, flag) in classify_env_condition_effect(c2, &env_var, fx.sign) {
                     let already = match threat_kind {
                         ThreatKind::EnablingCondition => &mut reported_ec,
                         _ => &mut reported_dc,
@@ -454,8 +566,8 @@ impl<'a> PairCx<'a> {
                     *already = true;
                     out.push(Threat {
                         kind: threat_kind,
-                        source: self.unified[src].id.clone(),
-                        target: self.unified[dst].id.clone(),
+                        source: src_unified.id.clone(),
+                        target: dst_unified.id.clone(),
                         witness: None,
                         actuator: None,
                         property: Some(fx.property),
@@ -470,7 +582,7 @@ impl<'a> PairCx<'a> {
                             } else {
                                 "can disable"
                             },
-                            self.unified[dst].id
+                            dst_unified.id
                         ),
                     });
                 }
@@ -480,11 +592,6 @@ impl<'a> PairCx<'a> {
 }
 
 // ----- helpers ------------------------------------------------------------------
-
-/// The device a (device-)action targets.
-fn action_device(a: &Action) -> Option<&DeviceRef> {
-    a.subject.device()
-}
 
 /// The classified device kind of an action's original (pre-unification)
 /// subject.

@@ -22,6 +22,7 @@ use crate::engine::Detector;
 use crate::index::{CandidateIndex, PreparedRule};
 use crate::report::{DetectStats, Threat};
 use hg_rules::rule::{Rule, RuleId};
+use std::collections::HashSet;
 
 /// Per-home incremental CAI detection state.
 #[derive(Debug, Clone, Default)]
@@ -85,6 +86,10 @@ impl DetectionEngine {
     /// are removed from the candidate index and the slots tombstoned.
     /// Returns how many rules were removed.
     pub fn remove_rules(&mut self, ids: &[RuleId]) -> usize {
+        // Hashed membership: the retraction loop visits every installed
+        // slot, so an `ids.contains` scan would make bulk retraction
+        // O(installed × ids).
+        let ids: HashSet<&RuleId> = ids.iter().collect();
         self.retract(|rule| ids.contains(&rule.id)).len()
     }
 
@@ -209,10 +214,15 @@ impl DetectionEngine {
         };
         let mut threats = Vec::new();
         let mut stats = DetectStats::default();
+        // Scratch reused across pair visits: threats append straight into
+        // the report vector and the candidate buffer keeps its allocation
+        // from rule to rule — the sweep's only steady-state allocations
+        // are the threats themselves.
+        let mut candidates: Vec<usize> = Vec::new();
         for (i, new_rule) in new_rules.iter().enumerate() {
-            let candidates = self.index.candidates(new_rule);
+            self.index.candidates_into(new_rule, &mut candidates);
             let mut visited = 0usize;
-            for id in candidates {
+            for &id in &candidates {
                 // Candidates only ever name live slots: retraction unposts
                 // a slot from every index key before tombstoning it.
                 let Some(old) = &self.installed[id] else {
@@ -222,18 +232,21 @@ impl DetectionEngine {
                     continue;
                 }
                 visited += 1;
-                let (t, s) = self.detector.detect_pair_prepared(new_rule, old);
-                threats.extend(t);
-                stats.absorb(s);
+                stats.absorb(
+                    self.detector
+                        .detect_pair_prepared_into(new_rule, old, &mut threats),
+                );
             }
             stats.pruned += (population - visited) as u64;
             // Staged and intra-batch pairs: scan them directly — batches
             // are small compared to the installed population the index
             // exists for.
             for earlier in staged.iter().chain(&new_rules[..i]) {
-                let (t, s) = self.detector.detect_pair_prepared(new_rule, earlier);
-                threats.extend(t);
-                stats.absorb(s);
+                stats.absorb(self.detector.detect_pair_prepared_into(
+                    new_rule,
+                    earlier,
+                    &mut threats,
+                ));
             }
         }
         (threats, stats)
@@ -251,14 +264,17 @@ impl DetectionEngine {
         let mut stats = DetectStats::default();
         for (i, new_rule) in prepared.iter().enumerate() {
             for old in self.installed.iter().flatten() {
-                let (t, s) = self.detector.detect_pair_prepared(new_rule, old);
-                threats.extend(t);
-                stats.absorb(s);
+                stats.absorb(
+                    self.detector
+                        .detect_pair_prepared_into(new_rule, old, &mut threats),
+                );
             }
             for earlier in &prepared[..i] {
-                let (t, s) = self.detector.detect_pair_prepared(new_rule, earlier);
-                threats.extend(t);
-                stats.absorb(s);
+                stats.absorb(self.detector.detect_pair_prepared_into(
+                    new_rule,
+                    earlier,
+                    &mut threats,
+                ));
             }
         }
         (threats, stats)

@@ -18,9 +18,11 @@
 use crate::engine::{action_kind, direct_effects, Detector};
 use crate::overlap::Unification;
 use hg_capability::domains::EnvProperty;
+use hg_rules::constraint::Formula;
 use hg_rules::rule::{ActionSubject, Rule};
 use hg_rules::varid::{DeviceRef, VarId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::Hash;
 
 /// A rule prepared for repeated detection: unified once against the home's
 /// device-resolution policy, with its interaction facets precomputed.
@@ -36,6 +38,21 @@ pub struct PreparedRule {
     /// The rule with every device slot resolved per the home's unification.
     pub unified: Rule,
     pub(crate) facets: Facets,
+    /// 128-bit content fingerprint of `(orig, unified)` — one component
+    /// of a [`VerdictCache`](crate::VerdictCache) pair key. Everything a
+    /// pair verdict reads from this rule (formulas, actions, identity,
+    /// how its slots resolved) is folded in, so equal fingerprints mean
+    /// the rule contributes identically to any pair it joins.
+    fingerprint: u128,
+    /// The [`VarId::UserInput`] variables the unified rule's formulas and
+    /// action parameters reference — the only configuration the overlap
+    /// solver can substitute for this rule, and therefore the only
+    /// configuration a pair key needs to fold in.
+    user_inputs: BTreeSet<VarId>,
+    /// The unified rule's [`Rule::situation`] conjunction, built once at
+    /// preparation instead of re-cloned on every pair visit (the
+    /// Actuator-Race overlap solve reads it for every candidate pair).
+    situation: Formula,
 }
 
 impl PreparedRule {
@@ -43,11 +60,38 @@ impl PreparedRule {
     pub fn prepare(rule: &Rule, unification: &Unification) -> PreparedRule {
         let unified = unification.unify_rule(rule);
         let facets = Facets::of(rule, &unified);
+        let fingerprint = crate::verdict_cache::fingerprint128(|h| {
+            rule.hash(h);
+            unified.hash(h);
+        });
+        let mut user_inputs = BTreeSet::new();
+        collect_user_inputs(&unified, &mut user_inputs);
+        let situation = unified.situation();
         PreparedRule {
             orig: rule.clone(),
             unified,
             facets,
+            fingerprint,
+            user_inputs,
+            situation,
         }
+    }
+
+    /// The unified rule's situation conjunction (trigger constraint ∧
+    /// condition), precomputed at preparation.
+    pub fn situation(&self) -> &Formula {
+        &self.situation
+    }
+
+    /// The rule's content fingerprint (see the field docs).
+    pub fn fingerprint(&self) -> u128 {
+        self.fingerprint
+    }
+
+    /// The user-input variables the rule's solver-visible formulas
+    /// reference (sorted).
+    pub fn user_inputs(&self) -> impl Iterator<Item = &VarId> {
+        self.user_inputs.iter()
     }
 
     /// Canonical identities of the actuators the rule commands — the index
@@ -121,6 +165,23 @@ impl Facets {
         f.reads.extend(unified.condition.predicate.variables());
         f
     }
+}
+
+/// Collects every [`VarId::UserInput`] the overlap solver could substitute
+/// while deciding a pair involving `unified`: trigger-constraint and
+/// condition variables (everything [`Rule::situation`] conjoins) plus
+/// action parameter terms (Covert-Triggering effect formulas embed them).
+fn collect_user_inputs(unified: &Rule, out: &mut BTreeSet<VarId>) {
+    let mut vars = unified.situation().variables();
+    for action in unified.actuations() {
+        for param in &action.params {
+            param.collect_vars(&mut vars);
+        }
+    }
+    out.extend(
+        vars.into_iter()
+            .filter(|v| matches!(v, VarId::UserInput { .. })),
+    );
 }
 
 /// The canonical index identity of an actuation subject: the bound device
@@ -212,31 +273,41 @@ impl CandidateIndex {
     /// The slots of every posted rule that can possibly interact with
     /// `rule`, sorted and deduplicated.
     pub fn candidates(&self, rule: &PreparedRule) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.candidates_into(rule, &mut out);
+        out
+    }
+
+    /// [`candidates`](Self::candidates) into a caller-owned buffer, so a
+    /// sweep over many new rules reuses one allocation (`out` is cleared
+    /// first; the result is sorted and deduplicated as before).
+    pub fn candidates_into(&self, rule: &PreparedRule, out: &mut Vec<usize>) {
+        out.clear();
         let f = &rule.facets;
-        let mut out = BTreeSet::new();
         for key in &f.actuators {
             if let Some(ids) = self.by_actuator.get(key) {
-                out.extend(ids.iter().copied());
+                out.extend_from_slice(ids);
             }
         }
         for prop in &f.goal_props {
             if let Some(ids) = self.by_goal_prop.get(prop) {
-                out.extend(ids.iter().copied());
+                out.extend_from_slice(ids);
             }
         }
         // New writes can fire or flip posted rules...
         for var in &f.writes {
             if let Some(ids) = self.by_read.get(var) {
-                out.extend(ids.iter().copied());
+                out.extend_from_slice(ids);
             }
         }
         // ...and posted rules' writes can fire or flip the new rule.
         for var in &f.reads {
             if let Some(ids) = self.by_write.get(var) {
-                out.extend(ids.iter().copied());
+                out.extend_from_slice(ids);
             }
         }
-        out.into_iter().collect()
+        out.sort_unstable();
+        out.dedup();
     }
 
     /// Drops all postings.

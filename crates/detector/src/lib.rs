@@ -58,6 +58,7 @@ pub mod incremental;
 pub mod index;
 pub mod overlap;
 pub mod report;
+pub mod verdict_cache;
 
 pub use chained::{find_chains, Chain, Edge};
 pub use engine::Detector;
@@ -65,3 +66,4 @@ pub use incremental::DetectionEngine;
 pub use index::{actuator_key, CandidateIndex, PreparedRule};
 pub use overlap::{OverlapSolver, Unification, UserValues};
 pub use report::{DetectStats, Threat, ThreatKind};
+pub use verdict_cache::{CacheStats, PairKey, VerdictCache};

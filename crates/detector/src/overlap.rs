@@ -14,7 +14,79 @@ use hg_rules::rule::{Action, ActionSubject, Rule, Trigger};
 use hg_rules::value::Value;
 use hg_rules::varid::{DeviceRef, VarId};
 use hg_solver::{Model, Outcome};
+use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
+
+/// Borrowed-lookup adapter for `(String, String)`-keyed maps.
+///
+/// The recorders key bindings and user values by owned `(app, input)`
+/// pairs, but the detection hot paths look them up with borrowed `&str`s
+/// straight out of a [`VarId`] — and `BTreeMap::get` cannot borrow a
+/// `(String, String)` as `(&str, &str)`. This trait bridges the gap the
+/// standard way: both tuple forms implement it, the owned key [`Borrow`]s
+/// the trait object, and the trait object carries the tuple's ordering, so
+/// `map.get(&(app, name) as &dyn SlotKey)` finds the owned entry without
+/// cloning two `String`s per lookup.
+trait SlotKey {
+    /// The app component.
+    fn app(&self) -> &str;
+    /// The input/slot component.
+    fn slot(&self) -> &str;
+}
+
+impl SlotKey for (String, String) {
+    fn app(&self) -> &str {
+        &self.0
+    }
+    fn slot(&self) -> &str {
+        &self.1
+    }
+}
+
+impl SlotKey for (&str, &str) {
+    fn app(&self) -> &str {
+        self.0
+    }
+    fn slot(&self) -> &str {
+        self.1
+    }
+}
+
+impl<'a> Borrow<dyn SlotKey + 'a> for (String, String) {
+    fn borrow(&self) -> &(dyn SlotKey + 'a) {
+        self
+    }
+}
+
+impl PartialEq for dyn SlotKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.app() == other.app() && self.slot() == other.slot()
+    }
+}
+
+impl Eq for dyn SlotKey + '_ {}
+
+impl PartialOrd for dyn SlotKey + '_ {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for dyn SlotKey + '_ {
+    // Must agree with the derived lexicographic order of the owned tuple,
+    // or lookups would walk the wrong side of the tree.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.app()
+            .cmp(other.app())
+            .then_with(|| self.slot().cmp(other.slot()))
+    }
+}
+
+/// Allocation-free lookup in an `(app, input)`-keyed map.
+fn slot_get<'m, V>(map: &'m BTreeMap<(String, String), V>, app: &str, slot: &str) -> Option<&'m V> {
+    map.get(&(app, slot) as &dyn SlotKey)
+}
 
 /// How device slots are resolved to concrete devices.
 #[derive(Debug, Clone, Default)]
@@ -38,7 +110,7 @@ impl Unification {
                 capability,
                 kind,
             } => match self {
-                Unification::Bindings(map) => match map.get(&(app.clone(), input.clone())) {
+                Unification::Bindings(map) => match slot_get(map, app, input) {
                     Some(id) => DeviceRef::bound(id.clone()),
                     None => d.clone(),
                 },
@@ -122,14 +194,21 @@ impl Default for OverlapSolver {
 }
 
 impl OverlapSolver {
-    /// Substitutes collected configuration values into a formula.
+    /// Substitutes collected configuration values into a formula. The
+    /// lookup borrows the variable's `&str` components directly — no
+    /// `String` clones per [`VarId::UserInput`] visit (this closure runs
+    /// for every variable of every formula of every solved pair).
     pub fn substitute(&self, f: &Formula) -> Formula {
         f.substitute(&|v| match v {
-            VarId::UserInput { app, name } => {
-                self.user_values.get(&(app.clone(), name.clone())).cloned()
-            }
+            VarId::UserInput { app, name } => self.user_value(app, name).cloned(),
             _ => None,
         })
+    }
+
+    /// The collected configuration value for one user input, looked up
+    /// without cloning the key.
+    pub fn user_value(&self, app: &str, name: &str) -> Option<&Value> {
+        slot_get(&self.user_values, app, name)
     }
 
     /// Solves the conjunction of `formulas` after substitution and domain

@@ -136,6 +136,15 @@ pub struct DetectStats {
     /// merged-situation solve in a filterless detector, so this is the
     /// index's solver-invocation saving.
     pub pruned: u64,
+    /// Pair verdicts answered from the fleet-shared
+    /// [`VerdictCache`](crate::VerdictCache): filtering, model build and
+    /// solving were all skipped. The other counters of a hit pair report
+    /// the memoized *logical* effort, so cached and uncached runs agree on
+    /// everything but the hit/miss markers.
+    pub cache_hits: u64,
+    /// Pair verdicts computed fresh and published to the cache. Zero when
+    /// no cache is attached.
+    pub cache_misses: u64,
 }
 
 impl DetectStats {
@@ -146,6 +155,18 @@ impl DetectStats {
         self.solves += other.solves;
         self.reused += other.reused;
         self.pruned += other.pruned;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+
+    /// This counter set with the cache hit/miss markers zeroed — the
+    /// *logical* detection effort, identical between a cached and an
+    /// uncached run over the same population (the differential harnesses
+    /// compare exactly this projection).
+    pub fn logical(mut self) -> DetectStats {
+        self.cache_hits = 0;
+        self.cache_misses = 0;
+        self
     }
 }
 
@@ -192,6 +213,8 @@ mod tests {
             solves: 3,
             reused: 4,
             pruned: 5,
+            cache_hits: 6,
+            cache_misses: 7,
         };
         a.absorb(DetectStats {
             pairs: 10,
@@ -199,6 +222,8 @@ mod tests {
             solves: 30,
             reused: 40,
             pruned: 50,
+            cache_hits: 60,
+            cache_misses: 70,
         });
         assert_eq!(
             a,
@@ -207,7 +232,18 @@ mod tests {
                 candidates: 22,
                 solves: 33,
                 reused: 44,
-                pruned: 55
+                pruned: 55,
+                cache_hits: 66,
+                cache_misses: 77,
+            }
+        );
+        // The logical projection strips only the cache markers.
+        assert_eq!(
+            a.logical(),
+            DetectStats {
+                cache_hits: 0,
+                cache_misses: 0,
+                ..a
             }
         );
     }

@@ -272,3 +272,50 @@ fn rich_session_state_round_trips_field_for_field() {
     // serialization is a fixed point, not an approximation.
     assert_eq!(home_to_text(&revived.export_state()), text);
 }
+
+#[test]
+fn verdict_cache_is_never_serialized_and_restores_empty() {
+    // Warm the fleet-shared verdict cache with real repeated-install
+    // traffic, then snapshot. The cache is runtime state: it must leave no
+    // trace in the document (the snapshot of a hot cache is byte-identical
+    // to the snapshot after dropping it), and a restored fleet starts with
+    // an empty cache that refills from live traffic.
+    let fleet = Fleet::new(RuleStore::shared());
+    let ids: Vec<_> = (0..6).map(|_| fleet.create_home()).collect();
+    fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
+    for &id in &ids {
+        fleet
+            .install_app_forced(id, OFF_APP, "OffApp", None)
+            .unwrap();
+    }
+    let verdicts = fleet.store().verdict_cache();
+    assert!(
+        !verdicts.is_empty() && verdicts.stats().hits > 0,
+        "the grid must actually warm the cache: {:?}",
+        verdicts.stats()
+    );
+
+    let hot = fleet.snapshot().unwrap().to_text();
+    verdicts.clear();
+    let cold = fleet.snapshot().unwrap().to_text();
+    assert_eq!(hot, cold, "cache state leaked into the snapshot");
+    assert!(
+        !hot.contains("verdict"),
+        "no cache vocabulary may appear in the document"
+    );
+
+    let restored = Fleet::restore(FleetSnapshot::from_text(&hot).unwrap()).unwrap();
+    let restored_cache = restored.store().verdict_cache();
+    assert!(restored_cache.is_empty(), "restored cache must start cold");
+    assert_eq!(restored_cache.stats().hits, 0);
+
+    // ...and refills from live traffic: a fresh home repeating the same
+    // installs is served by new cache entries, with identical verdicts.
+    let fresh = restored.create_home();
+    restored.install_app(fresh, ON_APP, "OnApp", None).unwrap();
+    let report = restored
+        .install_app(fresh, OFF_APP, "OffApp", None)
+        .unwrap();
+    assert!(!report.is_clean());
+    assert!(!restored_cache.is_empty());
+}

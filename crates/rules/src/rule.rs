@@ -32,7 +32,7 @@ impl fmt::Display for RuleId {
 }
 
 /// What fires a rule.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum Trigger {
     /// A subscribed device event: `subscribe(dev, "attr", handler)`.
     DeviceEvent {
@@ -102,7 +102,7 @@ impl Trigger {
 /// One recorded data constraint: how a local variable got its value
 /// (Listing 2's "data constraints" section; Table II shows e.g.
 /// `t = tSensor.temperature`).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct DataConstraint {
     /// The assigned name as written in the app.
     pub name: String,
@@ -119,7 +119,7 @@ impl fmt::Display for DataConstraint {
 /// A rule's condition: the predicate that must hold (with data constraints
 /// kept for display fidelity — the predicate formula already has them
 /// substituted through).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Condition {
     /// How intermediate variables were derived.
     pub data_constraints: Vec<DataConstraint>,
@@ -138,7 +138,7 @@ impl Condition {
 }
 
 /// The entity an action operates on.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub enum ActionSubject {
     /// A device actuator.
     Device(DeviceRef),
@@ -171,7 +171,7 @@ impl ActionSubject {
 }
 
 /// One command issued by a rule (Listing 2's action section).
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Action {
     /// What the command operates on.
     pub subject: ActionSubject,
@@ -259,7 +259,7 @@ impl fmt::Display for Action {
 }
 
 /// A complete trigger-condition-action rule.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct Rule {
     /// Rule identity.
     pub id: RuleId,

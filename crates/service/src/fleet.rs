@@ -19,6 +19,30 @@ use std::sync::{Arc, RwLock};
 
 type Shard = RwLock<BTreeMap<HomeId, Home>>;
 
+/// Process-global sweep-parallelism override (see
+/// [`override_sweep_parallelism`]): `0` = auto, [`SWEEP_FORCED_ON`] /
+/// [`SWEEP_FORCED_OFF`] pin the decision.
+static SWEEP_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+const SWEEP_FORCED_ON: u8 = 1;
+const SWEEP_FORCED_OFF: u8 = 2;
+
+/// Pins whether fleet sweeps fan out worker threads, process-wide:
+/// `Some(true)` always threads, `Some(false)` always inline, `None`
+/// returns to the automatic choice (hardware parallelism, or the
+/// `HG_PARALLEL_SWEEPS` env var read once at first sweep). Both paths
+/// produce identical reports; this exists so equivalence tests can
+/// exercise the threaded fan-out on single-core hosts without touching
+/// the process environment (concurrent `set_var`/`getenv` is undefined
+/// behavior on common libc implementations).
+pub fn override_sweep_parallelism(forced: Option<bool>) {
+    let mode = match forced {
+        Some(true) => SWEEP_FORCED_ON,
+        Some(false) => SWEEP_FORCED_OFF,
+        None => 0,
+    };
+    SWEEP_MODE.store(mode, std::sync::atomic::Ordering::Relaxed);
+}
+
 /// Per-home outcomes of a bulk operation: one entry per requested home, in
 /// request order.
 pub type BulkOutcomes = Vec<(HomeId, Result<InstallReport, HgError>)>;
@@ -101,6 +125,29 @@ pub struct UpgradeRollout {
     pub poisoned_shards: usize,
 }
 
+/// One shard's share of a parallel fleet sweep (see
+/// [`Fleet::propagate_upgrade`] / [`Fleet::force_uninstall`]).
+enum ShardSweep<R> {
+    /// The shard lock was poisoned; its homes were not visited.
+    Poisoned,
+    /// Per-home results, in the shard's ascending `HomeId` order.
+    Outcomes(Vec<R>),
+}
+
+/// One home's outcome within a parallel sweep. `R` is the per-home report
+/// type (boxed: most sweep outcomes are `Skipped`, and a large inline
+/// report would bloat every variant).
+enum SweepOutcome<R> {
+    /// The app is not installed in this home.
+    Skipped,
+    /// The operation completed without a report to deliver.
+    Clean(HomeId),
+    /// The operation produced a per-home report.
+    Report(HomeId, Box<R>),
+    /// The operation failed; the sweep continued past it.
+    Failed(HomeId, HgError),
+}
+
 /// The outcome of a fleet-wide forced uninstall (a store-pulled app).
 #[derive(Debug)]
 pub struct ForceUninstall {
@@ -179,8 +226,45 @@ impl Fleet {
         ids
     }
 
+    fn shard_index(&self, id: HomeId) -> usize {
+        (id.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Whether fleet sweeps fan out worker threads. Per-shard fan-out only
+    /// pays when the machine can actually run workers concurrently; on a
+    /// single hardware thread the sweep stays on the (identical-result)
+    /// inline path instead of paying spawn overhead per shard. The
+    /// decision can be pinned either way: operators via the
+    /// `HG_PARALLEL_SWEEPS` env var (`1`/`0`, read once at first sweep),
+    /// tests via [`override_sweep_parallelism`] (an atomic, not the
+    /// environment — concurrently mutating the env from test threads is
+    /// undefined behavior on glibc).
+    fn sweeps_parallel(&self) -> bool {
+        match SWEEP_MODE.load(Ordering::Relaxed) {
+            SWEEP_FORCED_ON => return true,
+            SWEEP_FORCED_OFF => return false,
+            _ => {}
+        }
+        static FROM_ENV: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+        let forced = FROM_ENV.get_or_init(|| {
+            std::env::var("HG_PARALLEL_SWEEPS")
+                .ok()
+                // Set-but-empty means unset (init scripts export empty
+                // placeholders), not "forced serial".
+                .filter(|v| !v.is_empty())
+                .map(|v| v != "0")
+        });
+        if let Some(forced) = forced {
+            return *forced;
+        }
+        self.shards.len() > 1
+            && std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false)
+    }
+
     fn shard(&self, id: HomeId) -> &Shard {
-        &self.shards[(id.raw() % self.shards.len() as u64) as usize]
+        &self.shards[self.shard_index(id)]
     }
 
     /// Registers a new home built from the fleet's template and returns
@@ -362,6 +446,11 @@ impl Fleet {
     /// [`Fleet::install_app`]). Per-home outcomes are reported
     /// individually so one home's verdict cannot abort the sweep.
     ///
+    /// The sweep fans out one worker per *shard* (`std::thread::scope`):
+    /// shards are independent locks, so workers never contend, while ids
+    /// sharing a shard keep their request-relative order — the outcome
+    /// vector is identical (in request order) to a serial sweep.
+    ///
     /// # Errors
     ///
     /// [`HgError::Extract`] when the source fails extraction — nothing is
@@ -374,9 +463,47 @@ impl Fleet {
         config: Option<&ConfigInfo>,
     ) -> Result<BulkOutcomes, HgError> {
         self.store.ingest(source, name)?;
-        Ok(home_ids
-            .iter()
-            .map(|&id| (id, self.install_app(id, source, name, config)))
+        if !self.sweeps_parallel() {
+            return Ok(home_ids
+                .iter()
+                .map(|&id| (id, self.install_app(id, source, name, config)))
+                .collect());
+        }
+        let mut groups: Vec<Vec<(usize, HomeId)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, &id) in home_ids.iter().enumerate() {
+            groups[self.shard_index(id)].push((pos, id));
+        }
+        let mut slots: Vec<Option<(HomeId, Result<InstallReport, HgError>)>> =
+            (0..home_ids.len()).map(|_| None).collect();
+        let per_worker = std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .iter()
+                .filter(|group| !group.is_empty())
+                .map(|group| {
+                    scope.spawn(move || {
+                        group
+                            .iter()
+                            .map(|&(pos, id)| {
+                                (pos, (id, self.install_app(id, source, name, config)))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect::<Vec<_>>()
+        });
+        for (pos, outcome) in per_worker.into_iter().flatten() {
+            slots[pos] = Some(outcome);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every requested position produced an outcome"))
             .collect())
     }
 
@@ -407,24 +534,110 @@ impl Fleet {
             failed: Vec::new(),
             poisoned_shards: 0,
         };
-        for shard in &self.shards {
-            let Ok(mut shard) = shard.write() else {
-                rollout.poisoned_shards += 1;
-                continue;
-            };
-            for (&id, home) in shard.iter_mut() {
-                if !home.is_installed(name) {
-                    rollout.skipped += 1;
-                    continue;
-                }
-                match home.upgrade_app(source, name, None) {
-                    Ok(report) if report.installed => rollout.upgraded.push(id),
-                    Ok(report) => rollout.pending.push((id, report)),
-                    Err(error) => rollout.failed.push((id, error)),
+        // One worker per shard (shards are independent locks — the sweep's
+        // serial bottleneck was never contention, just single-threading).
+        // Workers return partial rollouts; the merge below is made
+        // deterministic by sorting every per-home vector by `HomeId`, so a
+        // parallel rollout reports exactly what a serial sweep would.
+        let partials = self.sweep_shards(|id, home| {
+            if !home.is_installed(name) {
+                return SweepOutcome::Skipped;
+            }
+            match home.upgrade_app(source, name, None) {
+                Ok(report) if report.installed => SweepOutcome::Clean(id),
+                Ok(report) => SweepOutcome::Report(id, Box::new(report)),
+                Err(error) => SweepOutcome::Failed(id, error),
+            }
+        });
+        for partial in partials {
+            match partial {
+                ShardSweep::Poisoned => rollout.poisoned_shards += 1,
+                ShardSweep::Outcomes(outcomes) => {
+                    for outcome in outcomes {
+                        match outcome {
+                            SweepOutcome::Skipped => rollout.skipped += 1,
+                            SweepOutcome::Clean(id) => rollout.upgraded.push(id),
+                            SweepOutcome::Report(id, report) => rollout.pending.push((id, *report)),
+                            SweepOutcome::Failed(id, error) => rollout.failed.push((id, error)),
+                        }
+                    }
                 }
             }
         }
+        rollout.upgraded.sort_unstable();
+        rollout.pending.sort_by_key(|(id, _)| *id);
+        rollout.failed.sort_by_key(|(id, _)| *id);
         Ok(rollout)
+    }
+
+    /// Runs `visit` on every home, fanning out one scoped worker per
+    /// shard. Each worker takes its shard's write lock exactly as the
+    /// serial sweep did — a poisoned shard is reported, never unwrapped —
+    /// and homes within a shard are visited in ascending `HomeId` order
+    /// (the `BTreeMap` order).
+    fn sweep_shards<R: Send>(
+        &self,
+        visit: impl Fn(HomeId, &mut Home) -> R + Sync,
+    ) -> Vec<ShardSweep<R>> {
+        if !self.sweeps_parallel() {
+            return self
+                .shards
+                .iter()
+                .map(|shard| {
+                    let Ok(mut shard) = shard.write() else {
+                        return ShardSweep::Poisoned;
+                    };
+                    ShardSweep::Outcomes(
+                        shard
+                            .iter_mut()
+                            .map(|(&id, home)| visit(id, home))
+                            .collect(),
+                    )
+                })
+                .collect();
+        }
+        std::thread::scope(|scope| {
+            // No worker for shards with nothing to visit: a cheap read
+            // pre-check classifies poisoned and empty shards inline, so a
+            // sparse fleet does not pay a thread spawn per empty shard. (A
+            // home registered between the pre-check and the sweep is
+            // missed exactly as it would be by a serial sweep that had
+            // already passed its shard.)
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .map(|shard| {
+                    match shard.read() {
+                        Err(_) => return Ok(ShardSweep::Poisoned),
+                        Ok(homes) if homes.is_empty() => {
+                            return Ok(ShardSweep::Outcomes(Vec::new()))
+                        }
+                        Ok(_) => {}
+                    }
+                    let visit = &visit;
+                    Err(scope.spawn(move || {
+                        let Ok(mut shard) = shard.write() else {
+                            return ShardSweep::Poisoned;
+                        };
+                        ShardSweep::Outcomes(
+                            shard
+                                .iter_mut()
+                                .map(|(&id, home)| visit(id, home))
+                                .collect(),
+                        )
+                    }))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|settled| match settled {
+                    Ok(outcome) => outcome,
+                    Err(handle) => handle
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
+                })
+                .collect()
+        })
     }
 
     /// Fleet-wide forced uninstall: a store-pulled (e.g. discovered-
@@ -444,22 +657,34 @@ impl Fleet {
             poisoned_shards: 0,
             store_retired: false,
         };
-        for shard in &self.shards {
-            let Ok(mut shard) = shard.write() else {
-                out.poisoned_shards += 1;
-                continue;
-            };
-            for (&id, home) in shard.iter_mut() {
-                if !home.is_installed(app) {
-                    out.skipped += 1;
-                    continue;
-                }
-                match home.uninstall_app(app) {
-                    Ok(report) => out.removed.push((id, report)),
-                    Err(error) => out.failed.push((id, error)),
+        // Parallel per-shard fan-out, merged by `HomeId` like
+        // [`Fleet::propagate_upgrade`].
+        let partials = self.sweep_shards(|id, home| {
+            if !home.is_installed(app) {
+                return SweepOutcome::Skipped;
+            }
+            match home.uninstall_app(app) {
+                Ok(report) => SweepOutcome::Report(id, Box::new(report)),
+                Err(error) => SweepOutcome::Failed(id, error),
+            }
+        });
+        for partial in partials {
+            match partial {
+                ShardSweep::Poisoned => out.poisoned_shards += 1,
+                ShardSweep::Outcomes(outcomes) => {
+                    for outcome in outcomes {
+                        match outcome {
+                            SweepOutcome::Skipped => out.skipped += 1,
+                            SweepOutcome::Report(id, report) => out.removed.push((id, *report)),
+                            SweepOutcome::Failed(id, error) => out.failed.push((id, error)),
+                            SweepOutcome::Clean(_) => unreachable!("uninstall never reports Clean"),
+                        }
+                    }
                 }
             }
         }
+        out.removed.sort_by_key(|(id, _)| *id);
+        out.failed.sort_by_key(|(id, _)| *id);
         out.store_retired = self.store.retire_app(app);
         out
     }

@@ -63,7 +63,9 @@
 
 pub mod fleet;
 
-pub use fleet::{BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, UpgradeRollout};
+pub use fleet::{
+    override_sweep_parallelism, BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, UpgradeRollout,
+};
 pub use hg_persist::FleetSnapshot;
 pub use homeguard_core::{
     frontend, HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, PolicyTable, RuleStore,

@@ -1,0 +1,228 @@
+//! Parallel fleet sweeps vs. the serial path.
+//!
+//! `install_many`, `propagate_upgrade` and `force_uninstall` fan out one
+//! worker per shard. These tests prepare two identically-populated fleets
+//! and assert the parallel sweep's reports are **identical** to a serial
+//! per-home replay — ordered by `HomeId` — including pending/dirty
+//! reports, skip counts, and the store-retirement side effects.
+
+use hg_service::{Fleet, HomeId, RuleStore};
+
+/// Pins the threaded sweep path on, regardless of the host's core count
+/// (the whole point here is to exercise the parallel fan-out). Called at
+/// the top of every test; an atomic store, so concurrent test threads are
+/// fine (unlike mutating the process environment, which would race the
+/// harness's own `getenv` calls).
+fn force_parallel() {
+    hg_service::override_sweep_parallelism(Some(true));
+}
+
+const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+/// A fleet of `homes` homes over `shards` shards, every home running
+/// OnApp, every third home additionally running the conflicting OffApp.
+fn populated(homes: usize, shards: usize) -> (Fleet, Vec<HomeId>) {
+    let fleet = Fleet::builder(RuleStore::shared()).shards(shards).build();
+    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
+    for result in fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap() {
+        assert!(result.1.unwrap().installed);
+    }
+    for id in ids.iter().step_by(3) {
+        fleet
+            .install_app_forced(*id, OFF_APP, "OffApp", None)
+            .unwrap();
+    }
+    (fleet, ids)
+}
+
+#[test]
+fn install_many_matches_serial_install_loop_in_request_order() {
+    force_parallel();
+    let parallel = Fleet::builder(RuleStore::shared()).shards(8).build();
+    let serial = Fleet::builder(RuleStore::shared()).shards(8).build();
+    let p_ids: Vec<HomeId> = (0..64).map(|_| parallel.create_home()).collect();
+    let s_ids: Vec<HomeId> = (0..64).map(|_| serial.create_home()).collect();
+
+    // Mixed request: every home once, one duplicate (second attempt must
+    // report AlreadyInstalled in both paths), deliberately shuffled order.
+    let mut request: Vec<HomeId> = p_ids.iter().rev().copied().collect();
+    request.push(p_ids[5]);
+    let mut serial_request: Vec<HomeId> = s_ids.iter().rev().copied().collect();
+    serial_request.push(s_ids[5]);
+
+    let outcomes = parallel
+        .install_many(&request, ON_APP, "OnApp", None)
+        .unwrap();
+    serial.store().ingest(ON_APP, "OnApp").unwrap();
+    let reference: Vec<_> = serial_request
+        .iter()
+        .map(|&id| (id, serial.install_app(id, ON_APP, "OnApp", None)))
+        .collect();
+
+    assert_eq!(outcomes.len(), reference.len());
+    for (pos, ((pid, pres), (sid, sres))) in outcomes.iter().zip(&reference).enumerate() {
+        assert_eq!(request[pos], *pid, "outcomes must keep request order");
+        assert_eq!(pid.raw(), sid.raw());
+        match (pres, sres) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.installed, b.installed, "position {pos}");
+                assert_eq!(a.threats, b.threats, "position {pos}");
+            }
+            (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}"), "position {pos}"),
+            (a, b) => panic!("position {pos}: {a:?} vs {b:?}"),
+        }
+    }
+}
+
+#[test]
+fn propagate_upgrade_matches_serial_per_home_replay() {
+    force_parallel();
+    let (parallel, _) = populated(48, 8);
+    let (serial, serial_ids) = populated(48, 8);
+
+    let v2 = format!("{ON_APP}// v2\n");
+    let rollout = parallel.propagate_upgrade(&v2, "OnApp").unwrap();
+
+    // Serial reference: walk every home in id order through the same
+    // upgrade (publishing first, exactly as the rollout does).
+    serial.store().ingest_as(&v2, "OnApp").unwrap();
+    let mut ref_upgraded = Vec::new();
+    let mut ref_pending = Vec::new();
+    let mut ref_skipped = 0usize;
+    for &id in &serial_ids {
+        let installed = serial.with_home(id, |h| h.is_installed("OnApp")).unwrap();
+        if !installed {
+            ref_skipped += 1;
+            continue;
+        }
+        let report = serial.upgrade_app(id, &v2, "OnApp", None).unwrap();
+        if report.installed {
+            ref_upgraded.push(id);
+        } else {
+            ref_pending.push((id, report));
+        }
+    }
+
+    assert_eq!(rollout.upgraded, ref_upgraded, "clean homes diverge");
+    assert_eq!(rollout.skipped, ref_skipped);
+    assert!(rollout.failed.is_empty());
+    assert_eq!(rollout.poisoned_shards, 0);
+    assert_eq!(
+        rollout.pending.len(),
+        ref_pending.len(),
+        "pending homes diverge"
+    );
+    for ((pid, preport), (sid, sreport)) in rollout.pending.iter().zip(&ref_pending) {
+        assert_eq!(pid.raw(), sid.raw());
+        assert_eq!(preport.threats, sreport.threats);
+        assert_eq!(preport.replaces, sreport.replaces);
+    }
+
+    // Deterministic merge: every report vector is in ascending id order.
+    assert!(rollout.upgraded.windows(2).all(|w| w[0] < w[1]));
+    assert!(rollout.pending.windows(2).all(|w| w[0].0 < w[1].0));
+
+    // Re-running the rollout is deterministic as well.
+    let v3 = format!("{ON_APP}// v3\n");
+    let again = parallel.propagate_upgrade(&v3, "OnApp").unwrap();
+    assert_eq!(again.upgraded, rollout.upgraded);
+    assert_eq!(
+        again.pending.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+        rollout
+            .pending
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn force_uninstall_matches_serial_per_home_replay() {
+    force_parallel();
+    let (parallel, _) = populated(48, 8);
+    let (serial, serial_ids) = populated(48, 8);
+
+    let outcome = parallel.force_uninstall("OffApp");
+
+    let mut ref_removed = Vec::new();
+    let mut ref_skipped = 0usize;
+    for &id in &serial_ids {
+        let installed = serial.with_home(id, |h| h.is_installed("OffApp")).unwrap();
+        if !installed {
+            ref_skipped += 1;
+            continue;
+        }
+        ref_removed.push((id, serial.uninstall_app(id, "OffApp").unwrap()));
+    }
+    serial.store().retire_app("OffApp");
+
+    assert_eq!(outcome.removed.len(), ref_removed.len());
+    assert_eq!(outcome.skipped, ref_skipped);
+    assert!(outcome.failed.is_empty());
+    assert!(outcome.store_retired);
+    for ((pid, preport), (sid, sreport)) in outcome.removed.iter().zip(&ref_removed) {
+        assert_eq!(pid.raw(), sid.raw());
+        assert_eq!(preport.removed_rules, sreport.removed_rules);
+        assert_eq!(preport.retired_threats, sreport.retired_threats);
+    }
+    assert!(outcome.removed.windows(2).all(|w| w[0].0 < w[1].0));
+    assert!(!parallel.store().has_app("OffApp"));
+
+    // Both fleets converged to the same end state.
+    for (&pid, &sid) in parallel.home_ids().iter().zip(&serial_ids) {
+        assert_eq!(
+            parallel.with_home(pid, |h| h.installed_apps()).unwrap(),
+            serial.with_home(sid, |h| h.installed_apps()).unwrap()
+        );
+    }
+}
+
+#[test]
+fn parallel_sweeps_skip_poisoned_shards_and_keep_order() {
+    force_parallel();
+    use std::sync::Arc;
+
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+    let a = fleet.create_home(); // shard 0
+    let b = fleet.create_home(); // shard 1
+    fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
+    fleet.install_app(b, ON_APP, "OnApp", None).unwrap();
+
+    let doomed = fleet.clone();
+    std::thread::spawn(move || {
+        let _ = doomed.with_home_mut(a, |_| panic!("home handler dies"));
+    })
+    .join()
+    .unwrap_err();
+
+    let v2 = format!("{ON_APP}// v2\n");
+    let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+    assert_eq!(rollout.poisoned_shards, 1);
+    assert_eq!(rollout.upgraded, vec![b]);
+
+    let outcome = fleet.force_uninstall("OnApp");
+    assert_eq!(outcome.poisoned_shards, 1);
+    assert_eq!(
+        outcome
+            .removed
+            .iter()
+            .map(|(id, _)| *id)
+            .collect::<Vec<_>>(),
+        vec![b]
+    );
+    assert!(outcome.store_retired);
+}

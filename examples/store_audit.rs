@@ -18,8 +18,52 @@ fn main() {
     extraction_effectiveness();
     let analyses = extract_all();
     fig8_statistics(&analyses);
+    fleet_cache_audit();
     timing_and_sizes();
     println!("\nstore_audit: OK");
+}
+
+/// The fleet-shared verdict cache on a repeated-install grid: the same
+/// store apps rolled out to many homes, where every home after the first
+/// re-asks the identical pair questions. The hit rate here is the
+/// cross-home redundancy the cache removes — the bench-smoke CI step runs
+/// this binary and relies on the assertions below.
+fn fleet_cache_audit() {
+    use hg_service::{Fleet, HomeId, RuleStore};
+
+    const HOMES: usize = 24;
+    const APPS: usize = 6;
+    let fleet = Fleet::new(RuleStore::shared());
+    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home()).collect();
+    for app in device_control_apps().iter().take(APPS) {
+        for (_, result) in fleet
+            .install_many(&ids, app.source, app.name, None)
+            .unwrap()
+        {
+            result.expect("grid install");
+        }
+    }
+    let stats = fleet.store().verdict_cache().stats();
+    println!("\n=== Fleet verdict cache on a {HOMES}x{APPS} repeated-install grid ===");
+    println!("  pair lookups:   {}", stats.hits + stats.misses);
+    println!(
+        "  hits:           {} ({:.1}% hit rate)",
+        stats.hits,
+        100.0 * stats.hit_rate()
+    );
+    println!("  misses:         {}", stats.misses);
+    println!("  live entries:   {}", stats.entries);
+    assert!(
+        stats.hits > 0 && stats.hit_rate() > 0.5,
+        "a repeated-install grid must be answered mostly from the cache: {stats:?}"
+    );
+    // Under parallel install_many two homes can miss the same key
+    // concurrently and publish one entry between them, so misses may
+    // exceed entries — never the reverse.
+    assert!(
+        stats.entries <= stats.misses,
+        "entries cannot outnumber the misses that published them: {stats:?}"
+    );
 }
 
 /// §VIII-B rule extraction: stock configuration vs extended.

@@ -219,6 +219,159 @@ def h(evt) {{ a.{cmd}() }}
 }
 
 #[test]
+fn cached_detection_matches_uncached_over_seeded_churn() {
+    // The verdict-cache differential: two sessions over ONE shared store —
+    // one consulting the fleet verdict cache (the default), one with
+    // sharing disabled (the uncached ground truth) — replay identical
+    // seeded lifecycle scripts. Every report must carry bit-identical
+    // threats (witnesses, notes, everything) and identical stats modulo
+    // the hit/miss markers; after the churn the Allowed lists and compiled
+    // mediation points must agree. Upgrades and uninstalls are in the
+    // script, so a stale verdict surviving an app replacement would
+    // surface as a divergent post-upgrade report.
+    let mut hits_total = 0u64;
+    let mut upgrades = 0usize;
+    let mut uninstalls = 0usize;
+    let mut dirty_reports = 0usize;
+    for seed in 0..12 {
+        let mut g = Gen::new(0xcafe ^ seed);
+        let store = RuleStore::shared();
+        // Two cached sessions replay the identical script — the second is
+        // the "neighbor home" whose checks should be answered from the
+        // first one's solving — plus the uncached ground truth.
+        let mut cached = Home::builder(store.clone())
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        let mut twin = Home::builder(store.clone())
+            .handling_policy(PolicyTable::block_all())
+            .build();
+        let mut plain = Home::builder(store.clone())
+            .handling_policy(PolicyTable::block_all())
+            .verdict_sharing(false)
+            .build();
+        let mut live: Vec<String> = Vec::new();
+
+        for step in 0..14 {
+            match g.range(0, 100) {
+                0..=54 => {
+                    let name = format!("Cache{seed}x{step}");
+                    let source = palette_source(&name, g.range(0, 3), g.range(0, 3), g.range(0, 2));
+                    let a = cached.install_app_forced(&source, &name, None).unwrap();
+                    let t = twin.install_app_forced(&source, &name, None).unwrap();
+                    let b = plain.install_app_forced(&source, &name, None).unwrap();
+                    for (label, report) in [("cached", &a), ("twin", &t)] {
+                        assert_eq!(
+                            report.threats, b.threats,
+                            "seed {seed} step {step}: {label} install threats diverge"
+                        );
+                        assert_eq!(
+                            report.stats.logical(),
+                            b.stats.logical(),
+                            "seed {seed} step {step}: {label} logical stats diverge"
+                        );
+                    }
+                    assert_eq!(b.stats.cache_hits + b.stats.cache_misses, 0);
+                    // The twin's pairs repeat the first session's work.
+                    assert_eq!(t.stats.cache_hits, t.stats.pairs);
+                    hits_total += t.stats.cache_hits;
+                    if !a.is_clean() {
+                        dirty_reports += 1;
+                    }
+                    live.push(name);
+                }
+                55..=74 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live.remove(g.range(0, live.len()));
+                    let a = cached.uninstall_app(&name).unwrap();
+                    let t = twin.uninstall_app(&name).unwrap();
+                    let b = plain.uninstall_app(&name).unwrap();
+                    assert_eq!(a.removed_rules, b.removed_rules);
+                    assert_eq!(t.removed_rules, b.removed_rules);
+                    assert_eq!(a.retired_threats, b.retired_threats);
+                    uninstalls += 1;
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live[g.range(0, live.len())].clone();
+                    let v2 = palette_source(&name, g.range(0, 3), g.range(0, 3), g.range(0, 2));
+                    let a = cached.upgrade_app_forced(&v2, &name, None).unwrap();
+                    let t = twin.upgrade_app_forced(&v2, &name, None).unwrap();
+                    let b = plain.upgrade_app_forced(&v2, &name, None).unwrap();
+                    for (label, report) in [("cached", &a), ("twin", &t)] {
+                        assert_eq!(
+                            report.threats, b.threats,
+                            "seed {seed} step {step}: {label} post-upgrade threats diverge \
+                             (a stale verdict survived the replacement?)"
+                        );
+                        assert_eq!(report.stats.logical(), b.stats.logical());
+                    }
+                    hits_total += t.stats.cache_hits;
+                    upgrades += 1;
+                }
+            }
+
+            // Between ops: a probe check must agree bit-identically too.
+            let probe = format!("Probe{seed}x{step}");
+            let probe_src = palette_source(&probe, g.range(0, 3), g.range(0, 3), g.range(0, 2));
+            store.ingest(&probe_src, &probe).unwrap();
+            let a = cached.check_install(&probe).unwrap();
+            let t = twin.check_install(&probe).unwrap();
+            let b = plain.check_install(&probe).unwrap();
+            assert_eq!(
+                a.threats, b.threats,
+                "seed {seed} step {step}: probe diverges"
+            );
+            assert_eq!(
+                t.threats, b.threats,
+                "seed {seed} step {step}: twin probe diverges"
+            );
+            assert_eq!(a.stats.logical(), b.stats.logical());
+            assert_eq!(t.stats.logical(), b.stats.logical());
+            hits_total += t.stats.cache_hits;
+            store.retire_app(&probe);
+        }
+
+        for (label, home) in [("cached", &cached), ("twin", &twin)] {
+            assert_eq!(
+                sorted_keys(home.allowed()),
+                sorted_keys(plain.allowed()),
+                "seed {seed}: {label} Allowed lists diverge"
+            );
+        }
+        assert_eq!(
+            cached.mediation_index().len(),
+            plain.mediation_index().len(),
+            "seed {seed}: mediation point counts diverge"
+        );
+        let points = |home: &mut Home| {
+            let mut v: Vec<(String, String)> = home
+                .mediation_index()
+                .points()
+                .iter()
+                .map(|p| (p.source.to_string(), p.target.to_string()))
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(
+            points(&mut cached),
+            points(&mut plain),
+            "seed {seed}: mediation points diverge"
+        );
+    }
+    // Not vacuous: the cache served real traffic, churn really replaced
+    // and retired apps, and interference actually surfaced.
+    assert!(hits_total >= 50, "only {hits_total} cache hits exercised");
+    assert!(upgrades >= 10, "only {upgrades} upgrades exercised");
+    assert!(uninstalls >= 10, "only {uninstalls} uninstalls exercised");
+    assert!(dirty_reports >= 10, "only {dirty_reports} dirty installs");
+}
+
+#[test]
 fn home_lifecycle_matches_fresh_session_replay() {
     let mut uninstalls = 0usize;
     let mut upgrades = 0usize;
