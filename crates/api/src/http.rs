@@ -1,0 +1,428 @@
+//! A minimal, strict HTTP/1.1 layer over `std::net`.
+//!
+//! Hand-rolled for the same reason `hg_rules::json` is: no external
+//! dependencies. The parser is deliberately narrow — `GET`/`POST`/`DELETE`
+//! only, `Content-Length` bodies only (no `Transfer-Encoding` on
+//! requests), hard limits on line length, header count and body size —
+//! and every violation maps to a **typed 4xx** rather than a panic or an
+//! unbounded read. Responses support keep-alive and, for streamed
+//! rollouts, `Transfer-Encoding: chunked` via [`ChunkedWriter`].
+
+use std::io::{BufRead, Write};
+
+/// Parser hard limits. Exceeding any of them is a typed client error,
+/// never an allocation proportional to attacker input.
+#[derive(Debug, Clone)]
+pub struct Limits {
+    /// Longest accepted request line (method + path + version), bytes.
+    pub max_request_line: usize,
+    /// Longest accepted single header line, bytes.
+    pub max_header_line: usize,
+    /// Most headers accepted on one request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length`, bytes.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_request_line: 4096,
+            max_header_line: 4096,
+            max_headers: 64,
+            max_body: 1 << 20,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-cased method (`GET` / `POST` / `DELETE`).
+    pub method: String,
+    /// The request path, query string stripped.
+    pub path: String,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+    /// Whether the connection should stay open after the response.
+    pub keep_alive: bool,
+}
+
+impl Request {
+    /// First value of a (lower-case) header name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request the parser refused, mapped to the HTTP status the connection
+/// handler answers with before closing.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Response status (4xx/5xx).
+    pub status: u16,
+    /// Human-readable refusal reason (becomes the JSON error message).
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(status: u16, message: impl Into<String>) -> ParseError {
+        ParseError {
+            status,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one line (up to CRLF or LF) with a hard byte cap. `Ok(None)`
+/// means clean EOF before any byte.
+fn read_limited_line(
+    stream: &mut impl BufRead,
+    cap: usize,
+    what: &str,
+    over_status: u16,
+) -> Result<Option<String>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match std::io::Read::read(stream, &mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::new(400, format!("truncated {what}")));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    let text = String::from_utf8(line)
+                        .map_err(|_| ParseError::new(400, format!("{what} is not UTF-8")))?;
+                    return Ok(Some(text));
+                }
+                if line.len() >= cap {
+                    return Err(ParseError::new(
+                        over_status,
+                        format!("{what} exceeds {cap} bytes"),
+                    ));
+                }
+                line.push(byte[0]);
+            }
+            Err(e) => return Err(ParseError::new(408, format!("read of {what} failed: {e}"))),
+        }
+    }
+}
+
+/// Reads and validates one request. `Ok(None)` is a clean close (the peer
+/// hung up between requests on a keep-alive connection).
+///
+/// # Errors
+///
+/// A [`ParseError`] carrying the 4xx/5xx status to answer with: `400` for
+/// malformed framing, `405` for unknown methods, `408` for read timeouts,
+/// `413`/`414`/`431` for exceeded limits, `501` for request bodies framed
+/// any way other than `Content-Length`, `505` for unknown HTTP versions.
+pub fn read_request(
+    stream: &mut impl BufRead,
+    limits: &Limits,
+) -> Result<Option<Request>, ParseError> {
+    let Some(line) = read_limited_line(stream, limits.max_request_line, "request line", 414)?
+    else {
+        return Ok(None);
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::new(400, "malformed request line")),
+    };
+    if !matches!(method, "GET" | "POST" | "DELETE") {
+        return Err(ParseError::new(405, format!("method {method} not allowed")));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        _ => return Err(ParseError::new(505, format!("unsupported {version}"))),
+    };
+    if !target.starts_with('/') {
+        return Err(ParseError::new(400, "request target must be origin-form"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_limited_line(stream, limits.max_header_line, "header line", 431)?
+        else {
+            return Err(ParseError::new(400, "truncated header block"));
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return Err(ParseError::new(
+                431,
+                format!("more than {} headers", limits.max_headers),
+            ));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::new(400, "header line without a colon"));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::new(400, "malformed header name"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let find = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(ParseError::new(
+            501,
+            "request bodies must be Content-Length framed",
+        ));
+    }
+    let body_len = match find("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::new(400, format!("bad content-length `{v}`")))?,
+    };
+    if body_len > limits.max_body {
+        return Err(ParseError::new(
+            413,
+            format!("body of {body_len} bytes exceeds {}", limits.max_body),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    std::io::Read::read_exact(stream, &mut body)
+        .map_err(|e| ParseError::new(408, format!("body shorter than content-length: {e}")))?;
+
+    let keep_alive = match find("connection").map(str::to_ascii_lowercase) {
+        Some(c) if c.contains("close") => false,
+        Some(c) if c.contains("keep-alive") => true,
+        _ => http11,
+    };
+    Ok(Some(Request {
+        method: method.to_string(),
+        path,
+        headers,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reason phrase for the statuses this API emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// A buffered response: status, extra headers, body.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Extra headers beyond the framing ones (`content-length`,
+    /// `connection`, `content-type`).
+    pub headers: Vec<(String, String)>,
+    /// Response body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: &hg_rules::json::Json) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: body.to_text().into_bytes(),
+        }
+    }
+
+    /// An empty response (e.g. 204).
+    pub fn empty(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Serializes the response, framing with `Content-Length` and the
+    /// connection disposition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's I/O errors.
+    pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
+        let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        head.push_str("content-type: application/json\r\n");
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+/// Writes a `Transfer-Encoding: chunked` response incrementally — the
+/// transport for streamed rollout progress (one JSON line per chunk).
+pub struct ChunkedWriter<'a, W: Write> {
+    stream: &'a mut W,
+}
+
+impl<'a, W: Write> ChunkedWriter<'a, W> {
+    /// Writes the response head and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's I/O errors.
+    pub fn begin(stream: &'a mut W, status: u16) -> std::io::Result<ChunkedWriter<'a, W>> {
+        let head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: application/x-ndjson\r\ntransfer-encoding: chunked\r\nconnection: close\r\n\r\n",
+            status,
+            reason(status)
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(ChunkedWriter { stream })
+    }
+
+    /// Emits one chunk and flushes it (each progress line must reach the
+    /// client before the next shard finishes, not sit in a buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's I/O errors.
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Terminates the chunk stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's I/O errors.
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut BufReader::new(raw), &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_full_post() {
+        let req =
+            parse(b"POST /homes?verbose=1 HTTP/1.1\r\nHost: x\r\nContent-Length: 2\r\n\r\n{}")
+                .unwrap()
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/homes");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"{}");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn refusals_are_typed() {
+        assert_eq!(parse(b"PATCH / HTTP/1.1\r\n\r\n").unwrap_err().status, 405);
+        assert_eq!(parse(b"GET / HTTP/2\r\n\r\n").unwrap_err().status, 505);
+        assert_eq!(parse(b"GET foo HTTP/1.1\r\n\r\n").unwrap_err().status, 400);
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: nope\r\n\r\n")
+                .unwrap_err()
+                .status,
+            400
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status,
+            501
+        );
+        assert_eq!(
+            parse(format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(5000)).as_bytes())
+                .unwrap_err()
+                .status,
+            414
+        );
+        let huge = format!("GET / HTTP/1.1\r\nx: {}\r\n\r\n", "v".repeat(5000));
+        assert_eq!(parse(huge.as_bytes()).unwrap_err().status, 431);
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n")
+                .unwrap_err()
+                .status,
+            413
+        );
+        // Clean EOF before any byte: a closed keep-alive, not an error.
+        assert!(parse(b"").unwrap().is_none());
+        // Truncated mid-line: an error, not a hang.
+        assert_eq!(parse(b"GET /ho").unwrap_err().status, 400);
+    }
+
+    #[test]
+    fn connection_disposition_follows_version_and_header() {
+        let http10 = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!http10.keep_alive);
+        let close = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert!(!close.keep_alive);
+    }
+}

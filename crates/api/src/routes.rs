@@ -1,0 +1,385 @@
+//! Route dispatch: one function per endpoint, all over the shared
+//! [`AppState`].
+//!
+//! | Route | Auth | Effect |
+//! |---|---|---|
+//! | `POST /sessions` | — | issue a bearer token |
+//! | `DELETE /sessions` | token | revoke the session |
+//! | `POST /homes` | token | create a home (session adopts it) |
+//! | `GET /homes/{id}` | owner | installed apps |
+//! | `DELETE /homes/{id}` | owner | deregister the home |
+//! | `POST /homes/{id}/check` | owner | dry-run install check |
+//! | `POST /homes/{id}/install` | owner | install (dirty → stashed pending) |
+//! | `POST /homes/{id}/confirm` | owner | confirm the stashed report |
+//! | `POST /homes/{id}/upgrade` | owner | per-home upgrade |
+//! | `POST /homes/{id}/uninstall` | owner | per-home uninstall |
+//! | `POST /fleet/install_many` | token | bulk install via the queue executor |
+//! | `POST /fleet/upgrades` | token | streamed fleet rollout |
+//! | `POST /fleet/uninstall` | token | fleet-wide forced uninstall |
+//! | `GET /snapshot` | token | full fleet snapshot |
+//! | `POST /restore` | token | revive a fleet from a snapshot |
+//! | `GET /stats` | — | fleet + queue + session gauges |
+//!
+//! Every per-home mutation dispatches through [`FleetExec`], so a full
+//! shard queue surfaces as `429` with `Retry-After` **before** any work
+//! is admitted.
+
+use crate::exec::{ExecConfig, FleetExec, RolloutStream};
+use crate::http::{Request, Response};
+use crate::session::SessionStore;
+use crate::wire::{
+    bulk_json, force_uninstall_json, install_report_json, need_home_ids, need_str, parse_body,
+    uninstall_report_json, ApiError,
+};
+use hg_persist::FleetSnapshot;
+use hg_rules::json::Json;
+use hg_service::{Fleet, HomeId};
+use std::sync::{Arc, RwLock};
+
+/// Header carrying the bearer token.
+pub const SESSION_HEADER: &str = "x-session";
+
+/// Shared server state: the executor (swappable — `POST /restore`
+/// replaces the whole fleet) and the session registry.
+pub struct AppState {
+    exec: RwLock<Arc<FleetExec>>,
+    sessions: SessionStore,
+    exec_config: ExecConfig,
+}
+
+impl AppState {
+    /// State over a freshly started executor for `fleet`.
+    pub fn new(fleet: Arc<Fleet>, exec_config: ExecConfig, sessions: SessionStore) -> AppState {
+        AppState {
+            exec: RwLock::new(FleetExec::start(fleet, exec_config.clone())),
+            sessions,
+            exec_config,
+        }
+    }
+
+    /// The live executor (the restore route swaps it atomically).
+    pub fn exec(&self) -> Arc<FleetExec> {
+        self.exec
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The session registry.
+    pub fn sessions(&self) -> &SessionStore {
+        &self.sessions
+    }
+
+    /// Stops the live executor's workers (server shutdown).
+    pub fn stop(&self) {
+        self.exec().stop();
+    }
+
+    fn swap_fleet(&self, fleet: Arc<Fleet>) {
+        let fresh = FleetExec::start(fleet, self.exec_config.clone());
+        let old = std::mem::replace(
+            &mut *self
+                .exec
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+            fresh,
+        );
+        old.stop();
+    }
+}
+
+/// What a route produced: a buffered response or a rollout to stream.
+pub enum Reply {
+    /// A complete response.
+    Full(Response),
+    /// A chunked-stream rollout (the connection handler drives it).
+    Stream(RolloutStream),
+}
+
+impl From<Response> for Reply {
+    fn from(response: Response) -> Reply {
+        Reply::Full(response)
+    }
+}
+
+impl From<ApiError> for Reply {
+    fn from(error: ApiError) -> Reply {
+        Reply::Full(error_response(&error))
+    }
+}
+
+/// Renders an [`ApiError`] as its JSON response (429s carry
+/// `Retry-After`).
+pub fn error_response(error: &ApiError) -> Response {
+    let response = Response::json(error.status, &error.body());
+    if error.status == 429 {
+        response.with_header("retry-after", "1")
+    } else {
+        response
+    }
+}
+
+fn token<'a>(state: &AppState, req: &'a Request) -> Result<&'a str, ApiError> {
+    let token = req
+        .header(SESSION_HEADER)
+        .ok_or_else(|| ApiError::new(401, "no_session", "missing x-session header"))?;
+    if !state.sessions.validate(token) {
+        return Err(ApiError::new(
+            401,
+            "bad_session",
+            "unknown or expired session token",
+        ));
+    }
+    Ok(token)
+}
+
+fn owned_home(state: &AppState, req: &Request, id: HomeId) -> Result<(), ApiError> {
+    let token = token(state, req)?;
+    match state.sessions.owns(token, id) {
+        Some(true) => Ok(()),
+        Some(false) => Err(ApiError::new(
+            403,
+            "not_owner",
+            format!("session does not own {id}"),
+        )),
+        None => Err(ApiError::new(
+            401,
+            "bad_session",
+            "session expired mid-request",
+        )),
+    }
+}
+
+/// Splits `/homes/{id}` or `/homes/{id}/{action}` into id and action.
+fn home_path(path: &str) -> Option<(HomeId, Option<&str>)> {
+    let rest = path.strip_prefix("/homes/")?;
+    let mut parts = rest.splitn(2, '/');
+    let id = parts.next()?.parse::<u64>().ok()?;
+    let action = parts.next().filter(|a| !a.is_empty());
+    Some((HomeId::new(id), action))
+}
+
+/// Dispatches one request. Streaming routes return [`Reply::Stream`] for
+/// the connection handler to drive.
+pub fn handle(state: &AppState, req: &Request) -> Reply {
+    match dispatch(state, req) {
+        Ok(reply) => reply,
+        Err(error) => error.into(),
+    }
+}
+
+fn dispatch(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/sessions") => {
+            let token = state.sessions.issue();
+            Ok(Response::json(
+                201,
+                &Json::obj([
+                    ("token", Json::str(token)),
+                    ("ttl_secs", Json::Num(state.sessions.ttl().as_secs() as i64)),
+                ]),
+            )
+            .into())
+        }
+        ("DELETE", "/sessions") => {
+            let token = token(state, req)?;
+            state.sessions.revoke(token);
+            Ok(Response::empty(204).into())
+        }
+        ("POST", "/homes") => {
+            let token = token(state, req)?;
+            let exec = state.exec();
+            let id = exec.fleet().create_home();
+            state.sessions.adopt(token, id);
+            Ok(Response::json(201, &Json::obj([("home", Json::Num(id.raw() as i64))])).into())
+        }
+        ("GET", "/stats") => Ok(Response::json(200, &stats_json(state)).into()),
+        ("GET", "/snapshot") => {
+            token(state, req)?;
+            let exec = state.exec();
+            let snapshot = exec
+                .run_on_store(|fleet| fleet.snapshot())
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Response {
+                status: 200,
+                headers: Vec::new(),
+                body: snapshot.to_text().into_bytes(),
+            }
+            .into())
+        }
+        ("POST", "/restore") => {
+            token(state, req)?;
+            let text = std::str::from_utf8(&req.body)
+                .map_err(|_| ApiError::bad_request("snapshot is not UTF-8"))?;
+            let snapshot = FleetSnapshot::from_text(text).map_err(ApiError::from)?;
+            let fleet = Arc::new(Fleet::restore(snapshot).map_err(ApiError::from)?);
+            let homes = fleet.len();
+            state.swap_fleet(fleet);
+            Ok(Response::json(200, &Json::obj([("homes", Json::Num(homes as i64))])).into())
+        }
+        ("POST", "/fleet/install_many") => {
+            token(state, req)?;
+            let body = parse_body(&req.body)?;
+            let homes = need_home_ids(&body, "homes")?;
+            let source = need_str(&body, "source")?.to_string();
+            let name = need_str(&body, "name")?.to_string();
+            let outcomes = state
+                .exec()
+                .install_many(homes, source, name)
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Response::json(200, &Json::obj([("outcomes", bulk_json(&outcomes))])).into())
+        }
+        ("POST", "/fleet/upgrades") => {
+            token(state, req)?;
+            let body = parse_body(&req.body)?;
+            let source = need_str(&body, "source")?.to_string();
+            let name = need_str(&body, "name")?.to_string();
+            let stream = state
+                .exec()
+                .begin_upgrade(source, name)
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Reply::Stream(stream))
+        }
+        ("POST", "/fleet/uninstall") => {
+            token(state, req)?;
+            let body = parse_body(&req.body)?;
+            let app = need_str(&body, "app")?.to_string();
+            let outcome = state.exec().force_uninstall(app).map_err(ApiError::from)?;
+            Ok(Response::json(200, &force_uninstall_json(&outcome)).into())
+        }
+        (method, path) if path.starts_with("/homes/") => {
+            let (id, action) = home_path(path)
+                .ok_or_else(|| ApiError::new(404, "no_route", format!("no route {path}")))?;
+            home_route(state, req, method, id, action)
+        }
+        (_, path) => Err(ApiError::new(404, "no_route", format!("no route {path}"))),
+    }
+}
+
+fn home_route(
+    state: &AppState,
+    req: &Request,
+    method: &str,
+    id: HomeId,
+    action: Option<&str>,
+) -> Result<Reply, ApiError> {
+    owned_home(state, req, id)?;
+    let exec = state.exec();
+    match (method, action) {
+        ("GET", None) => {
+            let apps = exec
+                .run_on_home(id, move |fleet| fleet.with_home(id, |h| h.installed_apps()))
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Response::json(
+                200,
+                &Json::obj([
+                    ("home", Json::Num(id.raw() as i64)),
+                    ("apps", Json::Arr(apps.into_iter().map(Json::Str).collect())),
+                ]),
+            )
+            .into())
+        }
+        ("DELETE", None) => {
+            exec.run_on_home(id, move |fleet| fleet.remove_home(id))
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            if let Some(tok) = req.header(SESSION_HEADER) {
+                state.sessions.disown(tok, id);
+            }
+            Ok(Response::empty(204).into())
+        }
+        ("POST", Some("check")) => {
+            let body = parse_body(&req.body)?;
+            let app = need_str(&body, "app")?.to_string();
+            let report = exec
+                .run_on_home(id, move |fleet| fleet.check_install(id, &app))
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Response::json(200, &install_report_json(&report)).into())
+        }
+        ("POST", Some(verb @ ("install" | "upgrade"))) => {
+            let body = parse_body(&req.body)?;
+            let source = need_str(&body, "source")?.to_string();
+            let name = need_str(&body, "name")?.to_string();
+            let upgrade = verb == "upgrade";
+            let report = exec
+                .run_on_home(id, move |fleet| {
+                    if upgrade {
+                        fleet.upgrade_app(id, &source, &name, None)
+                    } else {
+                        fleet.install_app(id, &source, &name, None)
+                    }
+                })
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            let rendered = install_report_json(&report);
+            if !report.installed {
+                // Dirty verdict: stash the full report server-side so the
+                // confirm route needs only the app name.
+                if let Some(tok) = req.header(SESSION_HEADER) {
+                    state.sessions.stash_pending(tok, id, report);
+                }
+            }
+            Ok(Response::json(200, &rendered).into())
+        }
+        ("POST", Some("confirm")) => {
+            let body = parse_body(&req.body)?;
+            let app = need_str(&body, "app")?;
+            let tok = req.header(SESSION_HEADER).unwrap_or_default();
+            let pending = state.sessions.take_pending(tok, id, app).ok_or_else(|| {
+                ApiError::new(
+                    409,
+                    "nothing_pending",
+                    format!("no pending report for `{app}` on {id}"),
+                )
+            })?;
+            let confirmed = exec
+                .run_on_home(id, move |fleet| fleet.confirm_install(id, pending))
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Response::json(200, &install_report_json(&confirmed)).into())
+        }
+        ("POST", Some("uninstall")) => {
+            let body = parse_body(&req.body)?;
+            let app = need_str(&body, "app")?.to_string();
+            let report = exec
+                .run_on_home(id, move |fleet| fleet.uninstall_app(id, &app))
+                .map_err(ApiError::from)?
+                .map_err(ApiError::from)?;
+            Ok(Response::json(200, &uninstall_report_json(&report)).into())
+        }
+        (_, action) => Err(ApiError::new(
+            404,
+            "no_route",
+            format!("no route /homes/{{id}}/{}", action.unwrap_or("")),
+        )),
+    }
+}
+
+fn stats_json(state: &AppState) -> Json {
+    let exec = state.exec();
+    let fleet = exec.fleet();
+    Json::obj([
+        ("homes", Json::Num(fleet.len() as i64)),
+        ("shards", Json::Num(fleet.shard_count() as i64)),
+        (
+            "store_apps",
+            Json::Num(fleet.store().app_names().len() as i64),
+        ),
+        ("sessions", Json::Num(state.sessions.len() as i64)),
+        (
+            "shard_queue_depths",
+            Json::Arr(
+                exec.shard_depths()
+                    .into_iter()
+                    .map(|d| Json::Num(d as i64))
+                    .collect(),
+            ),
+        ),
+        ("store_queue_depth", Json::Num(exec.store_depth() as i64)),
+    ])
+}

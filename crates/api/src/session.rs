@@ -1,0 +1,262 @@
+//! Bearer sessions: token → owned homes, with a sliding TTL.
+//!
+//! A session is issued at `POST /sessions` and must accompany every
+//! mutating route. It records which [`HomeId`]s the caller created (the
+//! ownership check behind per-home routes) and stashes dirty
+//! [`InstallReport`]s server-side so the confirm flow is
+//! `POST .../confirm {"app": …}` rather than a client round-trip of the
+//! full report. Tokens are unguessable per process: two independent
+//! SipHash passes under [`RandomState`] keys drawn at store construction,
+//! over a monotone counter — the same per-process-secret construction the
+//! verdict cache uses for its fingerprints.
+//!
+//! Expiry is a **sliding** TTL — every validated use renews the lease —
+//! enforced lazily on access and reclaimed by the server's periodic reap
+//! sweep, so an expired token is refused even before the sweeper gets to
+//! it.
+
+use hg_service::{HomeId, InstallReport};
+use std::collections::hash_map::RandomState;
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasher;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+struct Session {
+    owned: HashSet<HomeId>,
+    expires_at: Instant,
+    pending: HashMap<HomeId, Box<InstallReport>>,
+}
+
+/// The concurrent session registry. One per server.
+pub struct SessionStore {
+    ttl: Duration,
+    keys: (RandomState, RandomState),
+    counter: Mutex<u64>,
+    sessions: Mutex<HashMap<String, Session>>,
+}
+
+impl SessionStore {
+    /// A store whose sessions live `ttl` past their last validated use.
+    pub fn new(ttl: Duration) -> SessionStore {
+        SessionStore {
+            ttl,
+            keys: (RandomState::new(), RandomState::new()),
+            counter: Mutex::new(0),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured time-to-live.
+    pub fn ttl(&self) -> Duration {
+        self.ttl
+    }
+
+    fn mint_token(&self) -> String {
+        let mut counter = self
+            .counter
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *counter += 1;
+        let nonce = *counter;
+        let halves: Vec<u64> = [&self.keys.0, &self.keys.1]
+            .into_iter()
+            .map(|key| key.hash_one(nonce))
+            .collect();
+        format!("{:016x}{:016x}", halves[0], halves[1])
+    }
+
+    /// Issues a fresh session and returns its bearer token.
+    pub fn issue(&self) -> String {
+        let token = self.mint_token();
+        let mut sessions = self
+            .sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        sessions.insert(
+            token.clone(),
+            Session {
+                owned: HashSet::new(),
+                expires_at: Instant::now() + self.ttl,
+                pending: HashMap::new(),
+            },
+        );
+        token
+    }
+
+    /// Runs `f` on the live session for `token`, renewing its lease. An
+    /// unknown or expired token yields `None`; expired sessions are
+    /// dropped on the spot (lazy expiry — the reap sweep only reclaims
+    /// sessions nobody touches).
+    fn with_live<R>(&self, token: &str, f: impl FnOnce(&mut Session) -> R) -> Option<R> {
+        let mut sessions = self
+            .sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let now = Instant::now();
+        if sessions.get(token).is_some_and(|s| s.expires_at <= now) {
+            sessions.remove(token);
+            return None;
+        }
+        let session = sessions.get_mut(token)?;
+        session.expires_at = now + self.ttl;
+        Some(f(session))
+    }
+
+    /// Whether `token` names a live session (renews the lease).
+    pub fn validate(&self, token: &str) -> bool {
+        self.with_live(token, |_| ()).is_some()
+    }
+
+    /// Records `id` as owned by the session. `false` when the token is
+    /// dead.
+    pub fn adopt(&self, token: &str, id: HomeId) -> bool {
+        self.with_live(token, |s| {
+            s.owned.insert(id);
+        })
+        .is_some()
+    }
+
+    /// Whether the live session owns `id`. `None` when the token is dead,
+    /// `Some(false)` when live but not the owner.
+    pub fn owns(&self, token: &str, id: HomeId) -> Option<bool> {
+        self.with_live(token, |s| s.owned.contains(&id))
+    }
+
+    /// Forgets `id` everywhere (home deleted).
+    pub fn disown(&self, token: &str, id: HomeId) {
+        self.with_live(token, |s| {
+            s.owned.remove(&id);
+            s.pending.remove(&id);
+        });
+    }
+
+    /// Stashes a dirty report awaiting `POST .../confirm` for `id`.
+    pub fn stash_pending(&self, token: &str, id: HomeId, report: InstallReport) {
+        self.with_live(token, |s| {
+            s.pending.insert(id, Box::new(report));
+        });
+    }
+
+    /// Takes the stashed report for `id` if it is for `app`.
+    pub fn take_pending(&self, token: &str, id: HomeId, app: &str) -> Option<InstallReport> {
+        self.with_live(token, |s| {
+            if s.pending.get(&id).is_some_and(|r| r.app == app) {
+                s.pending.remove(&id).map(|r| *r)
+            } else {
+                None
+            }
+        })
+        .flatten()
+    }
+
+    /// Ends the session explicitly. `true` when it existed.
+    pub fn revoke(&self, token: &str) -> bool {
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .remove(token)
+            .is_some()
+    }
+
+    /// Drops every expired session; returns how many were reclaimed. The
+    /// server's reaper thread calls this periodically.
+    pub fn reap(&self) -> usize {
+        let mut sessions = self
+            .sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let now = Instant::now();
+        let before = sessions.len();
+        sessions.retain(|_, s| s.expires_at > now);
+        before - sessions.len()
+    }
+
+    /// Live session count (expired-but-unreaped included).
+    pub fn len(&self) -> usize {
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_distinct_and_validate() {
+        let store = SessionStore::new(Duration::from_secs(60));
+        let a = store.issue();
+        let b = store.issue();
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 32);
+        assert!(store.validate(&a));
+        assert!(!store.validate("0000000000000000feedfacecafebeef"));
+    }
+
+    #[test]
+    fn ownership_and_pending_flow() {
+        let store = SessionStore::new(Duration::from_secs(60));
+        let token = store.issue();
+        let id = HomeId::new(3);
+        assert_eq!(store.owns(&token, id), Some(false));
+        assert!(store.adopt(&token, id));
+        assert_eq!(store.owns(&token, id), Some(true));
+
+        let report = InstallReport {
+            app: "OffApp".into(),
+            rules: Vec::new(),
+            threats: Vec::new(),
+            chains: Vec::new(),
+            stats: Default::default(),
+            installed: false,
+            config: None,
+            replaces: None,
+            dropped_ranks: Vec::new(),
+        };
+        store.stash_pending(&token, id, report);
+        assert!(store.take_pending(&token, id, "Other").is_none());
+        let taken = store.take_pending(&token, id, "OffApp").unwrap();
+        assert_eq!(taken.app, "OffApp");
+        assert!(store.take_pending(&token, id, "OffApp").is_none());
+
+        store.disown(&token, id);
+        assert_eq!(store.owns(&token, id), Some(false));
+        assert!(store.revoke(&token));
+        assert_eq!(store.owns(&token, id), None);
+    }
+
+    #[test]
+    fn expiry_is_lazy_and_reapable() {
+        let store = SessionStore::new(Duration::from_millis(20));
+        let token = store.issue();
+        assert!(store.validate(&token));
+        std::thread::sleep(Duration::from_millis(40));
+        // Lazy: the expired token is refused before any reap runs.
+        assert!(!store.validate(&token));
+        // And the refusal itself reclaimed it.
+        assert_eq!(store.len(), 0);
+
+        let other = store.issue();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(store.reap(), 1);
+        assert!(!store.validate(&other));
+    }
+
+    #[test]
+    fn validated_use_slides_the_lease() {
+        let store = SessionStore::new(Duration::from_millis(80));
+        let token = store.issue();
+        for _ in 0..4 {
+            std::thread::sleep(Duration::from_millis(40));
+            assert!(store.validate(&token), "each use renews the lease");
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! A deliberately tiny HTTP client for loopback tests: raw
+//! `TcpStream`, `Connection: close` on every request, read-to-EOF.
+//!
+//! Shared by every integration target — each compiles its own copy, so
+//! helpers one target skips are dead code only there.
+#![allow(dead_code)]
+
+use hg_rules::json::Json;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+pub struct Reply {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Reply {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn json(&self) -> Json {
+        Json::parse(std::str::from_utf8(&self.body).expect("UTF-8 body")).expect("JSON body")
+    }
+
+    /// Decodes a chunked body into NDJSON lines.
+    pub fn ndjson_lines(&self) -> Vec<Json> {
+        let text = decode_chunked(&self.body);
+        text.lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| Json::parse(l).expect("NDJSON line"))
+            .collect()
+    }
+}
+
+fn decode_chunked(raw: &[u8]) -> String {
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(pos) = rest.windows(2).position(|w| w == b"\r\n") {
+        let size_line = std::str::from_utf8(&rest[..pos]).expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        rest = &rest[pos + 2..];
+        if size == 0 {
+            break;
+        }
+        out.extend_from_slice(&rest[..size]);
+        rest = &rest[size + 2..]; // skip chunk payload + CRLF
+    }
+    String::from_utf8(out).expect("UTF-8 chunked payload")
+}
+
+/// Sends one request and reads the full response (connection closed).
+pub fn send(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    session: Option<&str>,
+    body: Option<&Json>,
+) -> Reply {
+    let payload = body.map(|b| b.to_text()).unwrap_or_default();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: loopback\r\nconnection: close\r\n");
+    if let Some(token) = session {
+        head.push_str(&format!("x-session: {token}\r\n"));
+    }
+    if !payload.is_empty() {
+        head.push_str(&format!("content-length: {}\r\n", payload.len()));
+    }
+    head.push_str("\r\n");
+    let raw = send_raw(addr, format!("{head}{payload}").as_bytes());
+    parse_reply(&raw)
+}
+
+/// Writes raw bytes and reads everything until the server closes.
+pub fn send_raw(addr: SocketAddr, raw: &[u8]) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(raw).expect("write request");
+    // Signal end-of-request: a truncated payload must surface as a typed
+    // error, not wait out the server's read timeout.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    out
+}
+
+pub fn parse_reply(raw: &[u8]) -> Reply {
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("response head/body split");
+    let head = std::str::from_utf8(&raw[..split]).expect("UTF-8 head");
+    let mut lines = head.lines();
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: raw[split + 4..].to_vec(),
+    }
+}
+
+/// The two conflicting exemplar apps every suite uses.
+pub const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+pub const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+/// Request body `{"source": …, "name": …}`.
+pub fn app_body(source: &str, name: &str) -> Json {
+    Json::obj([("source", Json::str(source)), ("name", Json::str(name))])
+}

@@ -1,0 +1,530 @@
+//! Loopback end-to-end: the HTTP surface must be **behavior-identical**
+//! to driving the [`Fleet`] directly — same reports, same typed errors,
+//! same rollout merges — plus the network-only semantics: sessions,
+//! TTL expiry, queue backpressure (429 + Retry-After), snapshot/restore.
+
+mod common;
+
+use common::{app_body, send, OFF_APP, ON_APP};
+use hg_api::{ApiServer, ExecConfig, ServerConfig};
+use hg_rules::json::Json;
+use hg_service::{Fleet, HomeId, RuleStore};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start(fleet: Arc<Fleet>, exec: ExecConfig, ttl: Duration, reap: Duration) -> ApiServer {
+    ApiServer::start(
+        fleet,
+        ServerConfig {
+            exec,
+            session_ttl: ttl,
+            reap_interval: reap,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback")
+}
+
+fn session(server: &ApiServer) -> String {
+    send(server.addr(), "POST", "/sessions", None, None)
+        .json()
+        .get("token")
+        .and_then(Json::as_str)
+        .expect("session token")
+        .to_string()
+}
+
+fn create_home(server: &ApiServer, token: &str) -> i64 {
+    send(server.addr(), "POST", "/homes", Some(token), None)
+        .json()
+        .get("home")
+        .and_then(Json::as_num)
+        .expect("home id")
+}
+
+#[test]
+fn http_lifecycle_is_identical_to_direct_fleet_calls() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(4).build());
+    let server = start(
+        fleet,
+        ExecConfig::default(),
+        Duration::from_secs(60),
+        Duration::from_secs(60),
+    );
+    let addr = server.addr();
+    let token = session(&server);
+    let home = create_home(&server, &token);
+
+    // Reference: the same lifecycle against a directly-driven fleet.
+    let direct = Fleet::builder(RuleStore::shared()).shards(4).build();
+    let direct_home = direct.create_home();
+
+    // Clean install.
+    let via_http = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+    assert_eq!(via_http.status, 200);
+    let direct_report = direct
+        .install_app(direct_home, ON_APP, "OnApp", None)
+        .unwrap();
+    let http_json = via_http.json();
+    assert_eq!(
+        http_json.get("installed"),
+        Some(&Json::Bool(direct_report.installed))
+    );
+    assert_eq!(
+        http_json
+            .get("threats")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        direct_report.threats.len()
+    );
+
+    // Dirty install: same threat verdict, pending on both paths.
+    let dirty_http = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/install"),
+        Some(&token),
+        Some(&app_body(OFF_APP, "OffApp")),
+    );
+    let dirty_direct = direct
+        .install_app(direct_home, OFF_APP, "OffApp", None)
+        .unwrap();
+    assert!(!dirty_direct.installed);
+    let dirty_json = dirty_http.json();
+    assert_eq!(dirty_json.get("installed"), Some(&Json::Bool(false)));
+    assert_eq!(dirty_json.get("pending"), Some(&Json::Bool(true)));
+    let http_threats = dirty_json.get("threats").and_then(Json::as_arr).unwrap();
+    assert_eq!(http_threats.len(), dirty_direct.threats.len());
+    assert_eq!(
+        http_threats[0].get("kind").and_then(Json::as_str),
+        Some(dirty_direct.threats[0].kind.acronym())
+    );
+
+    // Confirm via the stashed report; direct path confirms its own.
+    let confirmed = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/confirm"),
+        Some(&token),
+        Some(&Json::obj([("app", Json::str("OffApp"))])),
+    );
+    assert_eq!(confirmed.status, 200);
+    assert_eq!(confirmed.json().get("installed"), Some(&Json::Bool(true)));
+    direct.confirm_install(direct_home, dirty_direct).unwrap();
+
+    // Confirming twice is a typed 409 (nothing pending anymore).
+    let again = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/confirm"),
+        Some(&token),
+        Some(&Json::obj([("app", Json::str("OffApp"))])),
+    );
+    assert_eq!(again.status, 409);
+
+    // Both paths now agree on installed apps.
+    let apps_http = send(addr, "GET", &format!("/homes/{home}"), Some(&token), None);
+    let apps: Vec<String> = apps_http
+        .json()
+        .get("apps")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|j| j.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(
+        apps,
+        direct
+            .with_home(direct_home, |h| h.installed_apps())
+            .unwrap()
+    );
+
+    // Uninstall agrees too.
+    let un_http = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/uninstall"),
+        Some(&token),
+        Some(&Json::obj([("app", Json::str("OffApp"))])),
+    );
+    let un_direct = direct.uninstall_app(direct_home, "OffApp").unwrap();
+    assert_eq!(un_http.status, 200);
+    assert_eq!(
+        un_http.json().get("retired_threats").and_then(Json::as_num),
+        Some(un_direct.retired_threats as i64)
+    );
+
+    // Typed errors ride through: uninstalling a ghost app is 404 on the
+    // wire, UnknownApp directly.
+    let ghost = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/uninstall"),
+        Some(&token),
+        Some(&Json::obj([("app", Json::str("Ghost"))])),
+    );
+    assert_eq!(ghost.status, 404);
+    assert!(direct.uninstall_app(direct_home, "Ghost").is_err());
+
+    // Deleting the home removes it from the registry.
+    let deleted = send(
+        addr,
+        "DELETE",
+        &format!("/homes/{home}"),
+        Some(&token),
+        None,
+    );
+    assert_eq!(deleted.status, 204);
+    let gone = send(addr, "GET", &format!("/homes/{home}"), Some(&token), None);
+    assert_eq!(gone.status, 403, "deleted home is no longer owned");
+    server.shutdown();
+}
+
+#[test]
+fn bulk_install_and_streamed_rollout_match_direct_sweeps() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(4).build());
+    let server = start(
+        fleet.clone(),
+        ExecConfig::default(),
+        Duration::from_secs(60),
+        Duration::from_secs(60),
+    );
+    let addr = server.addr();
+    let token = session(&server);
+    let homes: Vec<i64> = (0..12).map(|_| create_home(&server, &token)).collect();
+
+    // Reference fleet, identically populated via direct calls.
+    let direct = Fleet::builder(RuleStore::shared()).shards(4).build();
+    let direct_ids: Vec<HomeId> = (0..12).map(|_| direct.create_home()).collect();
+
+    // Bulk install over HTTP ≡ direct install_many.
+    let bulk = send(
+        addr,
+        "POST",
+        "/fleet/install_many",
+        Some(&token),
+        Some(&Json::obj([
+            (
+                "homes",
+                Json::Arr(homes.iter().map(|&h| Json::Num(h)).collect()),
+            ),
+            ("source", Json::str(ON_APP)),
+            ("name", Json::str("OnApp")),
+        ])),
+    );
+    assert_eq!(bulk.status, 200);
+    let outcomes = bulk
+        .json()
+        .get("outcomes")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .to_vec();
+    let direct_outcomes = direct
+        .install_many(&direct_ids, ON_APP, "OnApp", None)
+        .unwrap();
+    assert_eq!(outcomes.len(), direct_outcomes.len());
+    for (http, (_, direct_result)) in outcomes.iter().zip(&direct_outcomes) {
+        assert_eq!(
+            http.get("report").and_then(|r| r.get("installed")),
+            Some(&Json::Bool(direct_result.as_ref().unwrap().installed))
+        );
+    }
+
+    // Give one home a conflict so the rollout has a pending entry.
+    fleet
+        .install_app_forced(HomeId::new(homes[2] as u64), OFF_APP, "OffApp", None)
+        .unwrap();
+    direct
+        .install_app_forced(direct_ids[2], OFF_APP, "OffApp", None)
+        .unwrap();
+
+    // Streamed rollout: one NDJSON line per shard, then the merged
+    // summary — which must equal the direct synchronous rollout.
+    let v2 = format!("{ON_APP}// v2\n");
+    let streamed = send(
+        addr,
+        "POST",
+        "/fleet/upgrades",
+        Some(&token),
+        Some(&app_body(&v2, "OnApp")),
+    );
+    assert_eq!(streamed.status, 200);
+    assert_eq!(
+        streamed
+            .header("transfer-encoding")
+            .map(str::to_ascii_lowercase),
+        Some("chunked".to_string())
+    );
+    let lines = streamed.ndjson_lines();
+    let (parts, summary): (Vec<&Json>, Vec<&Json>) =
+        lines.iter().partition(|l| l.get("shard").is_some());
+    assert_eq!(parts.len(), 4, "one progress line per shard");
+    assert_eq!(summary.len(), 1, "exactly one merged summary line");
+    let mut seen: Vec<i64> = parts
+        .iter()
+        .map(|p| p.get("shard").and_then(Json::as_num).unwrap())
+        .collect();
+    seen.sort_unstable();
+    assert_eq!(seen, vec![0, 1, 2, 3]);
+
+    let direct_rollout = direct.propagate_upgrade(&v2, "OnApp").unwrap();
+    let merged = summary[0].get("rollout").expect("merged rollout");
+    let upgraded: Vec<i64> = merged
+        .get("upgraded")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|j| j.as_num().unwrap())
+        .collect();
+    assert_eq!(
+        upgraded,
+        direct_rollout
+            .upgraded
+            .iter()
+            .map(|id| id.raw() as i64)
+            .collect::<Vec<_>>(),
+        "streamed merge must equal the synchronous rollout"
+    );
+    assert_eq!(
+        merged
+            .get("pending")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .map(|j| j.as_num().unwrap())
+            .collect::<Vec<_>>(),
+        direct_rollout
+            .pending
+            .iter()
+            .map(|(id, _)| id.raw() as i64)
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        merged.get("skipped").and_then(Json::as_num),
+        Some(direct_rollout.skipped as i64)
+    );
+
+    // Fleet-wide forced uninstall agrees with the direct sweep.
+    let pulled = send(
+        addr,
+        "POST",
+        "/fleet/uninstall",
+        Some(&token),
+        Some(&Json::obj([("app", Json::str("OffApp"))])),
+    );
+    assert_eq!(pulled.status, 200);
+    let direct_pull = direct.force_uninstall("OffApp");
+    let pulled_json = pulled.json();
+    assert_eq!(
+        pulled_json
+            .get("removed")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        direct_pull.removed.len()
+    );
+    assert_eq!(pulled_json.get("store_retired"), Some(&Json::Bool(true)));
+    assert!(!fleet.store().has_app("OffApp"));
+    server.shutdown();
+}
+
+#[test]
+fn snapshot_restore_round_trips_over_http() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+    let server = start(
+        fleet,
+        ExecConfig::default(),
+        Duration::from_secs(60),
+        Duration::from_secs(60),
+    );
+    let addr = server.addr();
+    let token = session(&server);
+    let home = create_home(&server, &token);
+    send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+
+    let snapshot = send(addr, "GET", "/snapshot", Some(&token), None);
+    assert_eq!(snapshot.status, 200);
+    let text = snapshot.body.clone();
+
+    // Wipe: restore over the snapshot after adding a second home — the
+    // restore replaces the whole fleet with the captured one.
+    create_home(&server, &token);
+    assert_eq!(
+        send(addr, "GET", "/stats", None, None)
+            .json()
+            .get("homes")
+            .and_then(Json::as_num),
+        Some(2)
+    );
+    let mut raw = format!(
+        "POST /restore HTTP/1.1\r\nconnection: close\r\nx-session: {token}\r\ncontent-length: {}\r\n\r\n",
+        text.len()
+    )
+    .into_bytes();
+    raw.extend_from_slice(&text);
+    let restored = common::parse_reply(&common::send_raw(addr, &raw));
+    assert_eq!(restored.status, 200);
+    assert_eq!(restored.json().get("homes").and_then(Json::as_num), Some(1));
+    assert_eq!(
+        send(addr, "GET", "/stats", None, None)
+            .json()
+            .get("homes")
+            .and_then(Json::as_num),
+        Some(1)
+    );
+    // The restored fleet serves: the surviving home still owns its app.
+    let apps = send(addr, "GET", &format!("/homes/{home}"), Some(&token), None);
+    assert_eq!(apps.status, 200);
+    assert_eq!(
+        apps.json()
+            .get("apps")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .len(),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn saturated_shard_queue_answers_429_with_retry_after() {
+    // One shard, queue bound 1: a wedged worker plus one queued job ⇒
+    // the next admission must be refused, typed, with Retry-After.
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(1).build());
+    let server = start(
+        fleet,
+        ExecConfig {
+            queue_capacity: 1,
+            store_workers: 1,
+        },
+        Duration::from_secs(60),
+        Duration::from_secs(60),
+    );
+    let addr = server.addr();
+    let token = session(&server);
+    let home = create_home(&server, &token);
+
+    // Wedge the single shard worker: a job that blocks until released.
+    let exec = server.state().exec();
+    let (started_tx, started_rx) = std::sync::mpsc::channel::<()>();
+    let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+    let wedger = {
+        let exec = exec.clone();
+        std::thread::spawn(move || {
+            let _ = exec.run_on_home(HomeId::new(0), move |_fleet| {
+                let _ = started_tx.send(());
+                let _ = release_rx.recv();
+            });
+        })
+    };
+    started_rx
+        .recv_timeout(Duration::from_secs(5))
+        .expect("wedge job must start");
+
+    // Fill the queue behind the wedged worker.
+    let filler = {
+        let exec = exec.clone();
+        std::thread::spawn(move || {
+            let _ = exec.run_on_home(HomeId::new(0), |_fleet| {});
+        })
+    };
+    // Wait until the filler's job is actually queued.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while exec.shard_depths()[0] < 1 {
+        assert!(std::time::Instant::now() < deadline, "filler never queued");
+        std::thread::yield_now();
+    }
+
+    // The next per-home request over HTTP must be refused up front.
+    let refused = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+    assert_eq!(refused.status, 429);
+    assert_eq!(refused.header("retry-after"), Some("1"));
+    assert_eq!(
+        refused
+            .json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("queue_full")
+    );
+
+    // Released, the very same request is admitted and succeeds.
+    release_tx.send(()).unwrap();
+    wedger.join().unwrap();
+    filler.join().unwrap();
+    let accepted = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+    assert_eq!(accepted.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn expired_sessions_are_rejected_and_reaped() {
+    let fleet = Arc::new(Fleet::new(RuleStore::shared()));
+    let server = start(
+        fleet,
+        ExecConfig::default(),
+        Duration::from_millis(150),
+        Duration::from_millis(30),
+    );
+    let addr = server.addr();
+    let token = session(&server);
+    let home = create_home(&server, &token);
+    assert_eq!(
+        send(addr, "GET", "/stats", None, None)
+            .json()
+            .get("sessions")
+            .and_then(Json::as_num),
+        Some(1)
+    );
+
+    // Past the TTL the token is refused on a mutating route…
+    std::thread::sleep(Duration::from_millis(400));
+    let expired = send(
+        addr,
+        "POST",
+        &format!("/homes/{home}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+    assert_eq!(expired.status, 401);
+
+    // …and the reaper thread has already reclaimed the session.
+    assert_eq!(
+        send(addr, "GET", "/stats", None, None)
+            .json()
+            .get("sessions")
+            .and_then(Json::as_num),
+        Some(0)
+    );
+
+    // A fresh session starts clean — but cannot touch the orphaned home.
+    let fresh = session(&server);
+    let foreign = send(addr, "GET", &format!("/homes/{home}"), Some(&fresh), None);
+    assert_eq!(foreign.status, 403);
+    server.shutdown();
+}

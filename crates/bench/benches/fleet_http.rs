@@ -1,0 +1,147 @@
+//! HTTP frontend bench: queue-dispatched sweeps and wire round-trips.
+//!
+//! Two questions guard the `hg-api` layer's perf trajectory: (1) what
+//! does routing bulk sweeps through the per-shard work-queue executor
+//! cost relative to the fleet's inline shard walk, and (2) what does a
+//! full HTTP round trip (parse → dispatch → serialize) add on top of a
+//! direct call. Headline rates print once and feed `BENCH_*.json`; the
+//! criterion group then times the steady-state loops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_api::{ApiServer, ExecConfig, FleetExec, ServerConfig};
+use hg_corpus::device_control_apps;
+use hg_service::{Fleet, HomeId, RuleStore};
+use std::hint::black_box;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+const HOMES: usize = 64;
+const APPS: usize = 4;
+
+fn app_slice() -> Vec<(&'static str, &'static str)> {
+    device_control_apps()
+        .iter()
+        .take(APPS)
+        .map(|app| (app.name, app.source))
+        .collect()
+}
+
+/// A fleet of `HOMES` empty homes plus its queue executor.
+fn fresh() -> (Arc<Fleet>, Arc<FleetExec>, Vec<HomeId>) {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(16).build());
+    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home()).collect();
+    let exec = FleetExec::start(fleet.clone(), ExecConfig::default());
+    (fleet, exec, ids)
+}
+
+/// Installs the corpus slice through the executor's work queues.
+fn populate_dispatched(exec: &FleetExec, ids: &[HomeId]) {
+    for (name, source) in app_slice() {
+        let outcomes = exec
+            .install_many(ids.to_vec(), source.to_string(), name.to_string())
+            .expect("store queue accepts")
+            .expect("corpus extracts");
+        for (_, result) in outcomes {
+            result.expect("corpus installs");
+        }
+    }
+}
+
+/// One blocking HTTP request over a fresh loopback connection.
+fn roundtrip(addr: SocketAddr, request: &str) -> Vec<u8> {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).expect("write");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read");
+    out
+}
+
+fn bench_fleet_http(c: &mut Criterion) {
+    // ---- headline: queue-dispatched sweep vs inline shard walk ---------
+    let mut summary: Vec<(&str, f64)> = Vec::new();
+
+    let (_fleet, exec, ids) = fresh();
+    let started = Instant::now();
+    populate_dispatched(&exec, &ids);
+    let elapsed = started.elapsed();
+    let installs = HOMES * APPS;
+    let dispatched_rate = installs as f64 / elapsed.as_secs_f64();
+    println!(
+        "queue-dispatched grid {HOMES} homes x {APPS} apps: {installs} installs in {elapsed:.2?} \
+         ({dispatched_rate:.0} installs/sec)"
+    );
+    summary.push(("queue_installs_per_sec", dispatched_rate));
+
+    let (upgrade_name, upgrade_source) = app_slice()[0];
+    let v2 = format!("{upgrade_source}\n// http v2\n");
+    let started = Instant::now();
+    let rollout = exec
+        .propagate_upgrade(v2, upgrade_name.to_string())
+        .expect("store queue accepts")
+        .expect("corpus extracts");
+    let elapsed = started.elapsed();
+    let touched = rollout.upgraded.len() + rollout.pending.len();
+    let sweep_rate = touched as f64 / elapsed.as_secs_f64();
+    println!(
+        "queue-dispatched rollout: {touched} homes re-checked in {elapsed:.2?} \
+         ({sweep_rate:.0} homes/sec)"
+    );
+    summary.push(("queue_rollout_homes_per_sec", sweep_rate));
+    drop(exec);
+
+    // ---- headline: HTTP round trips ------------------------------------
+    let (fleet, _, _) = fresh();
+    let server = ApiServer::start(fleet, ServerConfig::default()).expect("bind loopback");
+    let addr = server.addr();
+    let stats_request = "GET /stats HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n";
+    let rounds = 200usize;
+    let started = Instant::now();
+    for _ in 0..rounds {
+        black_box(roundtrip(addr, stats_request));
+    }
+    let elapsed = started.elapsed();
+    let http_rate = rounds as f64 / elapsed.as_secs_f64();
+    println!(
+        "HTTP GET /stats: {rounds} round trips in {elapsed:.2?} ({http_rate:.0} requests/sec)"
+    );
+    summary.push(("http_stats_requests_per_sec", http_rate));
+    hg_bench::emit_summary("fleet_http", &summary);
+
+    // ---- criterion steady state ----------------------------------------
+    let mut group = c.benchmark_group("fleet_http");
+    group.sample_size(10);
+    group.bench_function("http_stats_roundtrip", |b| {
+        b.iter(|| black_box(roundtrip(addr, stats_request)))
+    });
+
+    let (_fleet2, exec2, ids2) = fresh();
+    populate_dispatched(&exec2, &ids2);
+    let versions = [
+        format!("{upgrade_source}\n// alt A\n"),
+        format!("{upgrade_source}\n// alt B\n"),
+    ];
+    let mut round = 0usize;
+    group.bench_function("queue_dispatched_rollout_64_homes", |b| {
+        b.iter(|| {
+            let v = versions[round % 2].clone();
+            round += 1;
+            black_box(
+                exec2
+                    .propagate_upgrade(v, upgrade_name.to_string())
+                    .unwrap()
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet_http
+}
+criterion_main!(benches);

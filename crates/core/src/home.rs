@@ -331,8 +331,8 @@ impl Home {
             unification,
             ..Detector::default()
         };
-        det.solver.modes = self.modes.clone();
-        det.solver.user_values = self.values.clone();
+        det.solver.set_modes(self.modes.iter().cloned());
+        det.solver.set_user_values(self.values.clone());
         if self.share_verdicts {
             det.cache = Some(self.store.verdict_cache().clone());
         }

@@ -114,14 +114,14 @@ impl Detector {
     /// collected configuration values for exactly the user inputs the two
     /// rules reference. Homes differing only in configuration the pair
     /// never reads produce the same key and share the entry; any
-    /// difference a verdict could observe changes it. (The context could
-    /// not be pre-hashed per detector without a trap: `solver.modes` and
-    /// `solver.user_values` are public fields callers legitimately mutate
-    /// after construction, so the hash is taken fresh per pair — a few
-    /// short strings and usually zero user-input lookups.)
+    /// difference a verdict could observe changes it. The mode list is
+    /// folded in through the solver's **pre-hashed** fingerprint
+    /// ([`OverlapSolver::modes_fingerprint`]): the fields are sealed behind
+    /// setters that maintain the fingerprint, so the per-pair cost is one
+    /// `u128` hash instead of re-walking every mode string.
     fn pair_key(&self, p1: &PreparedRule, p2: &PreparedRule) -> PairKey {
         let ctx = fingerprint128(|h| {
-            self.solver.modes.hash(h);
+            self.solver.modes_fingerprint().hash(h);
             for var in p1.user_inputs().chain(p2.user_inputs()) {
                 if let VarId::UserInput { app, name } = var {
                     var.hash(h);

@@ -176,24 +176,82 @@ pub type UserValues = BTreeMap<(String, String), Value>;
 
 /// Builds a solver model declaring domains for every variable the formulas
 /// mention, substituting collected user-input values first.
+///
+/// The solver context (modes + user values) is sealed behind accessors:
+/// every mutation goes through a setter, so the 128-bit modes fingerprint
+/// the verdict-cache key needs can be maintained **once per change**
+/// instead of being rehashed per pair visit.
 #[derive(Debug, Clone)]
 pub struct OverlapSolver {
     /// The home's location modes.
-    pub modes: Vec<String>,
+    modes: Vec<String>,
+    /// Pre-hashed content fingerprint of `modes` (see
+    /// [`OverlapSolver::modes_fingerprint`]), maintained by the setters.
+    modes_fp: u128,
     /// Collected user-configured values.
-    pub user_values: UserValues,
+    user_values: UserValues,
 }
 
 impl Default for OverlapSolver {
     fn default() -> Self {
-        OverlapSolver {
-            modes: vec!["Home".into(), "Away".into(), "Night".into()],
-            user_values: UserValues::new(),
-        }
+        OverlapSolver::with_modes(["Home", "Away", "Night"])
     }
 }
 
 impl OverlapSolver {
+    /// A solver over the given location modes and no collected values.
+    pub fn with_modes(modes: impl IntoIterator<Item = impl Into<String>>) -> OverlapSolver {
+        let mut solver = OverlapSolver {
+            modes: Vec::new(),
+            modes_fp: 0,
+            user_values: UserValues::new(),
+        };
+        solver.set_modes(modes);
+        solver
+    }
+
+    /// The home's location modes.
+    pub fn modes(&self) -> &[String] {
+        &self.modes
+    }
+
+    /// Replaces the home's location modes (and refreshes the cached modes
+    /// fingerprint).
+    pub fn set_modes(&mut self, modes: impl IntoIterator<Item = impl Into<String>>) {
+        self.modes = modes.into_iter().map(Into::into).collect();
+        self.modes_fp = crate::verdict_cache::fingerprint128(|h| {
+            use std::hash::Hash;
+            self.modes.hash(h);
+        });
+    }
+
+    /// The 128-bit content fingerprint of the mode list, computed once per
+    /// [`set_modes`](OverlapSolver::set_modes) call. The verdict-cache pair
+    /// key hashes this instead of re-walking every mode string per pair —
+    /// the pre-hash that sealing the fields made sound.
+    pub fn modes_fingerprint(&self) -> u128 {
+        self.modes_fp
+    }
+
+    /// The collected configuration values.
+    pub fn user_values(&self) -> &UserValues {
+        &self.user_values
+    }
+
+    /// Replaces the collected configuration values wholesale.
+    pub fn set_user_values(&mut self, values: UserValues) {
+        self.user_values = values;
+    }
+
+    /// Records one collected configuration value.
+    pub fn set_user_value(
+        &mut self,
+        app: impl Into<String>,
+        input: impl Into<String>,
+        value: Value,
+    ) {
+        self.user_values.insert((app.into(), input.into()), value);
+    }
     /// Substitutes collected configuration values into a formula. The
     /// lookup borrows the variable's `&str` components directly — no
     /// `String` clones per [`VarId::UserInput`] visit (this closure runs
@@ -347,9 +405,7 @@ mod tests {
     #[test]
     fn substitution_uses_collected_config() {
         let mut solver = OverlapSolver::default();
-        solver
-            .user_values
-            .insert(("A".into(), "threshold".into()), Value::Num(scaled(30)));
+        solver.set_user_value("A", "threshold", Value::Num(scaled(30)));
         let f = Formula::cmp(
             Term::var(VarId::env("temperature")),
             CmpOp::Gt,

@@ -66,9 +66,11 @@ pub struct PairKey {
     pub ctx: u128,
 }
 
-/// Soft per-shard entry cap: a shard that outgrows it is dropped wholesale
-/// (the cache is rebuildable by construction), bounding worst-case memory
-/// under adversarial churn without LRU bookkeeping on the hit fast path.
+/// Default per-shard entry cap. A shard at capacity evicts its
+/// **least-recently-used quarter** (see [`Shard::evict_lru_batch`]) — hot
+/// entries survive churn instead of being dumped with the whole shard, and
+/// the O(n) recency scan amortizes to O(1) per insert because one scan
+/// buys capacity/4 further inserts.
 const MAX_ENTRIES_PER_SHARD: usize = 1 << 14;
 
 /// One memoized pair verdict: the threats and the effort counters the
@@ -77,11 +79,14 @@ const MAX_ENTRIES_PER_SHARD: usize = 1 << 14;
 /// modulo the hit/miss markers themselves. The member app names ride
 /// along so eviction of either app can unregister the key from its
 /// partner's eviction list (no tombstone accumulation under churn).
-#[derive(Debug, Clone)]
+/// `last_used` is the LRU recency stamp — an atomic so the hit fast path
+/// can refresh it under the shard's **read** lock.
+#[derive(Debug)]
 struct CachedVerdict {
     threats: Vec<Threat>,
     stats: DetectStats,
     apps: [String; 2],
+    last_used: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -91,6 +96,54 @@ struct Shard {
     /// registered under both member apps so either side's retirement
     /// drops it.
     by_app: HashMap<String, Vec<PairKey>>,
+}
+
+impl Shard {
+    /// Removes one entry, unregistering its key from both member apps'
+    /// eviction lists. Returns whether the key was live.
+    fn purge_key(&mut self, key: &PairKey) -> bool {
+        let Some(dead) = self.entries.remove(key) else {
+            return false;
+        };
+        let [first, second] = &dead.apps;
+        for app in std::iter::once(first).chain((second != first).then_some(second)) {
+            if let Some(keys) = self.by_app.get_mut(app) {
+                keys.retain(|k| k != key);
+                if keys.is_empty() {
+                    self.by_app.remove(app);
+                }
+            }
+        }
+        true
+    }
+
+    /// Drops the least-recently-used quarter of the shard (at least one
+    /// entry). Recency stamps are strictly increasing draws from the
+    /// cache-wide clock, so the cut below the k-th smallest stamp removes
+    /// exactly k entries. Returns how many were dropped.
+    fn evict_lru_batch(&mut self, capacity: usize) -> u64 {
+        let mut stamps: Vec<u64> = self
+            .entries
+            .values()
+            .map(|v| v.last_used.load(Ordering::Relaxed))
+            .collect();
+        stamps.sort_unstable();
+        let batch = (capacity / 4).max(1).min(stamps.len());
+        let threshold = stamps[batch - 1];
+        let dead: Vec<PairKey> = self
+            .entries
+            .iter()
+            .filter(|(_, v)| v.last_used.load(Ordering::Relaxed) <= threshold)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut dropped = 0u64;
+        for key in &dead {
+            if self.purge_key(key) {
+                dropped += 1;
+            }
+        }
+        dropped
+    }
 }
 
 /// Aggregate cache effectiveness counters (see [`VerdictCache::stats`]).
@@ -122,6 +175,11 @@ impl CacheStats {
 #[derive(Debug)]
 pub struct VerdictCache {
     shards: Box<[RwLock<Shard>]>,
+    /// Per-shard entry cap; overflow evicts the LRU quarter of the shard.
+    capacity: usize,
+    /// The LRU clock: every hit and insert draws a strictly increasing
+    /// stamp from it.
+    clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evicted: AtomicU64,
@@ -142,10 +200,19 @@ impl VerdictCache {
 
     /// A cache with a specific shard count (clamped to at least 1).
     pub fn with_shards(n: usize) -> VerdictCache {
+        VerdictCache::with_shards_and_capacity(n, MAX_ENTRIES_PER_SHARD)
+    }
+
+    /// A cache with a specific shard count and per-shard capacity, both
+    /// clamped to at least 1 (tests size the capacity down to exercise LRU
+    /// eviction without millions of inserts).
+    pub fn with_shards_and_capacity(n: usize, capacity: usize) -> VerdictCache {
         VerdictCache {
             shards: (0..n.max(1))
                 .map(|_| RwLock::new(Shard::default()))
                 .collect(),
+            capacity: capacity.max(1),
+            clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
@@ -176,6 +243,12 @@ impl VerdictCache {
         match shard.entries.get(key) {
             Some(verdict) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                // Refresh LRU recency under the read lock (the stamp is
+                // atomic precisely so hits never upgrade to a write lock).
+                verdict.last_used.store(
+                    self.clock.fetch_add(1, Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
                 Some((verdict.threats.clone(), verdict.stats))
             }
             None => {
@@ -188,22 +261,23 @@ impl VerdictCache {
     /// Publishes a freshly computed verdict under `key`, registered for
     /// eviction under both member apps. Racing inserts of the same key are
     /// harmless: content addressing means both writers carry the same
-    /// verdict.
+    /// verdict. A shard at capacity sheds its least-recently-used quarter
+    /// first, so hot-shard churn turns over cold entries instead of
+    /// dumping the verdicts the fleet is actively hitting.
     pub fn insert(&self, key: PairKey, apps: [&str; 2], threats: Vec<Threat>, stats: DetectStats) {
         let mut shard = self
             .shard(&key)
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        if shard.entries.len() >= MAX_ENTRIES_PER_SHARD {
-            self.evicted
-                .fetch_add(shard.entries.len() as u64, Ordering::Relaxed);
-            shard.entries.clear();
-            shard.by_app.clear();
+        if shard.entries.len() >= self.capacity && !shard.entries.contains_key(&key) {
+            let dropped = shard.evict_lru_batch(self.capacity);
+            self.evicted.fetch_add(dropped, Ordering::Relaxed);
         }
         let verdict = CachedVerdict {
             threats,
             stats,
             apps: [apps[0].to_string(), apps[1].to_string()],
+            last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
         };
         if shard.entries.insert(key, verdict).is_none() {
             for app in apps {
@@ -416,6 +490,48 @@ mod tests {
         cache.insert(key(7), ["Solo", "Solo"], vec![], DetectStats::default());
         assert_eq!(cache.evict_app("Solo"), 1);
         assert_eq!(cache.registered_keys(), 0);
+    }
+
+    #[test]
+    fn capacity_eviction_is_least_recently_used() {
+        // Capacity 8, one shard: fill it, refresh a subset, overflow, and
+        // the evicted batch must be exactly the least-recently-used
+        // entries — never the hot ones, and never the whole shard.
+        let cache = VerdictCache::with_shards_and_capacity(1, 8);
+        for n in 0u128..8 {
+            cache.insert(key(n), ["A", "A"], vec![], DetectStats::default());
+        }
+        assert_eq!(cache.len(), 8);
+        // Touch everything except entries 1, 2 and 3; they become the LRU
+        // tail (in that order, oldest first).
+        for n in [0u128, 4, 5, 6, 7] {
+            assert!(cache.lookup(&key(n)).is_some());
+        }
+        // Overflow: capacity/4 = 2 entries must go — the two least
+        // recently used (1 and 2), nothing else.
+        cache.insert(key(8), ["A", "A"], vec![], DetectStats::default());
+        assert_eq!(cache.len(), 7, "one LRU batch, not a wholesale clear");
+        let miss = |n: u128| cache.lookup(&key(n)).is_none();
+        assert!(miss(1) && miss(2), "the LRU tail is evicted first");
+        for survivor in [0u128, 3, 4, 5, 6, 7, 8] {
+            assert!(
+                cache.lookup(&key(survivor)).is_some(),
+                "entry {survivor} was recently used and must survive"
+            );
+        }
+        // The eviction index shrank with the entries (no tombstones).
+        assert_eq!(cache.registered_keys(), cache.len());
+        assert_eq!(cache.stats().evicted, 2);
+
+        // Re-inserting an existing key at capacity must not evict anyone:
+        // it replaces in place.
+        while cache.len() < 8 {
+            cache.insert(key(100), ["A", "A"], vec![], DetectStats::default());
+        }
+        let before = cache.stats().evicted;
+        cache.insert(key(8), ["A", "A"], vec![], DetectStats::default());
+        assert_eq!(cache.stats().evicted, before);
+        assert_eq!(cache.len(), 8);
     }
 
     #[test]

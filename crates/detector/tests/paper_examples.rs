@@ -415,8 +415,9 @@ fn user_values_make_overlap_infeasible() {
     let r1 = comfort_tv();
     let r2 = cold_defender();
     let mut det = Detector::store_wide();
-    det.solver.user_values.insert(
-        ("ComfortTV".to_string(), "threshold1".to_string()),
+    det.solver.set_user_value(
+        "ComfortTV",
+        "threshold1",
         Value::Num(200 * hg_capability::domains::SCALE),
     );
     let (threats, _) = det.detect_pair(&r1.rules[0], &r2.rules[0]);

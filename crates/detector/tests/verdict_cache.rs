@@ -152,8 +152,9 @@ fn irrelevant_config_shares_entries_relevant_config_does_not() {
         .any(|v| matches!(v, VarId::UserInput { name, .. } if name == "limit")));
 
     let mut home1 = cached_detector(&cache);
-    home1.solver.user_values.insert(
-        ("Thermo".into(), "limit".into()),
+    home1.solver.set_user_value(
+        "Thermo",
+        "limit",
         Value::Num(hg_capability::domains::scaled(30)),
     );
     // Home 2 shares the relevant value but differs in configuration the
@@ -161,12 +162,12 @@ fn irrelevant_config_shares_entries_relevant_config_does_not() {
     let mut home2 = home1.clone();
     home2
         .solver
-        .user_values
-        .insert(("Unrelated".into(), "knob".into()), Value::Num(7));
+        .set_user_value("Unrelated", "knob", Value::Num(7));
     // Home 3 changes the value the pair actually substitutes.
     let mut home3 = home1.clone();
-    home3.solver.user_values.insert(
-        ("Thermo".into(), "limit".into()),
+    home3.solver.set_user_value(
+        "Thermo",
+        "limit",
         Value::Num(hg_capability::domains::scaled(10)),
     );
 
@@ -184,7 +185,7 @@ fn irrelevant_config_shares_entries_relevant_config_does_not() {
     );
     // Differing modes split entries too (the Mode domain changes).
     let mut night_home = home1.clone();
-    night_home.solver.modes = vec!["Day".into(), "Night".into()];
+    night_home.solver.set_modes(["Day", "Night"]);
     let (_, s4) = night_home.detect_pair_prepared(&a[0], &b[0]);
     assert_eq!(s4.cache_misses, 1);
 }

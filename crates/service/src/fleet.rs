@@ -7,6 +7,21 @@
 //! each shard's lock. `HomeId`s are dense (`AtomicU64`) and route by
 //! `id % shards`, so consecutive creations spread round-robin across the
 //! shards — a thread working a contiguous id range touches all of them.
+//!
+//! # Sweeps and dispatch
+//!
+//! Fleet-wide operations decompose into **per-shard units** —
+//! [`Fleet::install_group`], [`Fleet::upgrade_shard`],
+//! [`Fleet::uninstall_shard`] — merged deterministically by
+//! [`UpgradeRollout::merge`] / [`ForceUninstall::merge`]. The inherent
+//! [`Fleet::propagate_upgrade`] / [`Fleet::force_uninstall`] /
+//! [`Fleet::install_many`] walk the shards serially (the in-process,
+//! zero-thread path); the canonical *concurrent* dispatch is `hg-api`'s
+//! per-shard work-queue executor, which runs the same per-shard units on
+//! one dedicated worker per shard and merges through the same helpers —
+//! so queue-dispatched sweeps are report-identical to the serial walk by
+//! construction. (The previous `std::thread::scope` fan-out special case
+//! inside this file is retired in favor of that executor.)
 
 use hg_config::ConfigInfo;
 use hg_persist::FleetSnapshot;
@@ -18,30 +33,6 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 type Shard = RwLock<BTreeMap<HomeId, Home>>;
-
-/// Process-global sweep-parallelism override (see
-/// [`override_sweep_parallelism`]): `0` = auto, [`SWEEP_FORCED_ON`] /
-/// [`SWEEP_FORCED_OFF`] pin the decision.
-static SWEEP_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
-const SWEEP_FORCED_ON: u8 = 1;
-const SWEEP_FORCED_OFF: u8 = 2;
-
-/// Pins whether fleet sweeps fan out worker threads, process-wide:
-/// `Some(true)` always threads, `Some(false)` always inline, `None`
-/// returns to the automatic choice (hardware parallelism, or the
-/// `HG_PARALLEL_SWEEPS` env var read once at first sweep). Both paths
-/// produce identical reports; this exists so equivalence tests can
-/// exercise the threaded fan-out on single-core hosts without touching
-/// the process environment (concurrent `set_var`/`getenv` is undefined
-/// behavior on common libc implementations).
-pub fn override_sweep_parallelism(forced: Option<bool>) {
-    let mode = match forced {
-        Some(true) => SWEEP_FORCED_ON,
-        Some(false) => SWEEP_FORCED_OFF,
-        None => 0,
-    };
-    SWEEP_MODE.store(mode, std::sync::atomic::Ordering::Relaxed);
-}
 
 /// Per-home outcomes of a bulk operation: one entry per requested home, in
 /// request order.
@@ -125,27 +116,36 @@ pub struct UpgradeRollout {
     pub poisoned_shards: usize,
 }
 
-/// One shard's share of a parallel fleet sweep (see
-/// [`Fleet::propagate_upgrade`] / [`Fleet::force_uninstall`]).
-enum ShardSweep<R> {
+/// One shard's contribution to a fleet-wide upgrade rollout (the unit a
+/// queue executor dispatches to that shard's worker; see
+/// [`Fleet::upgrade_shard`]). Field meanings match [`UpgradeRollout`];
+/// per-home vectors are in the shard's ascending `HomeId` order.
+#[derive(Debug, Default)]
+pub struct ShardRollout {
     /// The shard lock was poisoned; its homes were not visited.
-    Poisoned,
-    /// Per-home results, in the shard's ascending `HomeId` order.
-    Outcomes(Vec<R>),
+    pub poisoned: bool,
+    /// Homes upgraded cleanly in place.
+    pub upgraded: Vec<HomeId>,
+    /// Homes whose dirty report awaits per-home confirmation.
+    pub pending: Vec<(HomeId, InstallReport)>,
+    /// Homes in this shard not running the app.
+    pub skipped: usize,
+    /// Per-home upgrade failures.
+    pub failed: Vec<(HomeId, HgError)>,
 }
 
-/// One home's outcome within a parallel sweep. `R` is the per-home report
-/// type (boxed: most sweep outcomes are `Skipped`, and a large inline
-/// report would bloat every variant).
-enum SweepOutcome<R> {
-    /// The app is not installed in this home.
-    Skipped,
-    /// The operation completed without a report to deliver.
-    Clean(HomeId),
-    /// The operation produced a per-home report.
-    Report(HomeId, Box<R>),
-    /// The operation failed; the sweep continued past it.
-    Failed(HomeId, HgError),
+/// One shard's contribution to a fleet-wide forced uninstall (see
+/// [`Fleet::uninstall_shard`]). Field meanings match [`ForceUninstall`].
+#[derive(Debug, Default)]
+pub struct ShardUninstall {
+    /// The shard lock was poisoned; its homes were not visited.
+    pub poisoned: bool,
+    /// Per-home retraction reports, ascending `HomeId` order.
+    pub removed: Vec<(HomeId, UninstallReport)>,
+    /// Homes in this shard not running the app.
+    pub skipped: usize,
+    /// Per-home failures.
+    pub failed: Vec<(HomeId, HgError)>,
 }
 
 /// The outcome of a fleet-wide forced uninstall (a store-pulled app).
@@ -164,6 +164,67 @@ pub struct ForceUninstall {
     pub poisoned_shards: usize,
     /// Whether the store database carried the app (and retired it).
     pub store_retired: bool,
+}
+
+impl UpgradeRollout {
+    /// Merges per-shard rollout parts into one fleet-wide rollout. The
+    /// merge is deterministic regardless of part arrival order: every
+    /// per-home vector is sorted by `HomeId`, so a queue-dispatched sweep
+    /// whose shards finish in any order reports exactly what the serial
+    /// shard walk would.
+    pub fn merge(app: impl Into<String>, parts: impl IntoIterator<Item = ShardRollout>) -> Self {
+        let mut rollout = UpgradeRollout {
+            app: app.into(),
+            upgraded: Vec::new(),
+            pending: Vec::new(),
+            skipped: 0,
+            failed: Vec::new(),
+            poisoned_shards: 0,
+        };
+        for part in parts {
+            if part.poisoned {
+                rollout.poisoned_shards += 1;
+                continue;
+            }
+            rollout.upgraded.extend(part.upgraded);
+            rollout.pending.extend(part.pending);
+            rollout.skipped += part.skipped;
+            rollout.failed.extend(part.failed);
+        }
+        rollout.upgraded.sort_unstable();
+        rollout.pending.sort_by_key(|(id, _)| *id);
+        rollout.failed.sort_by_key(|(id, _)| *id);
+        rollout
+    }
+}
+
+impl ForceUninstall {
+    /// Merges per-shard uninstall parts (deterministic like
+    /// [`UpgradeRollout::merge`]). `store_retired` starts `false`: the
+    /// store-level purge happens after the home sweep, and its outcome is
+    /// recorded by the caller.
+    pub fn merge(app: impl Into<String>, parts: impl IntoIterator<Item = ShardUninstall>) -> Self {
+        let mut out = ForceUninstall {
+            app: app.into(),
+            removed: Vec::new(),
+            skipped: 0,
+            failed: Vec::new(),
+            poisoned_shards: 0,
+            store_retired: false,
+        };
+        for part in parts {
+            if part.poisoned {
+                out.poisoned_shards += 1;
+                continue;
+            }
+            out.removed.extend(part.removed);
+            out.skipped += part.skipped;
+            out.failed.extend(part.failed);
+        }
+        out.removed.sort_by_key(|(id, _)| *id);
+        out.failed.sort_by_key(|(id, _)| *id);
+        out
+    }
 }
 
 impl Fleet {
@@ -226,45 +287,14 @@ impl Fleet {
         ids
     }
 
-    fn shard_index(&self, id: HomeId) -> usize {
+    /// The index of the shard `id` routes to — the partition key a
+    /// per-shard work-queue dispatcher groups requests by.
+    pub fn shard_of(&self, id: HomeId) -> usize {
         (id.raw() % self.shards.len() as u64) as usize
     }
 
-    /// Whether fleet sweeps fan out worker threads. Per-shard fan-out only
-    /// pays when the machine can actually run workers concurrently; on a
-    /// single hardware thread the sweep stays on the (identical-result)
-    /// inline path instead of paying spawn overhead per shard. The
-    /// decision can be pinned either way: operators via the
-    /// `HG_PARALLEL_SWEEPS` env var (`1`/`0`, read once at first sweep),
-    /// tests via [`override_sweep_parallelism`] (an atomic, not the
-    /// environment — concurrently mutating the env from test threads is
-    /// undefined behavior on glibc).
-    fn sweeps_parallel(&self) -> bool {
-        match SWEEP_MODE.load(Ordering::Relaxed) {
-            SWEEP_FORCED_ON => return true,
-            SWEEP_FORCED_OFF => return false,
-            _ => {}
-        }
-        static FROM_ENV: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
-        let forced = FROM_ENV.get_or_init(|| {
-            std::env::var("HG_PARALLEL_SWEEPS")
-                .ok()
-                // Set-but-empty means unset (init scripts export empty
-                // placeholders), not "forced serial".
-                .filter(|v| !v.is_empty())
-                .map(|v| v != "0")
-        });
-        if let Some(forced) = forced {
-            return *forced;
-        }
-        self.shards.len() > 1
-            && std::thread::available_parallelism()
-                .map(|n| n.get() > 1)
-                .unwrap_or(false)
-    }
-
     fn shard(&self, id: HomeId) -> &Shard {
-        &self.shards[self.shard_index(id)]
+        &self.shards[self.shard_of(id)]
     }
 
     /// Registers a new home built from the fleet's template and returns
@@ -441,15 +471,34 @@ impl Fleet {
         self.with_home_mut(id, |home| home.upgrade_app(source, name, config))?
     }
 
+    /// Installs an already-ingested app into each listed home in order
+    /// (auto-confirming where clean, exactly like [`Fleet::install_app`]),
+    /// reporting per-home outcomes so one home's verdict cannot abort the
+    /// group. This is the per-group unit a work-queue dispatcher hands to
+    /// a shard worker after partitioning the request by [`Fleet::shard_of`]
+    /// — ids sharing a shard keep their request-relative order, so a
+    /// partitioned dispatch reassembles to exactly the serial outcome.
+    ///
+    /// Unlike [`Fleet::install_many`] this does **not** pre-ingest: the
+    /// caller ingests once for the whole request, not once per group.
+    pub fn install_group(
+        &self,
+        home_ids: &[HomeId],
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> BulkOutcomes {
+        home_ids
+            .iter()
+            .map(|&id| (id, self.install_app(id, source, name, config)))
+            .collect()
+    }
+
     /// Bulk install: extracts `source` **once** and installs it into every
     /// listed home (auto-confirming where clean, exactly like
     /// [`Fleet::install_app`]). Per-home outcomes are reported
-    /// individually so one home's verdict cannot abort the sweep.
-    ///
-    /// The sweep fans out one worker per *shard* (`std::thread::scope`):
-    /// shards are independent locks, so workers never contend, while ids
-    /// sharing a shard keep their request-relative order — the outcome
-    /// vector is identical (in request order) to a serial sweep.
+    /// individually, in request order, so one home's verdict cannot abort
+    /// the sweep.
     ///
     /// # Errors
     ///
@@ -463,48 +512,7 @@ impl Fleet {
         config: Option<&ConfigInfo>,
     ) -> Result<BulkOutcomes, HgError> {
         self.store.ingest(source, name)?;
-        if !self.sweeps_parallel() {
-            return Ok(home_ids
-                .iter()
-                .map(|&id| (id, self.install_app(id, source, name, config)))
-                .collect());
-        }
-        let mut groups: Vec<Vec<(usize, HomeId)>> = vec![Vec::new(); self.shards.len()];
-        for (pos, &id) in home_ids.iter().enumerate() {
-            groups[self.shard_index(id)].push((pos, id));
-        }
-        let mut slots: Vec<Option<(HomeId, Result<InstallReport, HgError>)>> =
-            (0..home_ids.len()).map(|_| None).collect();
-        let per_worker = std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .iter()
-                .filter(|group| !group.is_empty())
-                .map(|group| {
-                    scope.spawn(move || {
-                        group
-                            .iter()
-                            .map(|&(pos, id)| {
-                                (pos, (id, self.install_app(id, source, name, config)))
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
-                })
-                .collect::<Vec<_>>()
-        });
-        for (pos, outcome) in per_worker.into_iter().flatten() {
-            slots[pos] = Some(outcome);
-        }
-        Ok(slots
-            .into_iter()
-            .map(|slot| slot.expect("every requested position produced an outcome"))
-            .collect())
+        Ok(self.install_group(home_ids, source, name, config))
     }
 
     /// Fleet-wide upgrade rollout: re-extracts the new source **once**
@@ -526,118 +534,73 @@ impl Fleet {
         // BEFORE anything lands in the shared database — a rejected
         // rollout cannot publish a new app store-wide as a side effect.
         self.store.ingest_as(source, name)?;
-        let mut rollout = UpgradeRollout {
-            app: name.to_string(),
-            upgraded: Vec::new(),
-            pending: Vec::new(),
-            skipped: 0,
-            failed: Vec::new(),
-            poisoned_shards: 0,
-        };
-        // One worker per shard (shards are independent locks — the sweep's
-        // serial bottleneck was never contention, just single-threading).
-        // Workers return partial rollouts; the merge below is made
-        // deterministic by sorting every per-home vector by `HomeId`, so a
-        // parallel rollout reports exactly what a serial sweep would.
-        let partials = self.sweep_shards(|id, home| {
-            if !home.is_installed(name) {
-                return SweepOutcome::Skipped;
-            }
-            match home.upgrade_app(source, name, None) {
-                Ok(report) if report.installed => SweepOutcome::Clean(id),
-                Ok(report) => SweepOutcome::Report(id, Box::new(report)),
-                Err(error) => SweepOutcome::Failed(id, error),
-            }
-        });
-        for partial in partials {
-            match partial {
-                ShardSweep::Poisoned => rollout.poisoned_shards += 1,
-                ShardSweep::Outcomes(outcomes) => {
-                    for outcome in outcomes {
-                        match outcome {
-                            SweepOutcome::Skipped => rollout.skipped += 1,
-                            SweepOutcome::Clean(id) => rollout.upgraded.push(id),
-                            SweepOutcome::Report(id, report) => rollout.pending.push((id, *report)),
-                            SweepOutcome::Failed(id, error) => rollout.failed.push((id, error)),
-                        }
-                    }
-                }
-            }
-        }
-        rollout.upgraded.sort_unstable();
-        rollout.pending.sort_by_key(|(id, _)| *id);
-        rollout.failed.sort_by_key(|(id, _)| *id);
-        Ok(rollout)
+        Ok(UpgradeRollout::merge(
+            name,
+            (0..self.shards.len()).map(|index| self.upgrade_shard(index, source, name)),
+        ))
     }
 
-    /// Runs `visit` on every home, fanning out one scoped worker per
-    /// shard. Each worker takes its shard's write lock exactly as the
-    /// serial sweep did — a poisoned shard is reported, never unwrapped —
-    /// and homes within a shard are visited in ascending `HomeId` order
-    /// (the `BTreeMap` order).
-    fn sweep_shards<R: Send>(
-        &self,
-        visit: impl Fn(HomeId, &mut Home) -> R + Sync,
-    ) -> Vec<ShardSweep<R>> {
-        if !self.sweeps_parallel() {
-            return self
-                .shards
-                .iter()
-                .map(|shard| {
-                    let Ok(mut shard) = shard.write() else {
-                        return ShardSweep::Poisoned;
-                    };
-                    ShardSweep::Outcomes(
-                        shard
-                            .iter_mut()
-                            .map(|(&id, home)| visit(id, home))
-                            .collect(),
-                    )
-                })
-                .collect();
+    /// One shard's slice of a [`Fleet::propagate_upgrade`] sweep: upgrades
+    /// the app in every home of shard `index` that runs it, under that
+    /// shard's write lock. A poisoned shard is reported, never unwrapped;
+    /// homes are visited in ascending `HomeId` order (the `BTreeMap`
+    /// order). The caller is responsible for having published the new
+    /// source first (`ingest_as`, once per rollout) and for combining the
+    /// parts with [`UpgradeRollout::merge`].
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range (`>= self.shard_count()`).
+    pub fn upgrade_shard(&self, index: usize, source: &str, name: &str) -> ShardRollout {
+        let Ok(mut shard) = self.shards[index].write() else {
+            return ShardRollout {
+                poisoned: true,
+                ..ShardRollout::default()
+            };
+        };
+        let mut part = ShardRollout::default();
+        for (&id, home) in shard.iter_mut() {
+            if !home.is_installed(name) {
+                part.skipped += 1;
+                continue;
+            }
+            match home.upgrade_app(source, name, None) {
+                Ok(report) if report.installed => part.upgraded.push(id),
+                Ok(report) => part.pending.push((id, report)),
+                Err(error) => part.failed.push((id, error)),
+            }
         }
-        std::thread::scope(|scope| {
-            // No worker for shards with nothing to visit: a cheap read
-            // pre-check classifies poisoned and empty shards inline, so a
-            // sparse fleet does not pay a thread spawn per empty shard. (A
-            // home registered between the pre-check and the sweep is
-            // missed exactly as it would be by a serial sweep that had
-            // already passed its shard.)
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .map(|shard| {
-                    match shard.read() {
-                        Err(_) => return Ok(ShardSweep::Poisoned),
-                        Ok(homes) if homes.is_empty() => {
-                            return Ok(ShardSweep::Outcomes(Vec::new()))
-                        }
-                        Ok(_) => {}
-                    }
-                    let visit = &visit;
-                    Err(scope.spawn(move || {
-                        let Ok(mut shard) = shard.write() else {
-                            return ShardSweep::Poisoned;
-                        };
-                        ShardSweep::Outcomes(
-                            shard
-                                .iter_mut()
-                                .map(|(&id, home)| visit(id, home))
-                                .collect(),
-                        )
-                    }))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|settled| match settled {
-                    Ok(outcome) => outcome,
-                    Err(handle) => handle
-                        .join()
-                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic)),
-                })
-                .collect()
-        })
+        part
+    }
+
+    /// One shard's slice of a [`Fleet::force_uninstall`] sweep: retracts
+    /// the app from every home of shard `index` that runs it, under that
+    /// shard's write lock (poisoned shards reported, ascending `HomeId`
+    /// order — see [`Fleet::upgrade_shard`]). Combine the parts with
+    /// [`ForceUninstall::merge`]; the store-level purge is the caller's.
+    ///
+    /// # Panics
+    ///
+    /// If `index` is out of range (`>= self.shard_count()`).
+    pub fn uninstall_shard(&self, index: usize, app: &str) -> ShardUninstall {
+        let Ok(mut shard) = self.shards[index].write() else {
+            return ShardUninstall {
+                poisoned: true,
+                ..ShardUninstall::default()
+            };
+        };
+        let mut part = ShardUninstall::default();
+        for (&id, home) in shard.iter_mut() {
+            if !home.is_installed(app) {
+                part.skipped += 1;
+                continue;
+            }
+            match home.uninstall_app(app) {
+                Ok(report) => part.removed.push((id, report)),
+                Err(error) => part.failed.push((id, error)),
+            }
+        }
+        part
     }
 
     /// Fleet-wide forced uninstall: a store-pulled (e.g. discovered-
@@ -649,42 +612,10 @@ impl Fleet {
     /// query nor an ingest cache hit can resurrect it. The sweep never
     /// aborts midway; per-home failures and poisoned shards are reported.
     pub fn force_uninstall(&self, app: &str) -> ForceUninstall {
-        let mut out = ForceUninstall {
-            app: app.to_string(),
-            removed: Vec::new(),
-            skipped: 0,
-            failed: Vec::new(),
-            poisoned_shards: 0,
-            store_retired: false,
-        };
-        // Parallel per-shard fan-out, merged by `HomeId` like
-        // [`Fleet::propagate_upgrade`].
-        let partials = self.sweep_shards(|id, home| {
-            if !home.is_installed(app) {
-                return SweepOutcome::Skipped;
-            }
-            match home.uninstall_app(app) {
-                Ok(report) => SweepOutcome::Report(id, Box::new(report)),
-                Err(error) => SweepOutcome::Failed(id, error),
-            }
-        });
-        for partial in partials {
-            match partial {
-                ShardSweep::Poisoned => out.poisoned_shards += 1,
-                ShardSweep::Outcomes(outcomes) => {
-                    for outcome in outcomes {
-                        match outcome {
-                            SweepOutcome::Skipped => out.skipped += 1,
-                            SweepOutcome::Report(id, report) => out.removed.push((id, *report)),
-                            SweepOutcome::Failed(id, error) => out.failed.push((id, error)),
-                            SweepOutcome::Clean(_) => unreachable!("uninstall never reports Clean"),
-                        }
-                    }
-                }
-            }
-        }
-        out.removed.sort_by_key(|(id, _)| *id);
-        out.failed.sort_by_key(|(id, _)| *id);
+        let mut out = ForceUninstall::merge(
+            app,
+            (0..self.shards.len()).map(|index| self.uninstall_shard(index, app)),
+        );
         out.store_retired = self.store.retire_app(app);
         out
     }

@@ -64,7 +64,7 @@
 pub mod fleet;
 
 pub use fleet::{
-    override_sweep_parallelism, BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, UpgradeRollout,
+    BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, ShardRollout, ShardUninstall, UpgradeRollout,
 };
 pub use hg_persist::FleetSnapshot;
 pub use homeguard_core::{

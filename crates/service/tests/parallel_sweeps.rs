@@ -1,21 +1,15 @@
-//! Parallel fleet sweeps vs. the serial path.
+//! Queue-dispatched fleet sweeps vs. the serial path.
 //!
-//! `install_many`, `propagate_upgrade` and `force_uninstall` fan out one
-//! worker per shard. These tests prepare two identically-populated fleets
-//! and assert the parallel sweep's reports are **identical** to a serial
-//! per-home replay — ordered by `HomeId` — including pending/dirty
-//! reports, skip counts, and the store-retirement side effects.
+//! `install_many`, `propagate_upgrade` and `force_uninstall` decompose
+//! into per-shard units dispatched by `hg-api`'s work-queue executor (one
+//! dedicated worker per shard). These tests prepare identically-populated
+//! fleets and assert the executor-dispatched reports are **identical** to
+//! a serial per-home replay — ordered by `HomeId` — including
+//! pending/dirty reports, skip counts, and store-retirement side effects.
 
+use hg_api::{ExecConfig, FleetExec};
 use hg_service::{Fleet, HomeId, RuleStore};
-
-/// Pins the threaded sweep path on, regardless of the host's core count
-/// (the whole point here is to exercise the parallel fan-out). Called at
-/// the top of every test; an atomic store, so concurrent test threads are
-/// fine (unlike mutating the process environment, which would race the
-/// harness's own `getenv` calls).
-fn force_parallel() {
-    hg_service::override_sweep_parallelism(Some(true));
-}
+use std::sync::Arc;
 
 const ON_APP: &str = r#"
 definition(name: "OnApp")
@@ -33,10 +27,14 @@ def installed() { subscribe(m, "motion.active", h) }
 def h(evt) { lamp.off() }
 "#;
 
+fn executor(fleet: Arc<Fleet>) -> Arc<FleetExec> {
+    FleetExec::start(fleet, ExecConfig::default())
+}
+
 /// A fleet of `homes` homes over `shards` shards, every home running
 /// OnApp, every third home additionally running the conflicting OffApp.
-fn populated(homes: usize, shards: usize) -> (Fleet, Vec<HomeId>) {
-    let fleet = Fleet::builder(RuleStore::shared()).shards(shards).build();
+fn populated(homes: usize, shards: usize) -> (Arc<Fleet>, Vec<HomeId>) {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(shards).build());
     let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
     for result in fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap() {
         assert!(result.1.unwrap().installed);
@@ -50,10 +48,10 @@ fn populated(homes: usize, shards: usize) -> (Fleet, Vec<HomeId>) {
 }
 
 #[test]
-fn install_many_matches_serial_install_loop_in_request_order() {
-    force_parallel();
-    let parallel = Fleet::builder(RuleStore::shared()).shards(8).build();
+fn dispatched_install_many_matches_serial_install_loop_in_request_order() {
+    let parallel = Arc::new(Fleet::builder(RuleStore::shared()).shards(8).build());
     let serial = Fleet::builder(RuleStore::shared()).shards(8).build();
+    let exec = executor(parallel.clone());
     let p_ids: Vec<HomeId> = (0..64).map(|_| parallel.create_home()).collect();
     let s_ids: Vec<HomeId> = (0..64).map(|_| serial.create_home()).collect();
 
@@ -64,9 +62,10 @@ fn install_many_matches_serial_install_loop_in_request_order() {
     let mut serial_request: Vec<HomeId> = s_ids.iter().rev().copied().collect();
     serial_request.push(s_ids[5]);
 
-    let outcomes = parallel
-        .install_many(&request, ON_APP, "OnApp", None)
-        .unwrap();
+    let outcomes = exec
+        .install_many(request.clone(), ON_APP.to_string(), "OnApp".to_string())
+        .expect("store queue accepts the coordinator")
+        .expect("source extracts");
     serial.store().ingest(ON_APP, "OnApp").unwrap();
     let reference: Vec<_> = serial_request
         .iter()
@@ -86,16 +85,29 @@ fn install_many_matches_serial_install_loop_in_request_order() {
             (a, b) => panic!("position {pos}: {a:?} vs {b:?}"),
         }
     }
+
+    // A broken source installs nowhere, through the queues too.
+    let broken = exec
+        .install_many(
+            request,
+            "def installed() {".to_string(),
+            "Broken".to_string(),
+        )
+        .unwrap();
+    assert!(broken.is_err(), "extraction failure is typed, not partial");
 }
 
 #[test]
-fn propagate_upgrade_matches_serial_per_home_replay() {
-    force_parallel();
+fn dispatched_propagate_upgrade_matches_serial_per_home_replay() {
     let (parallel, _) = populated(48, 8);
     let (serial, serial_ids) = populated(48, 8);
+    let exec = executor(parallel.clone());
 
     let v2 = format!("{ON_APP}// v2\n");
-    let rollout = parallel.propagate_upgrade(&v2, "OnApp").unwrap();
+    let rollout = exec
+        .propagate_upgrade(v2.clone(), "OnApp".to_string())
+        .unwrap()
+        .unwrap();
 
     // Serial reference: walk every home in id order through the same
     // upgrade (publishing first, exactly as the rollout does).
@@ -136,9 +148,30 @@ fn propagate_upgrade_matches_serial_per_home_replay() {
     assert!(rollout.upgraded.windows(2).all(|w| w[0] < w[1]));
     assert!(rollout.pending.windows(2).all(|w| w[0].0 < w[1].0));
 
+    // The dispatched rollout also equals the fleet's own serial shard
+    // walk, on a third identical fleet.
+    let (inline, _) = populated(48, 8);
+    let inline_rollout = inline.propagate_upgrade(&v2, "OnApp").unwrap();
+    assert_eq!(
+        inline_rollout
+            .upgraded
+            .iter()
+            .map(|id| id.raw())
+            .collect::<Vec<_>>(),
+        rollout
+            .upgraded
+            .iter()
+            .map(|id| id.raw())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(inline_rollout.skipped, rollout.skipped);
+
     // Re-running the rollout is deterministic as well.
     let v3 = format!("{ON_APP}// v3\n");
-    let again = parallel.propagate_upgrade(&v3, "OnApp").unwrap();
+    let again = exec
+        .propagate_upgrade(v3, "OnApp".to_string())
+        .unwrap()
+        .unwrap();
     assert_eq!(again.upgraded, rollout.upgraded);
     assert_eq!(
         again.pending.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
@@ -151,12 +184,62 @@ fn propagate_upgrade_matches_serial_per_home_replay() {
 }
 
 #[test]
-fn force_uninstall_matches_serial_per_home_replay() {
-    force_parallel();
+fn streamed_rollout_parts_merge_to_the_synchronous_result() {
+    let (fleet, _) = populated(36, 6);
+    let (reference_fleet, _) = populated(36, 6);
+    let exec = executor(fleet.clone());
+
+    let v2 = format!("{ON_APP}// v2\n");
+    let mut stream = exec
+        .begin_upgrade(v2.clone(), "OnApp".to_string())
+        .unwrap()
+        .unwrap();
+    let mut seen_shards = Vec::new();
+    while let Some((shard, _part)) = stream.next_part() {
+        seen_shards.push(shard);
+    }
+    // Every shard reported exactly once (arrival order is scheduling-
+    // dependent, the set is not).
+    seen_shards.sort_unstable();
+    assert_eq!(seen_shards, (0..6).collect::<Vec<_>>());
+    let merged = stream.finish();
+
+    let reference = reference_fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+    assert_eq!(
+        merged
+            .upgraded
+            .iter()
+            .map(|id| id.raw())
+            .collect::<Vec<_>>(),
+        reference
+            .upgraded
+            .iter()
+            .map(|id| id.raw())
+            .collect::<Vec<_>>(),
+        "streamed merge must equal the synchronous rollout"
+    );
+    assert_eq!(merged.skipped, reference.skipped);
+    assert_eq!(
+        merged
+            .pending
+            .iter()
+            .map(|(id, _)| id.raw())
+            .collect::<Vec<_>>(),
+        reference
+            .pending
+            .iter()
+            .map(|(id, _)| id.raw())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn dispatched_force_uninstall_matches_serial_per_home_replay() {
     let (parallel, _) = populated(48, 8);
     let (serial, serial_ids) = populated(48, 8);
+    let exec = executor(parallel.clone());
 
-    let outcome = parallel.force_uninstall("OffApp");
+    let outcome = exec.force_uninstall("OffApp".to_string()).unwrap();
 
     let mut ref_removed = Vec::new();
     let mut ref_skipped = 0usize;
@@ -192,10 +275,7 @@ fn force_uninstall_matches_serial_per_home_replay() {
 }
 
 #[test]
-fn parallel_sweeps_skip_poisoned_shards_and_keep_order() {
-    force_parallel();
-    use std::sync::Arc;
-
+fn dispatched_sweeps_skip_poisoned_shards_and_keep_order() {
     let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
     let a = fleet.create_home(); // shard 0
     let b = fleet.create_home(); // shard 1
@@ -209,12 +289,16 @@ fn parallel_sweeps_skip_poisoned_shards_and_keep_order() {
     .join()
     .unwrap_err();
 
+    let exec = executor(fleet.clone());
     let v2 = format!("{ON_APP}// v2\n");
-    let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+    let rollout = exec
+        .propagate_upgrade(v2, "OnApp".to_string())
+        .unwrap()
+        .unwrap();
     assert_eq!(rollout.poisoned_shards, 1);
     assert_eq!(rollout.upgraded, vec![b]);
 
-    let outcome = fleet.force_uninstall("OnApp");
+    let outcome = exec.force_uninstall("OnApp".to_string()).unwrap();
     assert_eq!(outcome.poisoned_shards, 1);
     assert_eq!(
         outcome

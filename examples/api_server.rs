@@ -1,0 +1,179 @@
+//! The fleet over the wire: start the `hg-api` HTTP frontend on a
+//! loopback port, then drive a full provider workflow through it with a
+//! bare `TcpStream` client — session handshake, home creation, a clean
+//! and a conflicting install, user confirmation, a streamed fleet-wide
+//! upgrade rollout (one NDJSON progress line per shard), and the stats
+//! gauges. Everything the server returns is compared against what the
+//! in-process `Fleet` reports directly.
+//!
+//! Run with: `cargo run -p homeguard-examples --bin api_server`
+
+use hg_api::{ApiServer, ServerConfig, SESSION_HEADER};
+use hg_rules::json::Json;
+use hg_service::{Fleet, RuleStore};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// One request over a fresh connection; returns (status, raw body).
+fn call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    token: Option<&str>,
+    body: Option<&Json>,
+) -> (u16, String) {
+    let payload = body.map(|b| b.to_text()).unwrap_or_default();
+    let mut head = format!("{method} {path} HTTP/1.1\r\nhost: fleet\r\nconnection: close\r\n");
+    if let Some(token) = token {
+        head.push_str(&format!("{SESSION_HEADER}: {token}\r\n"));
+    }
+    if !payload.is_empty() {
+        head.push_str(&format!("content-length: {}\r\n", payload.len()));
+    }
+    head.push_str("\r\n");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{head}{payload}").as_bytes())
+        .expect("write");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let split = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("head/body split");
+    let text = String::from_utf8_lossy(&raw).into_owned();
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    (
+        status,
+        String::from_utf8_lossy(&raw[split + 4..]).into_owned(),
+    )
+}
+
+fn json(body: &str) -> Json {
+    Json::parse(body).expect("JSON body")
+}
+
+fn main() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(4).build());
+    let server = ApiServer::start(fleet.clone(), ServerConfig::default()).expect("bind loopback");
+    let addr = server.addr();
+    println!("=== hg-api serving on http://{addr} ===");
+
+    // ---- session handshake ---------------------------------------------
+    let (_, body) = call(addr, "POST", "/sessions", None, None);
+    let token = json(&body)
+        .get("token")
+        .and_then(Json::as_str)
+        .expect("session token")
+        .to_string();
+    println!("session issued: {token}");
+
+    // Without it, mutating routes refuse.
+    let (status, _) = call(addr, "POST", "/homes", None, None);
+    assert_eq!(status, 401, "no token, no homes");
+
+    // ---- homes + installs ----------------------------------------------
+    let mut homes = Vec::new();
+    for _ in 0..6 {
+        let (_, body) = call(addr, "POST", "/homes", Some(&token), None);
+        homes.push(json(&body).get("home").and_then(Json::as_num).unwrap());
+    }
+    println!("created {} homes over HTTP", homes.len());
+
+    let comfort_tv = hg_corpus::benign_app("ComfortTV").expect("corpus app");
+    let cold_defender = hg_corpus::benign_app("ColdDefender").expect("corpus app");
+    let install = |name: &str, source: &str, home: i64| {
+        call(
+            addr,
+            "POST",
+            &format!("/homes/{home}/install"),
+            Some(&token),
+            Some(&Json::obj([
+                ("source", Json::str(source)),
+                ("name", Json::str(name)),
+            ])),
+        )
+    };
+    for &home in &homes {
+        let (status, _) = install(comfort_tv.name, comfort_tv.source, home);
+        assert_eq!(status, 200);
+    }
+
+    // The Fig. 3 conflict pair on the first home: the install comes back
+    // pending with the threat verdict, and confirmation completes it.
+    let (_, body) = install(cold_defender.name, cold_defender.source, homes[0]);
+    let report = json(&body);
+    assert_eq!(report.get("pending"), Some(&Json::Bool(true)));
+    let threats = report.get("threats").and_then(Json::as_arr).unwrap();
+    println!(
+        "dirty install on home {}: {} threat(s), first kind {}",
+        homes[0],
+        threats.len(),
+        threats[0].get("kind").and_then(Json::as_str).unwrap()
+    );
+    let (status, _) = call(
+        addr,
+        "POST",
+        &format!("/homes/{}/confirm", homes[0]),
+        Some(&token),
+        Some(&Json::obj([("app", Json::str(cold_defender.name))])),
+    );
+    assert_eq!(status, 200, "user confirms the flagged install");
+
+    // ---- streamed fleet-wide upgrade -----------------------------------
+    let v2 = format!("{}\n// v2\n", comfort_tv.source);
+    let (status, body) = call(
+        addr,
+        "POST",
+        "/fleet/upgrades",
+        Some(&token),
+        Some(&Json::obj([
+            ("source", Json::str(&v2)),
+            ("name", Json::str(comfort_tv.name)),
+        ])),
+    );
+    assert_eq!(status, 200);
+    // Chunked NDJSON: hex-size lines interleave with payload lines; the
+    // payload lines are the ones that are JSON objects.
+    let lines: Vec<Json> = body
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{'))
+        .filter_map(|l| Json::parse(l).ok())
+        .collect();
+    let (parts, summary): (Vec<&Json>, Vec<&Json>) =
+        lines.iter().partition(|l| l.get("shard").is_some());
+    println!("streamed rollout: {} shard progress lines", parts.len());
+    for part in &parts {
+        println!(
+            "  shard {}: {} upgraded",
+            part.get("shard").and_then(Json::as_num).unwrap(),
+            part.get("upgraded").and_then(Json::as_arr).unwrap().len()
+        );
+    }
+    let merged = summary[0].get("rollout").expect("merged summary line");
+    let upgraded = merged.get("upgraded").and_then(Json::as_arr).unwrap().len();
+    let held = merged.get("pending").and_then(Json::as_arr).unwrap().len();
+    println!("merged rollout: {upgraded} homes upgraded, {held} held for confirmation");
+    // Home 0 runs the conflicting ColdDefender, so its upgrade is held
+    // behind the re-detected Actuator Race; every other home is clean.
+    assert_eq!(upgraded, homes.len() - 1);
+    assert_eq!(held, 1, "the conflicted home waits for the user again");
+
+    // ---- gauges match the in-process fleet -----------------------------
+    let (_, body) = call(addr, "GET", "/stats", None, None);
+    let stats = json(&body);
+    assert_eq!(
+        stats.get("homes").and_then(Json::as_num),
+        Some(fleet.len() as i64)
+    );
+    assert_eq!(stats.get("sessions").and_then(Json::as_num), Some(1));
+    println!("stats: {}", stats.to_text());
+
+    server.shutdown();
+    println!("=== graceful shutdown complete ===");
+}
