@@ -22,9 +22,10 @@
 use hg_service::{
     BulkOutcomes, Fleet, ForceUninstall, HgError, HomeId, ShardRollout, UpgradeRollout,
 };
+use hg_telemetry::TelemetryEvent;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -183,6 +184,11 @@ pub struct FleetExec {
     store_queue: Arc<WorkQueue>,
     workers: Mutex<Vec<JoinHandle<()>>>,
     stopped: AtomicBool,
+    /// Per-shard-worker in-flight job count (0 or 1 — one worker per
+    /// shard): the occupancy gauge `GET /stats` samples.
+    shard_busy: Vec<Arc<AtomicUsize>>,
+    /// Store-pool workers currently running a job.
+    store_busy: Arc<AtomicUsize>,
 }
 
 impl FleetExec {
@@ -193,12 +199,17 @@ impl FleetExec {
             .map(|_| Arc::new(WorkQueue::new(config.queue_capacity)))
             .collect();
         let store_queue = Arc::new(WorkQueue::new(config.queue_capacity));
+        let shard_busy: Vec<Arc<AtomicUsize>> = (0..fleet.shard_count())
+            .map(|_| Arc::new(AtomicUsize::new(0)))
+            .collect();
+        let store_busy = Arc::new(AtomicUsize::new(0));
         let mut workers = Vec::new();
         for (index, queue) in shard_queues.iter().enumerate() {
             workers.push(Self::spawn_worker(
                 format!("hg-api-shard-{index}"),
                 fleet.clone(),
                 queue.clone(),
+                shard_busy[index].clone(),
             ));
         }
         for index in 0..config.store_workers.max(1) {
@@ -206,6 +217,7 @@ impl FleetExec {
                 format!("hg-api-store-{index}"),
                 fleet.clone(),
                 store_queue.clone(),
+                store_busy.clone(),
             ));
         }
         Arc::new(FleetExec {
@@ -214,18 +226,27 @@ impl FleetExec {
             store_queue,
             workers: Mutex::new(workers),
             stopped: AtomicBool::new(false),
+            shard_busy,
+            store_busy,
         })
     }
 
-    fn spawn_worker(name: String, fleet: Arc<Fleet>, queue: Arc<WorkQueue>) -> JoinHandle<()> {
+    fn spawn_worker(
+        name: String,
+        fleet: Arc<Fleet>,
+        queue: Arc<WorkQueue>,
+        busy: Arc<AtomicUsize>,
+    ) -> JoinHandle<()> {
         std::thread::Builder::new()
             .name(name)
             .spawn(move || {
                 while let Some(job) = queue.pop() {
+                    busy.fetch_add(1, Ordering::Relaxed);
                     // A panicking job poisons the shard it held (reported
                     // as `HgError::Poisoned` by later fleet calls); the
                     // worker itself must keep draining its queue.
                     let _ = catch_unwind(AssertUnwindSafe(|| job(&fleet)));
+                    busy.fetch_sub(1, Ordering::Relaxed);
                 }
             })
             .expect("spawning an executor worker")
@@ -246,6 +267,38 @@ impl FleetExec {
         self.store_queue.depth()
     }
 
+    /// Whether each shard's dedicated worker is currently running a job,
+    /// by shard index (a point-in-time occupancy sample; racy by nature).
+    pub fn shard_occupancy(&self) -> Vec<bool> {
+        self.shard_busy
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed) > 0)
+            .collect()
+    }
+
+    /// Store-pool workers currently running a job.
+    pub fn store_busy_workers(&self) -> usize {
+        self.store_busy.load(Ordering::Relaxed)
+    }
+
+    /// The bound every queue (per-shard and store) was built with.
+    pub fn queue_capacity(&self) -> usize {
+        self.store_queue.capacity()
+    }
+
+    /// Publishes a [`TelemetryEvent::QueueSaturated`] for a refused
+    /// submission (no-op when the fleet has no bus attached). `shard` is
+    /// the shard index, or the shard count for the store queue.
+    fn publish_saturated(&self, queue: &'static str, shard: usize, depth: usize) {
+        if let Some(bus) = self.fleet.telemetry() {
+            bus.publish(TelemetryEvent::QueueSaturated {
+                queue,
+                shard: shard as u64,
+                depth: depth as u64,
+            });
+        }
+    }
+
     /// Submits `f` to the worker owning `id`'s shard and blocks for its
     /// result. Jobs for the same shard run in submission order.
     ///
@@ -263,10 +316,17 @@ impl FleetExec {
         R: Send + 'static,
     {
         let (tx, rx) = channel();
-        let queue = &self.shard_queues[self.fleet.shard_of(id)];
-        queue.try_push(Box::new(move |fleet| {
-            let _ = tx.send(f(fleet));
-        }))?;
+        let shard = self.fleet.shard_of(id);
+        let queue = &self.shard_queues[shard];
+        queue
+            .try_push(Box::new(move |fleet| {
+                let _ = tx.send(f(fleet));
+            }))
+            .inspect_err(|refusal| {
+                if let ExecError::Busy { depth } = refusal {
+                    self.publish_saturated("shard", shard, *depth);
+                }
+            })?;
         rx.recv().map_err(|_| ExecError::Gone)
     }
 
@@ -283,9 +343,15 @@ impl FleetExec {
         R: Send + 'static,
     {
         let (tx, rx) = channel();
-        self.store_queue.try_push(Box::new(move |fleet| {
-            let _ = tx.send(f(fleet));
-        }))?;
+        self.store_queue
+            .try_push(Box::new(move |fleet| {
+                let _ = tx.send(f(fleet));
+            }))
+            .inspect_err(|refusal| {
+                if let ExecError::Busy { depth } = refusal {
+                    self.publish_saturated("store", self.fleet.shard_count(), *depth);
+                }
+            })?;
         rx.recv().map_err(|_| ExecError::Gone)
     }
 

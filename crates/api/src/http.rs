@@ -42,6 +42,8 @@ pub struct Request {
     pub method: String,
     /// The request path, query string stripped.
     pub path: String,
+    /// The raw query string (text after `?`, empty when absent).
+    pub query: String,
     /// Headers with lower-cased names, in arrival order.
     pub headers: Vec<(String, String)>,
     /// The body (empty when no `Content-Length` was sent).
@@ -57,6 +59,16 @@ impl Request {
             .iter()
             .find(|(k, _)| k == name)
             .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter (`?name=value&…`). A bare `name`
+    /// with no `=` yields `Some("")`. No percent-decoding — this API's
+    /// parameter values are all token-shaped.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+            (key == name).then_some(value)
+        })
     }
 }
 
@@ -152,7 +164,10 @@ pub fn read_request(
     if !target.starts_with('/') {
         return Err(ParseError::new(400, "request target must be origin-form"));
     }
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((path, query)) => (path.to_string(), query.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     loop {
@@ -214,6 +229,7 @@ pub fn read_request(
     Ok(Some(Request {
         method: method.to_string(),
         path,
+        query,
         headers,
         body,
         keep_alive,
@@ -291,7 +307,13 @@ impl Response {
     /// Propagates the transport's I/O errors.
     pub fn write_to(&self, stream: &mut impl Write, keep_alive: bool) -> std::io::Result<()> {
         let mut head = format!("HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
-        head.push_str("content-type: application/json\r\n");
+        if !self
+            .headers
+            .iter()
+            .any(|(name, _)| name.eq_ignore_ascii_case("content-type"))
+        {
+            head.push_str("content-type: application/json\r\n");
+        }
         for (name, value) in &self.headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
@@ -374,6 +396,9 @@ mod tests {
                 .unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/homes");
+        assert_eq!(req.query, "verbose=1");
+        assert_eq!(req.query_param("verbose"), Some("1"));
+        assert_eq!(req.query_param("missing"), None);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"{}");
         assert!(req.keep_alive);

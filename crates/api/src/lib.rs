@@ -22,7 +22,13 @@
 //!   ownership, server-side stashing of dirty install reports for the
 //!   confirm flow, and a periodic expiry reaper.
 //! * **Backpressure** — full queues surface as `429` with `Retry-After`
-//!   before any work is admitted.
+//!   before any work is admitted (and publish `queue_saturated` events
+//!   when telemetry is on).
+//! * **Observability** — a [`TelemetryHub`] (on by default) attaches the
+//!   fleet event bus and serves `GET /metrics` (JSON or Prometheus text),
+//!   `GET /analytics/{interference,hot-pairs,latency}` and a live
+//!   `GET /events/stream` NDJSON tail; fleet snapshots carry the
+//!   aggregates as a versioned envelope so restarts restore warm.
 //!
 //! See [`routes`] for the endpoint table and [`ApiServer`] to run one.
 //!
@@ -52,7 +58,7 @@ pub mod wire;
 
 pub use exec::{ExecConfig, ExecError, FleetExec, RolloutStream, WorkQueue};
 pub use http::{Limits, Request, Response};
-pub use routes::{AppState, SESSION_HEADER};
+pub use routes::{AppState, EventStream, SESSION_HEADER};
 pub use server::{ApiServer, ServerConfig};
 pub use session::SessionStore;
 pub use wire::ApiError;
@@ -60,3 +66,7 @@ pub use wire::ApiError;
 // Re-exported so examples and tests can build a fleet without naming the
 // service crate separately.
 pub use hg_service::Fleet;
+
+// Re-exported so clients can drive the hub (sync for exact scrapes, the
+// bus for in-process tails) without naming the telemetry crate.
+pub use hg_telemetry::{MetricsRegistry, TelemetryBus, TelemetryEvent, TelemetryHub};

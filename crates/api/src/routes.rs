@@ -16,25 +16,32 @@
 //! | `POST /fleet/install_many` | token | bulk install via the queue executor |
 //! | `POST /fleet/upgrades` | token | streamed fleet rollout |
 //! | `POST /fleet/uninstall` | token | fleet-wide forced uninstall |
-//! | `GET /snapshot` | token | full fleet snapshot |
+//! | `GET /snapshot` | token | full fleet snapshot (+ telemetry envelope) |
 //! | `POST /restore` | token | revive a fleet from a snapshot |
 //! | `GET /stats` | — | fleet + queue + session gauges |
+//! | `GET /metrics` | — | metrics registry (JSON; `?format=prometheus`) |
+//! | `GET /analytics/interference` | — | per-app interference-rate table |
+//! | `GET /analytics/hot-pairs` | — | verdict-cache hot-pair leaderboard |
+//! | `GET /analytics/latency` | — | decision/pair-check latency histograms |
+//! | `GET /events/stream` | — | live NDJSON event tail (`?cursor&limit&max_ms`) |
 //!
 //! Every per-home mutation dispatches through [`FleetExec`], so a full
 //! shard queue surfaces as `429` with `Retry-After` **before** any work
-//! is admitted.
+//! is admitted — and, when telemetry is on, as a `queue_saturated` event.
 
 use crate::exec::{ExecConfig, FleetExec, RolloutStream};
 use crate::http::{Request, Response};
 use crate::session::SessionStore;
 use crate::wire::{
-    bulk_json, force_uninstall_json, install_report_json, need_home_ids, need_str, parse_body,
-    uninstall_report_json, ApiError,
+    bulk_json, force_uninstall_json, hot_pairs_json, install_report_json, need_home_ids, need_str,
+    parse_body, uninstall_report_json, ApiError,
 };
 use hg_persist::FleetSnapshot;
 use hg_rules::json::Json;
 use hg_service::{Fleet, HomeId};
+use hg_telemetry::{TelemetryBus, TelemetryHub};
 use std::sync::{Arc, RwLock};
+use std::time::Duration;
 
 /// Header carrying the bearer token.
 pub const SESSION_HEADER: &str = "x-session";
@@ -45,16 +52,34 @@ pub struct AppState {
     exec: RwLock<Arc<FleetExec>>,
     sessions: SessionStore,
     exec_config: ExecConfig,
+    telemetry: Option<Arc<TelemetryHub>>,
 }
 
 impl AppState {
-    /// State over a freshly started executor for `fleet`.
-    pub fn new(fleet: Arc<Fleet>, exec_config: ExecConfig, sessions: SessionStore) -> AppState {
+    /// State over a freshly started executor for `fleet`. With a
+    /// `telemetry` hub, the hub's bus is attached to the fleet before any
+    /// request is served (and re-attached to every fleet `POST /restore`
+    /// swaps in), and the observability routes come alive.
+    pub fn new(
+        fleet: Arc<Fleet>,
+        exec_config: ExecConfig,
+        sessions: SessionStore,
+        telemetry: Option<Arc<TelemetryHub>>,
+    ) -> AppState {
+        if let Some(hub) = &telemetry {
+            fleet.attach_telemetry(hub.bus().clone());
+        }
         AppState {
             exec: RwLock::new(FleetExec::start(fleet, exec_config.clone())),
             sessions,
             exec_config,
+            telemetry,
         }
+    }
+
+    /// The telemetry hub, when observability is enabled.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryHub>> {
+        self.telemetry.as_ref()
     }
 
     /// The live executor (the restore route swaps it atomically).
@@ -76,6 +101,9 @@ impl AppState {
     }
 
     fn swap_fleet(&self, fleet: Arc<Fleet>) {
+        if let Some(hub) = &self.telemetry {
+            fleet.attach_telemetry(hub.bus().clone());
+        }
         let fresh = FleetExec::start(fleet, self.exec_config.clone());
         let old = std::mem::replace(
             &mut *self
@@ -88,12 +116,35 @@ impl AppState {
     }
 }
 
-/// What a route produced: a buffered response or a rollout to stream.
+/// A live NDJSON tail of the fleet event bus, produced by
+/// `GET /events/stream` and driven by the connection handler: drain from
+/// `cursor`, emit one JSON line per event, park on the bus between
+/// batches, stop after `limit` events or `max_ms` elapsed. Both bounds
+/// are hard-capped at parse time, so a stream can never pin an HTTP
+/// worker past its window; a reader slower than the bus's retention
+/// simply misses the dropped-oldest events (each line carries `seq`, so
+/// gaps are visible).
+pub struct EventStream {
+    /// The bus to tail.
+    pub bus: Arc<TelemetryBus>,
+    /// Starting cursor (sequence number; older events already evicted are
+    /// skipped).
+    pub cursor: u64,
+    /// Stop after this many events.
+    pub limit: usize,
+    /// Stop after this much wall-clock time.
+    pub window: Duration,
+}
+
+/// What a route produced: a buffered response or a stream to drive.
 pub enum Reply {
     /// A complete response.
     Full(Response),
     /// A chunked-stream rollout (the connection handler drives it).
     Stream(RolloutStream),
+    /// A chunked NDJSON live event tail (the connection handler drives
+    /// it).
+    Events(EventStream),
 }
 
 impl From<Response> for Reply {
@@ -116,6 +167,69 @@ pub fn error_response(error: &ApiError) -> Response {
         response.with_header("retry-after", "1")
     } else {
         response
+    }
+}
+
+/// How long observability routes wait for the collector to catch up with
+/// everything already published, so rendered totals are exact.
+const SYNC_WINDOW: Duration = Duration::from_secs(2);
+
+/// The telemetry hub, or the 404 every observability route answers when
+/// the server runs with telemetry off.
+fn need_hub(state: &AppState) -> Result<&Arc<TelemetryHub>, ApiError> {
+    state.telemetry().ok_or_else(|| {
+        ApiError::new(
+            404,
+            "telemetry_disabled",
+            "this server runs with telemetry disabled",
+        )
+    })
+}
+
+/// Parses an optional non-negative integer query parameter.
+fn query_num(req: &Request, name: &str) -> Result<Option<u64>, ApiError> {
+    match req.query_param(name) {
+        None => Ok(None),
+        Some(raw) => raw.parse::<u64>().map(Some).map_err(|_| {
+            ApiError::bad_request(format!(
+                "query parameter `{name}` must be a non-negative integer, got `{raw}`"
+            ))
+        }),
+    }
+}
+
+/// `GET /metrics`: samples the pull-style gauges, waits for the collector
+/// to drain the bus, then renders the registry as JSON (default) or
+/// Prometheus text (`?format=prometheus`).
+fn metrics_route(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
+    let hub = need_hub(state)?;
+    let exec = state.exec();
+    let registry = hub.registry();
+    for (index, depth) in exec.shard_depths().into_iter().enumerate() {
+        registry.set_gauge(format!("shard_{index}_queue_depth"), depth as i64);
+    }
+    let busy_shards = exec.shard_occupancy().iter().filter(|busy| **busy).count();
+    registry.set_gauge("shard_workers_busy", busy_shards as i64);
+    registry.set_gauge("store_queue_depth", exec.store_depth() as i64);
+    registry.set_gauge("store_workers_busy", exec.store_busy_workers() as i64);
+    registry.set_gauge("queue_capacity", exec.queue_capacity() as i64);
+    registry.set_gauge("bus_dropped_events", hub.bus().dropped_events() as i64);
+    registry.set_gauge("fleet_homes", exec.fleet().len() as i64);
+    hub.sync(SYNC_WINDOW);
+    match req.query_param("format") {
+        Some("prometheus") => Ok(Response {
+            status: 200,
+            headers: vec![(
+                "content-type".to_string(),
+                "text/plain; version=0.0.4".to_string(),
+            )],
+            body: registry.render_prometheus().into_bytes(),
+        }
+        .into()),
+        None | Some("json") => Ok(Response::json(200, &registry.to_json()).into()),
+        Some(other) => Err(ApiError::bad_request(format!(
+            "unknown metrics format `{other}` (expected `json` or `prometheus`)"
+        ))),
     }
 }
 
@@ -194,13 +308,70 @@ fn dispatch(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
             Ok(Response::json(201, &Json::obj([("home", Json::Num(id.raw() as i64))])).into())
         }
         ("GET", "/stats") => Ok(Response::json(200, &stats_json(state)).into()),
+        ("GET", "/metrics") => metrics_route(state, req),
+        ("GET", "/analytics/interference") => {
+            let hub = need_hub(state)?;
+            hub.sync(SYNC_WINDOW);
+            Ok(Response::json(
+                200,
+                &Json::obj([("interference", hub.registry().interference_json())]),
+            )
+            .into())
+        }
+        ("GET", "/analytics/hot-pairs") => {
+            need_hub(state)?;
+            let limit = query_num(req, "limit")?.unwrap_or(10).clamp(1, 100) as usize;
+            let pairs = state
+                .exec()
+                .fleet()
+                .store()
+                .verdict_cache()
+                .top_pairs(limit);
+            Ok(Response::json(200, &Json::obj([("hot_pairs", hot_pairs_json(&pairs))])).into())
+        }
+        ("GET", "/analytics/latency") => {
+            let hub = need_hub(state)?;
+            hub.sync(SYNC_WINDOW);
+            Ok(Response::json(
+                200,
+                &Json::obj([(
+                    "histograms",
+                    hub.registry().histograms_json(&[
+                        "mediation_latency_ns",
+                        "pair_check_micros_cached",
+                        "pair_check_micros_uncached",
+                        "install_micros",
+                    ]),
+                )]),
+            )
+            .into())
+        }
+        ("GET", "/events/stream") => {
+            let hub = need_hub(state)?;
+            let cursor = query_num(req, "cursor")?.unwrap_or(0);
+            let limit = query_num(req, "limit")?.unwrap_or(256).min(10_000) as usize;
+            let max_ms = query_num(req, "max_ms")?.unwrap_or(1_000).min(30_000);
+            Ok(Reply::Events(EventStream {
+                bus: hub.bus().clone(),
+                cursor,
+                limit,
+                window: Duration::from_millis(max_ms),
+            }))
+        }
         ("GET", "/snapshot") => {
             token(state, req)?;
             let exec = state.exec();
-            let snapshot = exec
+            let mut snapshot = exec
                 .run_on_store(|fleet| fleet.snapshot())
                 .map_err(ApiError::from)?
                 .map_err(ApiError::from)?;
+            if let Some(hub) = state.telemetry() {
+                // Fold in everything published up to the capture, so the
+                // envelope's aggregates match the ground truth they rode
+                // along with.
+                hub.sync(SYNC_WINDOW);
+                snapshot.telemetry = Some(hub.registry().export_state());
+            }
             Ok(Response {
                 status: 200,
                 headers: Vec::new(),
@@ -212,7 +383,12 @@ fn dispatch(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
             token(state, req)?;
             let text = std::str::from_utf8(&req.body)
                 .map_err(|_| ApiError::bad_request("snapshot is not UTF-8"))?;
-            let snapshot = FleetSnapshot::from_text(text).map_err(ApiError::from)?;
+            let mut snapshot = FleetSnapshot::from_text(text).map_err(ApiError::from)?;
+            if let (Some(hub), Some(envelope)) = (state.telemetry(), snapshot.telemetry.take()) {
+                hub.registry().absorb_state(&envelope).map_err(|why| {
+                    ApiError::bad_request(format!("telemetry envelope refused: {why}"))
+                })?;
+            }
             let fleet = Arc::new(Fleet::restore(snapshot).map_err(ApiError::from)?);
             let homes = fleet.len();
             state.swap_fleet(fleet);
@@ -363,6 +539,9 @@ fn home_route(
 fn stats_json(state: &AppState) -> Json {
     let exec = state.exec();
     let fleet = exec.fleet();
+    let capacity = exec.queue_capacity() as i64;
+    let depths = exec.shard_depths();
+    let occupancy = exec.shard_occupancy();
     Json::obj([
         ("homes", Json::Num(fleet.len() as i64)),
         ("shards", Json::Num(fleet.shard_count() as i64)),
@@ -373,13 +552,33 @@ fn stats_json(state: &AppState) -> Json {
         ("sessions", Json::Num(state.sessions.len() as i64)),
         (
             "shard_queue_depths",
+            Json::Arr(depths.iter().map(|d| Json::Num(*d as i64)).collect()),
+        ),
+        ("store_queue_depth", Json::Num(exec.store_depth() as i64)),
+        (
+            "shard_queues",
             Json::Arr(
-                exec.shard_depths()
-                    .into_iter()
-                    .map(|d| Json::Num(d as i64))
+                depths
+                    .iter()
+                    .zip(occupancy.iter())
+                    .map(|(depth, busy)| {
+                        Json::obj([
+                            ("depth", Json::Num(*depth as i64)),
+                            ("capacity", Json::Num(capacity)),
+                            ("busy", Json::Bool(*busy)),
+                        ])
+                    })
                     .collect(),
             ),
         ),
-        ("store_queue_depth", Json::Num(exec.store_depth() as i64)),
+        (
+            "store_queue",
+            Json::obj([
+                ("depth", Json::Num(exec.store_depth() as i64)),
+                ("capacity", Json::Num(capacity)),
+                ("busy_workers", Json::Num(exec.store_busy_workers() as i64)),
+            ]),
+        ),
+        ("telemetry", Json::Bool(state.telemetry.is_some())),
     ])
 }

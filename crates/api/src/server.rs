@@ -12,11 +12,12 @@
 
 use crate::exec::ExecConfig;
 use crate::http::{read_request, ChunkedWriter, Limits};
-use crate::routes::{error_response, handle, AppState, Reply};
+use crate::routes::{error_response, handle, AppState, EventStream, Reply};
 use crate::session::SessionStore;
 use crate::wire::{rollout_json, shard_part_json, ApiError};
 use hg_rules::json::Json;
 use hg_service::Fleet;
+use hg_telemetry::TelemetryHub;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -43,6 +44,10 @@ pub struct ServerConfig {
     /// Per-connection socket read/write timeout — a stalled peer cannot
     /// pin a worker forever.
     pub io_timeout: Duration,
+    /// Whether to run the telemetry hub (event bus + metrics collector)
+    /// and serve the observability routes. Off, those routes answer 404
+    /// and the fleet publishes nothing.
+    pub telemetry: bool,
 }
 
 impl Default for ServerConfig {
@@ -55,11 +60,12 @@ impl Default for ServerConfig {
             session_ttl: Duration::from_secs(1800),
             reap_interval: Duration::from_secs(60),
             io_timeout: Duration::from_secs(10),
+            telemetry: true,
         }
     }
 }
 
-struct Shutdown {
+pub(crate) struct Shutdown {
     stop: AtomicBool,
     gate: Mutex<()>,
     bell: Condvar,
@@ -105,10 +111,12 @@ impl ApiServer {
     pub fn start(fleet: Arc<Fleet>, config: ServerConfig) -> std::io::Result<ApiServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let telemetry = config.telemetry.then(TelemetryHub::start);
         let state = Arc::new(AppState::new(
             fleet,
             config.exec.clone(),
             SessionStore::new(config.session_ttl),
+            telemetry,
         ));
         let shutdown = Arc::new(Shutdown {
             stop: AtomicBool::new(false),
@@ -125,6 +133,7 @@ impl ApiServer {
                 state.clone(),
                 conn_rx.clone(),
                 config.clone(),
+                shutdown.clone(),
             ));
         }
         threads.push(Self::spawn_acceptor(listener, conn_tx, shutdown.clone()));
@@ -169,6 +178,7 @@ impl ApiServer {
         state: Arc<AppState>,
         conn_rx: Arc<Mutex<Receiver<TcpStream>>>,
         config: ServerConfig,
+        shutdown: Arc<Shutdown>,
     ) -> JoinHandle<()> {
         std::thread::Builder::new()
             .name(format!("hg-api-http-{index}"))
@@ -178,7 +188,7 @@ impl ApiServer {
                     guard.recv()
                 };
                 match next {
-                    Ok(stream) => serve_connection(&state, stream, &config),
+                    Ok(stream) => serve_connection(&state, stream, &config, &shutdown),
                     Err(_) => return,
                 }
             })
@@ -230,6 +240,9 @@ impl ApiServer {
             let _ = thread.join();
         }
         self.state.stop();
+        if let Some(hub) = self.state.telemetry() {
+            hub.stop();
+        }
     }
 }
 
@@ -240,7 +253,12 @@ impl Drop for ApiServer {
 }
 
 /// Serves one connection's keep-alive loop.
-fn serve_connection(state: &AppState, stream: TcpStream, config: &ServerConfig) {
+fn serve_connection(
+    state: &AppState,
+    stream: TcpStream,
+    config: &ServerConfig,
+    shutdown: &Shutdown,
+) {
     let _ = stream.set_read_timeout(Some(config.io_timeout));
     let _ = stream.set_write_timeout(Some(config.io_timeout));
     let Ok(write_half) = stream.try_clone() else {
@@ -270,6 +288,10 @@ fn serve_connection(state: &AppState, stream: TcpStream, config: &ServerConfig) 
                 // Chunked responses advertise `connection: close`.
                 return;
             }
+            Reply::Events(spec) => {
+                let _ = stream_events(&mut writer, spec, shutdown);
+                return;
+            }
         }
         if !keep_alive {
             return;
@@ -293,5 +315,52 @@ fn stream_rollout(
     let mut line = Json::obj([("rollout", rollout_json(&merged))]).to_text();
     line.push('\n');
     chunked.chunk(line.as_bytes())?;
+    chunked.finish()
+}
+
+/// Longest single park on the bus while tailing events — short enough
+/// that server shutdown and window expiry are noticed promptly.
+const EVENT_WAIT_SLICE: Duration = Duration::from_millis(250);
+
+/// Drives a live NDJSON event tail: drain the bus from the cursor, write
+/// one JSON line per event, park briefly between batches. Ends at the
+/// event limit, the wall-clock window, server shutdown, or a write error
+/// (the client went away) — whichever comes first, so a slow or absent
+/// reader can never wedge an HTTP worker.
+fn stream_events(
+    writer: &mut impl Write,
+    spec: EventStream,
+    shutdown: &Shutdown,
+) -> std::io::Result<()> {
+    let mut chunked = ChunkedWriter::begin(writer, 200)?;
+    let deadline = std::time::Instant::now() + spec.window;
+    let mut cursor = spec.cursor;
+    let mut sent = 0usize;
+    let mut batch = Vec::new();
+    'tail: loop {
+        batch.clear();
+        cursor = spec.bus.drain_since(cursor, &mut batch);
+        for (seq, event) in &batch {
+            let mut line = event.to_json(*seq).to_text();
+            line.push('\n');
+            chunked.chunk(line.as_bytes())?;
+            sent += 1;
+            if sent >= spec.limit {
+                break 'tail;
+            }
+        }
+        loop {
+            if shutdown.stop.load(Ordering::SeqCst) {
+                break 'tail;
+            }
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break 'tail;
+            }
+            if spec.bus.wait_for_events(cursor, left.min(EVENT_WAIT_SLICE)) {
+                continue 'tail;
+            }
+        }
+    }
     chunked.finish()
 }

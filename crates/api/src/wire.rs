@@ -6,7 +6,7 @@
 //! ([`ApiError::from`]), so a client can switch on status alone and read
 //! the machine-readable `code` for the exact variant.
 
-use hg_detector::Threat;
+use hg_detector::{HotPair, Threat};
 use hg_rules::json::{Json, JsonError};
 use hg_service::{
     BulkOutcomes, ForceUninstall, HgError, InstallReport, ShardRollout, UninstallReport,
@@ -291,6 +291,25 @@ pub fn force_uninstall_json(outcome: &ForceUninstall) -> Json {
         ("poisoned_shards", Json::Num(outcome.poisoned_shards as i64)),
         ("store_retired", Json::Bool(outcome.store_retired)),
     ])
+}
+
+/// Encodes the verdict-cache hot-pair leaderboard (the
+/// `/analytics/hot-pairs` body): which app pairs the fleet re-checks
+/// most, and how much interference they carry.
+pub fn hot_pairs_json(pairs: &[HotPair]) -> Json {
+    Json::Arr(
+        pairs
+            .iter()
+            .map(|pair| {
+                Json::obj([
+                    ("apps", Json::Arr(pair.apps.iter().map(Json::str).collect())),
+                    ("hits", Json::Num(pair.hits as i64)),
+                    ("entries", Json::Num(pair.entries as i64)),
+                    ("threats", Json::Num(pair.threats as i64)),
+                ])
+            })
+            .collect(),
+    )
 }
 
 /// Parses a request body as a JSON object.

@@ -6,9 +6,11 @@
 mod common;
 
 use common::{app_body, send, OFF_APP, ON_APP};
-use hg_api::{ApiServer, ExecConfig, ServerConfig};
+use hg_api::{ApiServer, ExecConfig, ServerConfig, TelemetryEvent};
 use hg_rules::json::Json;
 use hg_service::{Fleet, HomeId, RuleStore};
+use std::io::{Read, Write};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -479,6 +481,281 @@ fn saturated_shard_queue_answers_429_with_retry_after() {
         Some(&app_body(ON_APP, "OnApp")),
     );
     assert_eq!(accepted.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn metrics_and_analytics_reconcile_exactly_with_observed_traffic() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+    let server = start(
+        fleet,
+        ExecConfig::default(),
+        Duration::from_secs(60),
+        Duration::from_secs(60),
+    );
+    let addr = server.addr();
+    let token = session(&server);
+    let home_a = create_home(&server, &token);
+    let home_b = create_home(&server, &token);
+
+    // Known traffic: 2 clean installs, 1 dirty install (confirmed — the
+    // confirm itself is not a fresh attempt, so it publishes no event).
+    send(
+        addr,
+        "POST",
+        &format!("/homes/{home_a}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+    let dirty = send(
+        addr,
+        "POST",
+        &format!("/homes/{home_a}/install"),
+        Some(&token),
+        Some(&app_body(OFF_APP, "OffApp")),
+    );
+    let threat_count = dirty
+        .json()
+        .get("threats")
+        .and_then(Json::as_arr)
+        .expect("threats array")
+        .len() as i64;
+    assert!(threat_count > 0, "OffApp must conflict with OnApp");
+    send(
+        addr,
+        "POST",
+        &format!("/homes/{home_a}/confirm"),
+        Some(&token),
+        Some(&Json::obj([("app", Json::str("OffApp"))])),
+    );
+    send(
+        addr,
+        "POST",
+        &format!("/homes/{home_b}/install"),
+        Some(&token),
+        Some(&app_body(ON_APP, "OnApp")),
+    );
+
+    // /metrics waits for the collector, so totals are exact, not racy.
+    let metrics = send(addr, "GET", "/metrics", None, None);
+    assert_eq!(metrics.status, 200);
+    let body = metrics.json();
+    let counter = |name: &str| {
+        body.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Json::as_num)
+            .unwrap_or(0)
+    };
+    assert_eq!(counter("homes_created_total"), 2);
+    assert_eq!(counter("installs_total"), 3);
+    assert_eq!(counter("installs_clean_total"), 2);
+    assert_eq!(counter("installs_dirty_total"), 1);
+    assert_eq!(counter("threats_total"), threat_count);
+    assert_eq!(
+        body.get("gauges")
+            .and_then(|g| g.get("fleet_homes"))
+            .and_then(Json::as_num),
+        Some(2)
+    );
+
+    // The Prometheus rendering carries the same totals as labeled text.
+    let prom = send(addr, "GET", "/metrics?format=prometheus", None, None);
+    assert_eq!(prom.status, 200);
+    assert!(prom
+        .header("content-type")
+        .is_some_and(|ct| ct.starts_with("text/plain")));
+    let text = String::from_utf8(prom.body.clone()).unwrap();
+    assert!(text.contains("hg_installs_total 3"));
+    assert!(text.contains("hg_app_interference_rate{app=\"OffApp\"} 1.0"));
+
+    // Analytics: OffApp tops the interference table (its one attempt was
+    // dirty), the hot-pair board knows the OnApp/OffApp pair, and the
+    // install histogram saw exactly the three attempts.
+    let interference = send(addr, "GET", "/analytics/interference", None, None);
+    let rows = interference
+        .json()
+        .get("interference")
+        .and_then(Json::as_arr)
+        .expect("interference rows")
+        .to_vec();
+    assert_eq!(rows[0].get("app").and_then(Json::as_str), Some("OffApp"));
+    assert_eq!(rows[0].get("dirty").and_then(Json::as_num), Some(1));
+    assert_eq!(rows[0].get("rate_pct").and_then(Json::as_num), Some(10_000));
+
+    let hot = send(addr, "GET", "/analytics/hot-pairs?limit=5", None, None);
+    assert_eq!(hot.status, 200);
+    let pairs = hot
+        .json()
+        .get("hot_pairs")
+        .and_then(Json::as_arr)
+        .expect("hot pairs")
+        .to_vec();
+    assert!(
+        pairs.iter().any(|p| {
+            p.get("apps")
+                .and_then(Json::as_arr)
+                .is_some_and(|apps| apps.iter().filter_map(Json::as_str).eq(["OffApp", "OnApp"]))
+        }),
+        "the conflicting pair must be on the leaderboard"
+    );
+
+    let latency = send(addr, "GET", "/analytics/latency", None, None);
+    assert_eq!(
+        latency
+            .json()
+            .get("histograms")
+            .and_then(|h| h.get("install_micros"))
+            .and_then(|h| h.get("count"))
+            .and_then(Json::as_num),
+        Some(3)
+    );
+
+    // /stats exposes the executor gauges: per-shard queue shape and the
+    // store pool, plus the telemetry switch.
+    let stats = send(addr, "GET", "/stats", None, None).json();
+    assert_eq!(stats.get("telemetry"), Some(&Json::Bool(true)));
+    let shard_queues = stats
+        .get("shard_queues")
+        .and_then(Json::as_arr)
+        .expect("shard queue gauges");
+    assert_eq!(shard_queues.len(), 2);
+    for queue in shard_queues {
+        assert_eq!(queue.get("depth").and_then(Json::as_num), Some(0));
+        assert_eq!(
+            queue.get("capacity").and_then(Json::as_num),
+            Some(ExecConfig::default().queue_capacity as i64)
+        );
+        assert_eq!(queue.get("busy"), Some(&Json::Bool(false)));
+    }
+    assert_eq!(
+        stats
+            .get("store_queue")
+            .and_then(|q| q.get("depth"))
+            .and_then(Json::as_num),
+        Some(0)
+    );
+
+    // Unknown format is a typed 400; disabled telemetry is a typed 404.
+    assert_eq!(
+        send(addr, "GET", "/metrics?format=xml", None, None).status,
+        400
+    );
+    server.shutdown();
+
+    let dark_fleet = Arc::new(Fleet::new(RuleStore::shared()));
+    let dark = ApiServer::start(
+        dark_fleet,
+        ServerConfig {
+            telemetry: false,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let refused = send(dark.addr(), "GET", "/metrics", None, None);
+    assert_eq!(refused.status, 404);
+    assert_eq!(
+        refused
+            .json()
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("telemetry_disabled")
+    );
+    assert_eq!(
+        send(dark.addr(), "GET", "/stats", None, None)
+            .json()
+            .get("telemetry"),
+        Some(&Json::Bool(false))
+    );
+    dark.shutdown();
+}
+
+#[test]
+fn event_stream_tails_live_events_and_a_slow_reader_cannot_wedge_a_worker() {
+    let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
+    let server = start(
+        fleet,
+        ExecConfig::default(),
+        Duration::from_secs(60),
+        Duration::from_secs(60),
+    );
+    let addr = server.addr();
+    let bus = server
+        .state()
+        .telemetry()
+        .expect("telemetry on by default")
+        .bus()
+        .clone();
+
+    // Some history before the stream opens…
+    for home in 0..3 {
+        bus.publish(TelemetryEvent::HomeCreated { home });
+    }
+
+    // …then a deliberately slow reader: request the tail, go silent, and
+    // let the bus overflow its retention while nothing is consumed.
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream
+        .write_all(
+            b"GET /events/stream?cursor=0&limit=5&max_ms=5000 HTTP/1.1\r\n\
+              host: loopback\r\nconnection: close\r\n\r\n",
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    // More events than default retention holds (8 rings × 4096), so the
+    // flood must shed history while the reader sits on an unread socket.
+    for home in 0..40_000u64 {
+        bus.publish(TelemetryEvent::HomeCreated { home });
+    }
+    assert!(
+        bus.dropped_events() > 0,
+        "the flood must overflow retention — publishers drop oldest, never block"
+    );
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("stream completes");
+    let reply = common::parse_reply(&raw);
+    assert_eq!(reply.status, 200);
+    assert_eq!(reply.header("content-type"), Some("application/x-ndjson"));
+    let lines = reply.ndjson_lines();
+    assert_eq!(lines.len(), 5, "the limit bounds the stream");
+    let seqs: Vec<i64> = lines
+        .iter()
+        .map(|l| l.get("seq").and_then(Json::as_num).expect("seq"))
+        .collect();
+    assert!(
+        seqs.windows(2).all(|w| w[0] < w[1]),
+        "sequence numbers must strictly increase (gaps mark drops): {seqs:?}"
+    );
+    assert!(lines
+        .iter()
+        .all(|l| l.get("type").and_then(Json::as_str) == Some("home_created")));
+
+    // The worker is free again: the server keeps serving.
+    assert_eq!(send(addr, "GET", "/stats", None, None).status, 200);
+
+    // With no events arriving, the wall-clock window ends the stream.
+    let started = std::time::Instant::now();
+    let idle = common::parse_reply(&common::send_raw(
+        addr,
+        b"GET /events/stream?cursor=99999999&max_ms=300 HTTP/1.1\r\n\
+          host: loopback\r\nconnection: close\r\n\r\n",
+    ));
+    assert_eq!(idle.status, 200);
+    assert!(idle.ndjson_lines().is_empty(), "nothing new to tail");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "the window must bound the idle stream"
+    );
+
+    // Bad cursor input is a typed 400, not a hung stream.
+    assert_eq!(
+        send(addr, "GET", "/events/stream?cursor=banana", None, None).status,
+        400
+    );
     server.shutdown();
 }
 

@@ -64,6 +64,6 @@ pub mod home;
 pub mod store;
 
 pub use error::{HgError, HomeId};
-pub use hg_runtime::{HandlingPolicy, PolicyTable, SharedEnforcer};
+pub use hg_runtime::{HandlingPolicy, MediationStats, PolicyTable, SharedEnforcer};
 pub use home::{Home, HomeBuilder, HomeState, InstallReport, UnificationPolicy, UninstallReport};
 pub use store::{RuleStore, StoreAppState, StoreState};

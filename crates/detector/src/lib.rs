@@ -66,4 +66,4 @@ pub use incremental::DetectionEngine;
 pub use index::{actuator_key, CandidateIndex, PreparedRule};
 pub use overlap::{OverlapSolver, Unification, UserValues};
 pub use report::{DetectStats, Threat, ThreatKind};
-pub use verdict_cache::{CacheStats, PairKey, VerdictCache};
+pub use verdict_cache::{CacheStats, HotPair, PairKey, VerdictCache};

@@ -87,6 +87,10 @@ struct CachedVerdict {
     stats: DetectStats,
     apps: [String; 2],
     last_used: AtomicU64,
+    /// Hits this entry has served — the raw material of the hot-pair
+    /// leaderboard ([`VerdictCache::top_pairs`]). Atomic for the same
+    /// reason as `last_used`: the hit fast path holds only a read lock.
+    hits: AtomicU64,
 }
 
 #[derive(Debug, Default)]
@@ -249,6 +253,7 @@ impl VerdictCache {
                     self.clock.fetch_add(1, Ordering::Relaxed),
                     Ordering::Relaxed,
                 );
+                verdict.hits.fetch_add(1, Ordering::Relaxed);
                 Some((verdict.threats.clone(), verdict.stats))
             }
             None => {
@@ -278,6 +283,7 @@ impl VerdictCache {
             stats,
             apps: [apps[0].to_string(), apps[1].to_string()],
             last_used: AtomicU64::new(self.clock.fetch_add(1, Ordering::Relaxed)),
+            hits: AtomicU64::new(0),
         };
         if shard.entries.insert(key, verdict).is_none() {
             for app in apps {
@@ -381,6 +387,58 @@ impl VerdictCache {
             entries: self.len() as u64,
         }
     }
+
+    /// The hot-pair leaderboard: the `n` most-hit **app pairs** (unordered
+    /// — a directed pair's two orientations aggregate into one row),
+    /// summed over every live entry the pair has in the cache (different
+    /// solver contexts and rule pairs of the same two apps count
+    /// together). Ties break by app names for a deterministic board.
+    /// Evicted entries take their hit history with them: the board ranks
+    /// what the *current* working set is serving.
+    pub fn top_pairs(&self, n: usize) -> Vec<HotPair> {
+        use std::collections::BTreeMap;
+        let mut board: BTreeMap<[String; 2], (u64, u64, u64)> = BTreeMap::new();
+        for shard in self.shards.iter() {
+            let shard = shard.read().unwrap_or_else(PoisonError::into_inner);
+            for verdict in shard.entries.values() {
+                let [a, b] = &verdict.apps;
+                let key = if a <= b {
+                    [a.clone(), b.clone()]
+                } else {
+                    [b.clone(), a.clone()]
+                };
+                let (hits, entries, threats) = board.entry(key).or_default();
+                *hits += verdict.hits.load(Ordering::Relaxed);
+                *entries += 1;
+                *threats += verdict.threats.len() as u64;
+            }
+        }
+        let mut rows: Vec<HotPair> = board
+            .into_iter()
+            .map(|(apps, (hits, entries, threats))| HotPair {
+                apps,
+                hits,
+                entries,
+                threats,
+            })
+            .collect();
+        rows.sort_by(|a, b| b.hits.cmp(&a.hits).then_with(|| a.apps.cmp(&b.apps)));
+        rows.truncate(n);
+        rows
+    }
+}
+
+/// One row of the hot-pair leaderboard (see [`VerdictCache::top_pairs`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotPair {
+    /// The two member apps, lexicographically ordered.
+    pub apps: [String; 2],
+    /// Cache hits served for the pair's live entries.
+    pub hits: u64,
+    /// Live cache entries of the pair (rule pairs × solver contexts).
+    pub entries: u64,
+    /// Memoized threats across those entries.
+    pub threats: u64,
 }
 
 /// A 128-bit content fingerprint: two independent SipHash passes under
@@ -532,6 +590,38 @@ mod tests {
         cache.insert(key(8), ["A", "A"], vec![], DetectStats::default());
         assert_eq!(cache.stats().evicted, before);
         assert_eq!(cache.len(), 8);
+    }
+
+    #[test]
+    fn top_pairs_ranks_by_hits_and_merges_orientations() {
+        let cache = VerdictCache::with_shards(4);
+        // Two entries of the same unordered pair (both orientations), one
+        // carrying a threat; plus a cold bystander pair.
+        cache.insert(
+            key(1),
+            ["A", "B"],
+            vec![threat("A", "B")],
+            DetectStats::default(),
+        );
+        cache.insert(key(2), ["B", "A"], vec![], DetectStats::default());
+        cache.insert(key(3), ["C", "D"], vec![], DetectStats::default());
+        for _ in 0..5 {
+            assert!(cache.lookup(&key(1)).is_some());
+        }
+        assert!(cache.lookup(&key(2)).is_some());
+        assert!(cache.lookup(&key(3)).is_some());
+
+        let board = cache.top_pairs(10);
+        assert_eq!(board.len(), 2);
+        assert_eq!(board[0].apps, ["A".to_string(), "B".to_string()]);
+        assert_eq!(board[0].hits, 6, "both orientations aggregate");
+        assert_eq!(board[0].entries, 2);
+        assert_eq!(board[0].threats, 1);
+        assert_eq!(board[1].hits, 1);
+        // Truncation keeps the hottest.
+        let top1 = cache.top_pairs(1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].apps, ["A".to_string(), "B".to_string()]);
     }
 
     #[test]

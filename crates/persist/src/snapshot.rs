@@ -93,34 +93,41 @@ pub struct FleetSnapshot {
     pub store: StoreState,
     /// Every home's session state, ascending by id.
     pub homes: Vec<(HomeId, HomeState)>,
+    /// Optional telemetry aggregate envelope (the metrics registry's
+    /// exported counters/histograms, `MetricsRegistry::export_state`),
+    /// carried opaquely so counters survive a warm restart. `None` — the
+    /// `Fleet::snapshot` default — serializes to exactly the pre-telemetry
+    /// document: ground-truth snapshot bytes are bit-identical whether or
+    /// not observability is running, and old snapshots read back fine.
+    pub telemetry: Option<Json>,
 }
 
 impl FleetSnapshot {
     /// Serializes the snapshot to its durable text form.
     pub fn to_text(&self) -> String {
-        envelope(
-            "fleet",
-            Json::obj([
-                ("shards", Json::Num(self.shards as i64)),
-                ("nextId", Json::Num(self.next_id as i64)),
-                ("store", codec::store_state_to_json(&self.store)),
-                (
-                    "homes",
-                    Json::Arr(
-                        self.homes
-                            .iter()
-                            .map(|(id, state)| {
-                                Json::obj([
-                                    ("id", Json::Num(id.raw() as i64)),
-                                    ("home", codec::home_state_to_json(state)),
-                                ])
-                            })
-                            .collect(),
-                    ),
+        let mut payload = vec![
+            ("shards", Json::Num(self.shards as i64)),
+            ("nextId", Json::Num(self.next_id as i64)),
+            ("store", codec::store_state_to_json(&self.store)),
+            (
+                "homes",
+                Json::Arr(
+                    self.homes
+                        .iter()
+                        .map(|(id, state)| {
+                            Json::obj([
+                                ("id", Json::Num(id.raw() as i64)),
+                                ("home", codec::home_state_to_json(state)),
+                            ])
+                        })
+                        .collect(),
                 ),
-            ]),
-        )
-        .to_text()
+            ),
+        ];
+        if let Some(telemetry) = &self.telemetry {
+            payload.push(("telemetry", telemetry.clone()));
+        }
+        envelope("fleet", Json::obj(payload)).to_text()
     }
 
     /// Parses a fleet snapshot back.
@@ -166,6 +173,7 @@ impl FleetSnapshot {
             next_id,
             store,
             homes,
+            telemetry: payload.get("telemetry").cloned(),
         })
     }
 }

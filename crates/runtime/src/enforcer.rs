@@ -26,10 +26,12 @@ use hg_detector::{Threat, ThreatKind, Unification};
 use hg_rules::rule::{Rule, RuleId};
 use hg_sim::mediator::{Decision, Mediator};
 use hg_sim::SimTime;
+use hg_telemetry::{TelemetryBus, TelemetryEvent};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::rc::Rc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// What the enforcer did about one mediated event.
@@ -145,6 +147,27 @@ impl MediationStats {
             self.latency_ns / self.events as u128
         }
     }
+
+    /// Folds another counter set in (merging per-enforcer deltas into a
+    /// session- or fleet-level aggregate).
+    pub fn absorb(&mut self, other: MediationStats) {
+        self.events += other.events;
+        self.mediated += other.mediated;
+        self.journaled += other.journaled;
+        self.latency_ns += other.latency_ns;
+    }
+
+    /// The counters accumulated since `before` (a snapshot of `self`
+    /// taken earlier). Saturating so a reset between the snapshots
+    /// degrades to zero rather than wrapping.
+    pub fn since(&self, before: MediationStats) -> MediationStats {
+        MediationStats {
+            events: self.events.saturating_sub(before.events),
+            mediated: self.mediated.saturating_sub(before.mediated),
+            journaled: self.journaled.saturating_sub(before.journaled),
+            latency_ns: self.latency_ns.saturating_sub(before.latency_ns),
+        }
+    }
 }
 
 /// The runtime mediation engine.
@@ -162,6 +185,16 @@ pub struct Enforcer {
     defer_tokens: BTreeMap<(RuleId, String, String), SimTime>,
     journal: MediationTrace,
     stats: MediationStats,
+    /// Session-shared stats sink: every decision's counter delta is
+    /// folded in, so a `Home` that hands out fresh enforcers per call can
+    /// still answer "what has mediation cost this session" (the
+    /// [`MediationStats`] accessor the service layer aggregates).
+    sink: Option<Arc<Mutex<MediationStats>>>,
+    /// Fleet event bus for per-decision [`TelemetryEvent::MediationDecision`]
+    /// events; `None` publishes nothing.
+    bus: Option<Arc<TelemetryBus>>,
+    /// The owning home's raw id (0 outside a fleet), stamped on events.
+    home_label: u64,
 }
 
 impl Enforcer {
@@ -205,6 +238,22 @@ impl Enforcer {
         self.begin_run();
     }
 
+    /// Wires this enforcer's observability: an optional session-shared
+    /// stats sink (decision deltas are folded in as they happen), an
+    /// optional fleet event bus, and the home label stamped on published
+    /// events. Telemetry is a pure observer — decisions are identical
+    /// with or without it.
+    pub fn set_telemetry(
+        &mut self,
+        sink: Option<Arc<Mutex<MediationStats>>>,
+        bus: Option<Arc<TelemetryBus>>,
+        home_label: u64,
+    ) {
+        self.sink = sink;
+        self.bus = bus;
+        self.home_label = home_label;
+    }
+
     /// The decision journal.
     pub fn journal(&self) -> &MediationTrace {
         &self.journal
@@ -235,6 +284,7 @@ impl Enforcer {
     /// semantics.
     pub fn decide_fire(&mut self, rule: &RuleId, at: SimTime) -> Decision {
         let started = Instant::now();
+        let before = self.stats;
         self.stats.events += 1;
         let mut final_decision = Decision::Allow;
         let mut journal: Vec<MediationDecision> = Vec::new();
@@ -277,8 +327,10 @@ impl Enforcer {
         if is_member && !matches!(final_decision, Decision::Suppress) {
             self.fired.insert(rule.clone());
         }
+        let kind = journal.first().map_or("-", |d| d.kind.acronym());
         self.commit(journal, &final_decision);
         self.stats.latency_ns += started.elapsed().as_nanos();
+        self.report(before, kind, &final_decision);
         final_decision
     }
 
@@ -293,6 +345,7 @@ impl Enforcer {
         at: SimTime,
     ) -> Decision {
         let started = Instant::now();
+        let before = self.stats;
         self.stats.events += 1;
         let token = (rule.clone(), device.to_string(), command.to_string());
         if self
@@ -307,6 +360,7 @@ impl Enforcer {
             self.defer_tokens.remove(&token);
             self.record_command(rule, device, command, at);
             self.stats.latency_ns += started.elapsed().as_nanos();
+            self.report(before, "-", &Decision::Allow);
             return Decision::Allow;
         }
         let mut final_decision = Decision::Allow;
@@ -389,8 +443,10 @@ impl Enforcer {
             }
             Decision::Suppress => {}
         }
+        let kind = journal.first().map_or("-", |d| d.kind.acronym());
         self.commit(journal, &final_decision);
         self.stats.latency_ns += started.elapsed().as_nanos();
+        self.report(before, kind, &final_decision);
         final_decision
     }
 
@@ -418,6 +474,33 @@ impl Enforcer {
         self.stats.journaled += journal.len() as u64;
         for entry in journal {
             self.journal.push(entry);
+        }
+    }
+
+    /// Observability tail of one decision: folds the counter delta since
+    /// `before` into the shared sink and publishes the decision event.
+    /// No-ops entirely when neither sink nor bus is wired.
+    fn report(&mut self, before: MediationStats, kind: &'static str, decision: &Decision) {
+        if self.sink.is_none() && self.bus.is_none() {
+            return;
+        }
+        let delta = self.stats.since(before);
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .absorb(delta);
+        }
+        if let Some(bus) = &self.bus {
+            bus.publish(TelemetryEvent::MediationDecision {
+                home: self.home_label,
+                kind,
+                verdict: match decision {
+                    Decision::Allow => "allow",
+                    Decision::Suppress => "suppress",
+                    Decision::Defer { .. } => "defer",
+                },
+                latency_ns: delta.latency_ns as u64,
+            });
         }
     }
 }
@@ -729,6 +812,48 @@ mod tests {
         e.replace_index(e.index().clone());
         assert_eq!(e.decide_command(&b, "lamp-1", "off", 100), Decision::Allow);
         assert_eq!(e.stats().mediated, 0);
+    }
+
+    #[test]
+    fn telemetry_sink_and_bus_observe_without_changing_decisions() {
+        use hg_telemetry::TelemetryBus;
+        let sink = Arc::new(Mutex::new(MediationStats::default()));
+        let bus = Arc::new(TelemetryBus::new());
+        let mut observed = enforcer_with(ThreatKind::CovertTriggering, HandlingPolicy::Block);
+        observed.set_telemetry(Some(sink.clone()), Some(bus.clone()), 7);
+        let mut plain = enforcer_with(ThreatKind::CovertTriggering, HandlingPolicy::Block);
+
+        let (a, b) = (RuleId::new("A", 0), RuleId::new("B", 0));
+        for e in [&mut observed, &mut plain] {
+            assert_eq!(e.decide_fire(&a, 0), Decision::Allow);
+            assert_eq!(e.decide_fire(&b, 10), Decision::Suppress);
+        }
+        // The sink carries the same counters the enforcer reports.
+        let sunk = *sink.lock().unwrap();
+        assert_eq!(sunk.events, observed.stats().events);
+        assert_eq!(sunk.mediated, 1);
+        assert_eq!(sunk.journaled, 1);
+        // One event per decision, stamped with the home label and verdict.
+        let mut events = Vec::new();
+        bus.drain_since(0, &mut events);
+        assert_eq!(events.len(), 2);
+        match &events[1].1 {
+            hg_telemetry::TelemetryEvent::MediationDecision {
+                home,
+                kind,
+                verdict,
+                ..
+            } => {
+                assert_eq!((*home, *kind, *verdict), (7, "CT", "suppress"));
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        // Pure observer: journals match entry for entry.
+        assert_eq!(observed.journal().len(), plain.journal().len());
+        assert_eq!(
+            observed.journal().entries()[0].verdict,
+            plain.journal().entries()[0].verdict
+        );
     }
 
     #[test]

@@ -25,12 +25,15 @@
 
 use hg_config::ConfigInfo;
 use hg_persist::FleetSnapshot;
+use hg_telemetry::{TelemetryBus, TelemetryEvent};
 use homeguard_core::{
-    HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, RuleStore, UninstallReport,
+    HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, MediationStats, RuleStore,
+    UninstallReport,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
+use std::time::Instant;
 
 type Shard = RwLock<BTreeMap<HomeId, Home>>;
 
@@ -82,6 +85,7 @@ impl FleetBuilder {
                 .collect(),
             next_id: AtomicU64::new(0),
             template: self.template,
+            telemetry: OnceLock::new(),
         }
     }
 }
@@ -94,6 +98,9 @@ pub struct Fleet {
     shards: Box<[Shard]>,
     next_id: AtomicU64,
     template: HomeBuilder,
+    /// Fleet event bus, attached at most once ([`Fleet::attach_telemetry`]).
+    /// Unset, every telemetry branch below is a single pointer test.
+    telemetry: OnceLock<Arc<TelemetryBus>>,
 }
 
 /// The outcome of a fleet-wide upgrade rollout.
@@ -243,6 +250,51 @@ impl Fleet {
         &self.store
     }
 
+    /// Attaches the fleet event bus: every registered home (and every home
+    /// created or imported from now on) publishes lifecycle, detection and
+    /// mediation events into it, stamped with its raw [`HomeId`]. At most
+    /// one bus per fleet — a second call is ignored and returns `false`.
+    ///
+    /// Telemetry is a pure observer: reports, sweeps and snapshots are
+    /// bit-identical with or without an attached bus (proven in
+    /// `tests/telemetry_differential.rs`).
+    pub fn attach_telemetry(&self, bus: Arc<TelemetryBus>) -> bool {
+        if self.telemetry.set(bus.clone()).is_err() {
+            return false;
+        }
+        for shard in &self.shards {
+            let mut shard = shard
+                .write()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (&id, home) in shard.iter_mut() {
+                home.set_telemetry(Some(bus.clone()), id.raw());
+            }
+        }
+        true
+    }
+
+    /// The attached fleet event bus, if any.
+    pub fn telemetry(&self) -> Option<&Arc<TelemetryBus>> {
+        self.telemetry.get()
+    }
+
+    /// Fleet-wide mediation statistics: the sum of every home's
+    /// session-lifetime [`Home::mediation_stats`] aggregate. Poisoned
+    /// shards are recovered for the read — counters are observability
+    /// state, not ground truth.
+    pub fn mediation_stats(&self) -> MediationStats {
+        let mut total = MediationStats::default();
+        for shard in &self.shards {
+            let shard = shard
+                .read()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for home in shard.values() {
+                total.absorb(home.mediation_stats());
+            }
+        }
+        total
+    }
+
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
@@ -320,11 +372,12 @@ impl Fleet {
     /// Registers an already-built session under a fresh id (shared by
     /// `create_home_with` and `import_home`), burning ids that route to
     /// poisoned shards as documented on [`Fleet::create_home_with`].
-    fn place(&self, home: Home) -> HomeId {
+    fn place(&self, mut home: Home) -> HomeId {
         let mut id = HomeId::new(self.next_id.fetch_add(1, Ordering::Relaxed));
         for _ in 0..self.shards.len() {
             match self.shard(id).write() {
                 Ok(mut shard) => {
+                    self.adopt(&mut home, id);
                     shard.insert(id, home);
                     return id;
                 }
@@ -333,11 +386,21 @@ impl Fleet {
                 }
             }
         }
+        self.adopt(&mut home, id);
         self.shard(id)
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(id, home);
         id
+    }
+
+    /// Wires an incoming session into the fleet's telemetry (when a bus is
+    /// attached) under its assigned id, announcing the registration.
+    fn adopt(&self, home: &mut Home, id: HomeId) {
+        if let Some(bus) = self.telemetry.get() {
+            home.set_telemetry(Some(bus.clone()), id.raw());
+            bus.publish(TelemetryEvent::HomeCreated { home: id.raw() });
+        }
     }
 
     /// Deregisters a home, dropping its session state.
@@ -552,6 +615,7 @@ impl Fleet {
     ///
     /// If `index` is out of range (`>= self.shard_count()`).
     pub fn upgrade_shard(&self, index: usize, source: &str, name: &str) -> ShardRollout {
+        let started = self.telemetry.get().map(|_| Instant::now());
         let Ok(mut shard) = self.shards[index].write() else {
             return ShardRollout {
                 poisoned: true,
@@ -570,6 +634,9 @@ impl Fleet {
                 Err(error) => part.failed.push((id, error)),
             }
         }
+        let homes = shard.len() as u64;
+        drop(shard);
+        self.publish_sweep(index, "upgrade", homes, started);
         part
     }
 
@@ -583,6 +650,7 @@ impl Fleet {
     ///
     /// If `index` is out of range (`>= self.shard_count()`).
     pub fn uninstall_shard(&self, index: usize, app: &str) -> ShardUninstall {
+        let started = self.telemetry.get().map(|_| Instant::now());
         let Ok(mut shard) = self.shards[index].write() else {
             return ShardUninstall {
                 poisoned: true,
@@ -600,7 +668,22 @@ impl Fleet {
                 Err(error) => part.failed.push((id, error)),
             }
         }
+        let homes = shard.len() as u64;
+        drop(shard);
+        self.publish_sweep(index, "uninstall", homes, started);
         part
+    }
+
+    /// Publishes one shard sweep unit's completion (no-op without a bus).
+    fn publish_sweep(&self, index: usize, op: &'static str, homes: u64, started: Option<Instant>) {
+        if let Some(bus) = self.telemetry.get() {
+            bus.publish(TelemetryEvent::SweepShardDone {
+                shard: index as u64,
+                op,
+                homes,
+                micros: started.map_or(0, |t| t.elapsed().as_micros() as u64),
+            });
+        }
     }
 
     /// Fleet-wide forced uninstall: a store-pulled (e.g. discovered-
@@ -637,6 +720,7 @@ impl Fleet {
     /// quarantined home's state cannot be trusted, and silently snapshotting
     /// around it would persist a fleet that claims to be whole.
     pub fn snapshot(&self) -> Result<FleetSnapshot, HgError> {
+        let started = self.telemetry.get().map(|_| Instant::now());
         let mut homes = Vec::new();
         for shard in &self.shards {
             let shard = shard.read().map_err(|_| HgError::Poisoned("fleet shard"))?;
@@ -645,12 +729,23 @@ impl Fleet {
             }
         }
         homes.sort_by_key(|(id, _)| *id);
-        Ok(FleetSnapshot {
+        let snapshot = FleetSnapshot {
             shards: self.shards.len(),
             next_id: self.next_id.load(Ordering::Relaxed),
             store: self.store.export_state(),
             homes,
-        })
+            // Ground truth only: observability aggregates are injected by
+            // the serving layer (`hg-api`) at persist time, keeping this
+            // document bit-identical with or without a bus attached.
+            telemetry: None,
+        };
+        if let Some(bus) = self.telemetry.get() {
+            bus.publish(TelemetryEvent::SnapshotTaken {
+                homes: snapshot.homes.len() as u64,
+                micros: started.map_or(0, |t| t.elapsed().as_micros() as u64),
+            });
+        }
+        Ok(snapshot)
     }
 
     /// Revives a fleet from a snapshot — the warm-restart path. The store
@@ -1092,5 +1187,57 @@ def h(evt) { lamp.off() }
             fleet.with_home(custom, |h| h.modes().to_vec()).unwrap(),
             vec!["Solo".to_string()]
         );
+    }
+
+    #[test]
+    fn attached_bus_sees_fleet_lifecycle_and_sweeps() {
+        let fleet = Fleet::builder(RuleStore::shared()).shards(2).build();
+        let early = fleet.create_home();
+        let bus = Arc::new(TelemetryBus::new());
+        assert!(fleet.attach_telemetry(bus.clone()));
+        assert!(!fleet.attach_telemetry(bus.clone()), "one bus per fleet");
+        let late = fleet.create_home();
+
+        // Both the pre-attach home (wired retroactively) and the new one
+        // publish, stamped with their ids.
+        fleet.install_app(early, ON_APP, "OnApp", None).unwrap();
+        fleet.install_app(late, ON_APP, "OnApp", None).unwrap();
+        let v2 = ON_APP.replace("lamp.on()", "lamp.toggle()");
+        let rollout = fleet.propagate_upgrade(&v2, "OnApp").unwrap();
+        assert_eq!(rollout.upgraded.len(), 2);
+        fleet.snapshot().unwrap();
+
+        let mut events = Vec::new();
+        bus.drain_since(0, &mut events);
+        let created: Vec<u64> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TelemetryEvent::HomeCreated { home } => Some(*home),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(created, vec![late.raw()], "creation precedes attachment");
+        let install_homes: Vec<u64> = events
+            .iter()
+            .filter_map(|(_, e)| match e {
+                TelemetryEvent::InstallCompleted { home, upgrade, .. } => {
+                    (!upgrade).then_some(*home)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(install_homes, vec![early.raw(), late.raw()]);
+        let sweeps = events
+            .iter()
+            .filter(
+                |(_, e)| matches!(e, TelemetryEvent::SweepShardDone { op, .. } if *op == "upgrade"),
+            )
+            .count();
+        assert_eq!(sweeps, 2, "one sweep event per shard");
+        assert!(events
+            .iter()
+            .any(|(_, e)| matches!(e, TelemetryEvent::SnapshotTaken { homes: 2, .. })));
+        // Fleet-wide mediation aggregate starts at zero.
+        assert_eq!(fleet.mediation_stats().events, 0);
     }
 }

@@ -67,9 +67,10 @@ pub use fleet::{
     BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, ShardRollout, ShardUninstall, UpgradeRollout,
 };
 pub use hg_persist::FleetSnapshot;
+pub use hg_telemetry::{TelemetryBus, TelemetryEvent};
 pub use homeguard_core::{
-    frontend, HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, PolicyTable, RuleStore,
-    UninstallReport,
+    frontend, HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, MediationStats,
+    PolicyTable, RuleStore, UninstallReport,
 };
 
 /// Deployment-facing alias: a [`Fleet`] *is* the HomeGuard service.

@@ -1,0 +1,324 @@
+//! The bounded, lock-sharded fleet event bus.
+//!
+//! [`TelemetryBus`] is the single pipe every instrumented hot path
+//! publishes into, designed around one invariant: **publishing never
+//! blocks detection, mediation or lifecycle work**. Publishers stamp a
+//! global sequence number ([`AtomicU64`]) and push into one of N
+//! mutex-guarded rings chosen by that stamp, so concurrent publishers
+//! mostly touch different locks and each push is a few instructions under
+//! an uncontended mutex. A full ring **drops its oldest event** (counted
+//! in [`TelemetryBus::dropped_events`]) rather than waiting for a
+//! consumer — a slow or absent reader costs history, never throughput.
+//!
+//! Consumers are cursor-based: [`TelemetryBus::drain_since`] collects
+//! every retained event with `seq >= cursor` across the shards, in
+//! sequence order. Because retention is bounded, a consumer that falls
+//! behind simply observes a gap in sequence numbers — the drop-oldest
+//! policy made visible. [`TelemetryBus::wait_for_events`] parks a
+//! consumer until something newer than its cursor arrives; publishers
+//! only ring the wake-up bell when a waiter is registered, keeping the
+//! no-consumer publish path free of condvar traffic.
+
+use crate::event::TelemetryEvent;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Default ring count (matches the fleet's default shard width).
+const DEFAULT_SHARDS: usize = 8;
+/// Default per-ring retention. Sized so the default bus (8 rings) holds
+/// ~32k events — enough to absorb a full collector tick of fleet-bench
+/// publish bursts without shedding history.
+const DEFAULT_CAPACITY: usize = 4096;
+
+/// A retained event: its global sequence stamp plus the payload.
+type Stamped = (u64, TelemetryEvent);
+
+/// The fleet event bus (see the [module docs](self)).
+#[derive(Debug)]
+pub struct TelemetryBus {
+    rings: Box<[Mutex<VecDeque<Stamped>>]>,
+    /// Per-ring retention bound; overflow drops the ring's oldest event.
+    capacity: usize,
+    /// The global sequence stamp — the next event's number.
+    seq: AtomicU64,
+    published: AtomicU64,
+    dropped: AtomicU64,
+    /// Registered consumers currently parked (or about to park) in
+    /// [`TelemetryBus::wait_for_events`]. Publishers skip the bell
+    /// entirely while this is zero.
+    waiters: AtomicUsize,
+    gate: Mutex<()>,
+    bell: Condvar,
+}
+
+impl Default for TelemetryBus {
+    fn default() -> Self {
+        TelemetryBus::new()
+    }
+}
+
+impl TelemetryBus {
+    /// A bus with default sharding and retention (8 rings × 4096 events).
+    pub fn new() -> TelemetryBus {
+        TelemetryBus::with_config(DEFAULT_SHARDS, DEFAULT_CAPACITY)
+    }
+
+    /// A bus with explicit ring count and per-ring retention (both clamped
+    /// to at least 1 — tests size retention down to exercise drop-oldest).
+    pub fn with_config(shards: usize, capacity: usize) -> TelemetryBus {
+        TelemetryBus {
+            rings: (0..shards.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            capacity: capacity.max(1),
+            seq: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            waiters: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            bell: Condvar::new(),
+        }
+    }
+
+    /// Publishes one event. Never blocks beyond one uncontended mutex:
+    /// a full ring sheds its oldest event instead of waiting.
+    pub fn publish(&self, event: TelemetryEvent) {
+        self.publish_batch(std::iter::once(event));
+    }
+
+    /// Publishes a group of related events under one sequence reservation,
+    /// **one ring lock** and one bell ring. Hot paths that emit several
+    /// events per operation (an install report plus its per-pair threats)
+    /// use this so each operation costs one lock acquisition instead of
+    /// one per event, a parked stream reader is woken once, and the group
+    /// occupies a contiguous sequence range. The whole batch lands in the
+    /// ring picked by its base stamp — ring choice is lock sharding, not
+    /// ordering; [`TelemetryBus::drain_since`] re-establishes global
+    /// sequence order across rings.
+    pub fn publish_batch<I>(&self, events: I)
+    where
+        I: IntoIterator<Item = TelemetryEvent>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let events = events.into_iter();
+        let count = events.len() as u64;
+        if count == 0 {
+            return;
+        }
+        let base = self.seq.fetch_add(count, Ordering::Relaxed);
+        {
+            let ring = &self.rings[(base % self.rings.len() as u64) as usize];
+            let mut ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
+            for (offset, event) in events.enumerate() {
+                if ring.len() >= self.capacity {
+                    ring.pop_front();
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                ring.push_back((base + offset as u64, event));
+            }
+        }
+        self.published.fetch_add(count, Ordering::Relaxed);
+        // The ring lock is released before the bell: a parked consumer
+        // woken here re-locks rings without lock-order inversion.
+        if self.waiters.load(Ordering::Acquire) > 0 {
+            let _gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+            self.bell.notify_all();
+        }
+    }
+
+    /// The next sequence number a publish would be stamped with — i.e.
+    /// events `< next_seq()` have all been published (some possibly
+    /// already dropped).
+    pub fn next_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Events published over the bus's lifetime.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Events shed by the drop-oldest overflow policy.
+    pub fn dropped_events(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Collects every retained event with `seq >= cursor`, in sequence
+    /// order, and returns the cursor to resume from (one past the newest
+    /// event seen — `cursor` itself when nothing was newer). A consumer
+    /// that fell behind retention sees a sequence gap, not an error.
+    pub fn drain_since(&self, cursor: u64, out: &mut Vec<(u64, TelemetryEvent)>) -> u64 {
+        let start = out.len();
+        for ring in self.rings.iter() {
+            let ring = ring.lock().unwrap_or_else(PoisonError::into_inner);
+            for (seq, event) in ring.iter() {
+                if *seq >= cursor {
+                    out.push((*seq, event.clone()));
+                }
+            }
+        }
+        out[start..].sort_unstable_by_key(|(seq, _)| *seq);
+        out.last().map_or(cursor, |(seq, _)| seq + 1)
+    }
+
+    /// Whether any retained event is at or past `cursor`.
+    fn has_newer(&self, cursor: u64) -> bool {
+        self.rings.iter().any(|ring| {
+            ring.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .back()
+                .is_some_and(|(seq, _)| *seq >= cursor)
+        })
+    }
+
+    /// Parks the caller until an event at or past `cursor` is retained or
+    /// `timeout` elapses; returns whether something newer is available.
+    /// Spurious-wakeup safe; publishers pay for the bell only while a
+    /// consumer is parked here.
+    pub fn wait_for_events(&self, cursor: u64, timeout: Duration) -> bool {
+        if self.has_newer(cursor) {
+            return true;
+        }
+        self.waiters.fetch_add(1, Ordering::AcqRel);
+        let mut gate = self.gate.lock().unwrap_or_else(PoisonError::into_inner);
+        let deadline = std::time::Instant::now() + timeout;
+        let newer = loop {
+            // Checked under the gate: a publish between the check and the
+            // wait must take the gate to ring the bell, so it cannot slip
+            // past unobserved.
+            if self.has_newer(cursor) {
+                break true;
+            }
+            let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now()) else {
+                break false;
+            };
+            let (g, wait) = self
+                .bell
+                .wait_timeout(gate, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
+            gate = g;
+            if wait.timed_out() {
+                break self.has_newer(cursor);
+            }
+        };
+        drop(gate);
+        self.waiters.fetch_sub(1, Ordering::AcqRel);
+        newer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn probe(n: u64) -> TelemetryEvent {
+        TelemetryEvent::CacheProbe {
+            hit: false,
+            micros: n,
+            weight: 1,
+        }
+    }
+
+    #[test]
+    fn drain_returns_events_in_sequence_order() {
+        let bus = TelemetryBus::with_config(4, 64);
+        for n in 0..20 {
+            bus.publish(probe(n));
+        }
+        let mut out = Vec::new();
+        let cursor = bus.drain_since(0, &mut out);
+        assert_eq!(cursor, 20);
+        assert_eq!(out.len(), 20);
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>());
+        // Resuming from the returned cursor sees only what came after.
+        bus.publish(probe(99));
+        let mut next = Vec::new();
+        let cursor = bus.drain_since(cursor, &mut next);
+        assert_eq!(cursor, 21);
+        assert_eq!(next, vec![(20, probe(99))]);
+        // Nothing newer: the cursor holds still.
+        assert_eq!(bus.drain_since(cursor, &mut Vec::new()), cursor);
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_counts() {
+        // One ring of 4: publishing 10 retains the newest 4.
+        let bus = TelemetryBus::with_config(1, 4);
+        for n in 0..10 {
+            bus.publish(probe(n));
+        }
+        assert_eq!(bus.dropped_events(), 6);
+        assert_eq!(bus.published(), 10);
+        let mut out = Vec::new();
+        bus.drain_since(0, &mut out);
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "drop-oldest keeps the tail");
+    }
+
+    #[test]
+    fn batch_publish_stamps_a_contiguous_range_and_mixes_with_singles() {
+        let bus = TelemetryBus::with_config(4, 64);
+        bus.publish(probe(0));
+        bus.publish_batch((1..=5).map(probe).collect::<Vec<_>>());
+        bus.publish_batch(Vec::<TelemetryEvent>::new());
+        bus.publish(probe(6));
+        let mut out = Vec::new();
+        let cursor = bus.drain_since(0, &mut out);
+        assert_eq!(cursor, 7, "an empty batch reserves no sequence numbers");
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..7).collect::<Vec<_>>());
+        assert_eq!(
+            out[3],
+            (3, probe(3)),
+            "the batch occupies a contiguous range"
+        );
+    }
+
+    #[test]
+    fn wait_for_events_wakes_on_publish_and_times_out_idle() {
+        let bus = Arc::new(TelemetryBus::new());
+        // Idle bus: the wait times out empty-handed.
+        assert!(!bus.wait_for_events(0, Duration::from_millis(10)));
+
+        let publisher = bus.clone();
+        let waiter = std::thread::spawn(move || {
+            // Generous timeout: the publish below must cut it short.
+            publisher.wait_for_events(0, Duration::from_secs(30))
+        });
+        // Give the waiter a moment to park, then publish.
+        std::thread::sleep(Duration::from_millis(20));
+        bus.publish(probe(1));
+        assert!(waiter.join().unwrap(), "publish must wake the waiter");
+        // A cursor already satisfied returns immediately.
+        assert!(bus.wait_for_events(0, Duration::from_secs(30)));
+    }
+
+    #[test]
+    fn concurrent_publishers_never_lose_sequence_numbers() {
+        let bus = Arc::new(TelemetryBus::with_config(4, 10_000));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let bus = bus.clone();
+            handles.push(std::thread::spawn(move || {
+                for n in 0..500 {
+                    bus.publish(probe(n));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        let cursor = bus.drain_since(0, &mut out);
+        assert_eq!(cursor, 2000);
+        assert_eq!(out.len(), 2000);
+        assert_eq!(bus.dropped_events(), 0);
+        // Every sequence number exactly once.
+        let seqs: Vec<u64> = out.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, (0..2000).collect::<Vec<_>>());
+    }
+}

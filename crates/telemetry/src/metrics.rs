@@ -1,0 +1,778 @@
+//! The metrics registry: bus events folded into counters, gauges,
+//! fixed-bucket histograms and the paper's fleet-scale analytics.
+//!
+//! A [`MetricsRegistry`] is a pure consumer — it subscribes to nothing by
+//! itself; the [`TelemetryHub`](crate::TelemetryHub) collector thread
+//! drains the bus and feeds [`MetricsRegistry::ingest`]. Everything lives
+//! behind one mutex (ingest is a handful of map bumps, far off any hot
+//! path), and the whole aggregate state round-trips through a JSON
+//! envelope ([`MetricsRegistry::export_state`] /
+//! [`MetricsRegistry::absorb_state`]) so counters and histograms ride
+//! fleet snapshots and restore warm.
+//!
+//! The derived tables answer the paper's fleet questions directly:
+//! the per-app interference table is Fig. 8 at fleet scale (which store
+//! apps interfere, and how often), and the latency histograms split
+//! pair-check cost by cache outcome (Fig. 9's reuse economics).
+
+use crate::event::TelemetryEvent;
+use hg_rules::json::Json;
+use std::collections::BTreeMap;
+use std::sync::{Mutex, PoisonError};
+
+/// Bucket upper bounds (inclusive) per histogram name. The last implicit
+/// bucket is `+Inf`.
+fn bounds_for(name: &str) -> &'static [u64] {
+    match name {
+        "install_micros" => &[
+            50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+        ],
+        "mediation_latency_ns" => &[
+            250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+        ],
+        "pair_check_micros_cached" => &[1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000],
+        "pair_check_micros_uncached" => &[
+            5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000,
+        ],
+        _ => &[1, 10, 100, 1_000, 10_000, 100_000],
+    }
+}
+
+/// A fixed-bucket histogram: per-bucket counts (last bucket is `+Inf`),
+/// weighted observation count and value sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Inclusive bucket upper bounds.
+    pub bounds: &'static [u64],
+    /// Per-bucket counts; `counts[bounds.len()]` is the `+Inf` bucket.
+    pub counts: Vec<u64>,
+    /// Weighted observations.
+    pub count: u64,
+    /// Weighted value sum.
+    pub sum: u128,
+}
+
+impl Histogram {
+    fn new(bounds: &'static [u64]) -> Histogram {
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    fn observe(&mut self, value: u64, weight: u64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|b| value <= *b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += weight;
+        self.count += weight;
+        self.sum += value as u128 * weight as u128;
+    }
+
+    /// Weighted mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// One app's row in the fleet interference table (paper Fig. 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppInterference {
+    /// Install/upgrade attempts the app was the subject of.
+    pub installs: u64,
+    /// Attempts that surfaced interference (dirty verdicts).
+    pub dirty: u64,
+    /// Threats the app was a member of (either side of the pair).
+    pub threats: u64,
+}
+
+impl AppInterference {
+    /// Dirty attempts as a fraction of all attempts (0.0 when none).
+    pub fn rate(&self) -> f64 {
+        if self.installs == 0 {
+            0.0
+        } else {
+            self.dirty as f64 / self.installs as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<&'static str, u64>,
+    /// Threats by kind acronym.
+    threat_kinds: BTreeMap<String, u64>,
+    /// Mediation decisions by final verdict.
+    verdicts: BTreeMap<String, u64>,
+    /// Pull-style gauges, set by whoever scrapes (queue depths, bus drops).
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+    interference: BTreeMap<String, AppInterference>,
+}
+
+impl Inner {
+    fn bump(&mut self, name: &'static str, by: u64) {
+        *self.counters.entry(name).or_insert(0) += by;
+    }
+
+    fn observe(&mut self, name: &'static str, value: u64, weight: u64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(bounds_for(name)))
+            .observe(value, weight);
+    }
+}
+
+/// The fleet metrics registry (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+// Lock recovery: every mutation is a self-contained map bump, so a
+// panicking ingester cannot leave half-written aggregates — recover the
+// map rather than propagating poison into the collector and every route.
+fn lock(inner: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
+    inner.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Folds one bus event into the aggregates.
+    pub fn ingest(&self, event: &TelemetryEvent) {
+        let mut inner = lock(&self.inner);
+        inner.bump("events_consumed_total", 1);
+        match event {
+            TelemetryEvent::HomeCreated { .. } => inner.bump("homes_created_total", 1),
+            TelemetryEvent::InstallCompleted {
+                app,
+                installed,
+                upgrade,
+                threats,
+                pairs,
+                solves,
+                cache_hits,
+                cache_misses,
+                micros,
+                ..
+            } => {
+                inner.bump("installs_total", 1);
+                inner.bump(
+                    if *installed {
+                        "installs_clean_total"
+                    } else {
+                        "installs_dirty_total"
+                    },
+                    1,
+                );
+                if *upgrade {
+                    inner.bump("upgrades_total", 1);
+                }
+                inner.bump("pairs_checked_total", *pairs);
+                inner.bump("solves_total", *solves);
+                inner.bump("cache_hits_total", *cache_hits);
+                inner.bump("cache_misses_total", *cache_misses);
+                inner.observe("install_micros", *micros, 1);
+                let row = inner.interference.entry(app.clone()).or_default();
+                row.installs += 1;
+                if !installed {
+                    row.dirty += 1;
+                }
+                let _ = threats; // counted by the per-threat events
+            }
+            TelemetryEvent::ThreatDetected {
+                kind,
+                source_app,
+                target_app,
+                ..
+            } => {
+                inner.bump("threats_total", 1);
+                *inner.threat_kinds.entry((*kind).to_string()).or_insert(0) += 1;
+                inner
+                    .interference
+                    .entry(source_app.clone())
+                    .or_default()
+                    .threats += 1;
+                if target_app != source_app {
+                    inner
+                        .interference
+                        .entry(target_app.clone())
+                        .or_default()
+                        .threats += 1;
+                }
+            }
+            TelemetryEvent::UninstallCompleted {
+                removed_rules,
+                retired_threats,
+                ..
+            } => {
+                inner.bump("uninstalls_total", 1);
+                inner.bump("uninstall_rules_removed_total", *removed_rules);
+                inner.bump("uninstall_threats_retired_total", *retired_threats);
+            }
+            TelemetryEvent::MediationDecision {
+                verdict,
+                latency_ns,
+                ..
+            } => {
+                inner.bump("mediation_events_total", 1);
+                if *verdict != "allow" {
+                    inner.bump("mediation_mediated_total", 1);
+                }
+                *inner.verdicts.entry((*verdict).to_string()).or_insert(0) += 1;
+                inner.observe("mediation_latency_ns", *latency_ns, 1);
+            }
+            TelemetryEvent::CacheProbe {
+                hit,
+                micros,
+                weight,
+            } => {
+                inner.bump("cache_probes_total", *weight);
+                inner.observe(
+                    if *hit {
+                        "pair_check_micros_cached"
+                    } else {
+                        "pair_check_micros_uncached"
+                    },
+                    *micros,
+                    *weight,
+                );
+            }
+            TelemetryEvent::SweepShardDone { homes, .. } => {
+                inner.bump("sweep_shards_total", 1);
+                inner.bump("sweep_homes_total", *homes);
+            }
+            TelemetryEvent::SnapshotTaken { micros, .. } => {
+                inner.bump("snapshots_total", 1);
+                inner.bump("snapshot_micros_total", *micros);
+            }
+            TelemetryEvent::QueueSaturated { .. } => inner.bump("queue_saturated_total", 1),
+        }
+    }
+
+    /// One monotonic counter (0 when never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        lock(&self.inner).counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a pull-style gauge (queue depths, occupancy, bus drop counts —
+    /// sampled by the scraper at render time, not event-driven).
+    pub fn set_gauge(&self, name: impl Into<String>, value: i64) {
+        lock(&self.inner).gauges.insert(name.into(), value);
+    }
+
+    /// One gauge's last sampled value.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        lock(&self.inner).gauges.get(name).copied()
+    }
+
+    /// One histogram's current shape.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        lock(&self.inner).histograms.get(name).cloned()
+    }
+
+    /// The interference table, highest rate first (rate ties break toward
+    /// more attempts, then app name — a stable, meaningful leaderboard).
+    pub fn interference_table(&self) -> Vec<(String, AppInterference)> {
+        let inner = lock(&self.inner);
+        let mut rows: Vec<(String, AppInterference)> = inner
+            .interference
+            .iter()
+            .map(|(app, row)| (app.clone(), *row))
+            .collect();
+        rows.sort_by(|(app_a, a), (app_b, b)| {
+            b.rate()
+                .partial_cmp(&a.rate())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.installs.cmp(&a.installs))
+                .then(app_a.cmp(app_b))
+        });
+        rows
+    }
+
+    /// The interference table as JSON rows, highest rate first (the
+    /// `/analytics/interference` body).
+    pub fn interference_json(&self) -> Json {
+        Json::Arr(
+            self.interference_table()
+                .into_iter()
+                .map(|(app, row)| interference_row_json(&app, &row))
+                .collect(),
+        )
+    }
+
+    /// The named histograms as a JSON object (the `/analytics/latency`
+    /// body); names with no observations yet are omitted.
+    pub fn histograms_json(&self, names: &[&str]) -> Json {
+        let inner = lock(&self.inner);
+        Json::Obj(
+            names
+                .iter()
+                .filter_map(|name| {
+                    inner
+                        .histograms
+                        .get_key_value(*name)
+                        .map(|(key, h)| ((*key).to_string(), histogram_json(h)))
+                })
+                .collect(),
+        )
+    }
+
+    /// The full registry as flat JSON (the `GET /metrics` body).
+    pub fn to_json(&self) -> Json {
+        let inner = lock(&self.inner);
+        let counters = Json::Obj(
+            inner
+                .counters
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), Json::Num(*v as i64)))
+                .collect(),
+        );
+        let gauges = Json::Obj(
+            inner
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let kinds = Json::Obj(
+            inner
+                .threat_kinds
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as i64)))
+                .collect(),
+        );
+        let verdicts = Json::Obj(
+            inner
+                .verdicts
+                .iter()
+                .map(|(k, v)| (k.clone(), Json::Num(*v as i64)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            inner
+                .histograms
+                .iter()
+                .map(|(name, h)| ((*name).to_string(), histogram_json(h)))
+                .collect(),
+        );
+        drop(inner);
+        let interference = Json::Arr(
+            self.interference_table()
+                .into_iter()
+                .map(|(app, row)| interference_row_json(&app, &row))
+                .collect(),
+        );
+        Json::obj([
+            ("counters", counters),
+            ("gauges", gauges),
+            ("threats_by_kind", kinds),
+            ("mediation_by_verdict", verdicts),
+            ("histograms", histograms),
+            ("interference", interference),
+        ])
+    }
+
+    /// A Prometheus-style text rendering (`GET /metrics?format=prometheus`):
+    /// `hg_`-prefixed counters and gauges, cumulative `_bucket{le=…}`
+    /// histogram series, and the interference table as labeled gauges.
+    pub fn render_prometheus(&self) -> String {
+        let inner = lock(&self.inner);
+        let mut out = String::new();
+        for (name, value) in &inner.counters {
+            out.push_str(&format!("# TYPE hg_{name} counter\nhg_{name} {value}\n"));
+        }
+        for (kind, value) in &inner.threat_kinds {
+            out.push_str(&format!(
+                "hg_threats_by_kind_total{{kind=\"{kind}\"}} {value}\n"
+            ));
+        }
+        for (verdict, value) in &inner.verdicts {
+            out.push_str(&format!(
+                "hg_mediation_by_verdict_total{{verdict=\"{verdict}\"}} {value}\n"
+            ));
+        }
+        for (name, value) in &inner.gauges {
+            out.push_str(&format!("# TYPE hg_{name} gauge\nhg_{name} {value}\n"));
+        }
+        for (name, h) in &inner.histograms {
+            out.push_str(&format!("# TYPE hg_{name} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "hg_{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            out.push_str(&format!("hg_{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("hg_{name}_sum {}\n", h.sum));
+            out.push_str(&format!("hg_{name}_count {}\n", h.count));
+        }
+        drop(inner);
+        for (app, row) in self.interference_table() {
+            out.push_str(&format!(
+                "hg_app_interference_rate{{app=\"{app}\"}} {:.6}\n",
+                row.rate()
+            ));
+            out.push_str(&format!(
+                "hg_app_installs_total{{app=\"{app}\"}} {}\n",
+                row.installs
+            ));
+        }
+        out
+    }
+
+    /// Exports every aggregate as a versioned JSON payload — the
+    /// `telemetry` envelope a fleet snapshot carries. Gauges are omitted:
+    /// they are re-sampled live, not historical.
+    pub fn export_state(&self) -> Json {
+        let inner = lock(&self.inner);
+        Json::obj([
+            ("v", Json::Num(1)),
+            (
+                "counters",
+                Json::Obj(
+                    inner
+                        .counters
+                        .iter()
+                        .map(|(k, v)| ((*k).to_string(), Json::Num(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "threat_kinds",
+                Json::Obj(
+                    inner
+                        .threat_kinds
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "verdicts",
+                Json::Obj(
+                    inner
+                        .verdicts
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::Num(*v as i64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "histograms",
+                Json::Obj(
+                    inner
+                        .histograms
+                        .iter()
+                        .map(|(name, h)| {
+                            (
+                                (*name).to_string(),
+                                Json::obj([
+                                    (
+                                        "counts",
+                                        Json::Arr(
+                                            h.counts.iter().map(|c| Json::Num(*c as i64)).collect(),
+                                        ),
+                                    ),
+                                    ("count", Json::Num(h.count as i64)),
+                                    ("sum", Json::Num(h.sum as i64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "interference",
+                Json::Obj(
+                    inner
+                        .interference
+                        .iter()
+                        .map(|(app, row)| {
+                            (
+                                app.clone(),
+                                Json::obj([
+                                    ("installs", Json::Num(row.installs as i64)),
+                                    ("dirty", Json::Num(row.dirty as i64)),
+                                    ("threats", Json::Num(row.threats as i64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Absorbs a previously exported payload **additively** — restoring
+    /// into a fresh registry reproduces the exported aggregates exactly;
+    /// events ingested after the restore keep accumulating on top (the
+    /// warm-restart cut-over). Unknown fields and histogram names are
+    /// ignored; a non-`v:1` payload is refused.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the structural mismatch.
+    pub fn absorb_state(&self, state: &Json) -> Result<(), String> {
+        if state.get("v").and_then(Json::as_num) != Some(1) {
+            return Err("unsupported telemetry state version".to_string());
+        }
+        let mut inner = lock(&self.inner);
+        if let Some(Json::Obj(counters)) = state.get("counters") {
+            for (name, value) in counters {
+                let Some(value) = value.as_num().filter(|v| *v >= 0) else {
+                    return Err(format!("counter `{name}` is not a non-negative number"));
+                };
+                // Intern through the known-name table: counter keys are
+                // &'static str, so only names this build knows can revive.
+                if let Some(known) = KNOWN_COUNTERS.iter().find(|k| **k == name.as_str()) {
+                    *inner.counters.entry(known).or_insert(0) += value as u64;
+                }
+            }
+        }
+        if let Some(Json::Obj(kinds)) = state.get("threat_kinds") {
+            for (kind, value) in kinds {
+                let add = value.as_num().unwrap_or(0).max(0) as u64;
+                *inner.threat_kinds.entry(kind.clone()).or_insert(0) += add;
+            }
+        }
+        if let Some(Json::Obj(verdicts)) = state.get("verdicts") {
+            for (verdict, value) in verdicts {
+                let add = value.as_num().unwrap_or(0).max(0) as u64;
+                *inner.verdicts.entry(verdict.clone()).or_insert(0) += add;
+            }
+        }
+        if let Some(Json::Obj(histograms)) = state.get("histograms") {
+            for (name, h) in histograms {
+                let Some(known) = KNOWN_HISTOGRAMS.iter().find(|k| **k == name.as_str()) else {
+                    continue;
+                };
+                let counts: Vec<u64> = h
+                    .get("counts")
+                    .and_then(Json::as_arr)
+                    .map(|arr| {
+                        arr.iter()
+                            .map(|c| c.as_num().unwrap_or(0).max(0) as u64)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                let slot = inner
+                    .histograms
+                    .entry(known)
+                    .or_insert_with(|| Histogram::new(bounds_for(known)));
+                if counts.len() != slot.counts.len() {
+                    return Err(format!("histogram `{name}` has a mismatched bucket layout"));
+                }
+                for (mine, theirs) in slot.counts.iter_mut().zip(&counts) {
+                    *mine += theirs;
+                }
+                slot.count += h.get("count").and_then(Json::as_num).unwrap_or(0).max(0) as u64;
+                slot.sum += h.get("sum").and_then(Json::as_num).unwrap_or(0).max(0) as u128;
+            }
+        }
+        if let Some(Json::Obj(interference)) = state.get("interference") {
+            for (app, row) in interference {
+                let get =
+                    |field: &str| row.get(field).and_then(Json::as_num).unwrap_or(0).max(0) as u64;
+                let entry = inner.interference.entry(app.clone()).or_default();
+                entry.installs += get("installs");
+                entry.dirty += get("dirty");
+                entry.threats += get("threats");
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Counter names a restore may revive (keys are `&'static str`, so the
+/// envelope's strings must intern through this table).
+const KNOWN_COUNTERS: &[&str] = &[
+    "events_consumed_total",
+    "homes_created_total",
+    "installs_total",
+    "installs_clean_total",
+    "installs_dirty_total",
+    "upgrades_total",
+    "uninstalls_total",
+    "uninstall_rules_removed_total",
+    "uninstall_threats_retired_total",
+    "pairs_checked_total",
+    "solves_total",
+    "cache_hits_total",
+    "cache_misses_total",
+    "cache_probes_total",
+    "threats_total",
+    "mediation_events_total",
+    "mediation_mediated_total",
+    "sweep_shards_total",
+    "sweep_homes_total",
+    "snapshots_total",
+    "snapshot_micros_total",
+    "queue_saturated_total",
+];
+
+const KNOWN_HISTOGRAMS: &[&str] = &[
+    "install_micros",
+    "mediation_latency_ns",
+    "pair_check_micros_cached",
+    "pair_check_micros_uncached",
+];
+
+fn histogram_json(h: &Histogram) -> Json {
+    Json::obj([
+        (
+            "buckets",
+            Json::Arr(
+                h.bounds
+                    .iter()
+                    .zip(&h.counts)
+                    .map(|(bound, count)| {
+                        Json::obj([
+                            ("le", Json::Num(*bound as i64)),
+                            ("count", Json::Num(*count as i64)),
+                        ])
+                    })
+                    .chain(std::iter::once(Json::obj([
+                        ("le", Json::Null),
+                        ("count", Json::Num(*h.counts.last().unwrap_or(&0) as i64)),
+                    ])))
+                    .collect(),
+            ),
+        ),
+        ("count", Json::Num(h.count as i64)),
+        ("sum", Json::Num(h.sum as i64)),
+        ("mean", Json::Num(h.mean() as i64)),
+    ])
+}
+
+fn interference_row_json(app: &str, row: &AppInterference) -> Json {
+    Json::obj([
+        ("app", Json::str(app)),
+        ("installs", Json::Num(row.installs as i64)),
+        ("dirty", Json::Num(row.dirty as i64)),
+        (
+            "rate_pct",
+            Json::Num((row.rate() * 10_000.0).round() as i64),
+        ),
+        ("threats", Json::Num(row.threats as i64)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn install(app: &str, installed: bool) -> TelemetryEvent {
+        TelemetryEvent::InstallCompleted {
+            home: 0,
+            app: app.to_string(),
+            installed,
+            upgrade: false,
+            threats: u64::from(!installed),
+            pairs: 3,
+            solves: 1,
+            cache_hits: 2,
+            cache_misses: 1,
+            micros: 420,
+        }
+    }
+
+    #[test]
+    fn counters_and_interference_aggregate() {
+        let reg = MetricsRegistry::new();
+        reg.ingest(&install("A", true));
+        reg.ingest(&install("A", false));
+        reg.ingest(&install("B", true));
+        reg.ingest(&TelemetryEvent::ThreatDetected {
+            home: 0,
+            kind: "AR",
+            source_app: "A".into(),
+            target_app: "B".into(),
+        });
+        assert_eq!(reg.counter("installs_total"), 3);
+        assert_eq!(reg.counter("installs_dirty_total"), 1);
+        assert_eq!(reg.counter("cache_hits_total"), 6);
+        assert_eq!(reg.counter("threats_total"), 1);
+        let table = reg.interference_table();
+        assert_eq!(table[0].0, "A", "A has the higher interference rate");
+        assert!((table[0].1.rate() - 0.5).abs() < 1e-9);
+        assert_eq!(table[0].1.threats, 1);
+        assert_eq!(table[1].1.threats, 1, "both pair members are charged");
+        // Renders in both formats without panicking, with the data present.
+        let json = reg.to_json();
+        assert!(json.get("counters").is_some());
+        let prom = reg.render_prometheus();
+        assert!(prom.contains("hg_installs_total 3"));
+        assert!(prom.contains("hg_app_interference_rate{app=\"A\"} 0.5"));
+    }
+
+    #[test]
+    fn histograms_bucket_weighted_observations() {
+        let reg = MetricsRegistry::new();
+        reg.ingest(&TelemetryEvent::CacheProbe {
+            hit: true,
+            micros: 3,
+            weight: 64,
+        });
+        reg.ingest(&TelemetryEvent::CacheProbe {
+            hit: false,
+            micros: 9_000,
+            weight: 1,
+        });
+        let cached = reg.histogram("pair_check_micros_cached").unwrap();
+        assert_eq!(cached.count, 64, "a sampled probe stands for 64 checks");
+        assert_eq!(cached.counts[2], 64, "3µs lands in the ≤5 bucket");
+        let uncached = reg.histogram("pair_check_micros_uncached").unwrap();
+        assert_eq!(uncached.count, 1);
+        assert!(uncached.mean() > 8_999.0);
+    }
+
+    #[test]
+    fn export_absorb_round_trips_every_aggregate() {
+        let reg = MetricsRegistry::new();
+        reg.ingest(&install("A", false));
+        reg.ingest(&TelemetryEvent::ThreatDetected {
+            home: 0,
+            kind: "CT",
+            source_app: "A".into(),
+            target_app: "A".into(),
+        });
+        reg.ingest(&TelemetryEvent::MediationDecision {
+            home: 0,
+            kind: "CT",
+            verdict: "suppress",
+            latency_ns: 700,
+        });
+        reg.set_gauge("shard_queue_depth_0", 3);
+
+        let state = reg.export_state();
+        let fresh = MetricsRegistry::new();
+        fresh.absorb_state(&state).unwrap();
+        // Every counter and histogram revives exactly; gauges don't ride.
+        assert_eq!(fresh.export_state().to_text(), state.to_text());
+        assert_eq!(fresh.counter("installs_total"), 1);
+        assert_eq!(fresh.counter("mediation_mediated_total"), 1);
+        assert_eq!(fresh.histogram("mediation_latency_ns").unwrap().count, 1);
+        assert_eq!(fresh.gauge("shard_queue_depth_0"), None);
+        // The restored registry keeps accumulating — the cut-over.
+        fresh.ingest(&install("A", true));
+        assert_eq!(fresh.counter("installs_total"), 2);
+        // Version gate.
+        assert!(fresh
+            .absorb_state(&Json::obj([("v", Json::Num(2))]))
+            .is_err());
+    }
+}

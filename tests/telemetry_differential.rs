@@ -1,0 +1,207 @@
+//! Telemetry differential: attaching the fleet event bus must be a
+//! **pure observation** — every report, every persisted byte, identical
+//! with and without it — while the metrics registry's totals reconcile
+//! *exactly* with the events the bus carried.
+//!
+//! Two fleets over separate stores run the same lifecycle churn: one
+//! silent, one wired to a live [`TelemetryHub`]. The wired fleet's
+//! observable outputs (install/uninstall reports, rollout merges, the
+//! snapshot document) must be bit-identical to the silent fleet's; the
+//! hub's counters must then equal a direct recount of the bus events.
+//! Finally the aggregate envelope rides a snapshot through text and
+//! restores warm into a fresh registry with nothing lost.
+
+use hg_persist::FleetSnapshot;
+use hg_service::{Fleet, HomeId, RuleStore, TelemetryEvent};
+use hg_telemetry::{MetricsRegistry, TelemetryHub};
+use std::time::Duration;
+
+const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+/// One fleet's full observable output for the shared churn script: every
+/// report rendered to a canonical line, in execution order.
+fn churn(fleet: &Fleet) -> Vec<String> {
+    let mut log = Vec::new();
+    let ids: Vec<HomeId> = (0..6).map(|_| fleet.create_home()).collect();
+    for id in &ids {
+        let report = fleet.install_app(*id, ON_APP, "OnApp", None).unwrap();
+        log.push(render_install(&report));
+    }
+    for id in ids.iter().take(3) {
+        let report = fleet
+            .install_app_forced(*id, OFF_APP, "OffApp", None)
+            .unwrap();
+        log.push(render_install(&report));
+    }
+    let gone = fleet.uninstall_app(ids[0], "OffApp").unwrap();
+    log.push(format!(
+        "uninstall app={} rules={} retired={}",
+        gone.app,
+        gone.removed_rules.len(),
+        gone.retired_threats
+    ));
+    let rollout = fleet
+        .propagate_upgrade(&format!("{ON_APP}// v2\n"), "OnApp")
+        .unwrap();
+    log.push(format!(
+        "rollout upgraded={:?} pending={:?} skipped={} failed={}",
+        rollout
+            .upgraded
+            .iter()
+            .map(|id| id.raw())
+            .collect::<Vec<_>>(),
+        rollout
+            .pending
+            .iter()
+            .map(|(id, _)| id.raw())
+            .collect::<Vec<_>>(),
+        rollout.skipped,
+        rollout.failed.len()
+    ));
+    log
+}
+
+fn render_install(report: &homeguard_core::InstallReport) -> String {
+    let mut threats: Vec<String> = report
+        .threats
+        .iter()
+        .map(|t| format!("{}:{}->{}", t.kind.acronym(), t.source.app, t.target.app))
+        .collect();
+    threats.sort();
+    format!(
+        "install app={} installed={} threats={:?} pairs={} solves={} hits={} misses={}",
+        report.app,
+        report.installed,
+        threats,
+        report.stats.pairs,
+        report.stats.solves,
+        report.stats.cache_hits,
+        report.stats.cache_misses
+    )
+}
+
+#[test]
+fn attached_bus_changes_no_report_and_no_persisted_byte() {
+    let silent = Fleet::builder(RuleStore::shared()).shards(4).build();
+    let wired = Fleet::builder(RuleStore::shared()).shards(4).build();
+    let hub = TelemetryHub::start();
+    assert!(wired.attach_telemetry(hub.bus().clone()));
+
+    let silent_log = churn(&silent);
+    let wired_log = churn(&wired);
+    assert_eq!(
+        silent_log, wired_log,
+        "every report must be identical with the bus attached"
+    );
+
+    // The persisted documents are bit-identical: a fleet-level snapshot
+    // never embeds observability state (the API layer injects the
+    // envelope separately).
+    let silent_doc = silent.snapshot().unwrap().to_text();
+    let wired_doc = wired.snapshot().unwrap().to_text();
+    assert_eq!(
+        silent_doc, wired_doc,
+        "snapshot bytes must not depend on telemetry"
+    );
+
+    // Exactness: once the collector has consumed everything published,
+    // the registry's totals equal a direct recount of the bus events.
+    assert!(hub.sync(Duration::from_secs(5)), "collector must catch up");
+    assert_eq!(hub.bus().dropped_events(), 0, "churn fits bus retention");
+    let mut events = Vec::new();
+    hub.bus().drain_since(0, &mut events);
+    let count =
+        |pred: fn(&TelemetryEvent) -> bool| events.iter().filter(|(_, e)| pred(e)).count() as u64;
+    let registry = hub.registry();
+    let installs = count(|e| matches!(e, TelemetryEvent::InstallCompleted { .. }));
+    let threats = count(|e| matches!(e, TelemetryEvent::ThreatDetected { .. }));
+    assert!(installs >= 9, "6 installs + 3 forced at minimum");
+    assert!(threats > 0, "OffApp conflicts must surface");
+    assert_eq!(registry.counter("installs_total"), installs);
+    assert_eq!(registry.counter("threats_total"), threats);
+    assert_eq!(
+        registry.counter("homes_created_total"),
+        count(|e| matches!(e, TelemetryEvent::HomeCreated { .. }))
+    );
+    assert_eq!(registry.counter("homes_created_total"), 6);
+    assert_eq!(
+        registry.counter("uninstalls_total"),
+        count(|e| matches!(e, TelemetryEvent::UninstallCompleted { .. }))
+    );
+    assert_eq!(registry.counter("uninstalls_total"), 1);
+    assert_eq!(
+        registry.counter("sweep_shards_total"),
+        count(|e| matches!(e, TelemetryEvent::SweepShardDone { .. }))
+    );
+    assert_eq!(registry.counter("sweep_shards_total"), 4);
+    assert_eq!(registry.counter("snapshots_total"), 1);
+    assert_eq!(
+        registry.counter("events_consumed_total"),
+        events.len() as u64
+    );
+
+    // The silent fleet's mediation accessors work without any bus.
+    assert_eq!(silent.mediation_stats().events, 0);
+    hub.stop();
+}
+
+#[test]
+fn telemetry_envelope_rides_snapshots_and_restores_warm() {
+    let fleet = Fleet::builder(RuleStore::shared()).shards(2).build();
+    let hub = TelemetryHub::start();
+    assert!(fleet.attach_telemetry(hub.bus().clone()));
+    churn(&fleet);
+
+    let mut snapshot = fleet.snapshot().unwrap();
+    assert!(
+        snapshot.telemetry.is_none(),
+        "the fleet itself never embeds the envelope"
+    );
+    assert!(hub.sync(Duration::from_secs(5)));
+    let envelope = hub.registry().export_state();
+    snapshot.telemetry = Some(envelope.clone());
+
+    // Through text and back: the envelope survives verbatim…
+    let text = snapshot.to_text();
+    let revived = FleetSnapshot::from_text(&text).unwrap();
+    let carried = revived.telemetry.clone().expect("envelope must ride");
+    assert_eq!(carried.to_text(), envelope.to_text());
+
+    // …and a fresh registry absorbing it reproduces every aggregate.
+    let fresh = MetricsRegistry::new();
+    fresh.absorb_state(&carried).unwrap();
+    assert_eq!(
+        fresh.export_state().to_text(),
+        envelope.to_text(),
+        "snapshot→restore must preserve every counter, histogram and row"
+    );
+    assert_eq!(
+        fresh.counter("installs_total"),
+        hub.registry().counter("installs_total")
+    );
+
+    // The fleet side restores independently of the envelope.
+    let back = Fleet::restore(revived).unwrap();
+    assert_eq!(back.len(), fleet.len());
+
+    // Stripping the envelope reproduces the pre-telemetry document
+    // exactly — old readers and writers stay byte-compatible.
+    let mut stripped = FleetSnapshot::from_text(&text).unwrap();
+    stripped.telemetry = None;
+    assert_eq!(stripped.to_text(), fleet.snapshot().unwrap().to_text());
+    hub.stop();
+}
