@@ -374,7 +374,7 @@ impl FleetExec {
     ) -> Result<Result<BulkOutcomes, HgError>, ExecError> {
         let queues = self.shard_queues.clone();
         self.run_on_store(move |fleet| {
-            fleet.store().ingest(&source, &name)?;
+            fleet.ingest_app(&source, &name)?;
             let mut groups: Vec<Vec<(usize, HomeId)>> = vec![Vec::new(); queues.len()];
             for (pos, &id) in home_ids.iter().enumerate() {
                 groups[fleet.shard_of(id)].push((pos, id));
@@ -448,7 +448,7 @@ impl FleetExec {
             drop(tx);
             let parts: Vec<_> = (0..submitted).filter_map(|_| rx.recv().ok()).collect();
             let mut out = ForceUninstall::merge(app.as_str(), parts);
-            out.store_retired = fleet.store().retire_app(&app);
+            out.store_retired = fleet.retire_store_app(&app);
             out
         })
     }
@@ -476,7 +476,7 @@ impl FleetExec {
         if self.stopped.load(Ordering::Relaxed) {
             return Err(ExecError::Gone);
         }
-        if let Err(error) = self.fleet.store().ingest_as(&source, &name) {
+        if let Err(error) = self.fleet.ingest_app_as(&source, &name) {
             return Ok(Err(error));
         }
         let source = Arc::new(source);

@@ -19,6 +19,7 @@
 //! | `GET /snapshot` | token | full fleet snapshot (+ telemetry envelope) |
 //! | `POST /restore` | token | revive a fleet from a snapshot |
 //! | `GET /stats` | — | fleet + queue + session gauges |
+//! | `GET /journal/stats` | — | journal offsets, segments, dirty set |
 //! | `GET /metrics` | — | metrics registry (JSON; `?format=prometheus`) |
 //! | `GET /analytics/interference` | — | per-app interference-rate table |
 //! | `GET /analytics/hot-pairs` | — | verdict-cache hot-pair leaderboard |
@@ -38,7 +39,7 @@ use crate::wire::{
 };
 use hg_persist::FleetSnapshot;
 use hg_rules::json::Json;
-use hg_service::{Fleet, HomeId};
+use hg_service::{Fleet, HgError, HomeId, Journal};
 use hg_telemetry::{TelemetryBus, TelemetryHub};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
@@ -53,6 +54,7 @@ pub struct AppState {
     sessions: SessionStore,
     exec_config: ExecConfig,
     telemetry: Option<Arc<TelemetryHub>>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl AppState {
@@ -74,7 +76,28 @@ impl AppState {
             sessions,
             exec_config,
             telemetry,
+            journal: None,
         }
+    }
+
+    /// Attaches a write-ahead journal to the served fleet and remembers it
+    /// so `POST /restore` re-journals the swapped-in fleet (the journal is
+    /// reset first: a restore starts a new durability timeline) and
+    /// `GET /journal/stats` comes alive.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] / [`HgError::Poisoned`] from
+    /// [`Fleet::attach_journal`] (writing the baseline checkpoint).
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Result<AppState, HgError> {
+        self.exec().fleet().attach_journal(journal.clone())?;
+        self.journal = Some(journal);
+        Ok(self)
+    }
+
+    /// The attached journal, when durability is enabled.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// The telemetry hub, when observability is enabled.
@@ -100,9 +123,15 @@ impl AppState {
         self.exec().stop();
     }
 
-    fn swap_fleet(&self, fleet: Arc<Fleet>) {
+    fn swap_fleet(&self, fleet: Arc<Fleet>) -> Result<(), HgError> {
         if let Some(hub) = &self.telemetry {
             fleet.attach_telemetry(hub.bus().clone());
+        }
+        if let Some(journal) = &self.journal {
+            // The swapped-in fleet is a new durability timeline: wipe the
+            // old fleet's records and re-baseline on the fresh state.
+            journal.reset()?;
+            fleet.attach_journal(journal.clone())?;
         }
         let fresh = FleetExec::start(fleet, self.exec_config.clone());
         let old = std::mem::replace(
@@ -113,6 +142,7 @@ impl AppState {
             fresh,
         );
         old.stop();
+        Ok(())
     }
 }
 
@@ -308,6 +338,16 @@ fn dispatch(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
             Ok(Response::json(201, &Json::obj([("home", Json::Num(id.raw() as i64))])).into())
         }
         ("GET", "/stats") => Ok(Response::json(200, &stats_json(state)).into()),
+        ("GET", "/journal/stats") => {
+            let journal = state.journal().ok_or_else(|| {
+                ApiError::new(
+                    404,
+                    "journal_disabled",
+                    "this server runs without a write-ahead journal",
+                )
+            })?;
+            Ok(Response::json(200, &Json::obj([("journal", journal.stats_json())])).into())
+        }
         ("GET", "/metrics") => metrics_route(state, req),
         ("GET", "/analytics/interference") => {
             let hub = need_hub(state)?;
@@ -391,7 +431,7 @@ fn dispatch(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
             }
             let fleet = Arc::new(Fleet::restore(snapshot).map_err(ApiError::from)?);
             let homes = fleet.len();
-            state.swap_fleet(fleet);
+            state.swap_fleet(fleet).map_err(ApiError::from)?;
             Ok(Response::json(200, &Json::obj([("homes", Json::Num(homes as i64))])).into())
         }
         ("POST", "/fleet/install_many") => {
@@ -580,5 +620,6 @@ fn stats_json(state: &AppState) -> Json {
             ]),
         ),
         ("telemetry", Json::Bool(state.telemetry.is_some())),
+        ("journal", Json::Bool(state.journal.is_some())),
     ])
 }

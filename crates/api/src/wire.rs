@@ -190,6 +190,7 @@ fn hg_error_ref_to_api(error: &HgError) -> ApiError {
         HgError::Parse { .. } => (500, "corrupt_rule_file"),
         HgError::Poisoned(_) => (503, "poisoned"),
         HgError::Snapshot(_) => (400, "bad_snapshot"),
+        HgError::Journal(_) => (500, "journal_failed"),
         _ => (500, "internal"),
     };
     ApiError::new(status, code, error.to_string())
@@ -390,6 +391,7 @@ mod tests {
             ),
             (HgError::Poisoned("shard"), 503),
             (HgError::Snapshot("bad".into()), 400),
+            (HgError::Journal("segment 3 torn".into()), 500),
         ];
         for (error, status) in cases {
             let api = ApiError::from(error);

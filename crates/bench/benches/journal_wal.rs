@@ -1,0 +1,222 @@
+//! Write-ahead journal bench: append overhead on the install hot path,
+//! raw append/replay throughput, and the delta-checkpoint vs full-walk
+//! soak datapoint.
+//!
+//! The tentpole claim under test: journaling every lifecycle mutation is
+//! cheap enough to leave on in production — the target is **< 5 %
+//! throughput overhead** on the repeated-install 256×4 grid — and a
+//! delta checkpoint of a large mostly-idle fleet beats the stop-the-world
+//! full snapshot walk by the dirty fraction.
+//!
+//! The soak section sizes its fleet from `HG_SOAK_HOMES` (default 2 000
+//! for CI smokes; the recorded `BENCH_PR8.json` datapoint runs 100 000).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hg_bench::fleet_gen::{populate, FleetSpec};
+use hg_corpus::device_control_apps;
+use hg_service::{Fleet, HomeId, Journal, JournalRecord, MemBackend, RuleStore};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The corpus slice rolled out to every home.
+fn app_slice(apps: usize) -> Vec<(&'static str, &'static str)> {
+    device_control_apps()
+        .iter()
+        .take(apps)
+        .map(|app| (app.name, app.source))
+        .collect()
+}
+
+/// A fresh journal over its (shared-storage) backend handle.
+fn mem_journal() -> (Arc<Journal>, MemBackend) {
+    let backend = MemBackend::new();
+    let journal = Journal::open(Box::new(backend.clone())).expect("fresh backend opens");
+    (Arc::new(journal), backend)
+}
+
+/// Builds a fleet of `homes`, optionally journaled, and installs `apps`
+/// corpus apps into every home — the same grid the telemetry bench runs,
+/// so the two overhead numbers are comparable.
+fn grid(homes: usize, apps: usize, journaled: bool) -> (Fleet, Vec<HomeId>, Option<MemBackend>) {
+    let fleet = Fleet::builder(RuleStore::shared()).shards(16).build();
+    let backend = journaled.then(|| {
+        let (journal, backend) = mem_journal();
+        assert!(fleet.attach_journal(journal).unwrap());
+        backend
+    });
+    // Batch creation + bulk install: the journaled grid costs one
+    // `HomesCreated` and one `InstallSwept`/`StoreIngested` pair per app,
+    // not one append per home — the group-commit fast path under test.
+    let ids = fleet.create_homes(homes);
+    for (name, source) in app_slice(apps) {
+        for result in fleet.install_many(&ids, source, name, None).unwrap() {
+            result.1.unwrap();
+        }
+    }
+    (fleet, ids, backend)
+}
+
+/// One timed populate of the grid, in installs per second.
+fn grid_round(homes: usize, apps: usize, journaled: bool) -> f64 {
+    let started = Instant::now();
+    let out = grid(homes, apps, journaled);
+    let rate = (homes * apps) as f64 / started.elapsed().as_secs_f64();
+    drop(out);
+    rate
+}
+
+fn bench_journal_wal(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let (homes, apps, rounds) = (256, 4, 15);
+
+    // ---- journal on/off on the identical grid --------------------------
+    // Interleaved rounds, median of per-iteration ratios — same protocol
+    // as the telemetry bench, for the same reason: container throughput
+    // drifts, adjacent rounds isolate the journal from the drift.
+    let (mut offs, mut ons) = (Vec::new(), Vec::new());
+    for round in 0..rounds {
+        for slot in 0..2 {
+            if (round + slot) % 2 == 0 {
+                offs.push(grid_round(homes, apps, false));
+            } else {
+                ons.push(grid_round(homes, apps, true));
+            }
+        }
+    }
+    let mut ratios: Vec<f64> = offs
+        .iter()
+        .zip(&ons)
+        .map(|(off, on)| 100.0 * (off - on) / off)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite rates"));
+    let overhead_pct = ratios[ratios.len() / 2];
+    let best = |rates: &[f64]| rates.iter().cloned().fold(0f64, f64::max);
+    let (off_rate, on_rate) = (best(&offs), best(&ons));
+    println!(
+        "grid {homes}x{apps}: journal off {off_rate:.0} installs/sec, \
+         on {on_rate:.0} installs/sec \
+         ({overhead_pct:+.2}% median overhead, target < 5%)"
+    );
+
+    // ---- raw append throughput -----------------------------------------
+    let (journal, _backend) = mem_journal();
+    let record = JournalRecord::UninstallCommitted {
+        id: 1,
+        app: "OnApp".into(),
+    };
+    let n = 50_000u64;
+    let started = Instant::now();
+    for _ in 0..n {
+        journal.append(&record).unwrap();
+    }
+    let append_rate = n as f64 / started.elapsed().as_secs_f64();
+    println!("  raw append: {append_rate:.0} records/sec (mem backend)");
+
+    // ---- recovery (replay) throughput ----------------------------------
+    // Reopen a journaled fleet's backend and recover. The fleet is built
+    // through the **per-home** paths (`create_home` + `install_app`), so
+    // the journal holds one record per lifecycle event and the rate below
+    // is a per-record replay figure — the batched grid above would shrink
+    // to a handful of sweep records and time nothing.
+    let (journal, backend) = mem_journal();
+    let live = Fleet::builder(RuleStore::shared()).shards(16).build();
+    assert!(live.attach_journal(journal).unwrap());
+    for _ in 0..homes {
+        let id = live.create_home();
+        for (name, source) in app_slice(apps) {
+            live.install_app(id, source, name, None).unwrap();
+        }
+    }
+    let reopened = Arc::new(Journal::open(Box::new(backend.clone())).unwrap());
+    let records = reopened.next_offset();
+    let started = Instant::now();
+    let recovered = Fleet::recover(reopened).expect("journal replays");
+    let replay_secs = started.elapsed().as_secs_f64();
+    assert_eq!(recovered.len(), live.len(), "replay rebuilds every home");
+    let replay_rate = records as f64 / replay_secs;
+    println!(
+        "  recovery: {records} records replayed in {replay_secs:.2}s \
+         ({replay_rate:.0} records/sec)"
+    );
+    drop((live, recovered));
+
+    // ---- delta checkpoint vs full walk (the soak datapoint) ------------
+    let soak_homes: usize = std::env::var("HG_SOAK_HOMES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let spec = FleetSpec {
+        shards: 32,
+        ..FleetSpec::sized(soak_homes)
+    };
+    let fleet = Fleet::builder(RuleStore::shared())
+        .shards(spec.shards)
+        .build();
+    let (journal, _backend) = mem_journal();
+    fleet.attach_journal(journal.clone()).unwrap();
+    let populate_started = Instant::now();
+    let (ids, stats) = populate(&fleet, &spec);
+    let populate_secs = populate_started.elapsed().as_secs_f64();
+    fleet.checkpoint().expect("post-populate checkpoint");
+    // Churn 1 % of the fleet so the next delta exports only that slice.
+    let (source, name) = app_slice(1)
+        .first()
+        .map(|(n, s)| (s.to_string(), n.to_string()))
+        .unwrap();
+    for &id in ids.iter().step_by(100) {
+        fleet.install_app(id, &source, &name, None).unwrap();
+    }
+    let started = Instant::now();
+    let delta = fleet.checkpoint().expect("delta checkpoint");
+    let delta_secs = started.elapsed().as_secs_f64();
+    let started = Instant::now();
+    let full_bytes = fleet.snapshot().unwrap().to_text().len();
+    let full_secs = started.elapsed().as_secs_f64();
+    println!(
+        "  soak {soak_homes} homes (populated in {populate_secs:.1}s, \
+         {chains} chained reports): delta checkpoint of {dirty} dirty homes \
+         {delta_secs:.3}s vs full walk ({full_bytes} B) {full_secs:.3}s \
+         ({speedup:.1}x)",
+        chains = stats.chained_reports,
+        dirty = delta.homes,
+        speedup = full_secs / delta_secs.max(1e-9),
+    );
+
+    hg_bench::emit_summary(
+        "journal_wal",
+        &[
+            ("installs_per_sec_off", off_rate),
+            ("installs_per_sec_on", on_rate),
+            ("journal_overhead_pct", overhead_pct),
+            ("append_records_per_sec", append_rate),
+            ("replay_records_per_sec", replay_rate),
+            ("soak_homes", soak_homes as f64),
+            ("soak_chained_reports", stats.chained_reports as f64),
+            ("delta_checkpoint_secs", delta_secs),
+            ("full_walk_secs", full_secs),
+            ("hardware_threads", threads as f64),
+        ],
+    );
+
+    // Criterion sampling: a small journaled grid, so per-iteration append
+    // cost shows up in the tracked timings.
+    let mut group = c.benchmark_group("journal_wal");
+    group.sample_size(10);
+    group.bench_function("install_grid_16x4_journaled", |b| {
+        b.iter(|| black_box(grid(16, 4, true)))
+    });
+    group.bench_function("install_grid_16x4_plain", |b| {
+        b.iter(|| black_box(grid(16, 4, false)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_journal_wal
+}
+criterion_main!(benches);

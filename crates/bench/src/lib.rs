@@ -2,6 +2,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fleet_gen;
+
 use hg_rules::rule::Rule;
 use hg_symexec::{extract, ExtractorConfig};
 

@@ -84,6 +84,12 @@ pub enum HgError {
     /// or missing schema version, or a structurally invalid document.
     /// Restoration fails as a whole — a snapshot is never half-applied.
     Snapshot(String),
+    /// The write-ahead journal failed: an append could not be made
+    /// durable, a stored record or checkpoint is corrupt, or replay hit a
+    /// record the live fleet refuses. The in-memory operation that
+    /// triggered a failed append has still been applied — the error tells
+    /// the caller its durability guarantee lapsed, not that state is bad.
+    Journal(String),
 }
 
 impl HgError {
@@ -119,6 +125,7 @@ impl fmt::Display for HgError {
             }
             HgError::Poisoned(what) => write!(f, "poisoned lock: {what}"),
             HgError::Snapshot(detail) => write!(f, "invalid snapshot: {detail}"),
+            HgError::Journal(detail) => write!(f, "journal failure: {detail}"),
         }
     }
 }
@@ -152,6 +159,9 @@ mod tests {
             new: "B".into(),
         };
         assert!(e.to_string().contains("different name"));
+        let e = HgError::Journal("segment 3 torn".into());
+        assert!(e.to_string().contains("journal failure"));
+        assert!(e.to_string().contains("segment 3 torn"));
     }
 
     #[test]

@@ -289,7 +289,7 @@ fn rank_remap(old_rules: &[Rule], new_rules: &[Rule]) -> BTreeMap<RuleId, RuleId
 /// the compiled mediation index and the enforcer are deliberately absent:
 /// [`Home::restore_state`] rebuilds them from the rules and the Allowed
 /// list, so a snapshot can never disagree with the state it implies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HomeState {
     /// Location modes.
     pub modes: Vec<String>,

@@ -30,6 +30,12 @@ pub struct RuleStore {
     /// How often `ingest` was answered from cache instead of re-extracting.
     /// Atomic so the cache-hit fast path stays on the read lock.
     cache_hits: AtomicU64,
+    /// Bumped every time an ingest **persists** a new fingerprint (cache
+    /// hits don't move it). Journaling callers compare it across an
+    /// operation as a free absent→present pre-filter, so the steady-state
+    /// install path never re-hashes the source just to learn nothing
+    /// changed.
+    ingest_epoch: AtomicU64,
     /// The fleet-shared pair-verdict cache. Owned here — the store is the
     /// one object every home already shares — and threaded through each
     /// session's detector, so two homes checking the same store-app pair
@@ -75,6 +81,7 @@ impl RuleStore {
             config,
             inner: RwLock::new(StoreInner::default()),
             cache_hits: AtomicU64::new(0),
+            ingest_epoch: AtomicU64::new(0),
             verdicts: Arc::new(VerdictCache::new()),
         }
     }
@@ -136,18 +143,51 @@ impl RuleStore {
         self.ingest_checked(source, name, true)
     }
 
+    /// Whether an [`ingest`](RuleStore::ingest) (or
+    /// [`ingest_as`](RuleStore::ingest_as)) of exactly this `(source, name)`
+    /// pair has already been served and persisted. Used by journaling
+    /// callers to tell a fresh ingest (worth a journal record) from a
+    /// fingerprint-cache hit (a no-op on store state).
+    pub fn has_ingested(&self, source: &str, name: &str) -> bool {
+        self.read_inner()
+            .by_fingerprint
+            .contains_key(&Self::fingerprint_of(source, name))
+    }
+
+    /// A counter that moves **only** when an ingest persists a new
+    /// fingerprint. Two equal reads around an operation prove no fresh
+    /// ingest happened anywhere in the store during it — the cheap
+    /// pre-filter journaling uses before paying a
+    /// [`has_ingested`](RuleStore::has_ingested) source hash.
+    pub fn ingest_epoch(&self) -> u64 {
+        self.ingest_epoch.load(Ordering::Acquire)
+    }
+
+    /// Whether `app`'s cached analysis holds exactly `rules`, without
+    /// cloning the rule set (unlike [`rules_of`](RuleStore::rules_of)).
+    /// Entries without a cached analysis answer `false` — callers that
+    /// dedup against the store fall back to carrying the rules inline.
+    pub fn rules_eq(&self, app: &str, rules: &[Rule]) -> bool {
+        self.read_inner()
+            .analyses
+            .get(app)
+            .is_some_and(|analysis| analysis.rules == rules)
+    }
+
+    fn fingerprint_of(source: &str, name: &str) -> u64 {
+        let mut h = DefaultHasher::new();
+        source.hash(&mut h);
+        name.hash(&mut h);
+        h.finish()
+    }
+
     fn ingest_checked(
         &self,
         source: &str,
         name: &str,
         must_match: bool,
     ) -> Result<Arc<AppAnalysis>, HgError> {
-        let fingerprint = {
-            let mut h = DefaultHasher::new();
-            source.hash(&mut h);
-            name.hash(&mut h);
-            h.finish()
-        };
+        let fingerprint = Self::fingerprint_of(source, name);
         // Fast path under the read lock: same ingest already served. (A
         // cached analysis was persisted by a prior successful ingest, so
         // the name check still applies but persistence cannot regress.)
@@ -205,6 +245,7 @@ impl RuleStore {
             .app_fingerprints
             .insert(app.clone(), vec![fingerprint]);
         inner.analyses.insert(app, analysis.clone());
+        self.ingest_epoch.fetch_add(1, Ordering::Release);
         Ok(analysis)
     }
 

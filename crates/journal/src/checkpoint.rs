@@ -1,0 +1,313 @@
+//! Delta checkpoints and their materialization into a full fleet image.
+//!
+//! A checkpoint freezes the fleet's ground truth **as of a journal
+//! offset**: the first one in a chain is always full (store + every
+//! home); later ones are deltas carrying only the homes dirtied — and the
+//! store, if touched — since the previous checkpoint, plus the ids of
+//! homes removed. Folding the chain left to right
+//! ([`materialize`]) reproduces the complete image the newest checkpoint
+//! covers, and replaying journal records at offsets `>= offset` on top of
+//! it reproduces the live fleet.
+
+use hg_persist::codec::{
+    home_state_from_json, home_state_to_json, store_state_from_json, store_state_to_json,
+};
+use hg_rules::json::Json;
+use homeguard_core::{HgError, HomeState, StoreState};
+use std::collections::BTreeMap;
+
+use crate::record::journal_err;
+
+/// Checkpoint document format version, checked on decode.
+pub const CHECKPOINT_VERSION: i64 = 1;
+
+/// One checkpoint document: the fleet's ground truth (full) or the
+/// dirtied part of it (delta) as of a journal offset.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    /// Journal offset this checkpoint covers: every record at an offset
+    /// `< offset` is folded in; replay resumes at `offset`.
+    pub offset: u64,
+    /// Whether this is a full image (chain base) or a delta.
+    pub full: bool,
+    /// Fleet shard count (registry routing parameter).
+    pub shards: usize,
+    /// The fleet's next home id.
+    pub next_id: u64,
+    /// The shared rule store's state; always present when `full`, present
+    /// in a delta only when store records landed since the previous
+    /// checkpoint.
+    pub store: Option<StoreState>,
+    /// `(raw id, ground truth)` for every home covered: all homes when
+    /// `full`, dirtied homes otherwise.
+    pub homes: Vec<(u64, HomeState)>,
+    /// Raw ids of homes removed since the previous checkpoint.
+    pub removed: Vec<u64>,
+}
+
+impl Checkpoint {
+    /// Serializes to the checkpoint document text.
+    pub fn to_text(&self) -> String {
+        Json::obj([
+            ("version", Json::Num(CHECKPOINT_VERSION)),
+            ("kind", Json::str("journal-checkpoint")),
+            ("offset", Json::Num(self.offset as i64)),
+            ("full", Json::Bool(self.full)),
+            ("shards", Json::Num(self.shards as i64)),
+            ("nextId", Json::Num(self.next_id as i64)),
+            (
+                "store",
+                self.store
+                    .as_ref()
+                    .map(store_state_to_json)
+                    .unwrap_or(Json::Null),
+            ),
+            (
+                "homes",
+                Json::Arr(
+                    self.homes
+                        .iter()
+                        .map(|(id, state)| {
+                            Json::obj([
+                                ("id", Json::Num(*id as i64)),
+                                ("state", home_state_to_json(state)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "removed",
+                Json::Arr(self.removed.iter().map(|&r| Json::Num(r as i64)).collect()),
+            ),
+        ])
+        .to_text()
+    }
+
+    /// Decodes a checkpoint document.
+    pub fn from_text(text: &str) -> Result<Checkpoint, HgError> {
+        let j = Json::parse(text).map_err(|e| journal_err(format!("checkpoint parse: {e}")))?;
+        if j.get("version").and_then(Json::as_num) != Some(CHECKPOINT_VERSION) {
+            return Err(journal_err("unsupported checkpoint version"));
+        }
+        if j.get("kind").and_then(Json::as_str) != Some("journal-checkpoint") {
+            return Err(journal_err("not a journal checkpoint document"));
+        }
+        let num = |field: &str| -> Result<i64, HgError> {
+            let n = j
+                .get(field)
+                .and_then(Json::as_num)
+                .ok_or_else(|| journal_err(format!("checkpoint missing `{field}`")))?;
+            if n < 0 {
+                return Err(journal_err(format!("negative checkpoint `{field}`")));
+            }
+            Ok(n)
+        };
+        let full = match j.get("full") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err(journal_err("checkpoint missing `full`")),
+        };
+        let store = match j.get("store") {
+            None | Some(Json::Null) => None,
+            Some(s) => Some(store_state_from_json(s).map_err(|e| journal_err(e.to_string()))?),
+        };
+        if full && store.is_none() {
+            return Err(journal_err("full checkpoint missing store state"));
+        }
+        let mut homes = Vec::new();
+        for entry in j
+            .get("homes")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| journal_err("checkpoint missing `homes`"))?
+        {
+            let id = entry
+                .get("id")
+                .and_then(Json::as_num)
+                .filter(|&n| n >= 0)
+                .ok_or_else(|| journal_err("bad home id in checkpoint"))?;
+            let state = home_state_from_json(
+                entry
+                    .get("state")
+                    .ok_or_else(|| journal_err("checkpoint home missing state"))?,
+            )
+            .map_err(|e| journal_err(e.to_string()))?;
+            homes.push((id as u64, state));
+        }
+        let removed = j
+            .get("removed")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| journal_err("checkpoint missing `removed`"))?
+            .iter()
+            .map(|r| {
+                r.as_num()
+                    .filter(|&n| n >= 0)
+                    .map(|n| n as u64)
+                    .ok_or_else(|| journal_err("bad removed id in checkpoint"))
+            })
+            .collect::<Result<_, _>>()?;
+        let shards = num("shards")? as usize;
+        if shards == 0 {
+            return Err(journal_err("checkpoint with zero shards"));
+        }
+        Ok(Checkpoint {
+            offset: num("offset")? as u64,
+            full,
+            shards,
+            next_id: num("nextId")? as u64,
+            store,
+            homes,
+            removed,
+        })
+    }
+}
+
+/// A checkpoint chain folded into one complete fleet image.
+#[derive(Debug, Clone)]
+pub struct MaterializedFleet {
+    /// Journal offset replay resumes from.
+    pub offset: u64,
+    /// Fleet shard count.
+    pub shards: usize,
+    /// The fleet's next home id.
+    pub next_id: u64,
+    /// The shared rule store's state.
+    pub store: StoreState,
+    /// Every live home's ground truth, keyed by raw id.
+    pub homes: BTreeMap<u64, HomeState>,
+}
+
+/// Folds a checkpoint chain (ascending offsets, first one full) into the
+/// complete image as of the newest checkpoint's offset.
+pub fn materialize(chain: &[Checkpoint]) -> Result<MaterializedFleet, HgError> {
+    let base = chain
+        .first()
+        .ok_or_else(|| journal_err("empty checkpoint chain"))?;
+    if !base.full {
+        return Err(journal_err(format!(
+            "checkpoint chain does not start full (base covers offset {})",
+            base.offset
+        )));
+    }
+    let mut image = MaterializedFleet {
+        offset: base.offset,
+        shards: base.shards,
+        next_id: base.next_id,
+        store: base.store.clone().expect("full checkpoint carries a store"),
+        homes: BTreeMap::new(),
+    };
+    for ckpt in chain {
+        if ckpt.offset < image.offset {
+            return Err(journal_err(format!(
+                "checkpoint chain offsets regress at {}",
+                ckpt.offset
+            )));
+        }
+        if ckpt.full {
+            image.homes.clear();
+        }
+        if let Some(store) = &ckpt.store {
+            image.store = store.clone();
+        }
+        for (id, state) in &ckpt.homes {
+            image.homes.insert(*id, state.clone());
+        }
+        for id in &ckpt.removed {
+            image.homes.remove(id);
+        }
+        image.offset = ckpt.offset;
+        image.shards = ckpt.shards;
+        image.next_id = ckpt.next_id;
+    }
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use homeguard_core::{Home, RuleStore};
+    use std::sync::Arc;
+
+    fn state_with(apps: &[(&str, &str)]) -> (HomeState, StoreState, Arc<RuleStore>) {
+        let store = RuleStore::shared();
+        let mut home = Home::new(store.clone());
+        for (name, source) in apps {
+            home.install_app(source, name, None).unwrap();
+        }
+        (home.export_state(), store.export_state(), store)
+    }
+
+    const ON_APP: &str = r#"
+        definition(name: "OnApp")
+        input "m", "capability.motionSensor"
+        input "lamp", "capability.switch", title: "lamp"
+        def installed() { subscribe(m, "motion.active", h) }
+        def h(evt) { lamp.on() }
+    "#;
+
+    #[test]
+    fn checkpoints_round_trip() {
+        let (state, store, _) = state_with(&[("OnApp", ON_APP)]);
+        let ckpt = Checkpoint {
+            offset: 12,
+            full: true,
+            shards: 4,
+            next_id: 9,
+            store: Some(store),
+            homes: vec![(3, state)],
+            removed: vec![7],
+        };
+        let back = Checkpoint::from_text(&ckpt.to_text()).unwrap();
+        assert_eq!(back.offset, 12);
+        assert!(back.full);
+        assert_eq!(back.shards, 4);
+        assert_eq!(back.next_id, 9);
+        assert_eq!(back.removed, vec![7]);
+        assert_eq!(back.homes.len(), 1);
+        assert_eq!(back.homes[0].0, 3);
+        assert_eq!(back.homes[0].1, ckpt.homes[0].1);
+        // Document-level refusals.
+        assert!(Checkpoint::from_text("garbage").is_err());
+        assert!(Checkpoint::from_text("{\"version\":1,\"kind\":\"store\"}").is_err());
+    }
+
+    #[test]
+    fn materialize_folds_deltas_over_the_full_base() {
+        let (state_a, store, shared) = state_with(&[("OnApp", ON_APP)]);
+        let mut home_b = Home::new(shared);
+        let state_b0 = home_b.export_state();
+        home_b.install_app(ON_APP, "OnApp", None).unwrap();
+        let state_b1 = home_b.export_state();
+        let chain = [
+            Checkpoint {
+                offset: 2,
+                full: true,
+                shards: 2,
+                next_id: 2,
+                store: Some(store.clone()),
+                homes: vec![(0, state_a.clone()), (1, state_b0)],
+                removed: Vec::new(),
+            },
+            Checkpoint {
+                offset: 5,
+                full: false,
+                shards: 2,
+                next_id: 3,
+                store: None,
+                homes: vec![(1, state_b1.clone()), (2, state_a.clone())],
+                removed: vec![0],
+            },
+        ];
+        let image = materialize(&chain).unwrap();
+        assert_eq!(image.offset, 5);
+        assert_eq!(image.next_id, 3);
+        assert_eq!(
+            image.homes.keys().copied().collect::<Vec<_>>(),
+            vec![1, 2],
+            "home 0 removed, homes 1-2 live"
+        );
+        assert_eq!(image.homes[&1], state_b1);
+        // A chain that does not start full is refused.
+        assert!(materialize(&chain[1..]).is_err());
+        assert!(materialize(&[]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! The binary frame layer: how one journal record sits in a segment.
+//!
+//! A frame is `magic(4) ‖ payload_len(4, LE) ‖ crc32(4, LE) ‖ payload`,
+//! where the payload is one UTF-8 JSON record document and the checksum
+//! covers exactly the payload bytes. The reader is paranoid by design: a
+//! short header, wrong magic, absurd length, truncated payload or checksum
+//! mismatch all classify as a **torn tail** — the scan stops at the last
+//! fully-verified frame and reports how many clean bytes precede the tear.
+//! Opening a journal therefore *truncates* damage away instead of
+//! panicking or propagating garbage into replay.
+
+/// Frame magic: "HGJ1" — HomeGuard Journal, format 1.
+pub const FRAME_MAGIC: [u8; 4] = *b"HGJ1";
+
+/// Fixed frame header size in bytes (magic + length + checksum).
+pub const FRAME_HEADER: usize = 12;
+
+/// Upper bound on a single record payload. A length field above this is
+/// treated as corruption, not an allocation request — a flipped bit in the
+/// length must never make the reader try to slurp 4 GiB.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+const CRC_TABLE: [u32; 256] = crc_table();
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut n = 0;
+    while n < 256 {
+        let mut c = n as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[n] = c;
+        n += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 polynomial) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// Encodes one payload as a framed record, appendable to a segment.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER + payload.len());
+    frame.extend_from_slice(&FRAME_MAGIC);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// The result of scanning a segment's bytes front to back.
+#[derive(Debug)]
+pub struct FrameScan {
+    /// Each verified payload, in order.
+    pub payloads: Vec<Vec<u8>>,
+    /// Byte length of the verified prefix. Equal to the input length when
+    /// the segment is clean; shorter when a torn tail follows.
+    pub clean_len: usize,
+    /// Why the scan stopped early, if it did.
+    pub tear: Option<&'static str>,
+}
+
+impl FrameScan {
+    /// Whether the segment decoded end to end without damage.
+    pub fn is_clean(&self) -> bool {
+        self.tear.is_none()
+    }
+}
+
+/// Walks `bytes` frame by frame, verifying each checksum, and stops at the
+/// first sign of damage. Never panics and never returns a partially
+/// verified payload.
+pub fn scan_frames(bytes: &[u8]) -> FrameScan {
+    let mut payloads = Vec::new();
+    let mut at = 0usize;
+    let tear = loop {
+        if at == bytes.len() {
+            break None;
+        }
+        if bytes.len() - at < FRAME_HEADER {
+            break Some("short frame header");
+        }
+        if bytes[at..at + 4] != FRAME_MAGIC {
+            break Some("bad frame magic");
+        }
+        let len = u32::from_le_bytes(bytes[at + 4..at + 8].try_into().unwrap()) as usize;
+        if len > MAX_PAYLOAD {
+            break Some("implausible payload length");
+        }
+        let crc = u32::from_le_bytes(bytes[at + 8..at + 12].try_into().unwrap());
+        let start = at + FRAME_HEADER;
+        let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
+            break Some("truncated payload");
+        };
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break Some("checksum mismatch");
+        }
+        payloads.push(payload.to_vec());
+        at = end;
+    };
+    FrameScan {
+        payloads,
+        clean_len: at,
+        tear,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Classic IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut segment = Vec::new();
+        for payload in [&b"{\"op\":\"a\"}"[..], b"", b"{\"op\":\"b\",\"n\":3}"] {
+            segment.extend_from_slice(&encode_frame(payload));
+        }
+        let scan = scan_frames(&segment);
+        assert!(scan.is_clean());
+        assert_eq!(scan.clean_len, segment.len());
+        assert_eq!(scan.payloads.len(), 3);
+        assert_eq!(scan.payloads[2], b"{\"op\":\"b\",\"n\":3}");
+    }
+
+    #[test]
+    fn every_truncation_point_keeps_the_verified_prefix() {
+        let mut segment = Vec::new();
+        let frames: Vec<Vec<u8>> = (0..4)
+            .map(|n| encode_frame(format!("{{\"n\":{n}}}").as_bytes()))
+            .collect();
+        for f in &frames {
+            segment.extend_from_slice(f);
+        }
+        let mut boundary = 0usize;
+        let mut whole = 0usize;
+        for cut in 0..=segment.len() {
+            let scan = scan_frames(&segment[..cut]);
+            // The verified prefix is always a whole number of frames.
+            if cut == boundary + frames[whole.min(3)].len() && whole < 4 {
+                boundary = cut;
+                whole += 1;
+            }
+            assert_eq!(scan.payloads.len(), whole, "cut at {cut}");
+            assert_eq!(scan.clean_len, boundary, "cut at {cut}");
+            assert_eq!(scan.is_clean(), cut == boundary, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn corruption_classifies_as_a_tear_never_a_panic() {
+        let clean = encode_frame(b"{\"op\":\"x\"}");
+        // Flip one payload byte → checksum mismatch.
+        let mut flipped = clean.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x40;
+        assert_eq!(scan_frames(&flipped).tear, Some("checksum mismatch"));
+        // Wrong magic.
+        let mut bad_magic = clean.clone();
+        bad_magic[0] = b'X';
+        assert_eq!(scan_frames(&bad_magic).tear, Some("bad frame magic"));
+        // Absurd length field.
+        let mut bad_len = clean.clone();
+        bad_len[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            scan_frames(&bad_len).tear,
+            Some("implausible payload length")
+        );
+        // Damage after a clean frame keeps the clean one.
+        let mut tail = clean.clone();
+        tail.extend_from_slice(b"garbage");
+        let scan = scan_frames(&tail);
+        assert_eq!(scan.payloads.len(), 1);
+        assert_eq!(scan.clean_len, clean.len());
+        assert!(!scan.is_clean());
+    }
+}

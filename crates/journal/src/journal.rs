@@ -1,0 +1,680 @@
+//! The journal core: ordered durable appends, delta-checkpoint
+//! bookkeeping, compaction and torn-tail recovery.
+//!
+//! ## Consistency model
+//!
+//! A [`Journal`] owns a **checkpoint gate** (`RwLock<()>`). Journaled
+//! fleet mutations hold the gate *shared* across their
+//! apply-then-append window; a checkpoint holds it *exclusively* while it
+//! exports the dirty set. That makes a checkpoint a consistent cut: no
+//! operation can be applied-but-not-yet-journaled while the export runs.
+//! The gate is only ever taken in **leaf** operations (never nested), so
+//! shared acquisitions cannot deadlock against a queued writer.
+//!
+//! ## Offsets
+//!
+//! Every record has a global offset: the count of records appended before
+//! it. A segment is named by the offset of its first record, so segment
+//! record counts need no side index — `next segment start − this start`.
+//! Checkpoints cover a prefix `[0, offset)`; replay resumes at `offset`.
+
+use hg_telemetry::{TelemetryBus, TelemetryEvent};
+use homeguard_core::HgError;
+use std::collections::BTreeSet;
+use std::sync::{
+    Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+use std::time::Instant;
+
+use crate::backend::JournalBackend;
+use crate::checkpoint::{materialize, Checkpoint, MaterializedFleet};
+use crate::frame::{encode_frame, scan_frames};
+use crate::record::{journal_err, JournalRecord};
+
+/// Tuning for a [`Journal`].
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Rotate to a fresh segment once the active one exceeds this many
+    /// bytes. Rotation happens between records — a record never spans
+    /// segments.
+    pub max_segment_bytes: u64,
+}
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            max_segment_bytes: 4 * 1024 * 1024,
+        }
+    }
+}
+
+#[derive(Default)]
+struct JournalInner {
+    /// Global offset of the next record to append.
+    next_offset: u64,
+    /// Start offset of the active (tail) segment.
+    tail_start: u64,
+    /// Byte length of the active segment.
+    tail_bytes: u64,
+    /// Offsets of stored checkpoints, ascending.
+    checkpoints: Vec<u64>,
+    /// Homes dirtied since the last checkpoint.
+    dirty: BTreeSet<u64>,
+    /// Homes removed since the last checkpoint.
+    removed: BTreeSet<u64>,
+    /// Whether the store changed since the last checkpoint.
+    store_dirty: bool,
+    /// Session counters (not persisted).
+    appends: u64,
+    append_bytes: u64,
+    append_failures: u64,
+    truncated_on_open: u64,
+}
+
+/// Summary returned by [`Journal::checkpoint_write`].
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointStats {
+    /// Journal offset the checkpoint covers.
+    pub offset: u64,
+    /// Homes exported into the document.
+    pub homes: u64,
+    /// Whether it was a full image.
+    pub full: bool,
+    /// Wall-clock write time in microseconds.
+    pub micros: u64,
+}
+
+/// Summary returned by [`Journal::compact`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompactStats {
+    /// Checkpoint documents folded away.
+    pub checkpoints_folded: u64,
+    /// Segments deleted.
+    pub segments_dropped: u64,
+    /// The single surviving checkpoint's offset.
+    pub offset: u64,
+}
+
+/// An append-only write-ahead journal of fleet lifecycle events.
+pub struct Journal {
+    backend: Box<dyn JournalBackend>,
+    gate: RwLock<()>,
+    inner: Mutex<JournalInner>,
+    telemetry: OnceLock<Arc<TelemetryBus>>,
+    config: JournalConfig,
+}
+
+impl Journal {
+    /// Opens a journal over a backend with default tuning. See
+    /// [`open_with`](Journal::open_with).
+    pub fn open(backend: Box<dyn JournalBackend>) -> Result<Journal, HgError> {
+        Journal::open_with(backend, JournalConfig::default())
+    }
+
+    /// Opens a journal, scanning and verifying every stored segment.
+    ///
+    /// A torn tail (half-written frame from a crash) is **truncated away**,
+    /// never a panic: the journal resumes at the last fully-checksummed
+    /// record. Any segments beyond a tear, and any checkpoints covering
+    /// offsets beyond the surviving records, are discarded. The dirty-home
+    /// bookkeeping is re-seeded by decoding the records after the newest
+    /// surviving checkpoint, so delta checkpoints stay correct across a
+    /// reopen with no write to the backend.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when the backend fails or a surviving
+    /// checkpoint/record no longer decodes.
+    pub fn open_with(
+        backend: Box<dyn JournalBackend>,
+        config: JournalConfig,
+    ) -> Result<Journal, HgError> {
+        let mut inner = JournalInner::default();
+        let starts = backend.segments().map_err(journal_err)?;
+        let mut torn = false;
+        for &start in &starts {
+            if torn {
+                // Data beyond a tear is unreachable for ordered replay.
+                backend.remove_segment(start).map_err(journal_err)?;
+                continue;
+            }
+            if start < inner.next_offset {
+                return Err(journal_err(format!(
+                    "segment at offset {start} overlaps its predecessor (which ends at {})",
+                    inner.next_offset
+                )));
+            }
+            // `start > next_offset` is a forward gap: the records between
+            // were compacted away under a checkpoint.
+            let bytes = backend.read_segment(start).map_err(journal_err)?;
+            let scan = scan_frames(&bytes);
+            if !scan.is_clean() {
+                inner.truncated_on_open += (bytes.len() - scan.clean_len) as u64;
+                backend
+                    .truncate_segment(start, scan.clean_len as u64)
+                    .map_err(journal_err)?;
+                torn = true;
+            }
+            inner.tail_start = start;
+            inner.tail_bytes = scan.clean_len as u64;
+            inner.next_offset = start + scan.payloads.len() as u64;
+        }
+        inner.checkpoints = backend.checkpoints().map_err(journal_err)?;
+        inner.checkpoints.sort_unstable();
+        if let Some(&last) = inner.checkpoints.last() {
+            if last > inner.next_offset {
+                // A checkpoint is atomic and self-contained, so it is
+                // trusted even when the records it folded are gone
+                // (compaction deleted them). Appends resume past it —
+                // offsets are never reused.
+                inner.next_offset = last;
+                inner.tail_start = last;
+                inner.tail_bytes = 0;
+            }
+        }
+        let journal = Journal {
+            backend,
+            gate: RwLock::new(()),
+            inner: Mutex::new(inner),
+            telemetry: OnceLock::new(),
+            config,
+        };
+        // Re-seed dirty bookkeeping from the un-checkpointed tail.
+        let replay_from = journal.last_checkpoint_offset().unwrap_or(0);
+        let tail = journal.records_from(replay_from)?;
+        {
+            let mut inner = journal.lock();
+            for (_, record) in &tail {
+                note_dirty(&mut inner, record);
+            }
+        }
+        Ok(journal)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, JournalInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Wires a telemetry bus (set-once). Returns `false` when a bus was
+    /// already attached.
+    pub fn set_telemetry(&self, bus: Arc<TelemetryBus>) -> bool {
+        self.telemetry.set(bus).is_ok()
+    }
+
+    fn publish(&self, event: TelemetryEvent) {
+        if let Some(bus) = self.telemetry.get() {
+            bus.publish(event);
+        }
+    }
+
+    /// Takes the checkpoint gate **shared** — held by a journaled
+    /// mutation across its apply-then-append window. Leaf operations
+    /// only: never acquire while already holding it.
+    pub fn gate(&self) -> RwLockReadGuard<'_, ()> {
+        self.gate.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Takes the checkpoint gate **exclusively** — held by a checkpoint
+    /// while it exports the dirty set.
+    pub fn gate_exclusive(&self) -> RwLockWriteGuard<'_, ()> {
+        self.gate.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one record durably, returning its global offset.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when the backend write fails. The caller's
+    /// in-memory mutation has already been applied at that point; the
+    /// error reports that durability lapsed, not that state is bad.
+    pub fn append(&self, record: &JournalRecord) -> Result<u64, HgError> {
+        let frame = encode_frame(&record.to_payload());
+        let mut inner = self.lock();
+        if inner.tail_bytes > 0
+            && inner.tail_bytes + frame.len() as u64 > self.config.max_segment_bytes
+        {
+            inner.tail_start = inner.next_offset;
+            inner.tail_bytes = 0;
+        }
+        let offset = inner.next_offset;
+        if let Err(e) = self.backend.append_segment(inner.tail_start, &frame) {
+            inner.append_failures += 1;
+            return Err(journal_err(format!("append at offset {offset}: {e}")));
+        }
+        inner.tail_bytes += frame.len() as u64;
+        inner.next_offset += 1;
+        inner.appends += 1;
+        inner.append_bytes += frame.len() as u64;
+        note_dirty(&mut inner, record);
+        drop(inner);
+        self.publish(TelemetryEvent::JournalAppended {
+            records: 1,
+            bytes: frame.len() as u64,
+        });
+        Ok(offset)
+    }
+
+    /// Flushes backend buffers to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when the backend sync fails.
+    pub fn sync(&self) -> Result<(), HgError> {
+        let started = Instant::now();
+        self.backend.sync().map_err(journal_err)?;
+        self.publish(TelemetryEvent::JournalSynced {
+            micros: started.elapsed().as_micros() as u64,
+        });
+        Ok(())
+    }
+
+    /// Global offset of the next record to append (= records ever
+    /// appended, minus nothing: offsets are never reused).
+    pub fn next_offset(&self) -> u64 {
+        self.lock().next_offset
+    }
+
+    /// Stored checkpoint count.
+    pub fn checkpoint_count(&self) -> usize {
+        self.lock().checkpoints.len()
+    }
+
+    /// Offset of the newest stored checkpoint.
+    pub fn last_checkpoint_offset(&self) -> Option<u64> {
+        self.lock().checkpoints.last().copied()
+    }
+
+    /// The dirty set a delta checkpoint would need to export right now:
+    /// `(dirtied home ids, removed home ids, store dirty)`.
+    pub fn dirty_set(&self) -> (Vec<u64>, Vec<u64>, bool) {
+        let inner = self.lock();
+        (
+            inner.dirty.iter().copied().collect(),
+            inner.removed.iter().copied().collect(),
+            inner.store_dirty,
+        )
+    }
+
+    /// Decodes all records at offsets `>= from`, in order.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] on backend failure or a record that no longer
+    /// decodes.
+    pub fn records_from(&self, from: u64) -> Result<Vec<(u64, JournalRecord)>, HgError> {
+        let starts = self.backend.segments().map_err(journal_err)?;
+        let mut out = Vec::new();
+        for start in starts {
+            let bytes = self.backend.read_segment(start).map_err(journal_err)?;
+            let scan = scan_frames(&bytes);
+            for (i, payload) in scan.payloads.iter().enumerate() {
+                let offset = start + i as u64;
+                if offset < from {
+                    continue;
+                }
+                let record = JournalRecord::from_payload(payload)
+                    .map_err(|e| journal_err(format!("record at offset {offset}: {e}")))?;
+                out.push((offset, record));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Writes a checkpoint document and resets the dirty bookkeeping.
+    ///
+    /// The caller (the fleet's checkpoint path) is responsible for
+    /// holding [`gate_exclusive`](Journal::gate_exclusive) while it
+    /// exported the states, and for `ckpt.offset == next_offset()` under
+    /// that gate.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when the backend write fails; bookkeeping is
+    /// left un-reset so a retry exports at least the same dirty set.
+    pub fn checkpoint_write(&self, ckpt: &Checkpoint) -> Result<CheckpointStats, HgError> {
+        let started = Instant::now();
+        let text = ckpt.to_text();
+        self.backend
+            .write_checkpoint(ckpt.offset, &text)
+            .map_err(journal_err)?;
+        let mut inner = self.lock();
+        if inner.checkpoints.last() != Some(&ckpt.offset) {
+            inner.checkpoints.push(ckpt.offset);
+            inner.checkpoints.sort_unstable();
+        }
+        inner.dirty.clear();
+        inner.removed.clear();
+        inner.store_dirty = false;
+        drop(inner);
+        let stats = CheckpointStats {
+            offset: ckpt.offset,
+            homes: ckpt.homes.len() as u64,
+            full: ckpt.full,
+            micros: started.elapsed().as_micros() as u64,
+        };
+        self.publish(TelemetryEvent::JournalCheckpoint {
+            offset: stats.offset,
+            homes: stats.homes,
+            full: stats.full,
+            micros: stats.micros,
+        });
+        Ok(stats)
+    }
+
+    /// Reads and decodes the whole stored checkpoint chain, ascending.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] on backend failure or an undecodable document.
+    pub fn checkpoint_chain(&self) -> Result<Vec<Checkpoint>, HgError> {
+        let offsets: Vec<u64> = self.lock().checkpoints.clone();
+        offsets
+            .iter()
+            .map(|&offset| {
+                let text = self.backend.read_checkpoint(offset).map_err(journal_err)?;
+                Checkpoint::from_text(&text)
+            })
+            .collect()
+    }
+
+    /// Folds the stored checkpoint chain into one complete fleet image
+    /// (recovery's starting point).
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when no checkpoint exists or the chain is
+    /// damaged.
+    pub fn materialize(&self) -> Result<MaterializedFleet, HgError> {
+        materialize(&self.checkpoint_chain()?)
+    }
+
+    /// Compacts the journal: folds the checkpoint chain into a single
+    /// full checkpoint and deletes every segment fully covered by it.
+    /// History below the surviving checkpoint is gone afterwards — replay
+    /// can only resume at its offset.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] on backend failure or a damaged chain.
+    pub fn compact(&self) -> Result<CompactStats, HgError> {
+        let _exclusive = self.gate_exclusive();
+        let chain = self.checkpoint_chain()?;
+        if chain.is_empty() {
+            return Err(journal_err("nothing to compact: no checkpoints"));
+        }
+        let folded = materialize(&chain)?;
+        let full = Checkpoint {
+            offset: folded.offset,
+            full: true,
+            shards: folded.shards,
+            next_id: folded.next_id,
+            store: Some(folded.store),
+            homes: folded.homes.into_iter().collect(),
+            removed: Vec::new(),
+        };
+        let text = full.to_text();
+        self.backend
+            .write_checkpoint(full.offset, &text)
+            .map_err(journal_err)?;
+        let mut dropped_ckpts = 0u64;
+        for ckpt in &chain {
+            if ckpt.offset != full.offset {
+                self.backend
+                    .remove_checkpoint(ckpt.offset)
+                    .map_err(journal_err)?;
+                dropped_ckpts += 1;
+            }
+        }
+        // A segment whose records all precede the surviving checkpoint
+        // will never be replayed again. Segment record counts are implied
+        // by neighbour start offsets.
+        let mut inner = self.lock();
+        let starts = self.backend.segments().map_err(journal_err)?;
+        let mut dropped_segs = 0u64;
+        for (i, &start) in starts.iter().enumerate() {
+            let end = starts.get(i + 1).copied().unwrap_or(inner.next_offset);
+            if end <= full.offset && start != inner.tail_start {
+                self.backend.remove_segment(start).map_err(journal_err)?;
+                dropped_segs += 1;
+            }
+        }
+        inner.checkpoints = vec![full.offset];
+        drop(inner);
+        Ok(CompactStats {
+            checkpoints_folded: dropped_ckpts,
+            segments_dropped: dropped_segs,
+            offset: full.offset,
+        })
+    }
+
+    /// Wipes all stored segments and checkpoints — a new timeline. Used
+    /// when an externally-restored fleet replaces the one this journal
+    /// described (e.g. `POST /restore`): the old history describes a
+    /// fleet that no longer exists.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] on backend failure.
+    pub fn reset(&self) -> Result<(), HgError> {
+        let _exclusive = self.gate_exclusive();
+        let mut inner = self.lock();
+        for start in self.backend.segments().map_err(journal_err)? {
+            self.backend.remove_segment(start).map_err(journal_err)?;
+        }
+        for offset in self.backend.checkpoints().map_err(journal_err)? {
+            self.backend
+                .remove_checkpoint(offset)
+                .map_err(journal_err)?;
+        }
+        *inner = JournalInner::default();
+        Ok(())
+    }
+
+    /// Publishes a replay-completed event (called by the recovery path).
+    pub fn note_replayed(&self, records: u64, micros: u64) {
+        self.publish(TelemetryEvent::JournalReplayed { records, micros });
+    }
+
+    /// Live stats as a JSON document (the `/journal/stats` surface).
+    pub fn stats_json(&self) -> hg_rules::json::Json {
+        use hg_rules::json::Json;
+        let segments = self.backend.segments().unwrap_or_default();
+        let segment_bytes: u64 = segments
+            .iter()
+            .map(|&s| {
+                self.backend
+                    .read_segment(s)
+                    .map(|b| b.len() as u64)
+                    .unwrap_or(0)
+            })
+            .sum();
+        let inner = self.lock();
+        Json::obj([
+            ("records", Json::Num(inner.next_offset as i64)),
+            ("segments", Json::Num(segments.len() as i64)),
+            ("segmentBytes", Json::Num(segment_bytes as i64)),
+            ("checkpoints", Json::Num(inner.checkpoints.len() as i64)),
+            (
+                "lastCheckpoint",
+                inner
+                    .checkpoints
+                    .last()
+                    .map(|&o| Json::Num(o as i64))
+                    .unwrap_or(Json::Null),
+            ),
+            ("dirtyHomes", Json::Num(inner.dirty.len() as i64)),
+            (
+                "removedSinceCheckpoint",
+                Json::Num(inner.removed.len() as i64),
+            ),
+            ("storeDirty", Json::Bool(inner.store_dirty)),
+            ("appendsSession", Json::Num(inner.appends as i64)),
+            ("appendBytesSession", Json::Num(inner.append_bytes as i64)),
+            (
+                "appendFailuresSession",
+                Json::Num(inner.append_failures as i64),
+            ),
+            ("truncatedOnOpen", Json::Num(inner.truncated_on_open as i64)),
+        ])
+    }
+}
+
+fn note_dirty(inner: &mut JournalInner, record: &JournalRecord) {
+    for id in record.dirtied_homes() {
+        inner.dirty.insert(id);
+        inner.removed.remove(&id);
+    }
+    if let Some(id) = record.removed_home() {
+        inner.removed.insert(id);
+        inner.dirty.remove(&id);
+    }
+    if record.touches_store() {
+        inner.store_dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn rec(id: u64) -> JournalRecord {
+        JournalRecord::UninstallCommitted {
+            id,
+            app: format!("App{id}"),
+        }
+    }
+
+    #[test]
+    fn appends_rotate_segments_and_reopen_resumes() {
+        let mem = MemBackend::new();
+        let journal = Journal::open_with(
+            Box::new(mem.clone()),
+            JournalConfig {
+                max_segment_bytes: 96,
+            },
+        )
+        .unwrap();
+        for n in 0..8 {
+            assert_eq!(journal.append(&rec(n)).unwrap(), n);
+        }
+        assert!(
+            mem.segments().unwrap().len() > 1,
+            "tiny segment cap must force rotation"
+        );
+        drop(journal);
+        let reopened = Journal::open(Box::new(mem.clone())).unwrap();
+        assert_eq!(reopened.next_offset(), 8);
+        let records = reopened.records_from(0).unwrap();
+        assert_eq!(records.len(), 8);
+        assert_eq!(records[5].0, 5);
+        assert_eq!(records[5].1, rec(5));
+        // Dirty bookkeeping was re-seeded from the tail.
+        let (dirty, _, _) = reopened.dirty_set();
+        assert_eq!(dirty.len(), 8);
+    }
+
+    #[test]
+    fn torn_tail_truncates_on_open_and_later_data_is_dropped() {
+        let mem = MemBackend::new();
+        let journal = Journal::open(Box::new(mem.clone())).unwrap();
+        for n in 0..5 {
+            journal.append(&rec(n)).unwrap();
+        }
+        drop(journal);
+        // Simulate a crash mid-write of record 3 (records 3-4 lost).
+        let crashed = mem.fork();
+        crashed.truncate_to_records(3, &[0x48, 0x47, 0x4A]);
+        let reopened = Journal::open(Box::new(crashed.clone())).unwrap();
+        assert_eq!(reopened.next_offset(), 3);
+        assert_eq!(reopened.records_from(0).unwrap().len(), 3);
+        // The repair is durable: a second open sees a clean journal.
+        drop(reopened);
+        let again = Journal::open(Box::new(crashed)).unwrap();
+        assert_eq!(again.next_offset(), 3);
+        assert_eq!(again.records_from(0).unwrap().len(), 3);
+        // And appends continue at the truncated offset.
+        assert_eq!(again.append(&rec(99)).unwrap(), 3);
+    }
+
+    #[test]
+    fn dirty_set_tracks_and_checkpoints_reset_it() {
+        let journal = Journal::open(Box::new(MemBackend::new())).unwrap();
+        journal.append(&rec(1)).unwrap();
+        journal
+            .append(&JournalRecord::HomeRemoved { id: 1 })
+            .unwrap();
+        journal
+            .append(&JournalRecord::StoreRetired { app: "A".into() })
+            .unwrap();
+        let (dirty, removed, store_dirty) = journal.dirty_set();
+        assert!(dirty.is_empty(), "removal supersedes dirtiness");
+        assert_eq!(removed, vec![1]);
+        assert!(store_dirty);
+        journal
+            .checkpoint_write(&Checkpoint {
+                offset: journal.next_offset(),
+                full: true,
+                shards: 1,
+                next_id: 2,
+                store: Some(homeguard_core::RuleStore::new().export_state()),
+                homes: Vec::new(),
+                removed: Vec::new(),
+            })
+            .unwrap();
+        let (dirty, removed, store_dirty) = journal.dirty_set();
+        assert!(dirty.is_empty() && removed.is_empty() && !store_dirty);
+        assert_eq!(journal.last_checkpoint_offset(), Some(3));
+    }
+
+    #[test]
+    fn compaction_folds_to_one_full_checkpoint_and_drops_dead_segments() {
+        let mem = MemBackend::new();
+        let journal = Journal::open_with(
+            Box::new(mem.clone()),
+            JournalConfig {
+                max_segment_bytes: 64,
+            },
+        )
+        .unwrap();
+        let store = homeguard_core::RuleStore::new().export_state();
+        journal
+            .checkpoint_write(&Checkpoint {
+                offset: 0,
+                full: true,
+                shards: 1,
+                next_id: 0,
+                store: Some(store.clone()),
+                homes: Vec::new(),
+                removed: Vec::new(),
+            })
+            .unwrap();
+        for n in 0..6 {
+            journal.append(&rec(n)).unwrap();
+        }
+        journal
+            .checkpoint_write(&Checkpoint {
+                offset: 6,
+                full: false,
+                shards: 1,
+                next_id: 0,
+                store: None,
+                homes: Vec::new(),
+                removed: Vec::new(),
+            })
+            .unwrap();
+        let before_segments = mem.segments().unwrap().len();
+        assert!(before_segments > 1);
+        let stats = journal.compact().unwrap();
+        assert_eq!(stats.offset, 6);
+        assert_eq!(stats.checkpoints_folded, 1);
+        assert!(stats.segments_dropped > 0);
+        assert_eq!(journal.checkpoint_count(), 1);
+        // The journal still opens and materializes after compaction.
+        drop(journal);
+        let reopened = Journal::open(Box::new(mem)).unwrap();
+        let image = reopened.materialize().unwrap();
+        assert_eq!(image.offset, 6);
+        assert!(reopened.records_from(image.offset).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! # hg-journal — write-ahead lifecycle journal and delta snapshots
+//!
+//! Before this crate, the fleet's only durability unit was
+//! `hg-persist`'s stop-the-world full snapshot: a restart replayed
+//! nothing and a crash lost everything since the last full walk. This
+//! crate makes restore = **last checkpoint + replay**:
+//!
+//! * **[`Journal`]** — an append-only journal of fleet lifecycle events
+//!   ([`JournalRecord`]: home created/imported/removed, install
+//!   confirmed, uninstall, sweeps, policy and config changes, store
+//!   ingest/retire). Records are framed with per-record CRC-32 checksums
+//!   ([`frame`]); segments rotate by size; opening a journal verifies
+//!   every frame and **truncates a torn tail** instead of panicking.
+//! * **[`Checkpoint`]** — full or delta images of the fleet's ground
+//!   truth as of a journal offset, built on the same snapshot codecs the
+//!   fleet snapshot uses. [`materialize`] folds a chain of them into one
+//!   complete image; [`Journal::compact`] folds the chain *and* deletes
+//!   the segments it covers.
+//! * **[`JournalBackend`]** — pluggable storage: [`MemBackend`] (tests,
+//!   benches, crash forks) and [`DirBackend`] (a directory of
+//!   `seg-*.wal` / `ckpt-*.json` files).
+//! * **[`CheckpointScheduler`]** — a background thread driving periodic
+//!   checkpoints.
+//!
+//! The fleet-side wiring (journaled mutation paths, `Fleet::recover`)
+//! lives in `hg-service`; this crate knows nothing about live homes —
+//! only their exported ground truth.
+//!
+//! ## Consistency
+//!
+//! The journal's checkpoint gate makes every checkpoint a consistent
+//! cut, and records are state deltas (not re-run commands), so:
+//! *materialized checkpoint chain + replay of records `>= offset`* is
+//! bit-identical to the live fleet — the property
+//! `tests/journal_fuzz.rs` proves by truncating at every record
+//! boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod checkpoint;
+pub mod frame;
+#[allow(clippy::module_inception)]
+pub mod journal;
+pub mod record;
+pub mod scheduler;
+
+pub use backend::{DirBackend, JournalBackend, MemBackend};
+pub use checkpoint::{materialize, Checkpoint, MaterializedFleet};
+pub use journal::{CheckpointStats, CompactStats, Journal, JournalConfig};
+pub use record::{journal_err, JournalRecord};
+pub use scheduler::CheckpointScheduler;

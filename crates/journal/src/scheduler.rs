@@ -1,0 +1,106 @@
+//! A background checkpoint scheduler: runs a caller-supplied tick (the
+//! fleet's checkpoint closure) at a fixed interval on one worker thread,
+//! with a prompt, condvar-based stop.
+
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// A stop-on-drop background thread driving periodic checkpoints.
+pub struct CheckpointScheduler {
+    stop: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl CheckpointScheduler {
+    /// Spawns the scheduler: `tick` runs every `interval` until
+    /// [`stop`](CheckpointScheduler::stop) (or drop). The first tick
+    /// fires after one full interval, not immediately.
+    pub fn start(
+        interval: Duration,
+        mut tick: impl FnMut() + Send + 'static,
+    ) -> CheckpointScheduler {
+        let stop = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = stop.clone();
+        let handle = thread::Builder::new()
+            .name("hg-checkpointer".into())
+            .spawn(move || {
+                let (flag, signal) = &*shared;
+                let mut stopped = flag.lock().unwrap_or_else(PoisonError::into_inner);
+                loop {
+                    let (next, timeout) = signal
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    stopped = next;
+                    if *stopped {
+                        return;
+                    }
+                    if timeout.timed_out() {
+                        drop(stopped);
+                        tick();
+                        stopped = flag.lock().unwrap_or_else(PoisonError::into_inner);
+                        if *stopped {
+                            return;
+                        }
+                    }
+                }
+            })
+            .expect("spawn checkpointer thread");
+        CheckpointScheduler {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the scheduler and joins the worker. Idempotent via drop.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let (flag, signal) = &*self.stop;
+        *flag.lock().unwrap_or_else(PoisonError::into_inner) = true;
+        signal.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for CheckpointScheduler {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn ticks_repeat_and_stop_is_prompt() {
+        let ticks = Arc::new(AtomicU64::new(0));
+        let counted = ticks.clone();
+        let scheduler = CheckpointScheduler::start(Duration::from_millis(5), move || {
+            counted.fetch_add(1, Ordering::SeqCst);
+        });
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while ticks.load(Ordering::SeqCst) < 3 && std::time::Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            ticks.load(Ordering::SeqCst) >= 3,
+            "scheduler must keep ticking"
+        );
+        let before_stop = std::time::Instant::now();
+        scheduler.stop();
+        assert!(
+            before_stop.elapsed() < Duration::from_secs(1),
+            "stop must not wait out a full interval backlog"
+        );
+        let frozen = ticks.load(Ordering::SeqCst);
+        thread::sleep(Duration::from_millis(25));
+        assert_eq!(ticks.load(Ordering::SeqCst), frozen, "no ticks after stop");
+    }
+}

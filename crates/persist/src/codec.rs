@@ -19,7 +19,8 @@ use hg_symexec::{AppAnalysis, ExtractorConfig, InputDecl, InputType};
 use homeguard_core::{HgError, HomeState, StoreAppState, StoreState, UnificationPolicy};
 use std::sync::Arc;
 
-pub(crate) fn snap_err(detail: impl Into<String>) -> HgError {
+/// Builds the crate's uniform decode failure, [`HgError::Snapshot`].
+pub fn snap_err(detail: impl Into<String>) -> HgError {
     HgError::Snapshot(detail.into())
 }
 
@@ -35,7 +36,7 @@ fn str_field(j: &Json, field: &str) -> Result<String, HgError> {
 /// refused — blindly `as`-casting it to an unsigned type would produce a
 /// huge value (e.g. a `Defer` window of u64::MAX milliseconds) instead of
 /// the typed error this crate guarantees.
-pub(crate) fn nonneg_field(j: &Json, field: &str) -> Result<i64, HgError> {
+pub fn nonneg_field(j: &Json, field: &str) -> Result<i64, HgError> {
     let n = j
         .get(field)
         .and_then(Json::as_num)
@@ -131,7 +132,9 @@ fn witness_from_json(j: &Json) -> Result<Assignment, HgError> {
     Ok(witness)
 }
 
-pub(crate) fn threat_to_json(t: &Threat) -> Json {
+/// Encodes one detected threat (kind, endpoint rules, witness,
+/// environment channel) as a snapshot document field.
+pub fn threat_to_json(t: &Threat) -> Json {
     Json::obj([
         ("kind", kind_to_json(t.kind)),
         ("source", rule_id_to_json(&t.source)),
@@ -157,7 +160,8 @@ pub(crate) fn threat_to_json(t: &Threat) -> Json {
     ])
 }
 
-pub(crate) fn threat_from_json(j: &Json) -> Result<Threat, HgError> {
+/// Decodes a [`threat_to_json`] document.
+pub fn threat_from_json(j: &Json) -> Result<Threat, HgError> {
     let property = match j.get("property") {
         None | Some(Json::Null) => None,
         Some(p) => {
@@ -237,7 +241,8 @@ fn policy_from_json(j: &Json) -> Result<HandlingPolicy, HgError> {
     }
 }
 
-pub(crate) fn policy_table_to_json(table: &PolicyTable) -> Json {
+/// Encodes a runtime threat-handling policy table.
+pub fn policy_table_to_json(table: &PolicyTable) -> Json {
     Json::obj([
         ("fallback", policy_to_json(table.fallback())),
         (
@@ -257,7 +262,8 @@ pub(crate) fn policy_table_to_json(table: &PolicyTable) -> Json {
     ])
 }
 
-pub(crate) fn policy_table_from_json(j: &Json) -> Result<PolicyTable, HgError> {
+/// Decodes a [`policy_table_to_json`] document.
+pub fn policy_table_from_json(j: &Json) -> Result<PolicyTable, HgError> {
     let fallback = policy_from_json(
         j.get("fallback")
             .ok_or_else(|| snap_err("table missing fallback"))?,
@@ -428,7 +434,9 @@ fn extractor_config_from_json(j: &Json) -> Result<ExtractorConfig, HgError> {
 
 // ----- store state ------------------------------------------------------------
 
-pub(crate) fn store_state_to_json(state: &StoreState) -> Json {
+/// Encodes the exported rule-store database (config, apps, rule files,
+/// fingerprints).
+pub fn store_state_to_json(state: &StoreState) -> Json {
     Json::obj([
         ("config", extractor_config_to_json(&state.config)),
         (
@@ -468,7 +476,8 @@ pub(crate) fn store_state_to_json(state: &StoreState) -> Json {
     ])
 }
 
-pub(crate) fn store_state_from_json(j: &Json) -> Result<StoreState, HgError> {
+/// Decodes a [`store_state_to_json`] document.
+pub fn store_state_from_json(j: &Json) -> Result<StoreState, HgError> {
     let mut apps = Vec::new();
     for entry in arr_field(j, "apps")? {
         let name = str_field(entry, "name")?;
@@ -524,7 +533,8 @@ fn unification_from_json(j: &Json) -> Result<UnificationPolicy, HgError> {
     }
 }
 
-pub(crate) fn home_state_to_json(state: &HomeState) -> Json {
+/// Encodes one home's exported ground-truth state.
+pub fn home_state_to_json(state: &HomeState) -> Json {
     Json::obj([
         (
             "modes",
@@ -580,7 +590,8 @@ pub(crate) fn home_state_to_json(state: &HomeState) -> Json {
     ])
 }
 
-pub(crate) fn home_state_from_json(j: &Json) -> Result<HomeState, HgError> {
+/// Decodes a [`home_state_to_json`] document.
+pub fn home_state_from_json(j: &Json) -> Result<HomeState, HgError> {
     let mut bindings = Vec::new();
     for entry in arr_field(j, "bindings")? {
         bindings.push((

@@ -67,7 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod codec;
+pub mod codec;
 pub mod snapshot;
 
 pub use snapshot::{home_from_text, home_to_text, store_from_text, store_to_text, FleetSnapshot};

@@ -1,0 +1,404 @@
+//! Journal-backed durability: crash recovery and delta checkpoints.
+//!
+//! With a [`Journal`] attached ([`Fleet::attach_journal`]), every fleet
+//! lifecycle mutation appends a [`JournalRecord`]
+//! under the journal's checkpoint gate, so restore stops being a
+//! stop-the-world snapshot problem and becomes **last checkpoint +
+//! replay**:
+//!
+//! * [`Fleet::recover`] — materializes the journal's checkpoint chain,
+//!   revives the fleet from it, then replays every record past the chain's
+//!   offset through the same public lifecycle methods live traffic uses.
+//!   The result is bit-identical to the crashed fleet (the property
+//!   `tests/journal_fuzz.rs` proves at every record boundary).
+//! * [`Fleet::checkpoint`] — exports only what changed since the previous
+//!   checkpoint (dirty homes, removals, the store if store records
+//!   landed), under the gate's exclusive side so the cut is consistent.
+//!   The first checkpoint of a journal is always a full image.
+//! * [`start_checkpointer`] — wires a fleet into the journal's background
+//!   [`CheckpointScheduler`].
+
+use crate::fleet::Fleet;
+use hg_config::ConfigInfo;
+use hg_detector::{DetectStats, Threat};
+use hg_journal::{journal_err, Checkpoint, CheckpointScheduler, CheckpointStats, Journal};
+use hg_journal::{JournalRecord, MaterializedFleet};
+use hg_persist::FleetSnapshot;
+use hg_rules::Rule;
+use homeguard_core::{HgError, HomeId, InstallReport};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+impl Fleet {
+    /// Revives a fleet from its write-ahead journal — the crash-recovery
+    /// path. Folds the checkpoint chain into a base image, restores the
+    /// fleet from it ([`Fleet::restore`] semantics: ids, Allowed lists and
+    /// the ingest cache survive), replays every journal record at or past
+    /// the chain's offset through the public lifecycle methods, and
+    /// finally re-attaches the journal so the recovered fleet keeps
+    /// journaling where the crashed one stopped.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when the chain is empty/corrupt or a record
+    /// cannot be replayed (the offending offset is named);
+    /// [`HgError::Snapshot`] when the materialized image is inconsistent.
+    pub fn recover(journal: Arc<Journal>) -> Result<Fleet, HgError> {
+        let MaterializedFleet {
+            offset,
+            shards,
+            next_id,
+            store,
+            homes,
+        } = journal.materialize()?;
+        let fleet = Fleet::restore(FleetSnapshot {
+            shards,
+            next_id,
+            store,
+            homes: homes
+                .into_iter()
+                .map(|(raw, state)| (HomeId::new(raw), state))
+                .collect(),
+            telemetry: None,
+        })?;
+        let records = journal.records_from(offset)?;
+        let started = Instant::now();
+        let replayed = records.len() as u64;
+        for (at, record) in records {
+            fleet
+                .replay(record)
+                .map_err(|e| journal_err(format!("replay failed at offset {at}: {e}")))?;
+        }
+        journal.note_replayed(replayed, started.elapsed().as_micros() as u64);
+        fleet.attach_journal(journal)?;
+        Ok(fleet)
+    }
+
+    /// Applies one journal record to an un-journaled fleet being rebuilt.
+    /// Records are state deltas: installs re-enter through
+    /// [`Fleet::confirm_install`] with the journaled report, never by
+    /// re-running detection against whatever the store holds *now*.
+    fn replay(&self, record: JournalRecord) -> Result<(), HgError> {
+        match record {
+            JournalRecord::HomeCreated { id, state }
+            | JournalRecord::HomeImported { id, state } => {
+                self.insert_home_at(HomeId::new(id), state)
+            }
+            JournalRecord::HomesCreated { ids, state } => {
+                for id in ids {
+                    self.insert_home_at(HomeId::new(id), state.clone())?;
+                }
+                Ok(())
+            }
+            JournalRecord::HomeRemoved { id } => self.remove_home(HomeId::new(id)),
+            JournalRecord::InstallCommitted {
+                id,
+                app,
+                replaces,
+                rules,
+                threats,
+                config,
+            } => {
+                let report = self.replay_report(app, replaces, rules, threats, config)?;
+                self.confirm_install(HomeId::new(id), report).map(|_| ())
+            }
+            JournalRecord::UninstallCommitted { id, app } => {
+                self.uninstall_app(HomeId::new(id), &app).map(|_| ())
+            }
+            JournalRecord::InstallSwept { app, homes, config } => {
+                // Fresh installs (no `replaces`), rules from the store,
+                // the group's shared config on every home.
+                for id in homes {
+                    let report =
+                        self.replay_report(app.clone(), None, None, Vec::new(), config.clone())?;
+                    self.confirm_install(HomeId::new(id), report)?;
+                }
+                Ok(())
+            }
+            JournalRecord::UpgradeSwept { app, homes } => {
+                for id in homes {
+                    let report =
+                        self.replay_report(app.clone(), Some(app.clone()), None, Vec::new(), None)?;
+                    self.confirm_install(HomeId::new(id), report)?;
+                }
+                Ok(())
+            }
+            JournalRecord::UninstallSwept { app, homes } => {
+                for id in homes {
+                    self.uninstall_app(HomeId::new(id), &app)?;
+                }
+                Ok(())
+            }
+            JournalRecord::PolicyChanged { id, table } => {
+                self.set_handling_policy(HomeId::new(id), table)
+            }
+            JournalRecord::ConfigRecorded { id, uri } => {
+                let info = ConfigInfo::from_uri(&uri)
+                    .map_err(|e| journal_err(format!("bad config uri in journal: {e}")))?;
+                self.record_config(HomeId::new(id), &info)
+            }
+            JournalRecord::StoreIngested {
+                app,
+                source,
+                as_name,
+            } => {
+                if as_name {
+                    self.store().ingest_as(&source, &app).map(|_| ())
+                } else {
+                    self.store().ingest(&source, &app).map(|_| ())
+                }
+            }
+            JournalRecord::StoreRetired { app } => {
+                self.store().retire_app(&app);
+                Ok(())
+            }
+        }
+    }
+
+    /// Rebuilds the confirmable install report a journaled commit
+    /// described: rules come from the record when it carried them (a
+    /// stale-report confirmation) and from the store otherwise.
+    fn replay_report(
+        &self,
+        app: String,
+        replaces: Option<String>,
+        rules: Option<Vec<Rule>>,
+        threats: Vec<Threat>,
+        config: Option<String>,
+    ) -> Result<InstallReport, HgError> {
+        let rules = match rules {
+            Some(rules) => rules,
+            None => self.store().rules_of(&app)?,
+        };
+        let config = config
+            .map(|uri| {
+                ConfigInfo::from_uri(&uri)
+                    .map_err(|e| journal_err(format!("bad config uri in journal: {e}")))
+            })
+            .transpose()?;
+        Ok(InstallReport {
+            app,
+            rules,
+            threats,
+            chains: Vec::new(),
+            stats: DetectStats::default(),
+            installed: false,
+            config,
+            replaces,
+            dropped_ranks: Vec::new(),
+        })
+    }
+
+    /// Writes a checkpoint covering everything journaled so far: a **full
+    /// image** when the journal holds none yet, a **delta** (dirty homes,
+    /// removals, the store only if store records landed) otherwise. Taken
+    /// under the checkpoint gate's exclusive side, so the cut is
+    /// consistent with respect to every journaled mutation. A delta with
+    /// an empty dirty set writes nothing and reports `homes: 0`.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when no journal is attached or the write
+    /// fails; [`HgError::Poisoned`] when exporting hits a poisoned shard.
+    pub fn checkpoint(&self) -> Result<CheckpointStats, HgError> {
+        let journal = self
+            .journal()
+            .ok_or_else(|| journal_err("no journal attached"))?
+            .clone();
+        let _cut = journal.gate_exclusive();
+        let offset = journal.next_offset();
+        if journal.checkpoint_count() == 0 {
+            let snapshot = self.snapshot()?;
+            return journal.checkpoint_write(&Checkpoint {
+                offset,
+                full: true,
+                shards: snapshot.shards,
+                next_id: snapshot.next_id,
+                store: Some(snapshot.store),
+                homes: snapshot
+                    .homes
+                    .into_iter()
+                    .map(|(id, state)| (id.raw(), state))
+                    .collect(),
+                removed: Vec::new(),
+            });
+        }
+        let (dirty, removed, store_dirty) = journal.dirty_set();
+        if dirty.is_empty() && removed.is_empty() && !store_dirty {
+            return Ok(CheckpointStats {
+                offset,
+                homes: 0,
+                full: false,
+                micros: 0,
+            });
+        }
+        let mut homes = Vec::with_capacity(dirty.len());
+        for raw in dirty {
+            homes.push((raw, self.export_home(HomeId::new(raw))?));
+        }
+        journal.checkpoint_write(&Checkpoint {
+            offset,
+            full: false,
+            shards: self.shard_count(),
+            next_id: self.next_id_value(),
+            store: store_dirty.then(|| self.store().export_state()),
+            homes,
+            removed,
+        })
+    }
+}
+
+/// Starts the background checkpointer for a journaled fleet: every
+/// `interval`, [`Fleet::checkpoint`] runs on the `hg-checkpointer`
+/// thread. A tick's failure (e.g. a poisoned shard) is skipped — the next
+/// tick retries, and an un-checkpointed journal merely replays longer.
+/// Stops when the returned [`CheckpointScheduler`] is dropped.
+pub fn start_checkpointer(fleet: Arc<Fleet>, interval: Duration) -> CheckpointScheduler {
+    CheckpointScheduler::start(interval, move || {
+        let _ = fleet.checkpoint();
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hg_journal::MemBackend;
+    use homeguard_core::RuleStore;
+
+    const ON_APP: &str = r#"
+definition(name: "OnApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.on() }
+"#;
+
+    const OFF_APP: &str = r#"
+definition(name: "OffApp")
+input "m", "capability.motionSensor"
+input "lamp", "capability.switch", title: "lamp"
+def installed() { subscribe(m, "motion.active", h) }
+def h(evt) { lamp.off() }
+"#;
+
+    fn journaled_fleet() -> (Fleet, MemBackend) {
+        let backend = MemBackend::new();
+        let journal = Arc::new(Journal::open(Box::new(backend.clone())).unwrap());
+        let fleet = Fleet::new(RuleStore::shared());
+        assert!(fleet.attach_journal(journal).unwrap());
+        (fleet, backend)
+    }
+
+    fn reopen(backend: &MemBackend) -> Fleet {
+        let journal = Arc::new(Journal::open(Box::new(backend.clone())).unwrap());
+        Fleet::recover(journal).unwrap()
+    }
+
+    fn fleet_text(fleet: &Fleet) -> String {
+        fleet.snapshot().unwrap().to_text()
+    }
+
+    #[test]
+    fn recover_replays_installs_and_removals() {
+        let (fleet, backend) = journaled_fleet();
+        let a = fleet.create_home();
+        let b = fleet.create_home();
+        fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
+        let dirty = fleet.install_app(a, OFF_APP, "OffApp", None).unwrap();
+        assert!(!dirty.installed);
+        fleet.confirm_install(a, dirty).unwrap();
+        fleet.install_app(b, ON_APP, "OnApp", None).unwrap();
+        fleet.remove_home(b).unwrap();
+
+        let recovered = reopen(&backend);
+        assert_eq!(fleet_text(&recovered), fleet_text(&fleet));
+        // The recovered fleet keeps journaling.
+        assert!(recovered.journal().is_some());
+    }
+
+    #[test]
+    fn bulk_install_journals_one_sweep_record_and_replays() {
+        let (fleet, backend) = journaled_fleet();
+        // Batch creation journals one `HomesCreated` for all six homes.
+        let journal = fleet.journal().unwrap().clone();
+        let created_at = journal.next_offset();
+        let ids = fleet.create_homes(6);
+        assert_eq!(journal.next_offset(), created_at + 1);
+        // One home already runs a conflicting app, so its group install
+        // stays pending while the other five auto-confirm.
+        fleet.install_app(ids[0], OFF_APP, "OffApp", None).unwrap();
+        let before = journal.next_offset();
+        let outcomes = fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
+        let installed = outcomes
+            .iter()
+            .filter(|(_, r)| r.as_ref().unwrap().installed)
+            .count();
+        assert_eq!(installed, 5, "the conflicted home stays pending");
+        // One `StoreIngested` (the bulk pre-ingest) plus one `InstallSwept`
+        // naming all five clean homes — not one record per home. The
+        // pending report journals nothing until it is confirmed.
+        assert_eq!(journal.next_offset(), before + 2);
+        let pending = outcomes
+            .into_iter()
+            .find_map(|(id, r)| {
+                let report = r.unwrap();
+                (!report.installed).then_some((id, report))
+            })
+            .unwrap();
+        fleet.confirm_install(pending.0, pending.1).unwrap();
+
+        let recovered = reopen(&backend);
+        assert_eq!(fleet_text(&recovered), fleet_text(&fleet));
+    }
+
+    #[test]
+    fn recover_resumes_from_delta_checkpoints() {
+        let (fleet, backend) = journaled_fleet();
+        let a = fleet.create_home();
+        fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
+        let first = fleet.checkpoint().unwrap();
+        assert!(!first.full, "attach wrote the full baseline already");
+        let b = fleet.create_home();
+        fleet.install_app(b, OFF_APP, "OffApp", None).unwrap();
+        let second = fleet.checkpoint().unwrap();
+        assert!(!second.full);
+        fleet.uninstall_app(a, "OnApp").unwrap();
+
+        let recovered = reopen(&backend);
+        assert_eq!(fleet_text(&recovered), fleet_text(&fleet));
+    }
+
+    #[test]
+    fn empty_delta_checkpoint_writes_nothing() {
+        let (fleet, _backend) = journaled_fleet();
+        let journal = fleet.journal().unwrap().clone();
+        let before = journal.checkpoint_count();
+        let stats = fleet.checkpoint().unwrap();
+        assert_eq!(stats.homes, 0);
+        assert_eq!(journal.checkpoint_count(), before);
+    }
+
+    #[test]
+    fn checkpoint_without_journal_is_an_error() {
+        let fleet = Fleet::new(RuleStore::shared());
+        assert!(matches!(fleet.checkpoint(), Err(HgError::Journal(_))));
+    }
+
+    #[test]
+    fn background_checkpointer_compacts_replay_work() {
+        let (fleet, backend) = journaled_fleet();
+        let fleet = Arc::new(fleet);
+        let a = fleet.create_home();
+        fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
+        {
+            let _scheduler = start_checkpointer(fleet.clone(), Duration::from_millis(5));
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while fleet.journal().unwrap().checkpoint_count() < 2 {
+                assert!(Instant::now() < deadline, "checkpointer never ticked");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        let recovered = reopen(&backend);
+        assert_eq!(fleet_text(&recovered), fleet_text(&fleet));
+    }
+}

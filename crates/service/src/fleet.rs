@@ -24,11 +24,12 @@
 //! inside this file is retired in favor of that executor.)
 
 use hg_config::ConfigInfo;
+use hg_journal::{journal_err, Checkpoint, Journal, JournalRecord};
 use hg_persist::FleetSnapshot;
 use hg_telemetry::{TelemetryBus, TelemetryEvent};
 use homeguard_core::{
-    HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, MediationStats, RuleStore,
-    UninstallReport,
+    HgError, Home, HomeBuilder, HomeId, HomeState, InstallReport, MediationStats, PolicyTable,
+    RuleStore, UninstallReport,
 };
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,6 +87,7 @@ impl FleetBuilder {
             next_id: AtomicU64::new(0),
             template: self.template,
             telemetry: OnceLock::new(),
+            journal: OnceLock::new(),
         }
     }
 }
@@ -101,6 +103,10 @@ pub struct Fleet {
     /// Fleet event bus, attached at most once ([`Fleet::attach_telemetry`]).
     /// Unset, every telemetry branch below is a single pointer test.
     telemetry: OnceLock<Arc<TelemetryBus>>,
+    /// Write-ahead lifecycle journal, attached at most once
+    /// ([`Fleet::attach_journal`]). Unset, every journal branch below is a
+    /// single pointer test — a detached journal costs nothing.
+    journal: OnceLock<Arc<Journal>>,
 }
 
 /// The outcome of a fleet-wide upgrade rollout.
@@ -262,6 +268,9 @@ impl Fleet {
         if self.telemetry.set(bus.clone()).is_err() {
             return false;
         }
+        if let Some(journal) = self.journal.get() {
+            journal.set_telemetry(bus.clone());
+        }
         for shard in &self.shards {
             let mut shard = shard
                 .write()
@@ -276,6 +285,60 @@ impl Fleet {
     /// The attached fleet event bus, if any.
     pub fn telemetry(&self) -> Option<&Arc<TelemetryBus>> {
         self.telemetry.get()
+    }
+
+    /// Attaches the write-ahead lifecycle journal: every journaled
+    /// mutation from now on appends a [`JournalRecord`] before returning,
+    /// making restore = *last checkpoint + replay* ([`Fleet::recover`]).
+    /// At most one journal per fleet — a second call is ignored and
+    /// returns `Ok(false)`.
+    ///
+    /// A journal with no stored checkpoint gets a **full baseline
+    /// checkpoint** of this fleet's current state, so replay always has a
+    /// starting image; a journal that already carries history (the
+    /// recovery path) is attached as-is. Attach before serving traffic:
+    /// mutations racing the baseline capture are neither journaled nor in
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Poisoned`] when the baseline snapshot hits a poisoned
+    /// shard; [`HgError::Journal`] when writing the baseline fails.
+    pub fn attach_journal(&self, journal: Arc<Journal>) -> Result<bool, HgError> {
+        if self.journal.get().is_some() {
+            return Ok(false);
+        }
+        if let Some(bus) = self.telemetry.get() {
+            journal.set_telemetry(bus.clone());
+        }
+        if journal.checkpoint_count() == 0 {
+            let _cut = journal.gate_exclusive();
+            let snapshot = self.snapshot()?;
+            journal.checkpoint_write(&Checkpoint {
+                offset: journal.next_offset(),
+                full: true,
+                shards: snapshot.shards,
+                next_id: snapshot.next_id,
+                store: Some(snapshot.store),
+                homes: snapshot
+                    .homes
+                    .into_iter()
+                    .map(|(id, state)| (id.raw(), state))
+                    .collect(),
+                removed: Vec::new(),
+            })?;
+        }
+        Ok(self.journal.set(journal).is_ok())
+    }
+
+    /// The attached write-ahead journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.get()
+    }
+
+    /// The fleet's current id counter (checkpoint export).
+    pub(crate) fn next_id_value(&self) -> u64 {
+        self.next_id.load(Ordering::Relaxed)
     }
 
     /// Fleet-wide mediation statistics: the sum of every home's
@@ -355,6 +418,36 @@ impl Fleet {
         self.create_home_with(|builder| builder)
     }
 
+    /// Registers `count` template homes in one journal transaction: the
+    /// template state is exported **once** and a single
+    /// [`JournalRecord::HomesCreated`] names every assigned id — one
+    /// append regardless of batch size, where [`Fleet::create_home`] pays
+    /// a state export and an append per home. The fast path for standing
+    /// up large fleets.
+    pub fn create_homes(&self, count: usize) -> Vec<HomeId> {
+        if count == 0 {
+            return Vec::new();
+        }
+        let Some(journal) = self.journal.get() else {
+            return (0..count)
+                .map(|_| self.place(self.template.clone().build()))
+                .collect();
+        };
+        let _gate = journal.gate();
+        let state = self.template.clone().build().export_state();
+        let ids: Vec<HomeId> = (0..count)
+            .map(|_| self.place(self.template.clone().build()))
+            .collect();
+        // Infallible signature, like `create_home`: an append failure
+        // lapses durability (counted in the journal's stats), it does not
+        // un-create the homes.
+        let _ = journal.append(&JournalRecord::HomesCreated {
+            ids: ids.iter().map(|id| id.raw()).collect(),
+            state,
+        });
+        ids
+    }
+
     /// Registers a new home, customizing the template first (e.g. per-home
     /// modes or handling policies).
     ///
@@ -366,7 +459,20 @@ impl Fleet {
     /// the routed shard's map (structurally intact, see [`Fleet::len`])
     /// and insert anyway.
     pub fn create_home_with(&self, customize: impl FnOnce(HomeBuilder) -> HomeBuilder) -> HomeId {
-        self.place(customize(self.template.clone()).build())
+        let home = customize(self.template.clone()).build();
+        let Some(journal) = self.journal.get() else {
+            return self.place(home);
+        };
+        let _gate = journal.gate();
+        let state = home.export_state();
+        let id = self.place(home);
+        // Infallible signature: an append failure here lapses durability
+        // (counted in the journal's stats), it does not un-create the home.
+        let _ = journal.append(&JournalRecord::HomeCreated {
+            id: id.raw(),
+            state,
+        });
+        id
     }
 
     /// Registers an already-built session under a fresh id (shared by
@@ -410,14 +516,18 @@ impl Fleet {
     /// [`HgError::UnknownHome`]; [`HgError::Poisoned`] when the shard lock
     /// is poisoned.
     pub fn remove_home(&self, id: HomeId) -> Result<(), HgError> {
-        let mut shard = self
-            .shard(id)
-            .write()
-            .map_err(|_| HgError::Poisoned("fleet shard"))?;
-        shard
-            .remove(&id)
-            .map(|_| ())
-            .ok_or(HgError::UnknownHome(id))
+        let _gate = self.journal.get().map(|journal| journal.gate());
+        {
+            let mut shard = self
+                .shard(id)
+                .write()
+                .map_err(|_| HgError::Poisoned("fleet shard"))?;
+            shard.remove(&id).ok_or(HgError::UnknownHome(id))?;
+        }
+        if let Some(journal) = self.journal.get() {
+            journal.append(&JournalRecord::HomeRemoved { id: id.raw() })?;
+        }
+        Ok(())
     }
 
     /// Runs `f` with shared access to a home (other readers of the same
@@ -439,6 +549,11 @@ impl Fleet {
     /// poisons only the owning shard; the rest of the fleet keeps serving,
     /// and operations on the poisoned shard report [`HgError::Poisoned`]
     /// instead of crashing their threads.
+    ///
+    /// Mutations made directly through this escape hatch **bypass the
+    /// write-ahead journal** — use the named lifecycle methods
+    /// (`install_app`, `uninstall_app`, `set_handling_policy`, ...) when a
+    /// journal is attached.
     ///
     /// # Errors
     ///
@@ -465,12 +580,83 @@ impl Fleet {
         self.with_home(id, |home| home.check_install(app))?
     }
 
+    /// The journal image of a committed install: a state delta, not a
+    /// re-runnable command. `rules` is elided when the store's current
+    /// rules for the app already match (the overwhelmingly common case —
+    /// replay re-derives them from the store), and carried verbatim when
+    /// they differ (a confirmed-but-stale report).
+    fn install_record(&self, id: HomeId, report: &InstallReport) -> JournalRecord {
+        // Elide rules the replay can re-derive from the store; the
+        // comparison clones nothing (this runs on every journaled
+        // install commit).
+        let rules =
+            (!self.store.rules_eq(&report.app, &report.rules)).then(|| report.rules.clone());
+        JournalRecord::InstallCommitted {
+            id: id.raw(),
+            app: report.app.clone(),
+            replaces: report.replaces.clone(),
+            rules,
+            threats: report.threats.clone(),
+            config: report.config.as_ref().map(ConfigInfo::to_uri),
+        }
+    }
+
+    /// Runs one install-shaped home operation under the journal gate,
+    /// appending a [`JournalRecord::StoreIngested`] when the operation
+    /// freshly persisted `(source, name)` into the shared store (even when
+    /// the operation itself then failed — the store mutation is real
+    /// either way) and a [`JournalRecord::InstallCommitted`] when the
+    /// report landed installed.
+    fn journaled_install(
+        &self,
+        id: HomeId,
+        source: &str,
+        name: &str,
+        as_name: bool,
+        op: impl FnOnce(&mut Home) -> Result<InstallReport, HgError>,
+    ) -> Result<InstallReport, HgError> {
+        let Some(journal) = self.journal.get() else {
+            return self.with_home_mut(id, op)?;
+        };
+        let _gate = journal.gate();
+        // The ingest epoch moves only when a fresh fingerprint persists,
+        // so equal reads around the operation prove no store ingest
+        // happened — the steady-state path (store app already ingested)
+        // skips both source hashes. When the epoch did move, the precise
+        // check confirms it was (source, name) that landed; a concurrent
+        // ingest of the same pair can at worst journal a duplicate
+        // `StoreIngested`, and replayed ingests are idempotent.
+        let epoch = self.store.ingest_epoch();
+        let outcome = self.with_home_mut(id, op);
+        let ingest_append =
+            if self.store.ingest_epoch() != epoch && self.store.has_ingested(source, name) {
+                journal
+                    .append(&JournalRecord::StoreIngested {
+                        app: name.to_string(),
+                        source: source.to_string(),
+                        as_name,
+                    })
+                    .map(|_| ())
+            } else {
+                Ok(())
+            };
+        // The operation's own error outranks a journal append failure.
+        let report = outcome??;
+        ingest_append?;
+        if report.installed {
+            journal.append(&self.install_record(id, &report))?;
+        }
+        Ok(report)
+    }
+
     /// [`Home::install_app`] through the registry: extract (served from
     /// the shared cache), check, auto-confirm only when clean.
     ///
     /// # Errors
     ///
-    /// Registry errors plus the session's own.
+    /// Registry errors plus the session's own; [`HgError::Journal`] when
+    /// the commit could not be journaled (state applied, durability
+    /// lapsed).
     pub fn install_app(
         &self,
         id: HomeId,
@@ -478,14 +664,17 @@ impl Fleet {
         name: &str,
         config: Option<&ConfigInfo>,
     ) -> Result<InstallReport, HgError> {
-        self.with_home_mut(id, |home| home.install_app(source, name, config))?
+        self.journaled_install(id, source, name, false, |home| {
+            home.install_app(source, name, config)
+        })
     }
 
     /// [`Home::install_app_forced`] through the registry.
     ///
     /// # Errors
     ///
-    /// Registry errors plus the session's own.
+    /// Registry errors plus the session's own; [`HgError::Journal`] as on
+    /// [`Fleet::install_app`].
     pub fn install_app_forced(
         &self,
         id: HomeId,
@@ -493,7 +682,9 @@ impl Fleet {
         name: &str,
         config: Option<&ConfigInfo>,
     ) -> Result<InstallReport, HgError> {
-        self.with_home_mut(id, |home| home.install_app_forced(source, name, config))?
+        self.journaled_install(id, source, name, false, |home| {
+            home.install_app_forced(source, name, config)
+        })
     }
 
     /// [`Home::confirm_install`] through the registry: the user of `id`
@@ -501,29 +692,47 @@ impl Fleet {
     ///
     /// # Errors
     ///
-    /// Registry errors plus the session's own staleness checks.
+    /// Registry errors plus the session's own staleness checks;
+    /// [`HgError::Journal`] as on [`Fleet::install_app`].
     pub fn confirm_install(
         &self,
         id: HomeId,
         report: InstallReport,
     ) -> Result<InstallReport, HgError> {
-        self.with_home_mut(id, |home| home.confirm_install(report))?
+        let Some(journal) = self.journal.get() else {
+            return self.with_home_mut(id, |home| home.confirm_install(report))?;
+        };
+        let _gate = journal.gate();
+        let confirmed = self.with_home_mut(id, |home| home.confirm_install(report))??;
+        journal.append(&self.install_record(id, &confirmed))?;
+        Ok(confirmed)
     }
 
     /// [`Home::uninstall_app`] through the registry.
     ///
     /// # Errors
     ///
-    /// Registry errors plus the session's own.
+    /// Registry errors plus the session's own; [`HgError::Journal`] as on
+    /// [`Fleet::install_app`].
     pub fn uninstall_app(&self, id: HomeId, app: &str) -> Result<UninstallReport, HgError> {
-        self.with_home_mut(id, |home| home.uninstall_app(app))?
+        let Some(journal) = self.journal.get() else {
+            return self.with_home_mut(id, |home| home.uninstall_app(app))?;
+        };
+        let _gate = journal.gate();
+        let report = self.with_home_mut(id, |home| home.uninstall_app(app))??;
+        journal.append(&JournalRecord::UninstallCommitted {
+            id: id.raw(),
+            app: app.to_string(),
+        })?;
+        Ok(report)
     }
 
     /// [`Home::upgrade_app`] through the registry.
     ///
     /// # Errors
     ///
-    /// Registry errors plus the session's own.
+    /// Registry errors plus the session's own; [`HgError::Journal`] as on
+    /// [`Fleet::install_app`].
     pub fn upgrade_app(
         &self,
         id: HomeId,
@@ -531,7 +740,9 @@ impl Fleet {
         name: &str,
         config: Option<&ConfigInfo>,
     ) -> Result<InstallReport, HgError> {
-        self.with_home_mut(id, |home| home.upgrade_app(source, name, config))?
+        self.journaled_install(id, source, name, true, |home| {
+            home.upgrade_app(source, name, config)
+        })
     }
 
     /// Installs an already-ingested app into each listed home in order
@@ -544,6 +755,17 @@ impl Fleet {
     ///
     /// Unlike [`Fleet::install_many`] this does **not** pre-ingest: the
     /// caller ingests once for the whole request, not once per group.
+    ///
+    /// When a journal is attached the group commits under **one** gate
+    /// hold and journals **one** [`JournalRecord::InstallSwept`] naming
+    /// every home whose clean install auto-confirmed — batch durability at
+    /// one append per group instead of one per home. Homes whose reports
+    /// cannot ride the batch (an upgrade, a diverging app name or config,
+    /// or rules the store has since moved away from) fall back to their
+    /// own [`JournalRecord::InstallCommitted`]. A failed append surfaces
+    /// as [`HgError::Journal`] on every outcome that committed home state
+    /// in this group — state applied, durability lapsed, exactly like
+    /// [`Fleet::install_app`].
     pub fn install_group(
         &self,
         home_ids: &[HomeId],
@@ -551,10 +773,89 @@ impl Fleet {
         name: &str,
         config: Option<&ConfigInfo>,
     ) -> BulkOutcomes {
-        home_ids
+        let Some(journal) = self.journal.get() else {
+            return home_ids
+                .iter()
+                .map(|&id| (id, self.plain_install(id, source, name, config)))
+                .collect();
+        };
+        let _gate = journal.gate();
+        let epoch = self.store.ingest_epoch();
+        let mut outcomes: BulkOutcomes = home_ids
             .iter()
-            .map(|&id| (id, self.install_app(id, source, name, config)))
-            .collect()
+            .map(|&id| (id, self.plain_install(id, source, name, config)))
+            .collect();
+        // One epoch read covers the whole group: unchanged means no store
+        // ingest landed anywhere during it, so every report's rules came
+        // from the store's stable analysis of `name` and the batch record
+        // can elide them wholesale. A moved epoch demotes each home to the
+        // precise per-report rule comparison.
+        let store_stable = self.store.ingest_epoch() == epoch;
+        let mut appends: Result<(), HgError> =
+            if !store_stable && self.store.has_ingested(source, name) {
+                journal
+                    .append(&JournalRecord::StoreIngested {
+                        app: name.to_string(),
+                        source: source.to_string(),
+                        as_name: false,
+                    })
+                    .map(|_| ())
+            } else {
+                Ok(())
+            };
+        let mut swept: Vec<u64> = Vec::new();
+        for (id, outcome) in &outcomes {
+            let Ok(report) = outcome else { continue };
+            if !report.installed || appends.is_err() {
+                continue;
+            }
+            let batchable = report.app == name
+                && report.replaces.is_none()
+                && report.threats.is_empty()
+                && report.chains.is_empty()
+                && report.config.as_ref() == config
+                && (store_stable || self.store.rules_eq(&report.app, &report.rules));
+            if batchable {
+                swept.push(id.raw());
+            } else {
+                appends = journal
+                    .append(&self.install_record(*id, report))
+                    .map(|_| ());
+            }
+        }
+        if appends.is_ok() && !swept.is_empty() {
+            appends = journal
+                .append(&JournalRecord::InstallSwept {
+                    app: name.to_string(),
+                    homes: swept,
+                    config: config.map(ConfigInfo::to_uri),
+                })
+                .map(|_| ());
+        }
+        if let Err(e) = appends {
+            // Every install that committed home state in this group now has
+            // unjournaled state; report the durability lapse on each.
+            let detail = e.to_string();
+            for (_, outcome) in outcomes.iter_mut() {
+                if matches!(outcome, Ok(report) if report.installed) {
+                    *outcome = Err(HgError::Journal(detail.clone()));
+                }
+            }
+        }
+        outcomes
+    }
+
+    /// The registry install operation without journal bookkeeping — the
+    /// per-home body [`Fleet::install_group`] runs under its single gate
+    /// hold.
+    fn plain_install(
+        &self,
+        id: HomeId,
+        source: &str,
+        name: &str,
+        config: Option<&ConfigInfo>,
+    ) -> Result<InstallReport, HgError> {
+        self.with_home_mut(id, |home| home.install_app(source, name, config))?
     }
 
     /// Bulk install: extracts `source` **once** and installs it into every
@@ -574,8 +875,60 @@ impl Fleet {
         name: &str,
         config: Option<&ConfigInfo>,
     ) -> Result<BulkOutcomes, HgError> {
-        self.store.ingest(source, name)?;
+        self.ingest_app(source, name)?;
         Ok(self.install_group(home_ids, source, name, config))
+    }
+
+    /// Publishes `source` into the shared store under its declared name
+    /// (journaled when a journal is attached) without installing it
+    /// anywhere — the coordinator-side half of a partitioned
+    /// [`Fleet::install_many`].
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Extract`] when the source fails extraction;
+    /// [`HgError::Journal`] when a fresh ingest could not be journaled.
+    pub fn ingest_app(&self, source: &str, name: &str) -> Result<(), HgError> {
+        self.journaled_ingest(source, name, false)
+    }
+
+    /// [`Fleet::ingest_app`] via [`RuleStore::ingest_as`]: refuses a
+    /// renaming submission before anything lands in the store — the
+    /// upgrade-rollout publication step.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Extract`]; [`HgError::UpgradeRenames`];
+    /// [`HgError::Journal`] as on [`Fleet::ingest_app`].
+    pub fn ingest_app_as(&self, source: &str, name: &str) -> Result<(), HgError> {
+        self.journaled_ingest(source, name, true)
+    }
+
+    fn journaled_ingest(&self, source: &str, name: &str, as_name: bool) -> Result<(), HgError> {
+        let Some(journal) = self.journal.get() else {
+            return if as_name {
+                self.store.ingest_as(source, name).map(|_| ())
+            } else {
+                self.store.ingest(source, name).map(|_| ())
+            };
+        };
+        let _gate = journal.gate();
+        let fresh = !self.store.has_ingested(source, name);
+        let outcome = if as_name {
+            self.store.ingest_as(source, name).map(|_| ())
+        } else {
+            self.store.ingest(source, name).map(|_| ())
+        };
+        let landed = fresh && self.store.has_ingested(source, name);
+        outcome?;
+        if landed {
+            journal.append(&JournalRecord::StoreIngested {
+                app: name.to_string(),
+                source: source.to_string(),
+                as_name,
+            })?;
+        }
+        Ok(())
     }
 
     /// Fleet-wide upgrade rollout: re-extracts the new source **once**
@@ -596,7 +949,7 @@ impl Fleet {
         // `ingest_as`, not `ingest`: a renaming submission must be refused
         // BEFORE anything lands in the shared database — a rejected
         // rollout cannot publish a new app store-wide as a side effect.
-        self.store.ingest_as(source, name)?;
+        self.ingest_app_as(source, name)?;
         Ok(UpgradeRollout::merge(
             name,
             (0..self.shards.len()).map(|index| self.upgrade_shard(index, source, name)),
@@ -615,6 +968,7 @@ impl Fleet {
     ///
     /// If `index` is out of range (`>= self.shard_count()`).
     pub fn upgrade_shard(&self, index: usize, source: &str, name: &str) -> ShardRollout {
+        let _gate = self.journal.get().map(|journal| journal.gate());
         let started = self.telemetry.get().map(|_| Instant::now());
         let Ok(mut shard) = self.shards[index].write() else {
             return ShardRollout {
@@ -636,6 +990,17 @@ impl Fleet {
         }
         let homes = shard.len() as u64;
         drop(shard);
+        if let Some(journal) = self.journal.get() {
+            if !part.upgraded.is_empty() {
+                // One compact record per shard unit, not one per home: the
+                // clean-upgrade outcome is fully re-derivable from the
+                // store's (already journaled) new version.
+                let _ = journal.append(&JournalRecord::UpgradeSwept {
+                    app: name.to_string(),
+                    homes: part.upgraded.iter().map(|id| id.raw()).collect(),
+                });
+            }
+        }
         self.publish_sweep(index, "upgrade", homes, started);
         part
     }
@@ -650,6 +1015,7 @@ impl Fleet {
     ///
     /// If `index` is out of range (`>= self.shard_count()`).
     pub fn uninstall_shard(&self, index: usize, app: &str) -> ShardUninstall {
+        let _gate = self.journal.get().map(|journal| journal.gate());
         let started = self.telemetry.get().map(|_| Instant::now());
         let Ok(mut shard) = self.shards[index].write() else {
             return ShardUninstall {
@@ -670,6 +1036,14 @@ impl Fleet {
         }
         let homes = shard.len() as u64;
         drop(shard);
+        if let Some(journal) = self.journal.get() {
+            if !part.removed.is_empty() {
+                let _ = journal.append(&JournalRecord::UninstallSwept {
+                    app: app.to_string(),
+                    homes: part.removed.iter().map(|(id, _)| id.raw()).collect(),
+                });
+            }
+        }
         self.publish_sweep(index, "uninstall", homes, started);
         part
     }
@@ -699,8 +1073,87 @@ impl Fleet {
             app,
             (0..self.shards.len()).map(|index| self.uninstall_shard(index, app)),
         );
-        out.store_retired = self.store.retire_app(app);
+        out.store_retired = self.retire_store_app(app);
         out
+    }
+
+    /// Retires `app` from the shared store (database, analyses,
+    /// fingerprints — see [`RuleStore::retire_app`]), journaled when a
+    /// journal is attached. Returns whether the store actually held it.
+    pub fn retire_store_app(&self, app: &str) -> bool {
+        let Some(journal) = self.journal.get() else {
+            return self.store.retire_app(app);
+        };
+        let _gate = journal.gate();
+        let retired = self.store.retire_app(app);
+        if retired {
+            let _ = journal.append(&JournalRecord::StoreRetired {
+                app: app.to_string(),
+            });
+        }
+        retired
+    }
+
+    /// Replaces one home's threat-handling policy table (journaled when a
+    /// journal is attached).
+    ///
+    /// # Errors
+    ///
+    /// Registry errors; [`HgError::Journal`] when the change could not be
+    /// journaled.
+    pub fn set_handling_policy(&self, id: HomeId, table: PolicyTable) -> Result<(), HgError> {
+        let Some(journal) = self.journal.get() else {
+            return self.with_home_mut(id, |home| home.set_handling_policy(table));
+        };
+        let _gate = journal.gate();
+        let record = JournalRecord::PolicyChanged {
+            id: id.raw(),
+            table: table.clone(),
+        };
+        self.with_home_mut(id, |home| home.set_handling_policy(table))?;
+        journal.append(&record)?;
+        Ok(())
+    }
+
+    /// Records (or replaces) one home's collected configuration for an
+    /// installed app (journaled when a journal is attached).
+    ///
+    /// # Errors
+    ///
+    /// Registry errors plus the session's own; [`HgError::Journal`] when
+    /// the change could not be journaled.
+    pub fn record_config(&self, id: HomeId, info: &ConfigInfo) -> Result<(), HgError> {
+        let Some(journal) = self.journal.get() else {
+            return self.with_home_mut(id, |home| home.record_config(info));
+        };
+        let _gate = journal.gate();
+        self.with_home_mut(id, |home| home.record_config(info))?;
+        journal.append(&JournalRecord::ConfigRecorded {
+            id: id.raw(),
+            uri: info.to_uri(),
+        })?;
+        Ok(())
+    }
+
+    /// Re-seats a home under a **specific** id — the journal replay path
+    /// ([`Fleet::recover`]), where ids must come back exactly as recorded.
+    /// Bumps the id counter past `id` so future ids never collide.
+    pub(crate) fn insert_home_at(&self, id: HomeId, state: HomeState) -> Result<(), HgError> {
+        let mut home = Home::restore_state(self.store.clone(), state);
+        if let Some(bus) = self.telemetry.get() {
+            home.set_telemetry(Some(bus.clone()), id.raw());
+        }
+        let mut shard = self
+            .shard(id)
+            .write()
+            .map_err(|_| HgError::Poisoned("fleet shard"))?;
+        if shard.contains_key(&id) {
+            return Err(journal_err(format!("replay would overwrite live {id}")));
+        }
+        shard.insert(id, home);
+        drop(shard);
+        self.next_id.fetch_max(id.raw() + 1, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Captures the whole service — the shared store (database, analyses,
@@ -821,7 +1274,17 @@ impl Fleet {
     /// self-contained, so the home works even before the store has
     /// ingested the apps it runs.
     pub fn import_home(&self, state: HomeState) -> HomeId {
-        self.place(Home::restore_state(self.store.clone(), state))
+        let Some(journal) = self.journal.get() else {
+            return self.place(Home::restore_state(self.store.clone(), state));
+        };
+        let _gate = journal.gate();
+        let record_state = state.clone();
+        let id = self.place(Home::restore_state(self.store.clone(), state));
+        let _ = journal.append(&JournalRecord::HomeImported {
+            id: id.raw(),
+            state: record_state,
+        });
+        id
     }
 }
 

@@ -24,7 +24,11 @@
 //!   Allowed lists and the ingest cache survive), [`Fleet::export_home`] /
 //!   [`Fleet::import_home`] migrate one session between processes, and
 //!   [`Fleet::force_uninstall`] retracts a store-pulled app from every
-//!   home *and* the shared database.
+//!   home *and* the shared database. With a write-ahead [`Journal`]
+//!   attached ([`Fleet::attach_journal`]), every lifecycle mutation is
+//!   journaled and restore becomes *last checkpoint + replay*
+//!   ([`Fleet::recover`], [`Fleet::checkpoint`], [`start_checkpointer`]
+//!   — see [`durability`]).
 //!
 //! # Examples
 //!
@@ -61,10 +65,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod durability;
 pub mod fleet;
 
+pub use durability::start_checkpointer;
 pub use fleet::{
     BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, ShardRollout, ShardUninstall, UpgradeRollout,
+};
+pub use hg_journal::{
+    CheckpointScheduler, CheckpointStats, DirBackend, Journal, JournalConfig, JournalRecord,
+    MemBackend,
 };
 pub use hg_persist::FleetSnapshot;
 pub use hg_telemetry::{TelemetryBus, TelemetryEvent};

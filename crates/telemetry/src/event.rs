@@ -115,6 +115,37 @@ pub enum TelemetryEvent {
         /// Queue depth at refusal.
         depth: u64,
     },
+    /// Records were appended durably to the write-ahead journal.
+    JournalAppended {
+        /// Records appended.
+        records: u64,
+        /// Framed bytes written.
+        bytes: u64,
+    },
+    /// The journal flushed its backend to stable storage.
+    JournalSynced {
+        /// Wall-clock flush time.
+        micros: u64,
+    },
+    /// A journal checkpoint document was written.
+    JournalCheckpoint {
+        /// Journal offset the checkpoint covers.
+        offset: u64,
+        /// Homes exported into the document.
+        homes: u64,
+        /// Whether it was a full image (vs a delta).
+        full: bool,
+        /// Wall-clock export-and-write time.
+        micros: u64,
+    },
+    /// Crash recovery replayed journal records onto a materialized
+    /// checkpoint image.
+    JournalReplayed {
+        /// Records replayed.
+        records: u64,
+        /// Wall-clock replay time.
+        micros: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -130,6 +161,10 @@ impl TelemetryEvent {
             TelemetryEvent::SweepShardDone { .. } => "sweep_shard_done",
             TelemetryEvent::SnapshotTaken { .. } => "snapshot_taken",
             TelemetryEvent::QueueSaturated { .. } => "queue_saturated",
+            TelemetryEvent::JournalAppended { .. } => "journal_appended",
+            TelemetryEvent::JournalSynced { .. } => "journal_synced",
+            TelemetryEvent::JournalCheckpoint { .. } => "journal_checkpoint",
+            TelemetryEvent::JournalReplayed { .. } => "journal_replayed",
         }
     }
 
@@ -255,6 +290,34 @@ impl TelemetryEvent {
                     ("depth".to_string(), Json::Num(*depth as i64)),
                 ]);
             }
+            TelemetryEvent::JournalAppended { records, bytes } => {
+                fields.extend([
+                    ("records".to_string(), Json::Num(*records as i64)),
+                    ("bytes".to_string(), Json::Num(*bytes as i64)),
+                ]);
+            }
+            TelemetryEvent::JournalSynced { micros } => {
+                fields.push(("micros".to_string(), Json::Num(*micros as i64)));
+            }
+            TelemetryEvent::JournalCheckpoint {
+                offset,
+                homes,
+                full,
+                micros,
+            } => {
+                fields.extend([
+                    ("offset".to_string(), Json::Num(*offset as i64)),
+                    ("homes".to_string(), Json::Num(*homes as i64)),
+                    ("full".to_string(), Json::Bool(*full)),
+                    ("micros".to_string(), Json::Num(*micros as i64)),
+                ]);
+            }
+            TelemetryEvent::JournalReplayed { records, micros } => {
+                fields.extend([
+                    ("records".to_string(), Json::Num(*records as i64)),
+                    ("micros".to_string(), Json::Num(*micros as i64)),
+                ]);
+            }
         }
         Json::Obj(fields.into_iter().collect())
     }
@@ -317,6 +380,21 @@ mod tests {
                 queue: "shard",
                 shard: 2,
                 depth: 64,
+            },
+            TelemetryEvent::JournalAppended {
+                records: 1,
+                bytes: 180,
+            },
+            TelemetryEvent::JournalSynced { micros: 45 },
+            TelemetryEvent::JournalCheckpoint {
+                offset: 96,
+                homes: 12,
+                full: false,
+                micros: 2200,
+            },
+            TelemetryEvent::JournalReplayed {
+                records: 34,
+                micros: 5100,
             },
         ];
         for (n, event) in events.iter().enumerate() {

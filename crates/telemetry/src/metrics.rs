@@ -81,6 +81,38 @@ impl Histogram {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// The `p`-th percentile (`0.0..=100.0`), linearly interpolated
+    /// within the covering bucket — the standard fixed-bucket estimate
+    /// (what a Prometheus `histogram_quantile` computes). Observations in
+    /// the open-ended `+Inf` bucket clamp to the last finite bound; an
+    /// empty histogram reports 0.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = p.clamp(0.0, 100.0) / 100.0 * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &bucket) in self.counts.iter().enumerate() {
+            let next = cumulative + bucket;
+            if (next as f64) >= rank && bucket > 0 {
+                let upper = match self.bounds.get(i) {
+                    Some(&bound) => bound as f64,
+                    // +Inf bucket: no upper edge to interpolate toward.
+                    None => return self.bounds[self.bounds.len() - 1] as f64,
+                };
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let into = (rank - cumulative as f64).max(0.0) / bucket as f64;
+                return lower + (upper - lower) * into.min(1.0);
+            }
+            cumulative = next;
+        }
+        self.bounds[self.bounds.len() - 1] as f64
+    }
 }
 
 /// One app's row in the fleet interference table (paper Fig. 8).
@@ -259,6 +291,25 @@ impl MetricsRegistry {
                 inner.bump("snapshot_micros_total", *micros);
             }
             TelemetryEvent::QueueSaturated { .. } => inner.bump("queue_saturated_total", 1),
+            TelemetryEvent::JournalAppended { records, bytes } => {
+                inner.bump("journal_appends_total", 1);
+                inner.bump("journal_records_total", *records);
+                inner.bump("journal_bytes_total", *bytes);
+            }
+            TelemetryEvent::JournalSynced { micros } => {
+                inner.bump("journal_syncs_total", 1);
+                inner.bump("journal_sync_micros_total", *micros);
+            }
+            TelemetryEvent::JournalCheckpoint { homes, micros, .. } => {
+                inner.bump("journal_checkpoints_total", 1);
+                inner.bump("journal_checkpoint_homes_total", *homes);
+                inner.bump("journal_checkpoint_micros_total", *micros);
+            }
+            TelemetryEvent::JournalReplayed { records, micros } => {
+                inner.bump("journal_replays_total", 1);
+                inner.bump("journal_replayed_records_total", *records);
+                inner.bump("journal_replay_micros_total", *micros);
+            }
         }
     }
 
@@ -622,6 +673,17 @@ const KNOWN_COUNTERS: &[&str] = &[
     "snapshots_total",
     "snapshot_micros_total",
     "queue_saturated_total",
+    "journal_appends_total",
+    "journal_records_total",
+    "journal_bytes_total",
+    "journal_syncs_total",
+    "journal_sync_micros_total",
+    "journal_checkpoints_total",
+    "journal_checkpoint_homes_total",
+    "journal_checkpoint_micros_total",
+    "journal_replays_total",
+    "journal_replayed_records_total",
+    "journal_replay_micros_total",
 ];
 
 const KNOWN_HISTOGRAMS: &[&str] = &[
@@ -655,6 +717,9 @@ fn histogram_json(h: &Histogram) -> Json {
         ("count", Json::Num(h.count as i64)),
         ("sum", Json::Num(h.sum as i64)),
         ("mean", Json::Num(h.mean() as i64)),
+        ("p50", Json::Num(h.percentile(50.0).round() as i64)),
+        ("p95", Json::Num(h.percentile(95.0).round() as i64)),
+        ("p99", Json::Num(h.percentile(99.0).round() as i64)),
     ])
 }
 
@@ -738,6 +803,83 @@ mod tests {
         let uncached = reg.histogram("pair_check_micros_uncached").unwrap();
         assert_eq!(uncached.count, 1);
         assert!(uncached.mean() > 8_999.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(bounds_for("mediation_latency_ns"));
+        assert_eq!(h.percentile(50.0), 0.0, "empty histogram reports 0");
+        // 100 observations spread uniformly through the ≤1000ns bucket
+        // (lower edge 500): the interpolated median sits mid-bucket.
+        h.observe(750, 100);
+        assert!((h.percentile(50.0) - 750.0).abs() < 1.0, "p50 ≈ 750");
+        assert!((h.percentile(100.0) - 1_000.0).abs() < 1e-9);
+        // Skewed tail: 90 fast (≤250 bucket), 10 slow (≤25000 bucket).
+        let mut h = Histogram::new(bounds_for("mediation_latency_ns"));
+        h.observe(100, 90);
+        h.observe(20_000, 10);
+        let p50 = h.percentile(50.0);
+        assert!(p50 <= 250.0, "median stays in the fast bucket, got {p50}");
+        let p95 = h.percentile(95.0);
+        assert!(
+            (10_000.0..=25_000.0).contains(&p95),
+            "p95 lands in the slow bucket, got {p95}"
+        );
+        assert!(h.percentile(99.0) >= p95);
+        // An observation past the last bound clamps to the last finite edge.
+        let mut h = Histogram::new(bounds_for("pair_check_micros_cached"));
+        h.observe(1_000_000, 4);
+        assert_eq!(h.percentile(50.0), 1_000.0);
+        // Registry JSON carries the percentile fields.
+        let reg = MetricsRegistry::new();
+        reg.ingest(&TelemetryEvent::MediationDecision {
+            home: 0,
+            kind: "AR",
+            verdict: "allow",
+            latency_ns: 700,
+        });
+        let json = reg.histograms_json(&["mediation_latency_ns"]);
+        let h = json.get("mediation_latency_ns").unwrap();
+        assert!(h.get("p50").and_then(Json::as_num).is_some());
+        assert!(h.get("p95").and_then(Json::as_num).is_some());
+        assert!(h.get("p99").and_then(Json::as_num).is_some());
+    }
+
+    #[test]
+    fn journal_events_fold_into_counters() {
+        let reg = MetricsRegistry::new();
+        reg.ingest(&TelemetryEvent::JournalAppended {
+            records: 1,
+            bytes: 200,
+        });
+        reg.ingest(&TelemetryEvent::JournalAppended {
+            records: 1,
+            bytes: 100,
+        });
+        reg.ingest(&TelemetryEvent::JournalSynced { micros: 40 });
+        reg.ingest(&TelemetryEvent::JournalCheckpoint {
+            offset: 2,
+            homes: 5,
+            full: true,
+            micros: 900,
+        });
+        reg.ingest(&TelemetryEvent::JournalReplayed {
+            records: 2,
+            micros: 300,
+        });
+        assert_eq!(reg.counter("journal_appends_total"), 2);
+        assert_eq!(reg.counter("journal_records_total"), 2);
+        assert_eq!(reg.counter("journal_bytes_total"), 300);
+        assert_eq!(reg.counter("journal_syncs_total"), 1);
+        assert_eq!(reg.counter("journal_checkpoints_total"), 1);
+        assert_eq!(reg.counter("journal_checkpoint_homes_total"), 5);
+        assert_eq!(reg.counter("journal_replays_total"), 1);
+        assert_eq!(reg.counter("journal_replayed_records_total"), 2);
+        // Journal counters survive the snapshot envelope.
+        let state = reg.export_state();
+        let fresh = MetricsRegistry::new();
+        fresh.absorb_state(&state).unwrap();
+        assert_eq!(fresh.counter("journal_bytes_total"), 300);
     }
 
     #[test]
