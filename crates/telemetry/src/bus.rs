@@ -217,6 +217,7 @@ mod tests {
     fn probe(n: u64) -> TelemetryEvent {
         TelemetryEvent::CacheProbe {
             hit: false,
+            tier: "solver",
             micros: n,
             weight: 1,
         }

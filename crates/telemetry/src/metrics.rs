@@ -197,6 +197,8 @@ impl MetricsRegistry {
                 solves,
                 cache_hits,
                 cache_misses,
+                lowered_hits,
+                solver_fallbacks,
                 micros,
                 ..
             } => {
@@ -216,6 +218,8 @@ impl MetricsRegistry {
                 inner.bump("solves_total", *solves);
                 inner.bump("cache_hits_total", *cache_hits);
                 inner.bump("cache_misses_total", *cache_misses);
+                inner.bump("lowered_hits_total", *lowered_hits);
+                inner.bump("solver_fallbacks_total", *solver_fallbacks);
                 inner.observe("install_micros", *micros, 1);
                 let row = inner.interference.entry(app.clone()).or_default();
                 row.installs += 1;
@@ -270,6 +274,7 @@ impl MetricsRegistry {
                 hit,
                 micros,
                 weight,
+                ..
             } => {
                 inner.bump("cache_probes_total", *weight);
                 inner.observe(
@@ -664,6 +669,8 @@ const KNOWN_COUNTERS: &[&str] = &[
     "solves_total",
     "cache_hits_total",
     "cache_misses_total",
+    "lowered_hits_total",
+    "solver_fallbacks_total",
     "cache_probes_total",
     "threats_total",
     "mediation_events_total",
@@ -751,6 +758,8 @@ mod tests {
             solves: 1,
             cache_hits: 2,
             cache_misses: 1,
+            lowered_hits: 1,
+            solver_fallbacks: 1,
             micros: 420,
         }
     }
@@ -770,6 +779,8 @@ mod tests {
         assert_eq!(reg.counter("installs_total"), 3);
         assert_eq!(reg.counter("installs_dirty_total"), 1);
         assert_eq!(reg.counter("cache_hits_total"), 6);
+        assert_eq!(reg.counter("lowered_hits_total"), 3);
+        assert_eq!(reg.counter("solver_fallbacks_total"), 3);
         assert_eq!(reg.counter("threats_total"), 1);
         let table = reg.interference_table();
         assert_eq!(table[0].0, "A", "A has the higher interference rate");
@@ -789,11 +800,13 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.ingest(&TelemetryEvent::CacheProbe {
             hit: true,
+            tier: "lowered",
             micros: 3,
             weight: 64,
         });
         reg.ingest(&TelemetryEvent::CacheProbe {
             hit: false,
+            tier: "solver",
             micros: 9_000,
             weight: 1,
         });

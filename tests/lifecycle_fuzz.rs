@@ -371,6 +371,202 @@ fn cached_detection_matches_uncached_over_seeded_churn() {
     assert!(dirty_reports >= 10, "only {dirty_reports} dirty installs");
 }
 
+/// Palette variant for the lowering differential: the handler body gains a
+/// guard so condition-overlap questions (GC's merged solve, EC's effect
+/// solve) actually reach the pair-check pipeline. Shapes 0–2 sit inside the
+/// lowered fragment (unconditional, mode membership, constant threshold);
+/// shape 3 compares against an **unresolved user input**, which the lowered
+/// evaluator refuses by design — guaranteeing real solver fallbacks.
+fn conditional_palette_source(
+    name: &str,
+    sensor: usize,
+    actuator: usize,
+    command: usize,
+    cond: usize,
+) -> String {
+    if cond == 0 {
+        return palette_source(name, sensor, actuator, command);
+    }
+    let (s_cap, s_attr, s_val) = SENSORS[sensor];
+    let (a_cap, a_title, commands) = ACTUATORS[actuator];
+    let cmd = commands[command];
+    let (extra_inputs, guard) = match cond {
+        1 => ("", r#"location.mode == "Home""#.to_string()),
+        2 => (
+            "input \"m\", \"capability.temperatureMeasurement\"\n",
+            "m.currentTemperature > 50".to_string(),
+        ),
+        _ => (
+            "input \"m\", \"capability.temperatureMeasurement\"\ninput \"thr\", \"number\", title: \"Above?\"\n",
+            "m.currentTemperature > thr".to_string(),
+        ),
+    };
+    format!(
+        r#"
+definition(name: "{name}")
+input "t", "{s_cap}"
+input "a", "{a_cap}", title: "{a_title}"
+{extra_inputs}def installed() {{ subscribe(t, "{s_attr}.{s_val}", h) }}
+def h(evt) {{ if ({guard}) {{ a.{cmd}() }} }}
+"#
+    )
+}
+
+#[test]
+fn lowered_detection_matches_solver_over_seeded_churn() {
+    // The lowering differential: two sessions replay identical seeded
+    // lifecycle scripts — one with the lowered pair evaluator enabled
+    // (the default), one forced onto the full `OverlapSolver` for every
+    // pair (`.lowered_pairs(false)`). Verdict sharing is off on both so
+    // every check is decided by the tier under test, not a cache. Every
+    // report must carry bit-identical threats — witnesses included,
+    // since the lowered evaluator promises the SAME witness the solver
+    // would construct — and identical logical stats. The tier counters
+    // prove the property is not vacuous: the lowered twin must both hit
+    // the lowered tier AND fall back to the solver (covert-trigger
+    // channel checks always consult it), while the forced twin must
+    // never touch either counter.
+    //
+    // `HG_LOWERED_PAIRS=off` deliberately wins over the builder knob, so
+    // under that override both twins are solver-forced and the
+    // differential is vacuous — skip rather than fail the run whose
+    // entire point is forcing the solver everywhere.
+    if matches!(
+        std::env::var("HG_LOWERED_PAIRS").as_deref(),
+        Ok("off") | Ok("0") | Ok("false")
+    ) {
+        eprintln!("HG_LOWERED_PAIRS=off: lowering differential skipped (both twins solver-forced)");
+        return;
+    }
+    let mut lowered_total = 0u64;
+    let mut fallback_total = 0u64;
+    let mut upgrades = 0usize;
+    let mut uninstalls = 0usize;
+    let mut dirty_reports = 0usize;
+    for seed in 0..24 {
+        let mut g = Gen::new(0xfaded ^ seed);
+        let store = RuleStore::shared();
+        let mut lowered = Home::builder(store.clone())
+            .handling_policy(PolicyTable::block_all())
+            .verdict_sharing(false)
+            .build();
+        let mut forced = Home::builder(store.clone())
+            .handling_policy(PolicyTable::block_all())
+            .verdict_sharing(false)
+            .lowered_pairs(false)
+            .build();
+        let mut live: Vec<String> = Vec::new();
+
+        // Compare one lowered report against its solver-forced ground
+        // truth: bit-identical threats, identical logical stats, and the
+        // tier counters on exactly one side.
+        let mut check = |a: &hg_detector::DetectStats, b: &hg_detector::DetectStats, ctx: &str| {
+            assert_eq!(a.logical(), b.logical(), "{ctx}: logical stats diverge");
+            assert_eq!(
+                b.lowered_hits + b.solver_fallbacks,
+                0,
+                "{ctx}: forced twin touched the lowered tier"
+            );
+            lowered_total += a.lowered_hits;
+            fallback_total += a.solver_fallbacks;
+        };
+
+        for step in 0..14 {
+            match g.range(0, 100) {
+                0..=54 => {
+                    let name = format!("Low{seed}x{step}");
+                    let source = conditional_palette_source(
+                        &name,
+                        g.range(0, 3),
+                        g.range(0, 3),
+                        g.range(0, 2),
+                        g.range(0, 4),
+                    );
+                    let a = lowered.install_app_forced(&source, &name, None).unwrap();
+                    let b = forced.install_app_forced(&source, &name, None).unwrap();
+                    assert_eq!(
+                        a.threats, b.threats,
+                        "seed {seed} step {step}: install threats diverge"
+                    );
+                    check(&a.stats, &b.stats, &format!("seed {seed} step {step}"));
+                    if !a.is_clean() {
+                        dirty_reports += 1;
+                    }
+                    live.push(name);
+                }
+                55..=74 => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live.remove(g.range(0, live.len()));
+                    let a = lowered.uninstall_app(&name).unwrap();
+                    let b = forced.uninstall_app(&name).unwrap();
+                    assert_eq!(a.removed_rules, b.removed_rules);
+                    assert_eq!(a.retired_threats, b.retired_threats);
+                    uninstalls += 1;
+                }
+                _ => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    let name = live[g.range(0, live.len())].clone();
+                    let v2 = conditional_palette_source(
+                        &name,
+                        g.range(0, 3),
+                        g.range(0, 3),
+                        g.range(0, 2),
+                        g.range(0, 4),
+                    );
+                    let a = lowered.upgrade_app_forced(&v2, &name, None).unwrap();
+                    let b = forced.upgrade_app_forced(&v2, &name, None).unwrap();
+                    assert_eq!(
+                        a.threats, b.threats,
+                        "seed {seed} step {step}: post-upgrade threats diverge"
+                    );
+                    check(&a.stats, &b.stats, &format!("seed {seed} step {step}"));
+                    upgrades += 1;
+                }
+            }
+
+            // Between ops: a probe check must agree bit-identically too.
+            let probe = format!("LowProbe{seed}x{step}");
+            let probe_src = conditional_palette_source(
+                &probe,
+                g.range(0, 3),
+                g.range(0, 3),
+                g.range(0, 2),
+                g.range(0, 4),
+            );
+            store.ingest(&probe_src, &probe).unwrap();
+            let a = lowered.check_install(&probe).unwrap();
+            let b = forced.check_install(&probe).unwrap();
+            assert_eq!(
+                a.threats, b.threats,
+                "seed {seed} step {step}: probe threats diverge"
+            );
+            check(&a.stats, &b.stats, &format!("seed {seed} probe {step}"));
+            store.retire_app(&probe);
+        }
+
+        assert_eq!(
+            sorted_keys(lowered.allowed()),
+            sorted_keys(forced.allowed()),
+            "seed {seed}: Allowed lists diverge"
+        );
+    }
+    // Not vacuous: the lowered tier answered real pair checks, the
+    // solver really was consulted as the fallback, churn really replaced
+    // and retired apps, and interference actually surfaced.
+    assert!(lowered_total >= 30, "only {lowered_total} lowered hits");
+    assert!(
+        fallback_total >= 20,
+        "only {fallback_total} solver fallbacks"
+    );
+    assert!(upgrades >= 10, "only {upgrades} upgrades exercised");
+    assert!(uninstalls >= 10, "only {uninstalls} uninstalls exercised");
+    assert!(dirty_reports >= 10, "only {dirty_reports} dirty installs");
+}
+
 #[test]
 fn home_lifecycle_matches_fresh_session_replay() {
     let mut uninstalls = 0usize;

@@ -83,14 +83,16 @@ fn render_install(report: &homeguard_core::InstallReport) -> String {
         .collect();
     threats.sort();
     format!(
-        "install app={} installed={} threats={:?} pairs={} solves={} hits={} misses={}",
+        "install app={} installed={} threats={:?} pairs={} solves={} hits={} misses={} lowered={} fallbacks={}",
         report.app,
         report.installed,
         threats,
         report.stats.pairs,
         report.stats.solves,
         report.stats.cache_hits,
-        report.stats.cache_misses
+        report.stats.cache_misses,
+        report.stats.lowered_hits,
+        report.stats.solver_fallbacks
     )
 }
 
@@ -153,6 +155,26 @@ fn attached_bus_changes_no_report_and_no_persisted_byte() {
         registry.counter("events_consumed_total"),
         events.len() as u64
     );
+
+    // The pair-check tier counters reconcile exactly too: the registry's
+    // totals equal the sum of the per-install payloads the bus carried,
+    // and the lowered tier really answered checks during the churn (the
+    // AR pairs here are simple attribute comparisons, squarely inside
+    // the lowered fragment).
+    let sum = |f: fn(&TelemetryEvent) -> u64| events.iter().map(|(_, e)| f(e)).sum::<u64>();
+    let lowered = sum(|e| match e {
+        TelemetryEvent::InstallCompleted { lowered_hits, .. } => *lowered_hits,
+        _ => 0,
+    });
+    let fallbacks = sum(|e| match e {
+        TelemetryEvent::InstallCompleted {
+            solver_fallbacks, ..
+        } => *solver_fallbacks,
+        _ => 0,
+    });
+    assert_eq!(registry.counter("lowered_hits_total"), lowered);
+    assert_eq!(registry.counter("solver_fallbacks_total"), fallbacks);
+    assert!(lowered > 0, "churn pairs must hit the lowered tier");
 
     // The silent fleet's mediation accessors work without any bus.
     assert_eq!(silent.mediation_stats().events, 0);
