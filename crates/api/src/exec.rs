@@ -448,7 +448,10 @@ impl FleetExec {
             drop(tx);
             let parts: Vec<_> = (0..submitted).filter_map(|_| rx.recv().ok()).collect();
             let mut out = ForceUninstall::merge(app.as_str(), parts);
-            out.store_retired = fleet.retire_store_app(&app);
+            match fleet.retire_store_app(&app) {
+                Ok(retired) => out.store_retired = retired,
+                Err(error) => out.store_error = Some(error.to_string()),
+            }
             out
         })
     }

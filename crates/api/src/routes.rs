@@ -18,6 +18,9 @@
 //! | `POST /fleet/uninstall` | token | fleet-wide forced uninstall |
 //! | `GET /snapshot` | token | full fleet snapshot (+ telemetry envelope) |
 //! | `POST /restore` | token | revive a fleet from a snapshot |
+//! | `GET /health` | — | liveness: always 200, body says `ok`/`degraded` |
+//! | `GET /ready` | — | readiness: 503 when quarantined or poisoned |
+//! | `POST /journal/heal` | token | re-arm a quarantined journal (fresh full checkpoint) |
 //! | `GET /stats` | — | fleet + queue + session gauges |
 //! | `GET /journal/stats` | — | journal offsets, segments, dirty set |
 //! | `GET /metrics` | — | metrics registry (JSON; `?format=prometheus`) |
@@ -39,7 +42,7 @@ use crate::wire::{
 };
 use hg_persist::FleetSnapshot;
 use hg_rules::json::Json;
-use hg_service::{Fleet, HgError, HomeId, Journal};
+use hg_service::{Fleet, HgError, HomeId, Journal, JournalState};
 use hg_telemetry::{TelemetryBus, TelemetryHub};
 use std::sync::{Arc, RwLock};
 use std::time::Duration;
@@ -333,9 +336,45 @@ fn dispatch(state: &AppState, req: &Request) -> Result<Reply, ApiError> {
         ("POST", "/homes") => {
             let token = token(state, req)?;
             let exec = state.exec();
-            let id = exec.fleet().create_home();
+            let id = exec.fleet().create_home().map_err(ApiError::from)?;
             state.sessions.adopt(token, id);
             Ok(Response::json(201, &Json::obj([("home", Json::Num(id.raw() as i64))])).into())
+        }
+        ("GET", "/health") => {
+            // Liveness: always 200 — a degraded service is still alive and
+            // still serving reads; the body says what degraded.
+            let (_healthy, body) = health_json(state);
+            Ok(Response::json(200, &body).into())
+        }
+        ("GET", "/ready") => {
+            // Readiness: 503 drops the instance out of a load balancer the
+            // moment the journal quarantines or a shard poisons.
+            let (healthy, body) = health_json(state);
+            Ok(Response::json(if healthy { 200 } else { 503 }, &body).into())
+        }
+        ("POST", "/journal/heal") => {
+            token(state, req)?;
+            state.journal().ok_or_else(|| {
+                ApiError::new(
+                    404,
+                    "journal_disabled",
+                    "this server runs without a write-ahead journal",
+                )
+            })?;
+            let stats = state
+                .exec()
+                .fleet()
+                .heal_journal()
+                .map_err(ApiError::from)?;
+            Ok(Response::json(
+                200,
+                &Json::obj([
+                    ("healed", Json::Bool(true)),
+                    ("offset", Json::Num(stats.offset as i64)),
+                    ("homes", Json::Num(stats.homes as i64)),
+                ]),
+            )
+            .into())
         }
         ("GET", "/stats") => Ok(Response::json(200, &stats_json(state)).into()),
         ("GET", "/journal/stats") => {
@@ -574,6 +613,62 @@ fn home_route(
             format!("no route /homes/{{id}}/{}", action.unwrap_or("")),
         )),
     }
+}
+
+/// The health probe body and the verdict behind it: `true` means fully
+/// serviceable (journal active or absent, no poisoned shard). Queue
+/// saturation is reported but does not fail readiness — a full queue
+/// already answers 429 per request and drains on its own.
+fn health_json(state: &AppState) -> (bool, Json) {
+    let exec = state.exec();
+    let fleet = exec.fleet();
+    let poisoned = fleet.poisoned_shards();
+    let capacity = exec.queue_capacity();
+    let max_depth = exec
+        .shard_depths()
+        .into_iter()
+        .chain([exec.store_depth()])
+        .max()
+        .unwrap_or(0);
+    let (journal_json, quarantined) = match state.journal() {
+        None => (Json::obj([("enabled", Json::Bool(false))]), false),
+        Some(journal) => match journal.state() {
+            JournalState::Active => (
+                Json::obj([
+                    ("enabled", Json::Bool(true)),
+                    ("state", Json::str("active")),
+                ]),
+                false,
+            ),
+            JournalState::Quarantined {
+                durable_offset,
+                reason,
+            } => (
+                Json::obj([
+                    ("enabled", Json::Bool(true)),
+                    ("state", Json::str("quarantined")),
+                    ("durable_offset", Json::Num(durable_offset as i64)),
+                    ("reason", Json::str(reason)),
+                ]),
+                true,
+            ),
+        },
+    };
+    let healthy = !quarantined && poisoned == 0;
+    let body = Json::obj([
+        ("status", Json::str(if healthy { "ok" } else { "degraded" })),
+        ("journal", journal_json),
+        ("poisoned_shards", Json::Num(poisoned as i64)),
+        (
+            "queue",
+            Json::obj([
+                ("capacity", Json::Num(capacity as i64)),
+                ("max_depth", Json::Num(max_depth as i64)),
+                ("saturated", Json::Bool(max_depth >= capacity)),
+            ]),
+        ),
+    ]);
+    (healthy, body)
 }
 
 fn stats_json(state: &AppState) -> Json {

@@ -16,7 +16,7 @@ use crate::routes::{error_response, handle, AppState, EventStream, Reply};
 use crate::session::SessionStore;
 use crate::wire::{rollout_json, shard_part_json, ApiError};
 use hg_rules::json::Json;
-use hg_service::Fleet;
+use hg_service::{Fleet, Journal};
 use hg_telemetry::TelemetryHub;
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -109,15 +109,48 @@ impl ApiServer {
     ///
     /// Propagates the bind failure.
     pub fn start(fleet: Arc<Fleet>, config: ServerConfig) -> std::io::Result<ApiServer> {
+        Self::start_inner(fleet, config, None)
+    }
+
+    /// [`ApiServer::start`] with a write-ahead journal attached to the
+    /// served fleet before the first request: lifecycle mutations are
+    /// journaled, `GET /journal/stats`, `POST /journal/heal` and the
+    /// journal half of `GET /health` / `GET /ready` come alive, and
+    /// `POST /restore` re-journals whatever fleet it swaps in.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure; attach failures (the baseline
+    /// checkpoint could not be written) surface as
+    /// [`std::io::ErrorKind::Other`].
+    pub fn start_journaled(
+        fleet: Arc<Fleet>,
+        config: ServerConfig,
+        journal: Arc<Journal>,
+    ) -> std::io::Result<ApiServer> {
+        Self::start_inner(fleet, config, Some(journal))
+    }
+
+    fn start_inner(
+        fleet: Arc<Fleet>,
+        config: ServerConfig,
+        journal: Option<Arc<Journal>>,
+    ) -> std::io::Result<ApiServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let telemetry = config.telemetry.then(TelemetryHub::start);
-        let state = Arc::new(AppState::new(
+        let mut state = AppState::new(
             fleet,
             config.exec.clone(),
             SessionStore::new(config.session_ttl),
             telemetry,
-        ));
+        );
+        if let Some(journal) = journal {
+            state = state
+                .with_journal(journal)
+                .map_err(|e| std::io::Error::other(e.to_string()))?;
+        }
+        let state = Arc::new(state);
         let shutdown = Arc::new(Shutdown {
             stop: AtomicBool::new(false),
             gate: Mutex::new(()),

@@ -191,6 +191,8 @@ fn hg_error_ref_to_api(error: &HgError) -> ApiError {
         HgError::Poisoned(_) => (503, "poisoned"),
         HgError::Snapshot(_) => (400, "bad_snapshot"),
         HgError::Journal(_) => (500, "journal_failed"),
+        // Retryable: nothing was applied; heal the journal and resend.
+        HgError::Degraded(_) => (503, "degraded"),
         _ => (500, "internal"),
     };
     ApiError::new(status, code, error.to_string())
@@ -201,6 +203,7 @@ pub fn shard_part_json(shard: usize, part: &ShardRollout) -> Json {
     Json::obj([
         ("shard", Json::Num(shard as i64)),
         ("poisoned", Json::Bool(part.poisoned)),
+        ("refused", Json::Bool(part.refused)),
         (
             "upgraded",
             Json::Arr(
@@ -265,6 +268,11 @@ pub fn rollout_json(rollout: &UpgradeRollout) -> Json {
             ),
         ),
         ("poisoned_shards", Json::Num(rollout.poisoned_shards as i64)),
+        ("refused_shards", Json::Num(rollout.refused_shards as i64)),
+        (
+            "journal_lapses",
+            Json::Num(rollout.journal_lapses.len() as i64),
+        ),
     ])
 }
 
@@ -290,7 +298,16 @@ pub fn force_uninstall_json(outcome: &ForceUninstall) -> Json {
         ("skipped", Json::Num(outcome.skipped as i64)),
         ("failed", Json::Num(outcome.failed.len() as i64)),
         ("poisoned_shards", Json::Num(outcome.poisoned_shards as i64)),
+        ("refused_shards", Json::Num(outcome.refused_shards as i64)),
+        (
+            "journal_lapses",
+            Json::Num(outcome.journal_lapses.len() as i64),
+        ),
         ("store_retired", Json::Bool(outcome.store_retired)),
+        (
+            "store_error",
+            outcome.store_error.as_ref().map_or(Json::Null, Json::str),
+        ),
     ])
 }
 
@@ -392,6 +409,7 @@ mod tests {
             (HgError::Poisoned("shard"), 503),
             (HgError::Snapshot("bad".into()), 400),
             (HgError::Journal("segment 3 torn".into()), 500),
+            (HgError::Degraded("journal quarantined".into()), 503),
         ];
         for (error, status) in cases {
             let api = ApiError::from(error);

@@ -59,7 +59,7 @@ fn http_lifecycle_is_identical_to_direct_fleet_calls() {
 
     // Reference: the same lifecycle against a directly-driven fleet.
     let direct = Fleet::builder(RuleStore::shared()).shards(4).build();
-    let direct_home = direct.create_home();
+    let direct_home = direct.create_home().unwrap();
 
     // Clean install.
     let via_http = send(
@@ -204,7 +204,7 @@ fn bulk_install_and_streamed_rollout_match_direct_sweeps() {
 
     // Reference fleet, identically populated via direct calls.
     let direct = Fleet::builder(RuleStore::shared()).shards(4).build();
-    let direct_ids: Vec<HomeId> = (0..12).map(|_| direct.create_home()).collect();
+    let direct_ids: Vec<HomeId> = (0..12).map(|_| direct.create_home().unwrap()).collect();
 
     // Bulk install over HTTP ≡ direct install_many.
     let bulk = send(

@@ -31,7 +31,7 @@ fn app_slice() -> Vec<(&'static str, &'static str)> {
 /// A fleet of `HOMES` empty homes plus its queue executor.
 fn fresh() -> (Arc<Fleet>, Arc<FleetExec>, Vec<HomeId>) {
     let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(16).build());
-    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home().unwrap()).collect();
     let exec = FleetExec::start(fleet.clone(), ExecConfig::default());
     (fleet, exec, ids)
 }

@@ -32,7 +32,7 @@ fn populate(homes: usize, apps: usize, bus: Option<&Arc<TelemetryBus>>) -> (Flee
     if let Some(bus) = bus {
         assert!(fleet.attach_telemetry(bus.clone()));
     }
-    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home().unwrap()).collect();
     for (name, source) in app_slice(apps) {
         for result in fleet.install_many(&ids, source, name, None).unwrap() {
             result.1.unwrap();

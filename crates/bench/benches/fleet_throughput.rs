@@ -26,7 +26,7 @@ fn app_slice(apps: usize) -> Vec<(&'static str, &'static str)> {
 /// every home. Returns the fleet and its home ids.
 fn populate(homes: usize, apps: usize) -> (Fleet, Vec<HomeId>) {
     let fleet = Fleet::builder(RuleStore::shared()).shards(16).build();
-    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home().unwrap()).collect();
     for (name, source) in app_slice(apps) {
         for result in fleet.install_many(&ids, source, name, None).unwrap() {
             result.1.unwrap();

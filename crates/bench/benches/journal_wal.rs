@@ -48,7 +48,7 @@ fn grid(homes: usize, apps: usize, journaled: bool) -> (Fleet, Vec<HomeId>, Opti
     // Batch creation + bulk install: the journaled grid costs one
     // `HomesCreated` and one `InstallSwept`/`StoreIngested` pair per app,
     // not one append per home — the group-commit fast path under test.
-    let ids = fleet.create_homes(homes);
+    let ids = fleet.create_homes(homes).unwrap();
     for (name, source) in app_slice(apps) {
         for result in fleet.install_many(&ids, source, name, None).unwrap() {
             result.1.unwrap();
@@ -125,7 +125,7 @@ fn bench_journal_wal(c: &mut Criterion) {
     let live = Fleet::builder(RuleStore::shared()).shards(16).build();
     assert!(live.attach_journal(journal).unwrap());
     for _ in 0..homes {
-        let id = live.create_home();
+        let id = live.create_home().unwrap();
         for (name, source) in app_slice(apps) {
             live.install_app(id, source, name, None).unwrap();
         }

@@ -18,7 +18,7 @@ use std::time::Instant;
 /// every home.
 fn populate(homes: usize, apps: usize) -> (Fleet, Vec<HomeId>) {
     let fleet = Fleet::builder(RuleStore::shared()).shards(16).build();
-    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home().unwrap()).collect();
     for app in device_control_apps().iter().take(apps) {
         for result in fleet
             .install_many(&ids, app.source, app.name, None)

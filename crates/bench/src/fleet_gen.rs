@@ -190,7 +190,7 @@ pub fn populate(fleet: &Fleet, spec: &FleetSpec) -> (Vec<HomeId>, GenStats) {
     // Batch creation: one journal record for the whole population (ids
     // come back in the same creation order the per-home path would
     // assign, so seeded runs stay snapshot-identical).
-    let ids = fleet.create_homes(spec.homes);
+    let ids = fleet.create_homes(spec.homes).unwrap();
     let mut stats = GenStats::default();
     for (n, &id) in ids.iter().enumerate() {
         stats.homes += 1;

@@ -90,6 +90,12 @@ pub enum HgError {
     /// triggered a failed append has still been applied — the error tells
     /// the caller its durability guarantee lapsed, not that state is bad.
     Journal(String),
+    /// The service is running degraded — its write-ahead journal is
+    /// quarantined after exhausting I/O retries — and the configured
+    /// degraded policy refuses this write. Unlike [`HgError::Journal`],
+    /// nothing was applied: the mutation was rejected up front and can be
+    /// retried verbatim once the journal heals. Reads keep serving.
+    Degraded(String),
 }
 
 impl HgError {
@@ -126,6 +132,7 @@ impl fmt::Display for HgError {
             HgError::Poisoned(what) => write!(f, "poisoned lock: {what}"),
             HgError::Snapshot(detail) => write!(f, "invalid snapshot: {detail}"),
             HgError::Journal(detail) => write!(f, "journal failure: {detail}"),
+            HgError::Degraded(detail) => write!(f, "service degraded: {detail}"),
         }
     }
 }
@@ -162,6 +169,9 @@ mod tests {
         let e = HgError::Journal("segment 3 torn".into());
         assert!(e.to_string().contains("journal failure"));
         assert!(e.to_string().contains("segment 3 torn"));
+        let e = HgError::Degraded("journal quarantined at offset 4".into());
+        assert!(e.to_string().contains("degraded"));
+        assert!(e.to_string().contains("offset 4"));
     }
 
     #[test]

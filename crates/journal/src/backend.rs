@@ -8,36 +8,95 @@
 //! its current bytes, which is how crash tests freeze "the disk at the
 //! instant of the kill". [`DirBackend`] maps the same contract onto a
 //! directory of files for real durability.
+//!
+//! Every backend failure is a classified [`BackendError`]: **transient**
+//! failures (interrupted syscall, momentary contention) are worth the
+//! journal's bounded retry; **permanent** ones (missing file, disk full,
+//! corrupt metadata) trip quarantine immediately.
 
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fs;
 use std::io::{self, Write};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, PoisonError};
 
-/// Storage contract for journal data. All errors are plain strings; the
-/// journal wraps them into `HgError::Journal`.
+/// A classified backend failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendError {
+    /// Whether a retry has any chance of succeeding.
+    pub transient: bool,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl BackendError {
+    /// A retryable failure (interrupted syscall, momentary contention).
+    pub fn transient(detail: impl Into<String>) -> BackendError {
+        BackendError {
+            transient: true,
+            detail: detail.into(),
+        }
+    }
+
+    /// A failure retrying cannot fix (missing file, disk full, corrupt
+    /// metadata).
+    pub fn permanent(detail: impl Into<String>) -> BackendError {
+        BackendError {
+            transient: false,
+            detail: detail.into(),
+        }
+    }
+
+    /// Classifies an I/O error: interrupted/would-block/timed-out are
+    /// transient, everything else is permanent.
+    pub fn from_io(context: &str, e: &io::Error) -> BackendError {
+        let transient = matches!(
+            e.kind(),
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        );
+        BackendError {
+            transient,
+            detail: format!("{context}: {e}"),
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let class = if self.transient {
+            "transient"
+        } else {
+            "permanent"
+        };
+        write!(f, "{} ({class})", self.detail)
+    }
+}
+
+/// Storage contract for journal data. Errors are classified
+/// [`BackendError`]s; the journal retries transients and quarantines on
+/// permanents, wrapping what surfaces into `HgError::Journal`.
 pub trait JournalBackend: Send + Sync {
     /// Start offsets of all stored segments, ascending.
-    fn segments(&self) -> Result<Vec<u64>, String>;
+    fn segments(&self) -> Result<Vec<u64>, BackendError>;
     /// Reads a whole segment.
-    fn read_segment(&self, start: u64) -> Result<Vec<u8>, String>;
+    fn read_segment(&self, start: u64) -> Result<Vec<u8>, BackendError>;
     /// Appends bytes to a segment, creating it when absent.
-    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), String>;
+    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), BackendError>;
     /// Truncates a segment to `len` bytes (torn-tail repair).
-    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), String>;
+    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), BackendError>;
     /// Deletes a segment (compaction).
-    fn remove_segment(&self, start: u64) -> Result<(), String>;
+    fn remove_segment(&self, start: u64) -> Result<(), BackendError>;
     /// Offsets of all stored checkpoint documents, ascending.
-    fn checkpoints(&self) -> Result<Vec<u64>, String>;
+    fn checkpoints(&self) -> Result<Vec<u64>, BackendError>;
     /// Reads a checkpoint document.
-    fn read_checkpoint(&self, offset: u64) -> Result<String, String>;
+    fn read_checkpoint(&self, offset: u64) -> Result<String, BackendError>;
     /// Writes (or overwrites) a checkpoint document.
-    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), String>;
+    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), BackendError>;
     /// Deletes a checkpoint document (compaction).
-    fn remove_checkpoint(&self, offset: u64) -> Result<(), String>;
+    fn remove_checkpoint(&self, offset: u64) -> Result<(), BackendError>;
     /// Flushes buffered data to stable storage, where the backend has any.
-    fn sync(&self) -> Result<(), String> {
+    fn sync(&self) -> Result<(), BackendError> {
         Ok(())
     }
 }
@@ -125,19 +184,19 @@ impl MemBackend {
 }
 
 impl JournalBackend for MemBackend {
-    fn segments(&self) -> Result<Vec<u64>, String> {
+    fn segments(&self) -> Result<Vec<u64>, BackendError> {
         Ok(self.lock().segments.keys().copied().collect())
     }
 
-    fn read_segment(&self, start: u64) -> Result<Vec<u8>, String> {
+    fn read_segment(&self, start: u64) -> Result<Vec<u8>, BackendError> {
         self.lock()
             .segments
             .get(&start)
             .cloned()
-            .ok_or_else(|| format!("no segment at offset {start}"))
+            .ok_or_else(|| BackendError::permanent(format!("no segment at offset {start}")))
     }
 
-    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), String> {
+    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), BackendError> {
         self.lock()
             .segments
             .entry(start)
@@ -146,39 +205,41 @@ impl JournalBackend for MemBackend {
         Ok(())
     }
 
-    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), String> {
+    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), BackendError> {
         match self.lock().segments.get_mut(&start) {
             Some(seg) => {
                 seg.truncate(len as usize);
                 Ok(())
             }
-            None => Err(format!("no segment at offset {start}")),
+            None => Err(BackendError::permanent(format!(
+                "no segment at offset {start}"
+            ))),
         }
     }
 
-    fn remove_segment(&self, start: u64) -> Result<(), String> {
+    fn remove_segment(&self, start: u64) -> Result<(), BackendError> {
         self.lock().segments.remove(&start);
         Ok(())
     }
 
-    fn checkpoints(&self) -> Result<Vec<u64>, String> {
+    fn checkpoints(&self) -> Result<Vec<u64>, BackendError> {
         Ok(self.lock().checkpoints.keys().copied().collect())
     }
 
-    fn read_checkpoint(&self, offset: u64) -> Result<String, String> {
+    fn read_checkpoint(&self, offset: u64) -> Result<String, BackendError> {
         self.lock()
             .checkpoints
             .get(&offset)
             .cloned()
-            .ok_or_else(|| format!("no checkpoint at offset {offset}"))
+            .ok_or_else(|| BackendError::permanent(format!("no checkpoint at offset {offset}")))
     }
 
-    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), String> {
+    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), BackendError> {
         self.lock().checkpoints.insert(offset, text.to_string());
         Ok(())
     }
 
-    fn remove_checkpoint(&self, offset: u64) -> Result<(), String> {
+    fn remove_checkpoint(&self, offset: u64) -> Result<(), BackendError> {
         self.lock().checkpoints.remove(&offset);
         Ok(())
     }
@@ -206,11 +267,11 @@ impl DirBackend {
         self.dir.join(format!("ckpt-{offset:020}.json"))
     }
 
-    fn listed(&self, prefix: &str, suffix: &str) -> Result<Vec<u64>, String> {
+    fn listed(&self, prefix: &str, suffix: &str) -> Result<Vec<u64>, BackendError> {
         let mut keys = Vec::new();
-        let entries = fs::read_dir(&self.dir).map_err(|e| e.to_string())?;
+        let entries = fs::read_dir(&self.dir).map_err(|e| BackendError::from_io("read_dir", &e))?;
         for entry in entries {
-            let entry = entry.map_err(|e| e.to_string())?;
+            let entry = entry.map_err(|e| BackendError::from_io("read_dir entry", &e))?;
             let name = entry.file_name();
             let name = name.to_string_lossy();
             if let Some(body) = name
@@ -228,69 +289,75 @@ impl DirBackend {
 }
 
 impl JournalBackend for DirBackend {
-    fn segments(&self) -> Result<Vec<u64>, String> {
+    fn segments(&self) -> Result<Vec<u64>, BackendError> {
         self.listed("seg-", ".wal")
     }
 
-    fn read_segment(&self, start: u64) -> Result<Vec<u8>, String> {
-        fs::read(self.seg_path(start)).map_err(|e| format!("segment {start}: {e}"))
+    fn read_segment(&self, start: u64) -> Result<Vec<u8>, BackendError> {
+        fs::read(self.seg_path(start))
+            .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))
     }
 
-    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), String> {
+    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), BackendError> {
         let mut file = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.seg_path(start))
-            .map_err(|e| format!("segment {start}: {e}"))?;
+            .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))?;
         file.write_all(bytes)
-            .map_err(|e| format!("segment {start}: {e}"))
+            .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))
     }
 
-    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), String> {
+    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), BackendError> {
         let file = fs::OpenOptions::new()
             .write(true)
             .open(self.seg_path(start))
-            .map_err(|e| format!("segment {start}: {e}"))?;
+            .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))?;
         file.set_len(len)
-            .map_err(|e| format!("segment {start}: {e}"))
+            .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))
     }
 
-    fn remove_segment(&self, start: u64) -> Result<(), String> {
+    fn remove_segment(&self, start: u64) -> Result<(), BackendError> {
         match fs::remove_file(self.seg_path(start)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(format!("segment {start}: {e}")),
+            Err(e) => Err(BackendError::from_io(&format!("segment {start}"), &e)),
         }
     }
 
-    fn checkpoints(&self) -> Result<Vec<u64>, String> {
+    fn checkpoints(&self) -> Result<Vec<u64>, BackendError> {
         self.listed("ckpt-", ".json")
     }
 
-    fn read_checkpoint(&self, offset: u64) -> Result<String, String> {
-        fs::read_to_string(self.ckpt_path(offset)).map_err(|e| format!("checkpoint {offset}: {e}"))
+    fn read_checkpoint(&self, offset: u64) -> Result<String, BackendError> {
+        fs::read_to_string(self.ckpt_path(offset))
+            .map_err(|e| BackendError::from_io(&format!("checkpoint {offset}"), &e))
     }
 
-    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), String> {
+    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), BackendError> {
         // Write-then-rename so a crash mid-write never leaves a torn
         // checkpoint under the real name.
         let tmp = self.dir.join(format!("ckpt-{offset:020}.tmp"));
-        fs::write(&tmp, text).map_err(|e| format!("checkpoint {offset}: {e}"))?;
-        fs::rename(&tmp, self.ckpt_path(offset)).map_err(|e| format!("checkpoint {offset}: {e}"))
+        fs::write(&tmp, text)
+            .map_err(|e| BackendError::from_io(&format!("checkpoint {offset}"), &e))?;
+        fs::rename(&tmp, self.ckpt_path(offset))
+            .map_err(|e| BackendError::from_io(&format!("checkpoint {offset}"), &e))
     }
 
-    fn remove_checkpoint(&self, offset: u64) -> Result<(), String> {
+    fn remove_checkpoint(&self, offset: u64) -> Result<(), BackendError> {
         match fs::remove_file(self.ckpt_path(offset)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(format!("checkpoint {offset}: {e}")),
+            Err(e) => Err(BackendError::from_io(&format!("checkpoint {offset}"), &e)),
         }
     }
 
-    fn sync(&self) -> Result<(), String> {
+    fn sync(&self) -> Result<(), BackendError> {
         for start in self.segments()? {
-            let file = fs::File::open(self.seg_path(start)).map_err(|e| e.to_string())?;
-            file.sync_all().map_err(|e| e.to_string())?;
+            let file = fs::File::open(self.seg_path(start))
+                .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))?;
+            file.sync_all()
+                .map_err(|e| BackendError::from_io(&format!("segment {start}"), &e))?;
         }
         Ok(())
     }
@@ -300,6 +367,18 @@ impl JournalBackend for DirBackend {
 mod tests {
     use super::*;
     use crate::frame::encode_frame;
+
+    #[test]
+    fn backend_errors_classify_io_kinds() {
+        let e = BackendError::from_io("op", &io::Error::new(io::ErrorKind::Interrupted, "EINTR"));
+        assert!(e.transient);
+        let e = BackendError::from_io("op", &io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(!e.transient);
+        assert!(e.to_string().contains("permanent"));
+        assert!(BackendError::transient("t")
+            .to_string()
+            .contains("transient"));
+    }
 
     #[test]
     fn mem_backend_round_trips_and_forks_independently() {

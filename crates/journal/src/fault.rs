@@ -1,0 +1,368 @@
+//! Deterministic I/O fault injection for chaos testing.
+//!
+//! A [`FaultBackend`] wraps any [`JournalBackend`] and injects scripted
+//! failures from a [`FaultPlan`]: transient errors, permanent errors,
+//! short (partial) writes, and a disk-full onset — each pinned to an
+//! exact **operation count**, so a run is reproducible from a seed. Ops
+//! are counted over the durability-relevant calls only (`append_segment`,
+//! `truncate_segment`, `remove_segment`, `write_checkpoint`,
+//! `remove_checkpoint`, `sync`); reads pass through untouched and
+//! uncounted, so recovery scans never perturb a plan.
+//!
+//! With no plan armed the wrapper is a **pure pass-through**: every call
+//! forwards verbatim, so a fault-free run over a `FaultBackend` is
+//! bit-identical to the same run over the raw backend.
+//!
+//! Plans are seeded with the same SplitMix64 generator
+//! `hg_bench::fleet_gen` uses, so `FaultPlan::seeded(seed, ..)` is the
+//! chaos-harness twin of the fleet generator's `GenRng`.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::backend::{BackendError, JournalBackend};
+
+/// One scripted fault, pinned to an operation index by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail this one operation with a transient (retryable) error.
+    Transient,
+    /// Fail this one operation with a permanent error.
+    Permanent,
+    /// On an append: persist roughly half the bytes, then fail transient
+    /// — a torn write the journal must repair before retrying. On any
+    /// other operation this degrades to [`FaultKind::Transient`].
+    ShortWrite,
+    /// From this operation onward, every write fails permanently with a
+    /// disk-full error until [`FaultBackend::disarm`] simulates the
+    /// operator recovering the device.
+    DiskFull,
+}
+
+/// Deterministic SplitMix64 — the same mix `hg_bench::fleet_gen::GenRng`
+/// uses, so fault plans and fleet populations share one seeding idiom.
+struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    fn new(seed: u64) -> FaultRng {
+        FaultRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0xd1b5_4a32_d192_ed03,
+        }
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, n: u64) -> u64 {
+        self.draw() % n.max(1)
+    }
+}
+
+/// A script of faults keyed by backend operation index. Empty plans
+/// inject nothing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: BTreeMap<u64, FaultKind>,
+}
+
+impl FaultPlan {
+    /// An empty plan (pure pass-through until faults are added).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Pins `kind` to operation index `op` (0-based over write ops and
+    /// syncs). Later entries at the same index overwrite earlier ones.
+    pub fn at(mut self, op: u64, kind: FaultKind) -> FaultPlan {
+        self.faults.insert(op, kind);
+        self
+    }
+
+    /// A reproducible random plan: `faults` faults at distinct-ish
+    /// operation indices in `[0, horizon)`, kind-weighted toward
+    /// survivable transients (5/10 transient, 2/10 short write, 2/10
+    /// permanent, 1/10 disk-full onset).
+    pub fn seeded(seed: u64, horizon: u64, faults: u32) -> FaultPlan {
+        let mut rng = FaultRng::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            let op = rng.range(horizon);
+            let kind = match rng.range(10) {
+                0..=4 => FaultKind::Transient,
+                5..=6 => FaultKind::ShortWrite,
+                7..=8 => FaultKind::Permanent,
+                _ => FaultKind::DiskFull,
+            };
+            plan.faults.insert(op, kind);
+        }
+        plan
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Whether any scripted fault is permanent or a disk-full onset —
+    /// i.e. whether this plan can quarantine a journal with default
+    /// retry settings.
+    pub fn has_permanent(&self) -> bool {
+        self.faults
+            .values()
+            .any(|k| matches!(k, FaultKind::Permanent | FaultKind::DiskFull))
+    }
+}
+
+#[derive(Default)]
+struct FaultState {
+    plan: FaultPlan,
+    ops: u64,
+    full_since: Option<u64>,
+    injected: u64,
+}
+
+enum Verdict {
+    Pass,
+    ShortWrite,
+}
+
+/// A fault-injecting wrapper around any [`JournalBackend`]. Clones share
+/// state (the handle is an `Arc`), so a test keeps a controller handle
+/// while the journal owns the boxed trait object.
+#[derive(Clone)]
+pub struct FaultBackend {
+    inner: Arc<dyn JournalBackend>,
+    state: Arc<Mutex<FaultState>>,
+}
+
+impl FaultBackend {
+    /// Wraps `inner` with no plan armed (pure pass-through).
+    pub fn new(inner: impl JournalBackend + 'static) -> FaultBackend {
+        FaultBackend {
+            inner: Arc::new(inner),
+            state: Arc::new(Mutex::new(FaultState::default())),
+        }
+    }
+
+    /// Wraps `inner` with `plan` armed.
+    pub fn with_plan(inner: impl JournalBackend + 'static, plan: FaultPlan) -> FaultBackend {
+        let backend = FaultBackend::new(inner);
+        backend.arm(plan);
+        backend
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FaultState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Replaces the armed plan. The operation counter keeps running.
+    pub fn arm(&self, plan: FaultPlan) {
+        self.lock().plan = plan;
+    }
+
+    /// Clears the plan and any disk-full onset — "the operator replaced
+    /// the disk". Subsequent operations forward verbatim.
+    pub fn disarm(&self) {
+        let mut st = self.lock();
+        st.plan = FaultPlan::new();
+        st.full_since = None;
+    }
+
+    /// Write operations (and syncs) seen so far.
+    pub fn ops(&self) -> u64 {
+        self.lock().ops
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.lock().injected
+    }
+
+    /// Consumes one op index and decides this operation's fate.
+    fn check(&self, op_name: &str) -> Result<Verdict, BackendError> {
+        let mut st = self.lock();
+        let op = st.ops;
+        st.ops += 1;
+        if let Some(onset) = st.full_since {
+            st.injected += 1;
+            return Err(BackendError::permanent(format!(
+                "injected: disk full since op {onset} ({op_name} op {op})"
+            )));
+        }
+        match st.plan.faults.get(&op).copied() {
+            None => Ok(Verdict::Pass),
+            Some(FaultKind::Transient) => {
+                st.injected += 1;
+                Err(BackendError::transient(format!(
+                    "injected: transient I/O error ({op_name} op {op})"
+                )))
+            }
+            Some(FaultKind::Permanent) => {
+                st.injected += 1;
+                Err(BackendError::permanent(format!(
+                    "injected: permanent I/O error ({op_name} op {op})"
+                )))
+            }
+            Some(FaultKind::ShortWrite) => {
+                st.injected += 1;
+                Ok(Verdict::ShortWrite)
+            }
+            Some(FaultKind::DiskFull) => {
+                st.injected += 1;
+                st.full_since = Some(op);
+                Err(BackendError::permanent(format!(
+                    "injected: disk full ({op_name} op {op})"
+                )))
+            }
+        }
+    }
+
+    /// [`check`](Self::check) for non-append writes, where a short write
+    /// has no byte stream to cut and degrades to a transient failure.
+    fn gate(&self, op_name: &str) -> Result<(), BackendError> {
+        match self.check(op_name)? {
+            Verdict::Pass => Ok(()),
+            Verdict::ShortWrite => Err(BackendError::transient(format!(
+                "injected: transient I/O error (short write degraded, {op_name})"
+            ))),
+        }
+    }
+}
+
+impl JournalBackend for FaultBackend {
+    fn segments(&self) -> Result<Vec<u64>, BackendError> {
+        self.inner.segments()
+    }
+
+    fn read_segment(&self, start: u64) -> Result<Vec<u8>, BackendError> {
+        self.inner.read_segment(start)
+    }
+
+    fn append_segment(&self, start: u64, bytes: &[u8]) -> Result<(), BackendError> {
+        match self.check("append_segment")? {
+            Verdict::Pass => self.inner.append_segment(start, bytes),
+            Verdict::ShortWrite => {
+                let keep = bytes.len() / 2;
+                self.inner.append_segment(start, &bytes[..keep])?;
+                Err(BackendError::transient(format!(
+                    "injected: short write ({keep} of {} bytes hit segment {start})",
+                    bytes.len()
+                )))
+            }
+        }
+    }
+
+    fn truncate_segment(&self, start: u64, len: u64) -> Result<(), BackendError> {
+        self.gate("truncate_segment")?;
+        self.inner.truncate_segment(start, len)
+    }
+
+    fn remove_segment(&self, start: u64) -> Result<(), BackendError> {
+        self.gate("remove_segment")?;
+        self.inner.remove_segment(start)
+    }
+
+    fn checkpoints(&self) -> Result<Vec<u64>, BackendError> {
+        self.inner.checkpoints()
+    }
+
+    fn read_checkpoint(&self, offset: u64) -> Result<String, BackendError> {
+        self.inner.read_checkpoint(offset)
+    }
+
+    fn write_checkpoint(&self, offset: u64, text: &str) -> Result<(), BackendError> {
+        self.gate("write_checkpoint")?;
+        self.inner.write_checkpoint(offset, text)
+    }
+
+    fn remove_checkpoint(&self, offset: u64) -> Result<(), BackendError> {
+        self.gate("remove_checkpoint")?;
+        self.inner.remove_checkpoint(offset)
+    }
+
+    fn sync(&self) -> Result<(), BackendError> {
+        self.gate("sync")?;
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    #[test]
+    fn unarmed_backend_is_a_pure_pass_through() {
+        let mem = MemBackend::new();
+        let fault = FaultBackend::new(mem.clone());
+        fault.append_segment(0, b"abc").unwrap();
+        fault.write_checkpoint(1, "{}").unwrap();
+        fault.sync().unwrap();
+        assert_eq!(mem.read_segment(0).unwrap(), b"abc");
+        assert_eq!(fault.ops(), 3);
+        assert_eq!(fault.injected(), 0);
+    }
+
+    #[test]
+    fn scripted_faults_fire_at_exact_op_counts() {
+        let plan = FaultPlan::new()
+            .at(1, FaultKind::Transient)
+            .at(3, FaultKind::Permanent);
+        let fault = FaultBackend::with_plan(MemBackend::new(), plan);
+        fault.append_segment(0, b"a").unwrap(); // op 0
+        let e = fault.append_segment(0, b"b").unwrap_err(); // op 1
+        assert!(e.transient);
+        fault.append_segment(0, b"c").unwrap(); // op 2
+        let e = fault.append_segment(0, b"d").unwrap_err(); // op 3
+        assert!(!e.transient);
+        assert_eq!(fault.injected(), 2);
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_then_fails_transient() {
+        let mem = MemBackend::new();
+        let plan = FaultPlan::new().at(0, FaultKind::ShortWrite);
+        let fault = FaultBackend::with_plan(mem.clone(), plan);
+        let e = fault.append_segment(0, b"0123456789").unwrap_err();
+        assert!(e.transient);
+        assert_eq!(mem.read_segment(0).unwrap(), b"01234");
+        // Reads are uncounted and never faulted.
+        assert_eq!(fault.read_segment(0).unwrap(), b"01234");
+        assert_eq!(fault.ops(), 1);
+    }
+
+    #[test]
+    fn disk_full_persists_until_disarmed() {
+        let plan = FaultPlan::new().at(1, FaultKind::DiskFull);
+        let fault = FaultBackend::with_plan(MemBackend::new(), plan);
+        fault.append_segment(0, b"a").unwrap();
+        assert!(!fault.append_segment(0, b"b").unwrap_err().transient);
+        assert!(!fault.sync().unwrap_err().transient);
+        assert!(!fault.write_checkpoint(0, "{}").unwrap_err().transient);
+        fault.disarm();
+        fault.append_segment(0, b"b").unwrap();
+        fault.sync().unwrap();
+    }
+
+    #[test]
+    fn seeded_plans_are_reproducible_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7, 100, 8);
+        let b = FaultPlan::seeded(7, 100, 8);
+        let c = FaultPlan::seeded(8, 100, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty() && a.len() <= 8);
+    }
+}

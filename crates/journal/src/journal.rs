@@ -1,5 +1,6 @@
 //! The journal core: ordered durable appends, delta-checkpoint
-//! bookkeeping, compaction and torn-tail recovery.
+//! bookkeeping, compaction, torn-tail recovery and the I/O failure
+//! policy.
 //!
 //! ## Consistency model
 //!
@@ -17,6 +18,21 @@
 //! it. A segment is named by the offset of its first record, so segment
 //! record counts need no side index — `next segment start − this start`.
 //! Checkpoints cover a prefix `[0, offset)`; replay resumes at `offset`.
+//!
+//! ## Failure policy
+//!
+//! Backend failures are classified ([`BackendError`]): **transient**
+//! errors get a bounded retry with deterministic backoff — after first
+//! cutting the tail segment back to its last known-good length, so a
+//! retried frame never lands after the garbage of a partial write. On
+//! retry exhaustion or a permanent error the journal **quarantines**: it
+//! records the last offset it can vouch for, refuses further appends,
+//! and publishes `journal_degraded`. What mutations do next is the
+//! fleet's [`DegradedPolicy`] decision ([`Journal::admit`]): refuse
+//! writes outright, or keep serving them unjournaled. [`Journal::heal`]
+//! re-arms a quarantined journal by repairing the tail and cutting a
+//! fresh **full** checkpoint onto the recovered backend, so replay never
+//! crosses the quarantine gap.
 
 use hg_telemetry::{TelemetryBus, TelemetryEvent};
 use homeguard_core::HgError;
@@ -24,12 +40,51 @@ use std::collections::BTreeSet;
 use std::sync::{
     Arc, Mutex, MutexGuard, OnceLock, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
 };
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::backend::JournalBackend;
+use crate::backend::{BackendError, JournalBackend};
 use crate::checkpoint::{materialize, Checkpoint, MaterializedFleet};
 use crate::frame::{encode_frame, scan_frames};
 use crate::record::{journal_err, JournalRecord};
+
+/// What journaled mutations do while the journal is quarantined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Journaled mutations are refused with `HgError::Degraded` before
+    /// any state changes; reads keep serving. Nothing can diverge from
+    /// the WAL — the safe default.
+    #[default]
+    RefuseWrites,
+    /// Mutations keep serving without journaling (availability over
+    /// durability). Recovery rolls back to the quarantine offset until
+    /// [`Journal::heal`] cuts a fresh checkpoint over the live state.
+    ServeUnjournaled,
+}
+
+/// Health of a [`Journal`], as reported by [`Journal::state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalState {
+    /// Appends are being accepted and made durable.
+    Active,
+    /// I/O retries were exhausted (or a permanent error hit); appends
+    /// are refused until [`Journal::heal`].
+    Quarantined {
+        /// The last offset the journal can still vouch for.
+        durable_offset: u64,
+        /// What tripped the quarantine.
+        reason: String,
+    },
+}
+
+/// [`Journal::admit`]'s verdict for one journaled mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Journal healthy: apply the mutation and append its records.
+    Journaled,
+    /// Quarantined under [`DegradedPolicy::ServeUnjournaled`]: apply the
+    /// mutation, skip the appends (the skip is counted).
+    Unjournaled,
+}
 
 /// Tuning for a [`Journal`].
 #[derive(Debug, Clone)]
@@ -38,12 +93,23 @@ pub struct JournalConfig {
     /// bytes. Rotation happens between records — a record never spans
     /// segments.
     pub max_segment_bytes: u64,
+    /// Total attempts per backend write (first try + retries) before a
+    /// transient failure is treated as fatal. Must be ≥ 1.
+    pub max_io_attempts: u32,
+    /// Base retry backoff in microseconds; attempt *n* sleeps
+    /// `backoff_micros << (n−1)` — deterministic, no jitter.
+    pub backoff_micros: u64,
+    /// What mutations do while quarantined (see [`Journal::admit`]).
+    pub degraded: DegradedPolicy,
 }
 
 impl Default for JournalConfig {
     fn default() -> JournalConfig {
         JournalConfig {
             max_segment_bytes: 4 * 1024 * 1024,
+            max_io_attempts: 3,
+            backoff_micros: 50,
+            degraded: DegradedPolicy::default(),
         }
     }
 }
@@ -64,11 +130,19 @@ struct JournalInner {
     removed: BTreeSet<u64>,
     /// Whether the store changed since the last checkpoint.
     store_dirty: bool,
+    /// `Some((durable offset, reason))` once retries were exhausted.
+    quarantined: Option<(u64, String)>,
+    /// `next_offset` as of the last successful sync.
+    synced_offset: u64,
     /// Session counters (not persisted).
     appends: u64,
     append_bytes: u64,
     append_failures: u64,
     truncated_on_open: u64,
+    io_retries: u64,
+    refused: u64,
+    unjournaled: u64,
+    heals: u64,
 }
 
 /// Summary returned by [`Journal::checkpoint_write`].
@@ -93,6 +167,10 @@ pub struct CompactStats {
     pub segments_dropped: u64,
     /// The single surviving checkpoint's offset.
     pub offset: u64,
+}
+
+fn berr(e: BackendError) -> HgError {
+    journal_err(e.to_string())
 }
 
 /// An append-only write-ahead journal of fleet lifecycle events.
@@ -130,12 +208,12 @@ impl Journal {
         config: JournalConfig,
     ) -> Result<Journal, HgError> {
         let mut inner = JournalInner::default();
-        let starts = backend.segments().map_err(journal_err)?;
+        let starts = backend.segments().map_err(berr)?;
         let mut torn = false;
         for &start in &starts {
             if torn {
                 // Data beyond a tear is unreachable for ordered replay.
-                backend.remove_segment(start).map_err(journal_err)?;
+                backend.remove_segment(start).map_err(berr)?;
                 continue;
             }
             if start < inner.next_offset {
@@ -146,20 +224,20 @@ impl Journal {
             }
             // `start > next_offset` is a forward gap: the records between
             // were compacted away under a checkpoint.
-            let bytes = backend.read_segment(start).map_err(journal_err)?;
+            let bytes = backend.read_segment(start).map_err(berr)?;
             let scan = scan_frames(&bytes);
             if !scan.is_clean() {
                 inner.truncated_on_open += (bytes.len() - scan.clean_len) as u64;
                 backend
                     .truncate_segment(start, scan.clean_len as u64)
-                    .map_err(journal_err)?;
+                    .map_err(berr)?;
                 torn = true;
             }
             inner.tail_start = start;
             inner.tail_bytes = scan.clean_len as u64;
             inner.next_offset = start + scan.payloads.len() as u64;
         }
-        inner.checkpoints = backend.checkpoints().map_err(journal_err)?;
+        inner.checkpoints = backend.checkpoints().map_err(berr)?;
         inner.checkpoints.sort_unstable();
         if let Some(&last) = inner.checkpoints.last() {
             if last > inner.next_offset {
@@ -172,6 +250,7 @@ impl Journal {
                 inner.tail_bytes = 0;
             }
         }
+        inner.synced_offset = inner.next_offset;
         let journal = Journal {
             backend,
             gate: RwLock::new(()),
@@ -220,16 +299,98 @@ impl Journal {
         self.gate.write().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Appends one record durably, returning its global offset.
+    /// The current health of the journal.
+    pub fn state(&self) -> JournalState {
+        match &self.lock().quarantined {
+            None => JournalState::Active,
+            Some((durable_offset, reason)) => JournalState::Quarantined {
+                durable_offset: *durable_offset,
+                reason: reason.clone(),
+            },
+        }
+    }
+
+    /// Whether the journal has quarantined itself after an I/O failure.
+    pub fn is_quarantined(&self) -> bool {
+        self.lock().quarantined.is_some()
+    }
+
+    /// The configured degraded-mode policy.
+    pub fn degraded_policy(&self) -> DegradedPolicy {
+        self.config.degraded
+    }
+
+    /// Admission check for one journaled mutation, called by the fleet
+    /// **before** applying state. Healthy journals admit everything;
+    /// quarantined ones decide by [`DegradedPolicy`].
     ///
     /// # Errors
     ///
-    /// [`HgError::Journal`] when the backend write fails. The caller's
-    /// in-memory mutation has already been applied at that point; the
-    /// error reports that durability lapsed, not that state is bad.
+    /// `HgError::Degraded` when quarantined under
+    /// [`DegradedPolicy::RefuseWrites`] — the mutation must not be
+    /// applied.
+    pub fn admit(&self) -> Result<Admission, HgError> {
+        let mut inner = self.lock();
+        match &inner.quarantined {
+            None => Ok(Admission::Journaled),
+            Some((durable, reason)) => match self.config.degraded {
+                DegradedPolicy::ServeUnjournaled => {
+                    inner.unjournaled += 1;
+                    Ok(Admission::Unjournaled)
+                }
+                DegradedPolicy::RefuseWrites => {
+                    let e = HgError::Degraded(format!(
+                        "journal quarantined at durable offset {durable} ({reason}); writes refused"
+                    ));
+                    inner.refused += 1;
+                    Err(e)
+                }
+            },
+        }
+    }
+
+    /// Deterministic backoff before retry attempt `attempt` (1-based).
+    fn backoff(&self, attempt: u32) {
+        let micros = self.config.backoff_micros << (attempt - 1).min(16);
+        if micros > 0 {
+            std::thread::sleep(Duration::from_micros(micros));
+        }
+    }
+
+    /// Cuts the tail segment back to its last known-good length, so a
+    /// retried append never lands after the garbage of a partial write.
+    /// A tail segment that was never created (its first append failed
+    /// outright) needs no repair.
+    fn repair_tail(&self, tail_start: u64, tail_bytes: u64) -> Result<(), BackendError> {
+        let starts = self.backend.segments()?;
+        if !starts.contains(&tail_start) {
+            return Ok(());
+        }
+        self.backend.truncate_segment(tail_start, tail_bytes)
+    }
+
+    /// Appends one record durably, returning its global offset.
+    ///
+    /// Transient backend failures are retried up to
+    /// `max_io_attempts` times (tail repaired between attempts, backoff
+    /// deterministic). On exhaustion or a permanent failure the journal
+    /// **quarantines** at the record's offset and every later append
+    /// fails fast until [`heal`](Journal::heal).
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when the write could not be made durable.
+    /// The caller's in-memory mutation has already been applied at that
+    /// point; the error reports that durability lapsed, not that state
+    /// is bad.
     pub fn append(&self, record: &JournalRecord) -> Result<u64, HgError> {
         let frame = encode_frame(&record.to_payload());
         let mut inner = self.lock();
+        if let Some((durable, reason)) = &inner.quarantined {
+            let msg = format!("journal quarantined at durable offset {durable}: {reason}");
+            inner.refused += 1;
+            return Err(journal_err(msg));
+        }
         if inner.tail_bytes > 0
             && inner.tail_bytes + frame.len() as u64 > self.config.max_segment_bytes
         {
@@ -237,35 +398,253 @@ impl Journal {
             inner.tail_bytes = 0;
         }
         let offset = inner.next_offset;
-        if let Err(e) = self.backend.append_segment(inner.tail_start, &frame) {
-            inner.append_failures += 1;
-            return Err(journal_err(format!("append at offset {offset}: {e}")));
+        let mut retries = 0u32;
+        let failure = loop {
+            match self.backend.append_segment(inner.tail_start, &frame) {
+                Ok(()) => break None,
+                Err(e) => {
+                    inner.append_failures += 1;
+                    // A failed append may have left a partial frame on
+                    // the tail; repair before retrying or giving up.
+                    let repaired = self.repair_tail(inner.tail_start, inner.tail_bytes);
+                    match repaired {
+                        Ok(()) if e.transient && retries + 1 < self.config.max_io_attempts => {
+                            retries += 1;
+                            inner.io_retries += 1;
+                            self.backoff(retries);
+                        }
+                        Ok(()) => break Some(format!("append at offset {offset}: {e}")),
+                        Err(r) => {
+                            break Some(format!(
+                                "append at offset {offset}: {e}; tail repair also failed: {r}"
+                            ))
+                        }
+                    }
+                }
+            }
+        };
+        match failure {
+            None => {
+                inner.tail_bytes += frame.len() as u64;
+                inner.next_offset += 1;
+                inner.appends += 1;
+                inner.append_bytes += frame.len() as u64;
+                note_dirty(&mut inner, record);
+                drop(inner);
+                if retries > 0 {
+                    self.publish(TelemetryEvent::IoRetry {
+                        op: "append".into(),
+                        attempts: retries as u64,
+                    });
+                }
+                self.publish(TelemetryEvent::JournalAppended {
+                    records: 1,
+                    bytes: frame.len() as u64,
+                });
+                Ok(offset)
+            }
+            Some(reason) => {
+                inner.quarantined = Some((offset, reason.clone()));
+                drop(inner);
+                if retries > 0 {
+                    self.publish(TelemetryEvent::IoRetry {
+                        op: "append".into(),
+                        attempts: retries as u64,
+                    });
+                }
+                self.publish(TelemetryEvent::JournalDegraded {
+                    offset,
+                    reason: reason.clone(),
+                });
+                Err(journal_err(format!(
+                    "{reason}; journal quarantined at durable offset {offset}"
+                )))
+            }
         }
-        inner.tail_bytes += frame.len() as u64;
-        inner.next_offset += 1;
-        inner.appends += 1;
-        inner.append_bytes += frame.len() as u64;
-        note_dirty(&mut inner, record);
-        drop(inner);
-        self.publish(TelemetryEvent::JournalAppended {
-            records: 1,
-            bytes: frame.len() as u64,
-        });
-        Ok(offset)
     }
 
-    /// Flushes backend buffers to stable storage.
+    /// Flushes backend buffers to stable storage, with the same
+    /// retry-then-quarantine policy as [`append`](Journal::append). A
+    /// quarantine tripped here records the offset of the last
+    /// *successful* sync — records appended since were acknowledged by
+    /// the backend but may not have reached stable storage.
     ///
     /// # Errors
     ///
     /// [`HgError::Journal`] when the backend sync fails.
     pub fn sync(&self) -> Result<(), HgError> {
         let started = Instant::now();
-        self.backend.sync().map_err(journal_err)?;
-        self.publish(TelemetryEvent::JournalSynced {
+        let covered = {
+            let inner = self.lock();
+            if let Some((durable, reason)) = &inner.quarantined {
+                return Err(journal_err(format!(
+                    "journal quarantined at durable offset {durable}: {reason}"
+                )));
+            }
+            inner.next_offset
+        };
+        let mut retries = 0u32;
+        let failure = loop {
+            match self.backend.sync() {
+                Ok(()) => break None,
+                Err(e) if e.transient && retries + 1 < self.config.max_io_attempts => {
+                    retries += 1;
+                    self.backoff(retries);
+                }
+                Err(e) => break Some(e),
+            }
+        };
+        let mut inner = self.lock();
+        inner.io_retries += retries as u64;
+        match failure {
+            None => {
+                inner.synced_offset = inner.synced_offset.max(covered);
+                drop(inner);
+                if retries > 0 {
+                    self.publish(TelemetryEvent::IoRetry {
+                        op: "sync".into(),
+                        attempts: retries as u64,
+                    });
+                }
+                self.publish(TelemetryEvent::JournalSynced {
+                    micros: started.elapsed().as_micros() as u64,
+                });
+                Ok(())
+            }
+            Some(e) => {
+                let durable = inner.synced_offset;
+                let reason = format!("sync: {e}");
+                if inner.quarantined.is_none() {
+                    inner.quarantined = Some((durable, reason.clone()));
+                }
+                drop(inner);
+                if retries > 0 {
+                    self.publish(TelemetryEvent::IoRetry {
+                        op: "sync".into(),
+                        attempts: retries as u64,
+                    });
+                }
+                self.publish(TelemetryEvent::JournalDegraded {
+                    offset: durable,
+                    reason: reason.clone(),
+                });
+                Err(journal_err(format!(
+                    "{reason}; journal quarantined at durable offset {durable}"
+                )))
+            }
+        }
+    }
+
+    /// Re-arms a quarantined journal onto a recovered backend.
+    ///
+    /// The caller must hold [`gate_exclusive`](Journal::gate_exclusive)
+    /// and pass a **full** checkpoint of the *current* fleet state at
+    /// exactly [`next_offset`](Journal::next_offset) (the fleet-side
+    /// wrapper is `Fleet::heal_journal`). Heal first repairs the tail
+    /// segment — proving the backend works again and cutting any bytes
+    /// a failed append left behind — then writes the checkpoint and
+    /// syncs it down. Only then is the quarantine cleared; replay never
+    /// crosses the gap because the fresh full checkpoint covers
+    /// everything before it, journaled or not. Any failure leaves the
+    /// journal quarantined.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when not quarantined, when the checkpoint
+    /// is not a full image at `next_offset`, or when the backend is
+    /// still failing.
+    pub fn heal(&self, ckpt: &Checkpoint) -> Result<CheckpointStats, HgError> {
+        let started = Instant::now();
+        if !ckpt.full {
+            return Err(journal_err("heal requires a full checkpoint"));
+        }
+        let (tail_start, tail_bytes) = {
+            let inner = self.lock();
+            if inner.quarantined.is_none() {
+                return Err(journal_err("journal is not quarantined"));
+            }
+            if ckpt.offset != inner.next_offset {
+                return Err(journal_err(format!(
+                    "heal checkpoint covers offset {} but the journal is at {}",
+                    ckpt.offset, inner.next_offset
+                )));
+            }
+            (inner.tail_start, inner.tail_bytes)
+        };
+        self.repair_tail(tail_start, tail_bytes).map_err(|e| {
+            journal_err(format!("heal: tail repair failed, still quarantined: {e}"))
+        })?;
+        let text = ckpt.to_text();
+        self.write_checkpoint_retrying(ckpt.offset, &text)
+            .map_err(|e| {
+                journal_err(format!(
+                    "heal: checkpoint write failed, still quarantined: {e}"
+                ))
+            })?;
+        self.backend
+            .sync()
+            .map_err(|e| journal_err(format!("heal: sync failed, still quarantined: {e}")))?;
+        let mut inner = self.lock();
+        if inner.checkpoints.last() != Some(&ckpt.offset) {
+            inner.checkpoints.push(ckpt.offset);
+            inner.checkpoints.sort_unstable();
+        }
+        inner.dirty.clear();
+        inner.removed.clear();
+        inner.store_dirty = false;
+        inner.quarantined = None;
+        inner.synced_offset = inner.next_offset;
+        inner.heals += 1;
+        drop(inner);
+        let stats = CheckpointStats {
+            offset: ckpt.offset,
+            homes: ckpt.homes.len() as u64,
+            full: true,
             micros: started.elapsed().as_micros() as u64,
+        };
+        self.publish(TelemetryEvent::JournalHealed {
+            offset: stats.offset,
         });
-        Ok(())
+        Ok(stats)
+    }
+
+    /// A backend checkpoint write with the transient-retry policy (no
+    /// quarantine: a failed checkpoint loses no history, it only defers
+    /// compaction).
+    fn write_checkpoint_retrying(&self, offset: u64, text: &str) -> Result<(), BackendError> {
+        let mut retries = 0u32;
+        loop {
+            match self.backend.write_checkpoint(offset, text) {
+                Ok(()) => {
+                    if retries > 0 {
+                        let mut inner = self.lock();
+                        inner.io_retries += retries as u64;
+                        drop(inner);
+                        self.publish(TelemetryEvent::IoRetry {
+                            op: "checkpoint".into(),
+                            attempts: retries as u64,
+                        });
+                    }
+                    return Ok(());
+                }
+                Err(e) if e.transient && retries + 1 < self.config.max_io_attempts => {
+                    retries += 1;
+                    self.backoff(retries);
+                }
+                Err(e) => {
+                    if retries > 0 {
+                        let mut inner = self.lock();
+                        inner.io_retries += retries as u64;
+                        drop(inner);
+                        self.publish(TelemetryEvent::IoRetry {
+                            op: "checkpoint".into(),
+                            attempts: retries as u64,
+                        });
+                    }
+                    return Err(e);
+                }
+            }
+        }
     }
 
     /// Global offset of the next record to append (= records ever
@@ -302,10 +681,10 @@ impl Journal {
     /// [`HgError::Journal`] on backend failure or a record that no longer
     /// decodes.
     pub fn records_from(&self, from: u64) -> Result<Vec<(u64, JournalRecord)>, HgError> {
-        let starts = self.backend.segments().map_err(journal_err)?;
+        let starts = self.backend.segments().map_err(berr)?;
         let mut out = Vec::new();
         for start in starts {
-            let bytes = self.backend.read_segment(start).map_err(journal_err)?;
+            let bytes = self.backend.read_segment(start).map_err(berr)?;
             let scan = scan_frames(&bytes);
             for (i, payload) in scan.payloads.iter().enumerate() {
                 let offset = start + i as u64;
@@ -329,14 +708,23 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// [`HgError::Journal`] when the backend write fails; bookkeeping is
-    /// left un-reset so a retry exports at least the same dirty set.
+    /// [`HgError::Journal`] when the journal is quarantined (the dirty
+    /// set no longer describes WAL truth — heal instead) or when the
+    /// backend write fails after retries; bookkeeping is left un-reset
+    /// so a retry exports at least the same dirty set.
     pub fn checkpoint_write(&self, ckpt: &Checkpoint) -> Result<CheckpointStats, HgError> {
         let started = Instant::now();
+        {
+            let inner = self.lock();
+            if let Some((durable, reason)) = &inner.quarantined {
+                return Err(journal_err(format!(
+                    "journal quarantined at durable offset {durable} ({reason}); heal before checkpointing"
+                )));
+            }
+        }
         let text = ckpt.to_text();
-        self.backend
-            .write_checkpoint(ckpt.offset, &text)
-            .map_err(journal_err)?;
+        self.write_checkpoint_retrying(ckpt.offset, &text)
+            .map_err(berr)?;
         let mut inner = self.lock();
         if inner.checkpoints.last() != Some(&ckpt.offset) {
             inner.checkpoints.push(ckpt.offset);
@@ -371,7 +759,7 @@ impl Journal {
         offsets
             .iter()
             .map(|&offset| {
-                let text = self.backend.read_checkpoint(offset).map_err(journal_err)?;
+                let text = self.backend.read_checkpoint(offset).map_err(berr)?;
                 Checkpoint::from_text(&text)
             })
             .collect()
@@ -395,9 +783,15 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// [`HgError::Journal`] on backend failure or a damaged chain.
+    /// [`HgError::Journal`] on backend failure, a damaged chain, or a
+    /// quarantined journal (heal first — compaction deletes history).
     pub fn compact(&self) -> Result<CompactStats, HgError> {
         let _exclusive = self.gate_exclusive();
+        if let Some((durable, reason)) = &self.lock().quarantined {
+            return Err(journal_err(format!(
+                "journal quarantined at durable offset {durable} ({reason}); heal before compacting"
+            )));
+        }
         let chain = self.checkpoint_chain()?;
         if chain.is_empty() {
             return Err(journal_err("nothing to compact: no checkpoints"));
@@ -415,13 +809,11 @@ impl Journal {
         let text = full.to_text();
         self.backend
             .write_checkpoint(full.offset, &text)
-            .map_err(journal_err)?;
+            .map_err(berr)?;
         let mut dropped_ckpts = 0u64;
         for ckpt in &chain {
             if ckpt.offset != full.offset {
-                self.backend
-                    .remove_checkpoint(ckpt.offset)
-                    .map_err(journal_err)?;
+                self.backend.remove_checkpoint(ckpt.offset).map_err(berr)?;
                 dropped_ckpts += 1;
             }
         }
@@ -429,12 +821,12 @@ impl Journal {
         // will never be replayed again. Segment record counts are implied
         // by neighbour start offsets.
         let mut inner = self.lock();
-        let starts = self.backend.segments().map_err(journal_err)?;
+        let starts = self.backend.segments().map_err(berr)?;
         let mut dropped_segs = 0u64;
         for (i, &start) in starts.iter().enumerate() {
             let end = starts.get(i + 1).copied().unwrap_or(inner.next_offset);
             if end <= full.offset && start != inner.tail_start {
-                self.backend.remove_segment(start).map_err(journal_err)?;
+                self.backend.remove_segment(start).map_err(berr)?;
                 dropped_segs += 1;
             }
         }
@@ -450,7 +842,8 @@ impl Journal {
     /// Wipes all stored segments and checkpoints — a new timeline. Used
     /// when an externally-restored fleet replaces the one this journal
     /// described (e.g. `POST /restore`): the old history describes a
-    /// fleet that no longer exists.
+    /// fleet that no longer exists. A quarantine is cleared with the
+    /// timeline, provided the backend accepts the wipe.
     ///
     /// # Errors
     ///
@@ -458,13 +851,11 @@ impl Journal {
     pub fn reset(&self) -> Result<(), HgError> {
         let _exclusive = self.gate_exclusive();
         let mut inner = self.lock();
-        for start in self.backend.segments().map_err(journal_err)? {
-            self.backend.remove_segment(start).map_err(journal_err)?;
+        for start in self.backend.segments().map_err(berr)? {
+            self.backend.remove_segment(start).map_err(berr)?;
         }
-        for offset in self.backend.checkpoints().map_err(journal_err)? {
-            self.backend
-                .remove_checkpoint(offset)
-                .map_err(journal_err)?;
+        for offset in self.backend.checkpoints().map_err(berr)? {
+            self.backend.remove_checkpoint(offset).map_err(berr)?;
         }
         *inner = JournalInner::default();
         Ok(())
@@ -489,6 +880,14 @@ impl Journal {
             })
             .sum();
         let inner = self.lock();
+        let (state, quarantined_at, quarantine_reason) = match &inner.quarantined {
+            None => ("active", Json::Null, Json::Null),
+            Some((durable, reason)) => (
+                "quarantined",
+                Json::Num(*durable as i64),
+                Json::Str(reason.clone()),
+            ),
+        };
         Json::obj([
             ("records", Json::Num(inner.next_offset as i64)),
             ("segments", Json::Num(segments.len() as i64)),
@@ -502,6 +901,10 @@ impl Journal {
                     .map(|&o| Json::Num(o as i64))
                     .unwrap_or(Json::Null),
             ),
+            ("state", Json::Str(state.into())),
+            ("quarantinedAt", quarantined_at),
+            ("quarantineReason", quarantine_reason),
+            ("syncedOffset", Json::Num(inner.synced_offset as i64)),
             ("dirtyHomes", Json::Num(inner.dirty.len() as i64)),
             (
                 "removedSinceCheckpoint",
@@ -514,6 +917,10 @@ impl Journal {
                 "appendFailuresSession",
                 Json::Num(inner.append_failures as i64),
             ),
+            ("ioRetriesSession", Json::Num(inner.io_retries as i64)),
+            ("refusedSession", Json::Num(inner.refused as i64)),
+            ("unjournaledSession", Json::Num(inner.unjournaled as i64)),
+            ("healsSession", Json::Num(inner.heals as i64)),
             ("truncatedOnOpen", Json::Num(inner.truncated_on_open as i64)),
         ])
     }
@@ -537,11 +944,19 @@ fn note_dirty(inner: &mut JournalInner, record: &JournalRecord) {
 mod tests {
     use super::*;
     use crate::backend::MemBackend;
+    use crate::fault::{FaultBackend, FaultKind, FaultPlan};
 
     fn rec(id: u64) -> JournalRecord {
         JournalRecord::UninstallCommitted {
             id,
             app: format!("App{id}"),
+        }
+    }
+
+    fn fast_config() -> JournalConfig {
+        JournalConfig {
+            backoff_micros: 0,
+            ..JournalConfig::default()
         }
     }
 
@@ -552,6 +967,7 @@ mod tests {
             Box::new(mem.clone()),
             JournalConfig {
                 max_segment_bytes: 96,
+                ..JournalConfig::default()
             },
         )
         .unwrap();
@@ -634,6 +1050,7 @@ mod tests {
             Box::new(mem.clone()),
             JournalConfig {
                 max_segment_bytes: 64,
+                ..JournalConfig::default()
             },
         )
         .unwrap();
@@ -676,5 +1093,191 @@ mod tests {
         let image = reopened.materialize().unwrap();
         assert_eq!(image.offset, 6);
         assert!(reopened.records_from(image.offset).unwrap().is_empty());
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_the_record_survives() {
+        let mem = MemBackend::new();
+        let plan = FaultPlan::new()
+            .at(1, FaultKind::Transient)
+            .at(4, FaultKind::ShortWrite);
+        let fault = FaultBackend::with_plan(mem.clone(), plan);
+        let journal = Journal::open_with(Box::new(fault.clone()), fast_config()).unwrap();
+        for n in 0..4 {
+            assert_eq!(journal.append(&rec(n)).unwrap(), n);
+        }
+        assert!(!journal.is_quarantined());
+        assert_eq!(journal.records_from(0).unwrap().len(), 4);
+        // The short write left no garbage behind: the backend bytes are
+        // clean frames.
+        for start in mem.segments().unwrap() {
+            assert!(scan_frames(&mem.read_segment(start).unwrap()).is_clean());
+        }
+        let stats = journal.stats_json().to_text();
+        assert!(stats.contains("\"state\":\"active\""));
+    }
+
+    #[test]
+    fn permanent_fault_quarantines_at_the_durable_offset() {
+        let mem = MemBackend::new();
+        let plan = FaultPlan::new().at(2, FaultKind::Permanent);
+        let fault = FaultBackend::with_plan(mem.clone(), plan);
+        let journal = Journal::open_with(Box::new(fault), fast_config()).unwrap();
+        journal.append(&rec(0)).unwrap();
+        journal.append(&rec(1)).unwrap();
+        let e = journal.append(&rec(2)).unwrap_err();
+        assert!(e.to_string().contains("quarantined"));
+        assert!(journal.is_quarantined());
+        match journal.state() {
+            JournalState::Quarantined { durable_offset, .. } => assert_eq!(durable_offset, 2),
+            s => panic!("expected quarantine, got {s:?}"),
+        }
+        // Appends now fail fast without touching the backend.
+        let e = journal.append(&rec(3)).unwrap_err();
+        assert!(e.to_string().contains("quarantined"));
+        assert_eq!(journal.next_offset(), 2);
+        // The two durable records survive untouched.
+        assert_eq!(journal.records_from(0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn exhausted_transients_quarantine_too() {
+        // Three consecutive transient faults exhaust max_io_attempts=3.
+        // The tail segment doesn't exist yet (its first append never
+        // landed), so the repair between attempts consumes no op index:
+        // the three append attempts are ops 0, 1, 2.
+        let plan = FaultPlan::new()
+            .at(0, FaultKind::Transient)
+            .at(1, FaultKind::Transient)
+            .at(2, FaultKind::Transient);
+        let fault = FaultBackend::with_plan(MemBackend::new(), plan);
+        let journal = Journal::open_with(Box::new(fault), fast_config()).unwrap();
+        let e = journal.append(&rec(0)).unwrap_err();
+        assert!(e.to_string().contains("quarantined"));
+        assert!(journal.is_quarantined());
+    }
+
+    #[test]
+    fn admit_refuses_or_serves_unjournaled_by_policy() {
+        for (policy, expect_refuse) in [
+            (DegradedPolicy::RefuseWrites, true),
+            (DegradedPolicy::ServeUnjournaled, false),
+        ] {
+            let plan = FaultPlan::new().at(0, FaultKind::Permanent);
+            let fault = FaultBackend::with_plan(MemBackend::new(), plan);
+            let journal = Journal::open_with(
+                Box::new(fault),
+                JournalConfig {
+                    degraded: policy,
+                    backoff_micros: 0,
+                    ..JournalConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(journal.admit().unwrap(), Admission::Journaled);
+            journal.append(&rec(0)).unwrap_err();
+            match journal.admit() {
+                Ok(Admission::Unjournaled) => assert!(!expect_refuse),
+                Err(HgError::Degraded(msg)) => {
+                    assert!(expect_refuse, "unexpected refusal: {msg}");
+                    assert!(msg.contains("quarantined"));
+                }
+                other => panic!("unexpected admission: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn heal_cuts_a_full_checkpoint_and_reopens_cleanly() {
+        let mem = MemBackend::new();
+        // A short write that then exhausts retries: ops 1 (short write),
+        // 2 (repair truncate transient), leaves garbage + quarantine.
+        let plan = FaultPlan::new()
+            .at(1, FaultKind::ShortWrite)
+            .at(2, FaultKind::Permanent);
+        let fault = FaultBackend::with_plan(mem.clone(), plan);
+        let journal = Journal::open_with(Box::new(fault.clone()), fast_config()).unwrap();
+        journal.append(&rec(0)).unwrap();
+        journal.append(&rec(1)).unwrap_err();
+        assert!(journal.is_quarantined());
+        // Heal before the backend recovers fails and stays quarantined.
+        let ckpt = Checkpoint {
+            offset: journal.next_offset(),
+            full: true,
+            shards: 1,
+            next_id: 0,
+            store: Some(homeguard_core::RuleStore::new().export_state()),
+            homes: Vec::new(),
+            removed: Vec::new(),
+        };
+        // The disk recovers.
+        fault.disarm();
+        journal.heal(&ckpt).unwrap();
+        assert!(!journal.is_quarantined());
+        // The healed journal appends again and a reopen sees a clean
+        // timeline: checkpoint at 1 plus the post-heal records.
+        journal.append(&rec(7)).unwrap();
+        drop(journal);
+        let reopened = Journal::open(Box::new(mem)).unwrap();
+        assert_eq!(reopened.next_offset(), 2);
+        assert_eq!(reopened.last_checkpoint_offset(), Some(1));
+        let tail = reopened.records_from(1).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].1, rec(7));
+    }
+
+    #[test]
+    fn heal_requires_quarantine_and_a_full_checkpoint_at_next_offset() {
+        let journal = Journal::open(Box::new(MemBackend::new())).unwrap();
+        let full_at = |offset| Checkpoint {
+            offset,
+            full: true,
+            shards: 1,
+            next_id: 0,
+            store: Some(homeguard_core::RuleStore::new().export_state()),
+            homes: Vec::new(),
+            removed: Vec::new(),
+        };
+        assert!(journal
+            .heal(&full_at(0))
+            .unwrap_err()
+            .to_string()
+            .contains("not quarantined"));
+        let mut delta = full_at(0);
+        delta.full = false;
+        assert!(journal
+            .heal(&delta)
+            .unwrap_err()
+            .to_string()
+            .contains("full checkpoint"));
+    }
+
+    #[test]
+    fn quarantined_journal_refuses_sync_checkpoint_and_compact() {
+        let plan = FaultPlan::new().at(0, FaultKind::DiskFull);
+        let fault = FaultBackend::with_plan(MemBackend::new(), plan);
+        let journal = Journal::open_with(Box::new(fault), fast_config()).unwrap();
+        journal.append(&rec(0)).unwrap_err();
+        assert!(journal.is_quarantined());
+        assert!(journal
+            .sync()
+            .unwrap_err()
+            .to_string()
+            .contains("quarantined"));
+        let ckpt = Checkpoint {
+            offset: 0,
+            full: true,
+            shards: 1,
+            next_id: 0,
+            store: Some(homeguard_core::RuleStore::new().export_state()),
+            homes: Vec::new(),
+            removed: Vec::new(),
+        };
+        assert!(journal
+            .checkpoint_write(&ckpt)
+            .unwrap_err()
+            .to_string()
+            .contains("heal"));
+        assert!(journal.compact().unwrap_err().to_string().contains("heal"));
     }
 }

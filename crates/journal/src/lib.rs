@@ -21,6 +21,12 @@
 //!   `seg-*.wal` / `ckpt-*.json` files).
 //! * **[`CheckpointScheduler`]** — a background thread driving periodic
 //!   checkpoints.
+//! * **[`FaultPlan`] / [`FaultBackend`]** — deterministic, seeded I/O
+//!   fault injection for chaos tests, driving the journal's failure
+//!   policy: classified [`BackendError`]s, bounded retry with tail
+//!   repair, quarantine under a configurable [`DegradedPolicy`], and
+//!   [`Journal::heal`] (a fresh full checkpoint re-arms a recovered
+//!   backend).
 //!
 //! The fleet-side wiring (journaled mutation paths, `Fleet::recover`)
 //! lives in `hg-service`; this crate knows nothing about live homes —
@@ -40,14 +46,18 @@
 
 pub mod backend;
 pub mod checkpoint;
+pub mod fault;
 pub mod frame;
 #[allow(clippy::module_inception)]
 pub mod journal;
 pub mod record;
 pub mod scheduler;
 
-pub use backend::{DirBackend, JournalBackend, MemBackend};
+pub use backend::{BackendError, DirBackend, JournalBackend, MemBackend};
 pub use checkpoint::{materialize, Checkpoint, MaterializedFleet};
-pub use journal::{CheckpointStats, CompactStats, Journal, JournalConfig};
+pub use fault::{FaultBackend, FaultKind, FaultPlan};
+pub use journal::{
+    Admission, CheckpointStats, CompactStats, DegradedPolicy, Journal, JournalConfig, JournalState,
+};
 pub use record::{journal_err, JournalRecord};
 pub use scheduler::CheckpointScheduler;

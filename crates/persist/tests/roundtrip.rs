@@ -32,7 +32,7 @@ fn empty_fleet_round_trips() {
     assert!(restored.store().is_empty());
     assert_eq!(restored.shard_count(), 8);
     // The empty fleet is fully operational after restore.
-    let id = restored.create_home();
+    let id = restored.create_home().unwrap();
     assert!(
         restored
             .install_app(id, ON_APP, "OnApp", None)
@@ -46,7 +46,7 @@ fn mid_rollout_fleet_round_trips_and_pending_reports_stay_confirmable() {
     // A rollout upgrades the clean homes and leaves one home pending: the
     // snapshot is taken in that half-rolled state.
     let fleet = Fleet::new(RuleStore::shared());
-    let ids: Vec<_> = (0..4).map(|_| fleet.create_home()).collect();
+    let ids: Vec<_> = (0..4).map(|_| fleet.create_home().unwrap()).collect();
     fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
     fleet
         .install_app_forced(ids[1], OFF_APP, "OffApp", None)
@@ -97,8 +97,8 @@ fn mid_rollout_fleet_round_trips_and_pending_reports_stay_confirmable() {
 #[test]
 fn poisoned_shard_fleet_snapshot_is_a_typed_error() {
     let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
-    let a = fleet.create_home();
-    let _b = fleet.create_home();
+    let a = fleet.create_home().unwrap();
+    let _b = fleet.create_home().unwrap();
     let doomed = fleet.clone();
     std::thread::spawn(move || {
         let _ = doomed.with_home_mut(a, |_| panic!("home handler dies"));
@@ -147,7 +147,7 @@ fn garbage_bytes_are_parse_errors_not_panics() {
 #[test]
 fn truncated_snapshots_are_parse_errors() {
     let fleet = Fleet::new(RuleStore::shared());
-    let id = fleet.create_home();
+    let id = fleet.create_home().unwrap();
     fleet.install_app(id, ON_APP, "OnApp", None).unwrap();
     let text = fleet.snapshot().unwrap().to_text();
     // Truncation at every eighth byte: all prefixes must fail cleanly.
@@ -170,7 +170,7 @@ fn negative_numeric_fields_are_refused_not_bitcast() {
     // reissue a restored home's id. Same for a negative defer window
     // (would become an effectively permanent deferral) and home ids.
     let fleet = Fleet::new(RuleStore::shared());
-    fleet.create_home();
+    fleet.create_home().unwrap();
     let text = fleet.snapshot().unwrap().to_text();
 
     for (field, forged) in [
@@ -281,7 +281,7 @@ fn verdict_cache_is_never_serialized_and_restores_empty() {
     // to the snapshot after dropping it), and a restored fleet starts with
     // an empty cache that refills from live traffic.
     let fleet = Fleet::new(RuleStore::shared());
-    let ids: Vec<_> = (0..6).map(|_| fleet.create_home()).collect();
+    let ids: Vec<_> = (0..6).map(|_| fleet.create_home().unwrap()).collect();
     fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
     for &id in &ids {
         fleet
@@ -311,7 +311,7 @@ fn verdict_cache_is_never_serialized_and_restores_empty() {
 
     // ...and refills from live traffic: a fresh home repeating the same
     // installs is served by new cache entries, with identical verdicts.
-    let fresh = restored.create_home();
+    let fresh = restored.create_home().unwrap();
     restored.install_app(fresh, ON_APP, "OnApp", None).unwrap();
     let report = restored
         .install_app(fresh, OFF_APP, "OffApp", None)

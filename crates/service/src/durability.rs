@@ -246,6 +246,43 @@ impl Fleet {
             removed,
         })
     }
+
+    /// Re-arms a quarantined journal over the **live** fleet state: takes
+    /// the gate's exclusive side (no mutation is mid-flight), snapshots
+    /// the fleet, and hands [`Journal::heal`] a full checkpoint at the
+    /// journal's current offset. Healing closes the divergence window a
+    /// quarantine opens — any mutation applied while degraded (refused
+    /// appends, [`hg_journal::DegradedPolicy::ServeUnjournaled`] traffic)
+    /// is captured by the fresh image, so recovery no longer rolls back to
+    /// the quarantine offset.
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Journal`] when no journal is attached, the journal is
+    /// not quarantined, or the backend is still failing (the quarantine
+    /// stands — call again once the disk recovers); [`HgError::Poisoned`]
+    /// when the snapshot hits a poisoned shard.
+    pub fn heal_journal(&self) -> Result<CheckpointStats, HgError> {
+        let journal = self
+            .journal()
+            .ok_or_else(|| journal_err("no journal attached"))?
+            .clone();
+        let _cut = journal.gate_exclusive();
+        let snapshot = self.snapshot()?;
+        journal.heal(&Checkpoint {
+            offset: journal.next_offset(),
+            full: true,
+            shards: snapshot.shards,
+            next_id: snapshot.next_id,
+            store: Some(snapshot.store),
+            homes: snapshot
+                .homes
+                .into_iter()
+                .map(|(id, state)| (id.raw(), state))
+                .collect(),
+            removed: Vec::new(),
+        })
+    }
 }
 
 /// Starts the background checkpointer for a journaled fleet: every
@@ -301,8 +338,8 @@ def h(evt) { lamp.off() }
     #[test]
     fn recover_replays_installs_and_removals() {
         let (fleet, backend) = journaled_fleet();
-        let a = fleet.create_home();
-        let b = fleet.create_home();
+        let a = fleet.create_home().unwrap();
+        let b = fleet.create_home().unwrap();
         fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
         let dirty = fleet.install_app(a, OFF_APP, "OffApp", None).unwrap();
         assert!(!dirty.installed);
@@ -322,7 +359,7 @@ def h(evt) { lamp.off() }
         // Batch creation journals one `HomesCreated` for all six homes.
         let journal = fleet.journal().unwrap().clone();
         let created_at = journal.next_offset();
-        let ids = fleet.create_homes(6);
+        let ids = fleet.create_homes(6).unwrap();
         assert_eq!(journal.next_offset(), created_at + 1);
         // One home already runs a conflicting app, so its group install
         // stays pending while the other five auto-confirm.
@@ -354,11 +391,11 @@ def h(evt) { lamp.off() }
     #[test]
     fn recover_resumes_from_delta_checkpoints() {
         let (fleet, backend) = journaled_fleet();
-        let a = fleet.create_home();
+        let a = fleet.create_home().unwrap();
         fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
         let first = fleet.checkpoint().unwrap();
         assert!(!first.full, "attach wrote the full baseline already");
-        let b = fleet.create_home();
+        let b = fleet.create_home().unwrap();
         fleet.install_app(b, OFF_APP, "OffApp", None).unwrap();
         let second = fleet.checkpoint().unwrap();
         assert!(!second.full);
@@ -388,7 +425,7 @@ def h(evt) { lamp.off() }
     fn background_checkpointer_compacts_replay_work() {
         let (fleet, backend) = journaled_fleet();
         let fleet = Arc::new(fleet);
-        let a = fleet.create_home();
+        let a = fleet.create_home().unwrap();
         fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
         {
             let _scheduler = start_checkpointer(fleet.clone(), Duration::from_millis(5));

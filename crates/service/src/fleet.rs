@@ -24,7 +24,7 @@
 //! inside this file is retired in favor of that executor.)
 
 use hg_config::ConfigInfo;
-use hg_journal::{journal_err, Checkpoint, Journal, JournalRecord};
+use hg_journal::{journal_err, Admission, Checkpoint, Journal, JournalRecord};
 use hg_persist::FleetSnapshot;
 use hg_telemetry::{TelemetryBus, TelemetryEvent};
 use homeguard_core::{
@@ -127,6 +127,14 @@ pub struct UpgradeRollout {
     /// Shards skipped because their lock was poisoned — their homes were
     /// not re-checked and still run the old version.
     pub poisoned_shards: usize,
+    /// Shards refused up front because the journal is quarantined under
+    /// [`hg_journal::DegradedPolicy::RefuseWrites`] — their homes were not
+    /// touched and still run the old version; retry after healing.
+    pub refused_shards: usize,
+    /// Per-shard journal append failures: the named homes **were**
+    /// upgraded but the sweep record never became durable — a recovery
+    /// before the next checkpoint replays them on the old version.
+    pub journal_lapses: Vec<String>,
 }
 
 /// One shard's contribution to a fleet-wide upgrade rollout (the unit a
@@ -137,6 +145,9 @@ pub struct UpgradeRollout {
 pub struct ShardRollout {
     /// The shard lock was poisoned; its homes were not visited.
     pub poisoned: bool,
+    /// The journal is quarantined and the degraded policy refuses writes;
+    /// no home in this shard was visited.
+    pub refused: bool,
     /// Homes upgraded cleanly in place.
     pub upgraded: Vec<HomeId>,
     /// Homes whose dirty report awaits per-home confirmation.
@@ -145,6 +156,9 @@ pub struct ShardRollout {
     pub skipped: usize,
     /// Per-home upgrade failures.
     pub failed: Vec<(HomeId, HgError)>,
+    /// The sweep record's append failed after the homes were upgraded:
+    /// state applied, durability lapsed (the journal has quarantined).
+    pub journal_lapsed: Option<String>,
 }
 
 /// One shard's contribution to a fleet-wide forced uninstall (see
@@ -153,12 +167,18 @@ pub struct ShardRollout {
 pub struct ShardUninstall {
     /// The shard lock was poisoned; its homes were not visited.
     pub poisoned: bool,
+    /// The journal is quarantined and the degraded policy refuses writes;
+    /// no home in this shard was visited.
+    pub refused: bool,
     /// Per-home retraction reports, ascending `HomeId` order.
     pub removed: Vec<(HomeId, UninstallReport)>,
     /// Homes in this shard not running the app.
     pub skipped: usize,
     /// Per-home failures.
     pub failed: Vec<(HomeId, HgError)>,
+    /// The sweep record's append failed after the homes were retracted:
+    /// state applied, durability lapsed (the journal has quarantined).
+    pub journal_lapsed: Option<String>,
 }
 
 /// The outcome of a fleet-wide forced uninstall (a store-pulled app).
@@ -175,8 +195,17 @@ pub struct ForceUninstall {
     /// Shards skipped because their lock was poisoned — their homes still
     /// run the app.
     pub poisoned_shards: usize,
+    /// Shards refused up front by a quarantined journal refusing writes —
+    /// their homes still run the app; retry after healing.
+    pub refused_shards: usize,
+    /// Per-shard journal append failures: the named homes **were**
+    /// retracted but the sweep record never became durable.
+    pub journal_lapses: Vec<String>,
     /// Whether the store database carried the app (and retired it).
     pub store_retired: bool,
+    /// The store-level purge was refused or failed to journal (degraded
+    /// service); the app may still be resurrectable from the store.
+    pub store_error: Option<String>,
 }
 
 impl UpgradeRollout {
@@ -193,16 +222,23 @@ impl UpgradeRollout {
             skipped: 0,
             failed: Vec::new(),
             poisoned_shards: 0,
+            refused_shards: 0,
+            journal_lapses: Vec::new(),
         };
         for part in parts {
             if part.poisoned {
                 rollout.poisoned_shards += 1;
                 continue;
             }
+            if part.refused {
+                rollout.refused_shards += 1;
+                continue;
+            }
             rollout.upgraded.extend(part.upgraded);
             rollout.pending.extend(part.pending);
             rollout.skipped += part.skipped;
             rollout.failed.extend(part.failed);
+            rollout.journal_lapses.extend(part.journal_lapsed);
         }
         rollout.upgraded.sort_unstable();
         rollout.pending.sort_by_key(|(id, _)| *id);
@@ -223,16 +259,24 @@ impl ForceUninstall {
             skipped: 0,
             failed: Vec::new(),
             poisoned_shards: 0,
+            refused_shards: 0,
+            journal_lapses: Vec::new(),
             store_retired: false,
+            store_error: None,
         };
         for part in parts {
             if part.poisoned {
                 out.poisoned_shards += 1;
                 continue;
             }
+            if part.refused {
+                out.refused_shards += 1;
+                continue;
+            }
             out.removed.extend(part.removed);
             out.skipped += part.skipped;
             out.failed.extend(part.failed);
+            out.journal_lapses.extend(part.journal_lapsed);
         }
         out.removed.sort_by_key(|(id, _)| *id);
         out.failed.sort_by_key(|(id, _)| *id);
@@ -414,7 +458,13 @@ impl Fleet {
 
     /// Registers a new home built from the fleet's template and returns
     /// its handle.
-    pub fn create_home(&self) -> HomeId {
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Degraded`] when a quarantined journal refuses writes
+    /// (nothing is created); [`HgError::Journal`] when the creation could
+    /// not be journaled (the home **is** created, durability lapsed).
+    pub fn create_home(&self) -> Result<HomeId, HgError> {
         self.create_home_with(|builder| builder)
     }
 
@@ -424,28 +474,33 @@ impl Fleet {
     /// append regardless of batch size, where [`Fleet::create_home`] pays
     /// a state export and an append per home. The fast path for standing
     /// up large fleets.
-    pub fn create_homes(&self, count: usize) -> Vec<HomeId> {
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::create_home`] — a [`HgError::Journal`] failure means
+    /// every home in the batch exists but none of them is durable.
+    pub fn create_homes(&self, count: usize) -> Result<Vec<HomeId>, HgError> {
         if count == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let Some(journal) = self.journal.get() else {
-            return (0..count)
+            return Ok((0..count)
                 .map(|_| self.place(self.template.clone().build()))
-                .collect();
+                .collect());
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
         let state = self.template.clone().build().export_state();
         let ids: Vec<HomeId> = (0..count)
             .map(|_| self.place(self.template.clone().build()))
             .collect();
-        // Infallible signature, like `create_home`: an append failure
-        // lapses durability (counted in the journal's stats), it does not
-        // un-create the homes.
-        let _ = journal.append(&JournalRecord::HomesCreated {
-            ids: ids.iter().map(|id| id.raw()).collect(),
-            state,
-        });
-        ids
+        if admission == Admission::Journaled {
+            journal.append(&JournalRecord::HomesCreated {
+                ids: ids.iter().map(|id| id.raw()).collect(),
+                state,
+            })?;
+        }
+        Ok(ids)
     }
 
     /// Registers a new home, customizing the template first (e.g. per-home
@@ -458,21 +513,29 @@ impl Fleet {
     /// healthy shard; only when every shard is poisoned does it recover
     /// the routed shard's map (structurally intact, see [`Fleet::len`])
     /// and insert anyway.
-    pub fn create_home_with(&self, customize: impl FnOnce(HomeBuilder) -> HomeBuilder) -> HomeId {
+    ///
+    /// # Errors
+    ///
+    /// As [`Fleet::create_home`].
+    pub fn create_home_with(
+        &self,
+        customize: impl FnOnce(HomeBuilder) -> HomeBuilder,
+    ) -> Result<HomeId, HgError> {
         let home = customize(self.template.clone()).build();
         let Some(journal) = self.journal.get() else {
-            return self.place(home);
+            return Ok(self.place(home));
         };
         let _gate = journal.gate();
-        let state = home.export_state();
+        let admission = journal.admit()?;
+        let state = (admission == Admission::Journaled).then(|| home.export_state());
         let id = self.place(home);
-        // Infallible signature: an append failure here lapses durability
-        // (counted in the journal's stats), it does not un-create the home.
-        let _ = journal.append(&JournalRecord::HomeCreated {
-            id: id.raw(),
-            state,
-        });
-        id
+        if let Some(state) = state {
+            journal.append(&JournalRecord::HomeCreated {
+                id: id.raw(),
+                state,
+            })?;
+        }
+        Ok(id)
     }
 
     /// Registers an already-built session under a fresh id (shared by
@@ -514,9 +577,11 @@ impl Fleet {
     /// # Errors
     ///
     /// [`HgError::UnknownHome`]; [`HgError::Poisoned`] when the shard lock
-    /// is poisoned.
+    /// is poisoned; [`HgError::Degraded`] when a quarantined journal
+    /// refuses writes (the home stays registered).
     pub fn remove_home(&self, id: HomeId) -> Result<(), HgError> {
         let _gate = self.journal.get().map(|journal| journal.gate());
+        let admission = self.admit()?;
         {
             let mut shard = self
                 .shard(id)
@@ -525,9 +590,19 @@ impl Fleet {
             shard.remove(&id).ok_or(HgError::UnknownHome(id))?;
         }
         if let Some(journal) = self.journal.get() {
-            journal.append(&JournalRecord::HomeRemoved { id: id.raw() })?;
+            if admission == Admission::Journaled {
+                journal.append(&JournalRecord::HomeRemoved { id: id.raw() })?;
+            }
         }
         Ok(())
+    }
+
+    /// The attached journal's admission verdict for one write (trivially
+    /// [`Admission::Journaled`] with no journal attached).
+    fn admit(&self) -> Result<Admission, HgError> {
+        self.journal
+            .get()
+            .map_or(Ok(Admission::Journaled), |journal| journal.admit())
     }
 
     /// Runs `f` with shared access to a home (other readers of the same
@@ -619,6 +694,12 @@ impl Fleet {
             return self.with_home_mut(id, op)?;
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
+        if admission == Admission::Unjournaled {
+            // Quarantined but serving: apply the mutation, skip the
+            // appends (the journal counts the skip).
+            return self.with_home_mut(id, op)?;
+        }
         // The ingest epoch moves only when a fresh fingerprint persists,
         // so equal reads around the operation prove no store ingest
         // happened — the steady-state path (store app already ingested)
@@ -703,8 +784,11 @@ impl Fleet {
             return self.with_home_mut(id, |home| home.confirm_install(report))?;
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
         let confirmed = self.with_home_mut(id, |home| home.confirm_install(report))??;
-        journal.append(&self.install_record(id, &confirmed))?;
+        if admission == Admission::Journaled {
+            journal.append(&self.install_record(id, &confirmed))?;
+        }
         Ok(confirmed)
     }
 
@@ -719,11 +803,14 @@ impl Fleet {
             return self.with_home_mut(id, |home| home.uninstall_app(app))?;
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
         let report = self.with_home_mut(id, |home| home.uninstall_app(app))??;
-        journal.append(&JournalRecord::UninstallCommitted {
-            id: id.raw(),
-            app: app.to_string(),
-        })?;
+        if admission == Admission::Journaled {
+            journal.append(&JournalRecord::UninstallCommitted {
+                id: id.raw(),
+                app: app.to_string(),
+            })?;
+        }
         Ok(report)
     }
 
@@ -780,6 +867,24 @@ impl Fleet {
                 .collect();
         };
         let _gate = journal.gate();
+        let admission = match journal.admit() {
+            Ok(admission) => admission,
+            // Refused up front: no home in the group was touched, every
+            // outcome reports the same retryable degradation.
+            Err(error) => {
+                let detail = error.to_string();
+                return home_ids
+                    .iter()
+                    .map(|&id| (id, Err(HgError::Degraded(detail.clone()))))
+                    .collect();
+            }
+        };
+        if admission == Admission::Unjournaled {
+            return home_ids
+                .iter()
+                .map(|&id| (id, self.plain_install(id, source, name, config)))
+                .collect();
+        }
         let epoch = self.store.ingest_epoch();
         let mut outcomes: BulkOutcomes = home_ids
             .iter()
@@ -913,6 +1018,7 @@ impl Fleet {
             };
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
         let fresh = !self.store.has_ingested(source, name);
         let outcome = if as_name {
             self.store.ingest_as(source, name).map(|_| ())
@@ -921,7 +1027,7 @@ impl Fleet {
         };
         let landed = fresh && self.store.has_ingested(source, name);
         outcome?;
-        if landed {
+        if landed && admission == Admission::Journaled {
             journal.append(&JournalRecord::StoreIngested {
                 app: name.to_string(),
                 source: source.to_string(),
@@ -969,6 +1075,14 @@ impl Fleet {
     /// If `index` is out of range (`>= self.shard_count()`).
     pub fn upgrade_shard(&self, index: usize, source: &str, name: &str) -> ShardRollout {
         let _gate = self.journal.get().map(|journal| journal.gate());
+        // Refused before any home is touched: the whole shard unit can be
+        // retried verbatim after the journal heals.
+        let Ok(admission) = self.admit() else {
+            return ShardRollout {
+                refused: true,
+                ..ShardRollout::default()
+            };
+        };
         let started = self.telemetry.get().map(|_| Instant::now());
         let Ok(mut shard) = self.shards[index].write() else {
             return ShardRollout {
@@ -991,14 +1105,19 @@ impl Fleet {
         let homes = shard.len() as u64;
         drop(shard);
         if let Some(journal) = self.journal.get() {
-            if !part.upgraded.is_empty() {
+            if admission == Admission::Journaled && !part.upgraded.is_empty() {
                 // One compact record per shard unit, not one per home: the
                 // clean-upgrade outcome is fully re-derivable from the
                 // store's (already journaled) new version.
-                let _ = journal.append(&JournalRecord::UpgradeSwept {
+                if let Err(error) = journal.append(&JournalRecord::UpgradeSwept {
                     app: name.to_string(),
                     homes: part.upgraded.iter().map(|id| id.raw()).collect(),
-                });
+                }) {
+                    // The sweep's signature is infallible (per-home work is
+                    // done and must be reported), so the lapse rides the
+                    // part instead of vanishing.
+                    part.journal_lapsed = Some(error.to_string());
+                }
             }
         }
         self.publish_sweep(index, "upgrade", homes, started);
@@ -1016,6 +1135,12 @@ impl Fleet {
     /// If `index` is out of range (`>= self.shard_count()`).
     pub fn uninstall_shard(&self, index: usize, app: &str) -> ShardUninstall {
         let _gate = self.journal.get().map(|journal| journal.gate());
+        let Ok(admission) = self.admit() else {
+            return ShardUninstall {
+                refused: true,
+                ..ShardUninstall::default()
+            };
+        };
         let started = self.telemetry.get().map(|_| Instant::now());
         let Ok(mut shard) = self.shards[index].write() else {
             return ShardUninstall {
@@ -1037,11 +1162,13 @@ impl Fleet {
         let homes = shard.len() as u64;
         drop(shard);
         if let Some(journal) = self.journal.get() {
-            if !part.removed.is_empty() {
-                let _ = journal.append(&JournalRecord::UninstallSwept {
+            if admission == Admission::Journaled && !part.removed.is_empty() {
+                if let Err(error) = journal.append(&JournalRecord::UninstallSwept {
                     app: app.to_string(),
                     homes: part.removed.iter().map(|(id, _)| id.raw()).collect(),
-                });
+                }) {
+                    part.journal_lapsed = Some(error.to_string());
+                }
             }
         }
         self.publish_sweep(index, "uninstall", homes, started);
@@ -1073,25 +1200,36 @@ impl Fleet {
             app,
             (0..self.shards.len()).map(|index| self.uninstall_shard(index, app)),
         );
-        out.store_retired = self.retire_store_app(app);
+        match self.retire_store_app(app) {
+            Ok(retired) => out.store_retired = retired,
+            Err(error) => out.store_error = Some(error.to_string()),
+        }
         out
     }
 
     /// Retires `app` from the shared store (database, analyses,
     /// fingerprints — see [`RuleStore::retire_app`]), journaled when a
     /// journal is attached. Returns whether the store actually held it.
-    pub fn retire_store_app(&self, app: &str) -> bool {
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Degraded`] when a quarantined journal refuses writes
+    /// (the store is untouched); [`HgError::Journal`] when the retirement
+    /// could not be journaled (the store **did** retire the app — a
+    /// recovery before the next checkpoint resurrects it).
+    pub fn retire_store_app(&self, app: &str) -> Result<bool, HgError> {
         let Some(journal) = self.journal.get() else {
-            return self.store.retire_app(app);
+            return Ok(self.store.retire_app(app));
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
         let retired = self.store.retire_app(app);
-        if retired {
-            let _ = journal.append(&JournalRecord::StoreRetired {
+        if retired && admission == Admission::Journaled {
+            journal.append(&JournalRecord::StoreRetired {
                 app: app.to_string(),
-            });
+            })?;
         }
-        retired
+        Ok(retired)
     }
 
     /// Replaces one home's threat-handling policy table (journaled when a
@@ -1106,12 +1244,15 @@ impl Fleet {
             return self.with_home_mut(id, |home| home.set_handling_policy(table));
         };
         let _gate = journal.gate();
-        let record = JournalRecord::PolicyChanged {
+        let admission = journal.admit()?;
+        let record = (admission == Admission::Journaled).then(|| JournalRecord::PolicyChanged {
             id: id.raw(),
             table: table.clone(),
-        };
+        });
         self.with_home_mut(id, |home| home.set_handling_policy(table))?;
-        journal.append(&record)?;
+        if let Some(record) = record {
+            journal.append(&record)?;
+        }
         Ok(())
     }
 
@@ -1127,11 +1268,14 @@ impl Fleet {
             return self.with_home_mut(id, |home| home.record_config(info));
         };
         let _gate = journal.gate();
+        let admission = journal.admit()?;
         self.with_home_mut(id, |home| home.record_config(info))?;
-        journal.append(&JournalRecord::ConfigRecorded {
-            id: id.raw(),
-            uri: info.to_uri(),
-        })?;
+        if admission == Admission::Journaled {
+            journal.append(&JournalRecord::ConfigRecorded {
+                id: id.raw(),
+                uri: info.to_uri(),
+            })?;
+        }
         Ok(())
     }
 
@@ -1273,18 +1417,34 @@ impl Fleet {
     /// rebuilt against this fleet's shared store; its installed rules are
     /// self-contained, so the home works even before the store has
     /// ingested the apps it runs.
-    pub fn import_home(&self, state: HomeState) -> HomeId {
+    ///
+    /// # Errors
+    ///
+    /// [`HgError::Degraded`] when a quarantined journal refuses writes
+    /// (nothing is imported); [`HgError::Journal`] when the import could
+    /// not be journaled (the home **is** registered, durability lapsed).
+    pub fn import_home(&self, state: HomeState) -> Result<HomeId, HgError> {
         let Some(journal) = self.journal.get() else {
-            return self.place(Home::restore_state(self.store.clone(), state));
+            return Ok(self.place(Home::restore_state(self.store.clone(), state)));
         };
         let _gate = journal.gate();
-        let record_state = state.clone();
+        let admission = journal.admit()?;
+        let record_state = (admission == Admission::Journaled).then(|| state.clone());
         let id = self.place(Home::restore_state(self.store.clone(), state));
-        let _ = journal.append(&JournalRecord::HomeImported {
-            id: id.raw(),
-            state: record_state,
-        });
-        id
+        if let Some(state) = record_state {
+            journal.append(&JournalRecord::HomeImported {
+                id: id.raw(),
+                state,
+            })?;
+        }
+        Ok(id)
+    }
+
+    /// How many shard locks are currently poisoned — homes behind them
+    /// answer [`HgError::Poisoned`] instead of serving. The health-probe
+    /// signal (`GET /health` in `hg-api`).
+    pub fn poisoned_shards(&self) -> usize {
+        self.shards.iter().filter(|s| s.is_poisoned()).count()
     }
 }
 
@@ -1319,7 +1479,7 @@ def h(evt) { lamp.off() }
     #[test]
     fn create_route_and_remove_homes() {
         let fleet = Fleet::builder(RuleStore::shared()).shards(4).build();
-        let ids: Vec<HomeId> = (0..10).map(|_| fleet.create_home()).collect();
+        let ids: Vec<HomeId> = (0..10).map(|_| fleet.create_home().unwrap()).collect();
         assert_eq!(fleet.len(), 10);
         assert_eq!(fleet.home_ids(), ids);
         assert_eq!(fleet.shard_count(), 4);
@@ -1339,7 +1499,7 @@ def h(evt) { lamp.off() }
     #[test]
     fn lifecycle_through_the_fleet() {
         let fleet = Fleet::new(RuleStore::shared());
-        let id = fleet.create_home();
+        let id = fleet.create_home().unwrap();
         let report = fleet.install_app(id, ON_APP, "OnApp", None).unwrap();
         assert!(report.installed);
 
@@ -1370,7 +1530,7 @@ def h(evt) { lamp.off() }
     #[test]
     fn install_many_extracts_once() {
         let fleet = Fleet::new(RuleStore::shared());
-        let ids: Vec<HomeId> = (0..5).map(|_| fleet.create_home()).collect();
+        let ids: Vec<HomeId> = (0..5).map(|_| fleet.create_home().unwrap()).collect();
         let results = fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap();
         assert_eq!(results.len(), 5);
         assert!(results.iter().all(|(_, r)| r.as_ref().unwrap().installed));
@@ -1388,8 +1548,8 @@ def h(evt) { lamp.off() }
     #[test]
     fn propagate_upgrade_rolls_the_fleet_forward() {
         let fleet = Fleet::new(RuleStore::shared());
-        let with_app: Vec<HomeId> = (0..4).map(|_| fleet.create_home()).collect();
-        let without_app = fleet.create_home();
+        let with_app: Vec<HomeId> = (0..4).map(|_| fleet.create_home().unwrap()).collect();
+        let without_app = fleet.create_home().unwrap();
         fleet
             .install_many(&with_app, ON_APP, "OnApp", None)
             .unwrap();
@@ -1456,8 +1616,8 @@ def h(evt) { lamp.off() }
     #[test]
     fn poisoned_shard_reports_typed_errors_and_isolates() {
         let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
-        let a = fleet.create_home(); // shard 0
-        let b = fleet.create_home(); // shard 1
+        let a = fleet.create_home().unwrap(); // shard 0
+        let b = fleet.create_home().unwrap(); // shard 1
 
         // A panicking mutation poisons only home `a`'s shard.
         let doomed = fleet.clone();
@@ -1486,7 +1646,7 @@ def h(evt) { lamp.off() }
         // ...a new home is never placed in the poisoned shard (the handle
         // would be unreachable from birth): id 2 would route to shard 0,
         // so it is burned and the home lands on a healthy shard.
-        let c = fleet.create_home();
+        let c = fleet.create_home().unwrap();
         assert!(
             fleet
                 .install_app(c, ON_APP, "OnApp", None)
@@ -1508,8 +1668,8 @@ def h(evt) { lamp.off() }
     #[test]
     fn snapshot_restore_round_trips_the_fleet() {
         let fleet = Fleet::builder(RuleStore::shared()).shards(4).build();
-        let a = fleet.create_home();
-        let b = fleet.create_home();
+        let a = fleet.create_home().unwrap();
+        let b = fleet.create_home().unwrap();
         fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
         let dirty = fleet.install_app(a, OFF_APP, "OffApp", None).unwrap();
         fleet.confirm_install(a, dirty).unwrap();
@@ -1539,7 +1699,7 @@ def h(evt) { lamp.off() }
         // Warm restart: the store's ingest cache came back, so installing
         // the same app into a new home re-extracts nothing.
         let hits = restored.store().cache_hits();
-        let c = restored.create_home();
+        let c = restored.create_home().unwrap();
         assert!(c > b, "the id counter must never reissue a restored id");
         restored.install_app(c, ON_APP, "OnApp", None).unwrap();
         assert_eq!(restored.store().cache_hits(), hits + 1);
@@ -1548,7 +1708,7 @@ def h(evt) { lamp.off() }
     #[test]
     fn snapshot_of_a_poisoned_fleet_is_a_typed_error() {
         let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
-        let a = fleet.create_home();
+        let a = fleet.create_home().unwrap();
         let doomed = fleet.clone();
         std::thread::spawn(move || {
             let _ = doomed.with_home_mut(a, |_| panic!("home handler dies"));
@@ -1561,7 +1721,7 @@ def h(evt) { lamp.off() }
     #[test]
     fn restore_rejects_ids_beyond_the_counter() {
         let fleet = Fleet::new(RuleStore::shared());
-        let id = fleet.create_home();
+        let id = fleet.create_home().unwrap();
         let mut snapshot = fleet.snapshot().unwrap();
         snapshot.next_id = id.raw(); // forged: the counter excludes `id`
         assert!(matches!(
@@ -1573,8 +1733,8 @@ def h(evt) { lamp.off() }
     #[test]
     fn force_uninstall_purges_every_home_and_the_store() {
         let fleet = Fleet::new(RuleStore::shared());
-        let ids: Vec<HomeId> = (0..3).map(|_| fleet.create_home()).collect();
-        let bystander = fleet.create_home();
+        let ids: Vec<HomeId> = (0..3).map(|_| fleet.create_home().unwrap()).collect();
+        let bystander = fleet.create_home().unwrap();
         fleet.install_many(&ids, OFF_APP, "OffApp", None).unwrap();
         fleet.install_app(bystander, ON_APP, "OnApp", None).unwrap();
 
@@ -1608,7 +1768,7 @@ def h(evt) { lamp.off() }
     #[test]
     fn export_import_migrates_a_home_between_fleets() {
         let fleet = Fleet::new(RuleStore::shared());
-        let id = fleet.create_home();
+        let id = fleet.create_home().unwrap();
         fleet.install_app(id, ON_APP, "OnApp", None).unwrap();
         let dirty = fleet.install_app(id, OFF_APP, "OffApp", None).unwrap();
         fleet.confirm_install(id, dirty).unwrap();
@@ -1616,7 +1776,9 @@ def h(evt) { lamp.off() }
         // Across "processes": only the serialized text crosses.
         let text = hg_persist::home_to_text(&fleet.export_home(id).unwrap());
         let target = Fleet::new(RuleStore::shared());
-        let migrated = target.import_home(hg_persist::home_from_text(&text).unwrap());
+        let migrated = target
+            .import_home(hg_persist::home_from_text(&text).unwrap())
+            .unwrap();
         assert_eq!(
             target.with_home(migrated, |h| h.installed_apps()).unwrap(),
             vec!["OnApp".to_string(), "OffApp".to_string()]
@@ -1639,13 +1801,13 @@ def h(evt) { lamp.off() }
         let fleet = Fleet::builder(RuleStore::shared())
             .home_defaults(|b| b.modes(["Day", "Night"]))
             .build();
-        let id = fleet.create_home();
+        let id = fleet.create_home().unwrap();
         assert_eq!(
             fleet.with_home(id, |h| h.modes().to_vec()).unwrap(),
             vec!["Day".to_string(), "Night".to_string()]
         );
         // Per-home customization overrides the template.
-        let custom = fleet.create_home_with(|b| b.modes(["Solo"]));
+        let custom = fleet.create_home_with(|b| b.modes(["Solo"])).unwrap();
         assert_eq!(
             fleet.with_home(custom, |h| h.modes().to_vec()).unwrap(),
             vec!["Solo".to_string()]
@@ -1655,11 +1817,11 @@ def h(evt) { lamp.off() }
     #[test]
     fn attached_bus_sees_fleet_lifecycle_and_sweeps() {
         let fleet = Fleet::builder(RuleStore::shared()).shards(2).build();
-        let early = fleet.create_home();
+        let early = fleet.create_home().unwrap();
         let bus = Arc::new(TelemetryBus::new());
         assert!(fleet.attach_telemetry(bus.clone()));
         assert!(!fleet.attach_telemetry(bus.clone()), "one bus per fleet");
-        let late = fleet.create_home();
+        let late = fleet.create_home().unwrap();
 
         // Both the pre-attach home (wired retroactively) and the new one
         // publish, stamped with their ids.

@@ -29,6 +29,14 @@
 //!   journaled and restore becomes *last checkpoint + replay*
 //!   ([`Fleet::recover`], [`Fleet::checkpoint`], [`start_checkpointer`]
 //!   — see [`durability`]).
+//! * **Fault tolerance** — journal I/O failures are classified, retried
+//!   and, on exhaustion, quarantined: the fleet keeps serving reads and
+//!   decides writes by the journal's [`DegradedPolicy`] (refuse with
+//!   [`HgError::Degraded`], or serve unjournaled).
+//!   [`Fleet::heal_journal`] re-arms a recovered backend with a fresh
+//!   full checkpoint; [`Fleet::poisoned_shards`] is the health-probe
+//!   signal. Deterministic chaos lives in [`FaultPlan`] /
+//!   [`FaultBackend`] (`tests/chaos_fuzz.rs`).
 //!
 //! # Examples
 //!
@@ -36,8 +44,8 @@
 //! use hg_service::{Fleet, RuleStore};
 //!
 //! let fleet = Fleet::new(RuleStore::shared());
-//! let alice = fleet.create_home();
-//! let bob = fleet.create_home();
+//! let alice = fleet.create_home().unwrap();
+//! let bob = fleet.create_home().unwrap();
 //!
 //! const APP: &str = r#"
 //!     definition(name: "OnApp")
@@ -73,8 +81,8 @@ pub use fleet::{
     BulkOutcomes, Fleet, FleetBuilder, ForceUninstall, ShardRollout, ShardUninstall, UpgradeRollout,
 };
 pub use hg_journal::{
-    CheckpointScheduler, CheckpointStats, DirBackend, Journal, JournalConfig, JournalRecord,
-    MemBackend,
+    Admission, CheckpointScheduler, CheckpointStats, DegradedPolicy, DirBackend, FaultBackend,
+    FaultKind, FaultPlan, Journal, JournalConfig, JournalRecord, JournalState, MemBackend,
 };
 pub use hg_persist::FleetSnapshot;
 pub use hg_telemetry::{TelemetryBus, TelemetryEvent};

@@ -192,7 +192,7 @@ fn eight_threads_over_256_homes_match_serial_replay() {
     // ownership (every thread touches every shard).
     let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(THREADS).build());
     publish_palette(&fleet, &apps);
-    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home().unwrap()).collect();
     assert_eq!(fleet.len(), HOMES);
 
     let mut handles = Vec::new();
@@ -219,7 +219,9 @@ fn eight_threads_over_256_homes_match_serial_replay() {
     // in a fresh single-shard fleet.
     let serial_fleet = Fleet::builder(RuleStore::shared()).shards(1).build();
     publish_palette(&serial_fleet, &apps);
-    let serial_ids: Vec<HomeId> = (0..HOMES).map(|_| serial_fleet.create_home()).collect();
+    let serial_ids: Vec<HomeId> = (0..HOMES)
+        .map(|_| serial_fleet.create_home().unwrap())
+        .collect();
     for home in 0..HOMES {
         let expected = run_script(&serial_fleet, serial_ids[home], home, &apps);
         assert_eq!(

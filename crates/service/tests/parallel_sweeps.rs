@@ -35,7 +35,7 @@ fn executor(fleet: Arc<Fleet>) -> Arc<FleetExec> {
 /// OnApp, every third home additionally running the conflicting OffApp.
 fn populated(homes: usize, shards: usize) -> (Arc<Fleet>, Vec<HomeId>) {
     let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(shards).build());
-    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..homes).map(|_| fleet.create_home().unwrap()).collect();
     for result in fleet.install_many(&ids, ON_APP, "OnApp", None).unwrap() {
         assert!(result.1.unwrap().installed);
     }
@@ -52,8 +52,8 @@ fn dispatched_install_many_matches_serial_install_loop_in_request_order() {
     let parallel = Arc::new(Fleet::builder(RuleStore::shared()).shards(8).build());
     let serial = Fleet::builder(RuleStore::shared()).shards(8).build();
     let exec = executor(parallel.clone());
-    let p_ids: Vec<HomeId> = (0..64).map(|_| parallel.create_home()).collect();
-    let s_ids: Vec<HomeId> = (0..64).map(|_| serial.create_home()).collect();
+    let p_ids: Vec<HomeId> = (0..64).map(|_| parallel.create_home().unwrap()).collect();
+    let s_ids: Vec<HomeId> = (0..64).map(|_| serial.create_home().unwrap()).collect();
 
     // Mixed request: every home once, one duplicate (second attempt must
     // report AlreadyInstalled in both paths), deliberately shuffled order.
@@ -277,8 +277,8 @@ fn dispatched_force_uninstall_matches_serial_per_home_replay() {
 #[test]
 fn dispatched_sweeps_skip_poisoned_shards_and_keep_order() {
     let fleet = Arc::new(Fleet::builder(RuleStore::shared()).shards(2).build());
-    let a = fleet.create_home(); // shard 0
-    let b = fleet.create_home(); // shard 1
+    let a = fleet.create_home().unwrap(); // shard 0
+    let b = fleet.create_home().unwrap(); // shard 1
     fleet.install_app(a, ON_APP, "OnApp", None).unwrap();
     fleet.install_app(b, ON_APP, "OnApp", None).unwrap();
 

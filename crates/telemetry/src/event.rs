@@ -153,6 +153,27 @@ pub enum TelemetryEvent {
         /// Wall-clock replay time.
         micros: u64,
     },
+    /// A journal backend write was retried after transient I/O failures.
+    IoRetry {
+        /// Which operation retried: `append`, `sync` or `checkpoint`.
+        op: String,
+        /// Retry attempts this operation consumed (beyond the first try).
+        attempts: u64,
+    },
+    /// The journal exhausted its I/O retries (or hit a permanent error)
+    /// and quarantined itself; the service is serving degraded.
+    JournalDegraded {
+        /// The last offset the journal can still vouch for.
+        offset: u64,
+        /// What tripped the quarantine.
+        reason: String,
+    },
+    /// A quarantined journal healed: a fresh full checkpoint re-armed it
+    /// on a recovered backend.
+    JournalHealed {
+        /// The offset the healing checkpoint covers.
+        offset: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -172,6 +193,9 @@ impl TelemetryEvent {
             TelemetryEvent::JournalSynced { .. } => "journal_synced",
             TelemetryEvent::JournalCheckpoint { .. } => "journal_checkpoint",
             TelemetryEvent::JournalReplayed { .. } => "journal_replayed",
+            TelemetryEvent::IoRetry { .. } => "io_retry",
+            TelemetryEvent::JournalDegraded { .. } => "journal_degraded",
+            TelemetryEvent::JournalHealed { .. } => "journal_healed",
         }
     }
 
@@ -334,6 +358,21 @@ impl TelemetryEvent {
                     ("micros".to_string(), Json::Num(*micros as i64)),
                 ]);
             }
+            TelemetryEvent::IoRetry { op, attempts } => {
+                fields.extend([
+                    ("op".to_string(), Json::str(op)),
+                    ("attempts".to_string(), Json::Num(*attempts as i64)),
+                ]);
+            }
+            TelemetryEvent::JournalDegraded { offset, reason } => {
+                fields.extend([
+                    ("offset".to_string(), Json::Num(*offset as i64)),
+                    ("reason".to_string(), Json::str(reason)),
+                ]);
+            }
+            TelemetryEvent::JournalHealed { offset } => {
+                fields.push(("offset".to_string(), Json::Num(*offset as i64)));
+            }
         }
         Json::Obj(fields.into_iter().collect())
     }
@@ -415,6 +454,15 @@ mod tests {
                 records: 34,
                 micros: 5100,
             },
+            TelemetryEvent::IoRetry {
+                op: "append".into(),
+                attempts: 2,
+            },
+            TelemetryEvent::JournalDegraded {
+                offset: 41,
+                reason: "injected: disk full".into(),
+            },
+            TelemetryEvent::JournalHealed { offset: 41 },
         ];
         for (n, event) in events.iter().enumerate() {
             let json = event.to_json(n as u64);

@@ -315,6 +315,12 @@ impl MetricsRegistry {
                 inner.bump("journal_replayed_records_total", *records);
                 inner.bump("journal_replay_micros_total", *micros);
             }
+            TelemetryEvent::IoRetry { attempts, .. } => {
+                inner.bump("io_retry_events_total", 1);
+                inner.bump("io_retries_total", *attempts);
+            }
+            TelemetryEvent::JournalDegraded { .. } => inner.bump("journal_degraded_total", 1),
+            TelemetryEvent::JournalHealed { .. } => inner.bump("journal_healed_total", 1),
         }
     }
 
@@ -691,6 +697,10 @@ const KNOWN_COUNTERS: &[&str] = &[
     "journal_replays_total",
     "journal_replayed_records_total",
     "journal_replay_micros_total",
+    "io_retry_events_total",
+    "io_retries_total",
+    "journal_degraded_total",
+    "journal_healed_total",
 ];
 
 const KNOWN_HISTOGRAMS: &[&str] = &[

@@ -88,7 +88,7 @@ fn main() {
     let fleet = Fleet::builder(RuleStore::shared())
         .home_defaults(|home| home.handling_policy(table))
         .build();
-    let home = fleet.create_home();
+    let home = fleet.create_home().unwrap();
     fleet
         .install_app_forced(home, VENT_ON_ENTRY, "VentOnEntry", None)
         .expect("extracts");

@@ -10,7 +10,7 @@ use hg_service::{frontend, Fleet, RuleStore};
 fn main() {
     // The fleet is the service surface: one shared rule store, many homes.
     let fleet = Fleet::new(RuleStore::shared());
-    let home = fleet.create_home();
+    let home = fleet.create_home().unwrap();
 
     // Paper Listing 1: ComfortTV (Rule 1 of Fig. 3). Clean, so the install
     // confirms automatically.
@@ -56,7 +56,7 @@ fn main() {
     );
 
     // A second home shares the same store: extraction is served from cache.
-    let neighbor = fleet.create_home();
+    let neighbor = fleet.create_home().unwrap();
     let report = fleet
         .install_app(neighbor, cold_defender.source, cold_defender.name, None)
         .expect("cached");

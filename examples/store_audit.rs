@@ -34,7 +34,7 @@ fn fleet_cache_audit() {
     const HOMES: usize = 24;
     const APPS: usize = 6;
     let fleet = Fleet::new(RuleStore::shared());
-    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..HOMES).map(|_| fleet.create_home().unwrap()).collect();
     for app in device_control_apps().iter().take(APPS) {
         for (_, result) in fleet
             .install_many(&ids, app.source, app.name, None)

@@ -13,8 +13,8 @@ use hg_service::{Fleet, RuleStore};
 
 fn main() {
     let fleet = Fleet::new(RuleStore::shared());
-    let alice = fleet.create_home();
-    let bob = fleet.create_home();
+    let alice = fleet.create_home().unwrap();
+    let bob = fleet.create_home().unwrap();
 
     // Alice runs the Fig. 3 pair and accepts the Actuator Race; Bob runs
     // only ComfortTV.
@@ -77,8 +77,9 @@ fn main() {
     // ---- migration: one home moves to another process ------------------
     let exported = hg_persist::home_to_text(&fleet.export_home(alice).expect("alice exists"));
     let other_process = Fleet::new(RuleStore::shared());
-    let migrated =
-        other_process.import_home(hg_persist::home_from_text(&exported).expect("intact bytes"));
+    let migrated = other_process
+        .import_home(hg_persist::home_from_text(&exported).expect("intact bytes"))
+        .expect("import journals cleanly");
     println!(
         "alice migrated to a second fleet as {migrated}: {:?}",
         other_process

@@ -117,7 +117,7 @@ fn churn(seed: u64, steps: usize) -> (Fleet, Arc<Journal>, MemBackend, BTreeMap<
     let mut rng = Gen::new(seed);
     let mut boundaries = BTreeMap::new();
     boundaries.insert(journal.next_offset(), snapshot_text(&fleet));
-    let mut homes: Vec<HomeId> = (0..3).map(|_| fleet.create_home()).collect();
+    let mut homes: Vec<HomeId> = (0..3).map(|_| fleet.create_home().unwrap()).collect();
     boundaries.insert(journal.next_offset(), snapshot_text(&fleet));
     for step in 0..steps {
         let roll = rng.range(0, 100);
@@ -126,8 +126,8 @@ fn churn(seed: u64, steps: usize) -> (Fleet, Arc<Journal>, MemBackend, BTreeMap<
         let name = palette_name(sensor, actuator);
         let source = palette_source(sensor, actuator, command);
         match roll {
-            0..=9 => homes.push(fleet.create_home()),
-            10..=14 => homes.extend(fleet.create_homes(rng.range(1, 4))),
+            0..=9 => homes.push(fleet.create_home().unwrap()),
+            10..=14 => homes.extend(fleet.create_homes(rng.range(1, 4)).unwrap()),
             15..=49 => install_accepting(&fleet, id, &source, &name),
             50..=59 => {
                 let _ = fleet.uninstall_app(id, &name);

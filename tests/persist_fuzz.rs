@@ -209,7 +209,7 @@ fn restored_fleet_is_behaviorally_identical_to_the_live_one() {
             .shards(3)
             .home_defaults(|b| b.handling_policy(PolicyTable::block_all()))
             .build();
-        let homes: Vec<HomeId> = (0..3).map(|_| fleet.create_home()).collect();
+        let homes: Vec<HomeId> = (0..3).map(|_| fleet.create_home().unwrap()).collect();
         // Mirror of each home's surviving apps: (name, source).
         let mut live: Vec<Vec<(String, String)>> = vec![Vec::new(); homes.len()];
 

@@ -12,8 +12,13 @@
 //! restores warm into a fresh registry with nothing lost.
 
 use hg_persist::FleetSnapshot;
-use hg_service::{Fleet, HomeId, RuleStore, TelemetryEvent};
+use hg_service::{
+    DegradedPolicy, FaultBackend, FaultKind, FaultPlan, Fleet, HomeId, Journal, JournalConfig,
+    MemBackend, RuleStore, TelemetryEvent,
+};
 use hg_telemetry::{MetricsRegistry, TelemetryHub};
+use homeguard_core::HgError;
+use std::sync::Arc;
 use std::time::Duration;
 
 const ON_APP: &str = r#"
@@ -36,7 +41,7 @@ def h(evt) { lamp.off() }
 /// report rendered to a canonical line, in execution order.
 fn churn(fleet: &Fleet) -> Vec<String> {
     let mut log = Vec::new();
-    let ids: Vec<HomeId> = (0..6).map(|_| fleet.create_home()).collect();
+    let ids: Vec<HomeId> = (0..6).map(|_| fleet.create_home().unwrap()).collect();
     for id in &ids {
         let report = fleet.install_app(*id, ON_APP, "OnApp", None).unwrap();
         log.push(render_install(&report));
@@ -178,6 +183,90 @@ fn attached_bus_changes_no_report_and_no_persisted_byte() {
 
     // The silent fleet's mediation accessors work without any bus.
     assert_eq!(silent.mediation_stats().events, 0);
+    hub.stop();
+}
+
+/// The fault-policy lifecycle publishes exactly what the registry
+/// counts: one scripted transient and one torn write surface as
+/// [`TelemetryEvent::IoRetry`] events whose `attempts` sum to
+/// `io_retries_total`; the permanent fault's quarantine and the
+/// subsequent heal appear once each. An exact reconciliation — not
+/// `>=` — so a double-published or swallowed event fails the build.
+#[test]
+fn fault_policy_events_reconcile_exactly_with_registry_totals() {
+    let mem = MemBackend::new();
+    let fault = FaultBackend::new(mem.clone());
+    let journal = Arc::new(
+        Journal::open_with(
+            Box::new(fault.clone()),
+            JournalConfig {
+                max_io_attempts: 3,
+                backoff_micros: 0,
+                degraded: DegradedPolicy::RefuseWrites,
+                ..JournalConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let hub = TelemetryHub::start();
+    journal.set_telemetry(hub.bus().clone());
+    let fleet = Fleet::builder(RuleStore::shared()).shards(2).build();
+    assert!(fleet.attach_telemetry(hub.bus().clone()));
+    assert!(fleet.attach_journal(journal.clone()).unwrap());
+    fleet.create_home().unwrap();
+
+    // One transient and one torn write: both absorbed by bounded retry.
+    fault.arm(FaultPlan::new().at(fault.ops(), FaultKind::Transient));
+    fleet.create_home().unwrap();
+    fault.arm(FaultPlan::new().at(fault.ops(), FaultKind::ShortWrite));
+    fleet.create_home().unwrap();
+    assert!(!journal.is_quarantined(), "retries must absorb transients");
+
+    // A permanent fault quarantines; a refused write adds no event noise.
+    fault.arm(FaultPlan::new().at(fault.ops(), FaultKind::Permanent));
+    assert!(matches!(fleet.create_home(), Err(HgError::Journal(_))));
+    assert!(journal.is_quarantined());
+    assert!(matches!(fleet.create_home(), Err(HgError::Degraded(_))));
+
+    // Heal and prove the journal is live again.
+    fault.disarm();
+    fleet.heal_journal().unwrap();
+    fleet.create_home().unwrap();
+
+    assert!(hub.sync(Duration::from_secs(5)), "collector must catch up");
+    assert_eq!(hub.bus().dropped_events(), 0, "churn fits bus retention");
+    let mut events = Vec::new();
+    hub.bus().drain_since(0, &mut events);
+    let registry = hub.registry();
+
+    let retry_events = events
+        .iter()
+        .filter(|(_, e)| matches!(e, TelemetryEvent::IoRetry { .. }))
+        .count() as u64;
+    let retries: u64 = events
+        .iter()
+        .map(|(_, e)| match e {
+            TelemetryEvent::IoRetry { attempts, .. } => *attempts,
+            _ => 0,
+        })
+        .sum();
+    let degraded = events
+        .iter()
+        .filter(|(_, e)| matches!(e, TelemetryEvent::JournalDegraded { .. }))
+        .count() as u64;
+    let healed = events
+        .iter()
+        .filter(|(_, e)| matches!(e, TelemetryEvent::JournalHealed { .. }))
+        .count() as u64;
+
+    assert!(retry_events >= 2, "transient + torn write both retried");
+    assert!(retries >= retry_events, "each event carries ≥1 attempt");
+    assert_eq!(degraded, 1, "exactly one quarantine transition");
+    assert_eq!(healed, 1, "exactly one heal transition");
+    assert_eq!(registry.counter("io_retry_events_total"), retry_events);
+    assert_eq!(registry.counter("io_retries_total"), retries);
+    assert_eq!(registry.counter("journal_degraded_total"), degraded);
+    assert_eq!(registry.counter("journal_healed_total"), healed);
     hub.stop();
 }
 
